@@ -1,0 +1,80 @@
+// Ablation for paper §5.2: how much of GCP's resilience gap is explained
+// by cold potato routing?
+//
+// Three worlds, identical except for GCP's egress policy:
+//   (a) cold potato, continent zones  — the default (Premium Tier),
+//   (b) cold potato, super-region zones — heavier centralization,
+//   (c) hot potato — counterfactual "Standard-Tier-like" GCP.
+//
+// The optimal (6, N-2) GCP deployment is recomputed in each world; AWS is
+// shown as the hot-potato reference. The paper's claim: cold potato
+// reduces egress diversity and with it the achievable resilience, but a
+// correctly configured GCP deployment remains viable.
+#include "analysis/optimizer.hpp"
+#include "analysis/report.hpp"
+#include "marcopolo/fast_campaign.hpp"
+
+using namespace marcopolo;
+
+namespace {
+
+struct World {
+  const char* label;
+  cloud::EgressPolicy policy;
+  cloud::ZoneGranularity zones;
+};
+
+}  // namespace
+
+int main() {
+  const World worlds[] = {
+      {"cold potato / continent zones (default)",
+       cloud::EgressPolicy::ColdPotato, cloud::ZoneGranularity::Continent},
+      {"cold potato / super-region zones", cloud::EgressPolicy::ColdPotato,
+       cloud::ZoneGranularity::SuperRegion},
+      {"hot potato (counterfactual)", cloud::EgressPolicy::HotPotato,
+       cloud::ZoneGranularity::Continent},
+  };
+
+  analysis::TextTable table({"GCP egress model", "GCP (6, N-2) median",
+                             "GCP average", "AWS (6, N-2) median",
+                             "AWS average"});
+
+  for (const World& world : worlds) {
+    core::TestbedConfig tb_cfg;
+    tb_cfg.clouds = {cloud::default_config(topo::CloudProvider::Aws),
+                     cloud::default_config(topo::CloudProvider::Azure),
+                     cloud::default_config(topo::CloudProvider::Gcp)};
+    tb_cfg.clouds[2].policy = world.policy;
+    tb_cfg.clouds[2].zones = world.zones;
+    core::Testbed testbed(tb_cfg);
+
+    const auto store =
+        core::run_fast_campaign(testbed, core::FastCampaignConfig{});
+    analysis::ResilienceAnalyzer analyzer(store);
+    analysis::DeploymentOptimizer optimizer(analyzer);
+
+    std::vector<std::string> row{world.label};
+    for (const auto provider :
+         {topo::CloudProvider::Gcp, topo::CloudProvider::Aws}) {
+      analysis::OptimizerConfig cfg;
+      cfg.set_size = 6;
+      cfg.max_failures = 2;
+      cfg.candidates = testbed.perspectives_of(provider);
+      cfg.name_prefix = std::string(topo::to_string_view(provider));
+      const auto best = optimizer.best(cfg);
+      const auto s = analyzer.evaluate(best.spec);
+      row.push_back(analysis::format_resilience(s.median));
+      row.push_back(analysis::format_resilience(s.average));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("\nCold potato ablation (§5.2) — optimal (6, N-2) resilience "
+              "when GCP's egress policy changes:\n%s",
+              table.to_string().c_str());
+  std::printf("Paper: GCP provides the lowest median/average resilience of "
+              "the three providers under its Premium-Tier (cold potato) "
+              "routing; AWS/Azure-style hot potato closes the gap.\n");
+  return 0;
+}

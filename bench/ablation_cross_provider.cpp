@@ -1,0 +1,89 @@
+// Ablation: do cross-cloud deployments beat single-provider ones?
+//
+// Prior work (Birge-Lee'21, Cimaszewski'23) argues perspective selection
+// across providers matters; the paper evaluates per-provider optima. Here
+// we search (6, N-2) deployments over all 106 perspectives (beam + swap
+// refinement; the C(106,6) ≈ 1.6e9 space is beyond exhaustive) and compare
+// against each provider's exhaustive optimum.
+#include <set>
+
+#include "analysis/rir_cluster.hpp"
+#include "paper_env.hpp"
+
+using namespace marcopolo;
+
+int main() {
+  bench::PaperEnv env;
+  analysis::DeploymentOptimizer optimizer(env.plain);
+  const auto rirs = env.perspective_rirs();
+
+  analysis::TextTable table(
+      {"Candidate pool", "Strategy", "Median", "Average", "Providers used",
+       "RIR shape"});
+
+  for (const auto provider :
+       {topo::CloudProvider::Azure, topo::CloudProvider::Aws,
+        topo::CloudProvider::Gcp}) {
+    auto cfg = env.provider_config(provider, 6, 2, false);
+    const auto best = optimizer.best(cfg);
+    const auto sig = analysis::cluster_signature(best.spec, rirs);
+    table.add_row({std::string(topo::to_string_view(provider)), "exhaustive",
+                   analysis::format_resilience(best.score.median),
+                   analysis::format_resilience(best.score.average), "1",
+                   analysis::format_signature(sig, false)});
+  }
+
+  {
+    analysis::OptimizerConfig cfg;
+    cfg.set_size = 6;
+    cfg.max_failures = 2;
+    cfg.strategy = analysis::SearchStrategy::Beam;
+    cfg.beam_width = 96;
+    cfg.refine_top = 12;
+    cfg.name_prefix = "cross";
+    for (const auto& rec : env.testbed.perspectives()) {
+      cfg.candidates.push_back(rec.index);
+    }
+    analysis::RankedDeployment best = optimizer.best(cfg);
+    // The cross-cloud space (C(106,6) ~ 1.6e9) defeats both exhaustive
+    // search and pure beam construction; seed hill climbing from each
+    // provider's exhaustive optimum so the result can only improve on the
+    // single-provider answers.
+    for (const auto provider :
+         {topo::CloudProvider::Azure, topo::CloudProvider::Aws,
+          topo::CloudProvider::Gcp}) {
+      auto seed_cfg = env.provider_config(provider, 6, 2, false);
+      const auto seed = optimizer.best(seed_cfg);
+      const auto refined = optimizer.hill_climb(seed.spec.remotes, cfg);
+      if (best.score < refined.score) best = refined;
+    }
+
+    std::set<topo::CloudProvider> providers;
+    for (const auto p : best.spec.remotes) {
+      providers.insert(env.testbed.perspectives()[p].provider);
+    }
+    const auto sig = analysis::cluster_signature(best.spec, rirs);
+    table.add_row({"all 106 (cross-cloud)", "beam+refine",
+                   analysis::format_resilience(best.score.median),
+                   analysis::format_resilience(best.score.average),
+                   std::to_string(providers.size()),
+                   analysis::format_signature(sig, false)});
+
+    std::string members;
+    for (const auto p : best.spec.remotes) {
+      if (!members.empty()) members += ", ";
+      members +=
+          std::string(topo::to_string_view(
+              env.testbed.perspectives()[p].provider)) +
+          ":" + std::string(env.testbed.perspectives()[p].region_name);
+    }
+    std::printf("Best cross-cloud (6, N-2) set: %s\n", members.c_str());
+  }
+
+  std::printf("\nCross-provider ablation — optimal (6, N-2), no RPKI:\n%s",
+              table.to_string().c_str());
+  std::printf("A cross-cloud pool can only match or beat per-provider "
+              "optima; the interesting question is by how much, and whether "
+              "the optimizer mixes egress policies.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation for paper §4.4.2: does the choice of victim/adversary pool bias
+// the results? All the paper's nodes are Vultr datacenters; the authors
+// propose PEERING (a research BGP testbed) as a more diverse superset.
+//
+// We rebuild the testbed with the PEERING mux catalog as the node pool and
+// recompute the headline numbers. If the Vultr-only measurement
+// generalizes, single-perspective resilience should stay ~50%, provider
+// ordering should hold, and optimal deployments should stay strong —
+// though absolute values shift with the pool's geography (PEERING skews
+// toward North American research networks).
+#include "analysis/optimizer.hpp"
+#include "analysis/report.hpp"
+#include "marcopolo/fast_campaign.hpp"
+
+using namespace marcopolo;
+
+int main() {
+  analysis::TextTable table({"Node pool", "Sites", "AWS (1,N)",
+                             "Best Azure (6,N-2)", "Best AWS (6,N-2)",
+                             "Best GCP (6,N-2)"});
+
+  const struct {
+    const char* label;
+    std::span<const topo::RegionInfo> catalog;
+  } pools[] = {
+      {"Vultr (paper)", topo::vultr_sites()},
+      {"PEERING muxes", topo::peering_muxes()},
+  };
+
+  for (const auto& pool : pools) {
+    core::TestbedConfig cfg;
+    cfg.site_catalog = pool.catalog;
+    core::Testbed testbed(cfg);
+    const auto store =
+        core::run_fast_campaign(testbed, core::FastCampaignConfig{});
+    analysis::ResilienceAnalyzer analyzer(store);
+    analysis::DeploymentOptimizer optimizer(analyzer);
+
+    // Single AWS perspective baseline.
+    analysis::OptimizerConfig single;
+    single.set_size = 1;
+    single.max_failures = 0;
+    single.candidates = testbed.perspectives_of(topo::CloudProvider::Aws);
+    const auto best1 = optimizer.best(single);
+
+    std::vector<std::string> row{pool.label,
+                                 std::to_string(testbed.sites().size()),
+                                 analysis::format_resilience(
+                                     best1.score.median)};
+    for (const auto provider :
+         {topo::CloudProvider::Azure, topo::CloudProvider::Aws,
+          topo::CloudProvider::Gcp}) {
+      analysis::OptimizerConfig oc;
+      oc.set_size = 6;
+      oc.max_failures = 2;
+      oc.candidates = testbed.perspectives_of(provider);
+      oc.strategy = analysis::SearchStrategy::Beam;
+      oc.beam_width = 64;
+      const auto best = optimizer.best(oc);
+      row.push_back(analysis::format_resilience(best.score.median));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("\nNode-pool generalizability ablation (§4.4.2):\n%s",
+              table.to_string().c_str());
+  std::printf("Medians shown. Expected shape: ~50%% single-perspective "
+              "baseline and strong optimal deployments on both pools; the "
+              "exact optima shift with pool geography.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared environment for the table/figure reproduction benches: one
+// testbed, one campaign dataset pair (no-RPKI / RPKI), analyzers, and the
+// standard optimizer configurations used across tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/optimizer.hpp"
+#include "analysis/report.hpp"
+#include "analysis/rpki_model.hpp"
+#include "marcopolo/fast_campaign.hpp"
+#include "marcopolo/production_systems.hpp"
+
+namespace marcopolo::bench {
+
+/// Canonical seeds: every bench regenerates the identical dataset.
+inline constexpr std::uint64_t kTieBreakSeed = 0xCAFE;
+
+struct PaperEnv {
+  core::Testbed testbed;
+  core::CampaignDataset data;
+  analysis::ResilienceAnalyzer plain;
+  analysis::ResilienceAnalyzer rpki;
+
+  PaperEnv()
+      : testbed(core::TestbedConfig{}),
+        data(core::run_paper_campaigns(testbed, bgp::TieBreakMode::Hashed,
+                                       kTieBreakSeed)),
+        plain(data.no_rpki),
+        rpki(data.rpki) {
+    std::printf("[env] testbed: %zu ASes, %zu sites, %zu perspectives; "
+                "campaign: %zu pairwise attacks x2 attack types\n",
+                testbed.internet().graph().size(), testbed.sites().size(),
+                testbed.perspectives().size(),
+                testbed.sites().size() * (testbed.sites().size() - 1));
+  }
+
+  /// Exhaustive optimizer config for a provider / size / quorum.
+  [[nodiscard]] analysis::OptimizerConfig provider_config(
+      topo::CloudProvider provider, std::size_t size, std::size_t failures,
+      bool with_primary) const {
+    analysis::OptimizerConfig cfg;
+    cfg.set_size = size;
+    cfg.max_failures = failures;
+    cfg.with_primary = with_primary;
+    cfg.candidates = testbed.perspectives_of(provider);
+    cfg.name_prefix = std::string(topo::to_string_view(provider));
+    return cfg;
+  }
+
+  /// RIR of every perspective, indexed by global perspective id.
+  [[nodiscard]] std::vector<topo::Rir> perspective_rirs() const {
+    std::vector<topo::Rir> out;
+    out.reserve(testbed.perspectives().size());
+    for (const auto& rec : testbed.perspectives()) out.push_back(rec.rir);
+    return out;
+  }
+};
+
+}  // namespace marcopolo::bench

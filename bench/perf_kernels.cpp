@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks for the hot kernels:
+//   - BGP propagation over the default synthetic Internet (per attack),
+//   - HijackScenario construction (propagation + per-pair comparator),
+//   - resilience scoring (the optimizer's inner loop),
+//   - exhaustive optimizer on a small provider,
+//   - prefix trie longest-prefix match.
+#include <benchmark/benchmark.h>
+
+#include "analysis/optimizer.hpp"
+#include "bgpd/network.hpp"
+#include "marcopolo/fast_campaign.hpp"
+#include "netsim/prefix_trie.hpp"
+
+using namespace marcopolo;
+
+namespace {
+
+const core::Testbed& shared_testbed() {
+  static core::Testbed testbed{core::TestbedConfig{}};
+  return testbed;
+}
+
+const core::ResultStore& shared_store() {
+  static core::ResultStore store =
+      core::run_fast_campaign(shared_testbed(), core::FastCampaignConfig{});
+  return store;
+}
+
+void BM_Propagation(benchmark::State& state) {
+  const auto& tb = shared_testbed();
+  const auto& sites = tb.sites();
+  const bgp::ScenarioConfig sc{};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& v = sites[i % sites.size()];
+    const auto& a = sites[(i + 7) % sites.size()];
+    ++i;
+    bgp::HijackScenario scenario(
+        tb.internet().graph(), v.node, a.node,
+        *netsim::Ipv4Prefix::parse("203.0.113.0/24"), sc);
+    benchmark::DoNotOptimize(scenario.adversary_capture_fraction());
+  }
+}
+BENCHMARK(BM_Propagation)->Unit(benchmark::kMillisecond);
+
+void BM_PerspectiveResolution(benchmark::State& state) {
+  const auto& tb = shared_testbed();
+  const bgp::ScenarioConfig sc{};
+  const bgp::HijackScenario scenario(
+      tb.internet().graph(), tb.sites()[0].node, tb.sites()[17].node,
+      *netsim::Ipv4Prefix::parse("203.0.113.0/24"), sc);
+  for (auto _ : state) {
+    std::size_t hijacked = 0;
+    for (const auto& rec : tb.perspectives()) {
+      if (tb.perspective_outcome(rec.index, scenario) ==
+          bgp::OriginReached::Adversary) {
+        ++hijacked;
+      }
+    }
+    benchmark::DoNotOptimize(hijacked);
+  }
+}
+BENCHMARK(BM_PerspectiveResolution)->Unit(benchmark::kMicrosecond);
+
+void BM_ResilienceScore(benchmark::State& state) {
+  analysis::ResilienceAnalyzer analyzer(shared_store());
+  auto ws = analyzer.make_workspace();
+  for (core::PerspectiveIndex p = 0; p < 6; ++p) {
+    analyzer.add_perspective(ws, p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.score(ws, 4, std::nullopt));
+  }
+}
+BENCHMARK(BM_ResilienceScore)->Unit(benchmark::kMicrosecond);
+
+void BM_ExhaustiveOptimizer(benchmark::State& state) {
+  analysis::ResilienceAnalyzer analyzer(shared_store());
+  analysis::DeploymentOptimizer optimizer(analyzer);
+  analysis::OptimizerConfig cfg;
+  cfg.set_size = static_cast<std::size_t>(state.range(0));
+  cfg.max_failures = cfg.set_size >= 6 ? 2 : 1;
+  cfg.candidates = shared_testbed().perspectives_of(topo::CloudProvider::Aws);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.best(cfg));
+  }
+  // C(27, k) candidate sets scored per iteration.
+}
+BENCHMARK(BM_ExhaustiveOptimizer)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_EventDrivenConvergence(benchmark::State& state) {
+  const auto& tb = shared_testbed();
+  std::vector<netsim::GeoPoint> locations;
+  for (std::uint32_t i = 0; i < tb.internet().graph().size(); ++i) {
+    locations.push_back(tb.internet().location(bgp::NodeId{i}));
+  }
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const auto& v = tb.sites()[k % tb.sites().size()];
+    const auto& a = tb.sites()[(k + 11) % tb.sites().size()];
+    ++k;
+    netsim::Simulator sim;
+    bgpd::BgpNetwork net(tb.internet().graph(), locations, sim);
+    net.announce(v.node, bgp::Announcement{prefix, {},
+                                           bgp::OriginRole::Victim});
+    net.announce(a.node, bgp::Announcement{prefix, {},
+                                           bgp::OriginRole::Adversary});
+    net.run_to_convergence();
+    benchmark::DoNotOptimize(net.total_updates_sent());
+  }
+}
+BENCHMARK(BM_EventDrivenConvergence)->Unit(benchmark::kMillisecond);
+
+void BM_PrefixTrieLpm(benchmark::State& state) {
+  netsim::PrefixTrie<int> trie;
+  netsim::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    trie.insert(netsim::Ipv4Prefix(
+                    netsim::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                    static_cast<std::uint8_t>(8 + rng.index(17))),
+                i);
+  }
+  std::uint32_t probe = 1;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 12345u;
+    benchmark::DoNotOptimize(trie.longest_match(netsim::Ipv4Addr(probe)));
+  }
+}
+BENCHMARK(BM_PrefixTrieLpm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Example: quantify what RPKI deployment buys an MPIC deployment.
+//
+// Reproduces the paper's §5.4 analysis for a deployment of your choice:
+// runs both attack campaigns (plain equally-specific, and forged-origin
+// prepend against ROA-protected prefixes), then sweeps the modeled RPKI
+// deployment fraction from 0% to 100% and reports median / 25th-percentile
+// resilience at each point.
+#include <cstdio>
+
+#include "analysis/rpki_model.hpp"
+#include "analysis/report.hpp"
+#include "marcopolo/fast_campaign.hpp"
+#include "marcopolo/production_systems.hpp"
+
+using namespace marcopolo;
+
+int main() {
+  core::Testbed testbed{core::TestbedConfig{}};
+  std::printf("Running both MarcoPolo campaigns (plain + forged-origin)...\n");
+  const auto dataset =
+      core::run_paper_campaigns(testbed, bgp::TieBreakMode::Hashed, 0xCAFE);
+  analysis::ResilienceAnalyzer plain(dataset.no_rpki);
+  analysis::ResilienceAnalyzer rpki(dataset.rpki);
+  analysis::RpkiWeightedAnalyzer weighted(plain, rpki);
+
+  const auto le = core::lets_encrypt_spec(testbed);
+  const auto cf = core::cloudflare_spec(testbed);
+
+  analysis::TextTable table({"ROA coverage", "LE median", "LE 25th pct",
+                             "CF median", "CF 25th pct"});
+  for (const double w : {0.0, 0.2, 0.4, 0.56, 0.8, 1.0}) {
+    const auto sle = weighted.evaluate(le, w);
+    const auto scf = weighted.evaluate(cf, w);
+    char label[16];
+    std::snprintf(label, sizeof label, "%.0f%%%s", w * 100.0,
+                  w == 0.56 ? " (today)" : "");
+    table.add_row({label, analysis::format_resilience(sle.median),
+                   analysis::format_resilience(sle.p25),
+                   analysis::format_resilience(scf.median),
+                   analysis::format_resilience(scf.p25)});
+  }
+  std::printf("\nResilience vs modeled RPKI deployment "
+              "(Let's Encrypt %s, Cloudflare %s):\n%s",
+              le.policy.to_string().c_str(), cf.policy.to_string().c_str(),
+              table.to_string().c_str());
+
+  std::printf("\nTakeaway (paper §5.4): medians saturate at 100 under full "
+              "RPKI, and the biggest wins are in the lower tail (25th "
+              "percentile) — the domains that need it most.\n");
+
+  // Bonus: sub-prefix hijacks stay fatal without ROA length protection.
+  core::FastCampaignConfig sub;
+  sub.type = bgp::AttackType::SubPrefix;
+  const auto sub_store = core::run_fast_campaign(testbed, sub);
+  const auto s = analysis::ResilienceAnalyzer(sub_store).evaluate(cf);
+  std::printf("\nSub-prefix hijack check: even %s collapses to median "
+              "resilience %s — MPIC does not defend more-specific "
+              "announcements (§2); only ROV with strict ROA lengths does.\n",
+              cf.name.c_str(), analysis::format_resilience(s.median).c_str());
+  return 0;
+}

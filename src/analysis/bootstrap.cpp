@@ -1,0 +1,70 @@
+#include "analysis/bootstrap.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "analysis/resilience.hpp"
+
+namespace marcopolo::analysis {
+
+ConfidenceInterval bootstrap_statistic(
+    std::span<const double> per_victim,
+    const std::function<double(std::vector<double>&)>& statistic,
+    std::size_t resamples, double confidence, std::uint64_t seed) {
+  if (per_victim.empty()) {
+    throw std::invalid_argument("bootstrap over empty sample");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("confidence must be in (0, 1)");
+  }
+  if (resamples < 10) {
+    throw std::invalid_argument("need at least 10 resamples");
+  }
+
+  std::vector<double> original(per_victim.begin(), per_victim.end());
+  ConfidenceInterval ci;
+  ci.point = statistic(original);
+
+  netsim::Rng rng(seed);
+  std::vector<double> stats(resamples);
+  std::vector<double> sample(per_victim.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      sample[i] = per_victim[rng.index(per_victim.size())];
+    }
+    stats[r] = statistic(sample);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto lo_idx = static_cast<std::size_t>(
+      alpha * static_cast<double>(resamples));
+  const auto hi_idx = std::min(
+      resamples - 1,
+      static_cast<std::size_t>((1.0 - alpha) * static_cast<double>(resamples)));
+  ci.low = stats[lo_idx];
+  ci.high = stats[hi_idx];
+  return ci;
+}
+
+ConfidenceInterval bootstrap_median(std::span<const double> per_victim,
+                                    std::size_t resamples, double confidence,
+                                    std::uint64_t seed) {
+  return bootstrap_statistic(
+      per_victim, [](std::vector<double>& v) { return median_of(v); },
+      resamples, confidence, seed);
+}
+
+ConfidenceInterval bootstrap_average(std::span<const double> per_victim,
+                                     std::size_t resamples, double confidence,
+                                     std::uint64_t seed) {
+  return bootstrap_statistic(
+      per_victim,
+      [](std::vector<double>& v) {
+        return std::accumulate(v.begin(), v.end(), 0.0) /
+               static_cast<double>(v.size());
+      },
+      resamples, confidence, seed);
+}
+
+}  // namespace marcopolo::analysis

@@ -1,0 +1,42 @@
+// Bootstrap confidence intervals for resilience statistics.
+//
+// The campaign measures |N| = 32 victims; median/percentile statistics on
+// 32 samples carry real estimation noise. Resampling victims with
+// replacement gives percentile-bootstrap intervals, so reported resilience
+// can be published as "97 [90, 100]" instead of a bare point estimate.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netsim/random.hpp"
+
+namespace marcopolo::analysis {
+
+struct ConfidenceInterval {
+  double point = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Percentile-bootstrap CI of an arbitrary statistic of the per-victim
+/// resilience vector. `statistic` is called on each resample (the vector
+/// may be reordered freely). `confidence` in (0, 1), e.g. 0.95.
+[[nodiscard]] ConfidenceInterval bootstrap_statistic(
+    std::span<const double> per_victim,
+    const std::function<double(std::vector<double>&)>& statistic,
+    std::size_t resamples = 2000, double confidence = 0.95,
+    std::uint64_t seed = 0xB007);
+
+/// CI of the median (paper eq. (5) semantics).
+[[nodiscard]] ConfidenceInterval bootstrap_median(
+    std::span<const double> per_victim, std::size_t resamples = 2000,
+    double confidence = 0.95, std::uint64_t seed = 0xB007);
+
+/// CI of the mean.
+[[nodiscard]] ConfidenceInterval bootstrap_average(
+    std::span<const double> per_victim, std::size_t resamples = 2000,
+    double confidence = 0.95, std::uint64_t seed = 0xB007);
+
+}  // namespace marcopolo::analysis

@@ -1,0 +1,107 @@
+#include "analysis/export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace marcopolo::analysis {
+
+namespace {
+
+std::string number(double v) {
+  std::ostringstream out;
+  out.precision(10);
+  out << v;
+  return out.str();
+}
+
+std::string perspective_name(const core::Testbed& testbed,
+                             PerspectiveIndex p) {
+  const auto& rec = testbed.perspectives().at(p);
+  return std::string(topo::to_string_view(rec.provider)) + ":" +
+         std::string(rec.region_name);
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string deployment_to_json(const RankedDeployment& deployment,
+                               const core::Testbed& testbed) {
+  std::ostringstream out;
+  out << "{\"name\":\"" << json_escape(deployment.spec.name) << "\","
+      << "\"policy\":\"" << json_escape(deployment.spec.policy.to_string())
+      << "\",";
+  if (deployment.spec.primary) {
+    out << "\"primary\":\""
+        << json_escape(perspective_name(testbed, *deployment.spec.primary))
+        << "\",";
+  }
+  out << "\"remotes\":[";
+  for (std::size_t i = 0; i < deployment.spec.remotes.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\""
+        << json_escape(
+               perspective_name(testbed, deployment.spec.remotes[i]))
+        << "\"";
+  }
+  out << "],\"median\":" << number(deployment.score.median)
+      << ",\"average\":" << number(deployment.score.average) << "}";
+  return out.str();
+}
+
+void write_ranked_json(std::ostream& out,
+                       std::span<const RankedDeployment> deployments,
+                       const core::Testbed& testbed) {
+  out << "[\n";
+  for (std::size_t i = 0; i < deployments.size(); ++i) {
+    out << "  " << deployment_to_json(deployments[i], testbed);
+    if (i + 1 < deployments.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+}
+
+void write_evaluation_json(std::ostream& out,
+                           const mpic::DeploymentSpec& spec,
+                           const ResilienceSummary& summary,
+                           const core::Testbed& testbed) {
+  out << "{\n  \"deployment\": "
+      << deployment_to_json(
+             RankedDeployment{
+                 spec, ResilienceAnalyzer::Score{summary.median,
+                                                 summary.average}},
+             testbed)
+      << ",\n  \"summary\": {\"median\":" << number(summary.median)
+      << ",\"average\":" << number(summary.average)
+      << ",\"p25\":" << number(summary.p25)
+      << ",\"p5\":" << number(summary.p5) << "},\n  \"per_victim\": {";
+  for (std::size_t v = 0; v < summary.per_victim.size(); ++v) {
+    if (v > 0) out << ",";
+    out << "\"" << json_escape(std::string(testbed.sites()[v].name))
+        << "\":" << number(summary.per_victim[v]);
+  }
+  out << "}\n}\n";
+}
+
+}  // namespace marcopolo::analysis

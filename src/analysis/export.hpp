@@ -1,0 +1,38 @@
+// JSON export of campaign results and analysis reports.
+//
+// The paper publishes its raw logs and ranked deployment lists on the MPIC
+// Labs site; this module produces the equivalent machine-readable
+// artifacts. Writer only — no JSON parsing happens anywhere in the stack.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "analysis/optimizer.hpp"
+#include "marcopolo/testbed.hpp"
+
+namespace marcopolo::analysis {
+
+/// Escape a string for embedding in a JSON document.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// One deployment with its scores, e.g.
+/// {"name":"...","policy":"(6, N-2)","primary":"us-east-1",
+///  "remotes":["..."],"median":0.97,"average":0.86}
+[[nodiscard]] std::string deployment_to_json(
+    const RankedDeployment& deployment, const core::Testbed& testbed);
+
+/// Ranked deployment list as a JSON array (pretty, one entry per line).
+void write_ranked_json(std::ostream& out,
+                       std::span<const RankedDeployment> deployments,
+                       const core::Testbed& testbed);
+
+/// Full per-victim resilience of one deployment:
+/// {"deployment":..., "summary":{...}, "per_victim":{"Tokyo":0.9,...}}
+void write_evaluation_json(std::ostream& out,
+                           const mpic::DeploymentSpec& spec,
+                           const ResilienceSummary& summary,
+                           const core::Testbed& testbed);
+
+}  // namespace marcopolo::analysis

@@ -1,0 +1,61 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace marcopolo::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width != header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  const auto emit_rule = [&] {
+    out << "+";
+    for (const std::size_t w : width) out << std::string(w + 2, '-') << "+";
+    out << "\n";
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string format_resilience(double value01) {
+  const long rounded = std::lround(value01 * 100.0);
+  return std::to_string(rounded);
+}
+
+std::string format_share(double value01) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  out << value01 * 100.0 << "%";
+  return out.str();
+}
+
+}  // namespace marcopolo::analysis

@@ -1,0 +1,29 @@
+// Plain-text table rendering for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace marcopolo::analysis {
+
+/// Fixed-width ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Resilience rendered like the paper's tables: 0..100, no decimals
+/// ("87"), computed by rounding half up.
+[[nodiscard]] std::string format_resilience(double value01);
+
+/// Percentage with one decimal ("63.8%").
+[[nodiscard]] std::string format_share(double value01);
+
+}  // namespace marcopolo::analysis

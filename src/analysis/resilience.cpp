@@ -1,0 +1,124 @@
+#include "analysis/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace marcopolo::analysis {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) throw std::invalid_argument("median of empty set");
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+double percentile_of(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty set");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+ResilienceSummary summarize(std::vector<double> per_victim) {
+  ResilienceSummary s;
+  s.median = median_of(per_victim);
+  s.average = std::accumulate(per_victim.begin(), per_victim.end(), 0.0) /
+              static_cast<double>(per_victim.size());
+  s.p25 = percentile_of(per_victim, 25.0);
+  s.p5 = percentile_of(per_victim, 5.0);
+  s.per_victim = std::move(per_victim);
+  return s;
+}
+
+ResilienceAnalyzer::ResilienceAnalyzer(const ResultStore& store)
+    : store_(store) {
+  if (store_.num_sites() < 2) {
+    throw std::invalid_argument("need at least two BGP nodes");
+  }
+}
+
+std::vector<double> ResilienceAnalyzer::per_victim_resilience(
+    const mpic::DeploymentSpec& spec) const {
+  spec.check();
+  Workspace ws = make_workspace();
+  for (const PerspectiveIndex p : spec.remotes) add_perspective(ws, p);
+
+  const std::size_t n = store_.num_sites();
+  const std::size_t required = spec.policy.required();
+  const std::uint8_t* primary_bytes =
+      spec.primary ? store_.hijack_bytes(*spec.primary) : nullptr;
+
+  std::vector<double> out(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t defended = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (a == v) continue;
+      const std::size_t idx = v * n + a;
+      const bool attack_ok =
+          ws.counts[idx] >= required &&
+          (primary_bytes == nullptr || primary_bytes[idx] != 0);
+      if (!attack_ok) ++defended;
+    }
+    out[v] = static_cast<double>(defended) / static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+ResilienceSummary ResilienceAnalyzer::evaluate(
+    const mpic::DeploymentSpec& spec) const {
+  return summarize(per_victim_resilience(spec));
+}
+
+void ResilienceAnalyzer::add_perspective(Workspace& ws,
+                                         PerspectiveIndex p) const {
+  const std::uint8_t* bytes = store_.hijack_bytes(p);
+  const std::size_t n = ws.counts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.counts[i] = static_cast<std::uint8_t>(ws.counts[i] + bytes[i]);
+  }
+}
+
+void ResilienceAnalyzer::remove_perspective(Workspace& ws,
+                                            PerspectiveIndex p) const {
+  const std::uint8_t* bytes = store_.hijack_bytes(p);
+  const std::size_t n = ws.counts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.counts[i] = static_cast<std::uint8_t>(ws.counts[i] - bytes[i]);
+  }
+}
+
+ResilienceAnalyzer::Score ResilienceAnalyzer::score(
+    const Workspace& ws, std::size_t required,
+    std::optional<PerspectiveIndex> primary) const {
+  const std::size_t n = store_.num_sites();
+  const std::uint8_t* primary_bytes =
+      primary ? store_.hijack_bytes(*primary) : nullptr;
+
+  // Per-victim resilience values; kept on the stack-ish small vector.
+  std::vector<double> per_victim(n);
+  double sum = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t defended = 0;
+    const std::size_t row = v * n;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (a == v) continue;
+      const bool attack_ok =
+          ws.counts[row + a] >= required &&
+          (primary_bytes == nullptr || primary_bytes[row + a] != 0);
+      if (!attack_ok) ++defended;
+    }
+    per_victim[v] = static_cast<double>(defended) / static_cast<double>(n - 1);
+    sum += per_victim[v];
+  }
+  Score s;
+  s.average = sum / static_cast<double>(n);
+  s.median = median_of(std::move(per_victim));
+  return s;
+}
+
+}  // namespace marcopolo::analysis

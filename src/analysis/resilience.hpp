@@ -1,0 +1,97 @@
+// Resilience metrics — the paper's Appendix A, verbatim.
+//
+//   sigma(P, q, v, a) = 1 iff hijacked(P, v, a) < q                    (1)
+//   R_victim(P, q, v) = sum_a sigma / (|N| - 1)                        (2)
+//   R_avg(P, q)       = mean over victims                              (3)
+//   R_med(P, q)       = median over victims (eq. 5's even/odd rule)    (5)
+//
+// Primary perspectives (§5.1) are an additional conjunct: an attack only
+// succeeds if the primary is also hijacked.
+//
+// The analyzer also exposes an incremental workspace (running per-pair
+// hijack counts) so the optimizer can walk combination space with O(pairs)
+// updates per step instead of re-summing each candidate set.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "marcopolo/result_store.hpp"
+#include "mpic/deployment.hpp"
+
+namespace marcopolo::analysis {
+
+using core::PerspectiveIndex;
+using core::ResultStore;
+
+struct ResilienceSummary {
+  double median = 0.0;
+  double average = 0.0;
+  double p25 = 0.0;  ///< 25th percentile (Fig. 2's blue line).
+  double p5 = 0.0;   ///< §4.1's example custom metric.
+  std::vector<double> per_victim;
+};
+
+/// Median per the paper's eq. (5): middle element, or mean of the two
+/// middles for even counts. Values need not be sorted.
+[[nodiscard]] double median_of(std::vector<double> values);
+
+/// Nearest-rank percentile (p in [0,100]).
+[[nodiscard]] double percentile_of(std::vector<double> values, double p);
+
+/// Summary statistics from a per-victim resilience vector.
+[[nodiscard]] ResilienceSummary summarize(std::vector<double> per_victim);
+
+class ResilienceAnalyzer {
+ public:
+  explicit ResilienceAnalyzer(const ResultStore& store);
+
+  [[nodiscard]] const ResultStore& store() const { return store_; }
+  [[nodiscard]] std::size_t num_sites() const { return store_.num_sites(); }
+  [[nodiscard]] std::size_t num_perspectives() const {
+    return store_.num_perspectives();
+  }
+
+  /// R_victim for every victim under the deployment.
+  [[nodiscard]] std::vector<double> per_victim_resilience(
+      const mpic::DeploymentSpec& spec) const;
+
+  /// Full Appendix A evaluation.
+  [[nodiscard]] ResilienceSummary evaluate(
+      const mpic::DeploymentSpec& spec) const;
+
+  // ---- Incremental kernel (optimizer fast path) ----
+
+  struct Workspace {
+    /// hijacked-count per ordered pair for the current candidate set.
+    std::vector<std::uint8_t> counts;
+  };
+
+  [[nodiscard]] Workspace make_workspace() const {
+    return Workspace{std::vector<std::uint8_t>(store_.num_pairs(), 0)};
+  }
+  void add_perspective(Workspace& ws, PerspectiveIndex p) const;
+  void remove_perspective(Workspace& ws, PerspectiveIndex p) const;
+
+  struct Score {
+    double median = 0.0;
+    double average = 0.0;
+    /// Ordering per eqs. (6)-(7): median first, average as tie break.
+    [[nodiscard]] friend bool operator<(const Score& a, const Score& b) {
+      if (a.median != b.median) return a.median < b.median;
+      return a.average < b.average;
+    }
+    [[nodiscard]] friend bool operator==(const Score& a,
+                                         const Score& b) = default;
+  };
+
+  /// Score the workspace's current set under quorum `required` (= X - Y),
+  /// optionally conditioning on a primary perspective.
+  [[nodiscard]] Score score(const Workspace& ws, std::size_t required,
+                            std::optional<PerspectiveIndex> primary) const;
+
+ private:
+  const ResultStore& store_;
+};
+
+}  // namespace marcopolo::analysis

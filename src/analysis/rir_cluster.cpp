@@ -1,0 +1,97 @@
+#include "analysis/rir_cluster.hpp"
+
+#include <algorithm>
+
+namespace marcopolo::analysis {
+
+ClusterSignature cluster_signature(const mpic::DeploymentSpec& spec,
+                                   std::span<const topo::Rir> rir_of) {
+  ClusterSignature counts{};
+  for (const PerspectiveIndex p : spec.remotes) {
+    ++counts[static_cast<std::size_t>(rir_of[p])];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  return counts;
+}
+
+std::string format_signature(const ClusterSignature& sig,
+                             bool primary_separate) {
+  std::string out = "(";
+  bool primary_emitted = !primary_separate;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (i > 0) out += ",";
+    // Splice the primary's own RIR ("1*") after the last nonzero remote
+    // cluster, matching the paper's (3,3,1*,0,0) notation.
+    if (!primary_emitted && sig[i] == 0) {
+      out += "1*";
+      primary_emitted = true;
+      // Shift: remaining zeros minus the slot consumed.
+      for (std::size_t j = i + 1; j < sig.size(); ++j) out += ",0";
+      out += ")";
+      return out;
+    }
+    out += std::to_string(sig[i]);
+  }
+  if (!primary_emitted) out += ",1*";
+  out += ")";
+  return out;
+}
+
+ClusterStats analyze_clusters(std::span<const RankedDeployment> deployments,
+                              std::span<const topo::Rir> rir_of,
+                              std::size_t max_failures) {
+  ClusterStats stats;
+  if (deployments.empty()) return stats;
+  stats.analyzed = deployments.size();
+
+  std::map<std::string, std::size_t> counts;
+  std::size_t quorum_shape = 0;
+  std::size_t primary_total = 0;
+  std::size_t primary_separate = 0;
+
+  for (const RankedDeployment& rd : deployments) {
+    const ClusterSignature sig = cluster_signature(rd.spec, rir_of);
+
+    bool separate = false;
+    if (rd.spec.primary) {
+      ++primary_total;
+      std::array<std::size_t, 5> remote_counts{};
+      for (const PerspectiveIndex p : rd.spec.remotes) {
+        ++remote_counts[static_cast<std::size_t>(rir_of[p])];
+      }
+      separate =
+          remote_counts[static_cast<std::size_t>(rir_of[*rd.spec.primary])] ==
+          0;
+      if (separate) ++primary_separate;
+    }
+    ++counts[format_signature(sig, separate)];
+
+    // Paper hypothesis: clusters of exactly Y+1 perspectives.
+    const std::uint8_t cluster_size =
+        static_cast<std::uint8_t>(max_failures + 1);
+    const bool shape_ok = std::all_of(
+        sig.begin(), sig.end(), [&](std::uint8_t c) {
+          return c == 0 || c == cluster_size;
+        });
+    if (shape_ok) ++quorum_shape;
+  }
+
+  for (const auto& [sig, count] : counts) {
+    const double share =
+        static_cast<double>(count) / static_cast<double>(stats.analyzed);
+    stats.frequency[sig] = share;
+    if (share > stats.top_share) {
+      stats.top_share = share;
+      stats.top_signature = sig;
+    }
+  }
+  stats.quorum_cluster_share = static_cast<double>(quorum_shape) /
+                               static_cast<double>(stats.analyzed);
+  stats.primary_separate_share =
+      primary_total == 0 ? 0.0
+                         : static_cast<double>(primary_separate) /
+                               static_cast<double>(primary_total);
+  return stats;
+}
+
+}  // namespace marcopolo::analysis

@@ -1,0 +1,53 @@
+// RIR clustering analysis — paper §5.3 and Appendix B.
+//
+// A deployment's cluster signature is the tuple of per-RIR perspective
+// counts sorted descending, e.g. (3,3,0,0,0) for six remotes split 3+3
+// across two RIRs. The paper observes that top N-Y deployments cluster
+// Y+1 perspectives per RIR, and place the primary in a separate RIR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/optimizer.hpp"
+#include "topo/rir.hpp"
+
+namespace marcopolo::analysis {
+
+/// Per-RIR remote counts, sorted descending (5 RIRs).
+using ClusterSignature = std::array<std::uint8_t, 5>;
+
+/// Signature of a deployment's *remote* perspectives.
+[[nodiscard]] ClusterSignature cluster_signature(
+    const mpic::DeploymentSpec& spec, std::span<const topo::Rir> rir_of);
+
+/// "(3,3,0,0,0)" — or "(3,3,1*,0,0)" when `primary_separate` marks a
+/// primary perspective in its own (otherwise empty) RIR.
+[[nodiscard]] std::string format_signature(const ClusterSignature& sig,
+                                           bool primary_separate);
+
+struct ClusterStats {
+  /// Signature string -> fraction of analyzed deployments.
+  std::map<std::string, double> frequency;
+  /// Most common signature and its share.
+  std::string top_signature;
+  double top_share = 0.0;
+  /// Fraction whose remotes form exactly ceil(X / (Y+1)) clusters of
+  /// (Y+1) perspectives (the paper's hypothesis shape).
+  double quorum_cluster_share = 0.0;
+  /// Among deployments with a primary: share whose primary sits in an RIR
+  /// with no remote perspective.
+  double primary_separate_share = 0.0;
+  std::size_t analyzed = 0;
+};
+
+/// Analyze the top-ranked deployments (Appendix B uses at most 150).
+[[nodiscard]] ClusterStats analyze_clusters(
+    std::span<const RankedDeployment> deployments,
+    std::span<const topo::Rir> rir_of, std::size_t max_failures);
+
+}  // namespace marcopolo::analysis

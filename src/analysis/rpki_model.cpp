@@ -1,0 +1,35 @@
+#include "analysis/rpki_model.hpp"
+
+#include <stdexcept>
+
+namespace marcopolo::analysis {
+
+RpkiWeightedAnalyzer::RpkiWeightedAnalyzer(const ResilienceAnalyzer& plain,
+                                           const ResilienceAnalyzer& rpki)
+    : plain_(plain), rpki_(rpki) {
+  if (plain.num_sites() != rpki.num_sites() ||
+      plain.num_perspectives() != rpki.num_perspectives()) {
+    throw std::invalid_argument("mismatched campaign datasets");
+  }
+}
+
+std::vector<double> RpkiWeightedAnalyzer::per_victim_resilience(
+    const mpic::DeploymentSpec& spec, double w) const {
+  if (w < 0.0 || w > 1.0) {
+    throw std::invalid_argument("rpki fraction must be in [0, 1]");
+  }
+  const std::vector<double> p = plain_.per_victim_resilience(spec);
+  const std::vector<double> r = rpki_.per_victim_resilience(spec);
+  std::vector<double> out(p.size());
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    out[v] = w * r[v] + (1.0 - w) * p[v];
+  }
+  return out;
+}
+
+ResilienceSummary RpkiWeightedAnalyzer::evaluate(
+    const mpic::DeploymentSpec& spec, double w) const {
+  return summarize(per_victim_resilience(spec, w));
+}
+
+}  // namespace marcopolo::analysis

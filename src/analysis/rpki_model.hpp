@@ -1,0 +1,42 @@
+// RPKI deployment models — paper §5.4 and Figure 2.
+//
+// The campaign produces two datasets per pair: plain equally-specific
+// attacks ("no RPKI") and forged-origin prepend attacks ("RPKI", the best
+// attack against a ROA-protected prefix). A deployment's resilience under a
+// partial-RPKI world is the per-victim weighted sum
+//     R(v) = w * R_rpki(v) + (1 - w) * R_plain(v)
+// with w the fraction of prefixes protected by a valid ROA. The paper uses
+// w = 0.56 for "current" (NIST RPKI Monitor, May 2025) and w = 1 for full
+// deployment.
+#pragma once
+
+#include "analysis/resilience.hpp"
+
+namespace marcopolo::analysis {
+
+inline constexpr double kNoRpki = 0.0;
+inline constexpr double kCurrentRpkiFraction = 0.56;  ///< May 2025 [21].
+inline constexpr double kFullRpki = 1.0;
+
+class RpkiWeightedAnalyzer {
+ public:
+  /// Both analyzers must be built over stores with identical dimensions.
+  RpkiWeightedAnalyzer(const ResilienceAnalyzer& plain,
+                       const ResilienceAnalyzer& rpki);
+
+  /// Per-victim weighted resilience for a deployment.
+  [[nodiscard]] std::vector<double> per_victim_resilience(
+      const mpic::DeploymentSpec& spec, double rpki_fraction) const;
+
+  [[nodiscard]] ResilienceSummary evaluate(const mpic::DeploymentSpec& spec,
+                                           double rpki_fraction) const;
+
+  [[nodiscard]] const ResilienceAnalyzer& plain() const { return plain_; }
+  [[nodiscard]] const ResilienceAnalyzer& rpki() const { return rpki_; }
+
+ private:
+  const ResilienceAnalyzer& plain_;
+  const ResilienceAnalyzer& rpki_;
+};
+
+}  // namespace marcopolo::analysis

@@ -1,0 +1,82 @@
+#include "analysis/weighted.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace marcopolo::analysis {
+
+namespace {
+
+void check_weights(std::span<const double> per_victim,
+                   std::span<const double> weights) {
+  if (per_victim.size() != weights.size()) {
+    throw std::invalid_argument("weights size != victim count");
+  }
+  if (per_victim.empty()) {
+    throw std::invalid_argument("empty victim set");
+  }
+  double sum = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("negative weight");
+    sum += w;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("weights sum to zero");
+}
+
+}  // namespace
+
+double weighted_average(std::span<const double> per_victim,
+                        std::span<const double> weights) {
+  check_weights(per_victim, weights);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < per_victim.size(); ++i) {
+    num += per_victim[i] * weights[i];
+    den += weights[i];
+  }
+  return num / den;
+}
+
+double weighted_percentile(std::span<const double> per_victim,
+                           std::span<const double> weights, double p) {
+  check_weights(per_victim, weights);
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  std::vector<std::size_t> order(per_victim.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return per_victim[a] < per_victim[b];
+  });
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double threshold = total * p / 100.0;
+  double cumulative = 0.0;
+  for (const std::size_t idx : order) {
+    cumulative += weights[idx];
+    if (cumulative >= threshold) return per_victim[idx];
+  }
+  return per_victim[order.back()];
+}
+
+double weighted_median(std::span<const double> per_victim,
+                       std::span<const double> weights) {
+  return weighted_percentile(per_victim, weights, 50.0);
+}
+
+WeightedSummary summarize_weighted(std::span<const double> per_victim,
+                                   std::span<const double> weights) {
+  WeightedSummary s;
+  s.median = weighted_median(per_victim, weights);
+  s.average = weighted_average(per_victim, weights);
+  s.p25 = weighted_percentile(per_victim, weights, 25.0);
+  return s;
+}
+
+WeightedSummary evaluate_weighted(const ResilienceAnalyzer& analyzer,
+                                  const mpic::DeploymentSpec& spec,
+                                  std::span<const double> weights) {
+  const auto per_victim = analyzer.per_victim_resilience(spec);
+  return summarize_weighted(per_victim, weights);
+}
+
+}  // namespace marcopolo::analysis

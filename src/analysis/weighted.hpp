@@ -1,0 +1,45 @@
+// Victim-weighted resilience — the paper's §4.4.2 open question.
+//
+// All victims are equal in R_med, but real attack exposure is not uniform:
+// cryptocurrency platforms are hijacked far more often than average
+// domains. These helpers compute resilience statistics under an arbitrary
+// victim weighting, so a CA can optimize for the victims attackers
+// actually target.
+#pragma once
+
+#include <span>
+
+#include "analysis/resilience.hpp"
+
+namespace marcopolo::analysis {
+
+/// Weighted mean of per-victim resilience. Weights need not be normalized;
+/// they must be non-negative with a positive sum.
+[[nodiscard]] double weighted_average(std::span<const double> per_victim,
+                                      std::span<const double> weights);
+
+/// Weighted median: the smallest resilience value v such that victims with
+/// resilience <= v hold at least half the total weight.
+[[nodiscard]] double weighted_median(std::span<const double> per_victim,
+                                     std::span<const double> weights);
+
+/// Weighted p-th percentile by the same cumulative-weight rule.
+[[nodiscard]] double weighted_percentile(std::span<const double> per_victim,
+                                         std::span<const double> weights,
+                                         double p);
+
+struct WeightedSummary {
+  double median = 0.0;
+  double average = 0.0;
+  double p25 = 0.0;
+};
+
+[[nodiscard]] WeightedSummary summarize_weighted(
+    std::span<const double> per_victim, std::span<const double> weights);
+
+/// Evaluate a deployment under victim weights.
+[[nodiscard]] WeightedSummary evaluate_weighted(
+    const ResilienceAnalyzer& analyzer, const mpic::DeploymentSpec& spec,
+    std::span<const double> weights);
+
+}  // namespace marcopolo::analysis

@@ -1,0 +1,67 @@
+// BGP announcements and seeded (originated) routes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "netsim/ip.hpp"
+
+namespace marcopolo::bgp {
+
+/// Role tag carried with an announcement through propagation so analysis
+/// can tell which origin each AS ended up routing toward.
+enum class OriginRole : std::uint8_t { Victim = 0, Adversary = 1 };
+
+/// A BGP route advertisement for one prefix.
+///
+/// Path convention: as_path is the path *as advertised to a neighbor* —
+/// front() is the advertising AS, back() is the origin. A route stored in a
+/// node's Adj-RIB-In carries the path exactly as the neighbor advertised it
+/// (so it does not include the local ASN).
+struct Announcement {
+  netsim::Ipv4Prefix prefix;
+  std::vector<Asn> as_path;
+  OriginRole role = OriginRole::Victim;
+
+  /// The origin AS per BGP semantics (rightmost path element). For a
+  /// forged-origin hijack this is the *victim's* ASN even though the
+  /// adversary originated the announcement.
+  [[nodiscard]] Asn origin() const {
+    if (as_path.empty()) {
+      throw std::logic_error("origin() on locally-originated empty path");
+    }
+    return as_path.back();
+  }
+
+  [[nodiscard]] std::size_t path_length() const { return as_path.size(); }
+
+  [[nodiscard]] bool path_contains(Asn asn) const {
+    for (Asn a : as_path) {
+      if (a == asn) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string path_string() const {
+    std::string out;
+    for (std::size_t i = 0; i < as_path.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += std::to_string(as_path[i].value);
+    }
+    return out;
+  }
+};
+
+/// A route originated at a specific node. For an ordinary origination the
+/// path is {origin_asn}; a forged-origin prepend hijack (paper §2) seeds
+/// {adversary_asn, victim_asn} so the announcement is ROV-valid but one hop
+/// longer.
+struct SeededRoute {
+  NodeId at;
+  Announcement announcement;
+};
+
+}  // namespace marcopolo::bgp

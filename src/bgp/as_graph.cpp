@@ -1,0 +1,138 @@
+#include "bgp/as_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace marcopolo::bgp {
+
+NodeId AsGraph::add_as(Asn asn) {
+  if (by_asn_.contains(asn)) {
+    throw std::invalid_argument("duplicate ASN " + to_string(asn));
+  }
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{asn, {}, false});
+  by_asn_.emplace(asn, id);
+  return id;
+}
+
+void AsGraph::add_provider_customer(NodeId provider, NodeId customer,
+                                    PopId provider_pop, PopId customer_pop) {
+  if (provider == customer) {
+    throw std::invalid_argument("self loop");
+  }
+  node(provider).neighbors.push_back(
+      Neighbor{customer, Relationship::Customer, provider_pop});
+  node(customer).neighbors.push_back(
+      Neighbor{provider, Relationship::Provider, customer_pop});
+  ++edge_count_;
+}
+
+void AsGraph::add_peering(NodeId a, NodeId b, PopId a_pop, PopId b_pop) {
+  if (a == b) {
+    throw std::invalid_argument("self loop");
+  }
+  node(a).neighbors.push_back(Neighbor{b, Relationship::Peer, a_pop});
+  node(b).neighbors.push_back(Neighbor{a, Relationship::Peer, b_pop});
+  ++edge_count_;
+}
+
+void AsGraph::set_rov_enforcing(NodeId n, bool enforcing) {
+  node(n).rov = enforcing;
+}
+
+bool AsGraph::rov_enforcing(NodeId n) const { return node(n).rov; }
+
+Asn AsGraph::asn_of(NodeId n) const { return node(n).asn; }
+
+std::optional<NodeId> AsGraph::find(Asn asn) const {
+  const auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const Neighbor> AsGraph::neighbors(NodeId n) const {
+  return node(n).neighbors;
+}
+
+namespace {
+std::vector<Neighbor> filter(std::span<const Neighbor> all, Relationship rel) {
+  std::vector<Neighbor> out;
+  for (const Neighbor& nb : all) {
+    if (nb.rel == rel) out.push_back(nb);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Neighbor> AsGraph::providers_of(NodeId n) const {
+  return filter(neighbors(n), Relationship::Provider);
+}
+std::vector<Neighbor> AsGraph::peers_of(NodeId n) const {
+  return filter(neighbors(n), Relationship::Peer);
+}
+std::vector<Neighbor> AsGraph::customers_of(NodeId n) const {
+  return filter(neighbors(n), Relationship::Customer);
+}
+
+std::vector<std::uint32_t> AsGraph::customer_ranks() const {
+  // Kahn's algorithm over customer->provider edges: an AS's rank is
+  // finalized once all its customers have ranks.
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint32_t> pending_customers(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : nodes_[i].neighbors) {
+      if (nb.rel == Relationship::Customer) ++pending_customers[i];
+    }
+  }
+  std::vector<std::uint32_t> rank(n, 0);
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (pending_customers[i] == 0) ready.push(i);
+  }
+  std::size_t resolved = 0;
+  while (!ready.empty()) {
+    const std::uint32_t cur = ready.front();
+    ready.pop();
+    ++resolved;
+    for (const Neighbor& nb : nodes_[cur].neighbors) {
+      if (nb.rel != Relationship::Provider) continue;
+      auto& provider_rank = rank[nb.id.value];
+      provider_rank = std::max(provider_rank, rank[cur] + 1);
+      if (--pending_customers[nb.id.value] == 0) ready.push(nb.id.value);
+    }
+  }
+  if (resolved != n) {
+    throw std::logic_error("customer-provider relationship cycle detected");
+  }
+  return rank;
+}
+
+void AsGraph::validate() const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    for (const Neighbor& nb : nodes_[i].neighbors) {
+      if (nb.id.value >= nodes_.size()) {
+        throw std::logic_error("dangling neighbor id");
+      }
+      if (nb.id.value == i) throw std::logic_error("self loop");
+      // Find the mirror entry and check relationship symmetry.
+      const auto& back = nodes_[nb.id.value].neighbors;
+      const Relationship expected =
+          nb.rel == Relationship::Peer
+              ? Relationship::Peer
+              : (nb.rel == Relationship::Customer ? Relationship::Provider
+                                                  : Relationship::Customer);
+      const bool mirrored =
+          std::any_of(back.begin(), back.end(), [&](const Neighbor& m) {
+            return m.id.value == i && m.rel == expected;
+          });
+      if (!mirrored) {
+        throw std::logic_error("asymmetric link between " +
+                               to_string(nodes_[i].asn) + " and " +
+                               to_string(nodes_[nb.id.value].asn));
+      }
+    }
+  }
+  (void)customer_ranks();  // throws on cycles
+}
+
+}  // namespace marcopolo::bgp

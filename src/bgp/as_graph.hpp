@@ -1,0 +1,97 @@
+// AS-level topology with Gao-Rexford business relationships.
+//
+// Edges are annotated with the relationship as seen from each endpoint
+// (my provider / my peer / my customer) and, optionally, the POP at which
+// the link attaches to each endpoint — cloud backbone ASes use this to model
+// geographically distributed ingress.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace marcopolo::bgp {
+
+/// What a neighbor is to the local AS.
+enum class Relationship : std::uint8_t { Customer, Peer, Provider };
+
+[[nodiscard]] constexpr const char* to_cstring(Relationship r) {
+  switch (r) {
+    case Relationship::Customer: return "customer";
+    case Relationship::Peer: return "peer";
+    case Relationship::Provider: return "provider";
+  }
+  return "?";
+}
+
+struct Neighbor {
+  NodeId id;
+  Relationship rel;  ///< What `id` is to the local AS.
+  PopId local_pop;   ///< POP of the local AS where the link attaches.
+};
+
+class AsGraph {
+ public:
+  /// Add an AS. Throws std::invalid_argument on duplicate ASN.
+  NodeId add_as(Asn asn);
+
+  /// Record `provider` as transit provider of `customer`.
+  /// The pops name the attachment point at the provider / customer side.
+  void add_provider_customer(NodeId provider, NodeId customer,
+                             PopId provider_pop = {}, PopId customer_pop = {});
+
+  /// Record a settlement-free peering between `a` and `b`.
+  void add_peering(NodeId a, NodeId b, PopId a_pop = {}, PopId b_pop = {});
+
+  /// Mark an AS as enforcing RPKI route-origin validation.
+  void set_rov_enforcing(NodeId n, bool enforcing);
+  [[nodiscard]] bool rov_enforcing(NodeId n) const;
+
+  [[nodiscard]] Asn asn_of(NodeId n) const;
+  [[nodiscard]] std::optional<NodeId> find(Asn asn) const;
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId n) const;
+  [[nodiscard]] std::vector<Neighbor> providers_of(NodeId n) const;
+  [[nodiscard]] std::vector<Neighbor> peers_of(NodeId n) const;
+  [[nodiscard]] std::vector<Neighbor> customers_of(NodeId n) const;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// Topological ranks over the provider->customer DAG: ASes with no
+  /// customers have rank 0; rank(provider) > rank(any customer).
+  /// Throws std::logic_error if the customer-provider graph has a cycle.
+  [[nodiscard]] std::vector<std::uint32_t> customer_ranks() const;
+
+  /// Sanity checks: relationship symmetry and no self loops.
+  /// Throws std::logic_error describing the first violation.
+  void validate() const;
+
+ private:
+  struct Node {
+    Asn asn;
+    std::vector<Neighbor> neighbors;
+    bool rov = false;
+  };
+
+  Node& node(NodeId n) {
+    if (n.value >= nodes_.size()) throw std::out_of_range("bad NodeId");
+    return nodes_[n.value];
+  }
+  const Node& node(NodeId n) const {
+    if (n.value >= nodes_.size()) throw std::out_of_range("bad NodeId");
+    return nodes_[n.value];
+  }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Asn, NodeId> by_asn_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace marcopolo::bgp

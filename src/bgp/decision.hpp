@@ -1,0 +1,107 @@
+// The BGP decision process: candidate routes and best-path comparison.
+//
+// Preference order implemented (standard, per the paper §4.4.4): local
+// preference from business relationship (customer > peer > provider), then
+// shortest AS path, then the route-age tie break, then lowest neighbor ASN
+// as the final deterministic step.
+//
+// The route-age step is where the paper's nondeterminism lives: victim and
+// adversary announce simultaneously, so which announcement a router heard
+// first is unknowable. TieBreakMode models the three analysis modes:
+// VictimFirst (the typical hijack case, upper bound R_max), AdversaryFirst
+// (worst case, lower bound R_min), and Hashed (a reproducible per-AS coin).
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/announcement.hpp"
+#include "bgp/types.hpp"
+#include "netsim/random.hpp"
+
+namespace marcopolo::bgp {
+
+/// Where a route was learned from; doubles as local preference
+/// (numerically lower = more preferred).
+enum class RouteSource : std::uint8_t {
+  Self = 0,
+  Customer = 1,
+  Peer = 2,
+  Provider = 3,
+};
+
+[[nodiscard]] constexpr const char* to_cstring(RouteSource s) {
+  switch (s) {
+    case RouteSource::Self: return "self";
+    case RouteSource::Customer: return "customer";
+    case RouteSource::Peer: return "peer";
+    case RouteSource::Provider: return "provider";
+  }
+  return "?";
+}
+
+enum class TieBreakMode : std::uint8_t {
+  VictimFirst,     ///< Victim's announcement preferred on full ties (R_max).
+  AdversaryFirst,  ///< Adversary's preferred (R_min).
+  Hashed,          ///< Seeded per-AS coin; reproducible middle ground.
+};
+
+/// An entry in a node's Adj-RIB-In.
+struct RouteCandidate {
+  Announcement ann;
+  RouteSource source = RouteSource::Self;
+  NodeId from;          ///< Neighbor that advertised it (invalid for Self).
+  Asn from_asn;         ///< ASN of that neighbor (0 for Self).
+  PopId ingress_pop;    ///< Local POP the route arrived at, if modeled.
+};
+
+/// Compares candidates under the decision process.
+class RouteComparator {
+ public:
+  RouteComparator(TieBreakMode mode, std::uint64_t seed)
+      : mode_(mode), seed_(seed) {}
+
+  /// True if `a` is strictly preferred over `b` at node `at`.
+  [[nodiscard]] bool prefer(const RouteCandidate& a, const RouteCandidate& b,
+                            NodeId at) const {
+    if (a.source != b.source) return a.source < b.source;
+    if (a.ann.path_length() != b.ann.path_length()) {
+      return a.ann.path_length() < b.ann.path_length();
+    }
+    if (a.ann.role != b.ann.role) {
+      return a.ann.role == preferred_role(at);
+    }
+    if (a.from_asn != b.from_asn) return a.from_asn < b.from_asn;
+    return a.ingress_pop < b.ingress_pop;
+  }
+
+  /// The origin whose announcement this node "heard first".
+  [[nodiscard]] OriginRole preferred_role(NodeId at) const {
+    return preferred_role(at, 0);
+  }
+
+  /// Salted variant: distinct decision points inside one AS (e.g. the
+  /// border routers of each backbone zone of a cold-potato cloud) roll
+  /// independent arrival-order coins.
+  [[nodiscard]] OriginRole preferred_role(NodeId at,
+                                          std::uint64_t salt) const {
+    switch (mode_) {
+      case TieBreakMode::VictimFirst: return OriginRole::Victim;
+      case TieBreakMode::AdversaryFirst: return OriginRole::Adversary;
+      case TieBreakMode::Hashed:
+        return (netsim::hash_combine(
+                    seed_, netsim::hash_combine(at.value, salt)) &
+                1) != 0
+                   ? OriginRole::Adversary
+                   : OriginRole::Victim;
+    }
+    return OriginRole::Victim;
+  }
+
+  [[nodiscard]] TieBreakMode mode() const { return mode_; }
+
+ private:
+  TieBreakMode mode_;
+  std::uint64_t seed_;
+};
+
+}  // namespace marcopolo::bgp

@@ -1,0 +1,190 @@
+#include "bgp/propagation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace marcopolo::bgp {
+
+namespace {
+
+class Engine {
+ public:
+  Engine(const AsGraph& graph, const PropagationConfig& config)
+      : graph_(graph),
+        config_(config),
+        cmp_(config.tie_break, config.tie_break_seed),
+        rib_in_(graph.size()),
+        ranks_(graph.customer_ranks()) {}
+
+  PropagationResult run(const std::vector<SeededRoute>& seeds) {
+    seed(seeds);
+    phase_up();
+    phase_peer();
+    phase_down();
+    return finish();
+  }
+
+ private:
+  /// Deliver `ann` (as advertised) to `to`, arriving at `to`'s POP
+  /// `ingress`, from neighbor `from`. Applies loop prevention and ROV.
+  void deliver(NodeId to, NodeId from, RouteSource source, PopId ingress,
+               Announcement ann) {
+    if (ann.path_contains(graph_.asn_of(to))) return;  // loop prevention
+    if (config_.roas != nullptr && graph_.rov_enforcing(to) &&
+        config_.roas->validate(ann.prefix, ann.origin()) ==
+            RpkiValidity::Invalid) {
+      return;
+    }
+    rib_in_[to.value].push_back(RouteCandidate{
+        std::move(ann), source, from, graph_.asn_of(from), ingress});
+  }
+
+  /// Advertise `route` from node `n` to neighbor `nb` (prepending n's ASN).
+  void advertise(NodeId n, const Neighbor& nb, const RouteCandidate& route,
+                 RouteSource as_seen_by_receiver) {
+    Announcement ann = route.ann;
+    ann.as_path.insert(ann.as_path.begin(), graph_.asn_of(n));
+    // The receiver's ingress POP is the POP on *its* side of the link; find
+    // the mirror entry. Scanning is fine: degree is small except for cloud
+    // backbones, which never advertise (they are stubs).
+    PopId ingress{};
+    for (const Neighbor& back : graph_.neighbors(nb.id)) {
+      if (back.id == n) {
+        ingress = back.local_pop;
+        break;
+      }
+    }
+    deliver(nb.id, n, as_seen_by_receiver, ingress, std::move(ann));
+  }
+
+  void seed(const std::vector<SeededRoute>& seeds) {
+    if (seeds.empty()) throw std::invalid_argument("no seeded routes");
+    const netsim::Ipv4Prefix prefix = seeds.front().announcement.prefix;
+    for (const SeededRoute& s : seeds) {
+      if (s.announcement.prefix != prefix) {
+        throw std::invalid_argument(
+            "all seeds of one propagation must share a prefix");
+      }
+      if (s.at.value >= graph_.size()) {
+        throw std::invalid_argument("seed at invalid node");
+      }
+      rib_in_[s.at.value].push_back(RouteCandidate{
+          s.announcement, RouteSource::Self, NodeId{}, Asn{0}, PopId{}});
+    }
+  }
+
+  /// Best candidate at `n` among those whose source passes `admit`.
+  [[nodiscard]] const RouteCandidate* best_where(
+      NodeId n, bool (*admit)(RouteSource)) const {
+    const RouteCandidate* best = nullptr;
+    for (const RouteCandidate& c : rib_in_[n.value]) {
+      if (!admit(c.source)) continue;
+      if (best == nullptr || cmp_.prefer(c, *best, n)) best = &c;
+    }
+    return best;
+  }
+
+  static bool customer_or_self(RouteSource s) {
+    return s == RouteSource::Self || s == RouteSource::Customer;
+  }
+  static bool any_source(RouteSource) { return true; }
+
+  /// Nodes ordered by ascending customer rank.
+  [[nodiscard]] std::vector<std::uint32_t> rank_order() const {
+    std::vector<std::uint32_t> order(graph_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return ranks_[a] < ranks_[b];
+                     });
+    return order;
+  }
+
+  // Phase 1: customer routes climb. Processing in ascending rank guarantees
+  // every node has heard all its customer routes before it exports.
+  void phase_up() {
+    for (std::uint32_t idx : rank_order()) {
+      const NodeId n{idx};
+      const RouteCandidate* best = best_where(n, customer_or_self);
+      if (best == nullptr) continue;
+      const RouteCandidate route = *best;  // copy: deliver() grows rib_in_
+      for (const Neighbor& nb : graph_.neighbors(n)) {
+        if (nb.rel == Relationship::Provider) {
+          advertise(n, nb, route, RouteSource::Customer);
+        }
+      }
+    }
+  }
+
+  // Phase 2: one round of peer exchange of customer/self routes. Exports are
+  // computed against the phase-1 state before any delivery so peers cannot
+  // relay peer-learned routes (valley-free).
+  void phase_peer() {
+    struct Export {
+      NodeId from;
+      const Neighbor* to;
+      RouteCandidate route;
+    };
+    std::vector<Export> exports;
+    for (std::uint32_t idx = 0; idx < graph_.size(); ++idx) {
+      const NodeId n{idx};
+      const RouteCandidate* best = best_where(n, customer_or_self);
+      if (best == nullptr) continue;
+      for (const Neighbor& nb : graph_.neighbors(n)) {
+        if (nb.rel == Relationship::Peer) {
+          exports.push_back(Export{n, &nb, *best});
+        }
+      }
+    }
+    for (const Export& e : exports) {
+      advertise(e.from, *e.to, e.route, RouteSource::Peer);
+    }
+  }
+
+  // Phase 3: routes descend to customers. Descending rank order guarantees
+  // a node has heard everything from its providers before it exports.
+  void phase_down() {
+    auto order = rank_order();
+    std::reverse(order.begin(), order.end());
+    for (std::uint32_t idx : order) {
+      const NodeId n{idx};
+      const RouteCandidate* best = best_where(n, any_source);
+      if (best == nullptr) continue;
+      const RouteCandidate route = *best;
+      for (const Neighbor& nb : graph_.neighbors(n)) {
+        if (nb.rel == Relationship::Customer) {
+          advertise(n, nb, route, RouteSource::Provider);
+        }
+      }
+    }
+  }
+
+  PropagationResult finish() {
+    PropagationResult result;
+    result.best.resize(graph_.size());
+    for (std::uint32_t idx = 0; idx < graph_.size(); ++idx) {
+      const NodeId n{idx};
+      if (const RouteCandidate* best = best_where(n, any_source)) {
+        result.best[idx] = *best;
+      }
+    }
+    result.rib_in = std::move(rib_in_);
+    return result;
+  }
+
+  const AsGraph& graph_;
+  const PropagationConfig& config_;
+  RouteComparator cmp_;
+  std::vector<std::vector<RouteCandidate>> rib_in_;
+  std::vector<std::uint32_t> ranks_;
+};
+
+}  // namespace
+
+PropagationResult propagate(const AsGraph& graph,
+                            const std::vector<SeededRoute>& seeds,
+                            const PropagationConfig& config) {
+  return Engine(graph, config).run(seeds);
+}
+
+}  // namespace marcopolo::bgp

@@ -1,0 +1,55 @@
+// Gao-Rexford route propagation over an AsGraph.
+//
+// Computes, for one prefix announced by one or more origins, the converged
+// best route at every AS under valley-free export policy:
+//   - routes learned from customers are exported to everyone;
+//   - routes learned from peers or providers are exported only to customers.
+//
+// The engine runs the standard three ranked phases (up / peer / down) which
+// yields the unique policy-routing fixed point for these preferences. The
+// full Adj-RIB-In of every node is retained so the cloud routing models can
+// re-run per-perspective egress selection (hot/cold potato) over all
+// candidate routes a backbone AS heard.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/decision.hpp"
+#include "bgp/rpki.hpp"
+
+namespace marcopolo::bgp {
+
+struct PropagationConfig {
+  TieBreakMode tie_break = TieBreakMode::VictimFirst;
+  std::uint64_t tie_break_seed = 0;
+  /// ROAs used by ROV-enforcing ASes to drop Invalid announcements.
+  /// May be null (no RPKI filtering anywhere).
+  const RoaRegistry* roas = nullptr;
+};
+
+struct PropagationResult {
+  /// Best route per node (indexed by NodeId), nullopt if unreachable.
+  std::vector<std::optional<RouteCandidate>> best;
+  /// Every candidate each node received (Adj-RIB-In), indexed by NodeId.
+  std::vector<std::vector<RouteCandidate>> rib_in;
+
+  [[nodiscard]] bool reachable(NodeId n) const {
+    return best[n.value].has_value();
+  }
+  /// Role of the origin this node routes toward, if any.
+  [[nodiscard]] std::optional<OriginRole> role_reached(NodeId n) const {
+    if (!best[n.value]) return std::nullopt;
+    return best[n.value]->ann.role;
+  }
+};
+
+/// Propagate the seeded routes (all must share one prefix) and return the
+/// converged state. Throws std::invalid_argument if seeds disagree on the
+/// prefix or a seed's node is invalid.
+[[nodiscard]] PropagationResult propagate(const AsGraph& graph,
+                                          const std::vector<SeededRoute>& seeds,
+                                          const PropagationConfig& config);
+
+}  // namespace marcopolo::bgp

@@ -1,0 +1,49 @@
+#include "bgp/rpki.hpp"
+
+#include <algorithm>
+
+namespace marcopolo::bgp {
+
+void RoaRegistry::add(const Roa& roa) {
+  if (auto* bucket = trie_.find(roa.prefix)) {
+    bucket->push_back(roa);
+  } else {
+    trie_.insert(roa.prefix, std::vector<Roa>{roa});
+  }
+  ++count_;
+}
+
+bool RoaRegistry::remove(const netsim::Ipv4Prefix& prefix, Asn asn) {
+  auto* bucket = trie_.find(prefix);
+  if (bucket == nullptr) return false;
+  const auto it = std::find_if(bucket->begin(), bucket->end(),
+                               [&](const Roa& r) { return r.asn == asn; });
+  if (it == bucket->end()) return false;
+  bucket->erase(it);
+  --count_;
+  if (bucket->empty()) trie_.erase(prefix);
+  return true;
+}
+
+RpkiValidity RoaRegistry::validate(const netsim::Ipv4Prefix& announced,
+                                   Asn origin) const {
+  bool covered = false;
+  bool valid = false;
+  trie_.for_each_covering(
+      announced.network(),
+      [&](const netsim::Ipv4Prefix& roa_prefix, const std::vector<Roa>& roas) {
+        if (roa_prefix.length() > announced.length()) return;  // not covering
+        for (const Roa& roa : roas) {
+          if (!roa.prefix.covers(announced)) continue;
+          covered = true;
+          if (roa.asn == origin &&
+              announced.length() <= roa.effective_max_len()) {
+            valid = true;
+          }
+        }
+      });
+  if (!covered) return RpkiValidity::NotFound;
+  return valid ? RpkiValidity::Valid : RpkiValidity::Invalid;
+}
+
+}  // namespace marcopolo::bgp

@@ -1,0 +1,89 @@
+#include "bgp/scenario.hpp"
+
+namespace marcopolo::bgp {
+
+HijackScenario::HijackScenario(const AsGraph& graph, NodeId victim,
+                               NodeId adversary,
+                               netsim::Ipv4Prefix victim_prefix,
+                               const ScenarioConfig& config)
+    : victim_(victim),
+      adversary_(adversary),
+      type_(config.type),
+      prefix_(victim_prefix),
+      node_count_(graph.size()) {
+  if (victim == adversary) {
+    throw std::invalid_argument("victim and adversary must differ");
+  }
+  const Asn victim_asn = graph.asn_of(victim);
+
+  // Per-attack tie-break salt: a fresh pair of simultaneous announcements
+  // re-rolls every router's "heard first" coin.
+  const std::uint64_t salt = netsim::hash_combine(
+      config.tie_break_seed,
+      (std::uint64_t{victim.value} << 32) | adversary.value);
+  cmp_ = RouteComparator(config.tie_break, salt);
+
+  PropagationConfig pc{config.tie_break, salt, config.roas};
+
+  // Victim originates its own prefix normally: the Self candidate's path is
+  // empty and the victim's ASN is prepended on export.
+  const SeededRoute victim_seed{
+      victim, Announcement{victim_prefix, {}, OriginRole::Victim}};
+
+  switch (type_) {
+    case AttackType::EquallySpecific: {
+      const SeededRoute adversary_seed{
+          adversary, Announcement{victim_prefix, {}, OriginRole::Adversary}};
+      primary_ = propagate(graph, {victim_seed, adversary_seed}, pc);
+      target_ = victim_prefix.address_at(1);
+      break;
+    }
+    case AttackType::ForgedOriginPrepend: {
+      // The adversary's Self candidate already carries the forged origin;
+      // its own ASN is prepended on export, yielding {adv, victim}: valid
+      // origin, one extra hop of path length.
+      const SeededRoute adversary_seed{
+          adversary,
+          Announcement{victim_prefix, {victim_asn}, OriginRole::Adversary}};
+      primary_ = propagate(graph, {victim_seed, adversary_seed}, pc);
+      target_ = victim_prefix.address_at(1);
+      break;
+    }
+    case AttackType::SubPrefix: {
+      // Victim's prefix propagates unopposed; the adversary announces the
+      // upper half as a more-specific prefix. The target address is inside
+      // that half, so longest-prefix match sends everyone with the
+      // sub-prefix route to the adversary.
+      primary_ = propagate(graph, {victim_seed}, pc);
+      const auto [lower, upper] = victim_prefix.split();
+      (void)lower;
+      const SeededRoute adversary_seed{
+          adversary, Announcement{upper, {victim_asn}, OriginRole::Adversary}};
+      sub_ = propagate(graph, {adversary_seed}, pc);
+      target_ = upper.address_at(1);
+      break;
+    }
+  }
+}
+
+OriginReached HijackScenario::reached(NodeId from) const {
+  // Longest-prefix match: the sub-prefix route (if any) wins over the
+  // covering prefix.
+  if (sub_ && sub_->reachable(from)) return OriginReached::Adversary;
+  const auto role = primary_.role_reached(from);
+  if (!role) return OriginReached::None;
+  return *role == OriginRole::Victim ? OriginReached::Victim
+                                     : OriginReached::Adversary;
+}
+
+double HijackScenario::adversary_capture_fraction() const {
+  std::size_t captured = 0;
+  for (std::uint32_t i = 0; i < node_count_; ++i) {
+    if (reached(NodeId{i}) == OriginReached::Adversary) ++captured;
+  }
+  return node_count_ == 0
+             ? 0.0
+             : static_cast<double>(captured) / static_cast<double>(node_count_);
+}
+
+}  // namespace marcopolo::bgp

@@ -1,0 +1,98 @@
+// Hijack scenarios: one victim-adversary attack, fully propagated.
+//
+// MarcoPolo's unit of measurement (paper §4.1) is a pairwise attack: victim
+// and adversary announce the same prefix simultaneously and every AS's
+// routing decision is observed. This module builds the seeded announcements
+// for each attack type, runs propagation, and answers "which origin does AS
+// X route toward for the validation target address?".
+#pragma once
+
+#include <optional>
+
+#include "bgp/propagation.hpp"
+
+namespace marcopolo::bgp {
+
+enum class AttackType : std::uint8_t {
+  /// Plain equally-specific prefix origination by the adversary.
+  EquallySpecific,
+  /// Forged-origin prepend (paper §2): the adversary prepends the victim's
+  /// ASN, staying ROV-valid at the cost of one extra hop. Used for the
+  /// paper's "RPKI" attack runs.
+  ForgedOriginPrepend,
+  /// More-specific (sub-prefix) hijack: globally effective; MPIC does not
+  /// defend against it (paper §2). Included to demonstrate the limitation.
+  SubPrefix,
+};
+
+[[nodiscard]] constexpr const char* to_cstring(AttackType t) {
+  switch (t) {
+    case AttackType::EquallySpecific: return "equally-specific";
+    case AttackType::ForgedOriginPrepend: return "forged-origin-prepend";
+    case AttackType::SubPrefix: return "sub-prefix";
+  }
+  return "?";
+}
+
+enum class OriginReached : std::uint8_t { None, Victim, Adversary };
+
+struct ScenarioConfig {
+  AttackType type = AttackType::EquallySpecific;
+  TieBreakMode tie_break = TieBreakMode::VictimFirst;
+  std::uint64_t tie_break_seed = 0;
+  const RoaRegistry* roas = nullptr;
+};
+
+class HijackScenario {
+ public:
+  /// Build and propagate an attack of `victim_prefix` originated by
+  /// `victim`, hijacked by `adversary`. The validation target address is
+  /// inside the prefix (and, for SubPrefix, inside the adversary's
+  /// more-specific announcement).
+  HijackScenario(const AsGraph& graph, NodeId victim, NodeId adversary,
+                 netsim::Ipv4Prefix victim_prefix,
+                 const ScenarioConfig& config);
+
+  /// Which origin traffic from `from` reaches when addressed to the
+  /// validation target (longest-prefix match across announcements).
+  [[nodiscard]] OriginReached reached(NodeId from) const;
+
+  /// Target address the CA perspectives will validate against.
+  [[nodiscard]] netsim::Ipv4Addr target_address() const { return target_; }
+
+  [[nodiscard]] NodeId victim() const { return victim_; }
+  [[nodiscard]] NodeId adversary() const { return adversary_; }
+  [[nodiscard]] AttackType type() const { return type_; }
+  [[nodiscard]] netsim::Ipv4Prefix prefix() const { return prefix_; }
+
+  /// Propagation state for the victim's (equally-specific) prefix.
+  [[nodiscard]] const PropagationResult& primary() const { return primary_; }
+
+  /// Propagation state for the adversary's sub-prefix (SubPrefix attacks
+  /// only).
+  [[nodiscard]] const PropagationResult* sub_prefix() const {
+    return sub_ ? &*sub_ : nullptr;
+  }
+
+  /// Fraction of ASes routing to the adversary (diagnostic).
+  [[nodiscard]] double adversary_capture_fraction() const;
+
+  /// The comparator used for this attack's decision process. Its route-age
+  /// coin is salted per (victim, adversary) pair: each attack is a fresh
+  /// pair of announcements, so which one a router "heard first" is
+  /// independent across attacks (§4.4.4).
+  [[nodiscard]] const RouteComparator& comparator() const { return cmp_; }
+
+ private:
+  RouteComparator cmp_{TieBreakMode::VictimFirst, 0};
+  NodeId victim_;
+  NodeId adversary_;
+  AttackType type_;
+  netsim::Ipv4Prefix prefix_;
+  netsim::Ipv4Addr target_;
+  PropagationResult primary_;
+  std::optional<PropagationResult> sub_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace marcopolo::bgp

@@ -1,0 +1,50 @@
+// Core identifier types for the BGP substrate.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace marcopolo::bgp {
+
+/// Autonomous System Number. Strong type to keep ASNs from mixing with
+/// dense node indices.
+struct Asn {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(Asn, Asn) = default;
+};
+
+/// Dense index of an AS inside an AsGraph (assigned in insertion order).
+struct NodeId {
+  std::uint32_t value = UINT32_MAX;
+  [[nodiscard]] constexpr bool valid() const { return value != UINT32_MAX; }
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Point-of-presence index, scoped to the AS on whose link entries it
+/// appears (cloud backbone ASes attach neighbors at specific POPs; for most
+/// ASes it is unset).
+struct PopId {
+  std::uint16_t value = UINT16_MAX;
+  [[nodiscard]] constexpr bool valid() const { return value != UINT16_MAX; }
+  friend constexpr auto operator<=>(PopId, PopId) = default;
+};
+
+inline std::string to_string(Asn a) { return "AS" + std::to_string(a.value); }
+
+}  // namespace marcopolo::bgp
+
+template <>
+struct std::hash<marcopolo::bgp::Asn> {
+  std::size_t operator()(marcopolo::bgp::Asn a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<marcopolo::bgp::NodeId> {
+  std::size_t operator()(marcopolo::bgp::NodeId n) const noexcept {
+    return std::hash<std::uint32_t>{}(n.value);
+  }
+};

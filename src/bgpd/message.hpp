@@ -1,0 +1,32 @@
+// BGP UPDATE messages for the event-driven session layer.
+#pragma once
+
+#include <optional>
+
+#include "bgp/announcement.hpp"
+
+namespace marcopolo::bgpd {
+
+/// A single-prefix UPDATE: either an advertisement carrying a route or a
+/// withdrawal of a previously advertised route.
+struct UpdateMessage {
+  netsim::Ipv4Prefix prefix;
+  /// Advertised route (path as sent, sender prepended); nullopt = withdraw.
+  std::optional<bgp::Announcement> route;
+
+  [[nodiscard]] bool is_withdraw() const { return !route.has_value(); }
+
+  static UpdateMessage announce(bgp::Announcement ann) {
+    UpdateMessage m;
+    m.prefix = ann.prefix;
+    m.route = std::move(ann);
+    return m;
+  }
+  static UpdateMessage withdraw(netsim::Ipv4Prefix prefix) {
+    UpdateMessage m;
+    m.prefix = prefix;
+    return m;
+  }
+};
+
+}  // namespace marcopolo::bgpd

@@ -1,0 +1,68 @@
+#include "bgpd/network.hpp"
+
+namespace marcopolo::bgpd {
+
+BgpNetwork::BgpNetwork(const bgp::AsGraph& graph,
+                       std::vector<netsim::GeoPoint> locations,
+                       netsim::Simulator& sim, const BgpNetworkConfig& config)
+    : graph_(graph),
+      locations_(std::move(locations)),
+      sim_(sim),
+      config_(config) {
+  if (locations_.size() < graph.size()) {
+    locations_.resize(graph.size());
+  }
+  speakers_.reserve(graph.size());
+  for (std::uint32_t i = 0; i < graph.size(); ++i) {
+    const bgp::NodeId self{i};
+    SpeakerConfig sc = config_.speaker;
+    sc.rov_enforcing = graph.rov_enforcing(self);
+    speakers_.push_back(std::make_unique<BgpSpeaker>(
+        graph, self, sc,
+        /*send=*/
+        [this, self](bgp::NodeId to, const UpdateMessage& msg) {
+          sim_.schedule_after(link_delay(self, to), [this, self, to, msg] {
+            speakers_[to.value]->receive(self, msg);
+          });
+        },
+        /*schedule=*/
+        [this](netsim::Duration delay, std::function<void()> fn) {
+          sim_.schedule_after(delay, std::move(fn));
+        },
+        /*now=*/[this] { return sim_.now(); }));
+  }
+}
+
+netsim::Duration BgpNetwork::link_delay(bgp::NodeId a, bgp::NodeId b) const {
+  const netsim::Duration base =
+      netsim::latency_between(locations_[a.value], locations_[b.value]);
+  // Deterministic per-directed-link jitter (session processing variance).
+  const std::uint64_t h = netsim::hash_combine(
+      config_.jitter_seed,
+      (std::uint64_t{a.value} << 32) | b.value);
+  const auto jitter_ns = static_cast<std::int64_t>(
+      h % static_cast<std::uint64_t>(
+              std::max<std::int64_t>(1, config_.jitter.count())));
+  return base + netsim::Duration(jitter_ns);
+}
+
+void BgpNetwork::announce(bgp::NodeId at, bgp::Announcement route) {
+  speakers_[at.value]->originate(std::move(route));
+}
+
+void BgpNetwork::withdraw(bgp::NodeId at, const netsim::Ipv4Prefix& prefix) {
+  speakers_[at.value]->withdraw_origination(prefix);
+}
+
+netsim::TimePoint BgpNetwork::run_to_convergence() {
+  sim_.run();
+  return sim_.now();
+}
+
+std::size_t BgpNetwork::total_updates_sent() const {
+  std::size_t total = 0;
+  for (const auto& s : speakers_) total += s->updates_sent();
+  return total;
+}
+
+}  // namespace marcopolo::bgpd

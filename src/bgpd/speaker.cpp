@@ -1,0 +1,288 @@
+#include "bgpd/speaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marcopolo::bgpd {
+
+BgpSpeaker::BgpSpeaker(const bgp::AsGraph& graph, bgp::NodeId self,
+                       SpeakerConfig config, SendFn send, ScheduleFn schedule,
+                       NowFn now)
+    : graph_(graph),
+      self_(self),
+      self_asn_(graph.asn_of(self)),
+      config_(std::move(config)),
+      send_(std::move(send)),
+      schedule_(std::move(schedule)),
+      now_(std::move(now)) {
+  for (const bgp::Neighbor& nb : graph.neighbors(self)) {
+    neighbors_[nb.id.value].rel = nb.rel;
+  }
+}
+
+void BgpSpeaker::originate(bgp::Announcement route) {
+  PrefixState& state = prefixes_[route.prefix];
+  RibInEntry entry;
+  entry.route = std::move(route);
+  entry.source = bgp::RouteSource::Self;
+  entry.from = self_;
+  entry.from_asn = self_asn_;
+  entry.arrived = now_();
+  state.rib_in[self_.value] = std::move(entry);
+  decide_and_export(state.rib_in[self_.value].route.prefix);
+}
+
+void BgpSpeaker::withdraw_origination(const netsim::Ipv4Prefix& prefix) {
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return;
+  it->second.rib_in.erase(self_.value);
+  decide_and_export(prefix);
+}
+
+void BgpSpeaker::receive(bgp::NodeId from, const UpdateMessage& msg) {
+  ++updates_received_;
+  const auto nb = neighbors_.find(from.value);
+  if (nb == neighbors_.end()) return;  // not a session we hold
+
+  PrefixState& state = prefixes_[msg.prefix];
+
+  if (msg.is_withdraw()) {
+    if (state.rib_in.erase(from.value) > 0) {
+      register_flap(state, from.value);
+      decide_and_export(msg.prefix);
+    }
+    return;
+  }
+
+  const bgp::Announcement& route = *msg.route;
+  // Loop prevention: reject paths containing our own ASN.
+  if (route.path_contains(self_asn_)) return;
+  // ROV on ingress.
+  if (config_.rov_enforcing && config_.roas != nullptr &&
+      config_.roas->validate(route.prefix, route.origin()) ==
+          bgp::RpkiValidity::Invalid) {
+    return;
+  }
+
+  RibInEntry entry;
+  entry.route = route;
+  // The neighbor's role maps onto the receiving side's route source.
+  switch (nb->second.rel) {
+    case bgp::Relationship::Customer:
+      entry.source = bgp::RouteSource::Customer;
+      break;
+    case bgp::Relationship::Peer:
+      entry.source = bgp::RouteSource::Peer;
+      break;
+    case bgp::Relationship::Provider:
+      entry.source = bgp::RouteSource::Provider;
+      break;
+  }
+  entry.from = from;
+  entry.from_asn = graph_.asn_of(from);
+  entry.arrived = now_();
+  state.rib_in[from.value] = std::move(entry);
+  decide_and_export(msg.prefix);
+}
+
+const RibInEntry* BgpSpeaker::select_best(const PrefixState& state)
+    const {
+  const RibInEntry* best = nullptr;
+  for (const auto& [from, entry] : state.rib_in) {
+    if (session_suppressed(state, from)) continue;
+    if (best == nullptr) {
+      best = &entry;
+      continue;
+    }
+    // Decision process: localpref class, path length, ROUTE AGE (earlier
+    // arrival wins — the real tie break the analytic engine models with
+    // TieBreakMode), lowest neighbor ASN.
+    if (entry.source != best->source) {
+      if (entry.source < best->source) best = &entry;
+      continue;
+    }
+    if (entry.route.path_length() != best->route.path_length()) {
+      if (entry.route.path_length() < best->route.path_length()) {
+        best = &entry;
+      }
+      continue;
+    }
+    if (entry.arrived != best->arrived) {
+      if (entry.arrived < best->arrived) best = &entry;
+      continue;
+    }
+    if (entry.from_asn < best->from_asn) best = &entry;
+  }
+  return best;
+}
+
+bool BgpSpeaker::exportable(bgp::RouteSource source,
+                            bgp::Relationship to) const {
+  // Valley-free: customer/self routes go everywhere; peer and provider
+  // routes go to customers only.
+  if (source == bgp::RouteSource::Self ||
+      source == bgp::RouteSource::Customer) {
+    return true;
+  }
+  return to == bgp::Relationship::Customer;
+}
+
+void BgpSpeaker::decide_and_export(const netsim::Ipv4Prefix& prefix) {
+  PrefixState& state = prefixes_[prefix];
+  const RibInEntry* best = select_best(state);
+
+  // Nothing changed in what we would tell the world?
+  const bool had = state.advertised.has_value();
+  const bool changed =
+      had != (best != nullptr) ||
+      (best != nullptr && had &&
+       (state.advertised->route.as_path != best->route.as_path ||
+        state.advertised->source != best->source ||
+        state.advertised->from != best->from));
+  if (!changed) return;
+
+  if (best == nullptr) {
+    // Lost the route: withdraw from everyone we advertised to.
+    for (auto& [id, nb] : neighbors_) {
+      if (exportable(state.advertised->source, nb.rel)) {
+        enqueue(bgp::NodeId{id}, UpdateMessage::withdraw(prefix));
+      }
+    }
+    state.advertised.reset();
+    return;
+  }
+
+  // Advertise the new best (prepending self), withdraw where it is no
+  // longer exportable.
+  bgp::Announcement exported = best->route;
+  exported.as_path.insert(exported.as_path.begin(), self_asn_);
+  for (auto& [id, nb] : neighbors_) {
+    const bgp::NodeId neighbor{id};
+    // Split horizon: never advertise a route back to its sender.
+    const bool to_sender =
+        best->source != bgp::RouteSource::Self && neighbor == best->from;
+    const bool can_now = exportable(best->source, nb.rel) && !to_sender;
+    const bool could_before =
+        had && exportable(state.advertised->source, nb.rel) &&
+        !(state.advertised->source != bgp::RouteSource::Self &&
+          neighbor == state.advertised->from);
+    if (can_now) {
+      enqueue(neighbor, UpdateMessage::announce(exported));
+    } else if (could_before) {
+      enqueue(neighbor, UpdateMessage::withdraw(prefix));
+    }
+  }
+  state.advertised = *best;
+}
+
+void BgpSpeaker::enqueue(bgp::NodeId neighbor, UpdateMessage msg) {
+  NeighborState& nb = neighbors_.at(neighbor.value);
+  nb.pending[msg.prefix] = std::move(msg);  // latest state wins (MRAI batch)
+  if (nb.flush_scheduled) return;
+  const netsim::TimePoint t = now_();
+  if (nb.next_allowed <= t) {
+    flush(neighbor);
+    return;
+  }
+  nb.flush_scheduled = true;
+  schedule_(nb.next_allowed - t, [this, neighbor] {
+    neighbors_.at(neighbor.value).flush_scheduled = false;
+    flush(neighbor);
+  });
+}
+
+void BgpSpeaker::flush(bgp::NodeId neighbor) {
+  NeighborState& nb = neighbors_.at(neighbor.value);
+  if (nb.pending.empty()) return;
+  for (auto& [prefix, msg] : nb.pending) {
+    ++updates_sent_;
+    send_(neighbor, msg);
+  }
+  nb.pending.clear();
+  nb.next_allowed = now_() + config_.mrai;
+}
+
+void BgpSpeaker::decay(FlapState& flap) const {
+  if (flap.penalty <= 0.0) return;
+  const netsim::TimePoint t = now_();
+  const double elapsed = netsim::to_seconds(t - flap.updated);
+  const double half_life = netsim::to_seconds(config_.rfd_half_life);
+  if (elapsed > 0.0 && half_life > 0.0) {
+    flap.penalty *= std::pow(0.5, elapsed / half_life);
+    flap.updated = t;
+  }
+  if (flap.suppressed && flap.penalty < config_.rfd_reuse) {
+    flap.suppressed = false;
+  }
+}
+
+bool BgpSpeaker::session_suppressed(const PrefixState& state,
+                                    std::uint32_t session) const {
+  if (config_.rfd_suppress_threshold <= 0.0) return false;
+  const auto it = state.flaps.find(session);
+  if (it == state.flaps.end()) return false;
+  decay(it->second);
+  return it->second.suppressed;
+}
+
+void BgpSpeaker::register_flap(PrefixState& state, std::uint32_t session) {
+  if (config_.rfd_suppress_threshold <= 0.0) return;
+  FlapState& flap = state.flaps[session];
+  decay(flap);
+  flap.penalty += 1.0;
+  flap.updated = now_();
+  if (flap.penalty >= config_.rfd_suppress_threshold) {
+    flap.suppressed = true;
+  }
+}
+
+std::optional<RibInEntry> BgpSpeaker::best(
+    const netsim::Ipv4Prefix& prefix) const {
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return std::nullopt;
+  const RibInEntry* entry = select_best(it->second);
+  if (entry == nullptr) return std::nullopt;
+  return *entry;
+}
+
+std::vector<RibInEntry> BgpSpeaker::rib_in(
+    const netsim::Ipv4Prefix& prefix) const {
+  std::vector<RibInEntry> out;
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return out;
+  for (const auto& [from, entry] : it->second.rib_in) {
+    if (session_suppressed(it->second, from)) continue;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::optional<bgp::OriginRole> BgpSpeaker::role_reached(
+    const netsim::Ipv4Prefix& prefix) const {
+  const auto entry = best(prefix);
+  if (!entry) return std::nullopt;
+  return entry->route.role;
+}
+
+double BgpSpeaker::flap_penalty(const netsim::Ipv4Prefix& prefix) const {
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return 0.0;
+  double max_penalty = 0.0;
+  for (auto& [session, flap] : it->second.flaps) {
+    decay(flap);
+    max_penalty = std::max(max_penalty, flap.penalty);
+  }
+  return max_penalty;
+}
+
+bool BgpSpeaker::suppressed(const netsim::Ipv4Prefix& prefix) const {
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return false;
+  for (auto& [session, flap] : it->second.flaps) {
+    decay(flap);
+    if (flap.suppressed) return true;
+  }
+  return false;
+}
+
+}  // namespace marcopolo::bgpd

@@ -1,0 +1,162 @@
+// An event-driven BGP speaker: one per AS.
+//
+// Unlike the analytic engine in bgp/propagation.*, which computes the
+// Gao-Rexford fixed point directly, a speaker processes UPDATE messages as
+// they arrive: per-neighbor Adj-RIB-In, best-path selection with *actual
+// arrival times* as the route-age tie break, valley-free export policy,
+// per-neighbor MRAI batching, and optional route-flap dampening
+// (§4.2.1's operational concern).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/decision.hpp"
+#include "bgp/rpki.hpp"
+#include "bgpd/message.hpp"
+#include "netsim/time.hpp"
+
+namespace marcopolo::bgpd {
+
+struct SpeakerConfig {
+  /// Minimum Route Advertisement Interval per neighbor; updates for a
+  /// prefix within the window are batched into the latest state.
+  netsim::Duration mrai = netsim::seconds(5);
+  /// Route-flap dampening (RFC 2439 / RFC 7196 style, in flap units of
+  /// 1000 router units). Dampening is per (prefix, neighbor session):
+  /// each *withdrawal* of a route previously held from that neighbor
+  /// accrues 1.0 penalty; at or above `rfd_suppress_threshold` the
+  /// session's route is excluded from best-path selection until the
+  /// penalty decays below `rfd_reuse`. Re-advertisements are free, as in
+  /// common router defaults. 0 disables dampening.
+  double rfd_suppress_threshold = 0.0;
+  double rfd_reuse = 2.0;
+  netsim::Duration rfd_half_life = netsim::minutes(15);
+  /// Drop RPKI-invalid routes on ingress (ROV).
+  const bgp::RoaRegistry* roas = nullptr;
+  bool rov_enforcing = false;
+};
+
+/// A route held in the Adj-RIB-In, with its arrival time.
+struct RibInEntry {
+  bgp::Announcement route;
+  bgp::RouteSource source = bgp::RouteSource::Provider;
+  bgp::NodeId from;
+  bgp::Asn from_asn;
+  netsim::TimePoint arrived;
+};
+
+class BgpSpeaker {
+ public:
+  /// `send` delivers an UPDATE to a neighbor (the network layer adds
+  /// latency); `now`/`schedule` come from the simulator.
+  using SendFn =
+      std::function<void(bgp::NodeId to, const UpdateMessage& msg)>;
+  using ScheduleFn =
+      std::function<void(netsim::Duration delay, std::function<void()>)>;
+  using NowFn = std::function<netsim::TimePoint()>;
+
+  BgpSpeaker(const bgp::AsGraph& graph, bgp::NodeId self, SpeakerConfig config,
+             SendFn send, ScheduleFn schedule, NowFn now);
+
+  /// Locally originate a route (path as in SeededRoute: excludes self for
+  /// a normal origination; {victim_asn} for a forged-origin hijack).
+  void originate(bgp::Announcement route);
+
+  /// Withdraw a locally originated prefix.
+  void withdraw_origination(const netsim::Ipv4Prefix& prefix);
+
+  /// Process an UPDATE received from `from` at the current sim time.
+  void receive(bgp::NodeId from, const UpdateMessage& msg);
+
+  /// Current best route for a prefix (nullopt if none / suppressed).
+  [[nodiscard]] std::optional<RibInEntry> best(
+      const netsim::Ipv4Prefix& prefix) const;
+
+  /// Snapshot of every non-dampened Adj-RIB-In entry for a prefix (used by
+  /// the cloud egress models in live campaigns).
+  [[nodiscard]] std::vector<RibInEntry> rib_in(
+      const netsim::Ipv4Prefix& prefix) const;
+
+  /// Role of the origin this speaker currently routes toward.
+  [[nodiscard]] std::optional<bgp::OriginRole> role_reached(
+      const netsim::Ipv4Prefix& prefix) const;
+
+  /// Re-run best-path selection and exports for a prefix. Needed to lift
+  /// an RFD suppression after its penalty has decayed: suppression state
+  /// is re-evaluated lazily, on the next decision touching the prefix.
+  void reevaluate(const netsim::Ipv4Prefix& prefix) {
+    decide_and_export(prefix);
+  }
+
+  /// Flap penalty accrued for a prefix (max across sessions; diagnostic).
+  [[nodiscard]] double flap_penalty(const netsim::Ipv4Prefix& prefix) const;
+  /// True if any session's route for the prefix is currently dampened.
+  [[nodiscard]] bool suppressed(const netsim::Ipv4Prefix& prefix) const;
+
+  [[nodiscard]] std::size_t updates_sent() const { return updates_sent_; }
+  [[nodiscard]] std::size_t updates_received() const {
+    return updates_received_;
+  }
+  [[nodiscard]] bgp::NodeId id() const { return self_; }
+
+ private:
+  struct FlapState {
+    double penalty = 0.0;
+    netsim::TimePoint updated{};
+    bool suppressed = false;
+  };
+
+  struct PrefixState {
+    /// Adj-RIB-In keyed by neighbor node id (plus self origination under
+    /// the speaker's own id).
+    std::map<std::uint32_t, RibInEntry> rib_in;
+    /// The route last advertised to neighbors (for withdraw decisions);
+    /// nullopt if nothing advertised.
+    std::optional<RibInEntry> advertised;
+    /// Per-session dampening state, keyed like rib_in. Mutable because
+    /// penalty decay is lazy bookkeeping performed on read.
+    mutable std::map<std::uint32_t, FlapState> flaps;
+  };
+
+  struct NeighborState {
+    bgp::Relationship rel = bgp::Relationship::Peer;
+    /// MRAI: earliest time the next batch may be sent, and whether a send
+    /// is already scheduled.
+    netsim::TimePoint next_allowed{};
+    bool flush_scheduled = false;
+    /// Pending per-prefix state to transmit at the next flush.
+    std::map<netsim::Ipv4Prefix, UpdateMessage> pending;
+  };
+
+  void decide_and_export(const netsim::Ipv4Prefix& prefix);
+  void enqueue(bgp::NodeId neighbor, UpdateMessage msg);
+  void flush(bgp::NodeId neighbor);
+  [[nodiscard]] const RibInEntry* select_best(const PrefixState& state)
+      const;
+  [[nodiscard]] bool exportable(bgp::RouteSource source,
+                                bgp::Relationship to) const;
+  void decay(FlapState& flap) const;
+  void register_flap(PrefixState& state, std::uint32_t session);
+  [[nodiscard]] bool session_suppressed(const PrefixState& state,
+                                        std::uint32_t session) const;
+
+  const bgp::AsGraph& graph_;
+  bgp::NodeId self_;
+  bgp::Asn self_asn_;
+  SpeakerConfig config_;
+  SendFn send_;
+  ScheduleFn schedule_;
+  NowFn now_;
+
+  std::map<netsim::Ipv4Prefix, PrefixState> prefixes_;
+  std::unordered_map<std::uint32_t, NeighborState> neighbors_;
+  std::size_t updates_sent_ = 0;
+  std::size_t updates_received_ = 0;
+};
+
+}  // namespace marcopolo::bgpd

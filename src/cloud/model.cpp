@@ -1,0 +1,353 @@
+#include "cloud/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace marcopolo::cloud {
+
+std::uint8_t zone_of(topo::Continent c, ZoneGranularity g) {
+  if (g == ZoneGranularity::Continent) return static_cast<std::uint8_t>(c);
+  switch (c) {
+    case topo::Continent::NorthAmerica:
+    case topo::Continent::SouthAmerica:
+      return 0;  // Americas
+    case topo::Continent::Europe:
+    case topo::Continent::Africa:
+      return 1;  // EMEA
+    case topo::Continent::Asia:
+    case topo::Continent::Oceania:
+      return 2;  // APAC
+  }
+  return 0;
+}
+
+CloudConfig default_config(topo::CloudProvider provider) {
+  CloudConfig cfg;
+  cfg.provider = provider;
+  switch (provider) {
+    case topo::CloudProvider::Aws:
+      cfg.asn = bgp::Asn{16509};
+      cfg.policy = EgressPolicy::HotPotato;
+      cfg.peers_per_pop = 2;
+      cfg.wiring_seed = 0xA05;
+      break;
+    case topo::CloudProvider::Gcp:
+      cfg.asn = bgp::Asn{15169};
+      cfg.policy = EgressPolicy::ColdPotato;  // Premium Tier (paper §5.2)
+      cfg.peers_per_pop = 2;
+      cfg.wiring_seed = 0x6C9;
+      break;
+    case topo::CloudProvider::Azure:
+      cfg.asn = bgp::Asn{8075};
+      cfg.policy = EgressPolicy::HotPotato;
+      cfg.peers_per_pop = 3;  // densest peering fabric of the three
+      cfg.wiring_seed = 0xA72;
+      break;
+    case topo::CloudProvider::Vultr:
+      throw std::invalid_argument("Vultr is the node pool, not a perspective host");
+  }
+  return cfg;
+}
+
+CloudProviderModel::CloudProviderModel(topo::Internet& internet,
+                                       const CloudConfig& config)
+    : config_(config), regions_(topo::regions_of(config.provider)) {
+  if (regions_.empty()) {
+    throw std::invalid_argument("provider has no catalog regions");
+  }
+  netsim::Rng rng(config.wiring_seed);
+
+  // The backbone AS "lives" at its first region for metadata purposes.
+  graph_ = &internet.graph();
+  backbone_ = internet.add_leaf_as(config.asn, regions_.front().location,
+                                   regions_.front().continent);
+
+  pop_location_.reserve(regions_.size());
+  pop_zone_.reserve(regions_.size());
+  for (const topo::RegionInfo& r : regions_) {
+    pop_location_.push_back(r.location);
+    pop_zone_.push_back(zone_of(r.continent, config.zones));
+  }
+
+  // Backbone-zone centroids for cold-potato egress selection.
+  zone_centroid_.assign(topo::kAllContinents.size(), netsim::GeoPoint{});
+  std::vector<std::size_t> zone_pop_count(topo::kAllContinents.size(), 0);
+  for (std::size_t pop = 0; pop < regions_.size(); ++pop) {
+    const auto z = static_cast<std::size_t>(pop_zone_[pop]);
+    zone_centroid_[z].lat += pop_location_[pop].lat;
+    zone_centroid_[z].lon += pop_location_[pop].lon;
+    ++zone_pop_count[z];
+  }
+  for (std::size_t z = 0; z < zone_centroid_.size(); ++z) {
+    if (zone_pop_count[z] > 0) {
+      zone_centroid_[z].lat /= static_cast<double>(zone_pop_count[z]);
+      zone_centroid_[z].lon /= static_cast<double>(zone_pop_count[z]);
+    }
+  }
+
+  auto& graph = internet.graph();
+
+  // Peering: at every POP, sessions with the nearest regional tier-2s.
+  for (std::size_t pop = 0; pop < regions_.size(); ++pop) {
+    const auto near2 = internet.nearest_tier2(pop_location_[pop], 6);
+    std::set<std::uint32_t> used;
+    int added = 0;
+    for (int attempt = 0;
+         attempt < 18 && added < config.peers_per_pop && !near2.empty();
+         ++attempt) {
+      const bgp::NodeId peer = near2[rng.index(near2.size())];
+      if (used.contains(peer.value)) continue;
+      used.insert(peer.value);
+      graph.add_peering(backbone_, peer,
+                        bgp::PopId{static_cast<std::uint16_t>(pop)},
+                        bgp::PopId{});
+      ++added;
+    }
+  }
+
+  // Transit: contracts with distinct tier-1s, attached at the POP nearest
+  // each tier-1's home.
+  std::set<std::uint32_t> transit_used;
+  for (int t = 0; t < config.transit_tier1_count; ++t) {
+    bgp::NodeId tier1{};
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const bgp::NodeId cand = internet.tier1_for(
+          netsim::hash_combine(config.wiring_seed, static_cast<std::uint64_t>(
+                                                       t * 16 + attempt)));
+      if (!transit_used.contains(cand.value)) {
+        tier1 = cand;
+        break;
+      }
+    }
+    if (!tier1.valid()) break;
+    transit_used.insert(tier1.value);
+
+    std::size_t best_pop = 0;
+    double best_km = std::numeric_limits<double>::max();
+    for (std::size_t pop = 0; pop < pop_location_.size(); ++pop) {
+      const double km = netsim::great_circle_km(internet.location(tier1),
+                                                pop_location_[pop]);
+      if (km < best_km) {
+        best_km = km;
+        best_pop = pop;
+      }
+    }
+    graph.add_provider_customer(tier1, backbone_, bgp::PopId{},
+                                bgp::PopId{static_cast<std::uint16_t>(best_pop)});
+  }
+}
+
+const bgp::RouteCandidate* CloudProviderModel::select_egress(
+    std::size_t perspective, std::span<const bgp::RouteCandidate> rib,
+    const bgp::RouteComparator& cmp, const bgp::RoaRegistry* roas) const {
+  if (perspective >= regions_.size()) {
+    throw std::out_of_range("perspective index");
+  }
+
+  // Drop RPKI-invalid candidates if the backbone enforces ROV.
+  std::vector<const bgp::RouteCandidate*> valid;
+  valid.reserve(rib.size());
+  for (const bgp::RouteCandidate& c : rib) {
+    if (roas != nullptr && !c.ann.as_path.empty() &&
+        roas->validate(c.ann.prefix, c.ann.origin()) ==
+            bgp::RpkiValidity::Invalid) {
+      continue;
+    }
+    valid.push_back(&c);
+  }
+  if (valid.empty()) return nullptr;
+
+  // Global BGP attribute comparison: best (local preference, path length)
+  // class. Everything in this class is "equally good" to BGP; the egress
+  // policy breaks the remaining tie.
+  bgp::RouteSource best_src = bgp::RouteSource::Provider;
+  for (const auto* c : valid) best_src = std::min(best_src, c->source);
+  std::size_t best_len = std::numeric_limits<std::size_t>::max();
+  for (const auto* c : valid) {
+    if (c->source == best_src) best_len = std::min(best_len, c->ann.path_length());
+  }
+  std::vector<const bgp::RouteCandidate*> cls;
+  for (const auto* c : valid) {
+    if (c->source == best_src && c->ann.path_length() == best_len) {
+      cls.push_back(c);
+    }
+  }
+
+  const auto attribute_tiebreak = [&](const bgp::RouteCandidate* a,
+                                      const bgp::RouteCandidate* b) {
+    // Same localpref and length by construction; fall through to the
+    // route-age preference, then deterministic identifiers.
+    if (a->ann.role != b->ann.role) {
+      return a->ann.role == cmp.preferred_role(backbone_);
+    }
+    if (a->from_asn != b->from_asn) return a->from_asn < b->from_asn;
+    return a->ingress_pop < b->ingress_pop;
+  };
+
+  if (config_.policy == EgressPolicy::HotPotato) {
+    // Prefer the candidate whose ingress POP is nearest this region's VM.
+    const netsim::GeoPoint here = regions_[perspective].location;
+    const bgp::RouteCandidate* best = nullptr;
+    double best_km = std::numeric_limits<double>::max();
+    for (const auto* c : cls) {
+      const double km =
+          c->ingress_pop.valid()
+              ? netsim::great_circle_km(here,
+                                        pop_location_[c->ingress_pop.value])
+              : 20037.0;  // unknown POP: treat as antipodal
+      if (best == nullptr || km < best_km - 1e-9 ||
+          (std::abs(km - best_km) <= 1e-9 && attribute_tiebreak(c, best))) {
+        best = c;
+        best_km = km;
+      }
+    }
+    return best;
+  }
+
+  // Cold potato: one winner per backbone zone, shared by every VM in the
+  // zone — this is what erases intra-zone perspective diversity (§5.2).
+  // Among the equal-attribute class, the zone's border routers prefer the
+  // origin whose ingress is decisively closer to the zone (the backbone
+  // carries traffic to the egress nearest the destination); when both
+  // origins' ingresses are comparably close the zone is contested and the
+  // per-attack, per-zone route-age coin decides arrival order.
+  const auto zone = static_cast<std::size_t>(
+      zone_of(regions_[perspective].continent, config_.zones));
+  const netsim::GeoPoint anchor = zone_centroid_[zone];
+
+  double best_km[2] = {std::numeric_limits<double>::max(),
+                       std::numeric_limits<double>::max()};
+  for (const auto* c : cls) {
+    const double km =
+        c->ingress_pop.valid()
+            ? netsim::great_circle_km(anchor,
+                                      pop_location_[c->ingress_pop.value])
+            : 20037.0;
+    auto& slot = best_km[static_cast<std::size_t>(c->ann.role)];
+    slot = std::min(slot, km);
+  }
+  const double victim_km = best_km[static_cast<std::size_t>(
+      bgp::OriginRole::Victim)];
+  const double adversary_km = best_km[static_cast<std::size_t>(
+      bgp::OriginRole::Adversary)];
+
+  bgp::OriginRole preferred;
+  if (adversary_km < config_.geo_margin * victim_km) {
+    preferred = bgp::OriginRole::Adversary;
+  } else if (victim_km < config_.geo_margin * adversary_km) {
+    preferred = bgp::OriginRole::Victim;
+  } else {
+    preferred = cmp.preferred_role(backbone_, zone);
+  }
+
+  const auto zone_tiebreak = [&](const bgp::RouteCandidate* a,
+                                 const bgp::RouteCandidate* b) {
+    if (a->ann.role != b->ann.role) return a->ann.role == preferred;
+    if (a->from_asn != b->from_asn) return a->from_asn < b->from_asn;
+    return a->ingress_pop < b->ingress_pop;
+  };
+  const bgp::RouteCandidate* best = nullptr;
+  for (const auto* c : cls) {
+    if (best == nullptr || zone_tiebreak(c, best)) best = c;
+  }
+  return best;
+}
+
+namespace {
+
+/// Convert a live speaker RIB snapshot into engine-style candidates,
+/// resolving each entry's ingress POP from the backbone's link metadata.
+std::vector<bgp::RouteCandidate> live_candidates(
+    const bgp::AsGraph& graph, bgp::NodeId backbone,
+    const std::vector<bgpd::RibInEntry>& rib) {
+  std::vector<bgp::RouteCandidate> out;
+  out.reserve(rib.size());
+  for (const bgpd::RibInEntry& entry : rib) {
+    bgp::PopId ingress{};
+    for (const bgp::Neighbor& nb : graph.neighbors(backbone)) {
+      if (nb.id == entry.from) {
+        ingress = nb.local_pop;
+        break;
+      }
+    }
+    out.push_back(bgp::RouteCandidate{entry.route, entry.source, entry.from,
+                                      entry.from_asn, ingress});
+  }
+  return out;
+}
+
+/// The role-age preference among a live RIB: the oldest entry within the
+/// best (localpref, path length) class "arrived first".
+bgp::TieBreakMode live_tie_mode(const std::vector<bgpd::RibInEntry>& rib) {
+  const bgpd::RibInEntry* oldest = nullptr;
+  bgp::RouteSource best_src = bgp::RouteSource::Provider;
+  for (const auto& e : rib) best_src = std::min(best_src, e.source);
+  std::size_t best_len = std::numeric_limits<std::size_t>::max();
+  for (const auto& e : rib) {
+    if (e.source == best_src) {
+      best_len = std::min(best_len, e.route.path_length());
+    }
+  }
+  for (const auto& e : rib) {
+    if (e.source != best_src || e.route.path_length() != best_len) continue;
+    if (oldest == nullptr || e.arrived < oldest->arrived) oldest = &e;
+  }
+  if (oldest == nullptr || oldest->route.role == bgp::OriginRole::Victim) {
+    return bgp::TieBreakMode::VictimFirst;
+  }
+  return bgp::TieBreakMode::AdversaryFirst;
+}
+
+}  // namespace
+
+bgp::OriginReached CloudProviderModel::resolve_live(
+    std::size_t perspective, const bgpd::BgpSpeaker& backbone_speaker,
+    const netsim::Ipv4Prefix& prefix,
+    const std::optional<netsim::Ipv4Prefix>& sub_prefix,
+    const bgp::RoaRegistry* roas) const {
+  if (sub_prefix) {
+    const auto sub_rib = backbone_speaker.rib_in(*sub_prefix);
+    if (!sub_rib.empty()) {
+      const auto cands =
+          live_candidates(*graph_, backbone_, sub_rib);
+      const bgp::RouteComparator cmp(live_tie_mode(sub_rib), 0);
+      if (select_egress(perspective, cands, cmp, roas) != nullptr) {
+        return bgp::OriginReached::Adversary;
+      }
+    }
+  }
+  const auto rib = backbone_speaker.rib_in(prefix);
+  if (rib.empty()) return bgp::OriginReached::None;
+  const auto cands = live_candidates(*graph_, backbone_, rib);
+  const bgp::RouteComparator cmp(live_tie_mode(rib), 0);
+  const bgp::RouteCandidate* chosen =
+      select_egress(perspective, cands, cmp, roas);
+  if (chosen == nullptr) return bgp::OriginReached::None;
+  return chosen->ann.role == bgp::OriginRole::Victim
+             ? bgp::OriginReached::Victim
+             : bgp::OriginReached::Adversary;
+}
+
+bgp::OriginReached CloudProviderModel::resolve(
+    std::size_t perspective, const bgp::HijackScenario& scenario,
+    const bgp::RoaRegistry* roas) const {
+  const bgp::RouteComparator& cmp = scenario.comparator();
+  // A more-specific route, if the backbone heard one, wins longest-prefix
+  // match for the target no matter which egress a covering route would use.
+  if (const auto* sub = scenario.sub_prefix()) {
+    const auto& sub_rib = sub->rib_in[backbone_.value];
+    if (select_egress(perspective, sub_rib, cmp, roas) != nullptr) {
+      return bgp::OriginReached::Adversary;
+    }
+  }
+  const auto& rib = scenario.primary().rib_in[backbone_.value];
+  const bgp::RouteCandidate* chosen = select_egress(perspective, rib, cmp, roas);
+  if (chosen == nullptr) return bgp::OriginReached::None;
+  return chosen->ann.role == bgp::OriginRole::Victim
+             ? bgp::OriginReached::Victim
+             : bgp::OriginReached::Adversary;
+}
+
+}  // namespace marcopolo::cloud

@@ -1,0 +1,34 @@
+#include "cost/model.hpp"
+
+#include <cmath>
+
+namespace marcopolo::cost {
+
+ExperimentBill CostModel::estimate(const ExperimentShape& shape) const {
+  const double hours = netsim::to_hours(shape.provisioned);
+  const double months = hours / (30.0 * 24.0);
+
+  ExperimentBill bill;
+  const auto add = [&](std::string provider, std::size_t nodes, double usd) {
+    // Round to cents like an invoice.
+    usd = std::round(usd * 100.0) / 100.0;
+    bill.lines.push_back(CostLine{std::move(provider), nodes, usd});
+    bill.total_usd += usd;
+  };
+
+  add("AWS", shape.aws_nodes,
+      static_cast<double>(shape.aws_api_calls) *
+          catalog_.aws_api_gateway_per_call);
+  add("Azure", shape.azure_nodes,
+      static_cast<double>(shape.azure_nodes) * catalog_.azure_b1s_hourly *
+          hours);
+  add("GCP", shape.gcp_nodes,
+      static_cast<double>(shape.gcp_nodes) * catalog_.gcp_e2micro_hourly *
+          hours);
+  add("Vultr", shape.vultr_nodes,
+      static_cast<double>(shape.vultr_nodes) * catalog_.vultr_vc2_monthly *
+          months);
+  return bill;
+}
+
+}  // namespace marcopolo::cost

@@ -1,0 +1,62 @@
+// Experiment cost model — paper Appendix D (Table 3).
+//
+// The paper's bill: serverless Open MPIC on AWS rides the Lambda free tier
+// (only API Gateway calls are billed), while Azure/GCP perspectives and the
+// Vultr node pool run on the cheapest VM plans (B1s, e2-micro, vc2-1c-1gb)
+// for the whole provisioned span of the experiment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netsim/time.hpp"
+
+namespace marcopolo::cost {
+
+struct PriceCatalog {
+  /// USD per API Gateway call (Lambda compute itself is free tier).
+  double aws_api_gateway_per_call = 3.5e-6;
+  double azure_b1s_hourly = 0.0104;
+  double gcp_e2micro_hourly = 0.0063;
+  double vultr_vc2_monthly = 3.50;
+};
+
+struct CostLine {
+  std::string provider;
+  std::size_t node_count = 0;
+  double usd = 0.0;
+};
+
+struct ExperimentBill {
+  std::vector<CostLine> lines;
+  double total_usd = 0.0;
+};
+
+struct ExperimentShape {
+  /// Wall-clock time VMs stay provisioned. Typically the campaign's
+  /// virtual duration times an overhead factor (setup, reruns, both attack
+  /// types, idle gaps).
+  netsim::Duration provisioned;
+  std::size_t aws_nodes = 0;
+  std::size_t azure_nodes = 0;
+  std::size_t gcp_nodes = 0;
+  std::size_t vultr_nodes = 0;
+  /// DCV validations served by the AWS serverless deployment (billed per
+  /// API Gateway call).
+  std::size_t aws_api_calls = 0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(PriceCatalog catalog = {}) : catalog_(catalog) {}
+
+  [[nodiscard]] ExperimentBill estimate(const ExperimentShape& shape) const;
+
+  [[nodiscard]] const PriceCatalog& catalog() const { return catalog_; }
+
+ private:
+  PriceCatalog catalog_;
+};
+
+}  // namespace marcopolo::cost

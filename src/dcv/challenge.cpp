@@ -1,0 +1,23 @@
+#include "dcv/challenge.hpp"
+
+namespace marcopolo::dcv {
+
+std::string ChallengeIssuer::random_label(std::size_t chars) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(chars);
+  for (std::size_t i = 0; i < chars; ++i) {
+    out.push_back(kHex[rng_.index(16)]);
+  }
+  return out;
+}
+
+Http01Challenge ChallengeIssuer::issue(std::string domain) {
+  Http01Challenge ch;
+  ch.domain = std::move(domain);
+  ch.token = random_label(32);
+  ch.key_authorization = ch.token + "." + random_label(16);
+  return ch;
+}
+
+}  // namespace marcopolo::dcv

@@ -1,0 +1,45 @@
+// HTTP-01 domain-control-validation challenges.
+//
+// A CA proves domain control by fetching
+//   http://<domain>/.well-known/acme-challenge/<token>
+// and checking the response is the token's key authorization. The fetch is
+// plain HTTP — which is exactly why BGP hijacks can defeat it (paper §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "netsim/random.hpp"
+
+namespace marcopolo::dcv {
+
+inline constexpr std::string_view kChallengePathPrefix =
+    "/.well-known/acme-challenge/";
+
+struct Http01Challenge {
+  std::string domain;
+  std::string token;
+  std::string key_authorization;
+
+  [[nodiscard]] std::string url_path() const {
+    return std::string(kChallengePathPrefix) + token;
+  }
+};
+
+/// Generates unpredictable tokens/authorizations from a seeded stream.
+class ChallengeIssuer {
+ public:
+  explicit ChallengeIssuer(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] Http01Challenge issue(std::string domain);
+
+  /// Random lowercase-hex label, e.g. for randomized subdomains
+  /// (the paper's workaround for CA challenge caching, §4.2.2).
+  [[nodiscard]] std::string random_label(std::size_t chars = 12);
+
+ private:
+  netsim::Rng rng_;
+};
+
+}  // namespace marcopolo::dcv

@@ -1,0 +1,32 @@
+#include "dcv/dns_authority.hpp"
+
+namespace marcopolo::dcv {
+
+DnsAuthority::DnsAuthority(netsim::Network& net, netsim::Ipv4Addr addr,
+                           netsim::GeoPoint where, std::string name)
+    : net_(net), addr_(addr), name_(std::move(name)) {
+  endpoint_ = net_.attach(addr, where, [this](const netsim::HttpRequest& req) {
+    return handle(req);
+  });
+}
+
+void DnsAuthority::add_record(std::string fqdn, netsim::Ipv4Addr a) {
+  records_.add(std::move(fqdn), a);
+}
+
+void DnsAuthority::add_wildcard(std::string zone, netsim::Ipv4Addr a) {
+  records_.add_wildcard(std::move(zone), a);
+}
+
+netsim::HttpResponse DnsAuthority::handle(const netsim::HttpRequest& req) {
+  queries_.push_back(
+      DnsQueryRecord{net_.simulator().now(), req.source, req.path});
+  if (req.method != "DNS") {
+    return netsim::HttpResponse{400, {}, "expected a DNS query"};
+  }
+  const auto answer = records_.resolve(req.path);
+  if (!answer) return netsim::HttpResponse{404, {}, "NXDOMAIN"};
+  return netsim::HttpResponse::text(answer->to_string());
+}
+
+}  // namespace marcopolo::dcv

@@ -1,0 +1,61 @@
+// Authoritative nameserver endpoint: the routed half of DCV resolution.
+//
+// A static DnsTable models DNS that cannot be attacked. This class instead
+// serves A records over the simulated network, so the resolution path
+// itself is subject to hijacks: if the nameserver's prefix is captured,
+// the adversary's authority answers the perspective's query with the
+// adversary's web server address and wins validation no matter how the web
+// prefix routes (the §6 DNS attack surface, at protocol level).
+//
+// Queries ride the HTTP message type with method "DNS" and the queried
+// name as the path; the response body is the dotted-quad answer.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/dns.hpp"
+#include "netsim/network.hpp"
+
+namespace marcopolo::dcv {
+
+struct DnsQueryRecord {
+  netsim::TimePoint at;
+  netsim::Ipv4Addr source;
+  std::string name;
+};
+
+class DnsAuthority {
+ public:
+  DnsAuthority(netsim::Network& net, netsim::Ipv4Addr addr,
+               netsim::GeoPoint where, std::string name);
+
+  DnsAuthority(const DnsAuthority&) = delete;
+  DnsAuthority& operator=(const DnsAuthority&) = delete;
+
+  /// Answer `fqdn` with `a`.
+  void add_record(std::string fqdn, netsim::Ipv4Addr a);
+  /// Answer any subdomain of `zone` with `a` (exact records win).
+  void add_wildcard(std::string zone, netsim::Ipv4Addr a);
+
+  [[nodiscard]] netsim::EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] netsim::Ipv4Addr address() const { return addr_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<DnsQueryRecord>& queries() const {
+    return queries_;
+  }
+  void clear_queries() { queries_.clear(); }
+
+ private:
+  netsim::HttpResponse handle(const netsim::HttpRequest& req);
+
+  netsim::Network& net_;
+  netsim::Ipv4Addr addr_;
+  std::string name_;
+  netsim::EndpointId endpoint_;
+  netsim::DnsTable records_;
+  std::vector<DnsQueryRecord> queries_;
+};
+
+}  // namespace marcopolo::dcv

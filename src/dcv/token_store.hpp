@@ -1,0 +1,39 @@
+// Shared challenge-token store (the "central server" of paper §4.2.2).
+//
+// During a MarcoPolo attack the CA's pre-flight may route to either the
+// victim or the adversary node; both must answer the challenge correctly
+// for the experiment to proceed. The paper forwards unknown requests to the
+// central server where the ACME client serves the token; we model that
+// forwarding as a lookup in this shared store (the extra forwarding RTT is
+// negligible at the fidelity of five-minute propagation waits).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace marcopolo::dcv {
+
+class TokenStore {
+ public:
+  /// Publish the body to serve at `path`.
+  void put(std::string path, std::string body) {
+    tokens_[std::move(path)] = std::move(body);
+  }
+
+  void remove(const std::string& path) { tokens_.erase(path); }
+  void clear() { tokens_.clear(); }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& path) const {
+    const auto it = tokens_.find(path);
+    if (it == tokens_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> tokens_;
+};
+
+}  // namespace marcopolo::dcv

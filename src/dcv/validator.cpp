@@ -1,0 +1,76 @@
+#include "dcv/validator.hpp"
+
+namespace marcopolo::dcv {
+
+PerspectiveAgent::PerspectiveAgent(netsim::Network& net,
+                                   const netsim::DnsTable& dns,
+                                   netsim::Ipv4Addr addr,
+                                   netsim::GeoPoint where, std::string name)
+    : net_(net), dns_(dns), addr_(addr), name_(std::move(name)) {
+  // Perspectives only originate requests; inbound traffic gets a 404.
+  endpoint_ = net_.attach(addr, where, [](const netsim::HttpRequest&) {
+    return netsim::HttpResponse::not_found();
+  });
+}
+
+void PerspectiveAgent::validate_routed(
+    netsim::Ipv4Addr ns_addr, const ValidationJob& job,
+    std::function<void(DcvResult)> done) {
+  netsim::HttpRequest query;
+  query.method = "DNS";
+  query.path = job.domain;
+  net_.send(
+      endpoint_, ns_addr, std::move(query),
+      [this, job, done = std::move(done)](
+          std::optional<netsim::HttpResponse> answer) mutable {
+        if (!answer || !answer->ok()) {
+          done(DcvResult{false, answer.has_value()});
+          return;
+        }
+        const auto target = netsim::Ipv4Addr::parse(answer->body);
+        if (!target) {
+          done(DcvResult{false, true});
+          return;
+        }
+        netsim::HttpRequest req;
+        req.method = "GET";
+        req.host = job.domain;
+        req.path = job.path;
+        net_.send(endpoint_, *target, std::move(req),
+                  [expected = job.expected_body, done = std::move(done)](
+                      std::optional<netsim::HttpResponse> resp) {
+                    DcvResult result;
+                    result.responded = resp.has_value();
+                    result.success = resp.has_value() && resp->ok() &&
+                                     resp->body == expected;
+                    done(result);
+                  });
+      });
+}
+
+void PerspectiveAgent::validate(const ValidationJob& job,
+                                std::function<void(DcvResult)> done) {
+  const auto target = dns_.resolve(job.domain);
+  if (!target) {
+    net_.simulator().schedule_after(netsim::milliseconds(1),
+                                    [done = std::move(done)] {
+                                      done(DcvResult{false, false});
+                                    });
+    return;
+  }
+  netsim::HttpRequest req;
+  req.method = "GET";
+  req.host = job.domain;
+  req.path = job.path;
+  net_.send(endpoint_, *target, std::move(req),
+            [expected = job.expected_body, done = std::move(done)](
+                std::optional<netsim::HttpResponse> resp) {
+              DcvResult result;
+              result.responded = resp.has_value();
+              result.success =
+                  resp.has_value() && resp->ok() && resp->body == expected;
+              done(result);
+            });
+}
+
+}  // namespace marcopolo::dcv

@@ -1,0 +1,62 @@
+// Perspective validation agent: performs one HTTP-01 check from one
+// network vantage point.
+//
+// Mirrors the paper's per-perspective Flask worker (§4.3): resolve the
+// domain, fetch the challenge URL from this perspective's network location,
+// and report success/failure to whoever aggregates (REST MPIC service or
+// ACME CA).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "netsim/dns.hpp"
+#include "netsim/network.hpp"
+
+namespace marcopolo::dcv {
+
+struct ValidationJob {
+  std::string domain;         ///< Name to resolve and put in Host:.
+  std::string path;           ///< Challenge URL path.
+  std::string expected_body;  ///< Key authorization that must come back.
+};
+
+struct DcvResult {
+  bool success = false;    ///< Body matched the key authorization.
+  bool responded = false;  ///< Any HTTP response at all (vs loss/unreachable).
+};
+
+class PerspectiveAgent {
+ public:
+  PerspectiveAgent(netsim::Network& net, const netsim::DnsTable& dns,
+                   netsim::Ipv4Addr addr, netsim::GeoPoint where,
+                   std::string name);
+
+  PerspectiveAgent(const PerspectiveAgent&) = delete;
+  PerspectiveAgent& operator=(const PerspectiveAgent&) = delete;
+
+  /// Run the check against the static table; `done` fires exactly once.
+  void validate(const ValidationJob& job,
+                std::function<void(DcvResult)> done);
+
+  /// Routed variant: resolve the domain by querying the authoritative
+  /// nameserver at `ns_addr` over the (hijackable) network, then fetch the
+  /// challenge from whatever address the answering authority returned.
+  /// This is the DNS attack surface at protocol level: a captured
+  /// nameserver steers the whole validation.
+  void validate_routed(netsim::Ipv4Addr ns_addr, const ValidationJob& job,
+                       std::function<void(DcvResult)> done);
+
+  [[nodiscard]] netsim::EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] netsim::Ipv4Addr address() const { return addr_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  netsim::Network& net_;
+  const netsim::DnsTable& dns_;
+  netsim::Ipv4Addr addr_;
+  std::string name_;
+  netsim::EndpointId endpoint_;
+};
+
+}  // namespace marcopolo::dcv

@@ -1,0 +1,35 @@
+#include "dcv/webserver.hpp"
+
+namespace marcopolo::dcv {
+
+SimWebServer::SimWebServer(netsim::Network& net, netsim::Ipv4Addr addr,
+                           netsim::GeoPoint where, std::string name)
+    : net_(net), addr_(addr), name_(std::move(name)) {
+  endpoint_ = net_.attach(addr, where, [this](const netsim::HttpRequest& req) {
+    return handle(req);
+  });
+}
+
+void SimWebServer::serve(std::string path, std::string body) {
+  local_paths_[std::move(path)] = std::move(body);
+}
+
+void SimWebServer::stop_serving(const std::string& path) {
+  local_paths_.erase(path);
+}
+
+netsim::HttpResponse SimWebServer::handle(const netsim::HttpRequest& req) {
+  requests_.push_back(
+      RequestRecord{net_.simulator().now(), req.source, req.host, req.path});
+  if (const auto it = local_paths_.find(req.path); it != local_paths_.end()) {
+    return netsim::HttpResponse::text(it->second);
+  }
+  if (fallback_ != nullptr) {
+    if (auto body = fallback_->get(req.path)) {
+      return netsim::HttpResponse::text(std::move(*body));
+    }
+  }
+  return netsim::HttpResponse::not_found();
+}
+
+}  // namespace marcopolo::dcv

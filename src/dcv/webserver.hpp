@@ -1,0 +1,64 @@
+// Simulated web server: serves challenge tokens and logs request sources.
+//
+// Victim and adversary nodes each run one of these. The request log — which
+// perspective source addresses hit which node — is MarcoPolo's raw
+// measurement (paper §4.1 step 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcv/token_store.hpp"
+#include "netsim/network.hpp"
+
+namespace marcopolo::dcv {
+
+struct RequestRecord {
+  netsim::TimePoint at;
+  netsim::Ipv4Addr source;
+  std::string host;
+  std::string path;
+};
+
+class SimWebServer {
+ public:
+  /// Attach a server at `addr` / `where` on the network.
+  SimWebServer(netsim::Network& net, netsim::Ipv4Addr addr,
+               netsim::GeoPoint where, std::string name);
+
+  SimWebServer(const SimWebServer&) = delete;
+  SimWebServer& operator=(const SimWebServer&) = delete;
+
+  [[nodiscard]] netsim::EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] netsim::Ipv4Addr address() const { return addr_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Serve `body` at `path` locally (exact match).
+  void serve(std::string path, std::string body);
+  void stop_serving(const std::string& path);
+
+  /// Requests for unknown paths consult this store — the central-server
+  /// forwarding trick that lets both attack endpoints pass pre-flight.
+  void set_fallback(std::shared_ptr<const TokenStore> store) {
+    fallback_ = std::move(store);
+  }
+
+  [[nodiscard]] const std::vector<RequestRecord>& requests() const {
+    return requests_;
+  }
+  void clear_requests() { requests_.clear(); }
+
+ private:
+  netsim::HttpResponse handle(const netsim::HttpRequest& req);
+
+  netsim::Network& net_;
+  netsim::Ipv4Addr addr_;
+  std::string name_;
+  netsim::EndpointId endpoint_;
+  std::unordered_map<std::string, std::string> local_paths_;
+  std::shared_ptr<const TokenStore> fallback_;
+  std::vector<RequestRecord> requests_;
+};
+
+}  // namespace marcopolo::dcv

@@ -1,0 +1,75 @@
+// Umbrella header: the MarcoPolo public API in one include.
+//
+//   #include "marcopolo.hpp"
+//
+//   marcopolo::core::Testbed testbed{{}};
+//   auto dataset = marcopolo::core::run_paper_campaigns(
+//       testbed, marcopolo::bgp::TieBreakMode::Hashed, 0xCAFE);
+//   marcopolo::analysis::ResilienceAnalyzer plain(dataset.no_rpki);
+//   ...
+//
+// Individual module headers remain includable on their own; this header is
+// a convenience for applications.
+#pragma once
+
+// Simulation substrate.
+#include "netsim/dns.hpp"
+#include "netsim/event_queue.hpp"
+#include "netsim/geo.hpp"
+#include "netsim/http.hpp"
+#include "netsim/ip.hpp"
+#include "netsim/network.hpp"
+#include "netsim/prefix_trie.hpp"
+#include "netsim/random.hpp"
+#include "netsim/time.hpp"
+
+// BGP: analytic engine and event-driven session layer.
+#include "bgp/as_graph.hpp"
+#include "bgp/announcement.hpp"
+#include "bgp/decision.hpp"
+#include "bgp/propagation.hpp"
+#include "bgp/rpki.hpp"
+#include "bgp/scenario.hpp"
+#include "bgpd/network.hpp"
+#include "bgpd/speaker.hpp"
+
+// Topology and cloud models.
+#include "cloud/model.hpp"
+#include "topo/internet.hpp"
+#include "topo/region_catalog.hpp"
+#include "topo/rir.hpp"
+#include "topo/vultr.hpp"
+
+// DCV and MPIC systems.
+#include "dcv/challenge.hpp"
+#include "dcv/dns_authority.hpp"
+#include "dcv/token_store.hpp"
+#include "dcv/validator.hpp"
+#include "dcv/webserver.hpp"
+#include "mpic/acme_ca.hpp"
+#include "mpic/certbot_client.hpp"
+#include "mpic/deployment.hpp"
+#include "mpic/quorum.hpp"
+#include "mpic/rest_service.hpp"
+
+// The MarcoPolo core.
+#include "marcopolo/attack_plane.hpp"
+#include "marcopolo/fast_campaign.hpp"
+#include "marcopolo/live_campaign.hpp"
+#include "marcopolo/orchestrator.hpp"
+#include "marcopolo/production_systems.hpp"
+#include "marcopolo/result_store.hpp"
+#include "marcopolo/testbed.hpp"
+
+// Analysis.
+#include "analysis/bootstrap.hpp"
+#include "analysis/export.hpp"
+#include "analysis/optimizer.hpp"
+#include "analysis/report.hpp"
+#include "analysis/resilience.hpp"
+#include "analysis/rir_cluster.hpp"
+#include "analysis/rpki_model.hpp"
+#include "analysis/weighted.hpp"
+
+// Cost model.
+#include "cost/model.hpp"

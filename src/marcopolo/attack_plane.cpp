@@ -1,0 +1,67 @@
+#include "marcopolo/attack_plane.hpp"
+
+#include <stdexcept>
+
+namespace marcopolo::core {
+
+void AttackPlane::register_site(netsim::EndpointId ep, std::uint16_t site,
+                                netsim::Ipv4Addr addr) {
+  site_of_[ep.value] = site;
+  owners_[addr] = ep;
+}
+
+void AttackPlane::register_perspective(netsim::EndpointId ep,
+                                       std::uint16_t perspective,
+                                       netsim::Ipv4Addr addr) {
+  perspective_of_[ep.value] = perspective;
+  owners_[addr] = ep;
+}
+
+void AttackPlane::register_static(netsim::EndpointId ep,
+                                  netsim::Ipv4Addr addr) {
+  owners_[addr] = ep;
+}
+
+void AttackPlane::begin_attack(netsim::Ipv4Addr target, ActiveAttack attack) {
+  if (attack.scenario == nullptr) {
+    throw std::invalid_argument("attack needs a scenario");
+  }
+  if (!active_.emplace(target, attack).second) {
+    throw std::logic_error("target address already under attack: " +
+                           target.to_string());
+  }
+}
+
+void AttackPlane::end_attack(netsim::Ipv4Addr target) {
+  active_.erase(target);
+}
+
+netsim::EndpointId AttackPlane::resolve(netsim::EndpointId src,
+                                        netsim::Ipv4Addr dst) const {
+  const auto attack_it = active_.find(dst);
+  if (attack_it == active_.end()) {
+    const auto owner_it = owners_.find(dst);
+    return owner_it == owners_.end() ? netsim::EndpointId{} : owner_it->second;
+  }
+  const ActiveAttack& attack = attack_it->second;
+
+  bgp::OriginReached outcome = bgp::OriginReached::Victim;
+  if (const auto p = perspective_of_.find(src.value);
+      p != perspective_of_.end()) {
+    outcome = testbed_.perspective_outcome(p->second, *attack.scenario,
+                                           attack.roas);
+  } else if (const auto s = site_of_.find(src.value); s != site_of_.end()) {
+    outcome = attack.scenario->reached(testbed_.sites()[s->second].node);
+  }
+  // Other sources (orchestrator-internal clients) reach the legitimate
+  // owner: the victim.
+
+  switch (outcome) {
+    case bgp::OriginReached::Victim: return attack.victim_ep;
+    case bgp::OriginReached::Adversary: return attack.adversary_ep;
+    case bgp::OriginReached::None: return netsim::EndpointId{};
+  }
+  return netsim::EndpointId{};
+}
+
+}  // namespace marcopolo::core

@@ -1,0 +1,55 @@
+// Forwarding plane driven by hijack scenarios.
+//
+// While an attack is active, packets addressed to the attacked target are
+// delivered to the victim's or the adversary's web server depending on the
+// *source's* routing state: Vultr-site sources follow their AS's best
+// route; cloud-perspective sources follow their provider's egress policy.
+// Multiple attacks (prefix partition lanes, §4.2.3) can be active at once,
+// keyed by target address.
+#pragma once
+
+#include <unordered_map>
+
+#include "marcopolo/testbed.hpp"
+#include "netsim/network.hpp"
+
+namespace marcopolo::core {
+
+class AttackPlane final : public netsim::ForwardingPlane {
+ public:
+  explicit AttackPlane(const Testbed& testbed) : testbed_(testbed) {}
+
+  /// Register the web server endpoint of a Vultr site.
+  void register_site(netsim::EndpointId ep, std::uint16_t site,
+                     netsim::Ipv4Addr addr);
+  /// Register a cloud perspective's agent endpoint.
+  void register_perspective(netsim::EndpointId ep, std::uint16_t perspective,
+                            netsim::Ipv4Addr addr);
+  /// Register any other endpoint for plain address-owner forwarding.
+  void register_static(netsim::EndpointId ep, netsim::Ipv4Addr addr);
+
+  struct ActiveAttack {
+    const bgp::HijackScenario* scenario = nullptr;
+    const bgp::RoaRegistry* roas = nullptr;
+    netsim::EndpointId victim_ep;
+    netsim::EndpointId adversary_ep;
+  };
+
+  /// Activate an attack for its target address. Throws if the address is
+  /// already under attack (lanes must use distinct prefixes).
+  void begin_attack(netsim::Ipv4Addr target, ActiveAttack attack);
+  void end_attack(netsim::Ipv4Addr target);
+  [[nodiscard]] std::size_t active_attacks() const { return active_.size(); }
+
+  [[nodiscard]] netsim::EndpointId resolve(netsim::EndpointId src,
+                                           netsim::Ipv4Addr dst) const override;
+
+ private:
+  const Testbed& testbed_;
+  std::unordered_map<std::uint32_t, std::uint16_t> site_of_;
+  std::unordered_map<std::uint32_t, std::uint16_t> perspective_of_;
+  std::unordered_map<netsim::Ipv4Addr, netsim::EndpointId> owners_;
+  std::unordered_map<netsim::Ipv4Addr, ActiveAttack> active_;
+};
+
+}  // namespace marcopolo::core

@@ -1,0 +1,68 @@
+#include "marcopolo/fast_campaign.hpp"
+
+namespace marcopolo::core {
+
+ResultStore run_fast_campaign(const Testbed& testbed,
+                              const FastCampaignConfig& config) {
+  const auto& sites = testbed.sites();
+  ResultStore store(sites.size(), testbed.perspectives().size());
+  const bgp::ScenarioConfig sc{config.type, config.tie_break,
+                               config.tie_break_seed, config.roas};
+
+  const bgp::RoaRegistry* edge_roas =
+      config.cloud_edge_rov ? config.roas : nullptr;
+  if (config.surface == AttackSurface::Dns &&
+      !config.dns_host_of_victim.empty() &&
+      config.dns_host_of_victim.size() != sites.size()) {
+    throw std::invalid_argument("dns_host_of_victim size != site count");
+  }
+  for (std::size_t v = 0; v < sites.size(); ++v) {
+    // Under the DNS surface the contested prefix belongs to the victim's
+    // nameserver host; the resilience accounting still belongs to v.
+    std::size_t announcer = v;
+    if (config.surface == AttackSurface::Dns &&
+        !config.dns_host_of_victim.empty()) {
+      announcer = config.dns_host_of_victim[v];
+    }
+    for (std::size_t a = 0; a < sites.size(); ++a) {
+      if (v == a) continue;
+      if (announcer == a) {
+        // The adversary hosts the victim's DNS: every perspective resolves
+        // through the adversary already; record total capture.
+        for (const PerspectiveRecord& rec : testbed.perspectives()) {
+          store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
+                       rec.index, bgp::OriginReached::Adversary);
+        }
+        continue;
+      }
+      const bgp::HijackScenario scenario(testbed.internet().graph(),
+                                         sites[announcer].node,
+                                         sites[a].node,
+                                         config.victim_prefix(announcer), sc);
+      for (const PerspectiveRecord& rec : testbed.perspectives()) {
+        store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
+                     rec.index,
+                     testbed.perspective_outcome(rec.index, scenario,
+                                                 edge_roas));
+      }
+    }
+  }
+  return store;
+}
+
+CampaignDataset run_paper_campaigns(const Testbed& testbed,
+                                    bgp::TieBreakMode tie_break,
+                                    std::uint64_t tie_break_seed) {
+  FastCampaignConfig plain;
+  plain.type = bgp::AttackType::EquallySpecific;
+  plain.tie_break = tie_break;
+  plain.tie_break_seed = tie_break_seed;
+
+  FastCampaignConfig forged = plain;
+  forged.type = bgp::AttackType::ForgedOriginPrepend;
+
+  return CampaignDataset{run_fast_campaign(testbed, plain),
+                         run_fast_campaign(testbed, forged)};
+}
+
+}  // namespace marcopolo::core

@@ -1,0 +1,81 @@
+// Fast campaign runner: the hijack matrix without network simulation.
+//
+// Post-hoc analysis only needs the hijacked(P, v, a) relation, which is
+// fully determined by BGP propagation — the DCV/HTTP machinery adds
+// fidelity for the orchestration path but not information. This runner
+// evaluates every ordered victim-adversary pair directly and fills a
+// ResultStore; an integration test checks it agrees with the full
+// orchestrator.
+#pragma once
+
+#include "bgp/scenario.hpp"
+#include "marcopolo/result_store.hpp"
+#include "marcopolo/testbed.hpp"
+
+namespace marcopolo::core {
+
+/// Which DCV dependency the adversary attacks (paper §6 flags the DNS
+/// surface as future work; Akiwate et al. study the real-world incidents).
+enum class AttackSurface : std::uint8_t {
+  /// The web server's prefix: perspectives fetching the HTTP-01 challenge
+  /// are split between victim and adversary by the hijack.
+  Http,
+  /// The authoritative nameserver's prefix: a perspective that resolves
+  /// the domain through a captured nameserver receives the adversary's A
+  /// record and validates against the adversary no matter how the web
+  /// path routes.
+  Dns,
+};
+
+struct FastCampaignConfig {
+  bgp::AttackType type = bgp::AttackType::EquallySpecific;
+  AttackSurface surface = AttackSurface::Http;
+  /// Dns surface only: site index hosting victim v's authoritative
+  /// nameserver (empty = self-hosted at the victim, which makes the DNS
+  /// surface equivalent to the HTTP surface). One entry per site.
+  std::vector<SiteIndex> dns_host_of_victim;
+  bgp::TieBreakMode tie_break = bgp::TieBreakMode::Hashed;
+  std::uint64_t tie_break_seed = 0xCAFE;
+  /// ROAs; ROV-enforcing ASes (and cloud edges when enabled) filter
+  /// invalid announcements against this registry. May be null.
+  const bgp::RoaRegistry* roas = nullptr;
+  /// Whether cloud backbones drop RPKI-invalid candidates at their edges.
+  /// All three providers enforce ROV in production today, so this defaults
+  /// on; disable it to isolate the effect of transit-level ROV deployment.
+  bool cloud_edge_rov = true;
+  /// Victim prefix used for every attack (one lane is enough: virtual
+  /// attacks do not interfere).
+  netsim::Ipv4Prefix prefix =
+      *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  /// Give every victim its own /24 (prefix + victim_index * 256). Required
+  /// for meaningful ROA experiments: a ROA authorizes one victim's origin
+  /// for one prefix, so the hijacker's announcement of *that* prefix is
+  /// Invalid while its own legitimate prefix stays Valid.
+  bool per_victim_prefix = false;
+
+  /// The prefix victim `v` announces under this config.
+  [[nodiscard]] netsim::Ipv4Prefix victim_prefix(std::size_t v) const {
+    if (!per_victim_prefix) return prefix;
+    return netsim::Ipv4Prefix(
+        netsim::Ipv4Addr(prefix.network().value() +
+                         (static_cast<std::uint32_t>(v) << 8)),
+        24);
+  }
+};
+
+/// Run all |sites| x (|sites|-1) attacks and record every perspective's
+/// outcome.
+[[nodiscard]] ResultStore run_fast_campaign(const Testbed& testbed,
+                                            const FastCampaignConfig& config);
+
+/// Convenience: the standard paper dataset pair — an EquallySpecific run
+/// ("no RPKI") and a ForgedOriginPrepend run ("RPKI"), same tie-break.
+struct CampaignDataset {
+  ResultStore no_rpki;
+  ResultStore rpki;
+};
+[[nodiscard]] CampaignDataset run_paper_campaigns(
+    const Testbed& testbed, bgp::TieBreakMode tie_break,
+    std::uint64_t tie_break_seed);
+
+}  // namespace marcopolo::core

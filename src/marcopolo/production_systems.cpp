@@ -1,0 +1,55 @@
+#include "marcopolo/production_systems.hpp"
+
+#include <stdexcept>
+
+namespace marcopolo::core {
+
+namespace {
+
+std::uint16_t must_find(const Testbed& tb, topo::CloudProvider provider,
+                        std::string_view region) {
+  const auto idx = tb.find_perspective(provider, region);
+  if (!idx) {
+    throw std::logic_error("testbed is missing region " + std::string(region));
+  }
+  return *idx;
+}
+
+}  // namespace
+
+mpic::DeploymentSpec lets_encrypt_spec(const Testbed& tb) {
+  using topo::CloudProvider::Aws;
+  mpic::DeploymentSpec spec;
+  spec.name = "lets-encrypt";
+  spec.primary = must_find(tb, Aws, "us-east-1");
+  spec.remotes = {
+      must_find(tb, Aws, "us-west-2"),
+      must_find(tb, Aws, "eu-central-1"),
+      must_find(tb, Aws, "ap-southeast-1"),
+      must_find(tb, Aws, "sa-east-1"),
+  };
+  spec.policy = mpic::QuorumPolicy(4, 1, /*primary=*/true);
+  spec.check();
+  return spec;
+}
+
+mpic::DeploymentSpec cloudflare_spec(const Testbed& tb) {
+  using topo::CloudProvider::Azure;
+  mpic::DeploymentSpec spec;
+  spec.name = "cloudflare";
+  spec.remotes = {
+      must_find(tb, Azure, "us-east"),
+      must_find(tb, Azure, "us-west"),
+      must_find(tb, Azure, "europe-west"),
+      must_find(tb, Azure, "uk-south"),
+      must_find(tb, Azure, "asia-southeast"),
+      must_find(tb, Azure, "japan-east"),
+      must_find(tb, Azure, "brazil-south"),
+      must_find(tb, Azure, "australia-east"),
+  };
+  spec.policy = mpic::QuorumPolicy(8, 0, /*primary=*/false);
+  spec.check();
+  return spec;
+}
+
+}  // namespace marcopolo::core

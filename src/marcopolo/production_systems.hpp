@@ -1,0 +1,22 @@
+// Models of the two production MPIC systems the paper evaluates (§4.3).
+//
+// The real systems are opaque; the paper measures them as black boxes. We
+// substitute plausible deployments on our own perspectives, with the same
+// interface family and quorum policy the paper reports:
+//   Let's Encrypt: ACME-triggered, primary + 4 remotes, N-1 quorum.
+//   Cloudflare:    REST API, 8 perspectives, full (N-0) quorum.
+#pragma once
+
+#include "marcopolo/testbed.hpp"
+#include "mpic/deployment.hpp"
+
+namespace marcopolo::core {
+
+/// (primary + 4, N-1) on AWS regions, primary in us-east-1.
+[[nodiscard]] mpic::DeploymentSpec lets_encrypt_spec(const Testbed& testbed);
+
+/// (8, N) across diverse regions (the real system runs on Cloudflare's own
+/// anycast network; we approximate with a geographically diverse set).
+[[nodiscard]] mpic::DeploymentSpec cloudflare_spec(const Testbed& testbed);
+
+}  // namespace marcopolo::core

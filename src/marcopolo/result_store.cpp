@@ -1,0 +1,114 @@
+#include "marcopolo/result_store.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace marcopolo::core {
+
+ResultStore::ResultStore(std::size_t num_sites, std::size_t num_perspectives)
+    : num_sites_(num_sites),
+      num_perspectives_(num_perspectives),
+      outcomes_(num_sites * num_sites * num_perspectives, kUnrecorded),
+      hijack_bytes_(num_sites * num_sites * num_perspectives, 0) {}
+
+void ResultStore::record(SiteIndex victim, SiteIndex adversary,
+                         PerspectiveIndex p, bgp::OriginReached outcome) {
+  if (victim >= num_sites_ || adversary >= num_sites_ ||
+      p >= num_perspectives_) {
+    throw std::out_of_range("record() index");
+  }
+  const std::size_t idx = p * num_pairs() + pair_index(victim, adversary);
+  outcomes_[idx] = static_cast<std::uint8_t>(outcome);
+  hijack_bytes_[idx] =
+      outcome == bgp::OriginReached::Adversary ? std::uint8_t{1}
+                                               : std::uint8_t{0};
+}
+
+bgp::OriginReached ResultStore::outcome(SiteIndex victim, SiteIndex adversary,
+                                        PerspectiveIndex p) const {
+  const std::size_t idx = p * num_pairs() + pair_index(victim, adversary);
+  const std::uint8_t raw = outcomes_.at(idx);
+  if (raw == kUnrecorded) return bgp::OriginReached::None;
+  return static_cast<bgp::OriginReached>(raw);
+}
+
+std::size_t ResultStore::hijacked_count(
+    SiteIndex victim, SiteIndex adversary,
+    const std::vector<PerspectiveIndex>& set) const {
+  std::size_t count = 0;
+  for (const PerspectiveIndex p : set) {
+    if (hijacked(victim, adversary, p)) ++count;
+  }
+  return count;
+}
+
+bool ResultStore::pair_complete(SiteIndex victim, SiteIndex adversary) const {
+  for (std::size_t p = 0; p < num_perspectives_; ++p) {
+    if (outcomes_[p * num_pairs() + pair_index(victim, adversary)] ==
+        kUnrecorded) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::uint8_t* ResultStore::hijack_bytes(PerspectiveIndex p) const {
+  if (p >= num_perspectives_) throw std::out_of_range("perspective index");
+  return hijack_bytes_.data() + static_cast<std::size_t>(p) * num_pairs();
+}
+
+void ResultStore::save_csv(std::ostream& out) const {
+  out << "sites," << num_sites_ << ",perspectives," << num_perspectives_
+      << "\n";
+  out << "victim,adversary,perspective,outcome\n";
+  for (std::size_t v = 0; v < num_sites_; ++v) {
+    for (std::size_t a = 0; a < num_sites_; ++a) {
+      for (std::size_t p = 0; p < num_perspectives_; ++p) {
+        const std::size_t idx =
+            p * num_pairs() + pair_index(static_cast<SiteIndex>(v),
+                                         static_cast<SiteIndex>(a));
+        if (outcomes_[idx] == kUnrecorded) continue;
+        out << v << ',' << a << ',' << p << ','
+            << static_cast<int>(outcomes_[idx]) << "\n";
+      }
+    }
+  }
+}
+
+ResultStore ResultStore::load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty results csv");
+  std::size_t sites = 0;
+  std::size_t perspectives = 0;
+  {
+    std::istringstream header(line);
+    std::string tag;
+    char comma = 0;
+    std::getline(header, tag, ',');
+    if (tag != "sites") throw std::runtime_error("bad results csv header");
+    header >> sites >> comma;
+    std::getline(header, tag, ',');
+    header >> perspectives;
+  }
+  ResultStore store(sites, perspectives);
+  std::getline(in, line);  // column header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::size_t v = 0;
+    std::size_t a = 0;
+    std::size_t p = 0;
+    int outcome = 0;
+    char c = 0;
+    row >> v >> c >> a >> c >> p >> c >> outcome;
+    if (!row) throw std::runtime_error("bad results csv row: " + line);
+    store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
+                 static_cast<PerspectiveIndex>(p),
+                 static_cast<bgp::OriginReached>(outcome));
+  }
+  return store;
+}
+
+}  // namespace marcopolo::core

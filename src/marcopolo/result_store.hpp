@@ -1,0 +1,78 @@
+// Raw campaign results: the hijacked(P, v, a) relation.
+//
+// For every ordered (victim, adversary) pair of BGP nodes and every
+// perspective, the store records which origin the perspective's DCV request
+// reached. All post-hoc analysis (Appendix A) is computed from this store;
+// it can be saved/loaded as CSV, mirroring the paper's published raw logs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bgp/scenario.hpp"
+
+namespace marcopolo::core {
+
+using SiteIndex = std::uint16_t;
+using PerspectiveIndex = std::uint16_t;
+
+class ResultStore {
+ public:
+  ResultStore() = default;
+  ResultStore(std::size_t num_sites, std::size_t num_perspectives);
+
+  [[nodiscard]] std::size_t num_sites() const { return num_sites_; }
+  [[nodiscard]] std::size_t num_perspectives() const {
+    return num_perspectives_;
+  }
+  /// Ordered pairs including the unused diagonal (kept for O(1) indexing).
+  [[nodiscard]] std::size_t num_pairs() const {
+    return num_sites_ * num_sites_;
+  }
+  [[nodiscard]] std::size_t pair_index(SiteIndex victim,
+                                       SiteIndex adversary) const {
+    return static_cast<std::size_t>(victim) * num_sites_ + adversary;
+  }
+
+  void record(SiteIndex victim, SiteIndex adversary, PerspectiveIndex p,
+              bgp::OriginReached outcome);
+
+  [[nodiscard]] bgp::OriginReached outcome(SiteIndex victim,
+                                           SiteIndex adversary,
+                                           PerspectiveIndex p) const;
+
+  /// True if the perspective was recorded as reaching the adversary.
+  [[nodiscard]] bool hijacked(SiteIndex victim, SiteIndex adversary,
+                              PerspectiveIndex p) const {
+    return outcome(victim, adversary, p) == bgp::OriginReached::Adversary;
+  }
+
+  /// Number of hijacked perspectives among `set` for one pair — the
+  /// paper's hijacked(P, v, a).
+  [[nodiscard]] std::size_t hijacked_count(
+      SiteIndex victim, SiteIndex adversary,
+      const std::vector<PerspectiveIndex>& set) const;
+
+  /// Whether every perspective has an outcome for the pair (step 5's
+  /// completeness check; Unrecorded != None — None means "no route").
+  [[nodiscard]] bool pair_complete(SiteIndex victim, SiteIndex adversary) const;
+
+  /// 0/1 byte per pair for a perspective (1 = hijacked); the analysis
+  /// kernel consumes this layout directly.
+  [[nodiscard]] const std::uint8_t* hijack_bytes(PerspectiveIndex p) const;
+
+  void save_csv(std::ostream& out) const;
+  [[nodiscard]] static ResultStore load_csv(std::istream& in);
+
+ private:
+  // Row-major [perspective][pair]; kUnrecorded marks missing entries.
+  static constexpr std::uint8_t kUnrecorded = 0xff;
+  std::size_t num_sites_ = 0;
+  std::size_t num_perspectives_ = 0;
+  std::vector<std::uint8_t> outcomes_;      // OriginReached or kUnrecorded
+  std::vector<std::uint8_t> hijack_bytes_;  // 0/1 view kept in sync
+};
+
+}  // namespace marcopolo::core

@@ -1,0 +1,130 @@
+#include "mpic/acme_ca.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace marcopolo::mpic {
+
+AcmeCa::AcmeCa(netsim::Simulator& sim, dcv::PerspectiveAgent* primary,
+               std::vector<dcv::PerspectiveAgent*> remotes,
+               AcmeCaConfig config)
+    : sim_(sim),
+      primary_(primary),
+      remotes_(std::move(remotes)),
+      config_(std::move(config)),
+      issuer_(config_.challenge_seed) {
+  if (primary_ == nullptr) {
+    throw std::invalid_argument("ACME CA requires a primary perspective");
+  }
+  if (!config_.policy.primary_required) {
+    throw std::invalid_argument("ACME CA policy must require the primary");
+  }
+  if (config_.policy.remote_count != remotes_.size()) {
+    throw std::invalid_argument("policy remote_count != remotes.size()");
+  }
+}
+
+std::size_t AcmeCa::orders_seen(const std::string& domain) const {
+  const auto it = order_counts_.find(domain);
+  return it == order_counts_.end() ? 0 : it->second;
+}
+
+void AcmeCa::invalidate_authorization(const std::string& domain) {
+  authz_valid_until_.erase(domain);
+}
+
+bool AcmeCa::finalize(const std::string& domain) const {
+  if (config_.staging) return false;  // staging never signs (paper §3)
+  const auto it = dcv_passed_.find(domain);
+  return it != dcv_passed_.end() && it->second;
+}
+
+void AcmeCa::order(
+    const std::string& domain,
+    const std::function<void(const dcv::Http01Challenge&)>& publish,
+    std::function<void(OrderResult)> done) {
+  auto& count = order_counts_[domain];
+  if (config_.per_domain_order_limit > 0 &&
+      count >= config_.per_domain_order_limit) {
+    sim_.schedule_after(netsim::milliseconds(1), [done = std::move(done)] {
+      OrderResult r;
+      r.status = OrderStatus::RateLimited;
+      done(r);
+    });
+    return;
+  }
+  ++count;
+
+  // Challenge caching: a still-valid authorization short-circuits DCV.
+  if (const auto it = authz_valid_until_.find(domain);
+      it != authz_valid_until_.end() && it->second > sim_.now()) {
+    sim_.schedule_after(netsim::milliseconds(1), [done = std::move(done)] {
+      OrderResult r;
+      r.status = OrderStatus::Ready;
+      r.from_cached_authorization = true;
+      done(r);
+    });
+    return;
+  }
+
+  const dcv::Http01Challenge challenge = issuer_.issue(domain);
+  publish(challenge);
+
+  dcv::ValidationJob job{challenge.domain, challenge.url_path(),
+                         challenge.key_authorization};
+
+  // Pre-flight from the primary perspective; remotes only if it passes.
+  primary_->validate(job, [this, domain, job,
+                           done = std::move(done)](dcv::DcvResult pre) mutable {
+    if (!pre.success) {
+      OrderResult r;
+      r.status = OrderStatus::PreflightFailed;
+      r.preflight_ran = true;
+      r.preflight_ok = false;
+      done(r);
+      return;
+    }
+
+    struct Pending {
+      OrderResult result;
+      std::size_t outstanding;
+    };
+    auto pending = std::make_shared<Pending>();
+    pending->result.preflight_ran = true;
+    pending->result.preflight_ok = true;
+    pending->result.remotes.resize(remotes_.size());
+    pending->outstanding = remotes_.size();
+
+    auto conclude = [this, domain, pending,
+                     done = std::move(done)]() mutable {
+      const bool pass =
+          pending->result.remote_successes >= config_.policy.required();
+      pending->result.status =
+          pass ? OrderStatus::Ready : OrderStatus::QuorumFailed;
+      if (pass) {
+        authz_valid_until_[domain] = sim_.now() + config_.authz_cache_ttl;
+        dcv_passed_[domain] = true;
+      }
+      done(std::move(pending->result));
+    };
+
+    if (remotes_.empty()) {
+      sim_.schedule_after(netsim::milliseconds(1), std::move(conclude));
+      return;
+    }
+    auto conclude_shared =
+        std::make_shared<decltype(conclude)>(std::move(conclude));
+    for (std::size_t i = 0; i < remotes_.size(); ++i) {
+      pending->result.remotes[i].perspective = remotes_[i]->name();
+      remotes_[i]->validate(job, [pending, i,
+                                  conclude_shared](dcv::DcvResult r) {
+        pending->result.remotes[i].success = r.success;
+        pending->result.remotes[i].responded = r.responded;
+        if (r.success) ++pending->result.remote_successes;
+        if (--pending->outstanding == 0) (*conclude_shared)();
+      });
+    }
+  });
+}
+
+}  // namespace marcopolo::mpic

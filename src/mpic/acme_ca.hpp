@@ -1,0 +1,103 @@
+// ACME-based CA with MPIC (Let's Encrypt / Google Trust Services style).
+//
+// Models the Certbot-facing behaviors the paper had to engineer around
+// (§4.2.2):
+//   - Authorization caching: a valid authorization for a domain is reused
+//     for its TTL, so a repeat order skips DCV entirely. MarcoPolo defeats
+//     this with randomized subdomains.
+//   - Pre-flight validation: one perspective (the primary) validates
+//     first; remote perspectives only run if it passes.
+//   - Staging never finalizes: finalize() on a staging CA always refuses,
+//     mirroring the experiment's never-issue safety property (§3).
+//   - Per-domain order rate limits.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dcv/challenge.hpp"
+#include "dcv/validator.hpp"
+#include "mpic/quorum.hpp"
+#include "mpic/rest_service.hpp"
+#include "netsim/event_queue.hpp"
+
+namespace marcopolo::mpic {
+
+struct AcmeCaConfig {
+  std::string name = "le-staging";
+  bool staging = true;
+  QuorumPolicy policy;  ///< primary_required should be true for LE-style CAs.
+  netsim::Duration authz_cache_ttl = netsim::hours(8);
+  /// Max orders per exact domain (0 = unlimited).
+  std::size_t per_domain_order_limit = 0;
+  std::uint64_t challenge_seed = 1;
+};
+
+enum class OrderStatus : std::uint8_t {
+  Ready,             ///< DCV passed (or cached); certificate could be issued.
+  PreflightFailed,   ///< Primary perspective failed; remotes never queried.
+  QuorumFailed,      ///< Remote corroboration below quorum.
+  RateLimited,       ///< Per-domain order limit hit.
+};
+
+[[nodiscard]] constexpr const char* to_cstring(OrderStatus s) {
+  switch (s) {
+    case OrderStatus::Ready: return "ready";
+    case OrderStatus::PreflightFailed: return "preflight-failed";
+    case OrderStatus::QuorumFailed: return "quorum-failed";
+    case OrderStatus::RateLimited: return "rate-limited";
+  }
+  return "?";
+}
+
+struct OrderResult {
+  OrderStatus status = OrderStatus::QuorumFailed;
+  bool from_cached_authorization = false;
+  bool preflight_ran = false;
+  bool preflight_ok = false;
+  /// Remote outcomes (empty if cached, rate-limited, or pre-flight failed).
+  std::vector<PerspectiveOutcome> remotes;
+  std::size_t remote_successes = 0;
+};
+
+class AcmeCa {
+ public:
+  /// `primary` and `remotes` are non-owning. The policy's remote_count
+  /// must equal remotes.size(); primary_required must be true.
+  AcmeCa(netsim::Simulator& sim, dcv::PerspectiveAgent* primary,
+         std::vector<dcv::PerspectiveAgent*> remotes, AcmeCaConfig config);
+
+  /// Create an order for `domain`. `publish` is invoked synchronously with
+  /// the challenge (unless the authorization was cached or rate-limited, in
+  /// which case no challenge is created) so the client can serve the token
+  /// before validation begins; `done` fires once with the outcome.
+  void order(const std::string& domain,
+             const std::function<void(const dcv::Http01Challenge&)>& publish,
+             std::function<void(OrderResult)> done);
+
+  /// Finalizing on a staging CA always refuses — no real certificate can
+  /// exist (the experiment's key safety invariant). Returns whether a
+  /// certificate would have been signed.
+  [[nodiscard]] bool finalize(const std::string& domain) const;
+
+  [[nodiscard]] const AcmeCaConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t orders_seen(const std::string& domain) const;
+
+  /// Drop any cached authorization for `domain` (test hook).
+  void invalidate_authorization(const std::string& domain);
+
+ private:
+  netsim::Simulator& sim_;
+  dcv::PerspectiveAgent* primary_;
+  std::vector<dcv::PerspectiveAgent*> remotes_;
+  AcmeCaConfig config_;
+  dcv::ChallengeIssuer issuer_;
+  std::unordered_map<std::string, netsim::TimePoint> authz_valid_until_;
+  std::unordered_map<std::string, std::size_t> order_counts_;
+  std::unordered_map<std::string, bool> dcv_passed_;
+};
+
+}  // namespace marcopolo::mpic

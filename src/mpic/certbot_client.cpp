@@ -1,0 +1,32 @@
+#include "mpic/certbot_client.hpp"
+
+namespace marcopolo::mpic {
+
+CertbotClient::CertbotClient(AcmeCa& ca, dcv::TokenStore& central_store,
+                             std::string base_domain, std::uint64_t seed)
+    : ca_(ca), store_(central_store), base_domain_(std::move(base_domain)),
+      rng_(seed) {}
+
+void CertbotClient::request(std::function<void(Attempt)> done,
+                            bool randomize_subdomain) {
+  std::string domain = base_domain_;
+  if (randomize_subdomain) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string label;
+    for (int i = 0; i < 10; ++i) label.push_back(kHex[rng_.index(16)]);
+    domain = label + "." + base_domain_;
+  }
+  ca_.order(
+      domain,
+      [this](const dcv::Http01Challenge& ch) {
+        // Serve via the central store: victim and adversary web servers
+        // both fall back to it, so either can pass pre-flight.
+        store_.put(ch.url_path(), ch.key_authorization);
+      },
+      [domain, done = std::move(done)](OrderResult result) {
+        // Manual-auth hook: abort before finalize (never issue).
+        done(Attempt{domain, std::move(result), false});
+      });
+}
+
+}  // namespace marcopolo::mpic

@@ -1,0 +1,45 @@
+// Certbot-like ACME client with the paper's manual-authorization workflow.
+//
+// §4.2.2: the client (1) randomizes a subdomain per request to defeat
+// authorization caching, (2) publishes the challenge token to the central
+// token store so both victim and adversary can answer it, and (3) aborts
+// before finalizing so no certificate is ever issued.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "dcv/token_store.hpp"
+#include "mpic/acme_ca.hpp"
+#include "netsim/random.hpp"
+
+namespace marcopolo::mpic {
+
+class CertbotClient {
+ public:
+  /// `base_domain` must have a wildcard DNS entry pointing at the victim.
+  CertbotClient(AcmeCa& ca, dcv::TokenStore& central_store,
+                std::string base_domain, std::uint64_t seed);
+
+  struct Attempt {
+    std::string domain;  ///< Actual (randomized) domain ordered.
+    OrderResult result;
+    bool finalized = false;  ///< Always false: manual-auth aborts first.
+  };
+
+  /// Run one order. With `randomize_subdomain` (the default) a fresh
+  /// label.base_domain is used; otherwise base_domain itself, which will
+  /// hit the CA's authorization cache on repeats.
+  void request(std::function<void(Attempt)> done,
+               bool randomize_subdomain = true);
+
+  [[nodiscard]] const std::string& base_domain() const { return base_domain_; }
+
+ private:
+  AcmeCa& ca_;
+  dcv::TokenStore& store_;
+  std::string base_domain_;
+  netsim::Rng rng_;
+};
+
+}  // namespace marcopolo::mpic

@@ -1,0 +1,42 @@
+// Post-hoc MPIC deployment descriptions.
+//
+// Once a campaign has recorded per-perspective hijack outcomes, any
+// combination of perspective set + quorum policy can be evaluated without
+// re-running attacks (paper §4.1). A DeploymentSpec names perspectives by
+// their index in the campaign's global perspective registry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpic/quorum.hpp"
+
+namespace marcopolo::mpic {
+
+using PerspectiveIndex = std::uint16_t;
+
+struct DeploymentSpec {
+  std::string name;
+  std::vector<PerspectiveIndex> remotes;
+  std::optional<PerspectiveIndex> primary;
+  QuorumPolicy policy;
+
+  /// Sanity: policy size matches the perspective list, primary flag
+  /// matches presence. Throws std::invalid_argument on mismatch.
+  void check() const {
+    if (policy.remote_count != remotes.size()) {
+      throw std::invalid_argument("policy remote_count != remotes.size()");
+    }
+    if (policy.primary_required != primary.has_value()) {
+      throw std::invalid_argument("policy/primary presence mismatch");
+    }
+  }
+
+  [[nodiscard]] std::string config_string() const {
+    return policy.to_string();
+  }
+};
+
+}  // namespace marcopolo::mpic

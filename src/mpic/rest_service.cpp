@@ -1,0 +1,62 @@
+#include "mpic/rest_service.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace marcopolo::mpic {
+
+RestMpicService::RestMpicService(
+    netsim::Simulator& sim, std::vector<dcv::PerspectiveAgent*> perspectives,
+    QuorumPolicy policy, std::string name)
+    : sim_(sim),
+      perspectives_(std::move(perspectives)),
+      policy_(policy),
+      name_(std::move(name)) {
+  if (policy_.remote_count != perspectives_.size()) {
+    throw std::invalid_argument("quorum size != perspective count");
+  }
+  if (policy_.primary_required) {
+    throw std::invalid_argument(
+        "REST corroboration has no primary perspective; use AcmeCa");
+  }
+}
+
+void RestMpicService::corroborate(
+    const dcv::ValidationJob& job,
+    std::function<void(CorroborationResult)> done) {
+  struct Pending {
+    CorroborationResult result;
+    std::size_t outstanding;
+    QuorumPolicy policy;
+    std::function<void(CorroborationResult)> done;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->outstanding = perspectives_.size();
+  pending->policy = policy_;
+  pending->done = std::move(done);
+  pending->result.outcomes.resize(perspectives_.size());
+
+  if (perspectives_.empty()) {
+    sim_.schedule_after(netsim::milliseconds(1), [pending] {
+      pending->done(std::move(pending->result));
+    });
+    return;
+  }
+
+  for (std::size_t i = 0; i < perspectives_.size(); ++i) {
+    dcv::PerspectiveAgent* agent = perspectives_[i];
+    pending->result.outcomes[i].perspective = agent->name();
+    agent->validate(job, [pending, i](dcv::DcvResult r) {
+      pending->result.outcomes[i].success = r.success;
+      pending->result.outcomes[i].responded = r.responded;
+      if (r.success) ++pending->result.successes;
+      if (--pending->outstanding == 0) {
+        pending->result.corroborated =
+            pending->result.successes >= pending->policy.required();
+        pending->done(std::move(pending->result));
+      }
+    });
+  }
+}
+
+}  // namespace marcopolo::mpic

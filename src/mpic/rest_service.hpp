@@ -1,0 +1,55 @@
+// RESTful MPIC corroboration service (Open MPIC / Cloudflare style).
+//
+// Paper §4.2.2: one of the two MPIC interface families. A single API call
+// triggers DCV from every configured perspective in parallel and returns
+// the aggregated quorum decision.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dcv/validator.hpp"
+#include "mpic/quorum.hpp"
+#include "netsim/event_queue.hpp"
+
+namespace marcopolo::mpic {
+
+struct PerspectiveOutcome {
+  std::string perspective;  ///< Agent name.
+  bool success = false;
+  bool responded = false;
+};
+
+struct CorroborationResult {
+  std::vector<PerspectiveOutcome> outcomes;
+  std::size_t successes = 0;
+  bool corroborated = false;
+};
+
+class RestMpicService {
+ public:
+  /// `perspectives` are non-owning and must outlive the service. The
+  /// policy's remote_count must equal the perspective count.
+  RestMpicService(netsim::Simulator& sim,
+                  std::vector<dcv::PerspectiveAgent*> perspectives,
+                  QuorumPolicy policy, std::string name = "rest-mpic");
+
+  /// Fan the job out to all perspectives; `done` fires once all reported.
+  void corroborate(const dcv::ValidationJob& job,
+                   std::function<void(CorroborationResult)> done);
+
+  [[nodiscard]] const QuorumPolicy& policy() const { return policy_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t perspective_count() const {
+    return perspectives_.size();
+  }
+
+ private:
+  netsim::Simulator& sim_;
+  std::vector<dcv::PerspectiveAgent*> perspectives_;
+  QuorumPolicy policy_;
+  std::string name_;
+};
+
+}  // namespace marcopolo::mpic

@@ -1,0 +1,35 @@
+#include "netsim/dns.hpp"
+
+namespace marcopolo::netsim {
+
+void DnsTable::add(std::string name, Ipv4Addr addr) {
+  exact_[std::move(name)] = addr;
+}
+
+void DnsTable::add_wildcard(std::string zone, Ipv4Addr addr) {
+  wildcard_[std::move(zone)] = addr;
+}
+
+void DnsTable::remove(std::string_view name) {
+  exact_.erase(std::string(name));
+  wildcard_.erase(std::string(name));
+}
+
+std::optional<Ipv4Addr> DnsTable::resolve(std::string_view name) const {
+  if (auto it = exact_.find(std::string(name)); it != exact_.end()) {
+    return it->second;
+  }
+  // Strip leading labels one at a time and look for a wildcard zone.
+  std::string_view rest = name;
+  while (true) {
+    const auto dot = rest.find('.');
+    if (dot == std::string_view::npos) break;
+    rest.remove_prefix(dot + 1);
+    if (auto it = wildcard_.find(std::string(rest)); it != wildcard_.end()) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace marcopolo::netsim

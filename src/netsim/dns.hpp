@@ -1,0 +1,41 @@
+// Minimal DNS resolution for the simulated network.
+//
+// MarcoPolo's Certbot workaround (paper §4.2.2) uses randomized subdomains to
+// defeat CA-side challenge caching; the table therefore supports wildcard
+// entries so "<random>.victim.example" resolves to the victim address.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "netsim/ip.hpp"
+
+namespace marcopolo::netsim {
+
+class DnsTable {
+ public:
+  /// Map an exact fully-qualified name to an address (overwrites).
+  void add(std::string name, Ipv4Addr addr);
+
+  /// Map "*.zone" so that any single-or-multi-label subdomain of `zone`
+  /// resolves to `addr` (exact entries take precedence).
+  void add_wildcard(std::string zone, Ipv4Addr addr);
+
+  void remove(std::string_view name);
+
+  /// Resolve a name: exact match first, then the longest matching wildcard
+  /// zone. Returns nullopt if no entry matches.
+  [[nodiscard]] std::optional<Ipv4Addr> resolve(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return exact_.size() + wildcard_.size();
+  }
+
+ private:
+  std::unordered_map<std::string, Ipv4Addr> exact_;
+  std::unordered_map<std::string, Ipv4Addr> wildcard_;  // keyed by zone
+};
+
+}  // namespace marcopolo::netsim

@@ -1,0 +1,45 @@
+#include "netsim/event_queue.hpp"
+
+#include <utility>
+
+namespace marcopolo::netsim {
+
+void Simulator::schedule_at(TimePoint when, Callback cb) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void Simulator::dispatch(Event&& ev) {
+  now_ = ev.when;
+  ++processed_;
+  // Move the callback out before invoking: the callback may schedule new
+  // events, which can reallocate the queue's underlying storage.
+  Callback cb = std::move(ev.cb);
+  cb();
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  dispatch(std::move(ev));
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (!step()) break;
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace marcopolo::netsim

@@ -1,0 +1,73 @@
+// Discrete-event simulator core.
+//
+// A Simulator owns a priority queue of (time, sequence, callback) events and
+// advances virtual time by draining them in order. Sequence numbers make
+// same-timestamp ordering deterministic (FIFO), which keeps whole campaigns
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netsim/time.hpp"
+
+namespace marcopolo::netsim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Starts at kEpoch.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `cb` at absolute virtual time `when`. Scheduling in the past
+  /// clamps to now() (the event runs next).
+  void schedule_at(TimePoint when, Callback cb);
+
+  /// Schedule `cb` after a relative delay from now().
+  void schedule_after(Duration delay, Callback cb) {
+    schedule_at(now_ + std::max(delay, Duration::zero()), std::move(cb));
+  }
+
+  /// Run events until the queue is empty. Returns the number processed.
+  std::size_t run();
+
+  /// Run events with timestamps <= deadline; virtual time ends at
+  /// max(deadline, last event time processed). Returns events processed.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Process at most one event. Returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event&& ev);
+
+  TimePoint now_ = kEpoch;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace marcopolo::netsim

@@ -1,0 +1,36 @@
+#include "netsim/geo.hpp"
+
+#include <cmath>
+
+namespace marcopolo::netsim {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kDegToRad = kPi / 180.0;
+
+// Fiber routes are rarely geodesic; 1.4 is a common path-stretch estimate.
+constexpr double kPathStretch = 1.4;
+// Speed of light in fiber, km per millisecond.
+constexpr double kFiberKmPerMs = 200.0;
+}  // namespace
+
+double great_circle_km(GeoPoint a, GeoPoint b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Duration propagation_latency(double distance_km) {
+  const double ms = distance_km * kPathStretch / kFiberKmPerMs;
+  const auto transit = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+  return transit + milliseconds(2);  // per-path processing overhead
+}
+
+}  // namespace marcopolo::netsim

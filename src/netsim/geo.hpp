@@ -1,0 +1,35 @@
+// Geographic coordinates and distance/latency estimation.
+//
+// Region placement (cloud datacenters, Vultr sites, synthetic ASes) is
+// embedded on the globe; great-circle distance drives both the latency model
+// and the hot-/cold-potato egress selection in the cloud routing models.
+#pragma once
+
+#include <compare>
+
+#include "netsim/time.hpp"
+
+namespace marcopolo::netsim {
+
+/// A point on the globe in decimal degrees.
+struct GeoPoint {
+  double lat = 0.0;  ///< Latitude in [-90, 90].
+  double lon = 0.0;  ///< Longitude in [-180, 180].
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance in kilometers (haversine formula).
+double great_circle_km(GeoPoint a, GeoPoint b);
+
+/// One-way propagation latency estimate for a path of the given
+/// great-circle length: light in fiber (~2/3 c) over a route ~1.4x longer
+/// than the geodesic, plus fixed per-hop processing overhead.
+Duration propagation_latency(double distance_km);
+
+/// Convenience: latency between two points.
+inline Duration latency_between(GeoPoint a, GeoPoint b) {
+  return propagation_latency(great_circle_km(a, b));
+}
+
+}  // namespace marcopolo::netsim

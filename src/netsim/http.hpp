@@ -1,0 +1,38 @@
+// Plain-text HTTP messages carried over the simulated network.
+//
+// DCV's HTTP-01 challenge is fetched over insecure HTTP (that is precisely
+// why BGP hijacks work against it), so a tiny request/response model is all
+// the stack needs.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netsim/ip.hpp"
+
+namespace marcopolo::netsim {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string host;  ///< Host header (the validated domain).
+  std::string path;  ///< e.g. /.well-known/acme-challenge/<token>
+  std::map<std::string, std::string> headers;
+  std::string body;
+  Ipv4Addr source;  ///< Source address observed by the server.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] bool ok() const { return status >= 200 && status < 300; }
+
+  static HttpResponse not_found() { return HttpResponse{404, {}, ""}; }
+  static HttpResponse text(std::string body_text) {
+    return HttpResponse{200, {{"content-type", "text/plain"}},
+                        std::move(body_text)};
+  }
+};
+
+}  // namespace marcopolo::netsim

@@ -1,0 +1,107 @@
+#include "netsim/ip.hpp"
+
+#include <charconv>
+
+namespace marcopolo::netsim {
+
+namespace {
+
+// Parse a decimal octet from the front of `text`, advancing it.
+std::optional<std::uint8_t> take_octet(std::string_view& text) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+bool take_char(std::string_view& text, char c) {
+  if (text.empty() || text.front() != c) return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint8_t octets[4];
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !take_char(text, '.')) return std::nullopt;
+    auto o = take_octet(text);
+    if (!o) return std::nullopt;
+    octets[i] = *o;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr network, std::uint8_t length)
+    : length_(length) {
+  if (length > 32) {
+    throw std::invalid_argument("prefix length > 32");
+  }
+  const std::uint32_t m =
+      length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  network_ = Ipv4Addr(network.value() & m);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      len > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+std::uint32_t Ipv4Prefix::mask() const {
+  return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+}
+
+bool Ipv4Prefix::contains(Ipv4Addr addr) const {
+  return (addr.value() & mask()) == network_.value();
+}
+
+bool Ipv4Prefix::covers(const Ipv4Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+Ipv4Addr Ipv4Prefix::address_at(std::uint32_t k) const {
+  if (std::uint64_t{k} >= size()) {
+    throw std::out_of_range("address index outside prefix");
+  }
+  return Ipv4Addr(network_.value() + k);
+}
+
+std::pair<Ipv4Prefix, Ipv4Prefix> Ipv4Prefix::split() const {
+  if (length_ >= 32) throw std::logic_error("cannot split a /32");
+  const auto half_len = static_cast<std::uint8_t>(length_ + 1);
+  const std::uint32_t upper_bit = std::uint32_t{1} << (32 - half_len);
+  return {Ipv4Prefix(network_, half_len),
+          Ipv4Prefix(Ipv4Addr(network_.value() | upper_bit), half_len)};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace marcopolo::netsim

@@ -1,0 +1,102 @@
+// IPv4 address and prefix value types.
+//
+// These are the network-layer vocabulary for the whole stack: BGP
+// announcements carry Ipv4Prefix, DCV requests target Ipv4Addr, and the
+// forwarding plane resolves destinations by longest-prefix match.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace marcopolo::netsim {
+
+/// An IPv4 address, stored host-order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix in CIDR form. Always canonical: host bits are zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Construct, canonicalizing (masking off host bits). Throws
+  /// std::invalid_argument if length > 32.
+  Ipv4Prefix(Ipv4Addr network, std::uint8_t length);
+
+  /// Parse "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Addr network() const { return network_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+
+  /// Network mask for this prefix length.
+  [[nodiscard]] std::uint32_t mask() const;
+
+  /// True if `addr` falls within this prefix.
+  [[nodiscard]] bool contains(Ipv4Addr addr) const;
+
+  /// True if `other` is equal to or more specific than this prefix.
+  [[nodiscard]] bool covers(const Ipv4Prefix& other) const;
+
+  /// The k-th address inside the prefix (k=0 is the network address).
+  /// Throws std::out_of_range if k exceeds the prefix size.
+  [[nodiscard]] Ipv4Addr address_at(std::uint32_t k) const;
+
+  /// Number of addresses in the prefix (2^(32-len)), as 64-bit.
+  [[nodiscard]] std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The two halves of this prefix as (len+1)-prefixes, e.g. for
+  /// sub-prefix hijacks. Throws std::logic_error on a /32.
+  [[nodiscard]] std::pair<Ipv4Prefix, Ipv4Prefix> split() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Addr network_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace marcopolo::netsim
+
+template <>
+struct std::hash<marcopolo::netsim::Ipv4Addr> {
+  std::size_t operator()(marcopolo::netsim::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<marcopolo::netsim::Ipv4Prefix> {
+  std::size_t operator()(const marcopolo::netsim::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 8) | p.length());
+  }
+};

@@ -1,0 +1,75 @@
+#include "netsim/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace marcopolo::netsim {
+
+Network::Network(Simulator& sim, std::uint64_t loss_seed)
+    : sim_(sim), loss_rng_(loss_seed) {}
+
+EndpointId Network::attach(Ipv4Addr addr, GeoPoint where, Handler handler) {
+  const EndpointId id{static_cast<std::uint32_t>(endpoints_.size())};
+  endpoints_.push_back(Endpoint{addr, where, std::move(handler)});
+  // First attacher owns the address for default (no-hijack) forwarding.
+  owners_.emplace(addr, id);
+  return id;
+}
+
+void Network::set_handler(EndpointId id, Handler handler) {
+  endpoints_.at(id.value).handler = std::move(handler);
+}
+
+const Network::Endpoint& Network::ep(EndpointId id) const {
+  return endpoints_.at(id.value);
+}
+
+Ipv4Addr Network::address_of(EndpointId id) const { return ep(id).addr; }
+GeoPoint Network::location_of(EndpointId id) const { return ep(id).where; }
+
+EndpointId Network::default_resolve(Ipv4Addr dst) const {
+  const auto it = owners_.find(dst);
+  return it == owners_.end() ? EndpointId{} : it->second;
+}
+
+void Network::send(EndpointId src, Ipv4Addr dst, HttpRequest request,
+                   ResponseCallback on_response) {
+  const EndpointId target =
+      plane_ != nullptr ? plane_->resolve(src, dst) : default_resolve(dst);
+  if (!target.valid()) {
+    // Unreachable: report asynchronously to keep callback timing uniform.
+    sim_.schedule_after(milliseconds(1),
+                        [cb = std::move(on_response)] { cb(std::nullopt); });
+    return;
+  }
+
+  const Duration one_way =
+      latency_between(ep(src).where, ep(target).where);
+
+  if (loss_rng_.chance(loss_.request_loss)) {
+    sim_.schedule_after(timeout_,
+                        [cb = std::move(on_response)] { cb(std::nullopt); });
+    return;
+  }
+
+  request.source = ep(src).addr;
+  const bool drop_response = loss_rng_.chance(loss_.response_loss);
+  sim_.schedule_after(
+      one_way,
+      [this, target, one_way, drop_response, req = std::move(request),
+       cb = std::move(on_response)]() mutable {
+        // Handler may have been swapped since send(); look it up now.
+        HttpResponse resp = endpoints_.at(target.value).handler(req);
+        if (drop_response) {
+          sim_.schedule_after(timeout_,
+                              [cb = std::move(cb)] { cb(std::nullopt); });
+          return;
+        }
+        sim_.schedule_after(one_way, [resp = std::move(resp),
+                                      cb = std::move(cb)]() mutable {
+          cb(std::move(resp));
+        });
+      });
+}
+
+}  // namespace marcopolo::netsim

@@ -1,0 +1,112 @@
+// Simulated network: endpoints, forwarding, latency and loss.
+//
+// The key departure from a conventional socket model is the ForwardingPlane:
+// during a BGP hijack two endpoints legitimately claim the same destination
+// address, and which one a packet reaches depends on the *source's* routing
+// state. The plane is injected by the bgp/cloud layers per attack scenario.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/event_queue.hpp"
+#include "netsim/geo.hpp"
+#include "netsim/http.hpp"
+#include "netsim/ip.hpp"
+#include "netsim/random.hpp"
+
+namespace marcopolo::netsim {
+
+/// Opaque handle to an attached endpoint.
+struct EndpointId {
+  std::uint32_t value = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return value != UINT32_MAX; }
+  friend constexpr auto operator<=>(EndpointId, EndpointId) = default;
+};
+
+/// Decides, per source endpoint, which endpoint a destination address
+/// reaches. Implemented by the BGP scenario layer; the default plane routes
+/// by exact address ownership and is ambiguous under hijacks by design.
+class ForwardingPlane {
+ public:
+  virtual ~ForwardingPlane() = default;
+
+  /// Resolve a destination for a packet from `src` to `dst`.
+  /// Returns an invalid EndpointId if the destination is unreachable.
+  [[nodiscard]] virtual EndpointId resolve(EndpointId src,
+                                           Ipv4Addr dst) const = 0;
+};
+
+/// Loss model for request/response exchanges; exercised by the
+/// orchestrator's retry logic (paper step 5: "the attack is run again if any
+/// perspective requests were not received").
+struct LossModel {
+  double request_loss = 0.0;   ///< P(request never arrives).
+  double response_loss = 0.0;  ///< P(response never arrives).
+};
+
+class Network {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using ResponseCallback =
+      std::function<void(std::optional<HttpResponse>)>;
+
+  Network(Simulator& sim, std::uint64_t loss_seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attach an endpoint at `addr` located at `where`. The handler runs when
+  /// a request is delivered. Multiple endpoints may share an address (that
+  /// is the hijack case); disambiguation is the forwarding plane's job.
+  EndpointId attach(Ipv4Addr addr, GeoPoint where, Handler handler);
+
+  /// Replace an endpoint's request handler.
+  void set_handler(EndpointId ep, Handler handler);
+
+  /// Install the active forwarding plane (non-owning; must outlive use).
+  /// Passing nullptr restores address-ownership forwarding.
+  void set_forwarding_plane(const ForwardingPlane* plane) { plane_ = plane; }
+
+  void set_loss_model(LossModel model) { loss_ = model; }
+
+  /// Send a request from `src` to address `dst`. The callback fires exactly
+  /// once: with the response, or with nullopt on unreachable destination or
+  /// simulated loss (after a timeout).
+  void send(EndpointId src, Ipv4Addr dst, HttpRequest request,
+            ResponseCallback on_response);
+
+  [[nodiscard]] Ipv4Addr address_of(EndpointId ep) const;
+  [[nodiscard]] GeoPoint location_of(EndpointId ep) const;
+  [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  /// Round-trip timeout before a lost exchange reports failure.
+  void set_timeout(Duration timeout) { timeout_ = timeout; }
+
+  Simulator& simulator() { return sim_; }
+
+ private:
+  struct Endpoint {
+    Ipv4Addr addr;
+    GeoPoint where;
+    Handler handler;
+  };
+
+  [[nodiscard]] EndpointId default_resolve(Ipv4Addr dst) const;
+  [[nodiscard]] const Endpoint& ep(EndpointId id) const;
+
+  Simulator& sim_;
+  Rng loss_rng_;
+  LossModel loss_;
+  Duration timeout_ = seconds(10);
+  const ForwardingPlane* plane_ = nullptr;
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<Ipv4Addr, EndpointId> owners_;
+};
+
+}  // namespace marcopolo::netsim

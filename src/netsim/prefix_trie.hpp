@@ -1,0 +1,158 @@
+// Binary (radix-1) trie keyed by IPv4 prefixes with longest-prefix match.
+//
+// Used by the forwarding plane (route lookup under sub-prefix hijacks) and
+// by the RPKI ROA registry (covering-ROA lookup).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netsim/ip.hpp"
+
+namespace marcopolo::netsim {
+
+/// Map from Ipv4Prefix to T with exact lookup, longest-prefix match, and
+/// enumeration of all entries covering a prefix or address.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite the value at `prefix`. Returns true if inserted
+  /// (false if it replaced an existing value).
+  bool insert(const Ipv4Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Remove the value at `prefix` exactly. Returns true if something was
+  /// removed. (Nodes are not pruned; fine for this workload.)
+  bool erase(const Ipv4Prefix& prefix) {
+    Node* node = descend_find(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* find(const Ipv4Prefix& prefix) const {
+    const Node* node = descend_find(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value
+                                                        : nullptr;
+  }
+
+  [[nodiscard]] T* find(const Ipv4Prefix& prefix) {
+    return const_cast<T*>(std::as_const(*this).find(prefix));
+  }
+
+  /// Longest-prefix match for an address. Returns the matched prefix and a
+  /// pointer to its value, or nullopt if nothing covers `addr`.
+  struct Match {
+    Ipv4Prefix prefix;
+    const T* value;
+  };
+  [[nodiscard]] std::optional<Match> longest_match(Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<Match> best;
+    std::uint32_t bits = addr.value();
+    std::uint8_t depth = 0;
+    while (node != nullptr) {
+      if (node->value.has_value()) {
+        best = Match{make_prefix(addr, depth), &*node->value};
+      }
+      if (depth == 32) break;
+      const unsigned bit = (bits >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+      ++depth;
+    }
+    return best;
+  }
+
+  /// Invoke `fn(prefix, value)` for every stored prefix that covers `addr`,
+  /// from least to most specific.
+  void for_each_covering(Ipv4Addr addr,
+                         const std::function<void(const Ipv4Prefix&,
+                                                  const T&)>& fn) const {
+    const Node* node = root_.get();
+    std::uint8_t depth = 0;
+    while (node != nullptr) {
+      if (node->value.has_value()) {
+        fn(make_prefix(addr, depth), *node->value);
+      }
+      if (depth == 32) break;
+      const unsigned bit = (addr.value() >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+      ++depth;
+    }
+  }
+
+  /// Invoke `fn(prefix, value)` for every entry, in trie (prefix) order.
+  void for_each(const std::function<void(const Ipv4Prefix&, const T&)>& fn)
+      const {
+    walk(root_.get(), 0, 0, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::array<std::unique_ptr<Node>, 2> child;
+  };
+
+  static Ipv4Prefix make_prefix(Ipv4Addr addr, std::uint8_t len) {
+    return Ipv4Prefix(addr, len);
+  }
+
+  Node* descend_create(const Ipv4Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const unsigned bit = (prefix.network().value() >> (31 - depth)) & 1u;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  const Node* descend_find(const Ipv4Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length() && node != nullptr;
+         ++depth) {
+      const unsigned bit = (prefix.network().value() >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  Node* descend_find(const Ipv4Prefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).descend_find(prefix));
+  }
+
+  void walk(const Node* node, std::uint32_t bits, std::uint8_t depth,
+            const std::function<void(const Ipv4Prefix&, const T&)>& fn) const {
+    if (node == nullptr) return;
+    if (node->value.has_value()) {
+      fn(Ipv4Prefix(Ipv4Addr(bits), depth), *node->value);
+    }
+    if (depth == 32) return;
+    walk(node->child[0].get(), bits, static_cast<std::uint8_t>(depth + 1), fn);
+    walk(node->child[1].get(),
+         bits | (std::uint32_t{1} << (31 - depth)),
+         static_cast<std::uint8_t>(depth + 1), fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace marcopolo::netsim

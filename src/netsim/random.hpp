@@ -1,0 +1,78 @@
+// Deterministic randomness utilities.
+//
+// Every random decision in MarcoPolo flows from an explicit 64-bit seed so
+// that a campaign re-run with the same seeds reproduces the same tables
+// (DESIGN.md §5.6). SplitMix64 is used both as a cheap seeded generator and
+// as a stable hash for tie-break coins.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+namespace marcopolo::netsim {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used for seed derivation and stable per-entity hash coins.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit values into one well-mixed value (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (splitmix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) +
+                         (a >> 2)));
+}
+
+/// Deterministic RNG with explicit seeding. Thin wrapper over mt19937_64
+/// exposing only the operations the codebase needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : engine_(splitmix64(seed)), seed_base_(splitmix64(seed)) {}
+
+  /// Derive an independent child generator; children with distinct tags are
+  /// statistically independent of each other and of the parent.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    return Rng(hash_combine(seed_base_, tag));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return real() < p; }
+
+  /// Raw 64-bit draw.
+  std::uint64_t next() { return engine_(); }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+  /// Expose the engine for std distributions when needed.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_base_;
+};
+
+}  // namespace marcopolo::netsim

@@ -1,0 +1,233 @@
+#include "topo/internet.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace marcopolo::topo {
+
+namespace {
+
+struct ContinentSpec {
+  Continent continent;
+  netsim::GeoPoint centroid;
+  double spread_deg;  ///< Jitter radius for AS placement.
+  double weight;      ///< Share of ASes placed here.
+};
+
+constexpr std::array<ContinentSpec, 6> kContinents = {{
+    {Continent::NorthAmerica, {40.0, -98.0}, 14.0, 0.26},
+    {Continent::Europe, {50.0, 12.0}, 10.0, 0.27},
+    {Continent::Asia, {26.0, 105.0}, 18.0, 0.25},
+    {Continent::SouthAmerica, {-16.0, -60.0}, 10.0, 0.08},
+    {Continent::Africa, {2.0, 24.0}, 14.0, 0.06},
+    {Continent::Oceania, {-30.0, 146.0}, 9.0, 0.08},
+}};
+
+const ContinentSpec& spec_of(Continent c) {
+  for (const ContinentSpec& s : kContinents) {
+    if (s.continent == c) return s;
+  }
+  throw std::logic_error("unknown continent");
+}
+
+ContinentSpec pick_continent(netsim::Rng& rng) {
+  double x = rng.real();
+  for (const ContinentSpec& s : kContinents) {
+    if (x < s.weight) return s;
+    x -= s.weight;
+  }
+  return kContinents.front();
+}
+
+netsim::GeoPoint jitter(netsim::Rng& rng, const ContinentSpec& spec) {
+  const double lat =
+      spec.centroid.lat + (rng.real() * 2.0 - 1.0) * spec.spread_deg;
+  const double lon =
+      spec.centroid.lon + (rng.real() * 2.0 - 1.0) * spec.spread_deg * 1.6;
+  return {std::clamp(lat, -85.0, 85.0),
+          lon < -180.0 ? lon + 360.0 : (lon > 180.0 ? lon - 360.0 : lon)};
+}
+
+// ASN blocks per tier keep generated numbers readable in debug output.
+constexpr std::uint32_t kTier1Base = 100;
+constexpr std::uint32_t kTier2Base = 1000;
+constexpr std::uint32_t kTier3Base = 10000;
+constexpr std::uint32_t kStubBase = 30000;
+
+}  // namespace
+
+Internet::Internet(const InternetConfig& config) {
+  if (config.num_tier1 < 2) {
+    throw std::invalid_argument("need at least 2 tier-1 ASes");
+  }
+  netsim::Rng rng(config.seed);
+
+  // --- Tier 1: global backbone clique. Spread across the three big
+  // continents so every region has nearby backbone presence.
+  netsim::Rng t1_rng = rng.fork(1);
+  constexpr std::array<Continent, 3> kBackboneHomes = {
+      Continent::NorthAmerica, Continent::Europe, Continent::Asia};
+  for (int i = 0; i < config.num_tier1; ++i) {
+    const ContinentSpec& spec =
+        spec_of(kBackboneHomes[static_cast<std::size_t>(i) %
+                               kBackboneHomes.size()]);
+    const auto id = add_node(bgp::Asn{kTier1Base + static_cast<std::uint32_t>(i)},
+                             jitter(t1_rng, spec), spec.continent,
+                             AsTier::Tier1);
+    tier1_.push_back(id);
+  }
+  for (std::size_t i = 0; i < tier1_.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1_.size(); ++j) {
+      graph_.add_peering(tier1_[i], tier1_[j]);
+    }
+  }
+
+  // --- Tier 2: regional transit. Customers of 2-3 tier-1s (biased to the
+  // home continent) and peers of a handful of other tier-2s.
+  netsim::Rng t2_rng = rng.fork(2);
+  for (int i = 0; i < config.num_tier2; ++i) {
+    const ContinentSpec spec = pick_continent(t2_rng);
+    const auto id = add_node(bgp::Asn{kTier2Base + static_cast<std::uint32_t>(i)},
+                             jitter(t2_rng, spec), spec.continent,
+                             AsTier::Tier2);
+    tier2_.push_back(id);
+    const int uplinks = 2 + static_cast<int>(t2_rng.uniform(0, 1));
+    std::set<std::uint32_t> used;
+    for (int u = 0; u < uplinks; ++u) {
+      // Prefer a same-continent tier-1 with the configured bias.
+      bgp::NodeId provider{};
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const bgp::NodeId cand = tier1_[t2_rng.index(tier1_.size())];
+        const bool same = continent(cand) == spec.continent;
+        if ((same || t2_rng.real() > config.tier2_regional_bias) &&
+            !used.contains(cand.value)) {
+          provider = cand;
+          break;
+        }
+      }
+      if (!provider.valid()) {
+        // Fall back to any unused tier-1 so every tier-2 has transit.
+        for (const bgp::NodeId cand : tier1_) {
+          if (!used.contains(cand.value)) {
+            provider = cand;
+            break;
+          }
+        }
+      }
+      if (!provider.valid()) continue;
+      used.insert(provider.value);
+      graph_.add_provider_customer(provider, id);
+    }
+  }
+  // Tier-2 peering mesh, continent-biased.
+  netsim::Rng peer_rng = rng.fork(3);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> peered;
+  for (const bgp::NodeId a : tier2_) {
+    for (int p = 0; p < config.tier2_peers; ++p) {
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        const bgp::NodeId b = tier2_[peer_rng.index(tier2_.size())];
+        if (b == a) continue;
+        const bool same = continent(a) == continent(b);
+        if (!same && peer_rng.real() < 0.7) continue;
+        const auto key = std::minmax(a.value, b.value);
+        if (peered.contains({key.first, key.second})) continue;
+        peered.insert({key.first, key.second});
+        graph_.add_peering(a, b);
+        break;
+      }
+    }
+  }
+
+  // --- Tier 3: access networks buying transit from nearby tier-2s.
+  netsim::Rng t3_rng = rng.fork(4);
+  for (int i = 0; i < config.num_tier3; ++i) {
+    const ContinentSpec spec = pick_continent(t3_rng);
+    const netsim::GeoPoint where = jitter(t3_rng, spec);
+    const auto id = add_node(bgp::Asn{kTier3Base + static_cast<std::uint32_t>(i)},
+                             where, spec.continent, AsTier::Tier3);
+    tier3_.push_back(id);
+    const auto candidates = nearest_tier2(where, 8);
+    const int uplinks =
+        std::min<int>(2, static_cast<int>(candidates.size()));
+    std::set<std::uint32_t> used;
+    for (int u = 0; u < uplinks; ++u) {
+      const bgp::NodeId provider = candidates[t3_rng.index(candidates.size())];
+      if (used.contains(provider.value)) continue;
+      used.insert(provider.value);
+      graph_.add_provider_customer(provider, id);
+    }
+    if (t3_rng.chance(config.tier3_tier1_uplink)) {
+      graph_.add_provider_customer(tier1_[t3_rng.index(tier1_.size())], id);
+    }
+  }
+
+  // --- Stubs: leaf ASes on tier-2/tier-3 providers.
+  netsim::Rng stub_rng = rng.fork(5);
+  for (int i = 0; i < config.num_stub; ++i) {
+    const ContinentSpec spec = pick_continent(stub_rng);
+    const netsim::GeoPoint where = jitter(stub_rng, spec);
+    const auto id = add_node(bgp::Asn{kStubBase + static_cast<std::uint32_t>(i)},
+                             where, spec.continent, AsTier::Stub);
+    stubs_.push_back(id);
+    const auto near2 = nearest_tier2(where, 6);
+    const int uplinks = 1 + static_cast<int>(stub_rng.uniform(0, 1));
+    std::set<std::uint32_t> used;
+    for (int u = 0; u < uplinks; ++u) {
+      bgp::NodeId provider{};
+      if (!tier3_.empty() && stub_rng.chance(0.5)) {
+        provider = tier3_[stub_rng.index(tier3_.size())];
+      } else if (!near2.empty()) {
+        provider = near2[stub_rng.index(near2.size())];
+      }
+      if (!provider.valid() || used.contains(provider.value)) continue;
+      used.insert(provider.value);
+      graph_.add_provider_customer(provider, id);
+    }
+  }
+
+  graph_.validate();
+}
+
+bgp::NodeId Internet::add_node(bgp::Asn asn, netsim::GeoPoint where,
+                               Continent c, AsTier t) {
+  const bgp::NodeId id = graph_.add_as(asn);
+  location_.push_back(where);
+  continent_.push_back(c);
+  tier_.push_back(t);
+  return id;
+}
+
+bgp::NodeId Internet::add_leaf_as(bgp::Asn asn, netsim::GeoPoint where,
+                                  Continent c) {
+  return add_node(asn, where, c, AsTier::Stub);
+}
+
+std::vector<bgp::NodeId> Internet::nearest_tier2(netsim::GeoPoint where,
+                                                 std::size_t count) const {
+  std::vector<bgp::NodeId> sorted = tier2_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](bgp::NodeId a, bgp::NodeId b) {
+                     return netsim::great_circle_km(where, location(a)) <
+                            netsim::great_circle_km(where, location(b));
+                   });
+  if (sorted.size() > count) sorted.resize(count);
+  return sorted;
+}
+
+bgp::NodeId Internet::tier1_for(std::uint64_t salt) const {
+  return tier1_[netsim::splitmix64(salt) % tier1_.size()];
+}
+
+void Internet::deploy_rov(double fraction, std::uint64_t seed) {
+  netsim::Rng rng(seed);
+  for (std::uint32_t i = 0; i < graph_.size(); ++i) {
+    const bgp::NodeId n{i};
+    if (n.value < tier_.size() && tier_[n.value] != AsTier::Stub &&
+        rng.chance(fraction)) {
+      graph_.set_rov_enforcing(n, true);
+    }
+  }
+}
+
+}  // namespace marcopolo::topo

@@ -1,0 +1,216 @@
+#include "topo/region_catalog.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace marcopolo::topo {
+
+namespace {
+
+using enum Rir;
+using enum Continent;
+
+constexpr CloudProvider kAws = CloudProvider::Aws;
+constexpr CloudProvider kGcp = CloudProvider::Gcp;
+constexpr CloudProvider kAzure = CloudProvider::Azure;
+constexpr CloudProvider kVultr = CloudProvider::Vultr;
+constexpr CloudProvider kPeering = CloudProvider::Peering;
+
+constexpr std::array<RegionInfo, 27> kAwsRegions = {{
+    {"af-south-1", kAws, {-33.92, 18.42}, Afrinic, Africa},
+    {"ap-east-1", kAws, {22.30, 114.20}, Apnic, Asia},
+    {"ap-northeast-1", kAws, {35.68, 139.69}, Apnic, Asia},
+    {"ap-northeast-2", kAws, {37.57, 126.98}, Apnic, Asia},
+    {"ap-northeast-3", kAws, {34.69, 135.50}, Apnic, Asia},
+    {"ap-south-1", kAws, {19.08, 72.88}, Apnic, Asia},
+    {"ap-south-2", kAws, {17.38, 78.48}, Apnic, Asia},
+    {"ap-southeast-1", kAws, {1.35, 103.82}, Apnic, Asia},
+    {"ap-southeast-2", kAws, {-33.87, 151.21}, Apnic, Oceania},
+    {"ap-southeast-3", kAws, {-6.21, 106.85}, Apnic, Asia},
+    {"ap-southeast-4", kAws, {-37.81, 144.96}, Apnic, Oceania},
+    {"ca-central-1", kAws, {45.50, -73.57}, Arin, NorthAmerica},
+    {"ca-west-1", kAws, {51.05, -114.07}, Arin, NorthAmerica},
+    {"eu-central-1", kAws, {50.11, 8.68}, Ripe, Europe},
+    {"eu-central-2", kAws, {47.37, 8.54}, Ripe, Europe},
+    {"eu-north-1", kAws, {59.33, 18.07}, Ripe, Europe},
+    {"eu-south-2", kAws, {41.65, -0.88}, Ripe, Europe},
+    {"eu-west-1", kAws, {53.35, -6.26}, Ripe, Europe},
+    {"eu-west-2", kAws, {51.51, -0.13}, Ripe, Europe},
+    {"eu-west-3", kAws, {48.86, 2.35}, Ripe, Europe},
+    {"il-central-1", kAws, {32.08, 34.78}, Ripe, Europe},
+    {"me-central-1", kAws, {25.20, 55.27}, Ripe, Asia},
+    {"sa-east-1", kAws, {-23.55, -46.63}, Lacnic, SouthAmerica},
+    {"us-east-1", kAws, {38.95, -77.45}, Arin, NorthAmerica},
+    {"us-east-2", kAws, {40.00, -83.00}, Arin, NorthAmerica},
+    {"us-west-1", kAws, {37.35, -121.95}, Arin, NorthAmerica},
+    {"us-west-2", kAws, {45.60, -122.70}, Arin, NorthAmerica},
+}};
+
+constexpr std::array<RegionInfo, 40> kGcpRegions = {{
+    {"africa-south1", kGcp, {-26.20, 28.05}, Afrinic, Africa},
+    {"asia-east1", kGcp, {24.05, 120.52}, Apnic, Asia},
+    {"asia-east2", kGcp, {22.30, 114.20}, Apnic, Asia},
+    {"asia-northeast1", kGcp, {35.68, 139.69}, Apnic, Asia},
+    {"asia-northeast2", kGcp, {34.69, 135.50}, Apnic, Asia},
+    {"asia-northeast3", kGcp, {37.57, 126.98}, Apnic, Asia},
+    {"asia-south1", kGcp, {19.08, 72.88}, Apnic, Asia},
+    {"asia-south2", kGcp, {28.61, 77.21}, Apnic, Asia},
+    {"asia-southeast1", kGcp, {1.35, 103.82}, Apnic, Asia},
+    {"asia-southeast2", kGcp, {-6.21, 106.85}, Apnic, Asia},
+    {"australia-southeast1", kGcp, {-33.87, 151.21}, Apnic, Oceania},
+    {"australia-southeast2", kGcp, {-37.81, 144.96}, Apnic, Oceania},
+    {"europe-central2", kGcp, {52.23, 21.01}, Ripe, Europe},
+    {"europe-north1", kGcp, {60.57, 27.19}, Ripe, Europe},
+    {"europe-southwest1", kGcp, {40.42, -3.70}, Ripe, Europe},
+    {"europe-west1", kGcp, {50.45, 3.82}, Ripe, Europe},
+    {"europe-west10", kGcp, {52.52, 13.40}, Ripe, Europe},
+    {"europe-west12", kGcp, {45.07, 7.69}, Ripe, Europe},
+    {"europe-west2", kGcp, {51.51, -0.13}, Ripe, Europe},
+    {"europe-west3", kGcp, {50.11, 8.68}, Ripe, Europe},
+    {"europe-west4", kGcp, {53.44, 6.83}, Ripe, Europe},
+    {"europe-west6", kGcp, {47.37, 8.54}, Ripe, Europe},
+    {"europe-west8", kGcp, {45.46, 9.19}, Ripe, Europe},
+    {"europe-west9", kGcp, {48.86, 2.35}, Ripe, Europe},
+    {"me-central1", kGcp, {25.29, 51.53}, Ripe, Asia},
+    {"me-west1", kGcp, {32.08, 34.78}, Ripe, Europe},
+    {"northamerica-northeast1", kGcp, {45.50, -73.57}, Arin, NorthAmerica},
+    {"northamerica-northeast2", kGcp, {43.65, -79.38}, Arin, NorthAmerica},
+    {"northamerica-south1", kGcp, {20.59, -100.39}, Lacnic, NorthAmerica},
+    {"southamerica-east1", kGcp, {-23.55, -46.63}, Lacnic, SouthAmerica},
+    {"southamerica-west1", kGcp, {-33.45, -70.67}, Lacnic, SouthAmerica},
+    {"us-central1", kGcp, {41.26, -95.86}, Arin, NorthAmerica},
+    {"us-east1", kGcp, {33.19, -80.01}, Arin, NorthAmerica},
+    {"us-east4", kGcp, {38.95, -77.45}, Arin, NorthAmerica},
+    {"us-east5", kGcp, {40.00, -83.00}, Arin, NorthAmerica},
+    {"us-south1", kGcp, {32.78, -96.80}, Arin, NorthAmerica},
+    {"us-west1", kGcp, {45.60, -121.18}, Arin, NorthAmerica},
+    {"us-west2", kGcp, {34.05, -118.24}, Arin, NorthAmerica},
+    {"us-west3", kGcp, {40.76, -111.89}, Arin, NorthAmerica},
+    {"us-west4", kGcp, {36.17, -115.14}, Arin, NorthAmerica},
+}};
+
+constexpr std::array<RegionInfo, 39> kAzureRegions = {{
+    {"asia-east", kAzure, {22.30, 114.20}, Apnic, Asia},
+    {"asia-southeast", kAzure, {1.35, 103.82}, Apnic, Asia},
+    {"australia-central", kAzure, {-35.28, 149.13}, Apnic, Oceania},
+    {"australia-east", kAzure, {-33.87, 151.21}, Apnic, Oceania},
+    {"australia-southeast", kAzure, {-37.81, 144.96}, Apnic, Oceania},
+    {"brazil-south", kAzure, {-23.55, -46.63}, Lacnic, SouthAmerica},
+    {"canada-central", kAzure, {43.65, -79.38}, Arin, NorthAmerica},
+    {"europe-north", kAzure, {53.35, -6.26}, Ripe, Europe},
+    {"europe-west", kAzure, {52.37, 4.90}, Ripe, Europe},
+    {"france-central", kAzure, {48.86, 2.35}, Ripe, Europe},
+    {"germany-westcentral", kAzure, {50.11, 8.68}, Ripe, Europe},
+    {"india-central", kAzure, {18.52, 73.86}, Apnic, Asia},
+    {"india-south", kAzure, {13.08, 80.27}, Apnic, Asia},
+    {"indonesia-central", kAzure, {-6.21, 106.85}, Apnic, Asia},
+    {"israel-central", kAzure, {32.08, 34.78}, Ripe, Europe},
+    {"italy-north", kAzure, {45.46, 9.19}, Ripe, Europe},
+    {"japan-east", kAzure, {35.68, 139.69}, Apnic, Asia},
+    {"japan-west", kAzure, {34.69, 135.50}, Apnic, Asia},
+    {"korea-central", kAzure, {37.57, 126.98}, Apnic, Asia},
+    {"mexico-central", kAzure, {20.59, -100.39}, Lacnic, NorthAmerica},
+    {"newzealand-north", kAzure, {-36.85, 174.76}, Apnic, Oceania},
+    {"norway-east", kAzure, {59.91, 10.75}, Ripe, Europe},
+    {"poland-central", kAzure, {52.23, 21.01}, Ripe, Europe},
+    {"southafrica-north", kAzure, {-26.20, 28.05}, Afrinic, Africa},
+    {"spain-central", kAzure, {40.42, -3.70}, Ripe, Europe},
+    {"sweden-central", kAzure, {60.67, 17.14}, Ripe, Europe},
+    {"switzerland-north", kAzure, {47.37, 8.54}, Ripe, Europe},
+    {"uae-north", kAzure, {25.20, 55.27}, Ripe, Asia},
+    {"uk-south", kAzure, {51.51, -0.13}, Ripe, Europe},
+    {"uk-west", kAzure, {51.48, -3.18}, Ripe, Europe},
+    {"us-central", kAzure, {41.26, -93.62}, Arin, NorthAmerica},
+    {"us-east", kAzure, {37.37, -79.82}, Arin, NorthAmerica},
+    {"us-east2", kAzure, {36.85, -78.87}, Arin, NorthAmerica},
+    {"us-northcentral", kAzure, {41.88, -87.63}, Arin, NorthAmerica},
+    {"us-southcentral", kAzure, {29.42, -98.49}, Arin, NorthAmerica},
+    {"us-west", kAzure, {37.78, -122.42}, Arin, NorthAmerica},
+    {"us-west2", kAzure, {47.23, -119.85}, Arin, NorthAmerica},
+    {"us-west3", kAzure, {33.45, -112.07}, Arin, NorthAmerica},
+    {"us-westcentral", kAzure, {41.14, -104.82}, Arin, NorthAmerica},
+}};
+
+constexpr std::array<RegionInfo, 32> kVultrSites = {{
+    {"Amsterdam", kVultr, {52.37, 4.90}, Ripe, Europe},
+    {"Atlanta", kVultr, {33.75, -84.39}, Arin, NorthAmerica},
+    {"Bangalore", kVultr, {12.97, 77.59}, Apnic, Asia},
+    {"Chicago", kVultr, {41.88, -87.63}, Arin, NorthAmerica},
+    {"Dallas", kVultr, {32.78, -96.80}, Arin, NorthAmerica},
+    {"Delhi NCR", kVultr, {28.61, 77.21}, Apnic, Asia},
+    {"Frankfurt", kVultr, {50.11, 8.68}, Ripe, Europe},
+    {"Honolulu", kVultr, {21.31, -157.86}, Arin, NorthAmerica},
+    {"Johannesburg", kVultr, {-26.20, 28.05}, Afrinic, Africa},
+    {"London", kVultr, {51.51, -0.13}, Ripe, Europe},
+    {"Los Angeles", kVultr, {34.05, -118.24}, Arin, NorthAmerica},
+    {"Madrid", kVultr, {40.42, -3.70}, Ripe, Europe},
+    {"Manchester", kVultr, {53.48, -2.24}, Ripe, Europe},
+    {"Melbourne", kVultr, {-37.81, 144.96}, Apnic, Oceania},
+    {"Mexico City", kVultr, {19.43, -99.13}, Lacnic, NorthAmerica},
+    {"Miami", kVultr, {25.76, -80.19}, Arin, NorthAmerica},
+    {"Mumbai", kVultr, {19.08, 72.88}, Apnic, Asia},
+    {"New Jersey", kVultr, {40.74, -74.17}, Arin, NorthAmerica},
+    {"Osaka", kVultr, {34.69, 135.50}, Apnic, Asia},
+    {"Paris", kVultr, {48.86, 2.35}, Ripe, Europe},
+    {"Santiago", kVultr, {-33.45, -70.67}, Lacnic, SouthAmerica},
+    {"Sao Paulo", kVultr, {-23.55, -46.63}, Lacnic, SouthAmerica},
+    {"Seattle", kVultr, {47.61, -122.33}, Arin, NorthAmerica},
+    {"Seoul", kVultr, {37.57, 126.98}, Apnic, Asia},
+    {"Silicon Valley", kVultr, {37.39, -122.08}, Arin, NorthAmerica},
+    {"Singapore", kVultr, {1.35, 103.82}, Apnic, Asia},
+    {"Stockholm", kVultr, {59.33, 18.07}, Ripe, Europe},
+    {"Sydney", kVultr, {-33.87, 151.21}, Apnic, Oceania},
+    {"Tel Aviv", kVultr, {32.08, 34.78}, Ripe, Europe},
+    {"Tokyo", kVultr, {35.68, 139.69}, Apnic, Asia},
+    {"Toronto", kVultr, {43.65, -79.38}, Arin, NorthAmerica},
+    {"Warsaw", kVultr, {52.23, 21.01}, Ripe, Europe},
+}};
+
+// PEERING muxes (approximate host-institution coordinates).
+constexpr std::array<RegionInfo, 15> kPeeringMuxes = {{
+    {"amsterdam01", kPeering, {52.37, 4.90}, Ripe, Europe},
+    {"clemson01", kPeering, {34.68, -82.84}, Arin, NorthAmerica},
+    {"gatech01", kPeering, {33.78, -84.40}, Arin, NorthAmerica},
+    {"grnet01", kPeering, {37.98, 23.73}, Ripe, Europe},
+    {"isi01", kPeering, {33.98, -118.44}, Arin, NorthAmerica},
+    {"neu01", kPeering, {42.34, -71.09}, Arin, NorthAmerica},
+    {"sbu01", kPeering, {40.91, -73.12}, Arin, NorthAmerica},
+    {"seattle01", kPeering, {47.61, -122.33}, Arin, NorthAmerica},
+    {"saopaulo01", kPeering, {-23.55, -46.63}, Lacnic, SouthAmerica},
+    {"ufmg01", kPeering, {-19.92, -43.94}, Lacnic, SouthAmerica},
+    {"ufms01", kPeering, {-20.44, -54.65}, Lacnic, SouthAmerica},
+    {"utah01", kPeering, {40.76, -111.89}, Arin, NorthAmerica},
+    {"uw01", kPeering, {47.65, -122.31}, Arin, NorthAmerica},
+    {"wisc01", kPeering, {43.07, -89.40}, Arin, NorthAmerica},
+    {"tokyo01", kPeering, {35.68, 139.69}, Apnic, Asia},
+}};
+
+}  // namespace
+
+std::span<const RegionInfo> aws_regions() { return kAwsRegions; }
+std::span<const RegionInfo> peering_muxes() { return kPeeringMuxes; }
+std::span<const RegionInfo> gcp_regions() { return kGcpRegions; }
+std::span<const RegionInfo> azure_regions() { return kAzureRegions; }
+std::span<const RegionInfo> vultr_sites() { return kVultrSites; }
+
+std::span<const RegionInfo> regions_of(CloudProvider p) {
+  switch (p) {
+    case CloudProvider::Aws: return aws_regions();
+    case CloudProvider::Gcp: return gcp_regions();
+    case CloudProvider::Azure: return azure_regions();
+    case CloudProvider::Vultr: return vultr_sites();
+    case CloudProvider::Peering: return peering_muxes();
+  }
+  return {};
+}
+
+std::optional<RegionInfo> find_region(CloudProvider p, std::string_view name) {
+  const auto regions = regions_of(p);
+  const auto it =
+      std::find_if(regions.begin(), regions.end(),
+                   [&](const RegionInfo& r) { return r.name == name; });
+  if (it == regions.end()) return std::nullopt;
+  return *it;
+}
+
+}  // namespace marcopolo::topo

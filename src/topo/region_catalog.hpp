@@ -1,0 +1,58 @@
+// The full node catalog from the paper's Appendix E (Table 4): every cloud
+// region and Vultr site used in the evaluation, with geographic coordinates
+// and RIR membership.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "netsim/geo.hpp"
+#include "topo/rir.hpp"
+
+namespace marcopolo::topo {
+
+enum class CloudProvider : std::uint8_t { Aws, Gcp, Azure, Vultr, Peering };
+
+inline constexpr std::array<CloudProvider, 3> kPerspectiveProviders = {
+    CloudProvider::Aws, CloudProvider::Gcp, CloudProvider::Azure};
+
+[[nodiscard]] constexpr std::string_view to_string_view(CloudProvider p) {
+  switch (p) {
+    case CloudProvider::Aws: return "AWS";
+    case CloudProvider::Gcp: return "GCP";
+    case CloudProvider::Azure: return "Azure";
+    case CloudProvider::Vultr: return "Vultr";
+    case CloudProvider::Peering: return "PEERING";
+  }
+  return "?";
+}
+
+struct RegionInfo {
+  std::string_view name;
+  CloudProvider provider;
+  netsim::GeoPoint location;
+  Rir rir;
+  Continent continent;
+};
+
+/// 27 AWS regions (paper Table 4).
+[[nodiscard]] std::span<const RegionInfo> aws_regions();
+/// 40 GCP regions.
+[[nodiscard]] std::span<const RegionInfo> gcp_regions();
+/// 39 Azure regions.
+[[nodiscard]] std::span<const RegionInfo> azure_regions();
+/// 32 Vultr sites (the victim/adversary node pool).
+[[nodiscard]] std::span<const RegionInfo> vultr_sites();
+/// PEERING testbed muxes (§4.4.2's proposed superset of Vultr): research
+/// vantage points that can originate BGP announcements.
+[[nodiscard]] std::span<const RegionInfo> peering_muxes();
+
+[[nodiscard]] std::span<const RegionInfo> regions_of(CloudProvider p);
+
+/// Look up a region by provider + name; nullopt if unknown.
+[[nodiscard]] std::optional<RegionInfo> find_region(CloudProvider p,
+                                                    std::string_view name);
+
+}  // namespace marcopolo::topo

@@ -1,0 +1,70 @@
+// Regional Internet Registries and continents.
+//
+// RIR membership drives the paper's clustering analysis (§5.3, Appendix B):
+// optimal N-Y quorum deployments place Y+1 perspectives per RIR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace marcopolo::topo {
+
+enum class Rir : std::uint8_t { Arin, Ripe, Apnic, Lacnic, Afrinic };
+
+inline constexpr std::array<Rir, 5> kAllRirs = {
+    Rir::Arin, Rir::Ripe, Rir::Apnic, Rir::Lacnic, Rir::Afrinic};
+
+[[nodiscard]] constexpr std::string_view to_string_view(Rir r) {
+  switch (r) {
+    case Rir::Arin: return "ARIN";
+    case Rir::Ripe: return "RIPE";
+    case Rir::Apnic: return "APNIC";
+    case Rir::Lacnic: return "LACNIC";
+    case Rir::Afrinic: return "AFRINIC";
+  }
+  return "?";
+}
+
+/// Continental backbone zones; used for geographic embedding of the
+/// synthetic Internet and for cold-potato egress zoning.
+enum class Continent : std::uint8_t {
+  NorthAmerica,
+  SouthAmerica,
+  Europe,
+  Africa,
+  Asia,
+  Oceania,
+};
+
+inline constexpr std::array<Continent, 6> kAllContinents = {
+    Continent::NorthAmerica, Continent::SouthAmerica, Continent::Europe,
+    Continent::Africa,       Continent::Asia,         Continent::Oceania};
+
+[[nodiscard]] constexpr std::string_view to_string_view(Continent c) {
+  switch (c) {
+    case Continent::NorthAmerica: return "NA";
+    case Continent::SouthAmerica: return "SA";
+    case Continent::Europe: return "EU";
+    case Continent::Africa: return "AF";
+    case Continent::Asia: return "AS";
+    case Continent::Oceania: return "OC";
+  }
+  return "?";
+}
+
+/// The RIR that administers a continent (the Middle East is part of RIPE;
+/// we fold it into Europe's zone for zoning purposes).
+[[nodiscard]] constexpr Rir rir_of(Continent c) {
+  switch (c) {
+    case Continent::NorthAmerica: return Rir::Arin;
+    case Continent::SouthAmerica: return Rir::Lacnic;
+    case Continent::Europe: return Rir::Ripe;
+    case Continent::Africa: return Rir::Afrinic;
+    case Continent::Asia: return Rir::Apnic;
+    case Continent::Oceania: return Rir::Apnic;
+  }
+  return Rir::Arin;
+}
+
+}  // namespace marcopolo::topo

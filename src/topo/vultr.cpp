@@ -1,0 +1,47 @@
+#include "topo/vultr.hpp"
+
+namespace marcopolo::topo {
+
+std::vector<Site> build_sites(Internet& internet,
+                              std::span<const RegionInfo> catalog,
+                              std::uint64_t seed, std::uint32_t asn_base) {
+  netsim::Rng rng(seed);
+  std::vector<Site> sites;
+  sites.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const RegionInfo& info = catalog[i];
+    const bgp::NodeId node = internet.add_leaf_as(
+        bgp::Asn{asn_base + static_cast<std::uint32_t>(i)}, info.location,
+        info.continent);
+
+    // One tier-1 uplink, spread across the clique so sites land in
+    // different tier-1 cones.
+    const bgp::NodeId uplink = internet.tier1_for(seed ^ (i * 0x9e37ULL));
+    internet.graph().add_provider_customer(uplink, node);
+
+    // Two regional tier-2 uplinks drawn from the five nearest.
+    const auto near2 = internet.nearest_tier2(info.location, 5);
+    std::size_t added = 0;
+    for (int attempt = 0; attempt < 12 && added < 2 && !near2.empty();
+         ++attempt) {
+      const bgp::NodeId t2 = near2[rng.index(near2.size())];
+      bool dup = false;
+      for (const auto& nb : internet.graph().neighbors(node)) {
+        if (nb.id == t2) dup = true;
+      }
+      if (dup) continue;
+      internet.graph().add_provider_customer(t2, node);
+      ++added;
+    }
+
+    sites.push_back(
+        Site{info.name, node, info.rir, info.continent, info.location});
+  }
+  return sites;
+}
+
+std::vector<Site> build_vultr_sites(Internet& internet, std::uint64_t seed) {
+  return build_sites(internet, vultr_sites(), seed);
+}
+
+}  // namespace marcopolo::topo

@@ -1,0 +1,42 @@
+// The victim/adversary node pool: BGP-speaking sites wired as leaf ASes.
+//
+// Paper §4.4.2: Vultr locations sit in different tier-1 cones (e.g. Tokyo
+// under NTT, Bangalore under Tata) with different transit mixes. Each site
+// is modeled as its own leaf AS with a deterministic-but-distinct tier-1
+// plus nearby regional tier-2 transit. The same builder wires any catalog
+// of BGP-capable sites — e.g. the PEERING testbed muxes the paper proposes
+// as a Vultr superset.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topo/internet.hpp"
+#include "topo/region_catalog.hpp"
+
+namespace marcopolo::topo {
+
+struct Site {
+  std::string_view name;
+  bgp::NodeId node;
+  Rir rir;
+  Continent continent;
+  netsim::GeoPoint location;
+};
+using VultrSite = Site;
+
+/// Wire every site of `catalog` into the Internet as a leaf AS with one
+/// deterministic tier-1 uplink and two nearby tier-2 uplinks. ASNs are
+/// assigned sequentially from `asn_base`.
+[[nodiscard]] std::vector<Site> build_sites(Internet& internet,
+                                            std::span<const RegionInfo>
+                                                catalog,
+                                            std::uint64_t seed,
+                                            std::uint32_t asn_base = 64512);
+
+/// The paper's pool: every catalog Vultr site, ASNs 64512+.
+[[nodiscard]] std::vector<Site> build_vultr_sites(Internet& internet,
+                                                  std::uint64_t seed);
+
+}  // namespace marcopolo::topo

@@ -1,0 +1,83 @@
+#include "analysis/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/resilience.hpp"
+#include "netsim/random.hpp"
+
+namespace marcopolo::analysis {
+namespace {
+
+TEST(Bootstrap, PointEstimateMatchesStatistic) {
+  const std::vector<double> values{0.1, 0.5, 0.9};
+  const auto ci = bootstrap_median(values);
+  EXPECT_DOUBLE_EQ(ci.point, 0.5);
+  const auto avg = bootstrap_average(values);
+  EXPECT_NEAR(avg.point, 0.5, 1e-12);
+}
+
+TEST(Bootstrap, IntervalBracketsPoint) {
+  netsim::Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 32; ++i) values.push_back(rng.real());
+  const auto ci = bootstrap_median(values);
+  EXPECT_LE(ci.low, ci.point);
+  EXPECT_GE(ci.high, ci.point);
+  EXPECT_GE(ci.low, 0.0);
+  EXPECT_LE(ci.high, 1.0);
+}
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  const std::vector<double> constant(32, 0.7);
+  const auto ci = bootstrap_median(constant);
+  EXPECT_DOUBLE_EQ(ci.low, 0.7);
+  EXPECT_DOUBLE_EQ(ci.high, 0.7);
+}
+
+TEST(Bootstrap, HigherConfidenceWidensInterval) {
+  netsim::Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 32; ++i) values.push_back(rng.real());
+  const auto narrow = bootstrap_median(values, 4000, 0.80);
+  const auto wide = bootstrap_median(values, 4000, 0.99);
+  EXPECT_LE(wide.low, narrow.low + 1e-12);
+  EXPECT_GE(wide.high, narrow.high - 1e-12);
+}
+
+TEST(Bootstrap, MoreSamplesNarrowTheMeanInterval) {
+  netsim::Rng rng(3);
+  std::vector<double> small_sample;
+  for (int i = 0; i < 8; ++i) small_sample.push_back(rng.real());
+  std::vector<double> large_sample;
+  for (int i = 0; i < 512; ++i) large_sample.push_back(rng.real());
+  const auto small_ci = bootstrap_average(small_sample, 3000);
+  const auto large_ci = bootstrap_average(large_sample, 3000);
+  EXPECT_LT(large_ci.high - large_ci.low, small_ci.high - small_ci.low);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> values{0.2, 0.4, 0.6, 0.8, 1.0};
+  const auto a = bootstrap_median(values, 500, 0.95, 7);
+  const auto b = bootstrap_median(values, 500, 0.95, 7);
+  EXPECT_DOUBLE_EQ(a.low, b.low);
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  const std::vector<double> values{0.5};
+  EXPECT_THROW((void)bootstrap_median({}), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_median(values, 5), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_median(values, 100, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> values{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto ci = bootstrap_statistic(
+      values, [](std::vector<double>& v) { return percentile_of(v, 25.0); });
+  EXPECT_DOUBLE_EQ(ci.point, 0.25);
+  EXPECT_LE(ci.low, ci.point);
+}
+
+}  // namespace
+}  // namespace marcopolo::analysis

@@ -1,0 +1,84 @@
+#include "analysis/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::analysis {
+namespace {
+
+using testing_support::shared_testbed;
+
+RankedDeployment sample_deployment() {
+  const auto& tb = shared_testbed();
+  RankedDeployment rd;
+  rd.spec.name = "sample";
+  const auto aws = tb.perspectives_of(topo::CloudProvider::Aws);
+  rd.spec.remotes = {aws[0], aws[1], aws[2]};
+  rd.spec.primary = aws[3];
+  rd.spec.policy = mpic::QuorumPolicy(3, 1, true);
+  rd.score = {0.9, 0.8};
+  return rd;
+}
+
+TEST(JsonExport, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonExport, DeploymentIncludesAllFields) {
+  const auto json = deployment_to_json(sample_deployment(), shared_testbed());
+  EXPECT_NE(json.find("\"name\":\"sample\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"(primary + 3, N-1)\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"primary\":\"AWS:"), std::string::npos);
+  EXPECT_NE(json.find("\"remotes\":[\"AWS:"), std::string::npos);
+  EXPECT_NE(json.find("\"median\":0.9"), std::string::npos);
+  EXPECT_NE(json.find("\"average\":0.8"), std::string::npos);
+}
+
+TEST(JsonExport, RankedListIsWellFormedArray) {
+  std::vector<RankedDeployment> ranked{sample_deployment(),
+                                       sample_deployment()};
+  ranked[1].spec.primary.reset();
+  ranked[1].spec.policy = mpic::QuorumPolicy(3, 1, false);
+  std::ostringstream out;
+  write_ranked_json(out, ranked, shared_testbed());
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // Two entries separated by a comma, second without a primary field.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+  EXPECT_NE(json.find("},\n"), std::string::npos);
+}
+
+TEST(JsonExport, EvaluationIncludesPerVictimMap) {
+  const auto& tb = shared_testbed();
+  const auto spec = sample_deployment().spec;
+  ResilienceSummary summary;
+  summary.median = 0.9;
+  summary.average = 0.85;
+  summary.p25 = 0.7;
+  summary.p5 = 0.5;
+  summary.per_victim.assign(tb.sites().size(), 0.9);
+  std::ostringstream out;
+  write_evaluation_json(out, spec, summary, tb);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"Tokyo\":0.9"), std::string::npos);
+  EXPECT_NE(json.find("\"p25\":0.7"), std::string::npos);
+  // One entry per site.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(json.begin(), json.end(), ':')) >=
+                tb.sites().size(),
+            true);
+}
+
+}  // namespace
+}  // namespace marcopolo::analysis

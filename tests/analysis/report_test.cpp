@@ -1,0 +1,48 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace marcopolo::analysis {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"Name", "Value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+  // Three rules + header + 2 rows = 6 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, ColumnWiderThanHeader) {
+  TextTable table({"X"});
+  table.add_row({"very-long-cell"});
+  EXPECT_NE(table.to_string().find("| very-long-cell |"), std::string::npos);
+}
+
+TEST(FormatResilience, RoundsLikeThePaper) {
+  EXPECT_EQ(format_resilience(0.0), "0");
+  EXPECT_EQ(format_resilience(0.5), "50");
+  EXPECT_EQ(format_resilience(0.871), "87");
+  EXPECT_EQ(format_resilience(0.875), "88");
+  EXPECT_EQ(format_resilience(1.0), "100");
+}
+
+TEST(FormatShare, OneDecimal) {
+  EXPECT_EQ(format_share(0.5), "50.0%");
+  EXPECT_EQ(format_share(0.638), "63.8%");
+  EXPECT_EQ(format_share(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace marcopolo::analysis

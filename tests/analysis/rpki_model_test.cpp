@@ -1,0 +1,92 @@
+#include "analysis/rpki_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::analysis {
+namespace {
+
+using testing_support::shared_dataset;
+using testing_support::shared_testbed;
+
+mpic::DeploymentSpec sample_deployment() {
+  mpic::DeploymentSpec spec;
+  spec.name = "sample";
+  const auto aws = shared_testbed().perspectives_of(topo::CloudProvider::Aws);
+  spec.remotes = {aws[0], aws[5], aws[10], aws[15], aws[20], aws[25]};
+  spec.policy = mpic::QuorumPolicy(6, 2, false);
+  return spec;
+}
+
+TEST(RpkiModel, WeightZeroEqualsPlainDataset) {
+  const ResilienceAnalyzer plain(shared_dataset().no_rpki);
+  const ResilienceAnalyzer rpki(shared_dataset().rpki);
+  const RpkiWeightedAnalyzer weighted(plain, rpki);
+  const auto spec = sample_deployment();
+  const auto w0 = weighted.evaluate(spec, kNoRpki);
+  const auto direct = plain.evaluate(spec);
+  EXPECT_DOUBLE_EQ(w0.median, direct.median);
+  EXPECT_DOUBLE_EQ(w0.average, direct.average);
+}
+
+TEST(RpkiModel, WeightOneEqualsRpkiDataset) {
+  const ResilienceAnalyzer plain(shared_dataset().no_rpki);
+  const ResilienceAnalyzer rpki(shared_dataset().rpki);
+  const RpkiWeightedAnalyzer weighted(plain, rpki);
+  const auto spec = sample_deployment();
+  const auto w1 = weighted.evaluate(spec, kFullRpki);
+  const auto direct = rpki.evaluate(spec);
+  EXPECT_DOUBLE_EQ(w1.median, direct.median);
+  EXPECT_DOUBLE_EQ(w1.average, direct.average);
+}
+
+TEST(RpkiModel, PerVictimIsExactConvexCombination) {
+  const ResilienceAnalyzer plain(shared_dataset().no_rpki);
+  const ResilienceAnalyzer rpki(shared_dataset().rpki);
+  const RpkiWeightedAnalyzer weighted(plain, rpki);
+  const auto spec = sample_deployment();
+  const auto p = plain.per_victim_resilience(spec);
+  const auto r = rpki.per_victim_resilience(spec);
+  const auto mix = weighted.per_victim_resilience(spec, 0.56);
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    EXPECT_NEAR(mix[v], 0.56 * r[v] + 0.44 * p[v], 1e-12);
+  }
+}
+
+TEST(RpkiModel, AverageMonotoneInRpkiFraction) {
+  // Per-victim the forged-origin dataset can dip below plain (coin flips),
+  // but the average must not decrease as RPKI coverage grows whenever the
+  // RPKI dataset dominates in aggregate — which the campaign guarantees.
+  const ResilienceAnalyzer plain(shared_dataset().no_rpki);
+  const ResilienceAnalyzer rpki(shared_dataset().rpki);
+  const RpkiWeightedAnalyzer weighted(plain, rpki);
+  const auto spec = sample_deployment();
+  double last = -1.0;
+  for (const double w : {0.0, 0.25, 0.56, 0.8, 1.0}) {
+    const double avg = weighted.evaluate(spec, w).average;
+    EXPECT_GE(avg, last - 0.02) << "w=" << w;
+    last = avg;
+  }
+}
+
+TEST(RpkiModel, RejectsBadFraction) {
+  const ResilienceAnalyzer plain(shared_dataset().no_rpki);
+  const ResilienceAnalyzer rpki(shared_dataset().rpki);
+  const RpkiWeightedAnalyzer weighted(plain, rpki);
+  EXPECT_THROW((void)weighted.evaluate(sample_deployment(), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)weighted.evaluate(sample_deployment(), 1.1),
+               std::invalid_argument);
+}
+
+TEST(RpkiModel, RejectsMismatchedDatasets) {
+  const ResilienceAnalyzer plain(shared_dataset().no_rpki);
+  core::ResultStore tiny(2, 2);
+  tiny.record(0, 1, 0, bgp::OriginReached::Victim);
+  const ResilienceAnalyzer other(tiny);
+  EXPECT_THROW(RpkiWeightedAnalyzer(plain, other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace marcopolo::analysis

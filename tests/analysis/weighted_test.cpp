@@ -1,0 +1,105 @@
+#include "analysis/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::analysis {
+namespace {
+
+TEST(Weighted, UniformWeightsMatchUnweightedAverage) {
+  const std::vector<double> values{0.1, 0.5, 0.9, 0.7};
+  const std::vector<double> uniform(4, 1.0);
+  EXPECT_NEAR(weighted_average(values, uniform), 0.55, 1e-12);
+}
+
+TEST(Weighted, AverageFollowsMass) {
+  const std::vector<double> values{0.0, 1.0};
+  EXPECT_NEAR(weighted_average(values, std::vector<double>{1.0, 3.0}), 0.75,
+              1e-12);
+  EXPECT_NEAR(weighted_average(values, std::vector<double>{3.0, 1.0}), 0.25,
+              1e-12);
+}
+
+TEST(Weighted, MedianShiftsWithWeight) {
+  const std::vector<double> values{0.1, 0.5, 0.9};
+  // Heavy weight on the weakest victim drags the median down.
+  EXPECT_DOUBLE_EQ(
+      weighted_median(values, std::vector<double>{10.0, 1.0, 1.0}), 0.1);
+  // Heavy weight on the strongest drags it up.
+  EXPECT_DOUBLE_EQ(
+      weighted_median(values, std::vector<double>{1.0, 1.0, 10.0}), 0.9);
+  // Uniform: middle element.
+  EXPECT_DOUBLE_EQ(
+      weighted_median(values, std::vector<double>{1.0, 1.0, 1.0}), 0.5);
+}
+
+TEST(Weighted, PercentileCumulativeRule) {
+  const std::vector<double> values{0.2, 0.4, 0.6, 0.8};
+  const std::vector<double> weights{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_percentile(values, weights, 25.0), 0.2);
+  EXPECT_DOUBLE_EQ(weighted_percentile(values, weights, 75.0), 0.6);
+  EXPECT_DOUBLE_EQ(weighted_percentile(values, weights, 100.0), 0.8);
+}
+
+TEST(Weighted, ZeroWeightVictimsAreIgnored) {
+  const std::vector<double> values{0.0, 0.5, 1.0};
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(weighted_median(values, weights), 0.5);
+  EXPECT_DOUBLE_EQ(weighted_average(values, weights), 0.5);
+}
+
+TEST(Weighted, ValidatesInput) {
+  const std::vector<double> values{0.5, 0.5};
+  EXPECT_THROW((void)weighted_average(values, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)weighted_average(values, std::vector<double>{1.0, -1.0}),
+      std::invalid_argument);
+  EXPECT_THROW((void)weighted_average(values, std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)weighted_percentile(values, std::vector<double>{1.0, 1.0}, 120.0),
+      std::invalid_argument);
+}
+
+TEST(Weighted, EvaluateWeightedOnRealCampaign) {
+  // Weighting all mass on one victim reproduces that victim's resilience
+  // as every statistic.
+  const auto& tb = testing_support::shared_testbed();
+  const ResilienceAnalyzer analyzer(testing_support::shared_dataset().no_rpki);
+  mpic::DeploymentSpec spec;
+  spec.name = "w";
+  const auto aws = tb.perspectives_of(topo::CloudProvider::Aws);
+  spec.remotes = {aws[0], aws[7], aws[14]};
+  spec.policy = mpic::QuorumPolicy(3, 1, false);
+
+  const auto per_victim = analyzer.per_victim_resilience(spec);
+  std::vector<double> weights(per_victim.size(), 0.0);
+  weights[5] = 1.0;
+  const auto s = evaluate_weighted(analyzer, spec, weights);
+  EXPECT_DOUBLE_EQ(s.median, per_victim[5]);
+  EXPECT_DOUBLE_EQ(s.average, per_victim[5]);
+  EXPECT_DOUBLE_EQ(s.p25, per_victim[5]);
+}
+
+TEST(Weighted, UniformWeightsApproximateUnweightedSummary) {
+  const ResilienceAnalyzer analyzer(testing_support::shared_dataset().no_rpki);
+  const auto& tb = testing_support::shared_testbed();
+  mpic::DeploymentSpec spec;
+  spec.name = "w";
+  const auto azure = tb.perspectives_of(topo::CloudProvider::Azure);
+  spec.remotes = {azure[0], azure[10], azure[20], azure[30]};
+  spec.policy = mpic::QuorumPolicy(4, 1, false);
+
+  const std::vector<double> uniform(tb.sites().size(), 1.0);
+  const auto weighted = evaluate_weighted(analyzer, spec, uniform);
+  const auto plain = analyzer.evaluate(spec);
+  EXPECT_NEAR(weighted.average, plain.average, 1e-12);
+  // Weighted median uses the lower-middle rule; allow one victim of slack
+  // vs eq. (5)'s averaged-middles rule.
+  EXPECT_NEAR(weighted.median, plain.median, 0.05);
+}
+
+}  // namespace
+}  // namespace marcopolo::analysis

@@ -1,0 +1,119 @@
+#include "bgp/as_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::bgp {
+namespace {
+
+TEST(AsGraph, AddAndFind) {
+  AsGraph g;
+  const NodeId a = g.add_as(Asn{100});
+  const NodeId b = g.add_as(Asn{200});
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.asn_of(a), Asn{100});
+  EXPECT_EQ(g.find(Asn{200}), b);
+  EXPECT_FALSE(g.find(Asn{999}).has_value());
+}
+
+TEST(AsGraph, RejectsDuplicateAsn) {
+  AsGraph g;
+  g.add_as(Asn{100});
+  EXPECT_THROW(g.add_as(Asn{100}), std::invalid_argument);
+}
+
+TEST(AsGraph, ProviderCustomerIsMirrored) {
+  AsGraph g;
+  const NodeId p = g.add_as(Asn{1});
+  const NodeId c = g.add_as(Asn{2});
+  g.add_provider_customer(p, c);
+  ASSERT_EQ(g.customers_of(p).size(), 1u);
+  EXPECT_EQ(g.customers_of(p)[0].id, c);
+  ASSERT_EQ(g.providers_of(c).size(), 1u);
+  EXPECT_EQ(g.providers_of(c)[0].id, p);
+  EXPECT_TRUE(g.peers_of(p).empty());
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AsGraph, PeeringIsSymmetric) {
+  AsGraph g;
+  const NodeId a = g.add_as(Asn{1});
+  const NodeId b = g.add_as(Asn{2});
+  g.add_peering(a, b);
+  ASSERT_EQ(g.peers_of(a).size(), 1u);
+  ASSERT_EQ(g.peers_of(b).size(), 1u);
+  EXPECT_EQ(g.peers_of(a)[0].id, b);
+}
+
+TEST(AsGraph, RejectsSelfLoops) {
+  AsGraph g;
+  const NodeId a = g.add_as(Asn{1});
+  EXPECT_THROW(g.add_peering(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_provider_customer(a, a), std::invalid_argument);
+}
+
+TEST(AsGraph, PopAnnotationsStoredPerSide) {
+  AsGraph g;
+  const NodeId cloud = g.add_as(Asn{15169});
+  const NodeId peer = g.add_as(Asn{2});
+  g.add_peering(cloud, peer, PopId{7}, PopId{});
+  EXPECT_EQ(g.peers_of(cloud)[0].local_pop, PopId{7});
+  EXPECT_FALSE(g.peers_of(peer)[0].local_pop.valid());
+}
+
+TEST(AsGraph, CustomerRanksRespectHierarchy) {
+  AsGraph g;
+  const NodeId t1 = g.add_as(Asn{1});
+  const NodeId t2 = g.add_as(Asn{2});
+  const NodeId stub = g.add_as(Asn{3});
+  g.add_provider_customer(t1, t2);
+  g.add_provider_customer(t2, stub);
+  const auto ranks = g.customer_ranks();
+  EXPECT_EQ(ranks[stub.value], 0u);
+  EXPECT_EQ(ranks[t2.value], 1u);
+  EXPECT_EQ(ranks[t1.value], 2u);
+}
+
+TEST(AsGraph, RanksDetectCycles) {
+  AsGraph g;
+  const NodeId a = g.add_as(Asn{1});
+  const NodeId b = g.add_as(Asn{2});
+  g.add_provider_customer(a, b);
+  g.add_provider_customer(b, a);  // mutual transit: a cycle
+  EXPECT_THROW((void)g.customer_ranks(), std::logic_error);
+}
+
+TEST(AsGraph, MultiHomedRankIsAboveAllCustomers) {
+  AsGraph g;
+  const NodeId p1 = g.add_as(Asn{1});
+  const NodeId p2 = g.add_as(Asn{2});
+  const NodeId mid = g.add_as(Asn{3});
+  const NodeId leaf = g.add_as(Asn{4});
+  g.add_provider_customer(p1, mid);
+  g.add_provider_customer(p2, leaf);
+  g.add_provider_customer(mid, leaf);
+  const auto ranks = g.customer_ranks();
+  EXPECT_GT(ranks[p1.value], ranks[mid.value]);
+  EXPECT_GT(ranks[p2.value], ranks[leaf.value]);
+  EXPECT_GT(ranks[mid.value], ranks[leaf.value]);
+}
+
+TEST(AsGraph, ValidatePassesOnWellFormedGraph) {
+  AsGraph g;
+  const NodeId a = g.add_as(Asn{1});
+  const NodeId b = g.add_as(Asn{2});
+  const NodeId c = g.add_as(Asn{3});
+  g.add_peering(a, b);
+  g.add_provider_customer(a, c);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(AsGraph, RovFlagDefaultsOff) {
+  AsGraph g;
+  const NodeId a = g.add_as(Asn{1});
+  EXPECT_FALSE(g.rov_enforcing(a));
+  g.set_rov_enforcing(a, true);
+  EXPECT_TRUE(g.rov_enforcing(a));
+}
+
+}  // namespace
+}  // namespace marcopolo::bgp

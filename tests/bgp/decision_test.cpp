@@ -1,0 +1,120 @@
+#include "bgp/decision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::bgp {
+namespace {
+
+RouteCandidate candidate(RouteSource src, std::size_t path_len,
+                         OriginRole role, std::uint32_t from_asn = 10,
+                         std::uint16_t pop = 0) {
+  RouteCandidate c;
+  c.ann.prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  for (std::size_t i = 0; i < path_len; ++i) {
+    c.ann.as_path.push_back(Asn{static_cast<std::uint32_t>(100 + i)});
+  }
+  c.ann.role = role;
+  c.source = src;
+  c.from_asn = Asn{from_asn};
+  c.ingress_pop = PopId{pop};
+  return c;
+}
+
+const NodeId kNode{3};
+
+TEST(Decision, LocalPreferenceDominates) {
+  const RouteComparator cmp(TieBreakMode::VictimFirst, 1);
+  const auto customer = candidate(RouteSource::Customer, 5,
+                                  OriginRole::Adversary);
+  const auto peer = candidate(RouteSource::Peer, 1, OriginRole::Victim);
+  const auto provider = candidate(RouteSource::Provider, 1,
+                                  OriginRole::Victim);
+  EXPECT_TRUE(cmp.prefer(customer, peer, kNode));
+  EXPECT_TRUE(cmp.prefer(peer, provider, kNode));
+  EXPECT_TRUE(cmp.prefer(customer, provider, kNode));
+}
+
+TEST(Decision, SelfBeatsEverything) {
+  const RouteComparator cmp(TieBreakMode::AdversaryFirst, 1);
+  const auto self = candidate(RouteSource::Self, 0, OriginRole::Victim);
+  const auto customer = candidate(RouteSource::Customer, 1,
+                                  OriginRole::Adversary);
+  EXPECT_TRUE(cmp.prefer(self, customer, kNode));
+  EXPECT_FALSE(cmp.prefer(customer, self, kNode));
+}
+
+TEST(Decision, PathLengthBreaksEqualPreference) {
+  const RouteComparator cmp(TieBreakMode::AdversaryFirst, 1);
+  const auto short_victim = candidate(RouteSource::Peer, 2,
+                                      OriginRole::Victim);
+  const auto long_adversary = candidate(RouteSource::Peer, 3,
+                                        OriginRole::Adversary);
+  EXPECT_TRUE(cmp.prefer(short_victim, long_adversary, kNode))
+      << "path length must beat the route-age preference";
+}
+
+TEST(Decision, RouteAgeBreaksFullAttributeTies) {
+  const auto victim = candidate(RouteSource::Peer, 2, OriginRole::Victim);
+  const auto adversary = candidate(RouteSource::Peer, 2,
+                                   OriginRole::Adversary);
+  const RouteComparator vf(TieBreakMode::VictimFirst, 1);
+  EXPECT_TRUE(vf.prefer(victim, adversary, kNode));
+  const RouteComparator af(TieBreakMode::AdversaryFirst, 1);
+  EXPECT_TRUE(af.prefer(adversary, victim, kNode));
+}
+
+TEST(Decision, HashedCoinIsDeterministicPerSeed) {
+  const RouteComparator a(TieBreakMode::Hashed, 42);
+  const RouteComparator b(TieBreakMode::Hashed, 42);
+  for (std::uint32_t n = 0; n < 50; ++n) {
+    EXPECT_EQ(a.preferred_role(NodeId{n}), b.preferred_role(NodeId{n}));
+  }
+}
+
+TEST(Decision, HashedCoinVariesAcrossNodes) {
+  const RouteComparator cmp(TieBreakMode::Hashed, 42);
+  std::size_t victims = 0;
+  for (std::uint32_t n = 0; n < 200; ++n) {
+    if (cmp.preferred_role(NodeId{n}) == OriginRole::Victim) ++victims;
+  }
+  // Roughly fair coin.
+  EXPECT_GT(victims, 60u);
+  EXPECT_LT(victims, 140u);
+}
+
+TEST(Decision, SaltedCoinIndependentPerZone) {
+  const RouteComparator cmp(TieBreakMode::Hashed, 42);
+  bool any_difference = false;
+  for (std::uint32_t n = 0; n < 32 && !any_difference; ++n) {
+    if (cmp.preferred_role(NodeId{n}, 0) != cmp.preferred_role(NodeId{n}, 1)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Decision, FixedModesIgnoreSalt) {
+  const RouteComparator vf(TieBreakMode::VictimFirst, 42);
+  const RouteComparator af(TieBreakMode::AdversaryFirst, 42);
+  for (std::uint64_t salt = 0; salt < 8; ++salt) {
+    EXPECT_EQ(vf.preferred_role(kNode, salt), OriginRole::Victim);
+    EXPECT_EQ(af.preferred_role(kNode, salt), OriginRole::Adversary);
+  }
+}
+
+TEST(Decision, FinalTieBreakByNeighborAsnThenPop) {
+  const RouteComparator cmp(TieBreakMode::VictimFirst, 1);
+  const auto low_asn = candidate(RouteSource::Peer, 2, OriginRole::Victim,
+                                 /*from_asn=*/5);
+  const auto high_asn = candidate(RouteSource::Peer, 2, OriginRole::Victim,
+                                  /*from_asn=*/9);
+  EXPECT_TRUE(cmp.prefer(low_asn, high_asn, kNode));
+
+  const auto pop0 = candidate(RouteSource::Peer, 2, OriginRole::Victim, 5, 0);
+  const auto pop1 = candidate(RouteSource::Peer, 2, OriginRole::Victim, 5, 1);
+  EXPECT_TRUE(cmp.prefer(pop0, pop1, kNode));
+  EXPECT_FALSE(cmp.prefer(pop1, pop0, kNode));
+}
+
+}  // namespace
+}  // namespace marcopolo::bgp

@@ -1,0 +1,97 @@
+#include "bgp/rpki.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::bgp {
+namespace {
+
+netsim::Ipv4Prefix pfx(const char* text) {
+  return *netsim::Ipv4Prefix::parse(text);
+}
+
+TEST(Rpki, NotFoundWithoutCoveringRoa) {
+  RoaRegistry reg;
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{64512}),
+            RpkiValidity::NotFound);
+  reg.add(Roa{pfx("10.0.0.0/8"), Asn{1}, std::nullopt});
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{64512}),
+            RpkiValidity::NotFound);
+}
+
+TEST(Rpki, ValidExactMatch) {
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{64512}, std::nullopt});
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{64512}),
+            RpkiValidity::Valid);
+}
+
+TEST(Rpki, InvalidWrongOrigin) {
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{64512}, std::nullopt});
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{666}),
+            RpkiValidity::Invalid);
+}
+
+TEST(Rpki, InvalidMoreSpecificWithoutMaxLen) {
+  // RFC 9319's point: without MAX_LEN, a /25 under a /24 ROA is Invalid —
+  // which is exactly what blocks sub-prefix hijacks at ROV ASes.
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{64512}, std::nullopt});
+  EXPECT_EQ(reg.validate(pfx("203.0.113.128/25"), Asn{64512}),
+            RpkiValidity::Invalid);
+}
+
+TEST(Rpki, MaxLenPermitsMoreSpecifics) {
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{64512}, std::uint8_t{26}});
+  EXPECT_EQ(reg.validate(pfx("203.0.113.128/25"), Asn{64512}),
+            RpkiValidity::Valid);
+  EXPECT_EQ(reg.validate(pfx("203.0.113.192/26"), Asn{64512}),
+            RpkiValidity::Valid);
+  EXPECT_EQ(reg.validate(pfx("203.0.113.192/27"), Asn{64512}),
+            RpkiValidity::Invalid);
+}
+
+TEST(Rpki, AnyMatchingRoaValidates) {
+  // Multiple ROAs may cover a prefix; one match suffices.
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{1}, std::nullopt});
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{2}, std::nullopt});
+  reg.add(Roa{pfx("203.0.0.0/16"), Asn{3}, std::uint8_t{24}});
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{2}), RpkiValidity::Valid);
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{3}), RpkiValidity::Valid);
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{9}),
+            RpkiValidity::Invalid);
+}
+
+TEST(Rpki, ForgedOriginIsValidByConstruction) {
+  // The core RPKI limitation the paper leans on: ROV cannot catch a hijack
+  // whose path *claims* the authorized origin.
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{64512}, std::nullopt});
+  // Adversary AS 666 announces path {666, 64512}: origin = 64512 -> Valid.
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{64512}),
+            RpkiValidity::Valid);
+}
+
+TEST(Rpki, RemoveRestoresNotFound) {
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/24"), Asn{64512}, std::nullopt});
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.remove(pfx("203.0.113.0/24"), Asn{64512}));
+  EXPECT_FALSE(reg.remove(pfx("203.0.113.0/24"), Asn{64512}));
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{64512}),
+            RpkiValidity::NotFound);
+}
+
+TEST(Rpki, LessSpecificAnnouncementNotCoveredBySpecificRoa) {
+  RoaRegistry reg;
+  reg.add(Roa{pfx("203.0.113.0/25"), Asn{1}, std::nullopt});
+  // A /24 announcement is less specific than the ROA prefix: not covered.
+  EXPECT_EQ(reg.validate(pfx("203.0.113.0/24"), Asn{1}),
+            RpkiValidity::NotFound);
+}
+
+}  // namespace
+}  // namespace marcopolo::bgp

@@ -1,0 +1,352 @@
+#include "bgpd/speaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgpd/network.hpp"
+
+namespace marcopolo::bgpd {
+namespace {
+
+const netsim::Ipv4Prefix kPrefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+
+bgp::Announcement origin_route(bgp::OriginRole role = bgp::OriginRole::Victim) {
+  return bgp::Announcement{kPrefix, {}, role};
+}
+
+/// Minimal harness: a three-AS chain t1 <- t2 <- stub with zero-jitter
+/// sessions.
+class ChainFixture : public ::testing::Test {
+ protected:
+  ChainFixture() {
+    t1 = graph.add_as(bgp::Asn{1});
+    t2 = graph.add_as(bgp::Asn{2});
+    stub = graph.add_as(bgp::Asn{3});
+    graph.add_provider_customer(t1, t2);
+    graph.add_provider_customer(t2, stub);
+    net = std::make_unique<BgpNetwork>(
+        graph, std::vector<netsim::GeoPoint>(3), sim, config());
+  }
+
+  static BgpNetworkConfig config() {
+    BgpNetworkConfig cfg;
+    cfg.jitter = netsim::milliseconds(1);
+    return cfg;
+  }
+
+  bgp::AsGraph graph;
+  bgp::NodeId t1, t2, stub;
+  netsim::Simulator sim;
+  std::unique_ptr<BgpNetwork> net;
+};
+
+TEST_F(ChainFixture, RouteClimbsAndPathsGrow) {
+  net->announce(stub, origin_route());
+  net->run_to_convergence();
+
+  const auto at_t2 = net->speaker(t2).best(kPrefix);
+  ASSERT_TRUE(at_t2.has_value());
+  EXPECT_EQ(at_t2->route.path_string(), "3");
+  EXPECT_EQ(at_t2->source, bgp::RouteSource::Customer);
+
+  const auto at_t1 = net->speaker(t1).best(kPrefix);
+  ASSERT_TRUE(at_t1.has_value());
+  EXPECT_EQ(at_t1->route.path_string(), "2 3");
+}
+
+TEST_F(ChainFixture, WithdrawPropagates) {
+  net->announce(stub, origin_route());
+  net->run_to_convergence();
+  ASSERT_TRUE(net->speaker(t1).best(kPrefix).has_value());
+
+  net->withdraw(stub, kPrefix);
+  net->run_to_convergence();
+  EXPECT_FALSE(net->speaker(t1).best(kPrefix).has_value());
+  EXPECT_FALSE(net->speaker(t2).best(kPrefix).has_value());
+}
+
+TEST_F(ChainFixture, ConvergenceTakesPropagationTime) {
+  const auto start = sim.now();
+  net->announce(stub, origin_route());
+  const auto end = net->run_to_convergence();
+  EXPECT_GT(end - start, netsim::Duration::zero());
+  // Two hops of ~2ms processing + jitter: well under a second here.
+  EXPECT_LT(end - start, netsim::seconds(1));
+}
+
+TEST_F(ChainFixture, UpdateCountsAreTracked) {
+  net->announce(stub, origin_route());
+  net->run_to_convergence();
+  EXPECT_GE(net->total_updates_sent(), 2u);  // stub->t2, t2->t1
+  EXPECT_GE(net->speaker(t2).updates_received(), 1u);
+}
+
+TEST(BgpdValleyFree, PeerRoutesDoNotTransitPeers) {
+  bgp::AsGraph graph;
+  const auto p1 = graph.add_as(bgp::Asn{1});
+  const auto p2 = graph.add_as(bgp::Asn{2});
+  const auto p3 = graph.add_as(bgp::Asn{3});
+  const auto stub = graph.add_as(bgp::Asn{4});
+  graph.add_peering(p1, p2);
+  graph.add_peering(p2, p3);
+  graph.add_provider_customer(p1, stub);
+
+  netsim::Simulator sim;
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(4), sim);
+  net.announce(stub, bgp::Announcement{*netsim::Ipv4Prefix::parse(
+                                           "203.0.113.0/24"),
+                                       {},
+                                       bgp::OriginRole::Victim});
+  net.run_to_convergence();
+  EXPECT_TRUE(net.speaker(p2)
+                  .best(*netsim::Ipv4Prefix::parse("203.0.113.0/24"))
+                  .has_value());
+  EXPECT_FALSE(net.speaker(p3)
+                   .best(*netsim::Ipv4Prefix::parse("203.0.113.0/24"))
+                   .has_value());
+}
+
+TEST(BgpdRouteAge, EarlierAnnouncementWinsTies) {
+  // obs has two customers announcing the same prefix: identical localpref
+  // and path length, so arrival order decides.
+  bgp::AsGraph graph;
+  const auto obs = graph.add_as(bgp::Asn{1});
+  const auto va = graph.add_as(bgp::Asn{10});
+  const auto vb = graph.add_as(bgp::Asn{20});
+  graph.add_provider_customer(obs, va);
+  graph.add_provider_customer(obs, vb);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+
+  // Victim first.
+  {
+    netsim::Simulator sim;
+    BgpNetwork net(graph, std::vector<netsim::GeoPoint>(3), sim);
+    net.announce(va, bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+    sim.run_until(sim.now() + netsim::seconds(30));
+    net.announce(vb,
+                 bgp::Announcement{prefix, {}, bgp::OriginRole::Adversary});
+    net.run_to_convergence();
+    EXPECT_EQ(net.role_reached(obs, prefix), bgp::OriginRole::Victim);
+  }
+  // Adversary first.
+  {
+    netsim::Simulator sim;
+    BgpNetwork net(graph, std::vector<netsim::GeoPoint>(3), sim);
+    net.announce(vb,
+                 bgp::Announcement{prefix, {}, bgp::OriginRole::Adversary});
+    sim.run_until(sim.now() + netsim::seconds(30));
+    net.announce(va, bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+    net.run_to_convergence();
+    EXPECT_EQ(net.role_reached(obs, prefix), bgp::OriginRole::Adversary);
+  }
+}
+
+TEST(BgpdRouteAge, BetterPathDisplacesOlderRoute) {
+  // Age only breaks full ties: a later-but-shorter route must win.
+  bgp::AsGraph graph;
+  const auto obs = graph.add_as(bgp::Asn{1});
+  const auto mid = graph.add_as(bgp::Asn{2});
+  const auto far_origin = graph.add_as(bgp::Asn{10});
+  const auto near_origin = graph.add_as(bgp::Asn{20});
+  graph.add_provider_customer(obs, mid);
+  graph.add_provider_customer(mid, far_origin);
+  graph.add_provider_customer(obs, near_origin);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  netsim::Simulator sim;
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(4), sim);
+  net.announce(far_origin,
+               bgp::Announcement{prefix, {}, bgp::OriginRole::Adversary});
+  net.run_to_convergence();
+  ASSERT_EQ(net.role_reached(obs, prefix), bgp::OriginRole::Adversary);
+
+  net.announce(near_origin,
+               bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+  net.run_to_convergence();
+  EXPECT_EQ(net.role_reached(obs, prefix), bgp::OriginRole::Victim)
+      << "shorter path must displace the older route";
+}
+
+TEST(BgpdMrai, BatchingSuppressesIntermediateChurn) {
+  // A prefix that flaps rapidly at the origin should reach a distant
+  // speaker as far fewer updates than the origin generated, thanks to
+  // MRAI batching at each hop.
+  bgp::AsGraph graph;
+  const auto top = graph.add_as(bgp::Asn{1});
+  const auto mid = graph.add_as(bgp::Asn{2});
+  const auto origin = graph.add_as(bgp::Asn{3});
+  graph.add_provider_customer(top, mid);
+  graph.add_provider_customer(mid, origin);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  netsim::Simulator sim;
+  BgpNetworkConfig cfg;
+  cfg.speaker.mrai = netsim::seconds(30);
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(3), sim, cfg);
+
+  // Flap 10 times within one MRAI window.
+  for (int i = 0; i < 10; ++i) {
+    net.announce(origin,
+                 bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+    sim.run_until(sim.now() + netsim::milliseconds(200));
+    net.withdraw(origin, prefix);
+    sim.run_until(sim.now() + netsim::milliseconds(200));
+  }
+  net.announce(origin, bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+  net.run_to_convergence();
+
+  EXPECT_TRUE(net.speaker(top).best(prefix).has_value());
+  // origin sent up to 21 updates; mid batched them heavily.
+  EXPECT_LT(net.speaker(mid).updates_sent(),
+            net.speaker(origin).updates_sent());
+}
+
+TEST(BgpdRfd, FlappingPrefixGetsSuppressed) {
+  bgp::AsGraph graph;
+  const auto obs = graph.add_as(bgp::Asn{1});
+  const auto origin = graph.add_as(bgp::Asn{2});
+  graph.add_provider_customer(obs, origin);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  netsim::Simulator sim;
+  BgpNetworkConfig cfg;
+  cfg.speaker.mrai = netsim::milliseconds(1);  // let every flap through
+  cfg.speaker.rfd_suppress_threshold = 3.0;
+  cfg.speaker.rfd_reuse = 1.0;
+  cfg.speaker.rfd_half_life = netsim::minutes(5);
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(2), sim, cfg);
+
+  for (int i = 0; i < 5; ++i) {
+    net.announce(origin,
+                 bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+    sim.run_until(sim.now() + netsim::seconds(1));
+    net.withdraw(origin, prefix);
+    sim.run_until(sim.now() + netsim::seconds(1));
+  }
+  net.announce(origin, bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+  net.run_to_convergence();
+
+  EXPECT_TRUE(net.speaker(obs).suppressed(prefix))
+      << "penalty " << net.speaker(obs).flap_penalty(prefix);
+  EXPECT_FALSE(net.speaker(obs).best(prefix).has_value())
+      << "suppressed prefixes must not be used";
+
+  // After the penalty decays, re-evaluation lifts the suppression. This is
+  // exactly why MarcoPolo limits announcements to one per five minutes
+  // (§4.2.1): staying under RFD thresholds.
+  sim.run_until(sim.now() + netsim::hours(2));
+  net.speaker(obs).reevaluate(prefix);
+  net.run_to_convergence();
+  EXPECT_FALSE(net.speaker(obs).suppressed(prefix));
+  EXPECT_TRUE(net.speaker(obs).best(prefix).has_value());
+}
+
+TEST(BgpdRfd, PacedAnnouncementsAvoidSuppression) {
+  // MarcoPolo's cadence: one announcement change per 5 minutes. With a
+  // 15-minute half-life the penalty never reaches the threshold.
+  bgp::AsGraph graph;
+  const auto obs = graph.add_as(bgp::Asn{1});
+  const auto origin = graph.add_as(bgp::Asn{2});
+  graph.add_provider_customer(obs, origin);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  netsim::Simulator sim;
+  BgpNetworkConfig cfg;
+  cfg.speaker.mrai = netsim::milliseconds(1);
+  cfg.speaker.rfd_suppress_threshold = 3.0;
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(2), sim, cfg);
+
+  for (int i = 0; i < 12; ++i) {
+    net.announce(origin,
+                 bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+    sim.run_until(sim.now() + netsim::minutes(5));
+    net.withdraw(origin, prefix);
+    sim.run_until(sim.now() + netsim::minutes(5));
+  }
+  net.announce(origin, bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+  net.run_to_convergence();
+  EXPECT_FALSE(net.speaker(obs).suppressed(prefix));
+  EXPECT_TRUE(net.speaker(obs).best(prefix).has_value());
+}
+
+TEST(BgpdExportPolicy, PeerLosesRouteWhenBestShiftsToProvider) {
+  // mid has a customer route (exportable to its peer) and a provider
+  // route. When the customer withdraws, mid's best becomes the provider
+  // route — NOT exportable to peers — so the peer must receive a WITHDRAW
+  // even though mid still has a route.
+  bgp::AsGraph graph;
+  const auto provider = graph.add_as(bgp::Asn{1});
+  const auto mid = graph.add_as(bgp::Asn{2});
+  const auto peer = graph.add_as(bgp::Asn{3});
+  const auto customer = graph.add_as(bgp::Asn{4});
+  const auto far_origin = graph.add_as(bgp::Asn{5});
+  graph.add_provider_customer(provider, mid);
+  graph.add_provider_customer(mid, customer);
+  graph.add_peering(mid, peer);
+  graph.add_provider_customer(provider, far_origin);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  netsim::Simulator sim;
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(5), sim);
+
+  // Both origins announce; mid prefers its customer.
+  net.announce(customer,
+               bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+  net.announce(far_origin,
+               bgp::Announcement{prefix, {}, bgp::OriginRole::Adversary});
+  net.run_to_convergence();
+  ASSERT_TRUE(net.speaker(peer).best(prefix).has_value());
+  EXPECT_EQ(net.speaker(peer).best(prefix)->route.role,
+            bgp::OriginRole::Victim);
+
+  net.withdraw(customer, prefix);
+  net.run_to_convergence();
+  // mid now routes via its provider...
+  ASSERT_TRUE(net.speaker(mid).best(prefix).has_value());
+  EXPECT_EQ(net.speaker(mid).best(prefix)->source,
+            bgp::RouteSource::Provider);
+  // ...but the peer must no longer hear anything from mid (valley-free).
+  EXPECT_FALSE(net.speaker(peer).best(prefix).has_value());
+}
+
+TEST(BgpdExportPolicy, SplitHorizonNeverEchoesToSender) {
+  bgp::AsGraph graph;
+  const auto provider = graph.add_as(bgp::Asn{1});
+  const auto customer = graph.add_as(bgp::Asn{2});
+  graph.add_provider_customer(provider, customer);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  netsim::Simulator sim;
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(2), sim);
+  net.announce(customer,
+               bgp::Announcement{prefix, {}, bgp::OriginRole::Victim});
+  net.run_to_convergence();
+  // The provider's best is the customer route; exporting it back to the
+  // customer is suppressed, so the customer received zero updates (its own
+  // Self route aside, the provider had nothing else to offer).
+  EXPECT_EQ(net.speaker(customer).updates_received(), 0u);
+}
+
+TEST(BgpdRov, EnforcingSpeakerDropsInvalid) {
+  bgp::AsGraph graph;
+  const auto enforcing = graph.add_as(bgp::Asn{1});
+  const auto hijacker = graph.add_as(bgp::Asn{666});
+  graph.add_provider_customer(enforcing, hijacker);
+  graph.set_rov_enforcing(enforcing, true);
+
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  bgp::RoaRegistry roas;
+  roas.add(bgp::Roa{prefix, bgp::Asn{10}, std::nullopt});
+
+  netsim::Simulator sim;
+  BgpNetworkConfig cfg;
+  cfg.speaker.roas = &roas;
+  BgpNetwork net(graph, std::vector<netsim::GeoPoint>(2), sim, cfg);
+  net.announce(hijacker,
+               bgp::Announcement{prefix, {}, bgp::OriginRole::Adversary});
+  net.run_to_convergence();
+  EXPECT_FALSE(net.speaker(enforcing).best(prefix).has_value());
+}
+
+}  // namespace
+}  // namespace marcopolo::bgpd

@@ -1,0 +1,91 @@
+#include "cost/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::cost {
+namespace {
+
+TEST(CostModel, ZeroShapeCostsNothing) {
+  const CostModel model;
+  const auto bill = model.estimate(ExperimentShape{});
+  EXPECT_DOUBLE_EQ(bill.total_usd, 0.0);
+  ASSERT_EQ(bill.lines.size(), 4u);
+  for (const auto& line : bill.lines) EXPECT_DOUBLE_EQ(line.usd, 0.0);
+}
+
+TEST(CostModel, LinesCoverAllProviders) {
+  const CostModel model;
+  ExperimentShape shape;
+  shape.provisioned = netsim::hours(24);
+  shape.aws_nodes = 27;
+  shape.azure_nodes = 39;
+  shape.gcp_nodes = 40;
+  shape.vultr_nodes = 32;
+  shape.aws_api_calls = 1000;
+  const auto bill = model.estimate(shape);
+  ASSERT_EQ(bill.lines.size(), 4u);
+  EXPECT_EQ(bill.lines[0].provider, "AWS");
+  EXPECT_EQ(bill.lines[1].provider, "Azure");
+  EXPECT_EQ(bill.lines[2].provider, "GCP");
+  EXPECT_EQ(bill.lines[3].provider, "Vultr");
+  EXPECT_EQ(bill.lines[0].node_count, 27u);
+  EXPECT_EQ(bill.lines[3].node_count, 32u);
+}
+
+TEST(CostModel, VmCostScalesWithDurationAndNodes) {
+  const CostModel model;
+  ExperimentShape one_day;
+  one_day.provisioned = netsim::hours(24);
+  one_day.azure_nodes = 10;
+  ExperimentShape two_days = one_day;
+  two_days.provisioned = netsim::hours(48);
+  const double c1 = model.estimate(one_day).total_usd;
+  const double c2 = model.estimate(two_days).total_usd;
+  EXPECT_NEAR(c2, 2.0 * c1, 0.02);
+
+  ExperimentShape more_nodes = one_day;
+  more_nodes.azure_nodes = 20;
+  EXPECT_NEAR(model.estimate(more_nodes).total_usd, 2.0 * c1, 0.02);
+}
+
+TEST(CostModel, AwsBilledPerApiCallOnly) {
+  // Paper Appendix D: Lambda rides the free tier; only API Gateway bills.
+  const CostModel model;
+  ExperimentShape shape;
+  shape.provisioned = netsim::hours(24 * 30);
+  shape.aws_nodes = 27;  // nodes alone cost nothing
+  EXPECT_DOUBLE_EQ(model.estimate(shape).total_usd, 0.0);
+  shape.aws_api_calls = 10'000'000;
+  EXPECT_NEAR(model.estimate(shape).total_usd, 35.0, 0.5);
+}
+
+TEST(CostModel, CatalogOverridesApply) {
+  PriceCatalog catalog;
+  catalog.vultr_vc2_monthly = 100.0;
+  const CostModel model(catalog);
+  ExperimentShape shape;
+  shape.provisioned = netsim::hours(30 * 24);  // exactly one month
+  shape.vultr_nodes = 2;
+  EXPECT_NEAR(model.estimate(shape).total_usd, 200.0, 0.5);
+}
+
+TEST(CostModel, TotalIsSumOfLines) {
+  const CostModel model;
+  ExperimentShape shape;
+  shape.provisioned = netsim::hours(100);
+  shape.aws_nodes = 27;
+  shape.azure_nodes = 39;
+  shape.gcp_nodes = 40;
+  shape.vultr_nodes = 32;
+  shape.aws_api_calls = 236096;
+  const auto bill = model.estimate(shape);
+  double sum = 0.0;
+  for (const auto& line : bill.lines) sum += line.usd;
+  EXPECT_NEAR(bill.total_usd, sum, 1e-9);
+  // The paper's cost ordering: Azure > GCP > Vultr > AWS.
+  EXPECT_GT(bill.lines[1].usd, bill.lines[2].usd);
+  EXPECT_GT(bill.lines[2].usd, bill.lines[0].usd);
+}
+
+}  // namespace
+}  // namespace marcopolo::cost

@@ -1,0 +1,45 @@
+#include "dcv/challenge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace marcopolo::dcv {
+namespace {
+
+TEST(Challenge, IssueProducesWellFormedChallenge) {
+  ChallengeIssuer issuer(1);
+  const auto ch = issuer.issue("example.test");
+  EXPECT_EQ(ch.domain, "example.test");
+  EXPECT_EQ(ch.token.size(), 32u);
+  EXPECT_EQ(ch.url_path(),
+            std::string(kChallengePathPrefix) + ch.token);
+  // Key authorization is token-bound.
+  EXPECT_EQ(ch.key_authorization.substr(0, ch.token.size()), ch.token);
+  EXPECT_EQ(ch.key_authorization[ch.token.size()], '.');
+}
+
+TEST(Challenge, TokensAreUnique) {
+  ChallengeIssuer issuer(2);
+  std::set<std::string> tokens;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(tokens.insert(issuer.issue("d.test").token).second);
+  }
+}
+
+TEST(Challenge, DeterministicForSeed) {
+  ChallengeIssuer a(7);
+  ChallengeIssuer b(7);
+  EXPECT_EQ(a.issue("x").token, b.issue("x").token);
+}
+
+TEST(Challenge, RandomLabelRespectsLength) {
+  ChallengeIssuer issuer(3);
+  EXPECT_EQ(issuer.random_label(10).size(), 10u);
+  for (const char c : issuer.random_label(64)) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace marcopolo::dcv

@@ -1,0 +1,114 @@
+#include "dcv/dns_authority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcv/validator.hpp"
+#include "dcv/webserver.hpp"
+
+namespace marcopolo::dcv {
+namespace {
+
+class DnsAuthorityTest : public ::testing::Test {
+ protected:
+  DnsAuthorityTest()
+      : victim_web(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "victim-web"),
+        attacker_web(net, netsim::Ipv4Addr(10, 0, 9, 9), {}, "attacker-web"),
+        victim_ns(net, netsim::Ipv4Addr(10, 0, 0, 53), {}, "victim-ns"),
+        attacker_ns(net, netsim::Ipv4Addr(10, 0, 9, 53), {}, "attacker-ns"),
+        agent(net, static_dns, netsim::Ipv4Addr(10, 1, 0, 1), {}, "p0") {
+    victim_web.serve("/.well-known/acme-challenge/t", "t.auth");
+    attacker_web.serve("/.well-known/acme-challenge/t", "t.auth");
+    victim_ns.add_record("victim.test", victim_web.address());
+    attacker_ns.add_record("victim.test", attacker_web.address());
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim, 1};
+  netsim::DnsTable static_dns;
+  SimWebServer victim_web;
+  SimWebServer attacker_web;
+  DnsAuthority victim_ns;
+  DnsAuthority attacker_ns;
+  PerspectiveAgent agent;
+  const ValidationJob job{"victim.test", "/.well-known/acme-challenge/t",
+                          "t.auth"};
+};
+
+TEST_F(DnsAuthorityTest, AnswersRecordsAndLogsQueries) {
+  DcvResult result;
+  agent.validate_routed(victim_ns.address(), job,
+                        [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.success);
+  ASSERT_EQ(victim_ns.queries().size(), 1u);
+  EXPECT_EQ(victim_ns.queries()[0].name, "victim.test");
+  EXPECT_EQ(victim_ns.queries()[0].source, agent.address());
+  // The web fetch landed on the victim's server.
+  ASSERT_EQ(victim_web.requests().size(), 1u);
+  EXPECT_TRUE(attacker_web.requests().empty());
+}
+
+TEST_F(DnsAuthorityTest, HijackedResolutionSteersTheWholeValidation) {
+  // The perspective believes it is asking the victim's nameserver, but the
+  // (hijacked) query lands at the attacker's authority — equivalently, we
+  // point the query at the attacker's address. The fetch then goes to the
+  // attacker's web server even though the victim's web prefix is untouched.
+  DcvResult result;
+  agent.validate_routed(attacker_ns.address(), job,
+                        [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.success) << "the attacker serves a valid token";
+  EXPECT_TRUE(victim_web.requests().empty());
+  ASSERT_EQ(attacker_web.requests().size(), 1u);
+  EXPECT_EQ(attacker_web.requests()[0].source, agent.address());
+}
+
+TEST_F(DnsAuthorityTest, NxdomainFailsValidation) {
+  DcvResult result{true, false};
+  agent.validate_routed(victim_ns.address(),
+                        {"unknown.test", "/x", "y"},
+                        [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.responded);  // NXDOMAIN is still an answer
+}
+
+TEST_F(DnsAuthorityTest, WildcardZonesResolveSubdomains) {
+  victim_ns.add_wildcard("victim.test", victim_web.address());
+  victim_web.serve("/c", "body");
+  DcvResult result;
+  agent.validate_routed(victim_ns.address(),
+                        {"rand0m.victim.test", "/c", "body"},
+                        [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.success);
+}
+
+TEST_F(DnsAuthorityTest, NonDnsMethodRejected) {
+  const auto client = net.attach(netsim::Ipv4Addr(10, 2, 0, 1), {},
+                                 [](const netsim::HttpRequest&) {
+                                   return netsim::HttpResponse::not_found();
+                                 });
+  int status = 0;
+  netsim::HttpRequest req;
+  req.method = "GET";
+  req.path = "victim.test";
+  net.send(client, victim_ns.address(), std::move(req),
+           [&](std::optional<netsim::HttpResponse> resp) {
+             status = resp ? resp->status : -1;
+           });
+  sim.run();
+  EXPECT_EQ(status, 400);
+}
+
+TEST_F(DnsAuthorityTest, UnreachableNameserverFails) {
+  DcvResult result{true, true};
+  agent.validate_routed(netsim::Ipv4Addr(99, 99, 99, 99), job,
+                        [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.responded);
+}
+
+}  // namespace
+}  // namespace marcopolo::dcv

@@ -1,0 +1,84 @@
+#include "dcv/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcv/webserver.hpp"
+
+namespace marcopolo::dcv {
+namespace {
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest() {
+    dns.add("victim.test", netsim::Ipv4Addr(10, 0, 0, 1));
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim, 1};
+  netsim::DnsTable dns;
+};
+
+TEST_F(ValidatorTest, SucceedsOnMatchingToken) {
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "victim");
+  server.serve("/.well-known/acme-challenge/tok", "tok.auth");
+  PerspectiveAgent agent(net, dns, netsim::Ipv4Addr(10, 1, 0, 1),
+                         {48.86, 2.35}, "eu-west");
+  DcvResult result;
+  agent.validate({"victim.test", "/.well-known/acme-challenge/tok",
+                  "tok.auth"},
+                 [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.responded);
+  EXPECT_TRUE(result.success);
+  ASSERT_EQ(server.requests().size(), 1u);
+  EXPECT_EQ(server.requests()[0].source, agent.address());
+}
+
+TEST_F(ValidatorTest, FailsOnWrongContent) {
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "victim");
+  server.serve("/.well-known/acme-challenge/tok", "wrong");
+  PerspectiveAgent agent(net, dns, netsim::Ipv4Addr(10, 1, 0, 1), {}, "p");
+  DcvResult result;
+  agent.validate({"victim.test", "/.well-known/acme-challenge/tok", "right"},
+                 [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.responded);
+  EXPECT_FALSE(result.success);
+}
+
+TEST_F(ValidatorTest, FailsOnMissingToken) {
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "victim");
+  PerspectiveAgent agent(net, dns, netsim::Ipv4Addr(10, 1, 0, 1), {}, "p");
+  DcvResult result;
+  agent.validate({"victim.test", "/.well-known/acme-challenge/none", "x"},
+                 [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.responded);  // 404 is still a response
+  EXPECT_FALSE(result.success);
+}
+
+TEST_F(ValidatorTest, FailsOnUnresolvableDomain) {
+  PerspectiveAgent agent(net, dns, netsim::Ipv4Addr(10, 1, 0, 1), {}, "p");
+  DcvResult result{true, true};
+  agent.validate({"nxdomain.test", "/x", "y"},
+                 [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_FALSE(result.responded);
+  EXPECT_FALSE(result.success);
+}
+
+TEST_F(ValidatorTest, FailsOnNetworkLoss) {
+  net.set_loss_model(netsim::LossModel{1.0, 0.0});
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "victim");
+  server.serve("/t", "x");
+  PerspectiveAgent agent(net, dns, netsim::Ipv4Addr(10, 1, 0, 1), {}, "p");
+  DcvResult result{true, true};
+  agent.validate({"victim.test", "/t", "x"},
+                 [&](DcvResult r) { result = r; });
+  sim.run();
+  EXPECT_FALSE(result.responded);
+  EXPECT_FALSE(result.success);
+}
+
+}  // namespace
+}  // namespace marcopolo::dcv

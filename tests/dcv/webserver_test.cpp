@@ -1,0 +1,88 @@
+#include "dcv/webserver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::dcv {
+namespace {
+
+class WebServerTest : public ::testing::Test {
+ protected:
+  netsim::Simulator sim;
+  netsim::Network net{sim, 1};
+
+  netsim::HttpResponse fetch(SimWebServer& server, const std::string& path,
+                             netsim::Ipv4Addr from = netsim::Ipv4Addr(9, 9, 9,
+                                                                      9)) {
+    const auto client = net.attach(from, {}, [](const netsim::HttpRequest&) {
+      return netsim::HttpResponse::not_found();
+    });
+    netsim::HttpRequest req;
+    req.path = path;
+    req.host = "victim.test";
+    netsim::HttpResponse out;
+    net.send(client, server.address(), std::move(req),
+             [&](std::optional<netsim::HttpResponse> resp) {
+               ASSERT_TRUE(resp.has_value());
+               out = *resp;
+             });
+    sim.run();
+    return out;
+  }
+};
+
+TEST_F(WebServerTest, ServesLocalPaths) {
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "victim");
+  server.serve("/token1", "content1");
+  EXPECT_EQ(fetch(server, "/token1").body, "content1");
+  EXPECT_EQ(fetch(server, "/other").status, 404);
+  server.stop_serving("/token1");
+  EXPECT_EQ(fetch(server, "/token1").status, 404);
+}
+
+TEST_F(WebServerTest, FallsBackToCentralStore) {
+  // The paper's §4.2.2 workaround: unknown challenges answered from the
+  // central token store so either attack endpoint passes pre-flight.
+  auto store = std::make_shared<TokenStore>();
+  store->put("/central-token", "central-content");
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "adversary");
+  server.set_fallback(store);
+  EXPECT_EQ(fetch(server, "/central-token").body, "central-content");
+  store->remove("/central-token");
+  EXPECT_EQ(fetch(server, "/central-token").status, 404);
+}
+
+TEST_F(WebServerTest, LocalPathShadowsStore) {
+  auto store = std::make_shared<TokenStore>();
+  store->put("/t", "from-store");
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "s");
+  server.set_fallback(store);
+  server.serve("/t", "local");
+  EXPECT_EQ(fetch(server, "/t").body, "local");
+}
+
+TEST_F(WebServerTest, LogsEveryRequestWithSource) {
+  SimWebServer server(net, netsim::Ipv4Addr(10, 0, 0, 1), {}, "victim");
+  server.serve("/a", "x");
+  fetch(server, "/a", netsim::Ipv4Addr(1, 1, 1, 1));
+  fetch(server, "/missing", netsim::Ipv4Addr(2, 2, 2, 2));
+  ASSERT_EQ(server.requests().size(), 2u);
+  EXPECT_EQ(server.requests()[0].source, netsim::Ipv4Addr(1, 1, 1, 1));
+  EXPECT_EQ(server.requests()[0].path, "/a");
+  EXPECT_EQ(server.requests()[1].source, netsim::Ipv4Addr(2, 2, 2, 2));
+  EXPECT_EQ(server.requests()[1].host, "victim.test");
+  server.clear_requests();
+  EXPECT_TRUE(server.requests().empty());
+}
+
+TEST(TokenStore, PutGetClear) {
+  TokenStore store;
+  EXPECT_FALSE(store.get("/x").has_value());
+  store.put("/x", "v");
+  EXPECT_EQ(store.get("/x"), "v");
+  EXPECT_EQ(store.size(), 1u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace marcopolo::dcv

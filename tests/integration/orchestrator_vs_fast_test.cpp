@@ -1,0 +1,91 @@
+// Integration: the full five-step orchestrated protocol (virtual network,
+// DCV requests, request-log classification) must agree exactly with the
+// fast campaign runner (direct scenario evaluation) — the two are the same
+// measurement at different fidelity.
+#include <gtest/gtest.h>
+
+#include "marcopolo/orchestrator.hpp"
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::core {
+namespace {
+
+class OrchestratorVsFast : public ::testing::Test {
+ protected:
+  static Testbed& testbed() {
+    static Testbed tb(testing_support::small_testbed_config());
+    return tb;
+  }
+};
+
+TEST_F(OrchestratorVsFast, OutcomesAgreePairwise) {
+  const std::vector<std::pair<SiteIndex, SiteIndex>> pairs = {
+      {0, 1}, {1, 0}, {3, 17}, {8, 25}, {30, 2}, {14, 15}, {9, 31}, {22, 6}};
+
+  OrchestratorConfig ocfg;
+  ocfg.pairs = pairs;
+  ocfg.seed = 0x5EED;
+  ocfg.tie_break = bgp::TieBreakMode::Hashed;
+  Orchestrator orchestrator(testbed(), ocfg);
+  const auto orchestrated = orchestrator.run();
+  ASSERT_EQ(orchestrated.stats.attacks_completed, pairs.size());
+
+  FastCampaignConfig fcfg;
+  fcfg.tie_break = bgp::TieBreakMode::Hashed;
+  // The orchestrator derives its scenario seed from (seed, 0x40).
+  fcfg.tie_break_seed = netsim::hash_combine(0x5EED, 0x40);
+  const auto fast = run_fast_campaign(testbed(), fcfg);
+
+  for (const auto& [v, a] : pairs) {
+    for (PerspectiveIndex p = 0; p < fast.num_perspectives(); ++p) {
+      EXPECT_EQ(orchestrated.results.outcome(v, a, p), fast.outcome(v, a, p))
+          << "pair (" << v << "," << a << ") perspective " << p << " ("
+          << testbed().perspectives()[p].region_name << ")";
+    }
+  }
+}
+
+TEST_F(OrchestratorVsFast, AgreementHoldsForForgedOriginAttacks) {
+  const std::vector<std::pair<SiteIndex, SiteIndex>> pairs = {{2, 5},
+                                                              {19, 28}};
+  OrchestratorConfig ocfg;
+  ocfg.pairs = pairs;
+  ocfg.type = bgp::AttackType::ForgedOriginPrepend;
+  ocfg.seed = 0x5EED;
+  Orchestrator orchestrator(testbed(), ocfg);
+  const auto orchestrated = orchestrator.run();
+
+  FastCampaignConfig fcfg;
+  fcfg.type = bgp::AttackType::ForgedOriginPrepend;
+  fcfg.tie_break_seed = netsim::hash_combine(0x5EED, 0x40);
+  const auto fast = run_fast_campaign(testbed(), fcfg);
+
+  for (const auto& [v, a] : pairs) {
+    for (PerspectiveIndex p = 0; p < fast.num_perspectives(); ++p) {
+      EXPECT_EQ(orchestrated.results.outcome(v, a, p), fast.outcome(v, a, p));
+    }
+  }
+}
+
+TEST_F(OrchestratorVsFast, AgreementSurvivesLossAndRetries) {
+  // Packet loss delays measurement but must never corrupt it.
+  const std::vector<std::pair<SiteIndex, SiteIndex>> pairs = {{7, 23}};
+  OrchestratorConfig ocfg;
+  ocfg.pairs = pairs;
+  ocfg.seed = 0x5EED;
+  ocfg.loss = netsim::LossModel{0.03, 0.03};
+  ocfg.max_attempts = 12;
+  Orchestrator orchestrator(testbed(), ocfg);
+  const auto orchestrated = orchestrator.run();
+  ASSERT_EQ(orchestrated.stats.attacks_completed, 1u);
+
+  FastCampaignConfig fcfg;
+  fcfg.tie_break_seed = netsim::hash_combine(0x5EED, 0x40);
+  const auto fast = run_fast_campaign(testbed(), fcfg);
+  for (PerspectiveIndex p = 0; p < fast.num_perspectives(); ++p) {
+    EXPECT_EQ(orchestrated.results.outcome(7, 23, p), fast.outcome(7, 23, p));
+  }
+}
+
+}  // namespace
+}  // namespace marcopolo::core

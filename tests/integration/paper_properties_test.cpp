@@ -1,0 +1,187 @@
+// Integration: the calibrated qualitative invariants from the paper's
+// evaluation (DESIGN.md §6), checked on the full-size default testbed.
+// These are the properties a correct reproduction must exhibit regardless
+// of absolute numbers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/optimizer.hpp"
+#include "analysis/rpki_model.hpp"
+#include "marcopolo/fast_campaign.hpp"
+#include "marcopolo/production_systems.hpp"
+
+namespace marcopolo {
+namespace {
+
+struct PaperEnv {
+  core::Testbed testbed;
+  core::CampaignDataset data;
+  analysis::ResilienceAnalyzer plain;
+  analysis::ResilienceAnalyzer rpki;
+
+  PaperEnv()
+      : testbed(core::TestbedConfig{}),
+        data(core::run_paper_campaigns(testbed, bgp::TieBreakMode::Hashed,
+                                       0xCAFE)),
+        plain(data.no_rpki),
+        rpki(data.rpki) {}
+};
+
+const PaperEnv& env() {
+  static PaperEnv instance;
+  return instance;
+}
+
+analysis::RankedDeployment best_beam(topo::CloudProvider provider,
+                                     std::size_t size, std::size_t failures,
+                                     const analysis::ResilienceAnalyzer& an) {
+  analysis::DeploymentOptimizer optimizer(an);
+  analysis::OptimizerConfig cfg;
+  cfg.set_size = size;
+  cfg.max_failures = failures;
+  cfg.candidates = env().testbed.perspectives_of(provider);
+  cfg.strategy = analysis::SearchStrategy::Beam;
+  cfg.beam_width = 48;
+  return optimizer.best(cfg);
+}
+
+/// Exhaustive (6, N-2) optimum per provider, cached (it is the expensive
+/// eqs. (6)-(7) search the paper's Table 2 runs).
+const analysis::RankedDeployment& best_exhaustive62(
+    topo::CloudProvider provider) {
+  static std::map<topo::CloudProvider, analysis::RankedDeployment> cache;
+  const auto it = cache.find(provider);
+  if (it != cache.end()) return it->second;
+  analysis::DeploymentOptimizer optimizer(env().plain);
+  analysis::OptimizerConfig cfg;
+  cfg.set_size = 6;
+  cfg.max_failures = 2;
+  cfg.candidates = env().testbed.perspectives_of(provider);
+  return cache.emplace(provider, optimizer.best(cfg)).first->second;
+}
+
+TEST(PaperProperties, SinglePerspectiveResilienceNearOneHalf) {
+  // Paper Table 2: (1, N) medians 50-53 across providers.
+  for (const auto provider : topo::kPerspectiveProviders) {
+    const auto best = best_beam(provider, 1, 0, env().plain);
+    const auto s = env().plain.evaluate(best.spec);
+    EXPECT_GE(s.median, 0.40) << topo::to_string_view(provider);
+    EXPECT_LE(s.median, 0.65) << topo::to_string_view(provider);
+    EXPECT_NEAR(s.average, 0.5, 0.12) << topo::to_string_view(provider);
+  }
+}
+
+TEST(PaperProperties, OptimalMpicDeploymentsAreStrong) {
+  // Paper §5.1: optimal compliant (6, N-2) deployments reach >= 87% median.
+  for (const auto provider : topo::kPerspectiveProviders) {
+    EXPECT_GE(best_exhaustive62(provider).score.median, 0.80)
+        << topo::to_string_view(provider) << " best (6, N-2)";
+  }
+}
+
+TEST(PaperProperties, ColdPotatoProviderIsWeakest) {
+  // Paper §5.2: GCP (cold potato) yields the lowest optimal resilience.
+  const auto& azure = best_exhaustive62(topo::CloudProvider::Azure);
+  const auto& aws = best_exhaustive62(topo::CloudProvider::Aws);
+  const auto& gcp = best_exhaustive62(topo::CloudProvider::Gcp);
+  EXPECT_LE(gcp.score.median, aws.score.median + 1e-9);
+  EXPECT_LE(gcp.score.median, azure.score.median + 1e-9);
+  EXPECT_LT(gcp.score.average, std::max(aws.score.average,
+                                        azure.score.average));
+}
+
+TEST(PaperProperties, ForgedOriginAttacksAreWeakerInAggregate) {
+  const auto cf = core::cloudflare_spec(env().testbed);
+  const auto le = core::lets_encrypt_spec(env().testbed);
+  for (const auto& spec : {cf, le}) {
+    EXPECT_GE(env().rpki.evaluate(spec).average,
+              env().plain.evaluate(spec).average - 0.02)
+        << spec.name;
+  }
+}
+
+TEST(PaperProperties, RpkiModelsAreMonotone) {
+  // Paper Fig. 2: none -> current -> full never hurts.
+  const analysis::RpkiWeightedAnalyzer weighted(env().plain, env().rpki);
+  for (const auto& spec : {core::cloudflare_spec(env().testbed),
+                           core::lets_encrypt_spec(env().testbed)}) {
+    const auto none = weighted.evaluate(spec, analysis::kNoRpki);
+    const auto current =
+        weighted.evaluate(spec, analysis::kCurrentRpkiFraction);
+    const auto full = weighted.evaluate(spec, analysis::kFullRpki);
+    EXPECT_GE(current.median, none.median - 1e-9) << spec.name;
+    EXPECT_GE(full.median, current.median - 1e-9) << spec.name;
+    EXPECT_GE(current.p25, none.p25 - 1e-9) << spec.name;
+  }
+}
+
+TEST(PaperProperties, FullRpkiReachesPerfectMedian) {
+  // Paper Fig. 2c: full RPKI lifts every evaluated deployment to 100.
+  const analysis::RpkiWeightedAnalyzer weighted(env().plain, env().rpki);
+  const auto cf = core::cloudflare_spec(env().testbed);
+  EXPECT_GE(weighted.evaluate(cf, analysis::kFullRpki).median, 0.995);
+}
+
+TEST(PaperProperties, ProductionSystemsMatchPaperBand) {
+  // Let's Encrypt: paper median 82; Cloudflare: 97 (no RPKI).
+  const auto le = env().plain.evaluate(core::lets_encrypt_spec(env().testbed));
+  EXPECT_GE(le.median, 0.70);
+  EXPECT_LE(le.median, 1.0);
+  const auto cf = env().plain.evaluate(core::cloudflare_spec(env().testbed));
+  EXPECT_GE(cf.median, 0.90);
+}
+
+TEST(PaperProperties, SubPrefixHijackDefeatsMpic) {
+  // Paper §2: MPIC does not protect against more-specific hijacks.
+  core::FastCampaignConfig cfg;
+  cfg.type = bgp::AttackType::SubPrefix;
+  const auto store = core::run_fast_campaign(env().testbed, cfg);
+  const analysis::ResilienceAnalyzer analyzer(store);
+  const auto s = analyzer.evaluate(core::cloudflare_spec(env().testbed));
+  EXPECT_LE(s.median, 0.05)
+      << "even the strongest deployment must fall to sub-prefix hijacks";
+}
+
+TEST(PaperProperties, TieBreakBoundsBracketHashedRun) {
+  // §4.4.4: R_min (AdversaryFirst) <= Hashed <= R_max (VictimFirst).
+  const auto spec = core::lets_encrypt_spec(env().testbed);
+  core::FastCampaignConfig worst;
+  worst.tie_break = bgp::TieBreakMode::AdversaryFirst;
+  core::FastCampaignConfig best;
+  best.tie_break = bgp::TieBreakMode::VictimFirst;
+  const auto worst_store = core::run_fast_campaign(env().testbed, worst);
+  const auto best_store = core::run_fast_campaign(env().testbed, best);
+  const double r_min =
+      analysis::ResilienceAnalyzer(worst_store).evaluate(spec).median;
+  const double r_max =
+      analysis::ResilienceAnalyzer(best_store).evaluate(spec).median;
+  const double hashed = env().plain.evaluate(spec).median;
+  EXPECT_LE(r_min, hashed + 1e-9);
+  EXPECT_LE(hashed, r_max + 1e-9);
+  EXPECT_LT(r_min, r_max);
+}
+
+TEST(PaperProperties, RovDeploymentBlocksPlainHijacksAtCloudEdge) {
+  // §5.4's implementation-level suggestion: perspectives behind ROV-
+  // enforcing edges see no invalid (plain hijack) routes once a ROA exists.
+  bgp::RoaRegistry roas;
+  const auto prefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+  const auto& sites = env().testbed.sites();
+  // ROA authorizes only the victim's origin: the plain hijack is Invalid
+  // and a cloud edge that filters on the registry always routes to the
+  // victim.
+  roas.add(bgp::Roa{prefix,
+                    env().testbed.internet().graph().asn_of(sites[0].node),
+                    std::nullopt});
+  const bgp::ScenarioConfig sc;
+  const bgp::HijackScenario scenario(env().testbed.internet().graph(),
+                                     sites[0].node, sites[7].node, prefix, sc);
+  for (const auto& rec : env().testbed.perspectives()) {
+    EXPECT_EQ(env().testbed.perspective_outcome(rec.index, scenario, &roas),
+              bgp::OriginReached::Victim);
+  }
+}
+
+}  // namespace
+}  // namespace marcopolo

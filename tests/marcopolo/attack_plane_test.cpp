@@ -1,0 +1,139 @@
+#include "marcopolo/attack_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::core {
+namespace {
+
+using testing_support::shared_testbed;
+
+class AttackPlaneTest : public ::testing::Test {
+ protected:
+  AttackPlaneTest()
+      : tb(shared_testbed()),
+        plane(tb),
+        scenario(tb.internet().graph(), tb.sites()[0].node, tb.sites()[9].node,
+                 *netsim::Ipv4Prefix::parse("100.64.0.0/24"),
+                 bgp::ScenarioConfig{}) {}
+
+  const Testbed& tb;
+  AttackPlane plane;
+  bgp::HijackScenario scenario;
+
+  static constexpr netsim::EndpointId kVictimEp{100};
+  static constexpr netsim::EndpointId kAdversaryEp{101};
+};
+
+TEST_F(AttackPlaneTest, StaticForwardingByAddressOwnership) {
+  plane.register_static(netsim::EndpointId{7}, netsim::Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(plane.resolve(netsim::EndpointId{0}, netsim::Ipv4Addr(1, 2, 3, 4)),
+            netsim::EndpointId{7});
+  EXPECT_FALSE(plane.resolve(netsim::EndpointId{0},
+                             netsim::Ipv4Addr(9, 9, 9, 9)).valid());
+}
+
+TEST_F(AttackPlaneTest, AttackRoutesSitesByScenario) {
+  // Register every site endpoint; ids are synthetic.
+  for (std::uint16_t s = 0; s < tb.sites().size(); ++s) {
+    plane.register_site(netsim::EndpointId{200u + s}, s,
+                        netsim::Ipv4Addr(10, 2, 0,
+                                         static_cast<std::uint8_t>(s + 1)));
+  }
+  const auto target = scenario.target_address();
+  plane.begin_attack(target, AttackPlane::ActiveAttack{&scenario, nullptr,
+                                                       kVictimEp,
+                                                       kAdversaryEp});
+
+  for (std::uint16_t s = 0; s < tb.sites().size(); ++s) {
+    const auto got = plane.resolve(netsim::EndpointId{200u + s}, target);
+    const auto expected = scenario.reached(tb.sites()[s].node);
+    if (expected == bgp::OriginReached::Victim) {
+      EXPECT_EQ(got, kVictimEp) << "site " << s;
+    } else if (expected == bgp::OriginReached::Adversary) {
+      EXPECT_EQ(got, kAdversaryEp) << "site " << s;
+    } else {
+      EXPECT_FALSE(got.valid());
+    }
+  }
+  plane.end_attack(target);
+  EXPECT_EQ(plane.active_attacks(), 0u);
+}
+
+TEST_F(AttackPlaneTest, AttackRoutesPerspectivesByCloudModel) {
+  for (std::uint16_t p = 0; p < tb.perspectives().size(); ++p) {
+    plane.register_perspective(
+        netsim::EndpointId{400u + p}, p,
+        netsim::Ipv4Addr(10, 3, static_cast<std::uint8_t>(p / 200),
+                         static_cast<std::uint8_t>(p % 200 + 1)));
+  }
+  const auto target = scenario.target_address();
+  plane.begin_attack(target, AttackPlane::ActiveAttack{&scenario, nullptr,
+                                                       kVictimEp,
+                                                       kAdversaryEp});
+  std::size_t adversary_count = 0;
+  for (std::uint16_t p = 0; p < tb.perspectives().size(); ++p) {
+    const auto got = plane.resolve(netsim::EndpointId{400u + p}, target);
+    const auto expected = tb.perspective_outcome(p, scenario);
+    if (expected == bgp::OriginReached::Adversary) {
+      EXPECT_EQ(got, kAdversaryEp);
+      ++adversary_count;
+    } else if (expected == bgp::OriginReached::Victim) {
+      EXPECT_EQ(got, kVictimEp);
+    }
+  }
+  // Sanity: the hijack affects some but not all perspectives.
+  EXPECT_GT(adversary_count, 0u);
+  EXPECT_LT(adversary_count, tb.perspectives().size());
+}
+
+TEST_F(AttackPlaneTest, UnknownSourceReachesVictimDuringAttack) {
+  const auto target = scenario.target_address();
+  plane.begin_attack(target, AttackPlane::ActiveAttack{&scenario, nullptr,
+                                                       kVictimEp,
+                                                       kAdversaryEp});
+  EXPECT_EQ(plane.resolve(netsim::EndpointId{9999}, target), kVictimEp);
+}
+
+TEST_F(AttackPlaneTest, RejectsDoubleAttackOnSameTarget) {
+  const auto target = scenario.target_address();
+  plane.begin_attack(target, AttackPlane::ActiveAttack{&scenario, nullptr,
+                                                       kVictimEp,
+                                                       kAdversaryEp});
+  EXPECT_THROW(plane.begin_attack(target,
+                                  AttackPlane::ActiveAttack{
+                                      &scenario, nullptr, kVictimEp,
+                                      kAdversaryEp}),
+               std::logic_error);
+}
+
+TEST_F(AttackPlaneTest, RejectsAttackWithoutScenario) {
+  EXPECT_THROW(plane.begin_attack(netsim::Ipv4Addr(1, 1, 1, 1),
+                                  AttackPlane::ActiveAttack{
+                                      nullptr, nullptr, kVictimEp,
+                                      kAdversaryEp}),
+               std::invalid_argument);
+}
+
+TEST_F(AttackPlaneTest, ConcurrentAttacksOnDistinctTargets) {
+  bgp::HijackScenario second(tb.internet().graph(), tb.sites()[3].node,
+                             tb.sites()[12].node,
+                             *netsim::Ipv4Prefix::parse("100.64.1.0/24"),
+                             bgp::ScenarioConfig{});
+  plane.begin_attack(scenario.target_address(),
+                     AttackPlane::ActiveAttack{&scenario, nullptr, kVictimEp,
+                                               kAdversaryEp});
+  plane.begin_attack(second.target_address(),
+                     AttackPlane::ActiveAttack{&second, nullptr,
+                                               netsim::EndpointId{102},
+                                               netsim::EndpointId{103}});
+  EXPECT_EQ(plane.active_attacks(), 2u);
+  EXPECT_EQ(plane.resolve(netsim::EndpointId{1}, second.target_address()),
+            netsim::EndpointId{102});
+  plane.end_attack(scenario.target_address());
+  plane.end_attack(second.target_address());
+}
+
+}  // namespace
+}  // namespace marcopolo::core

@@ -1,0 +1,91 @@
+// Tests for the DNS attack surface (§6 future work, implemented).
+#include <gtest/gtest.h>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::core {
+namespace {
+
+using testing_support::shared_testbed;
+
+TEST(DnsSurface, SelfHostedEqualsHttpSurface) {
+  const auto& tb = shared_testbed();
+  FastCampaignConfig http;
+  const auto http_store = run_fast_campaign(tb, http);
+
+  FastCampaignConfig dns;
+  dns.surface = AttackSurface::Dns;  // empty host map = self-hosted
+  const auto dns_store = run_fast_campaign(tb, dns);
+
+  const auto n = static_cast<SiteIndex>(http_store.num_sites());
+  for (SiteIndex v = 0; v < n; ++v) {
+    for (SiteIndex a = 0; a < n; ++a) {
+      if (v == a) continue;
+      for (PerspectiveIndex p = 0; p < http_store.num_perspectives(); ++p) {
+        ASSERT_EQ(http_store.outcome(v, a, p), dns_store.outcome(v, a, p));
+      }
+    }
+  }
+}
+
+TEST(DnsSurface, SharedHostMakesVictimsUniform) {
+  const auto& tb = shared_testbed();
+  FastCampaignConfig dns;
+  dns.surface = AttackSurface::Dns;
+  dns.dns_host_of_victim.assign(tb.sites().size(), SiteIndex{6});
+  const auto store = run_fast_campaign(tb, dns);
+
+  // For a fixed adversary, all victims other than the host itself see the
+  // identical perspective outcome vector: only the host's prefix is
+  // contested.
+  const SiteIndex adversary = 20;
+  for (PerspectiveIndex p = 0; p < store.num_perspectives(); ++p) {
+    const auto reference = store.outcome(0, adversary, p);
+    for (SiteIndex v = 1; v < store.num_sites(); ++v) {
+      if (v == adversary) continue;
+      EXPECT_EQ(store.outcome(v, adversary, p), reference)
+          << "victim " << v << " perspective " << p;
+    }
+  }
+}
+
+TEST(DnsSurface, AdversaryHostingTheDnsWinsOutright) {
+  const auto& tb = shared_testbed();
+  FastCampaignConfig dns;
+  dns.surface = AttackSurface::Dns;
+  dns.dns_host_of_victim.assign(tb.sites().size(), SiteIndex{6});
+  const auto store = run_fast_campaign(tb, dns);
+  // When the adversary *is* the DNS host, every perspective resolves
+  // through it: total capture.
+  for (SiteIndex v = 0; v < store.num_sites(); ++v) {
+    if (v == 6) continue;
+    for (PerspectiveIndex p = 0; p < store.num_perspectives(); ++p) {
+      EXPECT_EQ(store.outcome(v, 6, p), bgp::OriginReached::Adversary);
+    }
+  }
+}
+
+TEST(DnsSurface, ValidatesHostMapSize) {
+  const auto& tb = shared_testbed();
+  FastCampaignConfig dns;
+  dns.surface = AttackSurface::Dns;
+  dns.dns_host_of_victim = {0, 1, 2};  // wrong size
+  EXPECT_THROW((void)run_fast_campaign(tb, dns), std::invalid_argument);
+}
+
+TEST(SitePool, PeeringCatalogBuildsATestbed) {
+  TestbedConfig cfg = testing_support::small_testbed_config();
+  cfg.site_catalog = topo::peering_muxes();
+  const Testbed tb(cfg);
+  EXPECT_EQ(tb.sites().size(), topo::peering_muxes().size());
+  EXPECT_EQ(tb.perspectives().size(), 106u);
+  // Campaign runs end to end on the alternative pool.
+  const auto store = run_fast_campaign(tb, FastCampaignConfig{});
+  EXPECT_EQ(store.num_sites(), tb.sites().size());
+  EXPECT_TRUE(store.pair_complete(0, 1));
+  // Sites carry PEERING metadata.
+  EXPECT_EQ(tb.sites()[0].name, "amsterdam01");
+}
+
+}  // namespace
+}  // namespace marcopolo::core

@@ -1,0 +1,129 @@
+#include "marcopolo/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::core {
+namespace {
+
+/// Orchestrated campaigns over a handful of pairs; the testbed is shared
+/// (the orchestrator does not mutate it).
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  static Testbed& testbed() {
+    static Testbed tb(testing_support::small_testbed_config());
+    return tb;
+  }
+
+  static std::vector<std::pair<SiteIndex, SiteIndex>> few_pairs() {
+    return {{0, 1}, {1, 0}, {2, 7}, {12, 3}, {30, 31}, {5, 9}};
+  }
+};
+
+TEST_F(OrchestratorTest, CompletesAllAttacksWithoutLoss) {
+  OrchestratorConfig cfg;
+  cfg.pairs = few_pairs();
+  Orchestrator orchestrator(testbed(), cfg);
+  const auto out = orchestrator.run();
+
+  EXPECT_EQ(out.stats.attacks_completed, few_pairs().size());
+  EXPECT_EQ(out.stats.retries, 0u);
+  EXPECT_EQ(out.stats.incomplete_attacks, 0u);
+  EXPECT_EQ(out.stats.announcements, 2 * few_pairs().size());
+  for (const auto& [v, a] : few_pairs()) {
+    EXPECT_TRUE(out.results.pair_complete(v, a));
+  }
+}
+
+TEST_F(OrchestratorTest, RateLimitSpacesAnnouncements) {
+  OrchestratorConfig cfg;
+  cfg.pairs = few_pairs();
+  cfg.propagation_wait = netsim::minutes(5);
+  Orchestrator orchestrator(testbed(), cfg);
+  const auto out = orchestrator.run();
+  // 6 attacks on one lane, >= 5 min between announcements.
+  EXPECT_GE(out.stats.duration, netsim::minutes(5 * 6));
+  EXPECT_LT(out.stats.duration, netsim::minutes(5 * 6 + 30));
+}
+
+TEST_F(OrchestratorTest, PrefixPartitioningParallelizes) {
+  OrchestratorConfig cfg;
+  cfg.pairs = few_pairs();
+  cfg.prefix_lanes = 3;
+  Orchestrator orchestrator(testbed(), cfg);
+  const auto out = orchestrator.run();
+  EXPECT_EQ(out.stats.attacks_completed, few_pairs().size());
+  // 6 attacks over 3 lanes: ~2 slots instead of 6.
+  EXPECT_LT(out.stats.duration, netsim::minutes(5 * 3 + 5));
+}
+
+TEST_F(OrchestratorTest, SequentialAnnouncementsStretchTheCampaign) {
+  OrchestratorConfig fast_cfg;
+  fast_cfg.pairs = few_pairs();
+  fast_cfg.include_production_systems = false;
+  Orchestrator fast(testbed(), fast_cfg);
+  const auto fast_out = fast.run();
+
+  OrchestratorConfig seq_cfg = fast_cfg;
+  seq_cfg.sequential_announcements = true;
+  Orchestrator seq(testbed(), seq_cfg);
+  const auto seq_out = seq.run();
+
+  const double factor = netsim::to_seconds(seq_out.stats.duration) /
+                        netsim::to_seconds(fast_out.stats.duration);
+  // Paper §4.4.4 puts the factor at 2.67x.
+  EXPECT_GT(factor, 2.0);
+  EXPECT_LT(factor, 3.2);
+  EXPECT_EQ(seq_out.stats.attacks_completed, few_pairs().size());
+}
+
+TEST_F(OrchestratorTest, LossTriggersRetriesAndStillCompletes) {
+  OrchestratorConfig cfg;
+  cfg.pairs = {{0, 1}, {4, 9}};
+  cfg.loss = netsim::LossModel{0.02, 0.02};
+  cfg.max_attempts = 10;
+  Orchestrator orchestrator(testbed(), cfg);
+  const auto out = orchestrator.run();
+  EXPECT_GT(out.stats.retries, 0u)
+      << "2% loss over ~240 validations should lose something";
+  EXPECT_EQ(out.stats.attacks_completed, 2u);
+  EXPECT_TRUE(out.results.pair_complete(0, 1));
+  EXPECT_TRUE(out.results.pair_complete(4, 9));
+}
+
+TEST_F(OrchestratorTest, ExhaustedRetriesAreReportedIncomplete) {
+  OrchestratorConfig cfg;
+  cfg.pairs = {{0, 1}};
+  cfg.loss = netsim::LossModel{0.5, 0.0};  // brutal loss
+  cfg.max_attempts = 2;
+  Orchestrator orchestrator(testbed(), cfg);
+  const auto out = orchestrator.run();
+  EXPECT_EQ(out.stats.attacks_completed, 0u);
+  EXPECT_EQ(out.stats.incomplete_attacks, 1u);
+  EXPECT_EQ(out.stats.attack_attempts, 2u);
+}
+
+TEST_F(OrchestratorTest, DcvCorroborationsPassDespiteHijack) {
+  // Both endpoints answer the challenge via the central store, so DCV
+  // passes no matter where perspectives route — the measurement is the
+  // request log, not the DCV verdict (paper §4.2.2).
+  OrchestratorConfig cfg;
+  cfg.pairs = few_pairs();
+  Orchestrator orchestrator(testbed(), cfg);
+  const auto out = orchestrator.run();
+  // global sweep + LE + CF per attack.
+  EXPECT_EQ(out.stats.dcv_corroborations_passed, 3 * few_pairs().size());
+}
+
+TEST_F(OrchestratorTest, ValidationCountsTracked) {
+  OrchestratorConfig cfg;
+  cfg.pairs = {{0, 1}};
+  cfg.include_production_systems = false;
+  Orchestrator orchestrator(testbed(), cfg);
+  const auto out = orchestrator.run();
+  EXPECT_EQ(out.stats.validations, testbed().perspectives().size());
+}
+
+}  // namespace
+}  // namespace marcopolo::core

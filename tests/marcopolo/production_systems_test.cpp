@@ -1,0 +1,55 @@
+#include "marcopolo/production_systems.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::core {
+namespace {
+
+using testing_support::shared_testbed;
+
+TEST(ProductionSystems, LetsEncryptShape) {
+  const auto spec = lets_encrypt_spec(shared_testbed());
+  EXPECT_EQ(spec.name, "lets-encrypt");
+  EXPECT_EQ(spec.remotes.size(), 4u);
+  ASSERT_TRUE(spec.primary.has_value());
+  EXPECT_EQ(spec.policy.to_string(), "(primary + 4, N-1)");
+  EXPECT_TRUE(spec.policy.cab_compliant());
+  // All on AWS, primary included.
+  for (const auto p : spec.remotes) {
+    EXPECT_EQ(shared_testbed().perspectives()[p].provider,
+              topo::CloudProvider::Aws);
+    EXPECT_NE(p, *spec.primary);
+  }
+  EXPECT_EQ(shared_testbed().perspectives()[*spec.primary].region_name,
+            "us-east-1");
+}
+
+TEST(ProductionSystems, CloudflareShape) {
+  const auto spec = cloudflare_spec(shared_testbed());
+  EXPECT_EQ(spec.name, "cloudflare");
+  EXPECT_EQ(spec.remotes.size(), 8u);
+  EXPECT_FALSE(spec.primary.has_value());
+  EXPECT_EQ(spec.policy.to_string(), "(8, N)");
+  EXPECT_EQ(spec.policy.required(), 8u);  // full quorum
+}
+
+TEST(ProductionSystems, PerspectivesAreGeographicallyDiverse) {
+  const auto spec = cloudflare_spec(shared_testbed());
+  std::set<topo::Rir> rirs;
+  for (const auto p : spec.remotes) {
+    rirs.insert(shared_testbed().perspectives()[p].rir);
+  }
+  EXPECT_GE(rirs.size(), 4u);
+}
+
+TEST(ProductionSystems, SpecsPassValidation) {
+  EXPECT_NO_THROW(lets_encrypt_spec(shared_testbed()).check());
+  EXPECT_NO_THROW(cloudflare_spec(shared_testbed()).check());
+}
+
+}  // namespace
+}  // namespace marcopolo::core

@@ -1,0 +1,108 @@
+#include "marcopolo/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace marcopolo::core {
+namespace {
+
+using bgp::OriginReached;
+
+TEST(ResultStore, RecordAndQuery) {
+  ResultStore store(3, 2);
+  EXPECT_EQ(store.num_sites(), 3u);
+  EXPECT_EQ(store.num_perspectives(), 2u);
+  EXPECT_EQ(store.num_pairs(), 9u);
+
+  store.record(0, 1, 0, OriginReached::Adversary);
+  store.record(0, 1, 1, OriginReached::Victim);
+  EXPECT_TRUE(store.hijacked(0, 1, 0));
+  EXPECT_FALSE(store.hijacked(0, 1, 1));
+  EXPECT_EQ(store.outcome(0, 1, 0), OriginReached::Adversary);
+  EXPECT_EQ(store.outcome(0, 1, 1), OriginReached::Victim);
+  // Unrecorded reads as None / not hijacked.
+  EXPECT_EQ(store.outcome(1, 0, 0), OriginReached::None);
+  EXPECT_FALSE(store.hijacked(1, 0, 0));
+}
+
+TEST(ResultStore, HijackedCountOverSet) {
+  ResultStore store(2, 4);
+  store.record(0, 1, 0, OriginReached::Adversary);
+  store.record(0, 1, 1, OriginReached::Victim);
+  store.record(0, 1, 2, OriginReached::Adversary);
+  store.record(0, 1, 3, OriginReached::None);
+  EXPECT_EQ(store.hijacked_count(0, 1, {0, 1, 2, 3}), 2u);
+  EXPECT_EQ(store.hijacked_count(0, 1, {1, 3}), 0u);
+  EXPECT_EQ(store.hijacked_count(0, 1, {}), 0u);
+}
+
+TEST(ResultStore, PairCompleteness) {
+  ResultStore store(2, 2);
+  EXPECT_FALSE(store.pair_complete(0, 1));
+  store.record(0, 1, 0, OriginReached::Victim);
+  EXPECT_FALSE(store.pair_complete(0, 1));
+  store.record(0, 1, 1, OriginReached::None);
+  EXPECT_TRUE(store.pair_complete(0, 1))
+      << "None is a recorded outcome, distinct from unrecorded";
+}
+
+TEST(ResultStore, HijackBytesLayout) {
+  ResultStore store(2, 2);
+  store.record(0, 1, 1, OriginReached::Adversary);
+  const std::uint8_t* bytes = store.hijack_bytes(1);
+  EXPECT_EQ(bytes[store.pair_index(0, 1)], 1);
+  EXPECT_EQ(bytes[store.pair_index(1, 0)], 0);
+  EXPECT_EQ(store.hijack_bytes(0)[store.pair_index(0, 1)], 0);
+  EXPECT_THROW((void)store.hijack_bytes(5), std::out_of_range);
+}
+
+TEST(ResultStore, RecordValidatesIndices) {
+  ResultStore store(2, 2);
+  EXPECT_THROW(store.record(2, 0, 0, OriginReached::Victim),
+               std::out_of_range);
+  EXPECT_THROW(store.record(0, 2, 0, OriginReached::Victim),
+               std::out_of_range);
+  EXPECT_THROW(store.record(0, 1, 2, OriginReached::Victim),
+               std::out_of_range);
+}
+
+TEST(ResultStore, OverwriteOnRetry) {
+  ResultStore store(2, 1);
+  store.record(0, 1, 0, OriginReached::Adversary);
+  store.record(0, 1, 0, OriginReached::Victim);  // retry overwrites
+  EXPECT_FALSE(store.hijacked(0, 1, 0));
+}
+
+TEST(ResultStore, CsvRoundtrip) {
+  ResultStore store(3, 2);
+  store.record(0, 1, 0, OriginReached::Adversary);
+  store.record(0, 1, 1, OriginReached::Victim);
+  store.record(2, 0, 0, OriginReached::None);
+
+  std::stringstream buffer;
+  store.save_csv(buffer);
+  const ResultStore loaded = ResultStore::load_csv(buffer);
+
+  EXPECT_EQ(loaded.num_sites(), 3u);
+  EXPECT_EQ(loaded.num_perspectives(), 2u);
+  for (SiteIndex v = 0; v < 3; ++v) {
+    for (SiteIndex a = 0; a < 3; ++a) {
+      for (PerspectiveIndex p = 0; p < 2; ++p) {
+        EXPECT_EQ(loaded.outcome(v, a, p), store.outcome(v, a, p));
+      }
+    }
+  }
+  // Completeness survives (2,0) was explicitly None.
+  EXPECT_TRUE(loaded.pair_complete(0, 1));
+}
+
+TEST(ResultStore, LoadRejectsGarbage) {
+  std::stringstream bad("nonsense\n");
+  EXPECT_THROW((void)ResultStore::load_csv(bad), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW((void)ResultStore::load_csv(empty), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace marcopolo::core

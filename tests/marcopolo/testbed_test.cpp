@@ -1,0 +1,96 @@
+#include "marcopolo/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testbed_fixture.hpp"
+
+namespace marcopolo::core {
+namespace {
+
+using testing_support::shared_testbed;
+
+TEST(Testbed, PaperPopulation) {
+  const Testbed& tb = shared_testbed();
+  EXPECT_EQ(tb.sites().size(), 32u);
+  EXPECT_EQ(tb.perspectives().size(), 106u);
+  EXPECT_EQ(tb.perspectives_of(topo::CloudProvider::Aws).size(), 27u);
+  EXPECT_EQ(tb.perspectives_of(topo::CloudProvider::Gcp).size(), 40u);
+  EXPECT_EQ(tb.perspectives_of(topo::CloudProvider::Azure).size(), 39u);
+}
+
+TEST(Testbed, PerspectiveIndicesAreDenseAndOrdered) {
+  const Testbed& tb = shared_testbed();
+  for (std::size_t i = 0; i < tb.perspectives().size(); ++i) {
+    EXPECT_EQ(tb.perspectives()[i].index, i);
+  }
+}
+
+TEST(Testbed, FindPerspectiveByName) {
+  const Testbed& tb = shared_testbed();
+  const auto idx = tb.find_perspective(topo::CloudProvider::Aws, "us-east-1");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(tb.perspectives()[*idx].region_name, "us-east-1");
+  EXPECT_EQ(tb.perspectives()[*idx].provider, topo::CloudProvider::Aws);
+  EXPECT_FALSE(
+      tb.find_perspective(topo::CloudProvider::Gcp, "us-east-1").has_value());
+}
+
+TEST(Testbed, CloudModelsAccessible) {
+  const Testbed& tb = shared_testbed();
+  EXPECT_EQ(tb.cloud_of(topo::CloudProvider::Gcp).policy(),
+            cloud::EgressPolicy::ColdPotato);
+  EXPECT_EQ(tb.cloud_of(topo::CloudProvider::Aws).policy(),
+            cloud::EgressPolicy::HotPotato);
+}
+
+TEST(Testbed, BackbonesAreDistinctAses) {
+  const Testbed& tb = shared_testbed();
+  std::set<std::uint32_t> backbones;
+  for (const auto provider : topo::kPerspectiveProviders) {
+    backbones.insert(tb.cloud_of(provider).backbone().value);
+  }
+  EXPECT_EQ(backbones.size(), 3u);
+}
+
+TEST(Testbed, PerspectiveOutcomeMatchesCloudModel) {
+  const Testbed& tb = shared_testbed();
+  const bgp::ScenarioConfig cfg;
+  const bgp::HijackScenario scenario(
+      tb.internet().graph(), tb.sites()[0].node, tb.sites()[5].node,
+      *netsim::Ipv4Prefix::parse("203.0.113.0/24"), cfg);
+  for (const auto& rec : tb.perspectives()) {
+    const auto& model = tb.cloud_of(rec.provider);
+    EXPECT_EQ(tb.perspective_outcome(rec.index, scenario),
+              model.resolve(rec.local_index, scenario));
+  }
+  EXPECT_THROW((void)tb.perspective_outcome(9999, scenario),
+               std::out_of_range);
+}
+
+TEST(Testbed, RovDeploymentFlag) {
+  TestbedConfig cfg = testing_support::small_testbed_config();
+  cfg.rov_fraction = 0.8;
+  const Testbed tb(cfg);
+  std::size_t enforcing = 0;
+  for (std::uint32_t i = 0; i < tb.internet().graph().size(); ++i) {
+    if (tb.internet().graph().rov_enforcing(bgp::NodeId{i})) ++enforcing;
+  }
+  EXPECT_GT(enforcing, 0u);
+}
+
+TEST(Testbed, SitesCarryCatalogMetadata) {
+  const Testbed& tb = shared_testbed();
+  std::set<std::string_view> names;
+  for (const auto& site : tb.sites()) {
+    EXPECT_TRUE(names.insert(site.name).second);
+    EXPECT_FALSE(
+        tb.internet().graph().providers_of(site.node).empty());
+  }
+  EXPECT_TRUE(names.contains("Tokyo"));
+  EXPECT_TRUE(names.contains("Frankfurt"));
+}
+
+}  // namespace
+}  // namespace marcopolo::core

@@ -1,0 +1,202 @@
+#include "mpic/acme_ca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dcv/webserver.hpp"
+
+namespace marcopolo::mpic {
+namespace {
+
+/// ACME CA against one victim server; the primary and remotes all resolve
+/// to the same server, and challenges are published to the central store
+/// the server falls back to (the paper's §4.2.2 setup).
+class AcmeCaTest : public ::testing::Test {
+ protected:
+  AcmeCaTest() {
+    dns.add_wildcard("victim.test", netsim::Ipv4Addr(10, 0, 0, 1));
+    dns.add("victim.test", netsim::Ipv4Addr(10, 0, 0, 1));
+    store = std::make_shared<dcv::TokenStore>();
+    server = std::make_unique<dcv::SimWebServer>(
+        net, netsim::Ipv4Addr(10, 0, 0, 1), netsim::GeoPoint{}, "victim");
+    server->set_fallback(store);
+    primary = std::make_unique<dcv::PerspectiveAgent>(
+        net, dns, netsim::Ipv4Addr(10, 1, 0, 1), netsim::GeoPoint{},
+        "primary");
+    for (int i = 0; i < 4; ++i) {
+      remotes.push_back(std::make_unique<dcv::PerspectiveAgent>(
+          net, dns,
+          netsim::Ipv4Addr(10, 1, 1, static_cast<std::uint8_t>(i + 1)),
+          netsim::GeoPoint{}, "remote" + std::to_string(i)));
+    }
+  }
+
+  AcmeCaConfig base_config() {
+    AcmeCaConfig cfg;
+    cfg.policy = QuorumPolicy(4, 1, /*primary=*/true);
+    return cfg;
+  }
+
+  std::unique_ptr<AcmeCa> make_ca(AcmeCaConfig cfg) {
+    std::vector<dcv::PerspectiveAgent*> remote_ptrs;
+    for (const auto& r : remotes) remote_ptrs.push_back(r.get());
+    return std::make_unique<AcmeCa>(sim, primary.get(),
+                                    std::move(remote_ptrs), std::move(cfg));
+  }
+
+  /// Standard publish hook: serve the challenge via the central store.
+  std::function<void(const dcv::Http01Challenge&)> publish_to_store() {
+    return [this](const dcv::Http01Challenge& ch) {
+      store->put(ch.url_path(), ch.key_authorization);
+    };
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim, 1};
+  netsim::DnsTable dns;
+  std::shared_ptr<dcv::TokenStore> store;
+  std::unique_ptr<dcv::SimWebServer> server;
+  std::unique_ptr<dcv::PerspectiveAgent> primary;
+  std::vector<std::unique_ptr<dcv::PerspectiveAgent>> remotes;
+};
+
+TEST_F(AcmeCaTest, HappyPathReachesQuorum) {
+  auto ca = make_ca(base_config());
+  OrderResult result;
+  ca->order("a.victim.test", publish_to_store(),
+            [&](OrderResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_EQ(result.status, OrderStatus::Ready);
+  EXPECT_TRUE(result.preflight_ran);
+  EXPECT_TRUE(result.preflight_ok);
+  EXPECT_EQ(result.remote_successes, 4u);
+  EXPECT_FALSE(result.from_cached_authorization);
+}
+
+TEST_F(AcmeCaTest, PreflightFailureSkipsRemotes) {
+  auto ca = make_ca(base_config());
+  OrderResult result;
+  // Publish nothing: the pre-flight 404s and remotes never run.
+  ca->order("a.victim.test", [](const dcv::Http01Challenge&) {},
+            [&](OrderResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_EQ(result.status, OrderStatus::PreflightFailed);
+  EXPECT_TRUE(result.preflight_ran);
+  EXPECT_FALSE(result.preflight_ok);
+  EXPECT_TRUE(result.remotes.empty());
+  EXPECT_TRUE(server->requests().size() == 1u)
+      << "only the pre-flight request should have hit the server";
+}
+
+TEST_F(AcmeCaTest, CachedAuthorizationSkipsDcv) {
+  // The paper's challenge-caching complication: a repeat order for the SAME
+  // domain inside the TTL revalidates nothing.
+  auto ca = make_ca(base_config());
+  OrderResult first;
+  ca->order("a.victim.test", publish_to_store(),
+            [&](OrderResult r) { first = std::move(r); });
+  sim.run();
+  ASSERT_EQ(first.status, OrderStatus::Ready);
+  const auto requests_after_first = server->requests().size();
+
+  OrderResult second;
+  ca->order("a.victim.test", publish_to_store(),
+            [&](OrderResult r) { second = std::move(r); });
+  sim.run();
+  EXPECT_EQ(second.status, OrderStatus::Ready);
+  EXPECT_TRUE(second.from_cached_authorization);
+  EXPECT_EQ(server->requests().size(), requests_after_first)
+      << "cached authorization must not trigger DCV traffic";
+}
+
+TEST_F(AcmeCaTest, RandomizedSubdomainsDefeatCache) {
+  auto ca = make_ca(base_config());
+  OrderResult first;
+  ca->order("aaaa.victim.test", publish_to_store(),
+            [&](OrderResult r) { first = std::move(r); });
+  sim.run();
+  OrderResult second;
+  ca->order("bbbb.victim.test", publish_to_store(),
+            [&](OrderResult r) { second = std::move(r); });
+  sim.run();
+  EXPECT_FALSE(first.from_cached_authorization);
+  EXPECT_FALSE(second.from_cached_authorization);
+  EXPECT_EQ(second.remote_successes, 4u);
+}
+
+TEST_F(AcmeCaTest, CacheExpiresAfterTtl) {
+  auto cfg = base_config();
+  cfg.authz_cache_ttl = netsim::minutes(30);
+  auto ca = make_ca(std::move(cfg));
+  OrderResult result;
+  ca->order("a.victim.test", publish_to_store(),
+            [&](OrderResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_EQ(result.status, OrderStatus::Ready);
+
+  sim.run_until(sim.now() + netsim::hours(1));
+  OrderResult later;
+  ca->order("a.victim.test", publish_to_store(),
+            [&](OrderResult r) { later = std::move(r); });
+  sim.run();
+  EXPECT_EQ(later.status, OrderStatus::Ready);
+  EXPECT_FALSE(later.from_cached_authorization);
+}
+
+TEST_F(AcmeCaTest, RateLimitBlocksExcessOrders) {
+  auto cfg = base_config();
+  cfg.per_domain_order_limit = 2;
+  auto ca = make_ca(std::move(cfg));
+  std::vector<OrderStatus> statuses;
+  for (int i = 0; i < 3; ++i) {
+    ca->order("a.victim.test", publish_to_store(),
+              [&](OrderResult r) { statuses.push_back(r.status); });
+    sim.run();
+  }
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[2], OrderStatus::RateLimited);
+  EXPECT_EQ(ca->orders_seen("a.victim.test"), 2u);
+}
+
+TEST_F(AcmeCaTest, StagingNeverFinalizes) {
+  // The experiment's key safety invariant (paper §3).
+  auto ca = make_ca(base_config());
+  OrderResult result;
+  ca->order("a.victim.test", publish_to_store(),
+            [&](OrderResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_EQ(result.status, OrderStatus::Ready);
+  EXPECT_FALSE(ca->finalize("a.victim.test"));
+}
+
+TEST_F(AcmeCaTest, NonStagingFinalizesOnlyAfterDcv) {
+  auto cfg = base_config();
+  cfg.staging = false;
+  auto ca = make_ca(std::move(cfg));
+  EXPECT_FALSE(ca->finalize("a.victim.test"));
+  OrderResult result;
+  ca->order("a.victim.test", publish_to_store(),
+            [&](OrderResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_EQ(result.status, OrderStatus::Ready);
+  EXPECT_TRUE(ca->finalize("a.victim.test"));
+}
+
+TEST_F(AcmeCaTest, ConstructionValidatesConfig) {
+  std::vector<dcv::PerspectiveAgent*> remote_ptrs;
+  for (const auto& r : remotes) remote_ptrs.push_back(r.get());
+  AcmeCaConfig cfg;
+  cfg.policy = QuorumPolicy(4, 1, /*primary=*/false);
+  EXPECT_THROW(AcmeCa(sim, primary.get(), remote_ptrs, cfg),
+               std::invalid_argument);
+  cfg.policy = QuorumPolicy(3, 1, true);
+  EXPECT_THROW(AcmeCa(sim, primary.get(), remote_ptrs, cfg),
+               std::invalid_argument);
+  cfg.policy = QuorumPolicy(4, 1, true);
+  EXPECT_THROW(AcmeCa(sim, nullptr, remote_ptrs, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace marcopolo::mpic

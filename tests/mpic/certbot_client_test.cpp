@@ -1,0 +1,101 @@
+#include "mpic/certbot_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "dcv/webserver.hpp"
+
+namespace marcopolo::mpic {
+namespace {
+
+class CertbotClientTest : public ::testing::Test {
+ protected:
+  CertbotClientTest() {
+    dns.add_wildcard("victim.test", netsim::Ipv4Addr(10, 0, 0, 1));
+    dns.add("victim.test", netsim::Ipv4Addr(10, 0, 0, 1));
+    store = std::make_shared<dcv::TokenStore>();
+    server = std::make_unique<dcv::SimWebServer>(
+        net, netsim::Ipv4Addr(10, 0, 0, 1), netsim::GeoPoint{}, "victim");
+    server->set_fallback(store);
+    primary = std::make_unique<dcv::PerspectiveAgent>(
+        net, dns, netsim::Ipv4Addr(10, 1, 0, 1), netsim::GeoPoint{},
+        "primary");
+    for (int i = 0; i < 4; ++i) {
+      remotes.push_back(std::make_unique<dcv::PerspectiveAgent>(
+          net, dns,
+          netsim::Ipv4Addr(10, 1, 1, static_cast<std::uint8_t>(i + 1)),
+          netsim::GeoPoint{}, "remote" + std::to_string(i)));
+    }
+    std::vector<dcv::PerspectiveAgent*> remote_ptrs;
+    for (const auto& r : remotes) remote_ptrs.push_back(r.get());
+    AcmeCaConfig cfg;
+    cfg.policy = QuorumPolicy(4, 1, true);
+    ca = std::make_unique<AcmeCa>(sim, primary.get(), remote_ptrs, cfg);
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim, 1};
+  netsim::DnsTable dns;
+  std::shared_ptr<dcv::TokenStore> store;
+  std::unique_ptr<dcv::SimWebServer> server;
+  std::unique_ptr<dcv::PerspectiveAgent> primary;
+  std::vector<std::unique_ptr<dcv::PerspectiveAgent>> remotes;
+  std::unique_ptr<AcmeCa> ca;
+};
+
+TEST_F(CertbotClientTest, RandomizedSubdomainsAreFreshEachRequest) {
+  CertbotClient client(*ca, *store, "victim.test", 11);
+  std::set<std::string> domains;
+  for (int i = 0; i < 5; ++i) {
+    CertbotClient::Attempt attempt;
+    client.request([&](CertbotClient::Attempt a) { attempt = std::move(a); });
+    sim.run();
+    EXPECT_EQ(attempt.result.status, OrderStatus::Ready);
+    EXPECT_FALSE(attempt.result.from_cached_authorization);
+    EXPECT_FALSE(attempt.finalized);
+    EXPECT_NE(attempt.domain, "victim.test");
+    EXPECT_TRUE(attempt.domain.ends_with(".victim.test"));
+    EXPECT_TRUE(domains.insert(attempt.domain).second)
+        << "randomized subdomains must not repeat";
+  }
+}
+
+TEST_F(CertbotClientTest, FixedDomainHitsAuthorizationCache) {
+  CertbotClient client(*ca, *store, "victim.test", 11);
+  CertbotClient::Attempt first;
+  client.request([&](CertbotClient::Attempt a) { first = std::move(a); },
+                 /*randomize_subdomain=*/false);
+  sim.run();
+  ASSERT_EQ(first.result.status, OrderStatus::Ready);
+  EXPECT_FALSE(first.result.from_cached_authorization);
+
+  CertbotClient::Attempt second;
+  client.request([&](CertbotClient::Attempt a) { second = std::move(a); },
+                 /*randomize_subdomain=*/false);
+  sim.run();
+  EXPECT_TRUE(second.result.from_cached_authorization)
+      << "without randomization the CA reuses the valid authorization";
+}
+
+TEST_F(CertbotClientTest, PublishesTokenToCentralStore) {
+  CertbotClient client(*ca, *store, "victim.test", 11);
+  client.request([](CertbotClient::Attempt) {});
+  // Immediately after the synchronous publish, before validation finishes,
+  // the token is in the store.
+  EXPECT_GE(store->size(), 1u);
+  sim.run();
+}
+
+TEST_F(CertbotClientTest, NeverFinalizesInStaging) {
+  CertbotClient client(*ca, *store, "victim.test", 11);
+  CertbotClient::Attempt attempt;
+  client.request([&](CertbotClient::Attempt a) { attempt = std::move(a); });
+  sim.run();
+  EXPECT_FALSE(attempt.finalized);
+  EXPECT_FALSE(ca->finalize(attempt.domain));
+}
+
+}  // namespace
+}  // namespace marcopolo::mpic

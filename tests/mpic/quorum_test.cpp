@@ -1,0 +1,96 @@
+#include "mpic/quorum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::mpic {
+namespace {
+
+TEST(Quorum, RequiredSuccesses) {
+  EXPECT_EQ(QuorumPolicy(5, 1).required(), 4u);
+  EXPECT_EQ(QuorumPolicy(6, 2).required(), 4u);
+  EXPECT_EQ(QuorumPolicy(8, 0).required(), 8u);
+  EXPECT_EQ(QuorumPolicy(1, 0).required(), 1u);
+}
+
+TEST(Quorum, RejectsAllowAllFailures) {
+  EXPECT_THROW(QuorumPolicy(3, 3), std::invalid_argument);
+  EXPECT_THROW(QuorumPolicy(3, 5), std::invalid_argument);
+}
+
+TEST(Quorum, CabMinimumFollowsBallot) {
+  // SC-067: Y=1 for 2-5 remotes, Y=2 for 6+.
+  EXPECT_EQ(QuorumPolicy::cab_minimum(2).max_failures, 1u);
+  EXPECT_EQ(QuorumPolicy::cab_minimum(5).max_failures, 1u);
+  EXPECT_EQ(QuorumPolicy::cab_minimum(6).max_failures, 2u);
+  EXPECT_EQ(QuorumPolicy::cab_minimum(12).max_failures, 2u);
+  EXPECT_EQ(QuorumPolicy::cab_minimum(1).max_failures, 0u);
+}
+
+TEST(Quorum, CabCompliance) {
+  EXPECT_TRUE(QuorumPolicy(5, 1).cab_compliant());
+  EXPECT_TRUE(QuorumPolicy(6, 2).cab_compliant());
+  EXPECT_TRUE(QuorumPolicy(6, 1).cab_compliant());
+  EXPECT_FALSE(QuorumPolicy(5, 2).cab_compliant());
+  EXPECT_FALSE(QuorumPolicy(1, 0).cab_compliant());  // single perspective
+  EXPECT_FALSE(QuorumPolicy(8, 3).cab_compliant());
+}
+
+TEST(Quorum, AllowsIssuanceCountsSuccesses) {
+  const QuorumPolicy policy(4, 1);
+  const bool three_ok[] = {true, true, true, false};
+  const bool two_ok[] = {true, false, true, false};
+  EXPECT_TRUE(policy.allows_issuance(three_ok));
+  EXPECT_FALSE(policy.allows_issuance(two_ok));
+  const bool wrong_size[] = {true, true};
+  EXPECT_THROW((void)policy.allows_issuance(wrong_size),
+               std::invalid_argument);
+}
+
+TEST(Quorum, PrimaryRequiredBlocksIssuance) {
+  const QuorumPolicy policy(4, 1, /*primary=*/true);
+  const bool all_ok[] = {true, true, true, true};
+  EXPECT_TRUE(policy.allows_issuance(all_ok, /*primary_success=*/true));
+  EXPECT_FALSE(policy.allows_issuance(all_ok, /*primary_success=*/false));
+}
+
+TEST(Quorum, AttackSucceedsMirrorsIssuance) {
+  const QuorumPolicy policy(6, 2);
+  EXPECT_FALSE(policy.attack_succeeds(3));
+  EXPECT_TRUE(policy.attack_succeeds(4));
+  EXPECT_TRUE(policy.attack_succeeds(6));
+
+  const QuorumPolicy with_primary(6, 2, true);
+  EXPECT_FALSE(with_primary.attack_succeeds(6, /*primary_hijacked=*/false));
+  EXPECT_TRUE(with_primary.attack_succeeds(4, /*primary_hijacked=*/true));
+}
+
+TEST(Quorum, NotationMatchesPaper) {
+  EXPECT_EQ(QuorumPolicy(5, 1).to_string(), "(5, N-1)");
+  EXPECT_EQ(QuorumPolicy(6, 2).to_string(), "(6, N-2)");
+  EXPECT_EQ(QuorumPolicy(8, 0).to_string(), "(8, N)");
+  EXPECT_EQ(QuorumPolicy(4, 1, true).to_string(), "(primary + 4, N-1)");
+}
+
+// Property sweep: for every (X, Y) combination, the attack succeeds iff at
+// least X - Y perspectives are captured.
+class QuorumSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QuorumSweep, ThresholdIsExact) {
+  const auto [x, y] = GetParam();
+  if (y >= x) GTEST_SKIP();
+  const QuorumPolicy policy(static_cast<std::size_t>(x),
+                            static_cast<std::size_t>(y));
+  for (int captured = 0; captured <= x; ++captured) {
+    EXPECT_EQ(policy.attack_succeeds(static_cast<std::size_t>(captured)),
+              captured >= x - y)
+        << "X=" << x << " Y=" << y << " captured=" << captured;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, QuorumSweep,
+                         ::testing::Combine(::testing::Range(1, 10),
+                                            ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace marcopolo::mpic

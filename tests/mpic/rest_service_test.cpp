@@ -1,0 +1,141 @@
+#include "mpic/rest_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dcv/webserver.hpp"
+
+namespace marcopolo::mpic {
+namespace {
+
+class RestServiceTest : public ::testing::Test {
+ protected:
+  RestServiceTest() {
+    dns.add("victim.test", netsim::Ipv4Addr(10, 0, 0, 1));
+    server = std::make_unique<dcv::SimWebServer>(
+        net, netsim::Ipv4Addr(10, 0, 0, 1), netsim::GeoPoint{}, "victim");
+    for (int i = 0; i < 4; ++i) {
+      agents.push_back(std::make_unique<dcv::PerspectiveAgent>(
+          net, dns, netsim::Ipv4Addr(10, 1, 0, static_cast<std::uint8_t>(i + 1)),
+          netsim::GeoPoint{}, "p" + std::to_string(i)));
+    }
+  }
+
+  std::vector<dcv::PerspectiveAgent*> agent_ptrs() {
+    std::vector<dcv::PerspectiveAgent*> out;
+    for (const auto& a : agents) out.push_back(a.get());
+    return out;
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim, 1};
+  netsim::DnsTable dns;
+  std::unique_ptr<dcv::SimWebServer> server;
+  std::vector<std::unique_ptr<dcv::PerspectiveAgent>> agents;
+};
+
+TEST_F(RestServiceTest, AllPerspectivesSucceedCorroborates) {
+  server->serve("/t", "auth");
+  RestMpicService service(sim, agent_ptrs(), QuorumPolicy(4, 1));
+  CorroborationResult result;
+  service.corroborate({"victim.test", "/t", "auth"},
+                      [&](CorroborationResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_TRUE(result.corroborated);
+  EXPECT_EQ(result.successes, 4u);
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  for (const auto& o : result.outcomes) {
+    EXPECT_TRUE(o.success);
+    EXPECT_TRUE(o.responded);
+  }
+}
+
+TEST_F(RestServiceTest, MissingTokenFailsQuorum) {
+  RestMpicService service(sim, agent_ptrs(), QuorumPolicy(4, 1));
+  CorroborationResult result;
+  service.corroborate({"victim.test", "/missing", "auth"},
+                      [&](CorroborationResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_FALSE(result.corroborated);
+  EXPECT_EQ(result.successes, 0u);
+}
+
+TEST_F(RestServiceTest, QuorumToleratesAllowedFailures) {
+  // One perspective cannot resolve (we point it at a bad domain by serving
+  // the token but testing partial failure through loss on one agent is
+  // complex; instead use quorum (4, N-1) with all success = corroborated,
+  // and a high threshold (4, N) requiring unanimity).
+  server->serve("/t", "auth");
+  RestMpicService strict(sim, agent_ptrs(), QuorumPolicy(4, 0));
+  CorroborationResult result;
+  strict.corroborate({"victim.test", "/t", "auth"},
+                     [&](CorroborationResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_TRUE(result.corroborated);
+  EXPECT_EQ(result.successes, 4u);
+}
+
+TEST_F(RestServiceTest, LossyNetworkFailuresCountAgainstQuorum) {
+  // With total request loss nothing succeeds; a lenient quorum still
+  // cannot corroborate because failures exceed the budget.
+  net.set_loss_model(netsim::LossModel{1.0, 0.0});
+  net.set_timeout(netsim::seconds(2));
+  server->serve("/t", "auth");
+  RestMpicService service(sim, agent_ptrs(), QuorumPolicy(4, 1));
+  CorroborationResult result;
+  service.corroborate({"victim.test", "/t", "auth"},
+                      [&](CorroborationResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_FALSE(result.corroborated);
+  for (const auto& o : result.outcomes) {
+    EXPECT_FALSE(o.responded);
+    EXPECT_FALSE(o.success);
+  }
+}
+
+TEST_F(RestServiceTest, PartialLossWithinFailureBudgetStillCorroborates) {
+  // Roughly half the exchanges fail; (4, N-3) only needs one success, so
+  // across several attempts at this seed at least one run corroborates
+  // while individual perspectives do fail.
+  net.set_loss_model(netsim::LossModel{0.4, 0.0});
+  net.set_timeout(netsim::seconds(2));
+  server->serve("/t", "auth");
+  RestMpicService service(sim, agent_ptrs(), QuorumPolicy(4, 3));
+  bool some_failure = false;
+  bool some_corroboration = false;
+  for (int round = 0; round < 8; ++round) {
+    CorroborationResult result;
+    service.corroborate({"victim.test", "/t", "auth"},
+                        [&](CorroborationResult r) { result = std::move(r); });
+    sim.run();
+    if (result.corroborated) some_corroboration = true;
+    for (const auto& o : result.outcomes) {
+      if (!o.success) some_failure = true;
+    }
+  }
+  EXPECT_TRUE(some_failure);
+  EXPECT_TRUE(some_corroboration);
+}
+
+TEST_F(RestServiceTest, RejectsMismatchedPolicy) {
+  EXPECT_THROW(RestMpicService(sim, agent_ptrs(), QuorumPolicy(3, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(RestMpicService(sim, agent_ptrs(), QuorumPolicy(4, 1, true)),
+               std::invalid_argument);
+}
+
+TEST_F(RestServiceTest, PerspectiveNamesCarriedThrough) {
+  server->serve("/t", "auth");
+  RestMpicService service(sim, agent_ptrs(), QuorumPolicy(4, 1), "svc");
+  EXPECT_EQ(service.name(), "svc");
+  CorroborationResult result;
+  service.corroborate({"victim.test", "/t", "auth"},
+                      [&](CorroborationResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_EQ(result.outcomes[0].perspective, "p0");
+  EXPECT_EQ(result.outcomes[3].perspective, "p3");
+}
+
+}  // namespace
+}  // namespace marcopolo::mpic

@@ -1,0 +1,62 @@
+#include "netsim/dns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::netsim {
+namespace {
+
+TEST(Dns, ExactResolution) {
+  DnsTable dns;
+  dns.add("victim.example", Ipv4Addr(10, 0, 0, 1));
+  const auto got = dns.resolve("victim.example");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Ipv4Addr(10, 0, 0, 1));
+  EXPECT_FALSE(dns.resolve("other.example").has_value());
+}
+
+TEST(Dns, WildcardMatchesSubdomains) {
+  DnsTable dns;
+  dns.add_wildcard("lane0.test", Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(*dns.resolve("abc123.lane0.test"), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(*dns.resolve("a.b.lane0.test"), Ipv4Addr(10, 0, 0, 2));
+  // The zone apex itself is not covered by the wildcard.
+  EXPECT_FALSE(dns.resolve("lane0.test").has_value());
+}
+
+TEST(Dns, ExactBeatsWildcard) {
+  DnsTable dns;
+  dns.add_wildcard("zone.test", Ipv4Addr(1, 1, 1, 1));
+  dns.add("special.zone.test", Ipv4Addr(2, 2, 2, 2));
+  EXPECT_EQ(*dns.resolve("special.zone.test"), Ipv4Addr(2, 2, 2, 2));
+  EXPECT_EQ(*dns.resolve("other.zone.test"), Ipv4Addr(1, 1, 1, 1));
+}
+
+TEST(Dns, OverwriteUpdatesAddress) {
+  DnsTable dns;
+  dns.add("a.test", Ipv4Addr(1, 0, 0, 1));
+  dns.add("a.test", Ipv4Addr(1, 0, 0, 2));
+  EXPECT_EQ(*dns.resolve("a.test"), Ipv4Addr(1, 0, 0, 2));
+}
+
+TEST(Dns, RemoveDeletesBothKinds) {
+  DnsTable dns;
+  dns.add("a.test", Ipv4Addr(1, 0, 0, 1));
+  dns.add_wildcard("a.test", Ipv4Addr(1, 0, 0, 1));
+  EXPECT_EQ(dns.size(), 2u);
+  dns.remove("a.test");
+  EXPECT_EQ(dns.size(), 0u);
+  EXPECT_FALSE(dns.resolve("x.a.test").has_value());
+}
+
+TEST(Dns, RandomizedSubdomainsAllResolve) {
+  // The paper's cache-busting pattern: every fresh label must resolve.
+  DnsTable dns;
+  dns.add_wildcard("victim.example", Ipv4Addr(10, 9, 8, 7));
+  for (const char* label : {"a1b2", "deadbeef", "xyz", "0f0f0f0f0f"}) {
+    EXPECT_EQ(*dns.resolve(std::string(label) + ".victim.example"),
+              Ipv4Addr(10, 9, 8, 7));
+  }
+}
+
+}  // namespace
+}  // namespace marcopolo::netsim

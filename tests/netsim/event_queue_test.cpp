@@ -1,0 +1,104 @@
+#include "netsim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::netsim {
+namespace {
+
+TEST(Simulator, StartsAtEpoch) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kEpoch);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ProcessesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(kEpoch + seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(kEpoch + seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(kEpoch + seconds(2), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), kEpoch + seconds(3));
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(kEpoch + seconds(5), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterAdvancesRelativeToNow) {
+  Simulator sim;
+  TimePoint fired{};
+  sim.schedule_after(seconds(2), [&] {
+    sim.schedule_after(seconds(3), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, kEpoch + seconds(5));
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  bool late_ran = false;
+  sim.schedule_at(kEpoch + seconds(10), [&] {
+    // Scheduling in the past runs "next", not backwards in time.
+    sim.schedule_at(kEpoch + seconds(1), [&] {
+      late_ran = true;
+      EXPECT_EQ(sim.now(), kEpoch + seconds(10));
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(kEpoch + seconds(i), [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run_until(kEpoch + seconds(3)), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), kEpoch + seconds(3));
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(kEpoch + minutes(5));
+  EXPECT_EQ(sim.now(), kEpoch + minutes(5));
+}
+
+TEST(Simulator, StepProcessesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_after(seconds(1), [&] { ++count; });
+  sim.schedule_after(seconds(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ReentrantSchedulingCascades) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(milliseconds(1), recurse);
+  };
+  sim.schedule_after(milliseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.processed(), 100u);
+}
+
+}  // namespace
+}  // namespace marcopolo::netsim

@@ -1,0 +1,51 @@
+#include "netsim/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::netsim {
+namespace {
+
+constexpr GeoPoint kNewYork{40.71, -74.01};
+constexpr GeoPoint kLondon{51.51, -0.13};
+constexpr GeoPoint kTokyo{35.68, 139.69};
+constexpr GeoPoint kSydney{-33.87, 151.21};
+
+TEST(Geo, ZeroDistanceToSelf) {
+  EXPECT_DOUBLE_EQ(great_circle_km(kTokyo, kTokyo), 0.0);
+}
+
+TEST(Geo, KnownDistances) {
+  // NYC-London ~5570 km; Tokyo-Sydney ~7820 km (city-center approximations).
+  EXPECT_NEAR(great_circle_km(kNewYork, kLondon), 5570.0, 120.0);
+  EXPECT_NEAR(great_circle_km(kTokyo, kSydney), 7820.0, 150.0);
+}
+
+TEST(Geo, Symmetry) {
+  EXPECT_DOUBLE_EQ(great_circle_km(kNewYork, kTokyo),
+                   great_circle_km(kTokyo, kNewYork));
+}
+
+TEST(Geo, AntipodalIsBounded) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_km(a, b), 20015.0, 10.0);  // half circumference
+}
+
+TEST(Geo, LatencyIncludesFixedOverhead) {
+  EXPECT_GE(propagation_latency(0.0), milliseconds(2));
+}
+
+TEST(Geo, LatencyMonotoneInDistance) {
+  EXPECT_LT(propagation_latency(100.0), propagation_latency(1000.0));
+  EXPECT_LT(propagation_latency(1000.0), propagation_latency(10000.0));
+}
+
+TEST(Geo, TransatlanticLatencyRealistic) {
+  // ~5570 km * 1.4 stretch / 200 km/ms ~ 39 ms one-way + overhead.
+  const Duration d = latency_between(kNewYork, kLondon);
+  EXPECT_GT(d, milliseconds(30));
+  EXPECT_LT(d, milliseconds(60));
+}
+
+}  // namespace
+}  // namespace marcopolo::netsim

@@ -1,0 +1,123 @@
+#include "netsim/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marcopolo::netsim {
+namespace {
+
+TEST(Ipv4Addr, ParsesDottedQuad) {
+  const auto a = Ipv4Addr::parse("203.0.113.7");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xCB007107u);
+}
+
+TEST(Ipv4Addr, ParsesBoundaries) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Addr, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4x"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse(" 1.2.3.4"));
+}
+
+TEST(Ipv4Addr, FormatRoundtrip) {
+  for (const char* text : {"0.0.0.0", "10.1.2.3", "192.168.254.1",
+                           "255.255.255.255", "100.64.0.1"}) {
+    const auto a = Ipv4Addr::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    EXPECT_EQ(a->to_string(), text);
+  }
+}
+
+TEST(Ipv4Addr, OrderingAndEquality) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), *Ipv4Addr::parse("1.2.3.4"));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Addr(192, 168, 1, 200), 24);
+  EXPECT_EQ(p.network(), Ipv4Addr(192, 168, 1, 0));
+  EXPECT_EQ(p.to_string(), "192.168.1.0/24");
+}
+
+TEST(Ipv4Prefix, RejectsBadLength) {
+  EXPECT_THROW(Ipv4Prefix(Ipv4Addr(1, 2, 3, 4), 33), std::invalid_argument);
+}
+
+TEST(Ipv4Prefix, ParseAndFormat) {
+  const auto p = Ipv4Prefix::parse("203.0.113.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_EQ(p->to_string(), "203.0.113.0/24");
+  EXPECT_FALSE(Ipv4Prefix::parse("203.0.113.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("203.0.113.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("203.0.113.0/"));
+  EXPECT_FALSE(Ipv4Prefix::parse("bogus/8"));
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  const Ipv4Prefix all(Ipv4Addr(0, 0, 0, 0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Addr(0, 0, 0, 0)));
+  EXPECT_EQ(all.mask(), 0u);
+}
+
+TEST(Ipv4Prefix, ContainsAndCovers) {
+  const auto p24 = *Ipv4Prefix::parse("203.0.113.0/24");
+  const auto p25 = *Ipv4Prefix::parse("203.0.113.128/25");
+  EXPECT_TRUE(p24.contains(Ipv4Addr(203, 0, 113, 129)));
+  EXPECT_FALSE(p24.contains(Ipv4Addr(203, 0, 114, 1)));
+  EXPECT_TRUE(p24.covers(p25));
+  EXPECT_FALSE(p25.covers(p24));
+  EXPECT_TRUE(p24.covers(p24));
+}
+
+TEST(Ipv4Prefix, SplitHalves) {
+  const auto p24 = *Ipv4Prefix::parse("203.0.113.0/24");
+  const auto [lower, upper] = p24.split();
+  EXPECT_EQ(lower.to_string(), "203.0.113.0/25");
+  EXPECT_EQ(upper.to_string(), "203.0.113.128/25");
+  EXPECT_TRUE(p24.covers(lower));
+  EXPECT_TRUE(p24.covers(upper));
+  EXPECT_THROW((void)Ipv4Prefix(Ipv4Addr(1, 1, 1, 1), 32).split(),
+               std::logic_error);
+}
+
+TEST(Ipv4Prefix, AddressAtAndSize) {
+  const auto p30 = *Ipv4Prefix::parse("10.0.0.0/30");
+  EXPECT_EQ(p30.size(), 4u);
+  EXPECT_EQ(p30.address_at(1), Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(p30.address_at(3), Ipv4Addr(10, 0, 0, 3));
+  EXPECT_THROW((void)p30.address_at(4), std::out_of_range);
+}
+
+// Property sweep: canonicalization is idempotent and contains() agrees with
+// mask arithmetic for every length.
+class PrefixLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixLengthSweep, MaskConsistency) {
+  const auto len = static_cast<std::uint8_t>(GetParam());
+  const Ipv4Prefix p(Ipv4Addr(0xDEADBEEF), len);
+  // Canonical: network has no host bits.
+  EXPECT_EQ(p.network().value() & ~p.mask(), 0u);
+  // Idempotent.
+  const Ipv4Prefix q(p.network(), len);
+  EXPECT_EQ(p, q);
+  // contains agrees with mask math on a probe.
+  const Ipv4Addr probe(0xDEADBEEF ^ 0x1234u);
+  EXPECT_EQ(p.contains(probe),
+            (probe.value() & p.mask()) == p.network().value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixLengthSweep,
+                         ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace marcopolo::netsim

@@ -1,0 +1,149 @@
+#include "netsim/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "netsim/random.hpp"
+
+namespace marcopolo::netsim {
+namespace {
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  const auto p = *Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(trie.insert(p, 42));
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.find(p), nullptr);
+  EXPECT_EQ(*trie.find(p), 42);
+  EXPECT_FALSE(trie.insert(p, 43));  // overwrite, not insert
+  EXPECT_EQ(*trie.find(p), 43);
+  EXPECT_TRUE(trie.erase(p));
+  EXPECT_FALSE(trie.erase(p));
+  EXPECT_EQ(trie.find(p), nullptr);
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, ExactMatchDistinguishesLengths) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/16"), 16);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/24"), 24);
+  EXPECT_EQ(*trie.find(*Ipv4Prefix::parse("10.0.0.0/16")), 16);
+  EXPECT_EQ(trie.find(*Ipv4Prefix::parse("10.0.0.0/12")), nullptr);
+}
+
+TEST(PrefixTrie, LongestMatchPrefersMoreSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 0);
+  trie.insert(*Ipv4Prefix::parse("203.0.113.0/24"), 24);
+  trie.insert(*Ipv4Prefix::parse("203.0.113.128/25"), 25);
+
+  const auto m1 = trie.longest_match(Ipv4Addr(203, 0, 113, 200));
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(*m1->value, 25);
+  EXPECT_EQ(m1->prefix.to_string(), "203.0.113.128/25");
+
+  const auto m2 = trie.longest_match(Ipv4Addr(203, 0, 113, 5));
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(*m2->value, 24);
+
+  const auto m3 = trie.longest_match(Ipv4Addr(8, 8, 8, 8));
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_EQ(*m3->value, 0);
+}
+
+TEST(PrefixTrie, NoMatchWithoutDefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.longest_match(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(PrefixTrie, SlashThirtyTwoEntries) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("1.2.3.4/32"), 7);
+  EXPECT_TRUE(trie.longest_match(Ipv4Addr(1, 2, 3, 4)).has_value());
+  EXPECT_FALSE(trie.longest_match(Ipv4Addr(1, 2, 3, 5)).has_value());
+}
+
+TEST(PrefixTrie, ForEachCoveringOrderedBySpecificity) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 0);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  std::vector<int> seen;
+  trie.for_each_covering(Ipv4Addr(10, 1, 2, 3),
+                         [&](const Ipv4Prefix&, const int& v) {
+                           seen.push_back(v);
+                         });
+  EXPECT_EQ(seen, (std::vector<int>{0, 8, 16}));
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("192.168.0.0/16"), 2);
+  trie.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 3);
+  std::size_t count = 0;
+  int sum = 0;
+  trie.for_each([&](const Ipv4Prefix&, const int& v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(sum, 6);
+}
+
+// Property test: trie longest-prefix match agrees with a naive reference
+// over random prefix sets, across several seeds.
+class TrieVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieVsReference, RandomizedAgreement) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Ipv4Prefix, int> reference;
+
+  for (int i = 0; i < 400; ++i) {
+    const Ipv4Prefix p(Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                       static_cast<std::uint8_t>(rng.index(33)));
+    trie.insert(p, i);
+    reference[p] = i;
+  }
+  // Random erasures.
+  for (int i = 0; i < 60; ++i) {
+    if (reference.empty()) break;
+    auto it = reference.begin();
+    std::advance(it, static_cast<long>(rng.index(reference.size())));
+    EXPECT_TRUE(trie.erase(it->first));
+    reference.erase(it);
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  for (int probe = 0; probe < 1000; ++probe) {
+    const Ipv4Addr addr(static_cast<std::uint32_t>(rng.next()));
+    // Naive reference LPM.
+    const Ipv4Prefix* best = nullptr;
+    int best_value = -1;
+    for (const auto& [prefix, value] : reference) {
+      if (prefix.contains(addr) &&
+          (best == nullptr || prefix.length() > best->length())) {
+        best = &prefix;
+        best_value = value;
+      }
+    }
+    const auto got = trie.longest_match(addr);
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->prefix, *best);
+      EXPECT_EQ(*got->value, best_value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsReference,
+                         ::testing::Values(1u, 2u, 3u, 42u, 0xFEEDu));
+
+}  // namespace
+}  // namespace marcopolo::netsim

@@ -1,0 +1,34 @@
+// Shared testbed fixtures for core/analysis/integration tests.
+//
+// Building a testbed and running a campaign is the expensive part of these
+// tests, so suites share one lazily-built instance (tests must treat it as
+// read-only).
+#pragma once
+
+#include "marcopolo/fast_campaign.hpp"
+#include "marcopolo/testbed.hpp"
+
+namespace marcopolo::testing_support {
+
+/// A reduced synthetic Internet: same structure, ~3x fewer ASes.
+inline core::TestbedConfig small_testbed_config() {
+  core::TestbedConfig cfg;
+  cfg.internet.num_tier1 = 8;
+  cfg.internet.num_tier2 = 40;
+  cfg.internet.num_tier3 = 60;
+  cfg.internet.num_stub = 80;
+  return cfg;
+}
+
+inline const core::Testbed& shared_testbed() {
+  static core::Testbed testbed(small_testbed_config());
+  return testbed;
+}
+
+inline const core::CampaignDataset& shared_dataset() {
+  static core::CampaignDataset dataset = core::run_paper_campaigns(
+      shared_testbed(), bgp::TieBreakMode::Hashed, 0xCAFE);
+  return dataset;
+}
+
+}  // namespace marcopolo::testing_support

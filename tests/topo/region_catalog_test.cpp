@@ -1,0 +1,109 @@
+#include "topo/region_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace marcopolo::topo {
+namespace {
+
+TEST(RegionCatalog, PaperNodeCounts) {
+  // Paper §4.3 / Table 4: 27 AWS, 40 GCP, 39 Azure perspectives (106 total)
+  // and 32 Vultr victim/adversary sites.
+  EXPECT_EQ(aws_regions().size(), 27u);
+  EXPECT_EQ(gcp_regions().size(), 40u);
+  EXPECT_EQ(azure_regions().size(), 39u);
+  EXPECT_EQ(vultr_sites().size(), 32u);
+  EXPECT_EQ(aws_regions().size() + gcp_regions().size() +
+                azure_regions().size(),
+            106u);
+}
+
+TEST(RegionCatalog, NamesUniquePerProvider) {
+  for (const auto provider :
+       {CloudProvider::Aws, CloudProvider::Gcp, CloudProvider::Azure,
+        CloudProvider::Vultr}) {
+    std::set<std::string_view> names;
+    for (const RegionInfo& r : regions_of(provider)) {
+      EXPECT_TRUE(names.insert(r.name).second)
+          << "duplicate region " << r.name;
+      EXPECT_EQ(r.provider, provider);
+    }
+  }
+}
+
+TEST(RegionCatalog, CoordinatesInRange) {
+  for (const auto provider :
+       {CloudProvider::Aws, CloudProvider::Gcp, CloudProvider::Azure,
+        CloudProvider::Vultr}) {
+    for (const RegionInfo& r : regions_of(provider)) {
+      EXPECT_GE(r.location.lat, -90.0) << r.name;
+      EXPECT_LE(r.location.lat, 90.0) << r.name;
+      EXPECT_GE(r.location.lon, -180.0) << r.name;
+      EXPECT_LE(r.location.lon, 180.0) << r.name;
+    }
+  }
+}
+
+TEST(RegionCatalog, SpotCheckKnownRegions) {
+  const auto tokyo = find_region(CloudProvider::Aws, "ap-northeast-1");
+  ASSERT_TRUE(tokyo.has_value());
+  EXPECT_EQ(tokyo->rir, Rir::Apnic);
+  EXPECT_NEAR(tokyo->location.lat, 35.68, 0.5);
+
+  const auto london = find_region(CloudProvider::Azure, "uk-south");
+  ASSERT_TRUE(london.has_value());
+  EXPECT_EQ(london->rir, Rir::Ripe);
+
+  const auto saopaulo = find_region(CloudProvider::Gcp, "southamerica-east1");
+  ASSERT_TRUE(saopaulo.has_value());
+  EXPECT_EQ(saopaulo->rir, Rir::Lacnic);
+
+  const auto capetown = find_region(CloudProvider::Aws, "af-south-1");
+  ASSERT_TRUE(capetown.has_value());
+  EXPECT_EQ(capetown->rir, Rir::Afrinic);
+
+  EXPECT_FALSE(find_region(CloudProvider::Aws, "mars-north-1").has_value());
+}
+
+TEST(RegionCatalog, EveryRirRepresentedAmongPerspectives) {
+  std::set<Rir> rirs;
+  for (const auto provider : kPerspectiveProviders) {
+    for (const RegionInfo& r : regions_of(provider)) rirs.insert(r.rir);
+  }
+  EXPECT_EQ(rirs.size(), kAllRirs.size());
+}
+
+TEST(RegionCatalog, VultrSitesSpanTierOneCones) {
+  // Paper §4.4.2: sites spread over distinct geographies; at least the five
+  // RIRs must all appear in the node pool.
+  std::set<Rir> rirs;
+  for (const RegionInfo& r : vultr_sites()) rirs.insert(r.rir);
+  EXPECT_EQ(rirs.size(), 5u);
+}
+
+TEST(RegionCatalog, PeeringMuxesWellFormed) {
+  const auto muxes = peering_muxes();
+  EXPECT_GE(muxes.size(), 10u);
+  std::set<std::string_view> names;
+  std::set<Rir> rirs;
+  for (const RegionInfo& m : muxes) {
+    EXPECT_TRUE(names.insert(m.name).second);
+    EXPECT_EQ(m.provider, CloudProvider::Peering);
+    rirs.insert(m.rir);
+  }
+  EXPECT_GE(rirs.size(), 3u) << "the PEERING pool must span several RIRs";
+  EXPECT_TRUE(find_region(CloudProvider::Peering, "amsterdam01").has_value());
+}
+
+TEST(Rir, ContinentMapping) {
+  EXPECT_EQ(rir_of(Continent::NorthAmerica), Rir::Arin);
+  EXPECT_EQ(rir_of(Continent::Europe), Rir::Ripe);
+  EXPECT_EQ(rir_of(Continent::Asia), Rir::Apnic);
+  EXPECT_EQ(rir_of(Continent::Oceania), Rir::Apnic);
+  EXPECT_EQ(rir_of(Continent::SouthAmerica), Rir::Lacnic);
+  EXPECT_EQ(rir_of(Continent::Africa), Rir::Afrinic);
+}
+
+}  // namespace
+}  // namespace marcopolo::topo

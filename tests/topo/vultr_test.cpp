@@ -1,0 +1,81 @@
+#include "topo/vultr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace marcopolo::topo {
+namespace {
+
+InternetConfig small_config() {
+  InternetConfig cfg;
+  cfg.num_tier2 = 30;
+  cfg.num_tier3 = 30;
+  cfg.num_stub = 30;
+  return cfg;
+}
+
+TEST(VultrSites, BuildsAllCatalogSites) {
+  Internet net(small_config());
+  const auto sites = build_vultr_sites(net, 1);
+  EXPECT_EQ(sites.size(), vultr_sites().size());
+  std::set<std::uint32_t> nodes;
+  for (const VultrSite& s : sites) {
+    EXPECT_TRUE(nodes.insert(s.node.value).second);
+  }
+}
+
+TEST(VultrSites, EverySiteHasTierOneAndRegionalTransit) {
+  Internet net(small_config());
+  const auto sites = build_vultr_sites(net, 1);
+  for (const VultrSite& s : sites) {
+    const auto providers = net.graph().providers_of(s.node);
+    ASSERT_GE(providers.size(), 2u) << s.name;
+    bool has_tier1 = false;
+    for (const auto& p : providers) {
+      if (net.tier(p.id) == AsTier::Tier1) has_tier1 = true;
+    }
+    EXPECT_TRUE(has_tier1) << s.name;
+    EXPECT_TRUE(net.graph().customers_of(s.node).empty()) << s.name;
+  }
+}
+
+TEST(VultrSites, SitesLandInDifferentTierOneCones) {
+  // Paper §4.4.2: e.g. Tokyo under NTT, Bangalore under Tata. The builder
+  // must not put all sites under the same tier-1.
+  Internet net(small_config());
+  const auto sites = build_vultr_sites(net, 1);
+  std::set<std::uint32_t> tier1_cones;
+  for (const VultrSite& s : sites) {
+    for (const auto& p : net.graph().providers_of(s.node)) {
+      if (net.tier(p.id) == AsTier::Tier1) tier1_cones.insert(p.id.value);
+    }
+  }
+  EXPECT_GE(tier1_cones.size(), 4u);
+}
+
+TEST(VultrSites, DeterministicWiring) {
+  Internet a(small_config());
+  Internet b(small_config());
+  const auto sa = build_vultr_sites(a, 5);
+  const auto sb = build_vultr_sites(b, 5);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(a.graph().providers_of(sa[i].node).size(),
+              b.graph().providers_of(sb[i].node).size());
+  }
+}
+
+TEST(VultrSites, MetadataMatchesCatalog) {
+  Internet net(small_config());
+  const auto sites = build_vultr_sites(net, 1);
+  const auto catalog = vultr_sites();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(sites[i].name, catalog[i].name);
+    EXPECT_EQ(sites[i].rir, catalog[i].rir);
+    EXPECT_EQ(sites[i].location, catalog[i].location);
+  }
+}
+
+}  // namespace
+}  // namespace marcopolo::topo

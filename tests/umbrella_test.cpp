@@ -1,0 +1,17 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "marcopolo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicTypesAreVisible) {
+  marcopolo::netsim::Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  marcopolo::mpic::QuorumPolicy policy(6, 2);
+  EXPECT_EQ(policy.to_string(), "(6, N-2)");
+  EXPECT_EQ(marcopolo::topo::vultr_sites().size(), 32u);
+  EXPECT_EQ(marcopolo::analysis::format_resilience(0.87), "87");
+}
+
+}  // namespace
