@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cold_potato.dir/ablation_cold_potato.cpp.o"
+  "CMakeFiles/ablation_cold_potato.dir/ablation_cold_potato.cpp.o.d"
+  "ablation_cold_potato"
+  "ablation_cold_potato.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cold_potato.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cross_provider.dir/ablation_cross_provider.cpp.o"
+  "CMakeFiles/ablation_cross_provider.dir/ablation_cross_provider.cpp.o.d"
+  "ablation_cross_provider"
+  "ablation_cross_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cross_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

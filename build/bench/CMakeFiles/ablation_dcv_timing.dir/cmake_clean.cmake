@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dcv_timing.dir/ablation_dcv_timing.cpp.o"
+  "CMakeFiles/ablation_dcv_timing.dir/ablation_dcv_timing.cpp.o.d"
+  "ablation_dcv_timing"
+  "ablation_dcv_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dcv_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

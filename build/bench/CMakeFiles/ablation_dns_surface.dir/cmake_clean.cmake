@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dns_surface.dir/ablation_dns_surface.cpp.o"
+  "CMakeFiles/ablation_dns_surface.dir/ablation_dns_surface.cpp.o.d"
+  "ablation_dns_surface"
+  "ablation_dns_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dns_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

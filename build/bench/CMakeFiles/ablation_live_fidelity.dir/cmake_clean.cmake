@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_live_fidelity.dir/ablation_live_fidelity.cpp.o"
+  "CMakeFiles/ablation_live_fidelity.dir/ablation_live_fidelity.cpp.o.d"
+  "ablation_live_fidelity"
+  "ablation_live_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_live_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

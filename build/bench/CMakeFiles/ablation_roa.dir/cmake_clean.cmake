@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_roa.dir/ablation_roa.cpp.o"
+  "CMakeFiles/ablation_roa.dir/ablation_roa.cpp.o.d"
+  "ablation_roa"
+  "ablation_roa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_roa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

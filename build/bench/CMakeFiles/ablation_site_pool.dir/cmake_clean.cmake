@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_site_pool.dir/ablation_site_pool.cpp.o"
+  "CMakeFiles/ablation_site_pool.dir/ablation_site_pool.cpp.o.d"
+  "ablation_site_pool"
+  "ablation_site_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_site_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_resilience.cpp" "bench/CMakeFiles/fig2_resilience.dir/fig2_resilience.cpp.o" "gcc" "bench/CMakeFiles/fig2_resilience.dir/fig2_resilience.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/marcopolo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/marcopolo/CMakeFiles/marcopolo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/marcopolo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpic/CMakeFiles/marcopolo_mpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcv/CMakeFiles/marcopolo_dcv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/marcopolo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/marcopolo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpd/CMakeFiles/marcopolo_bgpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/marcopolo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

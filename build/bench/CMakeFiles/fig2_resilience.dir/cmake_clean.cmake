@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_resilience.dir/fig2_resilience.cpp.o"
+  "CMakeFiles/fig2_resilience.dir/fig2_resilience.cpp.o.d"
+  "fig2_resilience"
+  "fig2_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

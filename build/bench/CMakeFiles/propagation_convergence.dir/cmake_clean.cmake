@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_convergence.dir/propagation_convergence.cpp.o"
+  "CMakeFiles/propagation_convergence.dir/propagation_convergence.cpp.o.d"
+  "propagation_convergence"
+  "propagation_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rir_clustering.dir/table1_rir_clustering.cpp.o"
+  "CMakeFiles/table1_rir_clustering.dir/table1_rir_clustering.cpp.o.d"
+  "table1_rir_clustering"
+  "table1_rir_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rir_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_resilience.dir/table2_resilience.cpp.o"
+  "CMakeFiles/table2_resilience.dir/table2_resilience.cpp.o.d"
+  "table2_resilience"
+  "table2_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cost.dir/table3_cost.cpp.o"
+  "CMakeFiles/table3_cost.dir/table3_cost.cpp.o.d"
+  "table3_cost"
+  "table3_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_audit.dir/blackbox_audit.cpp.o"
+  "CMakeFiles/blackbox_audit.dir/blackbox_audit.cpp.o.d"
+  "blackbox_audit"
+  "blackbox_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

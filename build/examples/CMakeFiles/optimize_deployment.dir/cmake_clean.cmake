@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_deployment.dir/optimize_deployment.cpp.o"
+  "CMakeFiles/optimize_deployment.dir/optimize_deployment.cpp.o.d"
+  "optimize_deployment"
+  "optimize_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendations.dir/recommendations.cpp.o"
+  "CMakeFiles/recommendations.dir/recommendations.cpp.o.d"
+  "recommendations"
+  "recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

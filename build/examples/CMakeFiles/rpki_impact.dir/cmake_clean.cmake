@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpki_impact.dir/rpki_impact.cpp.o"
+  "CMakeFiles/rpki_impact.dir/rpki_impact.cpp.o.d"
+  "rpki_impact"
+  "rpki_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpki_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bootstrap.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/bootstrap.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/optimizer.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/optimizer.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/optimizer.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/resilience.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/resilience.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/resilience.cpp.o.d"
+  "/root/repo/src/analysis/rir_cluster.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/rir_cluster.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/rir_cluster.cpp.o.d"
+  "/root/repo/src/analysis/rpki_model.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/rpki_model.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/rpki_model.cpp.o.d"
+  "/root/repo/src/analysis/weighted.cpp" "src/analysis/CMakeFiles/marcopolo_analysis.dir/weighted.cpp.o" "gcc" "src/analysis/CMakeFiles/marcopolo_analysis.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/marcopolo/CMakeFiles/marcopolo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpic/CMakeFiles/marcopolo_mpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/marcopolo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/marcopolo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpd/CMakeFiles/marcopolo_bgpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/marcopolo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcv/CMakeFiles/marcopolo_dcv.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_analysis.dir/bootstrap.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/marcopolo_analysis.dir/export.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/marcopolo_analysis.dir/optimizer.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/optimizer.cpp.o.d"
+  "CMakeFiles/marcopolo_analysis.dir/report.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/marcopolo_analysis.dir/resilience.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/resilience.cpp.o.d"
+  "CMakeFiles/marcopolo_analysis.dir/rir_cluster.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/rir_cluster.cpp.o.d"
+  "CMakeFiles/marcopolo_analysis.dir/rpki_model.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/rpki_model.cpp.o.d"
+  "CMakeFiles/marcopolo_analysis.dir/weighted.cpp.o"
+  "CMakeFiles/marcopolo_analysis.dir/weighted.cpp.o.d"
+  "libmarcopolo_analysis.a"
+  "libmarcopolo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_graph.cpp" "src/bgp/CMakeFiles/marcopolo_bgp.dir/as_graph.cpp.o" "gcc" "src/bgp/CMakeFiles/marcopolo_bgp.dir/as_graph.cpp.o.d"
+  "/root/repo/src/bgp/propagation.cpp" "src/bgp/CMakeFiles/marcopolo_bgp.dir/propagation.cpp.o" "gcc" "src/bgp/CMakeFiles/marcopolo_bgp.dir/propagation.cpp.o.d"
+  "/root/repo/src/bgp/rpki.cpp" "src/bgp/CMakeFiles/marcopolo_bgp.dir/rpki.cpp.o" "gcc" "src/bgp/CMakeFiles/marcopolo_bgp.dir/rpki.cpp.o.d"
+  "/root/repo/src/bgp/scenario.cpp" "src/bgp/CMakeFiles/marcopolo_bgp.dir/scenario.cpp.o" "gcc" "src/bgp/CMakeFiles/marcopolo_bgp.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_bgp.dir/as_graph.cpp.o"
+  "CMakeFiles/marcopolo_bgp.dir/as_graph.cpp.o.d"
+  "CMakeFiles/marcopolo_bgp.dir/propagation.cpp.o"
+  "CMakeFiles/marcopolo_bgp.dir/propagation.cpp.o.d"
+  "CMakeFiles/marcopolo_bgp.dir/rpki.cpp.o"
+  "CMakeFiles/marcopolo_bgp.dir/rpki.cpp.o.d"
+  "CMakeFiles/marcopolo_bgp.dir/scenario.cpp.o"
+  "CMakeFiles/marcopolo_bgp.dir/scenario.cpp.o.d"
+  "libmarcopolo_bgp.a"
+  "libmarcopolo_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmarcopolo_bgp.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgpd/network.cpp" "src/bgpd/CMakeFiles/marcopolo_bgpd.dir/network.cpp.o" "gcc" "src/bgpd/CMakeFiles/marcopolo_bgpd.dir/network.cpp.o.d"
+  "/root/repo/src/bgpd/speaker.cpp" "src/bgpd/CMakeFiles/marcopolo_bgpd.dir/speaker.cpp.o" "gcc" "src/bgpd/CMakeFiles/marcopolo_bgpd.dir/speaker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/marcopolo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

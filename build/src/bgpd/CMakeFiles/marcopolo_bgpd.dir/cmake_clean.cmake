@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_bgpd.dir/network.cpp.o"
+  "CMakeFiles/marcopolo_bgpd.dir/network.cpp.o.d"
+  "CMakeFiles/marcopolo_bgpd.dir/speaker.cpp.o"
+  "CMakeFiles/marcopolo_bgpd.dir/speaker.cpp.o.d"
+  "libmarcopolo_bgpd.a"
+  "libmarcopolo_bgpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_bgpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/model.cpp" "src/cloud/CMakeFiles/marcopolo_cloud.dir/model.cpp.o" "gcc" "src/cloud/CMakeFiles/marcopolo_cloud.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/marcopolo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpd/CMakeFiles/marcopolo_bgpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/marcopolo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

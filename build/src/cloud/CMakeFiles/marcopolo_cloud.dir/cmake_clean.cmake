@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_cloud.dir/model.cpp.o"
+  "CMakeFiles/marcopolo_cloud.dir/model.cpp.o.d"
+  "libmarcopolo_cloud.a"
+  "libmarcopolo_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

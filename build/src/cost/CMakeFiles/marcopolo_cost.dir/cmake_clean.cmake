@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_cost.dir/model.cpp.o"
+  "CMakeFiles/marcopolo_cost.dir/model.cpp.o.d"
+  "libmarcopolo_cost.a"
+  "libmarcopolo_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcv/challenge.cpp" "src/dcv/CMakeFiles/marcopolo_dcv.dir/challenge.cpp.o" "gcc" "src/dcv/CMakeFiles/marcopolo_dcv.dir/challenge.cpp.o.d"
+  "/root/repo/src/dcv/dns_authority.cpp" "src/dcv/CMakeFiles/marcopolo_dcv.dir/dns_authority.cpp.o" "gcc" "src/dcv/CMakeFiles/marcopolo_dcv.dir/dns_authority.cpp.o.d"
+  "/root/repo/src/dcv/validator.cpp" "src/dcv/CMakeFiles/marcopolo_dcv.dir/validator.cpp.o" "gcc" "src/dcv/CMakeFiles/marcopolo_dcv.dir/validator.cpp.o.d"
+  "/root/repo/src/dcv/webserver.cpp" "src/dcv/CMakeFiles/marcopolo_dcv.dir/webserver.cpp.o" "gcc" "src/dcv/CMakeFiles/marcopolo_dcv.dir/webserver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

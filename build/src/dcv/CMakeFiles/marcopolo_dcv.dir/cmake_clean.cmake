@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_dcv.dir/challenge.cpp.o"
+  "CMakeFiles/marcopolo_dcv.dir/challenge.cpp.o.d"
+  "CMakeFiles/marcopolo_dcv.dir/dns_authority.cpp.o"
+  "CMakeFiles/marcopolo_dcv.dir/dns_authority.cpp.o.d"
+  "CMakeFiles/marcopolo_dcv.dir/validator.cpp.o"
+  "CMakeFiles/marcopolo_dcv.dir/validator.cpp.o.d"
+  "CMakeFiles/marcopolo_dcv.dir/webserver.cpp.o"
+  "CMakeFiles/marcopolo_dcv.dir/webserver.cpp.o.d"
+  "libmarcopolo_dcv.a"
+  "libmarcopolo_dcv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_dcv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for marcopolo_dcv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marcopolo/attack_plane.cpp" "src/marcopolo/CMakeFiles/marcopolo_core.dir/attack_plane.cpp.o" "gcc" "src/marcopolo/CMakeFiles/marcopolo_core.dir/attack_plane.cpp.o.d"
+  "/root/repo/src/marcopolo/fast_campaign.cpp" "src/marcopolo/CMakeFiles/marcopolo_core.dir/fast_campaign.cpp.o" "gcc" "src/marcopolo/CMakeFiles/marcopolo_core.dir/fast_campaign.cpp.o.d"
+  "/root/repo/src/marcopolo/live_campaign.cpp" "src/marcopolo/CMakeFiles/marcopolo_core.dir/live_campaign.cpp.o" "gcc" "src/marcopolo/CMakeFiles/marcopolo_core.dir/live_campaign.cpp.o.d"
+  "/root/repo/src/marcopolo/orchestrator.cpp" "src/marcopolo/CMakeFiles/marcopolo_core.dir/orchestrator.cpp.o" "gcc" "src/marcopolo/CMakeFiles/marcopolo_core.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/marcopolo/production_systems.cpp" "src/marcopolo/CMakeFiles/marcopolo_core.dir/production_systems.cpp.o" "gcc" "src/marcopolo/CMakeFiles/marcopolo_core.dir/production_systems.cpp.o.d"
+  "/root/repo/src/marcopolo/result_store.cpp" "src/marcopolo/CMakeFiles/marcopolo_core.dir/result_store.cpp.o" "gcc" "src/marcopolo/CMakeFiles/marcopolo_core.dir/result_store.cpp.o.d"
+  "/root/repo/src/marcopolo/testbed.cpp" "src/marcopolo/CMakeFiles/marcopolo_core.dir/testbed.cpp.o" "gcc" "src/marcopolo/CMakeFiles/marcopolo_core.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/marcopolo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/marcopolo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpd/CMakeFiles/marcopolo_bgpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/marcopolo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpic/CMakeFiles/marcopolo_mpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcv/CMakeFiles/marcopolo_dcv.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

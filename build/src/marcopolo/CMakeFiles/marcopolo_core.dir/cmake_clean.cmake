@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_core.dir/attack_plane.cpp.o"
+  "CMakeFiles/marcopolo_core.dir/attack_plane.cpp.o.d"
+  "CMakeFiles/marcopolo_core.dir/fast_campaign.cpp.o"
+  "CMakeFiles/marcopolo_core.dir/fast_campaign.cpp.o.d"
+  "CMakeFiles/marcopolo_core.dir/live_campaign.cpp.o"
+  "CMakeFiles/marcopolo_core.dir/live_campaign.cpp.o.d"
+  "CMakeFiles/marcopolo_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/marcopolo_core.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/marcopolo_core.dir/production_systems.cpp.o"
+  "CMakeFiles/marcopolo_core.dir/production_systems.cpp.o.d"
+  "CMakeFiles/marcopolo_core.dir/result_store.cpp.o"
+  "CMakeFiles/marcopolo_core.dir/result_store.cpp.o.d"
+  "CMakeFiles/marcopolo_core.dir/testbed.cpp.o"
+  "CMakeFiles/marcopolo_core.dir/testbed.cpp.o.d"
+  "libmarcopolo_core.a"
+  "libmarcopolo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

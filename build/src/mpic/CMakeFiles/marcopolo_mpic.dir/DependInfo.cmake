@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpic/acme_ca.cpp" "src/mpic/CMakeFiles/marcopolo_mpic.dir/acme_ca.cpp.o" "gcc" "src/mpic/CMakeFiles/marcopolo_mpic.dir/acme_ca.cpp.o.d"
+  "/root/repo/src/mpic/certbot_client.cpp" "src/mpic/CMakeFiles/marcopolo_mpic.dir/certbot_client.cpp.o" "gcc" "src/mpic/CMakeFiles/marcopolo_mpic.dir/certbot_client.cpp.o.d"
+  "/root/repo/src/mpic/rest_service.cpp" "src/mpic/CMakeFiles/marcopolo_mpic.dir/rest_service.cpp.o" "gcc" "src/mpic/CMakeFiles/marcopolo_mpic.dir/rest_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dcv/CMakeFiles/marcopolo_dcv.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_mpic.dir/acme_ca.cpp.o"
+  "CMakeFiles/marcopolo_mpic.dir/acme_ca.cpp.o.d"
+  "CMakeFiles/marcopolo_mpic.dir/certbot_client.cpp.o"
+  "CMakeFiles/marcopolo_mpic.dir/certbot_client.cpp.o.d"
+  "CMakeFiles/marcopolo_mpic.dir/rest_service.cpp.o"
+  "CMakeFiles/marcopolo_mpic.dir/rest_service.cpp.o.d"
+  "libmarcopolo_mpic.a"
+  "libmarcopolo_mpic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_mpic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for marcopolo_mpic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/dns.cpp" "src/netsim/CMakeFiles/marcopolo_netsim.dir/dns.cpp.o" "gcc" "src/netsim/CMakeFiles/marcopolo_netsim.dir/dns.cpp.o.d"
+  "/root/repo/src/netsim/event_queue.cpp" "src/netsim/CMakeFiles/marcopolo_netsim.dir/event_queue.cpp.o" "gcc" "src/netsim/CMakeFiles/marcopolo_netsim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/netsim/geo.cpp" "src/netsim/CMakeFiles/marcopolo_netsim.dir/geo.cpp.o" "gcc" "src/netsim/CMakeFiles/marcopolo_netsim.dir/geo.cpp.o.d"
+  "/root/repo/src/netsim/ip.cpp" "src/netsim/CMakeFiles/marcopolo_netsim.dir/ip.cpp.o" "gcc" "src/netsim/CMakeFiles/marcopolo_netsim.dir/ip.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/marcopolo_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/marcopolo_netsim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

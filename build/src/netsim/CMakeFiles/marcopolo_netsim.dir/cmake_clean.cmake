@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_netsim.dir/dns.cpp.o"
+  "CMakeFiles/marcopolo_netsim.dir/dns.cpp.o.d"
+  "CMakeFiles/marcopolo_netsim.dir/event_queue.cpp.o"
+  "CMakeFiles/marcopolo_netsim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/marcopolo_netsim.dir/geo.cpp.o"
+  "CMakeFiles/marcopolo_netsim.dir/geo.cpp.o.d"
+  "CMakeFiles/marcopolo_netsim.dir/ip.cpp.o"
+  "CMakeFiles/marcopolo_netsim.dir/ip.cpp.o.d"
+  "CMakeFiles/marcopolo_netsim.dir/network.cpp.o"
+  "CMakeFiles/marcopolo_netsim.dir/network.cpp.o.d"
+  "libmarcopolo_netsim.a"
+  "libmarcopolo_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

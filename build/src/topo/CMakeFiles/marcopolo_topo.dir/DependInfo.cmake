@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/internet.cpp" "src/topo/CMakeFiles/marcopolo_topo.dir/internet.cpp.o" "gcc" "src/topo/CMakeFiles/marcopolo_topo.dir/internet.cpp.o.d"
+  "/root/repo/src/topo/region_catalog.cpp" "src/topo/CMakeFiles/marcopolo_topo.dir/region_catalog.cpp.o" "gcc" "src/topo/CMakeFiles/marcopolo_topo.dir/region_catalog.cpp.o.d"
+  "/root/repo/src/topo/vultr.cpp" "src/topo/CMakeFiles/marcopolo_topo.dir/vultr.cpp.o" "gcc" "src/topo/CMakeFiles/marcopolo_topo.dir/vultr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/marcopolo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

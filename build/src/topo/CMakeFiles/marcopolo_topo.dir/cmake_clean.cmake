@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marcopolo_topo.dir/internet.cpp.o"
+  "CMakeFiles/marcopolo_topo.dir/internet.cpp.o.d"
+  "CMakeFiles/marcopolo_topo.dir/region_catalog.cpp.o"
+  "CMakeFiles/marcopolo_topo.dir/region_catalog.cpp.o.d"
+  "CMakeFiles/marcopolo_topo.dir/vultr.cpp.o"
+  "CMakeFiles/marcopolo_topo.dir/vultr.cpp.o.d"
+  "libmarcopolo_topo.a"
+  "libmarcopolo_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marcopolo_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

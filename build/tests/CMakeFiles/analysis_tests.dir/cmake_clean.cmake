@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/bootstrap_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/bootstrap_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/export_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/export_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/optimizer_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/optimizer_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/resilience_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/resilience_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/rir_cluster_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/rir_cluster_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/rpki_model_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/rpki_model_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/weighted_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/weighted_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

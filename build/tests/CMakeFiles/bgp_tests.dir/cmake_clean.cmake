@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_tests.dir/bgp/as_graph_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/as_graph_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/decision_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/decision_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/propagation_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/propagation_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/rpki_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/rpki_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/scenario_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/scenario_test.cpp.o.d"
+  "bgp_tests"
+  "bgp_tests.pdb"
+  "bgp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpd_tests.dir/bgpd/convergence_test.cpp.o"
+  "CMakeFiles/bgpd_tests.dir/bgpd/convergence_test.cpp.o.d"
+  "CMakeFiles/bgpd_tests.dir/bgpd/speaker_test.cpp.o"
+  "CMakeFiles/bgpd_tests.dir/bgpd/speaker_test.cpp.o.d"
+  "bgpd_tests"
+  "bgpd_tests.pdb"
+  "bgpd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

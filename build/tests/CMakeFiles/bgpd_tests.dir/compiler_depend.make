@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bgpd_tests.
+# This may be replaced when dependencies are built.

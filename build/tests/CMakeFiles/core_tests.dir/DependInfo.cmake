@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/marcopolo/attack_plane_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/attack_plane_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/attack_plane_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/dns_surface_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/dns_surface_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/dns_surface_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/fast_campaign_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/fast_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/fast_campaign_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/live_campaign_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/live_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/live_campaign_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/orchestrator_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/orchestrator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/orchestrator_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/production_systems_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/production_systems_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/production_systems_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/result_store_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/result_store_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/result_store_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/roa_campaign_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/roa_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/roa_campaign_test.cpp.o.d"
+  "/root/repo/tests/marcopolo/testbed_test.cpp" "tests/CMakeFiles/core_tests.dir/marcopolo/testbed_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/marcopolo/testbed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/marcopolo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/marcopolo/CMakeFiles/marcopolo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/marcopolo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpic/CMakeFiles/marcopolo_mpic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcv/CMakeFiles/marcopolo_dcv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/marcopolo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/marcopolo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpd/CMakeFiles/marcopolo_bgpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/marcopolo_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/marcopolo_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/marcopolo/attack_plane_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/attack_plane_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/dns_surface_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/dns_surface_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/fast_campaign_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/fast_campaign_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/live_campaign_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/live_campaign_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/orchestrator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/orchestrator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/production_systems_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/production_systems_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/result_store_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/result_store_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/roa_campaign_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/roa_campaign_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/marcopolo/testbed_test.cpp.o"
+  "CMakeFiles/core_tests.dir/marcopolo/testbed_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_tests.dir/dcv/challenge_test.cpp.o"
+  "CMakeFiles/dcv_tests.dir/dcv/challenge_test.cpp.o.d"
+  "CMakeFiles/dcv_tests.dir/dcv/dns_authority_test.cpp.o"
+  "CMakeFiles/dcv_tests.dir/dcv/dns_authority_test.cpp.o.d"
+  "CMakeFiles/dcv_tests.dir/dcv/validator_test.cpp.o"
+  "CMakeFiles/dcv_tests.dir/dcv/validator_test.cpp.o.d"
+  "CMakeFiles/dcv_tests.dir/dcv/webserver_test.cpp.o"
+  "CMakeFiles/dcv_tests.dir/dcv/webserver_test.cpp.o.d"
+  "dcv_tests"
+  "dcv_tests.pdb"
+  "dcv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

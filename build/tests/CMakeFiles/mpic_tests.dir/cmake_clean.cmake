@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpic_tests.dir/mpic/acme_ca_test.cpp.o"
+  "CMakeFiles/mpic_tests.dir/mpic/acme_ca_test.cpp.o.d"
+  "CMakeFiles/mpic_tests.dir/mpic/certbot_client_test.cpp.o"
+  "CMakeFiles/mpic_tests.dir/mpic/certbot_client_test.cpp.o.d"
+  "CMakeFiles/mpic_tests.dir/mpic/quorum_test.cpp.o"
+  "CMakeFiles/mpic_tests.dir/mpic/quorum_test.cpp.o.d"
+  "CMakeFiles/mpic_tests.dir/mpic/rest_service_test.cpp.o"
+  "CMakeFiles/mpic_tests.dir/mpic/rest_service_test.cpp.o.d"
+  "mpic_tests"
+  "mpic_tests.pdb"
+  "mpic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_tests.dir/netsim/dns_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/dns_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/event_queue_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/event_queue_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/geo_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/geo_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/ip_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/ip_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/network_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/network_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/prefix_trie_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/prefix_trie_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/random_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/random_test.cpp.o.d"
+  "netsim_tests"
+  "netsim_tests.pdb"
+  "netsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

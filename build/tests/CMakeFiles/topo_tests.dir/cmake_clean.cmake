@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_tests.dir/topo/internet_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/internet_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/region_catalog_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/region_catalog_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/vultr_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/vultr_test.cpp.o.d"
+  "topo_tests"
+  "topo_tests.pdb"
+  "topo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

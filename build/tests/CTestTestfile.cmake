@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/umbrella_tests[1]_include.cmake")
+include("/root/repo/build/tests/netsim_tests[1]_include.cmake")
+include("/root/repo/build/tests/bgp_tests[1]_include.cmake")
+include("/root/repo/build/tests/bgpd_tests[1]_include.cmake")
+include("/root/repo/build/tests/topo_tests[1]_include.cmake")
+include("/root/repo/build/tests/cloud_tests[1]_include.cmake")
+include("/root/repo/build/tests/dcv_tests[1]_include.cmake")
+include("/root/repo/build/tests/mpic_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/cost_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Umbrella.PublicTypesAreVisible]=]  /root/repo/build/tests/umbrella_tests [==[--gtest_filter=Umbrella.PublicTypesAreVisible]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.PublicTypesAreVisible]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  umbrella_tests_TESTS Umbrella.PublicTypesAreVisible)
