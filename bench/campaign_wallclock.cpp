@@ -1,0 +1,113 @@
+// Campaign wall-clock benchmark: run_paper_campaigns on the default
+// testbed across worker-thread counts, emitting JSON.
+//
+// Measures the end-to-end time of the paper's headline artifact (both
+// attack-type hijack matrices) and checks the determinism invariant along
+// the way: every thread count must produce a byte-identical ResultStore
+// pair. Usage:
+//
+//   campaign_wallclock [output.json] [thread counts...]
+//
+// Defaults: JSON to stdout-adjacent "campaign_wallclock.json", thread
+// counts {1, 2, 4, 8}.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "marcopolo/fast_campaign.hpp"
+
+using namespace marcopolo;
+
+namespace {
+
+std::string store_bytes(const core::ResultStore& store) {
+  std::ostringstream out;
+  store.save_csv(out);
+  return out.str();
+}
+
+std::string dataset_bytes(const core::CampaignDataset& data) {
+  return store_bytes(data.no_rpki) + store_bytes(data.rpki);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("campaign_wallclock.json");
+  std::vector<std::size_t> thread_counts;
+  for (int i = 2; i < argc; ++i) {
+    try {
+      thread_counts.push_back(static_cast<std::size_t>(std::stoul(argv[i])));
+    } catch (const std::exception&) {
+      std::cerr << "usage: campaign_wallclock [output.json] [thread "
+                   "counts...]\n  bad thread count: "
+                << argv[i] << std::endl;
+      return 2;
+    }
+  }
+  if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
+
+  std::cerr << "building default testbed..." << std::endl;
+  const core::Testbed testbed{core::TestbedConfig{}};
+  const auto clock = [] { return std::chrono::steady_clock::now(); };
+
+  struct Row {
+    std::size_t threads;
+    double seconds;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  std::string reference;
+  double serial_seconds = 0.0;
+
+  for (const std::size_t threads : thread_counts) {
+    const auto t0 = clock();
+    const auto data = core::run_paper_campaigns(
+        testbed, bgp::TieBreakMode::Hashed, 0xCAFE, threads);
+    const auto t1 = clock();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    const std::string bytes = dataset_bytes(data);
+    if (reference.empty()) reference = bytes;
+    const bool identical = bytes == reference;
+    if (threads == 1) serial_seconds = secs;
+    rows.push_back(Row{threads, secs, identical});
+    std::cerr << "threads=" << threads << "  " << secs << " s  "
+              << (identical ? "identical" : "MISMATCH") << std::endl;
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"benchmark\": \"run_paper_campaigns\",\n"
+      << "  \"testbed\": \"default\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"speedup_vs_1\": "
+        << (serial_seconds > 0.0 && r.seconds > 0.0
+                ? serial_seconds / r.seconds
+                : 0.0)
+        << ", \"store_identical\": " << (r.identical ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << std::endl;
+
+  for (const Row& r : rows) {
+    if (!r.identical) {
+      std::cerr << "determinism violation at threads=" << r.threads
+                << std::endl;
+      return 1;
+    }
+  }
+  return 0;
+}

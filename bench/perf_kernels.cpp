@@ -1,10 +1,13 @@
 // google-benchmark microbenchmarks for the hot kernels:
 //   - BGP propagation over the default synthetic Internet (per attack),
 //   - HijackScenario construction (propagation + per-pair comparator),
+//   - the full fast campaign across worker-thread counts,
 //   - resilience scoring (the optimizer's inner loop),
 //   - exhaustive optimizer on a small provider,
 //   - prefix trie longest-prefix match.
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 #include "analysis/optimizer.hpp"
 #include "bgpd/network.hpp"
@@ -61,6 +64,30 @@ void BM_PerspectiveResolution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PerspectiveResolution)->Unit(benchmark::kMicrosecond);
+
+// Full hijack-matrix campaign over the default testbed; Arg = worker
+// threads (0 = hardware concurrency). The store is byte-identical across
+// thread counts — this sweep measures wall-clock only.
+void BM_FastCampaign(benchmark::State& state) {
+  const auto& tb = shared_testbed();
+  core::FastCampaignConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_fast_campaign(tb, cfg));
+  }
+  state.counters["threads"] =
+      static_cast<double>(cfg.threads == 0
+                              ? std::thread::hardware_concurrency()
+                              : static_cast<unsigned>(cfg.threads));
+}
+BENCHMARK(BM_FastCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_ResilienceScore(benchmark::State& state) {
   analysis::ResilienceAnalyzer analyzer(shared_store());

@@ -37,6 +37,9 @@ class TopK {
     return heap_.size() < k_ || !(score < heap_.top().score);
   }
 
+  /// True once k entries are held, i.e. admits() has a real bar.
+  [[nodiscard]] bool full() const { return heap_.size() >= k_; }
+
   /// Drain, best first.
   [[nodiscard]] std::vector<std::pair<std::vector<PerspectiveIndex>,
                                       ResilienceAnalyzer::Score>>
@@ -107,6 +110,7 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
       cfg.threads == 0 ? hw : cfg.threads, std::max<std::size_t>(1, cands.size()));
 
   std::vector<TopK> tops(n_threads, TopK(cfg.top_k));
+  std::vector<SearchStats> stats(n_threads);
   std::atomic<std::size_t> next_first{0};
 
   auto worker = [&](std::size_t t) {
@@ -115,10 +119,24 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
     chosen.reserve(k);
     std::array<std::size_t, 5> rir_counts{};
     TopK& top = tops[t];
+    SearchStats& st = stats[t];
 
     auto dfs = [&](auto&& self, std::size_t next) -> void {
       if (chosen.size() == k) {
+        ++st.complete_sets_scored;
         top.offer(chosen, analyzer_.score(ws, required, std::nullopt));
+        return;
+      }
+      // Upper-bound prune: per-pair hijack counts only grow as
+      // perspectives are added, so (with the final quorum fixed) every
+      // per-victim resilience — hence the median and the average — is
+      // non-increasing along a DFS path. The partial set's score therefore
+      // bounds every completion from above; if it cannot enter the top-k,
+      // nothing below it can. admits() over-admits on exact score ties,
+      // which only costs work, never drops a valid result.
+      if (top.full() &&
+          !top.admits(analyzer_.score(ws, required, std::nullopt))) {
+        ++st.subtrees_pruned;
         return;
       }
       const std::size_t remaining = k - chosen.size();
@@ -166,6 +184,13 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
       pool.emplace_back(worker, t);
     }
     for (auto& th : pool) th.join();
+  }
+
+  if (cfg.stats != nullptr) {
+    for (const SearchStats& st : stats) {
+      cfg.stats->complete_sets_scored += st.complete_sets_scored;
+      cfg.stats->subtrees_pruned += st.subtrees_pruned;
+    }
   }
 
   // Deterministic merge: every candidate set appears in exactly one

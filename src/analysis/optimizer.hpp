@@ -33,6 +33,15 @@ struct RankedDeployment {
 
 enum class SearchStrategy : std::uint8_t { Exhaustive, Beam };
 
+/// Instrumentation filled by the exhaustive search (optional). The
+/// upper-bound prune is observable here: without it every C(n, X)
+/// complete set is scored; with it `complete_sets_scored` drops whenever
+/// a partial set already scores below the worst retained deployment.
+struct SearchStats {
+  std::size_t complete_sets_scored = 0;
+  std::size_t subtrees_pruned = 0;
+};
+
 struct OptimizerConfig {
   std::size_t set_size = 6;      ///< X remote perspectives.
   std::size_t max_failures = 2;  ///< Y in the N-Y quorum.
@@ -59,6 +68,9 @@ struct OptimizerConfig {
   std::size_t threads = 0;
   std::vector<topo::Rir> rir_of;
   std::string name_prefix = "opt";
+  /// If non-null, the exhaustive search accumulates instrumentation here
+  /// (summed across worker threads after the join).
+  SearchStats* stats = nullptr;
 };
 
 class DeploymentOptimizer {

@@ -79,7 +79,7 @@ void ResilienceAnalyzer::add_perspective(Workspace& ws,
   const std::uint8_t* bytes = store_.hijack_bytes(p);
   const std::size_t n = ws.counts.size();
   for (std::size_t i = 0; i < n; ++i) {
-    ws.counts[i] = static_cast<std::uint8_t>(ws.counts[i] + bytes[i]);
+    ws.counts[i] = static_cast<std::uint16_t>(ws.counts[i] + bytes[i]);
   }
 }
 
@@ -88,7 +88,7 @@ void ResilienceAnalyzer::remove_perspective(Workspace& ws,
   const std::uint8_t* bytes = store_.hijack_bytes(p);
   const std::size_t n = ws.counts.size();
   for (std::size_t i = 0; i < n; ++i) {
-    ws.counts[i] = static_cast<std::uint8_t>(ws.counts[i] - bytes[i]);
+    ws.counts[i] = static_cast<std::uint16_t>(ws.counts[i] - bytes[i]);
   }
 }
 

@@ -64,11 +64,14 @@ class ResilienceAnalyzer {
 
   struct Workspace {
     /// hijacked-count per ordered pair for the current candidate set.
-    std::vector<std::uint8_t> counts;
+    /// 16-bit: a deployment can legitimately contain every perspective
+    /// (PerspectiveIndex is 16-bit), and an 8-bit counter silently wraps
+    /// past 255 perspectives, corrupting every score downstream.
+    std::vector<std::uint16_t> counts;
   };
 
   [[nodiscard]] Workspace make_workspace() const {
-    return Workspace{std::vector<std::uint8_t>(store_.num_pairs(), 0)};
+    return Workspace{std::vector<std::uint16_t>(store_.num_pairs(), 0)};
   }
   void add_perspective(Workspace& ws, PerspectiveIndex p) const;
   void remove_perspective(Workspace& ws, PerspectiveIndex p) const;

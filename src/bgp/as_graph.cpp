@@ -1,9 +1,15 @@
 #include "bgp/as_graph.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <queue>
 
 namespace marcopolo::bgp {
+
+void AsGraph::invalidate_rank_cache() {
+  const std::lock_guard<std::mutex> lock(rank_mutex_);
+  rank_cache_.reset();
+}
 
 NodeId AsGraph::add_as(Asn asn) {
   if (by_asn_.contains(asn)) {
@@ -12,6 +18,7 @@ NodeId AsGraph::add_as(Asn asn) {
   const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
   nodes_.push_back(Node{asn, {}, false});
   by_asn_.emplace(asn, id);
+  invalidate_rank_cache();
   return id;
 }
 
@@ -25,6 +32,7 @@ void AsGraph::add_provider_customer(NodeId provider, NodeId customer,
   node(customer).neighbors.push_back(
       Neighbor{provider, Relationship::Provider, customer_pop});
   ++edge_count_;
+  invalidate_rank_cache();
 }
 
 void AsGraph::add_peering(NodeId a, NodeId b, PopId a_pop, PopId b_pop) {
@@ -34,6 +42,7 @@ void AsGraph::add_peering(NodeId a, NodeId b, PopId a_pop, PopId b_pop) {
   node(a).neighbors.push_back(Neighbor{b, Relationship::Peer, a_pop});
   node(b).neighbors.push_back(Neighbor{a, Relationship::Peer, b_pop});
   ++edge_count_;
+  invalidate_rank_cache();
 }
 
 void AsGraph::set_rov_enforcing(NodeId n, bool enforcing) {
@@ -105,6 +114,22 @@ std::vector<std::uint32_t> AsGraph::customer_ranks() const {
     throw std::logic_error("customer-provider relationship cycle detected");
   }
   return rank;
+}
+
+std::shared_ptr<const AsGraph::RankOrder> AsGraph::rank_order() const {
+  const std::lock_guard<std::mutex> lock(rank_mutex_);
+  if (rank_cache_ == nullptr) {
+    auto cache = std::make_shared<RankOrder>();
+    cache->rank = customer_ranks();
+    cache->ascending.resize(cache->rank.size());
+    std::iota(cache->ascending.begin(), cache->ascending.end(), 0);
+    std::stable_sort(cache->ascending.begin(), cache->ascending.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return cache->rank[a] < cache->rank[b];
+                     });
+    rank_cache_ = std::move(cache);
+  }
+  return rank_cache_;
 }
 
 void AsGraph::validate() const {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -69,6 +71,21 @@ class AsGraph {
   /// Throws std::logic_error if the customer-provider graph has a cycle.
   [[nodiscard]] std::vector<std::uint32_t> customer_ranks() const;
 
+  /// Cached rank data shared by every propagation over this graph.
+  struct RankOrder {
+    /// customer_ranks(), indexed by NodeId.
+    std::vector<std::uint32_t> rank;
+    /// Node indices in ascending rank (ties by NodeId): the processing
+    /// order of propagation's "up" phase; reversed for "down".
+    std::vector<std::uint32_t> ascending;
+  };
+
+  /// The rank order, computed once and invalidated by topology mutation
+  /// (add_as / add_provider_customer / add_peering). Safe to call from
+  /// multiple threads; the returned snapshot stays valid even if the graph
+  /// mutates afterwards. Throws std::logic_error on a relationship cycle.
+  [[nodiscard]] std::shared_ptr<const RankOrder> rank_order() const;
+
   /// Sanity checks: relationship symmetry and no self loops.
   /// Throws std::logic_error describing the first violation.
   void validate() const;
@@ -89,9 +106,16 @@ class AsGraph {
     return nodes_[n.value];
   }
 
+  void invalidate_rank_cache();
+
   std::vector<Node> nodes_;
   std::unordered_map<Asn, NodeId> by_asn_;
   std::size_t edge_count_ = 0;
+
+  // Lazily built under rank_mutex_; readers copy the shared_ptr so a
+  // concurrent mutation cannot pull the data out from under a propagation.
+  mutable std::mutex rank_mutex_;
+  mutable std::shared_ptr<const RankOrder> rank_cache_;
 };
 
 }  // namespace marcopolo::bgp

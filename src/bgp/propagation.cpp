@@ -1,7 +1,6 @@
 #include "bgp/propagation.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 namespace marcopolo::bgp {
 
@@ -9,19 +8,31 @@ namespace {
 
 class Engine {
  public:
-  Engine(const AsGraph& graph, const PropagationConfig& config)
+  Engine(const AsGraph& graph, const PropagationConfig& config,
+         PropagationWorkspace& ws, PropagationResult& out)
       : graph_(graph),
         config_(config),
         cmp_(config.tie_break, config.tie_break_seed),
-        rib_in_(graph.size()),
-        ranks_(graph.customer_ranks()) {}
+        ws_(ws),
+        out_(out) {
+    // Refresh the rank snapshot (shared_ptr copy; recomputed inside the
+    // graph only after a topology mutation).
+    ws_.ranks = graph.rank_order();
+    // Recycle the result's storage: the outer vectors persist across
+    // scenarios, inner rib vectors keep their capacity.
+    const std::size_t n = graph.size();
+    out_.best.clear();
+    out_.best.resize(n);
+    if (out_.rib_in.size() != n) out_.rib_in.resize(n);
+    for (auto& rib : out_.rib_in) rib.clear();
+  }
 
-  PropagationResult run(const std::vector<SeededRoute>& seeds) {
+  void run(const std::vector<SeededRoute>& seeds) {
     seed(seeds);
     phase_up();
     phase_peer();
     phase_down();
-    return finish();
+    finish();
   }
 
  private:
@@ -35,7 +46,7 @@ class Engine {
             RpkiValidity::Invalid) {
       return;
     }
-    rib_in_[to.value].push_back(RouteCandidate{
+    out_.rib_in[to.value].push_back(RouteCandidate{
         std::move(ann), source, from, graph_.asn_of(from), ingress});
   }
 
@@ -68,7 +79,7 @@ class Engine {
       if (s.at.value >= graph_.size()) {
         throw std::invalid_argument("seed at invalid node");
       }
-      rib_in_[s.at.value].push_back(RouteCandidate{
+      out_.rib_in[s.at.value].push_back(RouteCandidate{
           s.announcement, RouteSource::Self, NodeId{}, Asn{0}, PopId{}});
     }
   }
@@ -77,7 +88,7 @@ class Engine {
   [[nodiscard]] const RouteCandidate* best_where(
       NodeId n, bool (*admit)(RouteSource)) const {
     const RouteCandidate* best = nullptr;
-    for (const RouteCandidate& c : rib_in_[n.value]) {
+    for (const RouteCandidate& c : out_.rib_in[n.value]) {
       if (!admit(c.source)) continue;
       if (best == nullptr || cmp_.prefer(c, *best, n)) best = &c;
     }
@@ -89,25 +100,14 @@ class Engine {
   }
   static bool any_source(RouteSource) { return true; }
 
-  /// Nodes ordered by ascending customer rank.
-  [[nodiscard]] std::vector<std::uint32_t> rank_order() const {
-    std::vector<std::uint32_t> order(graph_.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return ranks_[a] < ranks_[b];
-                     });
-    return order;
-  }
-
   // Phase 1: customer routes climb. Processing in ascending rank guarantees
   // every node has heard all its customer routes before it exports.
   void phase_up() {
-    for (std::uint32_t idx : rank_order()) {
+    for (std::uint32_t idx : ws_.ranks->ascending) {
       const NodeId n{idx};
       const RouteCandidate* best = best_where(n, customer_or_self);
       if (best == nullptr) continue;
-      const RouteCandidate route = *best;  // copy: deliver() grows rib_in_
+      const RouteCandidate route = *best;  // copy: deliver() grows rib_in
       for (const Neighbor& nb : graph_.neighbors(n)) {
         if (nb.rel == Relationship::Provider) {
           advertise(n, nb, route, RouteSource::Customer);
@@ -120,34 +120,30 @@ class Engine {
   // computed against the phase-1 state before any delivery so peers cannot
   // relay peer-learned routes (valley-free).
   void phase_peer() {
-    struct Export {
-      NodeId from;
-      const Neighbor* to;
-      RouteCandidate route;
-    };
-    std::vector<Export> exports;
+    auto& exports = ws_.peer_exports;
+    exports.clear();
     for (std::uint32_t idx = 0; idx < graph_.size(); ++idx) {
       const NodeId n{idx};
       const RouteCandidate* best = best_where(n, customer_or_self);
       if (best == nullptr) continue;
       for (const Neighbor& nb : graph_.neighbors(n)) {
         if (nb.rel == Relationship::Peer) {
-          exports.push_back(Export{n, &nb, *best});
+          exports.push_back(PropagationWorkspace::PeerExport{n, &nb, *best});
         }
       }
     }
-    for (const Export& e : exports) {
+    for (const PropagationWorkspace::PeerExport& e : exports) {
       advertise(e.from, *e.to, e.route, RouteSource::Peer);
     }
+    exports.clear();
   }
 
   // Phase 3: routes descend to customers. Descending rank order guarantees
   // a node has heard everything from its providers before it exports.
   void phase_down() {
-    auto order = rank_order();
-    std::reverse(order.begin(), order.end());
-    for (std::uint32_t idx : order) {
-      const NodeId n{idx};
+    const auto& ascending = ws_.ranks->ascending;
+    for (auto it = ascending.rbegin(); it != ascending.rend(); ++it) {
+      const NodeId n{*it};
       const RouteCandidate* best = best_where(n, any_source);
       if (best == nullptr) continue;
       const RouteCandidate route = *best;
@@ -159,32 +155,37 @@ class Engine {
     }
   }
 
-  PropagationResult finish() {
-    PropagationResult result;
-    result.best.resize(graph_.size());
+  void finish() {
     for (std::uint32_t idx = 0; idx < graph_.size(); ++idx) {
       const NodeId n{idx};
       if (const RouteCandidate* best = best_where(n, any_source)) {
-        result.best[idx] = *best;
+        out_.best[idx] = *best;
       }
     }
-    result.rib_in = std::move(rib_in_);
-    return result;
   }
 
   const AsGraph& graph_;
   const PropagationConfig& config_;
   RouteComparator cmp_;
-  std::vector<std::vector<RouteCandidate>> rib_in_;
-  std::vector<std::uint32_t> ranks_;
+  PropagationWorkspace& ws_;
+  PropagationResult& out_;
 };
 
 }  // namespace
 
+void propagate_into(const AsGraph& graph, const std::vector<SeededRoute>& seeds,
+                    const PropagationConfig& config, PropagationWorkspace& ws,
+                    PropagationResult& out) {
+  Engine(graph, config, ws, out).run(seeds);
+}
+
 PropagationResult propagate(const AsGraph& graph,
                             const std::vector<SeededRoute>& seeds,
                             const PropagationConfig& config) {
-  return Engine(graph, config).run(seeds);
+  PropagationWorkspace ws;
+  PropagationResult out;
+  propagate_into(graph, seeds, config, ws, out);
+  return out;
 }
 
 }  // namespace marcopolo::bgp

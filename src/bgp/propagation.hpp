@@ -10,6 +10,12 @@
 // full Adj-RIB-In of every node is retained so the cloud routing models can
 // re-run per-perspective egress selection (hot/cold potato) over all
 // candidate routes a backbone AS heard.
+//
+// Hot path: the customer-rank processing order is cached inside AsGraph
+// (AsGraph::rank_order()), and callers that run many propagations over one
+// graph should reuse a PropagationWorkspace + PropagationResult via
+// propagate_into() so the per-node vector-of-vectors is allocated once and
+// recycled, not rebuilt per scenario.
 #pragma once
 
 #include <optional>
@@ -45,9 +51,35 @@ struct PropagationResult {
   }
 };
 
-/// Propagate the seeded routes (all must share one prefix) and return the
-/// converged state. Throws std::invalid_argument if seeds disagree on the
-/// prefix or a seed's node is invalid.
+/// Reusable scratch for repeated propagations. Owning one per worker thread
+/// (never shared concurrently) keeps the phase-2 export staging buffer and
+/// the rank snapshot off the per-scenario allocation path.
+struct PropagationWorkspace {
+  struct PeerExport {
+    NodeId from;
+    const Neighbor* to;
+    RouteCandidate route;
+  };
+  /// Phase-2 staging: exports computed against the phase-1 state before any
+  /// delivery (valley-free peer exchange). Cleared per run, capacity kept.
+  std::vector<PeerExport> peer_exports;
+  /// Seed staging for callers that rebuild seed lists per scenario.
+  std::vector<SeededRoute> seeds;
+  /// Rank snapshot for the graph last propagated; refreshed per run from
+  /// AsGraph's shared cache (a shared_ptr copy, not a recompute).
+  std::shared_ptr<const AsGraph::RankOrder> ranks;
+};
+
+/// Propagate the seeded routes (all must share one prefix) into `out`,
+/// reusing both the workspace's scratch buffers and `out`'s existing
+/// vectors (inner rib vectors are cleared, not reallocated). Throws
+/// std::invalid_argument if seeds disagree on the prefix or a seed's node
+/// is invalid.
+void propagate_into(const AsGraph& graph, const std::vector<SeededRoute>& seeds,
+                    const PropagationConfig& config, PropagationWorkspace& ws,
+                    PropagationResult& out);
+
+/// Convenience wrapper: one-shot propagation with a private workspace.
 [[nodiscard]] PropagationResult propagate(const AsGraph& graph,
                                           const std::vector<SeededRoute>& seeds,
                                           const PropagationConfig& config);

@@ -5,15 +5,26 @@ namespace marcopolo::bgp {
 HijackScenario::HijackScenario(const AsGraph& graph, NodeId victim,
                                NodeId adversary,
                                netsim::Ipv4Prefix victim_prefix,
-                               const ScenarioConfig& config)
-    : victim_(victim),
-      adversary_(adversary),
-      type_(config.type),
-      prefix_(victim_prefix),
-      node_count_(graph.size()) {
+                               const ScenarioConfig& config) {
+  PropagationWorkspace ws;
+  reset(graph, victim, adversary, victim_prefix, config, ws);
+}
+
+void HijackScenario::reset(const AsGraph& graph, NodeId victim,
+                           NodeId adversary,
+                           netsim::Ipv4Prefix victim_prefix,
+                           const ScenarioConfig& config,
+                           PropagationWorkspace& ws) {
   if (victim == adversary) {
     throw std::invalid_argument("victim and adversary must differ");
   }
+  victim_ = victim;
+  adversary_ = adversary;
+  type_ = config.type;
+  prefix_ = victim_prefix;
+  node_count_ = graph.size();
+  has_sub_ = false;
+
   const Asn victim_asn = graph.asn_of(victim);
 
   // Per-attack tie-break salt: a fresh pair of simultaneous announcements
@@ -26,15 +37,18 @@ HijackScenario::HijackScenario(const AsGraph& graph, NodeId victim,
   PropagationConfig pc{config.tie_break, salt, config.roas};
 
   // Victim originates its own prefix normally: the Self candidate's path is
-  // empty and the victim's ASN is prepended on export.
-  const SeededRoute victim_seed{
-      victim, Announcement{victim_prefix, {}, OriginRole::Victim}};
+  // empty and the victim's ASN is prepended on export. Seeds are staged in
+  // the workspace so the list isn't reallocated per scenario.
+  auto& seeds = ws.seeds;
+  seeds.clear();
+  seeds.push_back(SeededRoute{
+      victim, Announcement{victim_prefix, {}, OriginRole::Victim}});
 
   switch (type_) {
     case AttackType::EquallySpecific: {
-      const SeededRoute adversary_seed{
-          adversary, Announcement{victim_prefix, {}, OriginRole::Adversary}};
-      primary_ = propagate(graph, {victim_seed, adversary_seed}, pc);
+      seeds.push_back(SeededRoute{
+          adversary, Announcement{victim_prefix, {}, OriginRole::Adversary}});
+      propagate_into(graph, seeds, pc, ws, primary_);
       target_ = victim_prefix.address_at(1);
       break;
     }
@@ -42,10 +56,10 @@ HijackScenario::HijackScenario(const AsGraph& graph, NodeId victim,
       // The adversary's Self candidate already carries the forged origin;
       // its own ASN is prepended on export, yielding {adv, victim}: valid
       // origin, one extra hop of path length.
-      const SeededRoute adversary_seed{
+      seeds.push_back(SeededRoute{
           adversary,
-          Announcement{victim_prefix, {victim_asn}, OriginRole::Adversary}};
-      primary_ = propagate(graph, {victim_seed, adversary_seed}, pc);
+          Announcement{victim_prefix, {victim_asn}, OriginRole::Adversary}});
+      propagate_into(graph, seeds, pc, ws, primary_);
       target_ = victim_prefix.address_at(1);
       break;
     }
@@ -54,12 +68,14 @@ HijackScenario::HijackScenario(const AsGraph& graph, NodeId victim,
       // upper half as a more-specific prefix. The target address is inside
       // that half, so longest-prefix match sends everyone with the
       // sub-prefix route to the adversary.
-      primary_ = propagate(graph, {victim_seed}, pc);
+      propagate_into(graph, seeds, pc, ws, primary_);
       const auto [lower, upper] = victim_prefix.split();
       (void)lower;
-      const SeededRoute adversary_seed{
-          adversary, Announcement{upper, {victim_asn}, OriginRole::Adversary}};
-      sub_ = propagate(graph, {adversary_seed}, pc);
+      seeds.clear();
+      seeds.push_back(SeededRoute{
+          adversary, Announcement{upper, {victim_asn}, OriginRole::Adversary}});
+      propagate_into(graph, seeds, pc, ws, sub_);
+      has_sub_ = true;
       target_ = upper.address_at(1);
       break;
     }
@@ -69,7 +85,7 @@ HijackScenario::HijackScenario(const AsGraph& graph, NodeId victim,
 OriginReached HijackScenario::reached(NodeId from) const {
   // Longest-prefix match: the sub-prefix route (if any) wins over the
   // covering prefix.
-  if (sub_ && sub_->reachable(from)) return OriginReached::Adversary;
+  if (has_sub_ && sub_.reachable(from)) return OriginReached::Adversary;
   const auto role = primary_.role_reached(from);
   if (!role) return OriginReached::None;
   return *role == OriginRole::Victim ? OriginReached::Victim

@@ -53,6 +53,19 @@ class HijackScenario {
                  netsim::Ipv4Prefix victim_prefix,
                  const ScenarioConfig& config);
 
+  /// Empty scenario: reset() must be called before any query. Campaign
+  /// workers default-construct one scenario and reset() it per pair so
+  /// propagation storage is recycled instead of reallocated.
+  HijackScenario() = default;
+
+  /// Re-evaluate this scenario object for a new attack, reusing both the
+  /// workspace's scratch and this object's propagation storage. A scenario
+  /// is a pure function of (graph, victim, adversary, prefix, config):
+  /// reset() yields a state byte-identical to a freshly constructed one.
+  void reset(const AsGraph& graph, NodeId victim, NodeId adversary,
+             netsim::Ipv4Prefix victim_prefix, const ScenarioConfig& config,
+             PropagationWorkspace& ws);
+
   /// Which origin traffic from `from` reaches when addressed to the
   /// validation target (longest-prefix match across announcements).
   [[nodiscard]] OriginReached reached(NodeId from) const;
@@ -71,7 +84,7 @@ class HijackScenario {
   /// Propagation state for the adversary's sub-prefix (SubPrefix attacks
   /// only).
   [[nodiscard]] const PropagationResult* sub_prefix() const {
-    return sub_ ? &*sub_ : nullptr;
+    return has_sub_ ? &sub_ : nullptr;
   }
 
   /// Fraction of ASes routing to the adversary (diagnostic).
@@ -87,11 +100,14 @@ class HijackScenario {
   RouteComparator cmp_{TieBreakMode::VictimFirst, 0};
   NodeId victim_;
   NodeId adversary_;
-  AttackType type_;
+  AttackType type_ = AttackType::EquallySpecific;
   netsim::Ipv4Prefix prefix_;
   netsim::Ipv4Addr target_;
   PropagationResult primary_;
-  std::optional<PropagationResult> sub_;
+  // Sub-prefix storage is kept alive across reset() calls (capacity reuse);
+  // has_sub_ says whether it is meaningful for the current attack.
+  PropagationResult sub_;
+  bool has_sub_ = false;
   std::size_t node_count_ = 0;
 };
 

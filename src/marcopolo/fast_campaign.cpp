@@ -1,13 +1,91 @@
 #include "marcopolo/fast_campaign.hpp"
 
+#include <atomic>
+#include <thread>
+
 namespace marcopolo::core {
+
+namespace {
+
+/// One unit of parallel work: the hijack of `announcer`'s prefix by
+/// `adversary`, recorded into the store rows of every victim whose
+/// contested prefix that is. Under the HTTP surface each victim is its own
+/// announcer; under the DNS surface victims sharing a nameserver host
+/// collapse into one task — the scenario cache the serial engine lacked.
+struct CampaignTask {
+  std::size_t announcer = 0;
+  std::size_t adversary = 0;
+  /// Victims (v != adversary is re-checked at write time) accounted to
+  /// this announcer.
+  std::vector<SiteIndex> victims;
+};
+
+/// Per-worker state: one propagation workspace and one reusable scenario,
+/// so a worker's steady state allocates nothing but route-path churn.
+class CampaignWorker {
+ public:
+  CampaignWorker(const Testbed& testbed, const FastCampaignConfig& config,
+                 const bgp::RoaRegistry* edge_roas, ResultStore& store)
+      : testbed_(testbed),
+        config_(config),
+        edge_roas_(edge_roas),
+        store_(store),
+        outcomes_(testbed.perspectives().size(),
+                  bgp::OriginReached::None) {}
+
+  void run(const CampaignTask& task) {
+    const auto& sites = testbed_.sites();
+    const auto& perspectives = testbed_.perspectives();
+    if (task.announcer == task.adversary) {
+      // The adversary hosts the victim's DNS: every perspective resolves
+      // through the adversary already; record total capture.
+      for (const SiteIndex v : task.victims) {
+        if (v == task.adversary) continue;
+        for (const PerspectiveRecord& rec : perspectives) {
+          store_.record_unsynchronized(
+              v, static_cast<SiteIndex>(task.adversary), rec.index,
+              bgp::OriginReached::Adversary);
+        }
+      }
+      return;
+    }
+    const bgp::ScenarioConfig sc{config_.type, config_.tie_break,
+                                 config_.tie_break_seed, config_.roas};
+    scenario_.reset(testbed_.internet().graph(),
+                    sites[task.announcer].node, sites[task.adversary].node,
+                    config_.victim_prefix(task.announcer), sc, ws_);
+    // Resolve every perspective once per task; the outcome depends only on
+    // (announcer, adversary), never on which victim the row belongs to.
+    for (const PerspectiveRecord& rec : perspectives) {
+      outcomes_[rec.index] =
+          testbed_.perspective_outcome(rec.index, scenario_, edge_roas_);
+    }
+    for (const SiteIndex v : task.victims) {
+      if (v == task.adversary) continue;
+      for (const PerspectiveRecord& rec : perspectives) {
+        store_.record_unsynchronized(v,
+                                     static_cast<SiteIndex>(task.adversary),
+                                     rec.index, outcomes_[rec.index]);
+      }
+    }
+  }
+
+ private:
+  const Testbed& testbed_;
+  const FastCampaignConfig& config_;
+  const bgp::RoaRegistry* edge_roas_;
+  ResultStore& store_;
+  bgp::PropagationWorkspace ws_;
+  bgp::HijackScenario scenario_;
+  std::vector<bgp::OriginReached> outcomes_;
+};
+
+}  // namespace
 
 ResultStore run_fast_campaign(const Testbed& testbed,
                               const FastCampaignConfig& config) {
   const auto& sites = testbed.sites();
   ResultStore store(sites.size(), testbed.perspectives().size());
-  const bgp::ScenarioConfig sc{config.type, config.tie_break,
-                               config.tie_break_seed, config.roas};
 
   const bgp::RoaRegistry* edge_roas =
       config.cloud_edge_rov ? config.roas : nullptr;
@@ -16,47 +94,73 @@ ResultStore run_fast_campaign(const Testbed& testbed,
       config.dns_host_of_victim.size() != sites.size()) {
     throw std::invalid_argument("dns_host_of_victim size != site count");
   }
+
+  // Under the DNS surface the contested prefix belongs to the victim's
+  // nameserver host; the resilience accounting still belongs to v.
+  const bool dns_hosted = config.surface == AttackSurface::Dns &&
+                          !config.dns_host_of_victim.empty();
+  // Group victims by announcer so each distinct (announcer, adversary)
+  // propagation runs exactly once.
+  std::vector<std::vector<SiteIndex>> victims_of(sites.size());
   for (std::size_t v = 0; v < sites.size(); ++v) {
-    // Under the DNS surface the contested prefix belongs to the victim's
-    // nameserver host; the resilience accounting still belongs to v.
-    std::size_t announcer = v;
-    if (config.surface == AttackSurface::Dns &&
-        !config.dns_host_of_victim.empty()) {
-      announcer = config.dns_host_of_victim[v];
+    const std::size_t announcer =
+        dns_hosted ? config.dns_host_of_victim[v] : v;
+    if (announcer >= sites.size()) {
+      throw std::invalid_argument("dns_host_of_victim index out of range");
     }
+    victims_of[announcer].push_back(static_cast<SiteIndex>(v));
+  }
+
+  std::vector<CampaignTask> tasks;
+  tasks.reserve(sites.size() * sites.size());
+  for (std::size_t announcer = 0; announcer < sites.size(); ++announcer) {
+    if (victims_of[announcer].empty()) continue;
     for (std::size_t a = 0; a < sites.size(); ++a) {
-      if (v == a) continue;
-      if (announcer == a) {
-        // The adversary hosts the victim's DNS: every perspective resolves
-        // through the adversary already; record total capture.
-        for (const PerspectiveRecord& rec : testbed.perspectives()) {
-          store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
-                       rec.index, bgp::OriginReached::Adversary);
-        }
-        continue;
-      }
-      const bgp::HijackScenario scenario(testbed.internet().graph(),
-                                         sites[announcer].node,
-                                         sites[a].node,
-                                         config.victim_prefix(announcer), sc);
-      for (const PerspectiveRecord& rec : testbed.perspectives()) {
-        store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
-                     rec.index,
-                     testbed.perspective_outcome(rec.index, scenario,
-                                                 edge_roas));
-      }
+      // announcer == a is still a task (total-capture rows) unless its
+      // only victim is the adversary itself.
+      tasks.push_back(
+          CampaignTask{announcer, a, victims_of[announcer]});
     }
+  }
+
+  const std::size_t hw =
+      std::max<unsigned>(1, std::thread::hardware_concurrency());
+  const std::size_t n_threads = std::max<std::size_t>(
+      1, std::min(config.threads == 0 ? hw : config.threads, tasks.size()));
+
+  // Workers pull tasks from a shared counter; any task order yields the
+  // same store because every cell is written exactly once with a value
+  // that is a pure function of the task (determinism invariant).
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    CampaignWorker worker(testbed, config, edge_roas, store);
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) break;
+      worker.run(tasks[i]);
+    }
+  };
+
+  if (n_threads == 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(drain);
+    for (auto& th : pool) th.join();
   }
   return store;
 }
 
 CampaignDataset run_paper_campaigns(const Testbed& testbed,
                                     bgp::TieBreakMode tie_break,
-                                    std::uint64_t tie_break_seed) {
+                                    std::uint64_t tie_break_seed,
+                                    std::size_t threads) {
   FastCampaignConfig plain;
   plain.type = bgp::AttackType::EquallySpecific;
   plain.tie_break = tie_break;
   plain.tie_break_seed = tie_break_seed;
+  plain.threads = threads;
 
   FastCampaignConfig forged = plain;
   forged.type = bgp::AttackType::ForgedOriginPrepend;

@@ -52,6 +52,11 @@ struct FastCampaignConfig {
   /// for one prefix, so the hijacker's announcement of *that* prefix is
   /// Invalid while its own legitimate prefix stays Valid.
   bool per_victim_prefix = false;
+  /// Worker threads for the campaign (0 = hardware concurrency). Every
+  /// scenario is a pure function of (announcer, adversary, config) and
+  /// workers write disjoint ResultStore cells, so the store is
+  /// byte-identical for any thread count (asserted by tests).
+  std::size_t threads = 0;
 
   /// The prefix victim `v` announces under this config.
   [[nodiscard]] netsim::Ipv4Prefix victim_prefix(std::size_t v) const {
@@ -76,6 +81,6 @@ struct CampaignDataset {
 };
 [[nodiscard]] CampaignDataset run_paper_campaigns(
     const Testbed& testbed, bgp::TieBreakMode tie_break,
-    std::uint64_t tie_break_seed);
+    std::uint64_t tie_break_seed, std::size_t threads = 0);
 
 }  // namespace marcopolo::core

@@ -19,11 +19,7 @@ void ResultStore::record(SiteIndex victim, SiteIndex adversary,
       p >= num_perspectives_) {
     throw std::out_of_range("record() index");
   }
-  const std::size_t idx = p * num_pairs() + pair_index(victim, adversary);
-  outcomes_[idx] = static_cast<std::uint8_t>(outcome);
-  hijack_bytes_[idx] =
-      outcome == bgp::OriginReached::Adversary ? std::uint8_t{1}
-                                               : std::uint8_t{0};
+  record_unsynchronized(victim, adversary, p, outcome);
 }
 
 bgp::OriginReached ResultStore::outcome(SiteIndex victim, SiteIndex adversary,
@@ -90,7 +86,13 @@ ResultStore ResultStore::load_csv(std::istream& in) {
     if (tag != "sites") throw std::runtime_error("bad results csv header");
     header >> sites >> comma;
     std::getline(header, tag, ',');
-    header >> perspectives;
+    if (tag != "perspectives") {
+      throw std::runtime_error("bad results csv header: expected "
+                               "'perspectives' tag, got '" + tag + "'");
+    }
+    if (!header || !(header >> perspectives)) {
+      throw std::runtime_error("bad results csv header counts");
+    }
   }
   ResultStore store(sites, perspectives);
   std::getline(in, line);  // column header
@@ -104,6 +106,10 @@ ResultStore ResultStore::load_csv(std::istream& in) {
     char c = 0;
     row >> v >> c >> a >> c >> p >> c >> outcome;
     if (!row) throw std::runtime_error("bad results csv row: " + line);
+    if (outcome < static_cast<int>(bgp::OriginReached::None) ||
+        outcome > static_cast<int>(bgp::OriginReached::Adversary)) {
+      throw std::runtime_error("results csv outcome out of range: " + line);
+    }
     store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
                  static_cast<PerspectiveIndex>(p),
                  static_cast<bgp::OriginReached>(outcome));

@@ -39,6 +39,20 @@ class ResultStore {
   void record(SiteIndex victim, SiteIndex adversary, PerspectiveIndex p,
               bgp::OriginReached outcome);
 
+  /// Lock-free variant for parallel campaign writers: no bounds check
+  /// beyond an assert, no synchronization. Safe if and only if concurrent
+  /// callers write disjoint (victim, adversary) cells — the campaign
+  /// engine partitions work by (announcer, adversary) task, and every
+  /// (victim, adversary) pair belongs to exactly one task.
+  void record_unsynchronized(SiteIndex victim, SiteIndex adversary,
+                             PerspectiveIndex p, bgp::OriginReached outcome) {
+    const std::size_t idx = p * num_pairs() + pair_index(victim, adversary);
+    outcomes_[idx] = static_cast<std::uint8_t>(outcome);
+    hijack_bytes_[idx] =
+        outcome == bgp::OriginReached::Adversary ? std::uint8_t{1}
+                                                 : std::uint8_t{0};
+  }
+
   [[nodiscard]] bgp::OriginReached outcome(SiteIndex victim,
                                            SiteIndex adversary,
                                            PerspectiveIndex p) const;

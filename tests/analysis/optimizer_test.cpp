@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -242,6 +243,89 @@ TEST(Optimizer, ThreadCountDoesNotChangeResults) {
     EXPECT_EQ(single[i].spec.remotes, parallel[i].spec.remotes) << i;
     EXPECT_DOUBLE_EQ(single[i].score.median, parallel[i].score.median);
     EXPECT_DOUBLE_EQ(single[i].score.average, parallel[i].score.average);
+  }
+}
+
+TEST(Optimizer, UpperBoundPruningSkipsDominatedSubtrees) {
+  // Three clean perspectives {0,1,2} are never hijacked; {3,4,5} are
+  // hijacked on every pair. With required=1, any partial set touching a
+  // bad perspective already scores 0, so its whole subtree is prunable.
+  // Regression: the seed computed TopK::admits() but never called it, so
+  // the exhaustive search visited all C(6,3)=20 leaves.
+  core::ResultStore store(4, 6);
+  for (core::SiteIndex v = 0; v < 4; ++v) {
+    for (core::SiteIndex a = 0; a < 4; ++a) {
+      if (v == a) continue;
+      for (core::PerspectiveIndex p = 0; p < 6; ++p) {
+        store.record(v, a, p,
+                     p >= 3 ? bgp::OriginReached::Adversary
+                            : bgp::OriginReached::Victim);
+      }
+    }
+  }
+  const ResilienceAnalyzer local(store);
+  DeploymentOptimizer optimizer(local);
+  OptimizerConfig cfg;
+  cfg.set_size = 3;
+  cfg.max_failures = 2;  // required = 1
+  cfg.candidates = {0, 1, 2, 3, 4, 5};
+  cfg.top_k = 1;
+  cfg.threads = 1;
+  SearchStats stats;
+  cfg.stats = &stats;
+
+  const auto ranked = optimizer.optimize(cfg);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].spec.remotes,
+            (std::vector<PerspectiveIndex>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(ranked[0].score.median, 1.0);
+  EXPECT_GT(stats.subtrees_pruned, 0u) << "prune must actually fire";
+  EXPECT_LT(stats.complete_sets_scored, 20u)
+      << "pruning must skip dominated leaves (seed scored all 20)";
+}
+
+TEST(Optimizer, PruningLeavesExhaustiveRankingUnchanged) {
+  // The upper-bound prune is only sound if it never drops a set that
+  // belongs in the top-k: compare the pruned search's score ranking
+  // against a full brute-force enumeration on real campaign data.
+  const auto candidates = first_n_aws(10);
+  DeploymentOptimizer optimizer(analyzer());
+  OptimizerConfig cfg;
+  cfg.set_size = 4;
+  cfg.max_failures = 1;
+  cfg.candidates = candidates;
+  cfg.top_k = 5;
+  SearchStats stats;
+  cfg.stats = &stats;
+  const auto ranked = optimizer.optimize(cfg);
+  ASSERT_EQ(ranked.size(), 5u);
+
+  std::vector<ResilienceAnalyzer::Score> all_scores;
+  std::vector<PerspectiveIndex> current;
+  auto recurse = [&](auto&& self, std::size_t next) -> void {
+    if (current.size() == 4) {
+      mpic::DeploymentSpec spec;
+      spec.name = "bf";
+      spec.remotes = current;
+      spec.policy = mpic::QuorumPolicy(4, 1, false);
+      const auto s = analyzer().evaluate(spec);
+      all_scores.push_back({s.median, s.average});
+      return;
+    }
+    for (std::size_t i = next; i < candidates.size(); ++i) {
+      current.push_back(candidates[i]);
+      self(self, i + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  std::sort(all_scores.begin(), all_scores.end(),
+            [](const auto& a, const auto& b) { return b < a; });
+
+  EXPECT_LE(stats.complete_sets_scored, all_scores.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ranked[i].score.median, all_scores[i].median) << i;
+    EXPECT_DOUBLE_EQ(ranked[i].score.average, all_scores[i].average) << i;
   }
 }
 

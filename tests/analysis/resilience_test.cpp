@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <set>
 
 #include "netsim/random.hpp"
@@ -158,6 +159,50 @@ TEST_F(HandComputedResilience, ScoreMatchesEvaluate) {
   const auto full = analyzer.evaluate(deployment({0, 1, 2}, 0));
   EXPECT_DOUBLE_EQ(score.median, full.median);
   EXPECT_DOUBLE_EQ(score.average, full.average);
+}
+
+TEST(ResilienceAnalyzer, CountsSurvivePastTwoHundredFiftyFivePerspectives) {
+  // Regression: the workspace counters were uint8_t and wrapped once a
+  // deployment exceeded 255 perspectives, silently turning a hijack count
+  // of 260 into 4 and inflating resilience for mega-deployments.
+  core::ResultStore store(2, 300);
+  for (core::PerspectiveIndex p = 0; p < 300; ++p) {
+    store.record(0, 1, p,
+                 p < 260 ? bgp::OriginReached::Adversary
+                         : bgp::OriginReached::Victim);
+    store.record(1, 0, p, bgp::OriginReached::Victim);
+  }
+  const ResilienceAnalyzer analyzer(store);
+
+  auto ws = analyzer.make_workspace();
+  for (core::PerspectiveIndex p = 0; p < 260; ++p) {
+    analyzer.add_perspective(ws, p);
+  }
+  EXPECT_EQ(ws.counts[store.pair_index(0, 1)], 260u)
+      << "count must not wrap modulo 256";
+  EXPECT_EQ(ws.counts[store.pair_index(1, 0)], 0u);
+
+  // Quorum (260, 258): adversary 1 captures 260 >= 258 perspectives, so
+  // victim 0 is undefended (R=0); victim 1 is fully defended (R=1).
+  const auto kernel = analyzer.score(ws, 258, std::nullopt);
+  EXPECT_DOUBLE_EQ(kernel.median, 0.5);
+  EXPECT_DOUBLE_EQ(kernel.average, 0.5);
+
+  // The direct evaluation path shares the workspace and must agree.
+  mpic::DeploymentSpec spec;
+  spec.name = "mega";
+  spec.remotes.resize(260);
+  std::iota(spec.remotes.begin(), spec.remotes.end(),
+            core::PerspectiveIndex{0});
+  spec.policy = mpic::QuorumPolicy(260, 2, false);
+  const auto direct = analyzer.evaluate(spec);
+  EXPECT_DOUBLE_EQ(direct.median, 0.5);
+
+  // Removal stays exact at high counts too.
+  for (core::PerspectiveIndex p = 250; p < 260; ++p) {
+    analyzer.remove_perspective(ws, p);
+  }
+  EXPECT_EQ(ws.counts[store.pair_index(0, 1)], 250u);
 }
 
 TEST(ResilienceAnalyzer, ScoreOrderingMedianThenAverage) {

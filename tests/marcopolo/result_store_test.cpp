@@ -104,5 +104,95 @@ TEST(ResultStore, LoadRejectsGarbage) {
   EXPECT_THROW((void)ResultStore::load_csv(empty), std::runtime_error);
 }
 
+TEST(ResultStore, LoadRejectsOutOfRangeOutcome) {
+  // A corrupt outcome column must not be static_cast into OriginReached:
+  // 7 is not a valid enumerator and would silently poison the store.
+  std::stringstream corrupt(
+      "sites,2,perspectives,1\n"
+      "victim,adversary,perspective,outcome\n"
+      "0,1,0,7\n");
+  EXPECT_THROW((void)ResultStore::load_csv(corrupt), std::runtime_error);
+
+  std::stringstream negative(
+      "sites,2,perspectives,1\n"
+      "victim,adversary,perspective,outcome\n"
+      "0,1,0,-1\n");
+  EXPECT_THROW((void)ResultStore::load_csv(negative), std::runtime_error);
+
+  // All legal enumerators still load.
+  std::stringstream fine(
+      "sites,2,perspectives,3\n"
+      "victim,adversary,perspective,outcome\n"
+      "0,1,0,0\n"
+      "0,1,1,1\n"
+      "0,1,2,2\n");
+  const ResultStore store = ResultStore::load_csv(fine);
+  EXPECT_EQ(store.outcome(0, 1, 0), OriginReached::None);
+  EXPECT_EQ(store.outcome(0, 1, 1), OriginReached::Victim);
+  EXPECT_EQ(store.outcome(0, 1, 2), OriginReached::Adversary);
+}
+
+TEST(ResultStore, LoadRejectsWrongHeaderSecondTag) {
+  // Seed code never checked the second tag and read garbage counts.
+  std::stringstream bad(
+      "sites,2,prospectives,1\n"
+      "victim,adversary,perspective,outcome\n");
+  EXPECT_THROW((void)ResultStore::load_csv(bad), std::runtime_error);
+
+  std::stringstream truncated("sites,2\n");
+  EXPECT_THROW((void)ResultStore::load_csv(truncated), std::runtime_error);
+}
+
+TEST(ResultStore, CsvRoundTripPreservesEveryCellIncludingUnrecorded) {
+  // A store with a mix of all three outcomes and unrecorded holes must
+  // round-trip cell-exactly: unrecorded cells stay unrecorded (pair
+  // incomplete), and explicit None survives as a recorded outcome.
+  ResultStore store(4, 3);
+  store.record(0, 1, 0, OriginReached::Adversary);
+  store.record(0, 1, 1, OriginReached::Victim);
+  store.record(0, 1, 2, OriginReached::None);
+  store.record(1, 0, 0, OriginReached::Victim);
+  store.record(3, 2, 1, OriginReached::Adversary);
+  // (2, 3) left fully unrecorded; (1, 0) partially recorded.
+
+  std::stringstream buffer;
+  store.save_csv(buffer);
+  const ResultStore loaded = ResultStore::load_csv(buffer);
+
+  ASSERT_EQ(loaded.num_sites(), store.num_sites());
+  ASSERT_EQ(loaded.num_perspectives(), store.num_perspectives());
+  for (SiteIndex v = 0; v < 4; ++v) {
+    for (SiteIndex a = 0; a < 4; ++a) {
+      EXPECT_EQ(loaded.pair_complete(v, a), store.pair_complete(v, a))
+          << "pair " << v << "," << a;
+      for (PerspectiveIndex p = 0; p < 3; ++p) {
+        EXPECT_EQ(loaded.outcome(v, a, p), store.outcome(v, a, p))
+            << "cell " << v << "," << a << "," << p;
+        EXPECT_EQ(loaded.hijacked(v, a, p), store.hijacked(v, a, p));
+      }
+    }
+  }
+  EXPECT_TRUE(loaded.pair_complete(0, 1));
+  EXPECT_FALSE(loaded.pair_complete(1, 0));
+  EXPECT_FALSE(loaded.pair_complete(2, 3));
+}
+
+TEST(ResultStore, RecordUnsynchronizedMatchesRecord) {
+  ResultStore a(2, 2);
+  ResultStore b(2, 2);
+  a.record(0, 1, 0, OriginReached::Adversary);
+  a.record(1, 0, 1, OriginReached::Victim);
+  b.record_unsynchronized(0, 1, 0, OriginReached::Adversary);
+  b.record_unsynchronized(1, 0, 1, OriginReached::Victim);
+  for (SiteIndex v = 0; v < 2; ++v) {
+    for (SiteIndex adv = 0; adv < 2; ++adv) {
+      for (PerspectiveIndex p = 0; p < 2; ++p) {
+        EXPECT_EQ(a.outcome(v, adv, p), b.outcome(v, adv, p));
+        EXPECT_EQ(a.hijacked(v, adv, p), b.hijacked(v, adv, p));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace marcopolo::core
