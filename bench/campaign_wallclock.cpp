@@ -1,10 +1,13 @@
 // Campaign wall-clock benchmark: run_paper_campaigns on the default
-// testbed across worker-thread counts, emitting JSON.
+// testbed across worker-thread counts, emitting self-describing JSON.
 //
 // Measures the end-to-end time of the paper's headline artifact (both
 // attack-type hijack matrices) and checks the determinism invariant along
 // the way: every thread count must produce a byte-identical ResultStore
-// pair. Usage:
+// pair, with metrics enabled. The JSON carries everything needed to
+// interpret a result file on its own: the source version (git describe),
+// hardware thread count, the exact campaign config, and the full metrics
+// snapshot of the serial run. Usage:
 //
 //   campaign_wallclock [output.json] [thread counts...]
 //
@@ -20,8 +23,13 @@
 #include <vector>
 
 #include "marcopolo/fast_campaign.hpp"
+#include "obs/manifest.hpp"
 
 using namespace marcopolo;
+
+#ifndef MARCOPOLO_GIT_DESCRIBE
+#define MARCOPOLO_GIT_DESCRIBE "unknown"
+#endif
 
 namespace {
 
@@ -56,38 +64,76 @@ int main(int argc, char** argv) {
   std::cerr << "building default testbed..." << std::endl;
   const core::Testbed testbed{core::TestbedConfig{}};
   const auto clock = [] { return std::chrono::steady_clock::now(); };
+  constexpr std::uint64_t kSeed = 0xCAFE;
 
   struct Row {
     std::size_t threads;
     double seconds;
     bool identical;
+    std::uint64_t tasks;
+    std::uint64_t propagations;
   };
   std::vector<Row> rows;
   std::string reference;
   double serial_seconds = 0.0;
+  obs::MetricsSnapshot serial_metrics;
+  bool have_serial_metrics = false;
 
   for (const std::size_t threads : thread_counts) {
+    // Fresh registry per run so each snapshot describes one run only; the
+    // invariant check below therefore also covers "metrics enabled".
+    obs::MetricsRegistry registry;
     const auto t0 = clock();
     const auto data = core::run_paper_campaigns(
-        testbed, bgp::TieBreakMode::Hashed, 0xCAFE, threads);
+        testbed, bgp::TieBreakMode::Hashed, kSeed, threads, &registry);
     const auto t1 = clock();
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
     const std::string bytes = dataset_bytes(data);
     if (reference.empty()) reference = bytes;
     const bool identical = bytes == reference;
-    if (threads == 1) serial_seconds = secs;
-    rows.push_back(Row{threads, secs, identical});
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    if (threads == 1) {
+      serial_seconds = secs;
+      serial_metrics = snap;
+      have_serial_metrics = true;
+    }
+    rows.push_back(Row{threads, secs, identical,
+                       snap.counter("campaign.tasks_executed"),
+                       snap.counter("campaign.propagations")});
     std::cerr << "threads=" << threads << "  " << secs << " s  "
               << (identical ? "identical" : "MISMATCH") << std::endl;
+  }
+  if (!have_serial_metrics && !rows.empty()) {
+    // No serial run requested: describe the first run instead.
+    obs::MetricsRegistry registry;
+    (void)core::run_paper_campaigns(testbed, bgp::TieBreakMode::Hashed, kSeed,
+                                    rows.front().threads, &registry);
+    serial_metrics = registry.snapshot();
   }
 
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"benchmark\": \"run_paper_campaigns\",\n"
-      << "  \"testbed\": \"default\",\n"
+      << "  \"version\": \"" << obs::json_escape(MARCOPOLO_GIT_DESCRIBE)
+      << "\",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
+      << "  \"thread_counts\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    out << (i ? ", " : "") << thread_counts[i];
+  }
+  out << "],\n"
+      << "  \"config\": {\n"
+      << "    \"testbed\": \"default\",\n"
+      << "    \"sites\": " << testbed.sites().size() << ",\n"
+      << "    \"perspectives\": " << testbed.perspectives().size() << ",\n"
+      << "    \"attack_types\": [\"equally_specific\", "
+         "\"forged_origin_prepend\"],\n"
+      << "    \"tie_break\": \"hashed\",\n"
+      << "    \"tie_break_seed\": " << kSeed << ",\n"
+      << "    \"metrics_enabled\": true\n"
+      << "  },\n"
       << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -96,10 +142,15 @@ int main(int argc, char** argv) {
         << (serial_seconds > 0.0 && r.seconds > 0.0
                 ? serial_seconds / r.seconds
                 : 0.0)
+        << ", \"tasks\": " << r.tasks
+        << ", \"propagations\": " << r.propagations
         << ", \"store_identical\": " << (r.identical ? "true" : "false")
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"metrics\": ";
+  obs::write_metrics_json(out, serial_metrics, "  ");
+  out << "\n}\n";
   std::cerr << "wrote " << out_path << std::endl;
 
   for (const Row& r : rows) {

@@ -38,16 +38,8 @@ int main() {
   core::Orchestrator orchestrator(testbed, cfg);
   const auto out = orchestrator.run();
 
-  std::printf("\nCampaign stats:\n"
-              "  attacks completed:   %zu (attempts: %zu, retries: %zu)\n"
-              "  announcements:       %zu\n"
-              "  DCV validations:     %zu\n"
-              "  corroborations OK:   %zu\n"
-              "  virtual duration:    %.1f hours\n",
-              out.stats.attacks_completed, out.stats.attack_attempts,
-              out.stats.retries, out.stats.announcements,
-              out.stats.validations, out.stats.dcv_corroborations_passed,
-              netsim::to_hours(out.stats.duration));
+  std::printf("\nCampaign stats:\n%s",
+              analysis::format_campaign_stats(out.stats).c_str());
 
   // Post-hoc black-box verdicts from the raw logs.
   const analysis::ResilienceAnalyzer analyzer(out.results);

@@ -5,9 +5,13 @@
 // perspective count, produce the CA/Browser-Forum-compliant deployments
 // ranked by resilience, including the recommended primary perspective.
 //
-// Usage: optimize_deployment [provider] [count]
+// Usage: optimize_deployment [provider] [count] [--metrics-out <file.json>]
 //   provider: aws | gcp | azure   (default azure)
 //   count:    5..8                (default 6)
+//
+// With --metrics-out the campaign and optimizer are instrumented and a
+// RunManifest (config echo, phases, counters, latency histograms) is
+// written at exit.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,6 +20,8 @@
 #include "analysis/report.hpp"
 #include "analysis/rir_cluster.hpp"
 #include "marcopolo/fast_campaign.hpp"
+#include "obs/manifest.hpp"
+#include "obs/timer.hpp"
 
 using namespace marcopolo;
 
@@ -32,20 +38,40 @@ topo::CloudProvider parse_provider(const char* text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const topo::CloudProvider provider =
-      argc > 1 ? parse_provider(argv[1]) : topo::CloudProvider::Azure;
+  std::string metrics_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const topo::CloudProvider provider = !positional.empty()
+                                           ? parse_provider(positional[0])
+                                           : topo::CloudProvider::Azure;
   const std::size_t count =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positional[1]))
+          : 6;
   if (count < 2 || count > 12) {
     std::fprintf(stderr, "count must be in [2, 12]\n");
     return 2;
   }
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_out.empty() ? nullptr : &registry;
+  obs::RunManifest manifest("optimize_deployment");
 
+  obs::PhaseClock phase;
   core::Testbed testbed{core::TestbedConfig{}};
+  manifest.add_phase("build_testbed", phase.seconds());
   std::printf("Running MarcoPolo campaign (%zu pairwise hijacks)...\n",
               testbed.sites().size() * (testbed.sites().size() - 1));
-  const auto store =
-      core::run_fast_campaign(testbed, core::FastCampaignConfig{});
+  phase.restart();
+  core::FastCampaignConfig campaign_cfg;
+  campaign_cfg.metrics = metrics;
+  const auto store = core::run_fast_campaign(testbed, campaign_cfg);
+  manifest.add_phase("fast_campaign", phase.seconds());
   analysis::ResilienceAnalyzer analyzer(store);
   analysis::DeploymentOptimizer optimizer(analyzer);
 
@@ -66,8 +92,11 @@ int main(int argc, char** argv) {
   cfg.strategy = count <= 6 ? analysis::SearchStrategy::Exhaustive
                             : analysis::SearchStrategy::Beam;
   cfg.name_prefix = std::string(topo::to_string_view(provider));
+  cfg.metrics = metrics;
 
+  phase.restart();
   const auto ranked = optimizer.optimize(cfg);
+  manifest.add_phase("optimize", phase.seconds());
 
   analysis::TextTable table({"Rank", "Median", "Average", "Primary",
                              "Remote perspectives", "RIR shape"});
@@ -99,5 +128,20 @@ int main(int argc, char** argv) {
               stats.top_signature.c_str(),
               analysis::format_share(stats.top_share).c_str(),
               policy.max_failures + 1);
+
+  if (metrics != nullptr) {
+    manifest.set("provider", std::string(topo::to_string_view(provider)));
+    manifest.set("set_size", count);
+    manifest.set("max_failures", policy.max_failures);
+    manifest.set("strategy",
+                 cfg.strategy == analysis::SearchStrategy::Exhaustive
+                     ? "exhaustive"
+                     : "beam");
+    if (!manifest.write_file(metrics_out, registry.snapshot())) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("\nRun manifest written to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

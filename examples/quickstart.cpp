@@ -5,34 +5,81 @@
 //   1. Assemble the measurement environment (synthetic Internet + 32 Vultr
 //      victim/adversary sites + 106 cloud perspectives).
 //   2. Run the pairwise hijack campaign (the fast path computes the same
-//      hijacked(P, v, a) dataset the orchestrator measures).
+//      hijacked(P, v, a) dataset the orchestrator measures), plus a small
+//      orchestrated slice of the five-step protocol for comparison.
 //   3. Ask post-hoc questions: how resilient is a single perspective? an
 //      optimized (6, N-2) deployment per provider? the production systems?
+//
+// With `--metrics-out run.json` every subsystem is instrumented through
+// obs::MetricsRegistry and the run ends by writing a RunManifest: config
+// echo, wall-clock phases, campaign/propagation/orchestrator/optimizer
+// counters, and per-phase latency histograms.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "analysis/optimizer.hpp"
 #include "analysis/report.hpp"
 #include "marcopolo/fast_campaign.hpp"
+#include "marcopolo/orchestrator.hpp"
 #include "marcopolo/production_systems.hpp"
+#include "obs/manifest.hpp"
+#include "obs/timer.hpp"
 
 using namespace marcopolo;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: quickstart [--metrics-out <file.json>]\n");
+      return 2;
+    }
+  }
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_out.empty() ? nullptr : &registry;
+  obs::RunManifest manifest("quickstart");
+
   // 1. Testbed.
+  obs::PhaseClock phase;
   core::TestbedConfig tb_config;
   core::Testbed testbed(tb_config);
+  manifest.add_phase("build_testbed", phase.seconds());
   std::printf("Testbed: %zu ASes, %zu Vultr sites, %zu perspectives\n",
               testbed.internet().graph().size(), testbed.sites().size(),
               testbed.perspectives().size());
 
   // 2. Campaign: every ordered victim/adversary pair, equally-specific
   //    hijacks, hashed route-age tie break.
-  const auto dataset =
-      core::run_paper_campaigns(testbed, bgp::TieBreakMode::Hashed, 0xCAFE);
+  phase.restart();
+  const auto dataset = core::run_paper_campaigns(
+      testbed, bgp::TieBreakMode::Hashed, 0xCAFE, /*threads=*/0, metrics);
+  manifest.add_phase("fast_campaign", phase.seconds());
   std::printf("Campaign: %zu attacks recorded (plus RPKI variant)\n",
               testbed.sites().size() * (testbed.sites().size() - 1));
 
+  // 2b. A small orchestrated slice of the five-step protocol — enough to
+  //     populate the orchestrator's attempt/retry accounting without the
+  //     full 992-pair run (blackbox_audit does that).
+  phase.restart();
+  core::OrchestratorConfig orch_cfg;
+  for (core::SiteIndex v = 0; v < 2; ++v) {
+    for (core::SiteIndex a = 30; a < 32; ++a) orch_cfg.pairs.emplace_back(v, a);
+  }
+  orch_cfg.prefix_lanes = 2;
+  orch_cfg.loss = netsim::LossModel{0.01, 0.01};
+  orch_cfg.metrics = metrics;
+  core::Orchestrator orchestrator(testbed, orch_cfg);
+  const auto orch_out = orchestrator.run();
+  manifest.add_phase("orchestrated_slice", phase.seconds());
+  std::printf("\nOrchestrated slice (%zu pairs):\n%s",
+              orch_cfg.pairs.size(),
+              analysis::format_campaign_stats(orch_out.stats).c_str());
+
   // 3a. Single-perspective (no MPIC) baseline per provider.
+  phase.restart();
   analysis::ResilienceAnalyzer plain(dataset.no_rpki);
   analysis::DeploymentOptimizer optimizer(plain);
   analysis::TextTable table(
@@ -46,6 +93,7 @@ int main() {
     single.max_failures = 0;
     single.candidates = testbed.perspectives_of(provider);
     single.name_prefix = std::string(topo::to_string_view(provider));
+    single.metrics = metrics;
     const auto best1 = optimizer.best(single);
     const auto s1 = plain.evaluate(best1.spec);
     table.add_row({std::string(topo::to_string_view(provider)), "(1, N)",
@@ -66,6 +114,7 @@ int main() {
     cfg.strategy = analysis::SearchStrategy::Beam;
     cfg.beam_width = 48;
     cfg.name_prefix = std::string(topo::to_string_view(provider));
+    cfg.metrics = metrics;
     const auto best = optimizer.best(cfg);
     const auto s = plain.evaluate(best.spec);
     table.add_row({std::string(topo::to_string_view(provider)), "(6, N-2)",
@@ -83,8 +132,23 @@ int main() {
                    analysis::format_resilience(s.average),
                    analysis::format_resilience(s.p25)});
   }
+  manifest.add_phase("analysis", phase.seconds());
 
   std::printf("\nResilience without RPKI (fraction of adversaries defeated):\n%s",
               table.to_string().c_str());
+
+  if (metrics != nullptr) {
+    manifest.set("tie_break", "hashed");
+    manifest.set("tie_break_seed", std::uint64_t{0xCAFE});
+    manifest.set("sites", testbed.sites().size());
+    manifest.set("perspectives", testbed.perspectives().size());
+    manifest.set("ases", testbed.internet().graph().size());
+    manifest.set("orchestrated_pairs", orch_cfg.pairs.size());
+    if (!manifest.write_file(metrics_out, registry.snapshot())) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("\nRun manifest written to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

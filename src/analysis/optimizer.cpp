@@ -186,11 +186,21 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
     for (auto& th : pool) th.join();
   }
 
+  SearchStats totals;
+  for (const SearchStats& st : stats) {
+    totals.complete_sets_scored += st.complete_sets_scored;
+    totals.subtrees_pruned += st.subtrees_pruned;
+  }
   if (cfg.stats != nullptr) {
-    for (const SearchStats& st : stats) {
-      cfg.stats->complete_sets_scored += st.complete_sets_scored;
-      cfg.stats->subtrees_pruned += st.subtrees_pruned;
-    }
+    cfg.stats->complete_sets_scored += totals.complete_sets_scored;
+    cfg.stats->subtrees_pruned += totals.subtrees_pruned;
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->counter("optimizer.exhaustive_searches").add(1);
+    cfg.metrics->counter("optimizer.complete_sets_scored")
+        .add(totals.complete_sets_scored);
+    cfg.metrics->counter("optimizer.subtrees_pruned")
+        .add(totals.subtrees_pruned);
   }
 
   // Deterministic merge: every candidate set appears in exactly one
@@ -220,6 +230,7 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_beam(
   };
   std::vector<State> beam{State{{}, {}}};
   ResilienceAnalyzer::Workspace ws = analyzer_.make_workspace();
+  std::uint64_t states_scored = 0;
 
   for (std::size_t depth = 1; depth <= cfg.set_size; ++depth) {
     // Partial sets are scored with the final quorum scaled down
@@ -251,6 +262,7 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_beam(
 
         std::fill(ws.counts.begin(), ws.counts.end(), 0);
         for (const PerspectiveIndex p : set) analyzer_.add_perspective(ws, p);
+        ++states_scored;
         next.push_back(
             State{std::move(set),
                   analyzer_.score(ws, partial_required, std::nullopt)});
@@ -306,6 +318,10 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_beam(
         make_spec(cfg, final.set, std::nullopt, rank++), final.score});
     if (out.size() >= cfg.top_k) break;
   }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->counter("optimizer.beam_searches").add(1);
+    cfg.metrics->counter("optimizer.beam_states_scored").add(states_scored);
+  }
   return out;
 }
 
@@ -314,6 +330,8 @@ void DeploymentOptimizer::climb(std::vector<PerspectiveIndex>& set,
                                 ResilienceAnalyzer::Workspace& ws,
                                 const OptimizerConfig& cfg,
                                 std::size_t required) const {
+  std::uint64_t swaps_tried = 0;
+  std::uint64_t swaps_kept = 0;
   bool improved = true;
   while (improved) {
     improved = false;
@@ -330,18 +348,24 @@ void DeploymentOptimizer::climb(std::vector<PerspectiveIndex>& set,
           if (same > cfg.max_per_rir) continue;
         }
         analyzer_.add_perspective(ws, c);
+        ++swaps_tried;
         const auto candidate_score = analyzer_.score(ws, required,
                                                      std::nullopt);
         if (score < candidate_score) {
           set[m] = c;
           score = candidate_score;
           improved = true;
+          ++swaps_kept;
           break;
         }
         analyzer_.remove_perspective(ws, c);
       }
       if (!improved) analyzer_.add_perspective(ws, out_p);
     }
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->counter("optimizer.climb_swaps_tried").add(swaps_tried);
+    cfg.metrics->counter("optimizer.climb_swaps_kept").add(swaps_kept);
   }
 }
 

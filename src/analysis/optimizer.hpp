@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/resilience.hpp"
+#include "obs/metrics.hpp"
 #include "topo/rir.hpp"
 
 namespace marcopolo::analysis {
@@ -37,6 +38,10 @@ enum class SearchStrategy : std::uint8_t { Exhaustive, Beam };
 /// upper-bound prune is observable here: without it every C(n, X)
 /// complete set is scored; with it `complete_sets_scored` drops whenever
 /// a partial set already scores below the worst retained deployment.
+///
+/// This struct is a thin per-call view kept for API compatibility; the
+/// same totals accumulate on OptimizerConfig::metrics (when attached) as
+/// "optimizer.complete_sets_scored" / "optimizer.subtrees_pruned".
 struct SearchStats {
   std::size_t complete_sets_scored = 0;
   std::size_t subtrees_pruned = 0;
@@ -71,6 +76,11 @@ struct OptimizerConfig {
   /// If non-null, the exhaustive search accumulates instrumentation here
   /// (summed across worker threads after the join).
   SearchStats* stats = nullptr;
+  /// Optional metrics sink: search totals land under "optimizer.*"
+  /// (sets scored, subtrees pruned, beam states, hill-climb swaps).
+  /// Search workers accumulate locally and flush after the join, so the
+  /// DFS hot path is untouched. Null = uninstrumented.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class DeploymentOptimizer {

@@ -58,4 +58,25 @@ std::string format_share(double value01) {
   return out.str();
 }
 
+std::string format_campaign_stats(const core::CampaignStats& stats) {
+  TextTable table({"Campaign stat", "Value"});
+  table.add_row({"attacks completed", std::to_string(stats.attacks_completed)});
+  table.add_row({"attack attempts", std::to_string(stats.attack_attempts)});
+  table.add_row({"retries", std::to_string(stats.retries)});
+  table.add_row({"incomplete attacks",
+                 std::to_string(stats.incomplete_attacks)});
+  table.add_row({"announcements", std::to_string(stats.announcements)});
+  table.add_row({"DCV validations", std::to_string(stats.validations)});
+  table.add_row({"corroborations passed",
+                 std::to_string(stats.dcv_corroborations_passed)});
+  table.add_row({"perspective losses",
+                 std::to_string(stats.perspective_losses)});
+  std::ostringstream duration;
+  duration.setf(std::ios::fixed);
+  duration.precision(1);
+  duration << netsim::to_hours(stats.duration) << " h virtual";
+  table.add_row({"duration", duration.str()});
+  return table.to_string();
+}
+
 }  // namespace marcopolo::analysis

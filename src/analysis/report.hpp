@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "marcopolo/orchestrator.hpp"
+
 namespace marcopolo::analysis {
 
 /// Fixed-width ASCII table with a header row.
@@ -25,5 +27,12 @@ class TextTable {
 
 /// Percentage with one decimal ("63.8%").
 [[nodiscard]] std::string format_share(double value01);
+
+/// Orchestrator campaign accounting rendered as a two-column table —
+/// attempts, retries, loss events, DCV totals, virtual duration. The
+/// orchestrator collects these on every run; route all human-facing
+/// output through here so no example/bench reinvents the layout.
+[[nodiscard]] std::string format_campaign_stats(
+    const core::CampaignStats& stats);
 
 }  // namespace marcopolo::analysis

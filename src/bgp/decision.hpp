@@ -45,6 +45,29 @@ enum class TieBreakMode : std::uint8_t {
   Hashed,          ///< Seeded per-AS coin; reproducible middle ground.
 };
 
+/// Which rule of the decision process resolved a comparison. Exposed so
+/// the propagation engine can count how often each step — in particular
+/// the route-age coin (§4.4.4) — actually decided an outcome.
+enum class DecisionStep : std::uint8_t {
+  LocalPref,    ///< Business relationship (customer > peer > provider).
+  PathLength,   ///< Shorter AS path.
+  RouteAge,     ///< The "heard first" tie-break between origin roles.
+  NeighborAsn,  ///< Lowest neighbor ASN.
+  IngressPop,   ///< Lowest ingress POP (or fully identical candidates).
+};
+inline constexpr std::size_t kDecisionStepCount = 5;
+
+[[nodiscard]] constexpr const char* to_cstring(DecisionStep step) {
+  switch (step) {
+    case DecisionStep::LocalPref: return "local_pref";
+    case DecisionStep::PathLength: return "path_length";
+    case DecisionStep::RouteAge: return "route_age";
+    case DecisionStep::NeighborAsn: return "neighbor_asn";
+    case DecisionStep::IngressPop: return "ingress_pop";
+  }
+  return "?";
+}
+
 /// An entry in a node's Adj-RIB-In.
 struct RouteCandidate {
   Announcement ann;
@@ -63,14 +86,32 @@ class RouteComparator {
   /// True if `a` is strictly preferred over `b` at node `at`.
   [[nodiscard]] bool prefer(const RouteCandidate& a, const RouteCandidate& b,
                             NodeId at) const {
-    if (a.source != b.source) return a.source < b.source;
+    DecisionStep step;
+    return prefer(a, b, at, step);
+  }
+
+  /// Instrumented variant: also reports which rule resolved the
+  /// comparison. Same cost as prefer() when `step` goes unread (the store
+  /// is dead and compiles away).
+  [[nodiscard]] bool prefer(const RouteCandidate& a, const RouteCandidate& b,
+                            NodeId at, DecisionStep& step) const {
+    if (a.source != b.source) {
+      step = DecisionStep::LocalPref;
+      return a.source < b.source;
+    }
     if (a.ann.path_length() != b.ann.path_length()) {
+      step = DecisionStep::PathLength;
       return a.ann.path_length() < b.ann.path_length();
     }
     if (a.ann.role != b.ann.role) {
+      step = DecisionStep::RouteAge;
       return a.ann.role == preferred_role(at);
     }
-    if (a.from_asn != b.from_asn) return a.from_asn < b.from_asn;
+    if (a.from_asn != b.from_asn) {
+      step = DecisionStep::NeighborAsn;
+      return a.from_asn < b.from_asn;
+    }
+    step = DecisionStep::IngressPop;
     return a.ingress_pop < b.ingress_pop;
   }
 

@@ -1,6 +1,8 @@
 #include "bgp/propagation.hpp"
 
 #include <algorithm>
+#include <array>
+#include <string>
 
 namespace marcopolo::bgp {
 
@@ -16,14 +18,20 @@ class Engine {
         ws_(ws),
         out_(out) {
     // Refresh the rank snapshot (shared_ptr copy; recomputed inside the
-    // graph only after a topology mutation).
-    ws_.ranks = graph.rank_order();
+    // graph only after a topology mutation). Same pointer = reuse hit.
+    auto ranks = graph.rank_order();
+    if (ws_.ranks == ranks) ++counts_.rank_reuse;
+    ws_.ranks = std::move(ranks);
     // Recycle the result's storage: the outer vectors persist across
     // scenarios, inner rib vectors keep their capacity.
     const std::size_t n = graph.size();
     out_.best.clear();
     out_.best.resize(n);
-    if (out_.rib_in.size() != n) out_.rib_in.resize(n);
+    if (out_.rib_in.size() != n) {
+      out_.rib_in.resize(n);
+    } else {
+      ++counts_.rib_reuse;
+    }
     for (auto& rib : out_.rib_in) rib.clear();
   }
 
@@ -33,6 +41,7 @@ class Engine {
     phase_peer();
     phase_down();
     finish();
+    flush_metrics();
   }
 
  private:
@@ -40,12 +49,17 @@ class Engine {
   /// `ingress`, from neighbor `from`. Applies loop prevention and ROV.
   void deliver(NodeId to, NodeId from, RouteSource source, PopId ingress,
                Announcement ann) {
-    if (ann.path_contains(graph_.asn_of(to))) return;  // loop prevention
+    if (ann.path_contains(graph_.asn_of(to))) {  // loop prevention
+      ++counts_.loop_dropped;
+      return;
+    }
     if (config_.roas != nullptr && graph_.rov_enforcing(to) &&
         config_.roas->validate(ann.prefix, ann.origin()) ==
             RpkiValidity::Invalid) {
+      ++counts_.rov_dropped;
       return;
     }
+    ++counts_.delivered;
     out_.rib_in[to.value].push_back(RouteCandidate{
         std::move(ann), source, from, graph_.asn_of(from), ingress});
   }
@@ -86,11 +100,17 @@ class Engine {
 
   /// Best candidate at `n` among those whose source passes `admit`.
   [[nodiscard]] const RouteCandidate* best_where(
-      NodeId n, bool (*admit)(RouteSource)) const {
+      NodeId n, bool (*admit)(RouteSource)) {
     const RouteCandidate* best = nullptr;
     for (const RouteCandidate& c : out_.rib_in[n.value]) {
       if (!admit(c.source)) continue;
-      if (best == nullptr || cmp_.prefer(c, *best, n)) best = &c;
+      if (best == nullptr) {
+        best = &c;
+        continue;
+      }
+      DecisionStep step;
+      if (cmp_.prefer(c, *best, n, step)) best = &c;
+      ++counts_.decided[static_cast<std::size_t>(step)];
     }
     return best;
   }
@@ -164,14 +184,62 @@ class Engine {
     }
   }
 
+  /// One sharded flush per run through pre-interned handles: the
+  /// per-candidate counts above are plain stack integers, so metrics add
+  /// no synchronization (and no name lookups) to the propagation hot path.
+  void flush_metrics() {
+    const PropagationMetrics* m = config_.metrics;
+    if (m == nullptr) return;
+    m->runs.add(1);
+    m->delivered.add(counts_.delivered);
+    m->loop_dropped.add(counts_.loop_dropped);
+    m->rov_dropped.add(counts_.rov_dropped);
+    m->rank_reuse.add(counts_.rank_reuse);
+    m->rib_reuse.add(counts_.rib_reuse);
+    for (std::size_t s = 0; s < kDecisionStepCount; ++s) {
+      if (counts_.decided[s] != 0) m->decided[s].add(counts_.decided[s]);
+    }
+  }
+
+  struct LocalCounts {
+    std::uint64_t delivered = 0;
+    std::uint64_t loop_dropped = 0;
+    std::uint64_t rov_dropped = 0;
+    std::uint64_t rank_reuse = 0;
+    std::uint64_t rib_reuse = 0;
+    std::array<std::uint64_t, kDecisionStepCount> decided{};
+  };
+
   const AsGraph& graph_;
   const PropagationConfig& config_;
   RouteComparator cmp_;
   PropagationWorkspace& ws_;
   PropagationResult& out_;
+  LocalCounts counts_;
 };
 
 }  // namespace
+
+PropagationMetrics PropagationMetrics::create(obs::MetricsRegistry* reg) {
+  PropagationMetrics m;
+  m.runs = obs::MetricsRegistry::counter(reg, "propagation.runs");
+  m.delivered =
+      obs::MetricsRegistry::counter(reg, "propagation.announcements_delivered");
+  m.loop_dropped = obs::MetricsRegistry::counter(
+      reg, "propagation.announcements_loop_dropped");
+  m.rov_dropped = obs::MetricsRegistry::counter(
+      reg, "propagation.announcements_rov_dropped");
+  m.rank_reuse =
+      obs::MetricsRegistry::counter(reg, "propagation.workspace.rank_reuse");
+  m.rib_reuse =
+      obs::MetricsRegistry::counter(reg, "propagation.workspace.rib_reuse");
+  for (std::size_t s = 0; s < kDecisionStepCount; ++s) {
+    m.decided[s] = obs::MetricsRegistry::counter(
+        reg, std::string("propagation.decide.") +
+                 to_cstring(static_cast<DecisionStep>(s)));
+  }
+  return m;
+}
 
 void propagate_into(const AsGraph& graph, const std::vector<SeededRoute>& seeds,
                     const PropagationConfig& config, PropagationWorkspace& ws,

@@ -18,14 +18,34 @@
 // recycled, not rebuilt per scenario.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <vector>
 
 #include "bgp/as_graph.hpp"
 #include "bgp/decision.hpp"
 #include "bgp/rpki.hpp"
+#include "obs/metrics.hpp"
 
 namespace marcopolo::bgp {
+
+/// Pre-interned handles for the engine's per-run metrics flush. Campaigns
+/// running thousands of propagations intern the names once (create()) and
+/// hand the same struct to every run, so a flush is a handful of sharded
+/// counter adds — no name lookups, no allocation. A default-constructed
+/// instance holds null handles and drops everything.
+struct PropagationMetrics {
+  obs::Counter runs;
+  obs::Counter delivered;
+  obs::Counter loop_dropped;
+  obs::Counter rov_dropped;
+  obs::Counter rank_reuse;
+  obs::Counter rib_reuse;
+  std::array<obs::Counter, kDecisionStepCount> decided;
+
+  /// Intern all handles in `reg` (null handles for a null registry).
+  [[nodiscard]] static PropagationMetrics create(obs::MetricsRegistry* reg);
+};
 
 struct PropagationConfig {
   TieBreakMode tie_break = TieBreakMode::VictimFirst;
@@ -33,6 +53,12 @@ struct PropagationConfig {
   /// ROAs used by ROV-enforcing ASes to drop Invalid announcements.
   /// May be null (no RPKI filtering anywhere).
   const RoaRegistry* roas = nullptr;
+  /// Optional metrics sink (announcements delivered/dropped, decision
+  /// steps by kind, workspace reuse). The engine accumulates plain local
+  /// counts and flushes once per run through these pre-interned handles,
+  /// so instrumentation adds nothing to the per-candidate hot path; null
+  /// disables the flush entirely.
+  const PropagationMetrics* metrics = nullptr;
 };
 
 struct PropagationResult {

@@ -41,6 +41,9 @@ struct ScenarioConfig {
   TieBreakMode tie_break = TieBreakMode::VictimFirst;
   std::uint64_t tie_break_seed = 0;
   const RoaRegistry* roas = nullptr;
+  /// Optional pre-interned metrics handles forwarded to the propagation
+  /// engine (null = uninstrumented; see PropagationMetrics::create).
+  const PropagationMetrics* metrics = nullptr;
 };
 
 class HijackScenario {

@@ -3,9 +3,56 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/timer.hpp"
+
 namespace marcopolo::core {
 
 namespace {
+
+/// Campaign-level metric handles, interned once per run (outside the
+/// workers). All-null when the config carries no registry, which makes
+/// every update below a single predictable branch.
+struct CampaignMetrics {
+  obs::Counter tasks_executed;
+  obs::Counter propagations;
+  obs::Counter total_captures;
+  obs::Counter dns_collapses;
+  obs::Counter rows_recorded;
+  obs::Counter worker_threads;
+  obs::Histogram task_ns;
+  obs::Histogram propagate_ns;
+  obs::Histogram classify_ns;
+  obs::Histogram record_ns;
+  /// Pre-interned propagation-engine handles shared by every task (null
+  /// when the campaign is uninstrumented), so per-scenario flushes never
+  /// re-intern names.
+  bgp::PropagationMetrics propagation;
+  bool enabled = false;
+
+  static CampaignMetrics create(obs::MetricsRegistry* reg) {
+    CampaignMetrics m;
+    m.propagation = bgp::PropagationMetrics::create(reg);
+    m.enabled = reg != nullptr;
+    m.tasks_executed = obs::MetricsRegistry::counter(reg, "campaign.tasks_executed");
+    m.propagations = obs::MetricsRegistry::counter(reg, "campaign.propagations");
+    m.total_captures =
+        obs::MetricsRegistry::counter(reg, "campaign.total_capture_tasks");
+    m.dns_collapses =
+        obs::MetricsRegistry::counter(reg, "campaign.dns_dedup_collapses");
+    m.rows_recorded =
+        obs::MetricsRegistry::counter(reg, "campaign.rows_recorded");
+    m.worker_threads =
+        obs::MetricsRegistry::counter(reg, "campaign.worker_threads");
+    m.task_ns = obs::MetricsRegistry::histogram(reg, "campaign.task_ns");
+    m.propagate_ns =
+        obs::MetricsRegistry::histogram(reg, "campaign.phase.propagate_ns");
+    m.classify_ns =
+        obs::MetricsRegistry::histogram(reg, "campaign.phase.classify_ns");
+    m.record_ns =
+        obs::MetricsRegistry::histogram(reg, "campaign.phase.record_ns");
+    return m;
+  }
+};
 
 /// One unit of parallel work: the hijack of `announcer`'s prefix by
 /// `adversary`, recorded into the store rows of every victim whose
@@ -25,49 +72,69 @@ struct CampaignTask {
 class CampaignWorker {
  public:
   CampaignWorker(const Testbed& testbed, const FastCampaignConfig& config,
-                 const bgp::RoaRegistry* edge_roas, ResultStore& store)
+                 const bgp::RoaRegistry* edge_roas, ResultStore& store,
+                 const CampaignMetrics& metrics)
       : testbed_(testbed),
         config_(config),
         edge_roas_(edge_roas),
         store_(store),
+        metrics_(metrics),
         outcomes_(testbed.perspectives().size(),
                   bgp::OriginReached::None) {}
 
   void run(const CampaignTask& task) {
+    obs::ScopedTimer timer(metrics_.task_ns);
+    metrics_.tasks_executed.add(1);
     const auto& sites = testbed_.sites();
     const auto& perspectives = testbed_.perspectives();
     if (task.announcer == task.adversary) {
       // The adversary hosts the victim's DNS: every perspective resolves
       // through the adversary already; record total capture.
+      metrics_.total_captures.add(1);
+      std::uint64_t rows = 0;
       for (const SiteIndex v : task.victims) {
         if (v == task.adversary) continue;
+        ++rows;
         for (const PerspectiveRecord& rec : perspectives) {
           store_.record_unsynchronized(
               v, static_cast<SiteIndex>(task.adversary), rec.index,
               bgp::OriginReached::Adversary);
         }
       }
+      metrics_.rows_recorded.add(rows * perspectives.size());
       return;
     }
-    const bgp::ScenarioConfig sc{config_.type, config_.tie_break,
-                                 config_.tie_break_seed, config_.roas};
-    scenario_.reset(testbed_.internet().graph(),
-                    sites[task.announcer].node, sites[task.adversary].node,
-                    config_.victim_prefix(task.announcer), sc, ws_);
+    const bgp::ScenarioConfig sc{
+        config_.type, config_.tie_break, config_.tie_break_seed, config_.roas,
+        metrics_.enabled ? &metrics_.propagation : nullptr};
+    {
+      obs::ScopedTimer propagate_timer(metrics_.propagate_ns);
+      scenario_.reset(testbed_.internet().graph(),
+                      sites[task.announcer].node, sites[task.adversary].node,
+                      config_.victim_prefix(task.announcer), sc, ws_);
+    }
+    metrics_.propagations.add(1);
     // Resolve every perspective once per task; the outcome depends only on
     // (announcer, adversary), never on which victim the row belongs to.
-    for (const PerspectiveRecord& rec : perspectives) {
-      outcomes_[rec.index] =
-          testbed_.perspective_outcome(rec.index, scenario_, edge_roas_);
+    {
+      obs::ScopedTimer classify_timer(metrics_.classify_ns);
+      for (const PerspectiveRecord& rec : perspectives) {
+        outcomes_[rec.index] =
+            testbed_.perspective_outcome(rec.index, scenario_, edge_roas_);
+      }
     }
+    obs::ScopedTimer record_timer(metrics_.record_ns);
+    std::uint64_t rows = 0;
     for (const SiteIndex v : task.victims) {
       if (v == task.adversary) continue;
+      ++rows;
       for (const PerspectiveRecord& rec : perspectives) {
         store_.record_unsynchronized(v,
                                      static_cast<SiteIndex>(task.adversary),
                                      rec.index, outcomes_[rec.index]);
       }
     }
+    metrics_.rows_recorded.add(rows * perspectives.size());
   }
 
  private:
@@ -75,6 +142,7 @@ class CampaignWorker {
   const FastCampaignConfig& config_;
   const bgp::RoaRegistry* edge_roas_;
   ResultStore& store_;
+  const CampaignMetrics& metrics_;
   bgp::PropagationWorkspace ws_;
   bgp::HijackScenario scenario_;
   std::vector<bgp::OriginReached> outcomes_;
@@ -111,10 +179,17 @@ ResultStore run_fast_campaign(const Testbed& testbed,
     victims_of[announcer].push_back(static_cast<SiteIndex>(v));
   }
 
+  const CampaignMetrics metrics = CampaignMetrics::create(config.metrics);
+
   std::vector<CampaignTask> tasks;
   tasks.reserve(sites.size() * sites.size());
   for (std::size_t announcer = 0; announcer < sites.size(); ++announcer) {
     if (victims_of[announcer].empty()) continue;
+    // Every victim beyond the first sharing this announcer rides an
+    // existing propagation — the DNS-dedup collapse the serial engine
+    // re-ran per victim.
+    metrics.dns_collapses.add(
+        (victims_of[announcer].size() - 1) * sites.size());
     for (std::size_t a = 0; a < sites.size(); ++a) {
       // announcer == a is still a task (total-capture rows) unless its
       // only victim is the adversary itself.
@@ -127,17 +202,39 @@ ResultStore run_fast_campaign(const Testbed& testbed,
       std::max<unsigned>(1, std::thread::hardware_concurrency());
   const std::size_t n_threads = std::max<std::size_t>(
       1, std::min(config.threads == 0 ? hw : config.threads, tasks.size()));
+  metrics.worker_threads.add(n_threads);
 
   // Workers pull tasks from a shared counter; any task order yields the
   // same store because every cell is written exactly once with a value
-  // that is a pure function of the task (determinism invariant).
+  // that is a pure function of the task (determinism invariant). Metrics
+  // go to per-thread shards and results to disjoint cells, so neither
+  // the thread count nor the registry being attached can perturb bytes.
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  const std::size_t total = tasks.size();
+  const std::size_t progress_every =
+      config.progress ? std::max<std::size_t>(1, config.progress_every) : 0;
   auto drain = [&] {
-    CampaignWorker worker(testbed, config, edge_roas, store);
+    CampaignWorker worker(testbed, config, edge_roas, store, metrics);
+    std::size_t done_local = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) break;
+      if (i >= total) break;
       worker.run(tasks[i]);
+      ++done_local;
+      if (progress_every != 0 && done_local % progress_every == 0) {
+        config.progress(
+            completed.fetch_add(done_local, std::memory_order_relaxed) +
+                done_local,
+            total);
+        done_local = 0;
+      }
+    }
+    if (progress_every != 0 && done_local != 0) {
+      const std::size_t done =
+          completed.fetch_add(done_local, std::memory_order_relaxed) +
+          done_local;
+      if (done == total) config.progress(done, total);
     }
   };
 
@@ -155,12 +252,14 @@ ResultStore run_fast_campaign(const Testbed& testbed,
 CampaignDataset run_paper_campaigns(const Testbed& testbed,
                                     bgp::TieBreakMode tie_break,
                                     std::uint64_t tie_break_seed,
-                                    std::size_t threads) {
+                                    std::size_t threads,
+                                    obs::MetricsRegistry* metrics) {
   FastCampaignConfig plain;
   plain.type = bgp::AttackType::EquallySpecific;
   plain.tie_break = tie_break;
   plain.tie_break_seed = tie_break_seed;
   plain.threads = threads;
+  plain.metrics = metrics;
 
   FastCampaignConfig forged = plain;
   forged.type = bgp::AttackType::ForgedOriginPrepend;

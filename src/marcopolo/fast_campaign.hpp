@@ -8,9 +8,12 @@
 // orchestrator.
 #pragma once
 
+#include <functional>
+
 #include "bgp/scenario.hpp"
 #include "marcopolo/result_store.hpp"
 #include "marcopolo/testbed.hpp"
+#include "obs/metrics.hpp"
 
 namespace marcopolo::core {
 
@@ -52,11 +55,24 @@ struct FastCampaignConfig {
   /// for one prefix, so the hijacker's announcement of *that* prefix is
   /// Invalid while its own legitimate prefix stays Valid.
   bool per_victim_prefix = false;
-  /// Worker threads for the campaign (0 = hardware concurrency). Every
-  /// scenario is a pure function of (announcer, adversary, config) and
-  /// workers write disjoint ResultStore cells, so the store is
-  /// byte-identical for any thread count (asserted by tests).
+  /// Worker threads for the campaign (0 = hardware concurrency, clamped
+  /// to the task count). Every scenario is a pure function of
+  /// (announcer, adversary, config) and workers write disjoint
+  /// ResultStore cells, so the store is byte-identical for any thread
+  /// count (asserted by tests).
   std::size_t threads = 0;
+  /// Optional metrics sink: task counts, DNS-dedup collapses, per-task
+  /// latency, plus the propagation engine's counters. Per-thread shards
+  /// keep the workers synchronization-free, and metrics never influence
+  /// results — the store stays byte-identical with metrics on or off
+  /// (asserted by tests). Null = uninstrumented.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional progress hook, called as tasks retire with
+  /// (tasks_completed, tasks_total). Invoked from worker threads (every
+  /// `progress_every` completions, and once at the end by the last
+  /// worker), so it must be thread-safe; it must not touch the store.
+  std::function<void(std::size_t, std::size_t)> progress;
+  std::size_t progress_every = 64;
 
   /// The prefix victim `v` announces under this config.
   [[nodiscard]] netsim::Ipv4Prefix victim_prefix(std::size_t v) const {
@@ -68,8 +84,15 @@ struct FastCampaignConfig {
   }
 };
 
-/// Run all |sites| x (|sites|-1) attacks and record every perspective's
-/// outcome.
+/// Run every ordered (victim, adversary) attack — |sites| x (|sites|-1)
+/// result rows — and record every perspective's outcome. Distinct
+/// (announcer, adversary) propagations run once each: under the HTTP
+/// surface the announcer IS the victim, while under the DNS surface
+/// victims sharing a nameserver host collapse into one propagation whose
+/// outcome is recorded for each of them (and a victim whose nameserver
+/// host is the adversary itself is a total capture, no propagation).
+/// The saved CSV carries a `# schema=1` version comment (see
+/// ResultStore::save_csv).
 [[nodiscard]] ResultStore run_fast_campaign(const Testbed& testbed,
                                             const FastCampaignConfig& config);
 
@@ -81,6 +104,7 @@ struct CampaignDataset {
 };
 [[nodiscard]] CampaignDataset run_paper_campaigns(
     const Testbed& testbed, bgp::TieBreakMode tie_break,
-    std::uint64_t tie_break_seed, std::size_t threads = 0);
+    std::uint64_t tie_break_seed, std::size_t threads = 0,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace marcopolo::core

@@ -1,6 +1,7 @@
 #include "marcopolo/orchestrator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 namespace marcopolo::core {
@@ -43,6 +44,7 @@ struct Orchestrator::Attack {
   SiteIndex victim = 0;
   SiteIndex adversary = 0;
   std::unique_ptr<bgp::HijackScenario> scenario;
+  netsim::TimePoint announced = netsim::kEpoch;
   netsim::TimePoint dcv_start = netsim::kEpoch;
   std::set<std::string> paths;  ///< Challenge paths belonging to this attack.
   std::size_t systems_outstanding = 0;
@@ -53,6 +55,25 @@ Orchestrator::Orchestrator(Testbed& testbed, const OrchestratorConfig& config)
       config_(config),
       issuer_(netsim::hash_combine(config.seed, 0x10)),
       results_(testbed.sites().size(), testbed.perspectives().size()) {
+  obs::MetricsRegistry* reg = config_.metrics;
+  rstats_.attacks_completed =
+      obs::MetricsRegistry::counter(reg, "orchestrator.attacks_completed");
+  rstats_.attack_attempts =
+      obs::MetricsRegistry::counter(reg, "orchestrator.attack_attempts");
+  rstats_.retries = obs::MetricsRegistry::counter(reg, "orchestrator.retries");
+  rstats_.incomplete_attacks =
+      obs::MetricsRegistry::counter(reg, "orchestrator.incomplete_attacks");
+  rstats_.announcements =
+      obs::MetricsRegistry::counter(reg, "orchestrator.announcements");
+  rstats_.validations =
+      obs::MetricsRegistry::counter(reg, "orchestrator.validations");
+  rstats_.dcv_corroborations_passed = obs::MetricsRegistry::counter(
+      reg, "orchestrator.dcv_corroborations_passed");
+  rstats_.perspective_losses =
+      obs::MetricsRegistry::counter(reg, "orchestrator.perspective_losses");
+  rstats_.attack_virtual_ms =
+      obs::MetricsRegistry::histogram(reg, "orchestrator.attack_virtual_ms");
+  rstats_.propagation = bgp::PropagationMetrics::create(reg);
   net_ = std::make_unique<netsim::Network>(
       sim_, netsim::hash_combine(config.seed, 0x20));
   net_->set_loss_model(config.loss);
@@ -162,16 +183,20 @@ void Orchestrator::launch_attack(Lane& lane) {
   attack->adversary = adversary;
   ++attempts_[pair_key(victim, adversary)];
   ++stats_.attack_attempts;
+  rstats_.attack_attempts.add(1);
 
   // Step 2: simultaneous (or sequential) announcements. Propagation is
   // computed once; the plane activates it for the lane's target address.
-  const bgp::ScenarioConfig sc{config_.type, config_.tie_break,
-                               netsim::hash_combine(config_.seed, 0x40),
-                               config_.roas};
+  const bgp::ScenarioConfig sc{
+      config_.type, config_.tie_break,
+      netsim::hash_combine(config_.seed, 0x40), config_.roas,
+      config_.metrics != nullptr ? &rstats_.propagation : nullptr};
   attack->scenario = std::make_unique<bgp::HijackScenario>(
       testbed_.internet().graph(), testbed_.sites()[victim].node,
       testbed_.sites()[adversary].node, lane.prefix, sc);
   stats_.announcements += 2;
+  rstats_.announcements.add(2);
+  attack->announced = sim_.now();
   lane.last_announce = sim_.now();
 
   const netsim::Ipv4Addr target = attack->scenario->target_address();
@@ -212,10 +237,14 @@ void Orchestrator::run_dcv(Lane& lane) {
     central_store_->put(ch.url_path(), ch.key_authorization);
     attack.paths.insert(ch.url_path());
     stats_.validations += agents_.size();
+    rstats_.validations.add(agents_.size());
     global_sweep_->corroborate(
         dcv::ValidationJob{ch.domain, ch.url_path(), ch.key_authorization},
         [this, system_done](mpic::CorroborationResult r) mutable {
-          if (r.corroborated) ++stats_.dcv_corroborations_passed;
+          if (r.corroborated) {
+            ++stats_.dcv_corroborations_passed;
+            rstats_.dcv_corroborations_passed.add(1);
+          }
           system_done();
         });
   }
@@ -225,10 +254,14 @@ void Orchestrator::run_dcv(Lane& lane) {
     central_store_->put(ch.url_path(), ch.key_authorization);
     attack.paths.insert(ch.url_path());
     stats_.validations += cf_service_->perspective_count();
+    rstats_.validations.add(cf_service_->perspective_count());
     cf_service_->corroborate(
         dcv::ValidationJob{ch.domain, ch.url_path(), ch.key_authorization},
         [this, system_done](mpic::CorroborationResult r) mutable {
-          if (r.corroborated) ++stats_.dcv_corroborations_passed;
+          if (r.corroborated) {
+            ++stats_.dcv_corroborations_passed;
+            rstats_.dcv_corroborations_passed.add(1);
+          }
           system_done();
         });
   }
@@ -240,6 +273,7 @@ void Orchestrator::run_dcv(Lane& lane) {
     const std::string domain =
         issuer_.random_label(10) + "." + lane.zone;
     stats_.validations += 1 + 4;  // pre-flight + remotes
+    rstats_.validations.add(1 + 4);
     le_ca_->order(
         domain,
         [this, &attack](const dcv::Http01Challenge& ch) {
@@ -250,6 +284,7 @@ void Orchestrator::run_dcv(Lane& lane) {
           if (r.status == mpic::OrderStatus::Ready &&
               !r.from_cached_authorization) {
             ++stats_.dcv_corroborations_passed;
+            rstats_.dcv_corroborations_passed.add(1);
           }
           system_done();
         });
@@ -281,6 +316,16 @@ void Orchestrator::conclude_attack(Lane& lane) {
   classify(*site_servers_[attack.victim], bgp::OriginReached::Victim, seen);
   classify(*site_servers_[attack.adversary], bgp::OriginReached::Adversary,
            seen);
+  for (const std::uint8_t s : seen) {
+    if (s == 0) {
+      ++stats_.perspective_losses;
+      rstats_.perspective_losses.add(1);
+    }
+  }
+  rstats_.attack_virtual_ms.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(sim_.now() -
+                                                            attack.announced)
+          .count()));
 
   // Completeness is judged on the accumulated store: outcomes recorded by
   // earlier attempts of this pair persist (the paper's central server keeps
@@ -297,12 +342,15 @@ void Orchestrator::conclude_attack(Lane& lane) {
   if (!complete) {
     if (attempts_[pair_key(victim, adversary)] < config_.max_attempts) {
       ++stats_.retries;
+      rstats_.retries.add(1);
       work_.emplace_back(victim, adversary);
     } else {
       ++stats_.incomplete_attacks;
+      rstats_.incomplete_attacks.add(1);
     }
   } else {
     ++stats_.attacks_completed;
+    rstats_.attacks_completed.add(1);
   }
   lane.current.reset();
 

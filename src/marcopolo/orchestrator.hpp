@@ -18,6 +18,7 @@
 #include <deque>
 #include <memory>
 
+#include "bgp/propagation.hpp"
 #include "dcv/challenge.hpp"
 #include "dcv/validator.hpp"
 #include "dcv/webserver.hpp"
@@ -27,6 +28,7 @@
 #include "mpic/acme_ca.hpp"
 #include "mpic/certbot_client.hpp"
 #include "mpic/rest_service.hpp"
+#include "obs/metrics.hpp"
 
 namespace marcopolo::core {
 
@@ -49,18 +51,32 @@ struct OrchestratorConfig {
   /// endpoint alongside the global sweep.
   bool include_production_systems = true;
 
+  /// Optional metrics sink. The orchestrator's counters live on the
+  /// registry under "orchestrator.*" (attempts, retries, loss events,
+  /// ...); the CampaignStats returned from run() is a thin view of the
+  /// same accounting kept for API compatibility. Null = registry
+  /// bookkeeping off, stats still filled.
+  obs::MetricsRegistry* metrics = nullptr;
+
   /// Pairs to attack; empty = every ordered (victim, adversary) pair.
   std::vector<std::pair<SiteIndex, SiteIndex>> pairs;
 };
 
+/// Campaign accounting, mirrored onto OrchestratorConfig::metrics when a
+/// registry is attached (counter names in parentheses).
 struct CampaignStats {
-  std::size_t attacks_completed = 0;
-  std::size_t attack_attempts = 0;
-  std::size_t retries = 0;
-  std::size_t incomplete_attacks = 0;  ///< Still missing data after retries.
-  std::size_t announcements = 0;
-  std::size_t validations = 0;  ///< Perspective DCV fetches triggered.
+  std::size_t attacks_completed = 0;   ///< (orchestrator.attacks_completed)
+  std::size_t attack_attempts = 0;     ///< (orchestrator.attack_attempts)
+  std::size_t retries = 0;             ///< (orchestrator.retries)
+  /// Still missing data after retries (orchestrator.incomplete_attacks).
+  std::size_t incomplete_attacks = 0;
+  std::size_t announcements = 0;       ///< (orchestrator.announcements)
+  /// Perspective DCV fetches triggered (orchestrator.validations).
+  std::size_t validations = 0;
   std::size_t dcv_corroborations_passed = 0;
+  /// Perspective outcomes missing after a DCV round — simulated packet
+  /// loss eating a fetch or its log line (orchestrator.perspective_losses).
+  std::size_t perspective_losses = 0;
   netsim::Duration duration{};
 };
 
@@ -112,6 +128,22 @@ class Orchestrator {
 
   ResultStore results_;
   CampaignStats stats_;
+
+  /// Registry mirror of stats_ (null handles when config_.metrics is).
+  struct RegistryStats {
+    obs::Counter attacks_completed;
+    obs::Counter attack_attempts;
+    obs::Counter retries;
+    obs::Counter incomplete_attacks;
+    obs::Counter announcements;
+    obs::Counter validations;
+    obs::Counter dcv_corroborations_passed;
+    obs::Counter perspective_losses;
+    obs::Histogram attack_virtual_ms;  ///< Announce-to-conclusion sim time,
+                                       ///< one sample per concluded attempt.
+    /// Pre-interned propagation-engine handles shared by every scenario.
+    bgp::PropagationMetrics propagation;
+  } rstats_;
 };
 
 }  // namespace marcopolo::core

@@ -56,6 +56,10 @@ const std::uint8_t* ResultStore::hijack_bytes(PerspectiveIndex p) const {
 }
 
 void ResultStore::save_csv(std::ostream& out) const {
+  // Version comment first: readers (including load_csv) skip '#' lines,
+  // so future format changes can bump the number without breaking old
+  // parsers silently.
+  out << "# schema=1\n";
   out << "sites," << num_sites_ << ",perspectives," << num_perspectives_
       << "\n";
   out << "victim,adversary,perspective,outcome\n";
@@ -75,7 +79,11 @@ void ResultStore::save_csv(std::ostream& out) const {
 
 ResultStore ResultStore::load_csv(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line)) throw std::runtime_error("empty results csv");
+  // Accept-and-skip leading comment lines (e.g. "# schema=1"); files
+  // written before the schema comment existed start at the header row.
+  do {
+    if (!std::getline(in, line)) throw std::runtime_error("empty results csv");
+  } while (!line.empty() && line.front() == '#');
   std::size_t sites = 0;
   std::size_t perspectives = 0;
   {
@@ -97,7 +105,7 @@ ResultStore ResultStore::load_csv(std::istream& in) {
   ResultStore store(sites, perspectives);
   std::getline(in, line);  // column header
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (line.empty() || line.front() == '#') continue;
     std::istringstream row(line);
     std::size_t v = 0;
     std::size_t a = 0;

@@ -77,7 +77,12 @@ class ResultStore {
   /// kernel consumes this layout directly.
   [[nodiscard]] const std::uint8_t* hijack_bytes(PerspectiveIndex p) const;
 
+  /// CSV format, versioned: a `# schema=1` comment line, a
+  /// `sites,<n>,perspectives,<m>` header, a column-name row, then one
+  /// `victim,adversary,perspective,outcome` row per recorded cell.
   void save_csv(std::ostream& out) const;
+  /// Parses save_csv() output. Leading `#` comment lines are skipped, so
+  /// both schema-tagged and pre-schema files load.
   [[nodiscard]] static ResultStore load_csv(std::istream& in);
 
  private:

@@ -1,0 +1,20 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+
+namespace marcopolo::obs {
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_stderr_sink(LogLevel level) {
+  set_level(level);
+  set_sink([](LogLevel lvl, std::string_view message) {
+    std::fprintf(stderr, "[%s] %.*s\n", to_cstring(lvl),
+                 static_cast<int>(message.size()), message.data());
+  });
+}
+
+}  // namespace marcopolo::obs

@@ -1,0 +1,119 @@
+// Leveled structured logging with a null sink by default.
+//
+//   MARCOPOLO_LOG(Info) << "campaign started" << obs::field("tasks", n);
+//
+// The macro short-circuits on level before constructing the message, so a
+// disabled level costs one relaxed atomic load and no formatting. The
+// default sink drops everything (the library is silent unless the host
+// program opts in via set_stderr_sink() or set_sink()); messages are
+// rendered as `LEVEL message key=value key=value`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace marcopolo::obs {
+
+enum class LogLevel : std::uint8_t { Debug = 0, Info, Warn, Error, Off };
+
+[[nodiscard]] constexpr const char* to_cstring(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Process-wide logger (null sink, level Off until configured).
+  [[nodiscard]] static Logger& global();
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed) &&
+           level != LogLevel::Off;
+  }
+
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  /// Replace the sink (pass nullptr to silence again). The sink is called
+  /// under a mutex: it may be called from any thread but never
+  /// concurrently with itself.
+  void set_sink(Sink sink) {
+    std::scoped_lock lock(sink_mutex_);
+    sink_ = std::move(sink);
+  }
+
+  /// Convenience: level + line-buffered stderr sink.
+  void set_stderr_sink(LogLevel level = LogLevel::Info);
+
+  void write(LogLevel level, std::string_view message) {
+    std::scoped_lock lock(sink_mutex_);
+    if (sink_) sink_(level, message);
+  }
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::Off};
+  std::mutex sink_mutex_;
+  Sink sink_;
+};
+
+/// A `key=value` pair streamed into a log message.
+template <typename T>
+struct Field {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+[[nodiscard]] Field<T> field(std::string_view key, const T& value) {
+  return Field<T>{key, value};
+}
+
+/// One in-flight log statement; flushes to the global logger on
+/// destruction (end of the full-expression).
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { Logger::global().write(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const Field<T>& f) {
+    stream_ << ' ' << f.key << '=' << f.value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace marcopolo::obs
+
+/// Usage: MARCOPOLO_LOG(Info) << ...; — the body is skipped entirely
+/// (operands unevaluated) when the level is disabled.
+#define MARCOPOLO_LOG(level)                                              \
+  for (bool marcopolo_log_once = ::marcopolo::obs::Logger::global().enabled( \
+           ::marcopolo::obs::LogLevel::level);                            \
+       marcopolo_log_once; marcopolo_log_once = false)                    \
+  ::marcopolo::obs::LogMessage(::marcopolo::obs::LogLevel::level)

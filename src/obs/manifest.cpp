@@ -1,0 +1,165 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace marcopolo::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for a double, with a guaranteed
+/// fraction or exponent so JSON consumers keep the number floating.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  std::string text(buf);
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  return text;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        std::string_view indent) {
+  out << "{\n" << indent << "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& [name, value] = snapshot.counters[i];
+    out << (i == 0 ? "\n" : ",\n") << indent << "    \""
+        << json_escape(name) << "\": " << value;
+  }
+  if (!snapshot.counters.empty()) out << "\n" << indent << "  ";
+  out << "},\n" << indent << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << indent << "    \""
+        << json_escape(h.name) << "\": {\"count\": " << h.count
+        << ", \"sum\": " << h.sum << ", \"min\": " << h.min
+        << ", \"max\": " << h.max << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << "{\"le\": " << h.buckets[b].first
+          << ", \"count\": " << h.buckets[b].second << "}";
+    }
+    out << "]}";
+  }
+  if (!snapshot.histograms.empty()) out << "\n" << indent << "  ";
+  out << "}\n" << indent << "}";
+}
+
+void RunManifest::set(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  config_.emplace_back(std::string(key), std::string(value));
+}
+
+void RunManifest::set(std::string_view key, std::int64_t value) {
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_.emplace_back(std::string(key), value);
+}
+
+void RunManifest::set(std::string_view key, double value) {
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_.emplace_back(std::string(key), value);
+}
+
+void RunManifest::set(std::string_view key, bool value) {
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_.emplace_back(std::string(key), value);
+}
+
+void RunManifest::add_phase(std::string_view name, double seconds) {
+  phases_.emplace_back(std::string(name), seconds);
+}
+
+void RunManifest::write_json(std::ostream& out,
+                             const MetricsSnapshot& snapshot) const {
+  out << "{\n"
+      << "  \"manifest_schema\": 1,\n"
+      << "  \"tool\": \"" << json_escape(tool_) << "\",\n"
+      << "  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    const auto& [key, value] = config_[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(key) << "\": ";
+    std::visit(
+        [&out](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            out << '"' << json_escape(v) << '"';
+          } else if constexpr (std::is_same_v<T, bool>) {
+            out << (v ? "true" : "false");
+          } else if constexpr (std::is_same_v<T, double>) {
+            out << format_double(v);
+          } else {
+            out << v;
+          }
+        },
+        value);
+  }
+  if (!config_.empty()) out << "\n  ";
+  out << "},\n"
+      << "  \"phases\": [";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << json_escape(phases_[i].first)
+        << "\", \"seconds\": " << format_double(phases_[i].second) << "}";
+  }
+  if (!phases_.empty()) out << "\n  ";
+  out << "],\n"
+      << "  \"metrics\": ";
+  write_metrics_json(out, snapshot, "  ");
+  out << "\n}\n";
+}
+
+bool RunManifest::write_file(const std::string& path,
+                             const MetricsSnapshot& snapshot) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out, snapshot);
+  return static_cast<bool>(out);
+}
+
+}  // namespace marcopolo::obs

@@ -1,0 +1,73 @@
+// RunManifest: one self-describing JSON document per run.
+//
+// Serializes (1) a config echo — whatever key/value pairs the host
+// program records, in insertion order, (2) named wall-clock phases, and
+// (3) a full MetricsSnapshot (every counter and histogram), so a single
+// `--metrics-out run.json` file answers "what ran, with what settings,
+// how long each phase took, and what the instrumented subsystems
+// counted" without re-running anything. The format is plain JSON with a
+// `manifest_schema` version field; `write_metrics_json()` is exposed
+// separately so benches can embed the metrics section inside their own
+// documents (campaign_wallclock does).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace marcopolo::obs {
+
+/// Escape `text` for inclusion inside a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Write one MetricsSnapshot as a JSON object:
+///   {"counters": {...}, "histograms": {name: {count, sum, min, max,
+///    buckets: [{"le": ..., "count": ...}]}}}
+/// `indent` is prepended to every line after the first.
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        std::string_view indent = {});
+
+class RunManifest {
+ public:
+  explicit RunManifest(std::string tool) : tool_(std::move(tool)) {}
+
+  /// Config echo (insertion order preserved; re-setting a key overwrites).
+  void set(std::string_view key, std::string_view value);
+  void set(std::string_view key, const char* value) {
+    set(key, std::string_view(value));
+  }
+  void set(std::string_view key, std::int64_t value);
+  void set(std::string_view key, std::uint64_t value) {
+    set(key, static_cast<std::int64_t>(value));
+  }
+  void set(std::string_view key, int value) {
+    set(key, static_cast<std::int64_t>(value));
+  }
+  void set(std::string_view key, double value);
+  void set(std::string_view key, bool value);
+
+  /// Record a completed wall-clock phase.
+  void add_phase(std::string_view name, double seconds);
+
+  /// Serialize config + phases + `snapshot` as one JSON document.
+  void write_json(std::ostream& out, const MetricsSnapshot& snapshot) const;
+
+  /// write_json() to `path`; returns false (and writes nothing) on I/O
+  /// failure.
+  [[nodiscard]] bool write_file(const std::string& path,
+                                const MetricsSnapshot& snapshot) const;
+
+ private:
+  using Value = std::variant<std::string, std::int64_t, double, bool>;
+
+  std::string tool_;
+  std::vector<std::pair<std::string, Value>> config_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace marcopolo::obs

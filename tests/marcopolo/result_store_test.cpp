@@ -97,6 +97,41 @@ TEST(ResultStore, CsvRoundtrip) {
   EXPECT_TRUE(loaded.pair_complete(0, 1));
 }
 
+TEST(ResultStore, SaveEmitsSchemaCommentFirst) {
+  ResultStore store(2, 1);
+  std::stringstream buffer;
+  store.save_csv(buffer);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(buffer, first_line));
+  EXPECT_EQ(first_line, "# schema=1");
+}
+
+TEST(ResultStore, LoadSkipsCommentLines) {
+  // The versioned format carries `# ...` comment lines; the loader must
+  // accept both the new schema comment and extra comments in the body.
+  std::stringstream commented(
+      "# schema=1\n"
+      "# produced-by: test\n"
+      "sites,2,perspectives,1\n"
+      "victim,adversary,perspective,outcome\n"
+      "0,1,0,2\n"
+      "# trailing note\n"
+      "1,0,0,1\n");
+  const ResultStore store = ResultStore::load_csv(commented);
+  EXPECT_EQ(store.outcome(0, 1, 0), OriginReached::Adversary);
+  EXPECT_EQ(store.outcome(1, 0, 0), OriginReached::Victim);
+}
+
+TEST(ResultStore, LoadAcceptsLegacyFilesWithoutSchemaComment) {
+  // Pre-versioning files start directly at the sites header.
+  std::stringstream legacy(
+      "sites,2,perspectives,1\n"
+      "victim,adversary,perspective,outcome\n"
+      "0,1,0,2\n");
+  const ResultStore store = ResultStore::load_csv(legacy);
+  EXPECT_TRUE(store.hijacked(0, 1, 0));
+}
+
 TEST(ResultStore, LoadRejectsGarbage) {
   std::stringstream bad("nonsense\n");
   EXPECT_THROW((void)ResultStore::load_csv(bad), std::runtime_error);
