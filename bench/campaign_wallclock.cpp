@@ -9,10 +9,16 @@
 // hardware thread count, the exact campaign config, and the full metrics
 // snapshot of the serial run. Usage:
 //
-//   campaign_wallclock [output.json] [thread counts...]
+//   campaign_wallclock [--trace-out <dir>] [output.json] [thread counts...]
 //
 // Defaults: JSON to stdout-adjacent "campaign_wallclock.json", thread
 // counts {1, 2, 4, 8}.
+//
+// The bench always finishes with an extra serial run under the flight
+// recorder and reports the relative cost as "recording_overhead" in the
+// JSON (plus the on/off byte-identity of the recorded run). With
+// --trace-out the flight journal from that run is also exported as a
+// trace bundle into <dir>.
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -24,6 +30,7 @@
 
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace marcopolo;
 
@@ -46,19 +53,26 @@ std::string dataset_bytes(const core::CampaignDataset& data) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("campaign_wallclock.json");
+  std::string trace_out;
+  std::string out_path;
   std::vector<std::size_t> thread_counts;
-  for (int i = 2; i < argc; ++i) {
-    try {
-      thread_counts.push_back(static_cast<std::size_t>(std::stoul(argv[i])));
-    } catch (const std::exception&) {
-      std::cerr << "usage: campaign_wallclock [output.json] [thread "
-                   "counts...]\n  bad thread count: "
-                << argv[i] << std::endl;
-      return 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (out_path.empty()) {
+      out_path = argv[i];
+    } else {
+      try {
+        thread_counts.push_back(static_cast<std::size_t>(std::stoul(argv[i])));
+      } catch (const std::exception&) {
+        std::cerr << "usage: campaign_wallclock [--trace-out <dir>] "
+                     "[output.json] [thread counts...]\n  bad thread count: "
+                  << argv[i] << std::endl;
+        return 2;
+      }
     }
   }
+  if (out_path.empty()) out_path = "campaign_wallclock.json";
   if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
 
   std::cerr << "building default testbed..." << std::endl;
@@ -107,10 +121,63 @@ int main(int argc, char** argv) {
   if (!have_serial_metrics && !rows.empty()) {
     // No serial run requested: describe the first run instead.
     obs::MetricsRegistry registry;
+    const auto t0 = clock();
     (void)core::run_paper_campaigns(testbed, bgp::TieBreakMode::Hashed, kSeed,
                                     rows.front().threads, &registry);
+    serial_seconds = std::chrono::duration<double>(clock() - t0).count();
     serial_metrics = registry.snapshot();
   }
+
+  // Recording-overhead measurement: alternate plain and recorded serial
+  // runs and compare the minima, so scheduler noise (easily ±5% on a
+  // loaded box) cancels out of the ratio. Target: <3% overhead; the
+  // recorded stores must stay byte-identical (pure-observer invariant).
+  std::cerr << "serial runs with flight recorder..." << std::endl;
+  constexpr int kOverheadReps = 3;
+  double plain_best = 0.0;
+  double recorded_seconds = 0.0;
+  bool recorded_identical = true;
+  std::size_t journal_tasks = 0;
+  std::size_t journal_verdicts = 0;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    {
+      const auto t0 = clock();
+      const auto data = core::run_paper_campaigns(
+          testbed, bgp::TieBreakMode::Hashed, kSeed, 1);
+      const double secs = std::chrono::duration<double>(clock() - t0).count();
+      if (rep == 0 || secs < plain_best) plain_best = secs;
+      if (reference.empty()) reference = dataset_bytes(data);
+    }
+    obs::FlightRecorder flight_recorder;
+    obs::MetricsRegistry registry;
+    const auto t0 = clock();
+    const auto data = core::run_paper_campaigns(testbed,
+                                                bgp::TieBreakMode::Hashed,
+                                                kSeed, 1, &registry,
+                                                &flight_recorder);
+    const double secs = std::chrono::duration<double>(clock() - t0).count();
+    if (rep == 0 || secs < recorded_seconds) recorded_seconds = secs;
+    recorded_identical =
+        recorded_identical && dataset_bytes(data) == reference;
+    const obs::FlightJournal journal = flight_recorder.drain();
+    journal_tasks = journal.task_count();
+    journal_verdicts = journal.verdict_count();
+    if (rep == kOverheadReps - 1 && !trace_out.empty()) {
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      if (!obs::write_trace_dir(trace_out, journal, &snap)) {
+        std::cerr << "failed to write trace bundle to " << trace_out
+                  << std::endl;
+        return 1;
+      }
+      std::cerr << "wrote trace bundle to " << trace_out << std::endl;
+    }
+  }
+  const double recording_overhead =
+      plain_best > 0.0 ? recorded_seconds / plain_best - 1.0 : 0.0;
+  std::cerr << "recording overhead: " << recording_overhead * 100.0 << "% ("
+            << recorded_seconds << " s vs " << plain_best << " s, best of "
+            << kOverheadReps << ")  "
+            << (recorded_identical ? "identical" : "MISMATCH") << std::endl;
 
   std::ofstream out(out_path);
   out << "{\n"
@@ -148,6 +215,14 @@ int main(int argc, char** argv) {
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"recording\": {\n"
+      << "    \"seconds\": " << recorded_seconds << ",\n"
+      << "    \"recording_overhead\": " << recording_overhead << ",\n"
+      << "    \"store_identical\": "
+      << (recorded_identical ? "true" : "false") << ",\n"
+      << "    \"task_spans\": " << journal_tasks << ",\n"
+      << "    \"verdicts\": " << journal_verdicts << "\n"
+      << "  },\n"
       << "  \"metrics\": ";
   obs::write_metrics_json(out, serial_metrics, "  ");
   out << "\n}\n";
@@ -159,6 +234,10 @@ int main(int argc, char** argv) {
                 << std::endl;
       return 1;
     }
+  }
+  if (!recorded_identical) {
+    std::cerr << "determinism violation with flight recorder on" << std::endl;
+    return 1;
   }
   return 0;
 }

@@ -8,15 +8,30 @@
 // injected packet loss. The per-system verdicts are then computed from the
 // recorded logs — exactly how MarcoPolo evaluated Let's Encrypt staging
 // and Cloudflare's API without any knowledge of their internals.
+//
+// Usage: blackbox_audit [--verbose]
+//   --verbose turns on the timestamped leveled log on stderr (the
+//   orchestrator logs campaign start/config through MARCOPOLO_LOG).
 #include <cstdio>
+#include <cstring>
 
 #include "analysis/resilience.hpp"
 #include "analysis/report.hpp"
 #include "marcopolo/orchestrator.hpp"
+#include "obs/log.hpp"
 
 using namespace marcopolo;
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      obs::Logger::global().set_stderr_sink(obs::LogLevel::Debug,
+                                            /*timestamps=*/true);
+    } else {
+      std::fprintf(stderr, "usage: blackbox_audit [--verbose]\n");
+      return 2;
+    }
+  }
   core::Testbed testbed{core::TestbedConfig{}};
 
   // A slice of the pair matrix keeps the demo quick; the table3 bench runs

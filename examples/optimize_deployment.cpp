@@ -6,12 +6,16 @@
 // ranked by resilience, including the recommended primary perspective.
 //
 // Usage: optimize_deployment [provider] [count] [--metrics-out <file.json>]
+//                            [--trace-out <dir>] [--progress]
 //   provider: aws | gcp | azure   (default azure)
 //   count:    5..8                (default 6)
 //
 // With --metrics-out the campaign and optimizer are instrumented and a
 // RunManifest (config echo, phases, counters, latency histograms) is
-// written at exit.
+// written at exit. With --trace-out the campaign runs under a flight
+// recorder and a trace bundle (Chrome trace, NDJSON provenance journal,
+// Prometheus metrics) is written into <dir>; --progress prints a live
+// stderr line as campaign tasks retire.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +26,7 @@
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace marcopolo;
 
@@ -39,10 +44,16 @@ topo::CloudProvider parse_provider(const char* text) {
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string trace_out;
+  bool progress = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -59,7 +70,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::MetricsRegistry registry;
-  obs::MetricsRegistry* metrics = metrics_out.empty() ? nullptr : &registry;
+  obs::MetricsRegistry* metrics =
+      metrics_out.empty() && trace_out.empty() ? nullptr : &registry;
+  obs::FlightRecorder flight_recorder;
+  obs::FlightRecorder* recorder =
+      trace_out.empty() ? nullptr : &flight_recorder;
+  obs::ProgressReporter reporter(recorder);
   obs::RunManifest manifest("optimize_deployment");
 
   obs::PhaseClock phase;
@@ -70,6 +86,12 @@ int main(int argc, char** argv) {
   phase.restart();
   core::FastCampaignConfig campaign_cfg;
   campaign_cfg.metrics = metrics;
+  campaign_cfg.recorder = recorder;
+  if (progress) {
+    campaign_cfg.progress = [&reporter](std::size_t done, std::size_t total) {
+      reporter.update(done, total);
+    };
+  }
   const auto store = core::run_fast_campaign(testbed, campaign_cfg);
   manifest.add_phase("fast_campaign", phase.seconds());
   analysis::ResilienceAnalyzer analyzer(store);
@@ -129,7 +151,7 @@ int main(int argc, char** argv) {
               analysis::format_share(stats.top_share).c_str(),
               policy.max_failures + 1);
 
-  if (metrics != nullptr) {
+  if (!metrics_out.empty()) {
     manifest.set("provider", std::string(topo::to_string_view(provider)));
     manifest.set("set_size", count);
     manifest.set("max_failures", policy.max_failures);
@@ -142,6 +164,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nRun manifest written to %s\n", metrics_out.c_str());
+  }
+  if (recorder != nullptr) {
+    const obs::FlightJournal journal = recorder->drain();
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    if (!obs::write_trace_dir(trace_out, journal, &snap)) {
+      std::fprintf(stderr, "failed to write trace bundle to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("\nTrace bundle written to %s (%zu task spans, %zu verdicts)\n",
+                trace_out.c_str(), journal.task_count(),
+                journal.verdict_count());
   }
   return 0;
 }

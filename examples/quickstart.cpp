@@ -14,8 +14,17 @@
 // obs::MetricsRegistry and the run ends by writing a RunManifest: config
 // echo, wall-clock phases, campaign/propagation/orchestrator/optimizer
 // counters, and per-phase latency histograms.
+//
+// With `--trace-out <dir>` the campaigns additionally run under a flight
+// recorder and the run ends by writing a trace bundle into <dir>:
+// trace.json (Chrome trace_event, loadable at ui.perfetto.dev),
+// journal.ndjson (per-verdict decision provenance), and metrics.prom
+// (Prometheus text format). `--progress` prints a live stderr line as
+// campaign tasks retire; `--verbose` turns on the timestamped leveled
+// log.
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "analysis/optimizer.hpp"
@@ -23,23 +32,52 @@
 #include "marcopolo/fast_campaign.hpp"
 #include "marcopolo/orchestrator.hpp"
 #include "marcopolo/production_systems.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace marcopolo;
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string trace_out;
+  bool progress = false;
+  bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
     } else {
-      std::fprintf(stderr, "usage: quickstart [--metrics-out <file.json>]\n");
+      std::fprintf(stderr,
+                   "usage: quickstart [--metrics-out <file.json>] "
+                   "[--trace-out <dir>] [--progress] [--verbose]\n");
       return 2;
     }
   }
+  if (verbose) {
+    obs::Logger::global().set_stderr_sink(obs::LogLevel::Debug,
+                                          /*timestamps=*/true);
+  }
   obs::MetricsRegistry registry;
-  obs::MetricsRegistry* metrics = metrics_out.empty() ? nullptr : &registry;
+  // The trace bundle embeds a metrics.prom, so tracing implies metrics.
+  obs::MetricsRegistry* metrics =
+      metrics_out.empty() && trace_out.empty() ? nullptr : &registry;
+  obs::FlightRecorder flight_recorder;
+  obs::FlightRecorder* recorder =
+      trace_out.empty() ? nullptr : &flight_recorder;
+  obs::ProgressReporter reporter(recorder);
+  std::function<void(std::size_t, std::size_t)> progress_hook;
+  if (progress) {
+    progress_hook = [&reporter](std::size_t done, std::size_t total) {
+      reporter.update(done, total);
+    };
+  }
   obs::RunManifest manifest("quickstart");
 
   // 1. Testbed.
@@ -55,7 +93,8 @@ int main(int argc, char** argv) {
   //    hijacks, hashed route-age tie break.
   phase.restart();
   const auto dataset = core::run_paper_campaigns(
-      testbed, bgp::TieBreakMode::Hashed, 0xCAFE, /*threads=*/0, metrics);
+      testbed, bgp::TieBreakMode::Hashed, 0xCAFE, /*threads=*/0, metrics,
+      recorder, progress_hook);
   manifest.add_phase("fast_campaign", phase.seconds());
   std::printf("Campaign: %zu attacks recorded (plus RPKI variant)\n",
               testbed.sites().size() * (testbed.sites().size() - 1));
@@ -71,12 +110,20 @@ int main(int argc, char** argv) {
   orch_cfg.prefix_lanes = 2;
   orch_cfg.loss = netsim::LossModel{0.01, 0.01};
   orch_cfg.metrics = metrics;
+  orch_cfg.recorder = recorder;
   core::Orchestrator orchestrator(testbed, orch_cfg);
   const auto orch_out = orchestrator.run();
   manifest.add_phase("orchestrated_slice", phase.seconds());
-  std::printf("\nOrchestrated slice (%zu pairs):\n%s",
-              orch_cfg.pairs.size(),
-              analysis::format_campaign_stats(orch_out.stats).c_str());
+  if (metrics != nullptr) {
+    const auto snap = registry.snapshot();
+    std::printf("\nOrchestrated slice (%zu pairs):\n%s",
+                orch_cfg.pairs.size(),
+                analysis::format_campaign_stats(orch_out.stats, &snap).c_str());
+  } else {
+    std::printf("\nOrchestrated slice (%zu pairs):\n%s",
+                orch_cfg.pairs.size(),
+                analysis::format_campaign_stats(orch_out.stats).c_str());
+  }
 
   // 3a. Single-perspective (no MPIC) baseline per provider.
   phase.restart();
@@ -137,7 +184,7 @@ int main(int argc, char** argv) {
   std::printf("\nResilience without RPKI (fraction of adversaries defeated):\n%s",
               table.to_string().c_str());
 
-  if (metrics != nullptr) {
+  if (!metrics_out.empty()) {
     manifest.set("tie_break", "hashed");
     manifest.set("tie_break_seed", std::uint64_t{0xCAFE});
     manifest.set("sites", testbed.sites().size());
@@ -149,6 +196,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nRun manifest written to %s\n", metrics_out.c_str());
+  }
+  if (recorder != nullptr) {
+    const obs::FlightJournal journal = recorder->drain();
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    if (!obs::write_trace_dir(trace_out, journal, &snap)) {
+      std::fprintf(stderr, "failed to write trace bundle to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf(
+        "\nTrace bundle written to %s (trace.json, journal.ndjson, "
+        "metrics.prom): %zu task spans, %zu verdicts (%zu adversary-routed)\n",
+        trace_out.c_str(), journal.task_count(), journal.verdict_count(),
+        journal.adversary_verdict_count());
   }
   return 0;
 }

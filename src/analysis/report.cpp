@@ -59,6 +59,11 @@ std::string format_share(double value01) {
 }
 
 std::string format_campaign_stats(const core::CampaignStats& stats) {
+  return format_campaign_stats(stats, nullptr);
+}
+
+std::string format_campaign_stats(const core::CampaignStats& stats,
+                                  const obs::MetricsSnapshot* snapshot) {
   TextTable table({"Campaign stat", "Value"});
   table.add_row({"attacks completed", std::to_string(stats.attacks_completed)});
   table.add_row({"attack attempts", std::to_string(stats.attack_attempts)});
@@ -76,6 +81,21 @@ std::string format_campaign_stats(const core::CampaignStats& stats) {
   duration.precision(1);
   duration << netsim::to_hours(stats.duration) << " h virtual";
   table.add_row({"duration", duration.str()});
+  if (snapshot != nullptr) {
+    if (const obs::HistogramSnapshot* h =
+            snapshot->histogram("orchestrator.attack_virtual_ms")) {
+      const auto row = [&](const char* label, double q) {
+        std::ostringstream cell;
+        cell.setf(std::ios::fixed);
+        cell.precision(0);
+        cell << h->quantile(q) << " ms virtual";
+        table.add_row({label, cell.str()});
+      };
+      row("attack latency p50", 0.50);
+      row("attack latency p95", 0.95);
+      row("attack latency p99", 0.99);
+    }
+  }
   return table.to_string();
 }
 

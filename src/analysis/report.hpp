@@ -35,4 +35,11 @@ class TextTable {
 [[nodiscard]] std::string format_campaign_stats(
     const core::CampaignStats& stats);
 
+/// format_campaign_stats() plus derived latency percentiles when
+/// `snapshot` (an orchestrator-instrumented metrics snapshot) carries
+/// the `orchestrator.attack_virtual_ms` histogram: p50/p95/p99 rows via
+/// HistogramSnapshot::quantile. Null snapshot = plain table.
+[[nodiscard]] std::string format_campaign_stats(
+    const core::CampaignStats& stats, const obs::MetricsSnapshot* snapshot);
+
 }  // namespace marcopolo::analysis

@@ -36,12 +36,26 @@ class Engine {
   }
 
   void run(const std::vector<SeededRoute>& seeds) {
+    const std::uint64_t start_ns =
+        config_.flight != nullptr ? obs::flight_now_ns() : 0;
     seed(seeds);
     phase_up();
     phase_peer();
     phase_down();
     finish();
     flush_metrics();
+    if (config_.flight != nullptr) {
+      obs::PropagationRunRecord rec;
+      rec.start_ns = start_ns;
+      rec.duration_ns = obs::flight_now_ns() - start_ns;
+      rec.delivered = counts_.delivered;
+      rec.loop_dropped = counts_.loop_dropped;
+      rec.rov_dropped = counts_.rov_dropped;
+      static_assert(std::tuple_size_v<decltype(rec.decided)> ==
+                    kDecisionStepCount);
+      rec.decided = counts_.decided;
+      config_.flight->record_propagation(rec);
+    }
   }
 
  private:

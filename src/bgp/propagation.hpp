@@ -25,6 +25,7 @@
 #include "bgp/as_graph.hpp"
 #include "bgp/decision.hpp"
 #include "bgp/rpki.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace marcopolo::bgp {
@@ -59,6 +60,11 @@ struct PropagationConfig {
   /// so instrumentation adds nothing to the per-candidate hot path; null
   /// disables the flush entirely.
   const PropagationMetrics* metrics = nullptr;
+  /// Optional flight-recorder lane of the calling worker thread. When set,
+  /// the engine appends one PropagationRunRecord (wall-clock span + the
+  /// same local counts the metrics flush sums) per run; null reads no
+  /// clock and records nothing.
+  obs::FlightBuffer* flight = nullptr;
 };
 
 struct PropagationResult {

@@ -34,7 +34,8 @@ void HijackScenario::reset(const AsGraph& graph, NodeId victim,
       (std::uint64_t{victim.value} << 32) | adversary.value);
   cmp_ = RouteComparator(config.tie_break, salt);
 
-  PropagationConfig pc{config.tie_break, salt, config.roas, config.metrics};
+  PropagationConfig pc{config.tie_break, salt, config.roas, config.metrics,
+                       config.flight};
 
   // Victim originates its own prefix normally: the Self candidate's path is
   // empty and the victim's ASN is prepended on export. Seeds are staged in

@@ -44,6 +44,9 @@ struct ScenarioConfig {
   /// Optional pre-interned metrics handles forwarded to the propagation
   /// engine (null = uninstrumented; see PropagationMetrics::create).
   const PropagationMetrics* metrics = nullptr;
+  /// Optional flight-recorder lane of the calling worker, forwarded to the
+  /// propagation engine (one PropagationRunRecord per engine run).
+  obs::FlightBuffer* flight = nullptr;
 };
 
 class HijackScenario {

@@ -139,9 +139,29 @@ CloudProviderModel::CloudProviderModel(topo::Internet& internet,
   }
 }
 
+// The journal-facing VerdictStep mirrors bgp::DecisionStep value-for-value
+// (obs sits below bgp in the library stack, so it keeps its own copy).
+static_assert(static_cast<int>(obs::VerdictStep::LocalPref) ==
+              static_cast<int>(bgp::DecisionStep::LocalPref));
+static_assert(static_cast<int>(obs::VerdictStep::PathLength) ==
+              static_cast<int>(bgp::DecisionStep::PathLength));
+static_assert(static_cast<int>(obs::VerdictStep::RouteAge) ==
+              static_cast<int>(bgp::DecisionStep::RouteAge));
+static_assert(static_cast<int>(obs::VerdictStep::NeighborAsn) ==
+              static_cast<int>(bgp::DecisionStep::NeighborAsn));
+static_assert(static_cast<int>(obs::VerdictStep::IngressPop) ==
+              static_cast<int>(bgp::DecisionStep::IngressPop));
+
 const bgp::RouteCandidate* CloudProviderModel::select_egress(
     std::size_t perspective, std::span<const bgp::RouteCandidate> rib,
     const bgp::RouteComparator& cmp, const bgp::RoaRegistry* roas) const {
+  return select_egress_explained(perspective, rib, cmp, roas, nullptr);
+}
+
+const bgp::RouteCandidate* CloudProviderModel::select_egress_explained(
+    std::size_t perspective, std::span<const bgp::RouteCandidate> rib,
+    const bgp::RouteComparator& cmp, const bgp::RoaRegistry* roas,
+    ResolveExplanation* why) const {
   if (perspective >= regions_.size()) {
     throw std::out_of_range("perspective index");
   }
@@ -156,6 +176,10 @@ const bgp::RouteCandidate* CloudProviderModel::select_egress(
       continue;
     }
     valid.push_back(&c);
+  }
+  if (why != nullptr) {
+    why->contested = false;
+    why->decided_by = obs::VerdictStep::Unopposed;
   }
   if (valid.empty()) return nullptr;
 
@@ -175,6 +199,38 @@ const bgp::RouteCandidate* CloudProviderModel::select_egress(
     }
   }
 
+  // Provenance: contested means both origins survived ROV; the deciding
+  // step is the first attribute whose per-role bests differ, falling
+  // through to the egress-policy stage when both roles make the class.
+  bool class_contested = false;
+  if (why != nullptr) {
+    bool has_role[2] = {false, false};
+    bgp::RouteSource role_src[2] = {bgp::RouteSource::Provider,
+                                    bgp::RouteSource::Provider};
+    std::size_t role_len[2] = {std::numeric_limits<std::size_t>::max(),
+                               std::numeric_limits<std::size_t>::max()};
+    for (const auto* c : valid) {
+      const auto r = static_cast<std::size_t>(c->ann.role);
+      has_role[r] = true;
+      role_src[r] = std::min(role_src[r], c->source);
+      if (c->source == best_src) {
+        role_len[r] = std::min(role_len[r], c->ann.path_length());
+      }
+    }
+    why->contested = has_role[0] && has_role[1];
+    if (why->contested) {
+      if (role_src[0] != role_src[1]) {
+        why->decided_by = obs::VerdictStep::LocalPref;
+      } else if (role_len[0] != role_len[1]) {
+        why->decided_by = obs::VerdictStep::PathLength;
+      } else {
+        // Both roles are in the best-attribute class; the policy stage
+        // below reports IngressPop vs RouteAge.
+        class_contested = true;
+      }
+    }
+  }
+
   const auto attribute_tiebreak = [&](const bgp::RouteCandidate* a,
                                       const bgp::RouteCandidate* b) {
     // Same localpref and length by construction; fall through to the
@@ -191,17 +247,28 @@ const bgp::RouteCandidate* CloudProviderModel::select_egress(
     const netsim::GeoPoint here = regions_[perspective].location;
     const bgp::RouteCandidate* best = nullptr;
     double best_km = std::numeric_limits<double>::max();
+    double role_km[2] = {std::numeric_limits<double>::max(),
+                         std::numeric_limits<double>::max()};
     for (const auto* c : cls) {
       const double km =
           c->ingress_pop.valid()
               ? netsim::great_circle_km(here,
                                         pop_location_[c->ingress_pop.value])
               : 20037.0;  // unknown POP: treat as antipodal
+      auto& slot = role_km[static_cast<std::size_t>(c->ann.role)];
+      slot = std::min(slot, km);
       if (best == nullptr || km < best_km - 1e-9 ||
           (std::abs(km - best_km) <= 1e-9 && attribute_tiebreak(c, best))) {
         best = c;
         best_km = km;
       }
+    }
+    if (class_contested) {
+      // Geography decided iff one role's nearest ingress is strictly
+      // closer; an exact distance tie falls to the route-age preference.
+      why->decided_by = std::abs(role_km[0] - role_km[1]) > 1e-9
+                            ? obs::VerdictStep::IngressPop
+                            : obs::VerdictStep::RouteAge;
     }
     return best;
   }
@@ -234,12 +301,18 @@ const bgp::RouteCandidate* CloudProviderModel::select_egress(
       bgp::OriginRole::Adversary)];
 
   bgp::OriginRole preferred;
+  bool geo_decided = true;
   if (adversary_km < config_.geo_margin * victim_km) {
     preferred = bgp::OriginRole::Adversary;
   } else if (victim_km < config_.geo_margin * adversary_km) {
     preferred = bgp::OriginRole::Victim;
   } else {
     preferred = cmp.preferred_role(backbone_, zone);
+    geo_decided = false;
+  }
+  if (class_contested) {
+    why->decided_by = geo_decided ? obs::VerdictStep::IngressPop
+                                  : obs::VerdictStep::RouteAge;
   }
 
   const auto zone_tiebreak = [&](const bgp::RouteCandidate* a,
@@ -348,6 +421,32 @@ bgp::OriginReached CloudProviderModel::resolve(
   return chosen->ann.role == bgp::OriginRole::Victim
              ? bgp::OriginReached::Victim
              : bgp::OriginReached::Adversary;
+}
+
+ResolveExplanation CloudProviderModel::resolve_explained(
+    std::size_t perspective, const bgp::HijackScenario& scenario,
+    const bgp::RoaRegistry* roas) const {
+  const bgp::RouteComparator& cmp = scenario.comparator();
+  ResolveExplanation why;
+  if (const auto* sub = scenario.sub_prefix()) {
+    const auto& sub_rib = sub->rib_in[backbone_.value];
+    if (select_egress(perspective, sub_rib, cmp, roas) != nullptr) {
+      why.outcome = bgp::OriginReached::Adversary;
+      why.decided_by = obs::VerdictStep::MoreSpecific;
+      return why;
+    }
+  }
+  const auto& rib = scenario.primary().rib_in[backbone_.value];
+  const bgp::RouteCandidate* chosen =
+      select_egress_explained(perspective, rib, cmp, roas, &why);
+  if (chosen == nullptr) {
+    why.outcome = bgp::OriginReached::None;
+    return why;
+  }
+  why.outcome = chosen->ann.role == bgp::OriginRole::Victim
+                    ? bgp::OriginReached::Victim
+                    : bgp::OriginReached::Adversary;
+  return why;
 }
 
 }  // namespace marcopolo::cloud

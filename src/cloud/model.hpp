@@ -21,10 +21,22 @@
 
 #include "bgp/scenario.hpp"
 #include "bgpd/speaker.hpp"
+#include "obs/flight_recorder.hpp"
 #include "topo/internet.hpp"
 #include "topo/region_catalog.hpp"
 
 namespace marcopolo::cloud {
+
+/// Decision provenance of one perspective resolution: which rule of the
+/// egress decision picked the winning origin, and whether the decision
+/// was contested (both origins' routes survived ROV at the backbone).
+/// `decided_by == RouteAge` on a contested verdict marks the outcome as
+/// rerun-sensitive (paper §4.4.4).
+struct ResolveExplanation {
+  bgp::OriginReached outcome = bgp::OriginReached::None;
+  bool contested = false;
+  obs::VerdictStep decided_by = obs::VerdictStep::Unopposed;
+};
 
 enum class EgressPolicy : std::uint8_t { HotPotato, ColdPotato };
 
@@ -90,11 +102,26 @@ class CloudProviderModel {
       std::size_t perspective, const bgp::HijackScenario& scenario,
       const bgp::RoaRegistry* roas = nullptr) const;
 
+  /// resolve() plus decision provenance. Shares the selection code path
+  /// with resolve(), so `resolve_explained(...).outcome` is always equal
+  /// to `resolve(...)` for the same inputs (asserted by tests).
+  [[nodiscard]] ResolveExplanation resolve_explained(
+      std::size_t perspective, const bgp::HijackScenario& scenario,
+      const bgp::RoaRegistry* roas = nullptr) const;
+
   /// Egress selection over an explicit candidate list (exposed for tests).
   [[nodiscard]] const bgp::RouteCandidate* select_egress(
       std::size_t perspective, std::span<const bgp::RouteCandidate> rib,
       const bgp::RouteComparator& cmp,
       const bgp::RoaRegistry* roas = nullptr) const;
+
+  /// select_egress() that also reports provenance (`outcome` is left for
+  /// the caller; `contested` and `decided_by` are filled). `why` may be
+  /// null, in which case this is exactly select_egress().
+  [[nodiscard]] const bgp::RouteCandidate* select_egress_explained(
+      std::size_t perspective, std::span<const bgp::RouteCandidate> rib,
+      const bgp::RouteComparator& cmp, const bgp::RoaRegistry* roas,
+      ResolveExplanation* why) const;
 
   /// Live variant: resolve a perspective from the backbone's event-driven
   /// speaker state. Equal-attribute ties break toward the oldest route

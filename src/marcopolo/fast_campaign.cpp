@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/log.hpp"
 #include "obs/timer.hpp"
 
 namespace marcopolo::core {
@@ -73,18 +74,25 @@ class CampaignWorker {
  public:
   CampaignWorker(const Testbed& testbed, const FastCampaignConfig& config,
                  const bgp::RoaRegistry* edge_roas, ResultStore& store,
-                 const CampaignMetrics& metrics)
+                 const CampaignMetrics& metrics, obs::FlightRecorder* recorder,
+                 obs::FlightBuffer* flight)
       : testbed_(testbed),
         config_(config),
         edge_roas_(edge_roas),
         store_(store),
         metrics_(metrics),
+        recorder_(recorder),
+        flight_(flight),
         outcomes_(testbed.perspectives().size(),
-                  bgp::OriginReached::None) {}
+                  bgp::OriginReached::None) {
+    if (flight_ != nullptr) explains_.resize(outcomes_.size());
+  }
 
   void run(const CampaignTask& task) {
     obs::ScopedTimer timer(metrics_.task_ns);
     metrics_.tasks_executed.add(1);
+    const bool recording = flight_ != nullptr;
+    const std::uint64_t t_start = recording ? obs::flight_now_ns() : 0;
     const auto& sites = testbed_.sites();
     const auto& perspectives = testbed_.perspectives();
     if (task.announcer == task.adversary) {
@@ -99,32 +107,59 @@ class CampaignWorker {
           store_.record_unsynchronized(
               v, static_cast<SiteIndex>(task.adversary), rec.index,
               bgp::OriginReached::Adversary);
+          if (recording) {
+            // No BGP decision involved: the verdict is unopposed by
+            // construction (the adversary serves the victim's DNS).
+            flight_->record_verdict(make_verdict(
+                v, task.adversary, rec.index, bgp::OriginReached::Adversary,
+                obs::VerdictStep::Unopposed, /*contested=*/false));
+          }
         }
       }
-      metrics_.rows_recorded.add(rows * perspectives.size());
+      const std::uint64_t total = rows * perspectives.size();
+      metrics_.rows_recorded.add(total);
+      if (recording) {
+        flight_->record_task(make_task_span(task, rows, /*total_capture=*/true,
+                                            t_start, 0, 0, t_start));
+        recorder_->note_verdicts(total, total);
+      }
       return;
     }
     const bgp::ScenarioConfig sc{
-        config_.type, config_.tie_break, config_.tie_break_seed, config_.roas,
-        metrics_.enabled ? &metrics_.propagation : nullptr};
+        config_.type,  config_.tie_break, config_.tie_break_seed,
+        config_.roas,  metrics_.enabled ? &metrics_.propagation : nullptr,
+        flight_};
     {
       obs::ScopedTimer propagate_timer(metrics_.propagate_ns);
       scenario_.reset(testbed_.internet().graph(),
                       sites[task.announcer].node, sites[task.adversary].node,
                       config_.victim_prefix(task.announcer), sc, ws_);
     }
+    const std::uint64_t t_propagated = recording ? obs::flight_now_ns() : 0;
     metrics_.propagations.add(1);
     // Resolve every perspective once per task; the outcome depends only on
     // (announcer, adversary), never on which victim the row belongs to.
+    // The explained resolution shares the selection code path with the
+    // plain one, so recording cannot change any outcome.
     {
       obs::ScopedTimer classify_timer(metrics_.classify_ns);
-      for (const PerspectiveRecord& rec : perspectives) {
-        outcomes_[rec.index] =
-            testbed_.perspective_outcome(rec.index, scenario_, edge_roas_);
+      if (recording) {
+        for (const PerspectiveRecord& rec : perspectives) {
+          explains_[rec.index] = testbed_.perspective_outcome_explained(
+              rec.index, scenario_, edge_roas_);
+          outcomes_[rec.index] = explains_[rec.index].outcome;
+        }
+      } else {
+        for (const PerspectiveRecord& rec : perspectives) {
+          outcomes_[rec.index] =
+              testbed_.perspective_outcome(rec.index, scenario_, edge_roas_);
+        }
       }
     }
+    const std::uint64_t t_classified = recording ? obs::flight_now_ns() : 0;
     obs::ScopedTimer record_timer(metrics_.record_ns);
     std::uint64_t rows = 0;
+    std::uint64_t adversary_verdicts = 0;
     for (const SiteIndex v : task.victims) {
       if (v == task.adversary) continue;
       ++rows;
@@ -132,20 +167,72 @@ class CampaignWorker {
         store_.record_unsynchronized(v,
                                      static_cast<SiteIndex>(task.adversary),
                                      rec.index, outcomes_[rec.index]);
+        if (recording) {
+          const cloud::ResolveExplanation& why = explains_[rec.index];
+          flight_->record_verdict(make_verdict(v, task.adversary, rec.index,
+                                               why.outcome, why.decided_by,
+                                               why.contested));
+          if (why.outcome == bgp::OriginReached::Adversary) {
+            ++adversary_verdicts;
+          }
+        }
       }
     }
     metrics_.rows_recorded.add(rows * perspectives.size());
+    if (recording) {
+      flight_->record_task(make_task_span(task, rows, /*total_capture=*/false,
+                                          t_start, t_propagated,
+                                          t_classified, t_start));
+      recorder_->note_verdicts(rows * perspectives.size(), adversary_verdicts);
+    }
   }
 
  private:
+  [[nodiscard]] static obs::VerdictRecord make_verdict(
+      std::size_t victim, std::size_t adversary, std::uint16_t perspective,
+      bgp::OriginReached outcome, obs::VerdictStep decided_by,
+      bool contested) {
+    obs::VerdictRecord v;
+    v.victim = static_cast<std::uint16_t>(victim);
+    v.adversary = static_cast<std::uint16_t>(adversary);
+    v.perspective = perspective;
+    v.outcome = static_cast<std::uint8_t>(outcome);
+    v.decided_by = decided_by;
+    v.contested = contested;
+    return v;
+  }
+
+  [[nodiscard]] static obs::TaskSpanRecord make_task_span(
+      const CampaignTask& task, std::uint64_t rows, bool total_capture,
+      std::uint64_t t_start, std::uint64_t t_propagated,
+      std::uint64_t t_classified, std::uint64_t phase_base) {
+    const std::uint64_t t_end = obs::flight_now_ns();
+    obs::TaskSpanRecord rec;
+    rec.announcer = static_cast<std::uint32_t>(task.announcer);
+    rec.adversary = static_cast<std::uint32_t>(task.adversary);
+    rec.victim_rows = static_cast<std::uint32_t>(rows);
+    rec.total_capture = total_capture;
+    rec.start_ns = t_start;
+    rec.duration_ns = t_end - t_start;
+    if (!total_capture) {
+      rec.propagate_ns = t_propagated - phase_base;
+      rec.classify_ns = t_classified - t_propagated;
+      rec.record_ns = t_end - t_classified;
+    }
+    return rec;
+  }
+
   const Testbed& testbed_;
   const FastCampaignConfig& config_;
   const bgp::RoaRegistry* edge_roas_;
   ResultStore& store_;
   const CampaignMetrics& metrics_;
+  obs::FlightRecorder* recorder_;
+  obs::FlightBuffer* flight_;
   bgp::PropagationWorkspace ws_;
   bgp::HijackScenario scenario_;
   std::vector<bgp::OriginReached> outcomes_;
+  std::vector<cloud::ResolveExplanation> explains_;
 };
 
 }  // namespace
@@ -203,6 +290,12 @@ ResultStore run_fast_campaign(const Testbed& testbed,
   const std::size_t n_threads = std::max<std::size_t>(
       1, std::min(config.threads == 0 ? hw : config.threads, tasks.size()));
   metrics.worker_threads.add(n_threads);
+  MARCOPOLO_LOG(Info) << "fast campaign"
+                      << obs::field("attack", to_cstring(config.type))
+                      << obs::field("tasks", tasks.size())
+                      << obs::field("threads", n_threads)
+                      << obs::field("recording",
+                                    config.recorder != nullptr);
 
   // Workers pull tasks from a shared counter; any task order yields the
   // same store because every cell is written exactly once with a value
@@ -215,7 +308,13 @@ ResultStore run_fast_campaign(const Testbed& testbed,
   const std::size_t progress_every =
       config.progress ? std::max<std::size_t>(1, config.progress_every) : 0;
   auto drain = [&] {
-    CampaignWorker worker(testbed, config, edge_roas, store, metrics);
+    // Lane opened on the worker thread itself so wall-clock records group
+    // one-trace-lane-per-thread; the recorder keeps the buffer alive past
+    // the join.
+    obs::FlightBuffer* flight =
+        config.recorder != nullptr ? config.recorder->open_buffer() : nullptr;
+    CampaignWorker worker(testbed, config, edge_roas, store, metrics,
+                          config.recorder, flight);
     std::size_t done_local = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -249,17 +348,19 @@ ResultStore run_fast_campaign(const Testbed& testbed,
   return store;
 }
 
-CampaignDataset run_paper_campaigns(const Testbed& testbed,
-                                    bgp::TieBreakMode tie_break,
-                                    std::uint64_t tie_break_seed,
-                                    std::size_t threads,
-                                    obs::MetricsRegistry* metrics) {
+CampaignDataset run_paper_campaigns(
+    const Testbed& testbed, bgp::TieBreakMode tie_break,
+    std::uint64_t tie_break_seed, std::size_t threads,
+    obs::MetricsRegistry* metrics, obs::FlightRecorder* recorder,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
   FastCampaignConfig plain;
   plain.type = bgp::AttackType::EquallySpecific;
   plain.tie_break = tie_break;
   plain.tie_break_seed = tie_break_seed;
   plain.threads = threads;
   plain.metrics = metrics;
+  plain.recorder = recorder;
+  plain.progress = progress;
 
   FastCampaignConfig forged = plain;
   forged.type = bgp::AttackType::ForgedOriginPrepend;

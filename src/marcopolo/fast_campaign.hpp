@@ -13,6 +13,7 @@
 #include "bgp/scenario.hpp"
 #include "marcopolo/result_store.hpp"
 #include "marcopolo/testbed.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace marcopolo::core {
@@ -67,6 +68,13 @@ struct FastCampaignConfig {
   /// results — the store stays byte-identical with metrics on or off
   /// (asserted by tests). Null = uninstrumented.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional flight recorder: every worker opens its own lane and emits
+  /// one task span per task, one propagation record per engine run, and
+  /// one decision-provenance verdict per (victim, adversary, perspective)
+  /// row. Same contract as `metrics`: recording is a pure observer — the
+  /// store stays byte-identical with the recorder on or off (asserted by
+  /// tests) — and a null recorder means no clock reads at all.
+  obs::FlightRecorder* recorder = nullptr;
   /// Optional progress hook, called as tasks retire with
   /// (tasks_completed, tasks_total). Invoked from worker threads (every
   /// `progress_every` completions, and once at the end by the last
@@ -105,6 +113,8 @@ struct CampaignDataset {
 [[nodiscard]] CampaignDataset run_paper_campaigns(
     const Testbed& testbed, bgp::TieBreakMode tie_break,
     std::uint64_t tie_break_seed, std::size_t threads = 0,
-    obs::MetricsRegistry* metrics = nullptr);
+    obs::MetricsRegistry* metrics = nullptr,
+    obs::FlightRecorder* recorder = nullptr,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
 
 }  // namespace marcopolo::core

@@ -4,9 +4,20 @@
 #include <chrono>
 #include <set>
 
+#include "obs/log.hpp"
+
 namespace marcopolo::core {
 
 namespace {
+
+/// Virtual simulation time as microseconds since the sim epoch (the time
+/// base of every orchestrator flight record).
+std::uint64_t virtual_us(netsim::TimePoint at) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(at -
+                                                            netsim::kEpoch)
+          .count());
+}
 
 netsim::Ipv4Addr site_server_addr(std::size_t site) {
   return netsim::Ipv4Addr(100, 67, static_cast<std::uint8_t>(site / 250),
@@ -74,6 +85,7 @@ Orchestrator::Orchestrator(Testbed& testbed, const OrchestratorConfig& config)
   rstats_.attack_virtual_ms =
       obs::MetricsRegistry::histogram(reg, "orchestrator.attack_virtual_ms");
   rstats_.propagation = bgp::PropagationMetrics::create(reg);
+  if (config_.recorder != nullptr) flight_ = config_.recorder->open_buffer();
   net_ = std::make_unique<netsim::Network>(
       sim_, netsim::hash_combine(config.seed, 0x20));
   net_->set_loss_model(config.loss);
@@ -161,6 +173,12 @@ Orchestrator::Output Orchestrator::run() {
   }
   for (const auto& [v, a] : work_) attempts_[pair_key(v, a)] = 0;
 
+  MARCOPOLO_LOG(Info) << "orchestrated campaign"
+                      << obs::field("attack", to_cstring(config_.type))
+                      << obs::field("pairs", work_.size())
+                      << obs::field("lanes", lanes_.size())
+                      << obs::field("recording", flight_ != nullptr);
+
   for (const auto& lane : lanes_) start_lane(*lane);
   sim_.run();
 
@@ -240,10 +258,16 @@ void Orchestrator::run_dcv(Lane& lane) {
     rstats_.validations.add(agents_.size());
     global_sweep_->corroborate(
         dcv::ValidationJob{ch.domain, ch.url_path(), ch.key_authorization},
-        [this, system_done](mpic::CorroborationResult r) mutable {
+        [this, system_done, lane_idx = lane.index, victim = attack.victim,
+         adversary = attack.adversary](mpic::CorroborationResult r) mutable {
           if (r.corroborated) {
             ++stats_.dcv_corroborations_passed;
             rstats_.dcv_corroborations_passed.add(1);
+          }
+          if (flight_ != nullptr) {
+            flight_->record_quorum(obs::QuorumRecord{
+                "global-sweep", static_cast<std::uint32_t>(lane_idx), victim,
+                adversary, r.corroborated, virtual_us(sim_.now())});
           }
           system_done();
         });
@@ -257,10 +281,16 @@ void Orchestrator::run_dcv(Lane& lane) {
     rstats_.validations.add(cf_service_->perspective_count());
     cf_service_->corroborate(
         dcv::ValidationJob{ch.domain, ch.url_path(), ch.key_authorization},
-        [this, system_done](mpic::CorroborationResult r) mutable {
+        [this, system_done, lane_idx = lane.index, victim = attack.victim,
+         adversary = attack.adversary](mpic::CorroborationResult r) mutable {
           if (r.corroborated) {
             ++stats_.dcv_corroborations_passed;
             rstats_.dcv_corroborations_passed.add(1);
+          }
+          if (flight_ != nullptr) {
+            flight_->record_quorum(obs::QuorumRecord{
+                "cloudflare", static_cast<std::uint32_t>(lane_idx), victim,
+                adversary, r.corroborated, virtual_us(sim_.now())});
           }
           system_done();
         });
@@ -280,11 +310,18 @@ void Orchestrator::run_dcv(Lane& lane) {
           central_store_->put(ch.url_path(), ch.key_authorization);
           attack.paths.insert(ch.url_path());
         },
-        [this, system_done](mpic::OrderResult r) mutable {
-          if (r.status == mpic::OrderStatus::Ready &&
-              !r.from_cached_authorization) {
+        [this, system_done, lane_idx = lane.index, victim = attack.victim,
+         adversary = attack.adversary](mpic::OrderResult r) mutable {
+          const bool issued = r.status == mpic::OrderStatus::Ready &&
+                              !r.from_cached_authorization;
+          if (issued) {
             ++stats_.dcv_corroborations_passed;
             rstats_.dcv_corroborations_passed.add(1);
+          }
+          if (flight_ != nullptr) {
+            flight_->record_quorum(obs::QuorumRecord{
+                "le-staging", static_cast<std::uint32_t>(lane_idx), victim,
+                adversary, issued, virtual_us(sim_.now())});
           }
           system_done();
         });
@@ -332,6 +369,40 @@ void Orchestrator::conclude_attack(Lane& lane) {
   // all logs), so a retry only needs to fill the gaps.
   const bool complete =
       results_.pair_complete(attack.victim, attack.adversary);
+
+  if (flight_ != nullptr) {
+    obs::AttackSpanRecord span;
+    span.lane = static_cast<std::uint32_t>(lane.index);
+    span.victim = attack.victim;
+    span.adversary = attack.adversary;
+    span.attempt = static_cast<std::uint8_t>(
+        attempts_[pair_key(attack.victim, attack.adversary)]);
+    span.complete = complete;
+    span.announce_us = virtual_us(attack.announced);
+    span.dcv_us = virtual_us(attack.dcv_start);
+    span.conclude_us = virtual_us(sim_.now());
+    flight_->record_attack(span);
+    // Provenance for every perspective of this attack: the scenario's own
+    // resolution explains the route the DCV fetch took (the explained
+    // path shares code with the plane's resolution, so outcomes agree).
+    std::uint64_t adversary_verdicts = 0;
+    const auto n = static_cast<std::uint16_t>(agents_.size());
+    for (std::uint16_t p = 0; p < n; ++p) {
+      const cloud::ResolveExplanation why =
+          testbed_.perspective_outcome_explained(p, *attack.scenario,
+                                                 config_.roas);
+      obs::VerdictRecord v;
+      v.victim = attack.victim;
+      v.adversary = attack.adversary;
+      v.perspective = p;
+      v.outcome = static_cast<std::uint8_t>(why.outcome);
+      v.decided_by = why.decided_by;
+      v.contested = why.contested;
+      flight_->record_verdict(v);
+      if (why.outcome == bgp::OriginReached::Adversary) ++adversary_verdicts;
+    }
+    config_.recorder->note_verdicts(n, adversary_verdicts);
+  }
 
   // Withdraw.
   plane_->end_attack(attack.scenario->target_address());

@@ -28,6 +28,7 @@
 #include "mpic/acme_ca.hpp"
 #include "mpic/certbot_client.hpp"
 #include "mpic/rest_service.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace marcopolo::core {
@@ -57,6 +58,14 @@ struct OrchestratorConfig {
   /// same accounting kept for API compatibility. Null = registry
   /// bookkeeping off, stats still filled.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional flight recorder. The orchestrator (single-threaded inside
+  /// the virtual-time simulator) opens one lane and emits an
+  /// AttackSpanRecord per attempt, a QuorumRecord per MPIC system
+  /// decision, and a provenance VerdictRecord per perspective — all
+  /// stamped in virtual simulation time. Pure observer: results and
+  /// stats are unchanged by recording. Null = no recording.
+  obs::FlightRecorder* recorder = nullptr;
 
   /// Pairs to attack; empty = every ordered (victim, adversary) pair.
   std::vector<std::pair<SiteIndex, SiteIndex>> pairs;
@@ -144,6 +153,10 @@ class Orchestrator {
     /// Pre-interned propagation-engine handles shared by every scenario.
     bgp::PropagationMetrics propagation;
   } rstats_;
+
+  /// Flight-recorder lane (null when config_.recorder is). The simulator
+  /// is single-threaded, so one buffer serves every lane and callback.
+  obs::FlightBuffer* flight_ = nullptr;
 };
 
 }  // namespace marcopolo::core

@@ -79,4 +79,15 @@ bgp::OriginReached Testbed::perspective_outcome(
                        roas);
 }
 
+cloud::ResolveExplanation Testbed::perspective_outcome_explained(
+    std::uint16_t perspective, const bgp::HijackScenario& scenario,
+    const bgp::RoaRegistry* roas) const {
+  if (perspective >= perspectives_.size()) {
+    throw std::out_of_range("perspective index");
+  }
+  const auto& model = clouds_[perspective_cloud_[perspective]];
+  return model.resolve_explained(perspectives_[perspective].local_index,
+                                 scenario, roas);
+}
+
 }  // namespace marcopolo::core

@@ -72,6 +72,12 @@ class Testbed {
       std::uint16_t perspective, const bgp::HijackScenario& scenario,
       const bgp::RoaRegistry* roas = nullptr) const;
 
+  /// perspective_outcome() plus decision provenance (same code path, so
+  /// the outcome always matches).
+  [[nodiscard]] cloud::ResolveExplanation perspective_outcome_explained(
+      std::uint16_t perspective, const bgp::HijackScenario& scenario,
+      const bgp::RoaRegistry* roas = nullptr) const;
+
  private:
   topo::Internet internet_;
   std::vector<topo::Site> sites_;

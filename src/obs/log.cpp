@@ -1,6 +1,8 @@
 #include "obs/log.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace marcopolo::obs {
 
@@ -9,10 +11,30 @@ Logger& Logger::global() {
   return instance;
 }
 
-void Logger::set_stderr_sink(LogLevel level) {
+void Logger::set_stderr_sink(LogLevel level, bool timestamps) {
   set_level(level);
+  if (!timestamps) {
+    set_sink([](LogLevel lvl, std::string_view message) {
+      std::fprintf(stderr, "[%s] %.*s\n", to_cstring(lvl),
+                   static_cast<int>(message.size()), message.data());
+    });
+    return;
+  }
   set_sink([](LogLevel lvl, std::string_view message) {
-    std::fprintf(stderr, "[%s] %.*s\n", to_cstring(lvl),
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+#if defined(_WIN32)
+    localtime_s(&tm, &secs);
+#else
+    localtime_r(&secs, &tm);
+#endif
+    std::fprintf(stderr, "%02d:%02d:%02d.%03d [%s] %.*s\n", tm.tm_hour,
+                 tm.tm_min, tm.tm_sec, static_cast<int>(ms), to_cstring(lvl),
                  static_cast<int>(message.size()), message.data());
   });
 }

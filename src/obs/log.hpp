@@ -56,8 +56,11 @@ class Logger {
     sink_ = std::move(sink);
   }
 
-  /// Convenience: level + line-buffered stderr sink.
-  void set_stderr_sink(LogLevel level = LogLevel::Info);
+  /// Convenience: level + line-buffered stderr sink. With `timestamps`,
+  /// every line is prefixed with local wall-clock time
+  /// (`HH:MM:SS.mmm`), the format --verbose CLI runs use.
+  void set_stderr_sink(LogLevel level = LogLevel::Info,
+                       bool timestamps = false);
 
   void write(LogLevel level, std::string_view message) {
     std::scoped_lock lock(sink_mutex_);

@@ -59,7 +59,11 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
     out << (i == 0 ? "\n" : ",\n") << indent << "    \""
         << json_escape(h.name) << "\": {\"count\": " << h.count
         << ", \"sum\": " << h.sum << ", \"min\": " << h.min
-        << ", \"max\": " << h.max << ", \"buckets\": [";
+        << ", \"max\": " << h.max
+        << ", \"p50\": " << format_double(h.quantile(0.50))
+        << ", \"p95\": " << format_double(h.quantile(0.95))
+        << ", \"p99\": " << format_double(h.quantile(0.99))
+        << ", \"buckets\": [";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       if (b > 0) out << ", ";
       out << "{\"le\": " << h.buckets[b].first

@@ -27,7 +27,9 @@ namespace marcopolo::obs {
 
 /// Write one MetricsSnapshot as a JSON object:
 ///   {"counters": {...}, "histograms": {name: {count, sum, min, max,
-///    buckets: [{"le": ..., "count": ...}]}}}
+///    p50, p95, p99, buckets: [{"le": ..., "count": ...}]}}}
+/// The pNN fields are log2-bucket interpolation estimates
+/// (HistogramSnapshot::quantile).
 /// `indent` is prepended to every line after the first.
 void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
                         std::string_view indent = {});

@@ -55,6 +55,32 @@ std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   return 0;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, midpoint convention).
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (const auto& [le, bucket_count] : buckets) {
+    const std::uint64_t after = seen + bucket_count;
+    if (static_cast<double>(after) >= rank) {
+      // Bucket with inclusive upper bound `le` covers (le >> 1, le].
+      const double lo = static_cast<double>(le >> 1);
+      const double hi = static_cast<double>(le);
+      const double frac =
+          bucket_count == 0
+              ? 1.0
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(bucket_count);
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    seen = after;
+  }
+  return static_cast<double>(max);
+}
+
 const HistogramSnapshot* MetricsSnapshot::histogram(
     std::string_view name) const {
   for (const auto& h : histograms) {

@@ -86,6 +86,11 @@ struct HistogramSnapshot {
   std::uint64_t max = 0;
   /// Non-empty buckets only, ascending: {inclusive upper bound, count}.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the log2 bucket holding the target rank: bucket with upper bound
+  /// `le` covers (le >> 1, le]. Clamped to [min, max]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Merged view of a whole registry, sorted by name (deterministic output

@@ -1,0 +1,51 @@
+// Export a drained FlightJournal (and a MetricsSnapshot) in standard
+// formats:
+//
+//   - Chrome trace_event JSON: loads in Perfetto (ui.perfetto.dev) or
+//     chrome://tracing. Wall-clock records appear under process 1
+//     ("fast_campaign workers"), one lane per worker thread, propagation
+//     spans nested inside their task spans. Orchestrator records appear
+//     under process 2 ("orchestrator, virtual time"), one lane per
+//     prefix lane, with attack attempts split into propagation-wait and
+//     DCV-fan-out slices and quorum decisions as instant events.
+//   - NDJSON journal: one self-describing JSON object per line
+//     (`{"type": "task" | "propagation" | "verdict" | "attack" |
+//     "quorum", ...}`), greppable and trivially parseable line-wise.
+//     Verdict lines carry the decision provenance (`decided_by`,
+//     `contested`, `route_age_sensitive`).
+//   - Prometheus text exposition format for a MetricsSnapshot
+//     (`# TYPE` / `# HELP`, cumulative histogram buckets), so the same
+//     counters the manifest embeds can be scraped or pushed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace marcopolo::obs {
+
+/// Chrome trace_event JSON ("traceEvents" array form).
+void write_chrome_trace(std::ostream& out, const FlightJournal& journal);
+
+/// Newline-delimited JSON, one record per line, ordered: a `meta` line,
+/// then tasks/propagations/verdicts per worker lane, then virtual-time
+/// attacks and quorum decisions.
+void write_journal_ndjson(std::ostream& out, const FlightJournal& journal);
+
+/// Prometheus text exposition format. Metric names are prefixed with
+/// `marcopolo_` and sanitized ('.' and other invalid characters become
+/// '_'); histograms emit cumulative `_bucket{le="..."}` series plus
+/// `_sum` and `_count` as the protocol requires.
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Write the standard trace bundle into directory `dir` (created if
+/// missing): trace.json (Chrome trace), journal.ndjson, and — when
+/// `snapshot` is non-null — metrics.prom. Returns false on any I/O
+/// failure (after attempting all files).
+[[nodiscard]] bool write_trace_dir(const std::string& dir,
+                                   const FlightJournal& journal,
+                                   const MetricsSnapshot* snapshot);
+
+}  // namespace marcopolo::obs
