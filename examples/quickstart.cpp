@@ -34,6 +34,7 @@
 #include "marcopolo/production_systems.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
+#include "obs/run_compare.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace_export.hpp"
 
@@ -210,6 +211,18 @@ int main(int argc, char** argv) {
         "metrics.prom): %zu task spans, %zu verdicts (%zu adversary-routed)\n",
         trace_out.c_str(), journal.task_count(), journal.verdict_count(),
         journal.adversary_verdict_count());
+    // Self-check: a bundle this process cannot read back (or whose
+    // journal disagrees with the manifest counters) is a bug, not a
+    // warning.
+    const obs::BundleCheckResult check =
+        obs::check_trace_bundle(trace_out, metrics_out);
+    if (!check.ok) {
+      for (const std::string& problem : check.problems) {
+        std::fprintf(stderr, "trace bundle self-check: %s\n",
+                     problem.c_str());
+      }
+      return 1;
+    }
   }
   return 0;
 }

@@ -116,8 +116,19 @@ void ProgressReporter::update(std::size_t done, std::size_t total) {
                         static_cast<double>(verdicts));
     }
   }
-  std::fprintf(out_, "[campaign] %zu/%zu tasks (%.1f%%)  %.1f tasks/s  %s%s\n",
-               done, total, pct, rate, eta, hijacked);
+  // Live updates overwrite one stderr line (leading \r, no newline); the
+  // final 100% summary is newline-terminated so a completed campaign
+  // never leaves a stale partial line behind. Shorter lines are padded
+  // to blank out the previous one.
+  char line[192];
+  int len = std::snprintf(line, sizeof line,
+                          "[campaign] %zu/%zu tasks (%.1f%%)  %.1f tasks/s  "
+                          "%s%s",
+                          done, total, pct, rate, eta, hijacked);
+  if (len < 0) len = 0;
+  const int width = std::max(len, last_line_len_);
+  last_line_len_ = final ? 0 : len;
+  std::fprintf(out_, "\r%-*s%s", width, line, final ? "\n" : "");
   std::fflush(out_);
 }
 

@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 namespace marcopolo::obs {
@@ -60,6 +61,22 @@ enum class VerdictStep : std::uint8_t {
     case VerdictStep::Unopposed: return "unopposed";
   }
   return "?";
+}
+
+/// Inverse of to_cstring (the journal reader's decoder). Returns false
+/// and leaves `step` untouched on an unrecognized name.
+[[nodiscard]] constexpr bool verdict_step_from_string(std::string_view name,
+                                                      VerdictStep& step) {
+  for (const VerdictStep candidate :
+       {VerdictStep::LocalPref, VerdictStep::PathLength, VerdictStep::RouteAge,
+        VerdictStep::NeighborAsn, VerdictStep::IngressPop,
+        VerdictStep::MoreSpecific, VerdictStep::Unopposed}) {
+    if (name == to_cstring(candidate)) {
+      step = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// One fast-campaign task: the (announcer, adversary) propagation plus
@@ -229,8 +246,10 @@ class FlightRecorder {
 ///
 ///   [campaign] 512/992 tasks (51.6%)  324.1 tasks/s  ETA 1.5s  hijacked 34.2%
 ///
-/// Thread-safe and rate-limited (at most one line per interval, plus a
-/// final line when done == total). Null-cost when never called.
+/// Thread-safe and rate-limited (at most one update per interval). Live
+/// updates overwrite a single line via \r; completion always emits a
+/// newline-terminated 100% summary line, so the terminal is never left
+/// with a stale partial line. Null-cost when never called.
 class ProgressReporter {
  public:
   explicit ProgressReporter(const FlightRecorder* recorder = nullptr,
@@ -252,6 +271,7 @@ class ProgressReporter {
   std::mutex mutex_;
   std::chrono::steady_clock::time_point last_{};
   bool printed_final_ = false;
+  int last_line_len_ = 0;  ///< For blanking a longer previous live line.
 };
 
 }  // namespace marcopolo::obs

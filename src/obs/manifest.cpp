@@ -1,6 +1,7 @@
 #include "obs/manifest.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 
@@ -19,30 +20,6 @@ std::string format_double(double value) {
 }
 
 }  // namespace
-
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
                         std::string_view indent) {
@@ -160,10 +137,18 @@ void RunManifest::write_json(std::ostream& out,
 
 bool RunManifest::write_file(const std::string& path,
                              const MetricsSnapshot& snapshot) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_json(out, snapshot);
-  return static_cast<bool>(out);
+  // Same crash-safety discipline as write_trace_dir: no truncated
+  // manifest ever appears at the final name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    write_json(out, snapshot);
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
 }
 
 }  // namespace marcopolo::obs

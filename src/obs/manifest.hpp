@@ -18,12 +18,10 @@
 #include <variant>
 #include <vector>
 
+#include "obs/json.hpp"  // json_escape (the writers' shared escaper)
 #include "obs/metrics.hpp"
 
 namespace marcopolo::obs {
-
-/// Escape `text` for inclusion inside a JSON string literal.
-[[nodiscard]] std::string json_escape(std::string_view text);
 
 /// Write one MetricsSnapshot as a JSON object:
 ///   {"counters": {...}, "histograms": {name: {count, sum, min, max,

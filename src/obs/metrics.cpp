@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace marcopolo::obs {
 
@@ -57,6 +58,7 @@ std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
 
 double HistogramSnapshot::quantile(double q) const {
   if (count == 0) return 0.0;
+  if (std::isnan(q)) return 0.0;  // NaN never selects a rank.
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the target sample (1-based, midpoint convention).
   const double rank = q * static_cast<double>(count);

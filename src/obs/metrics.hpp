@@ -87,9 +87,12 @@ struct HistogramSnapshot {
   /// Non-empty buckets only, ascending: {inclusive upper bound, count}.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
 
-  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
-  /// the log2 bucket holding the target rank: bucket with upper bound
-  /// `le` covers (le >> 1, le]. Clamped to [min, max]; 0 when empty.
+  /// Estimated q-quantile by linear interpolation inside the log2
+  /// bucket holding the target rank: bucket with upper bound `le` covers
+  /// (le >> 1, le]. Documented edge behavior (locked by tests, relied on
+  /// by `mpinspect diff`): empty histogram -> 0; q outside [0, 1] is
+  /// clamped (so q<=0 -> min, q>=1 -> max); NaN q -> 0; every estimate
+  /// is clamped to the observed [min, max].
   [[nodiscard]] double quantile(double q) const;
 };
 

@@ -1,0 +1,314 @@
+#include "obs/run_compare.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace marcopolo::obs {
+
+ProvenanceSummary summarize_provenance(const FlightJournal& journal) {
+  ProvenanceSummary out;
+  for (const auto& lane : journal.workers) {
+    for (const VerdictRecord& v : lane.verdicts) {
+      ++out.verdicts;
+      if (v.outcome == 2) ++out.adversary;
+      if (v.contested) ++out.contested;
+      if (v.route_age_sensitive()) ++out.route_age_sensitive;
+      ++out.decided_by[to_cstring(v.decided_by)];
+    }
+  }
+  return out;
+}
+
+PhaseAttribution attribute_phases(const FlightJournal& journal) {
+  PhaseAttribution out;
+  for (const auto& lane : journal.workers) {
+    for (const TaskSpanRecord& t : lane.tasks) {
+      out.total_ns += t.duration_ns;
+      out.propagate_ns += t.propagate_ns;
+      out.classify_ns += t.classify_ns;
+      out.record_ns += t.record_ns;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_seconds(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3fs", seconds);
+  return buf;
+}
+
+std::string format_pct(double pct) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  return buf;
+}
+
+/// True for histograms whose samples are durations — the ones whose
+/// upper quantiles the perf gate guards.
+bool is_time_histogram(const std::string& name) {
+  return name.ends_with("_ns") || name.ends_with("_ms") ||
+         name.ends_with("_us");
+}
+
+}  // namespace
+
+RunComparison compare_runs(const ReadManifest& base,
+                           const ReadManifest& cand) {
+  RunComparison out;
+
+  // Counters: sorted-name merge over the union (snapshots are sorted).
+  std::size_t bi = 0;
+  std::size_t ci = 0;
+  while (bi < base.metrics.counters.size() ||
+         ci < cand.metrics.counters.size()) {
+    CounterDelta delta;
+    const bool take_base =
+        bi < base.metrics.counters.size() &&
+        (ci >= cand.metrics.counters.size() ||
+         base.metrics.counters[bi].first <= cand.metrics.counters[ci].first);
+    const bool take_cand =
+        ci < cand.metrics.counters.size() &&
+        (bi >= base.metrics.counters.size() ||
+         cand.metrics.counters[ci].first <= base.metrics.counters[bi].first);
+    if (take_base) {
+      delta.name = base.metrics.counters[bi].first;
+      delta.base = base.metrics.counters[bi].second;
+      delta.in_base = true;
+      ++bi;
+    }
+    if (take_cand) {
+      delta.name = cand.metrics.counters[ci].first;
+      delta.cand = cand.metrics.counters[ci].second;
+      delta.in_cand = true;
+      ++ci;
+    }
+    out.counters.push_back(std::move(delta));
+  }
+
+  // Histogram quantiles: common names only (a quantile shift needs both
+  // sides), p50/p95/p99 recomputed from buckets via the log2
+  // interpolation — never read from the stored pNN fields.
+  for (const HistogramSnapshot& bh : base.metrics.histograms) {
+    const HistogramSnapshot* ch = cand.metrics.histogram(bh.name);
+    if (ch == nullptr) continue;
+    for (const double q : {0.50, 0.95, 0.99}) {
+      out.quantiles.push_back(
+          QuantileDelta{bh.name, q, bh.quantile(q), ch->quantile(q)});
+    }
+  }
+
+  // Bench runs matched by thread count.
+  for (const BenchRunRow& brow : base.runs) {
+    for (const BenchRunRow& crow : cand.runs) {
+      if (crow.threads != brow.threads) continue;
+      out.runs.push_back(BenchRunDelta{brow.threads, brow.seconds,
+                                       crow.seconds, brow.throughput(),
+                                       crow.throughput()});
+      break;
+    }
+  }
+  return out;
+}
+
+DiffGateResult evaluate_gate(const RunComparison& comparison,
+                             const DiffGateConfig& config) {
+  DiffGateResult out;
+  for (const BenchRunDelta& run : comparison.runs) {
+    if (run.seconds_pct() > config.max_regress_pct) {
+      out.pass = false;
+      out.violations.push_back(
+          "threads=" + std::to_string(run.threads) + " wall-clock " +
+          format_pct(run.seconds_pct()) + " (" +
+          format_seconds(run.base_seconds) + " -> " +
+          format_seconds(run.cand_seconds) + ") exceeds " +
+          format_pct(config.max_regress_pct).substr(1));
+    }
+  }
+  for (const QuantileDelta& quantile : comparison.quantiles) {
+    if (quantile.q < 0.95 || !is_time_histogram(quantile.name)) continue;
+    if (quantile.pct() > config.max_regress_pct) {
+      out.pass = false;
+      char row[160];
+      std::snprintf(row, sizeof row, "%s p%.0f %s (%.0f -> %.0f) exceeds %s",
+                    quantile.name.c_str(), quantile.q * 100.0,
+                    format_pct(quantile.pct()).c_str(), quantile.base,
+                    quantile.cand,
+                    format_pct(config.max_regress_pct).substr(1).c_str());
+      out.violations.emplace_back(row);
+    }
+  }
+  for (const CounterDelta& counter : comparison.counters) {
+    if (counter.in_base != counter.in_cand) {
+      out.notes.push_back("counter " + counter.name + " only in " +
+                          (counter.in_base ? "baseline" : "candidate"));
+    } else if (counter.name.find("tasks") != std::string::npos &&
+               counter.delta() != 0) {
+      // Workload-size drift: the timing comparison above may not be
+      // apples-to-apples. Surfaced, not gated.
+      out.notes.push_back("workload drift: " + counter.name + " " +
+                          std::to_string(counter.base) + " -> " +
+                          std::to_string(counter.cand));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal Prometheus text parse: plain `name value` sample lines
+/// (comments and labeled series like `..._bucket{le="1"}` skipped).
+std::map<std::string, std::uint64_t> read_prometheus_counters(
+    const std::string& path) {
+  std::map<std::string, std::uint64_t> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' ||
+        line.find('{') != std::string::npos) {
+      continue;
+    }
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    try {
+      out[line.substr(0, space)] =
+          static_cast<std::uint64_t>(std::stoull(line.substr(space + 1)));
+    } catch (const std::exception&) {
+      // Non-integer sample (histogram _sum can be large but is integral
+      // here; anything unparseable is simply not cross-checked).
+    }
+  }
+  return out;
+}
+
+void check_monotone_lanes(const ReadJournal& read, BundleCheckResult& out) {
+  for (const auto& lane : read.journal.workers) {
+    for (std::size_t i = 1; i < lane.tasks.size(); ++i) {
+      if (lane.tasks[i].start_ns < lane.tasks[i - 1].start_ns) {
+        out.fail("worker " + std::to_string(lane.worker) +
+                 ": task start_ns not monotone at index " +
+                 std::to_string(i));
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 1; i < read.journal.attacks.size(); ++i) {
+    if (read.journal.attacks[i].announce_us <
+        read.journal.attacks[i - 1].announce_us) {
+      out.fail("attack announce_us not monotone at index " +
+               std::to_string(i));
+      break;
+    }
+  }
+  for (std::size_t i = 1; i < read.quorums.size(); ++i) {
+    if (read.quorums[i].virtual_us < read.quorums[i - 1].virtual_us) {
+      out.fail("quorum virtual_us not monotone at index " +
+               std::to_string(i));
+      break;
+    }
+  }
+}
+
+void check_meta_agreement(const ReadJournal& read, BundleCheckResult& out) {
+  const auto expect_eq = [&out](const char* what, std::uint64_t declared,
+                                std::uint64_t actual) {
+    if (declared != actual) {
+      out.fail(std::string("meta ") + what + " declares " +
+               std::to_string(declared) + " but journal carries " +
+               std::to_string(actual));
+    }
+  };
+  expect_eq("workers", read.meta_workers, read.journal.workers.size());
+  expect_eq("tasks", read.meta_tasks, read.journal.task_count());
+  expect_eq("verdicts", read.meta_verdicts, read.journal.verdict_count());
+  expect_eq("adversary_verdicts", read.meta_adversary_verdicts,
+            read.journal.adversary_verdict_count());
+}
+
+}  // namespace
+
+BundleCheckResult check_trace_bundle(const std::string& dir,
+                                     const std::string& manifest_path) {
+  BundleCheckResult out;
+  const std::filesystem::path base(dir);
+
+  const std::string journal_path = (base / "journal.ndjson").string();
+  if (!std::filesystem::exists(journal_path)) {
+    out.fail("missing " + journal_path);
+    return out;
+  }
+  const ReadJournal read = JournalReader::read_file(journal_path);
+  for (const JournalIssue& issue : read.errors) {
+    out.fail("journal.ndjson line " + std::to_string(issue.line) + ": " +
+             issue.message);
+  }
+  out.journal_lines = read.lines;
+  out.tasks = read.journal.task_count();
+  out.verdicts = read.journal.verdict_count();
+  out.attacks = read.journal.attacks.size();
+  out.quorums = read.quorums.size();
+  if (read.ok()) {
+    check_meta_agreement(read, out);
+    check_monotone_lanes(read, out);
+  }
+
+  const std::filesystem::path trace_path = base / "trace.json";
+  if (std::filesystem::exists(trace_path)) {
+    std::ifstream in(trace_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const json::Value doc = json::parse(text.str());
+      const json::Value* events = doc.find("traceEvents");
+      if (events == nullptr || !events->is_array()) {
+        out.fail("trace.json has no traceEvents array");
+      }
+    } catch (const json::ParseError& error) {
+      out.fail(std::string("trace.json: ") + error.what());
+    }
+  }
+
+  const std::filesystem::path prom_path = base / "metrics.prom";
+  if (std::filesystem::exists(prom_path)) {
+    const auto samples = read_prometheus_counters(prom_path.string());
+    const auto it = samples.find("marcopolo_campaign_tasks_executed");
+    if (it != samples.end() && out.tasks != 0 && it->second != out.tasks) {
+      out.fail("metrics.prom campaign_tasks_executed " +
+               std::to_string(it->second) + " != journal task spans " +
+               std::to_string(out.tasks));
+    }
+  }
+
+  if (!manifest_path.empty()) {
+    const ReadManifest manifest = ManifestReader::read_file(manifest_path);
+    for (const std::string& error : manifest.errors) {
+      out.fail(manifest_path + ": " + error);
+    }
+    if (manifest.ok()) {
+      const std::uint64_t tasks =
+          manifest.metrics.counter("campaign.tasks_executed");
+      if (tasks != 0 && out.tasks != 0 && tasks != out.tasks) {
+        out.fail("manifest campaign.tasks_executed " + std::to_string(tasks) +
+                 " != journal task spans " + std::to_string(out.tasks));
+      }
+      const std::uint64_t attempts =
+          manifest.metrics.counter("orchestrator.attack_attempts");
+      if (attempts != 0 && out.attacks != 0 && attempts != out.attacks) {
+        out.fail("manifest orchestrator.attack_attempts " +
+                 std::to_string(attempts) + " != journal attack spans " +
+                 std::to_string(out.attacks));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace marcopolo::obs

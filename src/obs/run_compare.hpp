@@ -1,0 +1,183 @@
+// Run comparison and bundle validation: the analysis layer over the
+// readers.
+//
+// Three consumers share this code:
+//   - `mpinspect summarize` renders one recorded run (provenance
+//     distribution, phase attribution, histogram quantiles);
+//   - `mpinspect diff` compares a candidate run against a baseline and
+//     gates CI on regressions (counter deltas, quantile shifts,
+//     throughput per thread count);
+//   - `mpinspect check` (and quickstart's --trace-out self-check)
+//     structurally validates a trace bundle: schema tag, monotone
+//     timestamps within each lane, meta-vs-actual and
+//     journal-vs-manifest counter agreement.
+//
+// All comparisons are pure functions of already-read data — nothing here
+// re-runs a campaign, exactly the paper's post-hoc posture (§5–§7 work
+// from the recorded hijack corpus, not live announcements).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/journal_reader.hpp"
+#include "obs/manifest_reader.hpp"
+
+namespace marcopolo::obs {
+
+// ---------------------------------------------------------------------------
+// Single-run summaries (from a journal).
+
+/// Verdict provenance distribution over one journal.
+struct ProvenanceSummary {
+  std::uint64_t verdicts = 0;
+  std::uint64_t adversary = 0;       ///< outcome == adversary.
+  std::uint64_t contested = 0;
+  std::uint64_t route_age_sensitive = 0;
+  /// decided_by name -> verdict count (names from to_cstring).
+  std::map<std::string, std::uint64_t> decided_by;
+
+  [[nodiscard]] double contested_rate() const {
+    return verdicts == 0 ? 0.0
+                         : static_cast<double>(contested) /
+                               static_cast<double>(verdicts);
+  }
+  [[nodiscard]] double route_age_sensitive_rate() const {
+    return verdicts == 0 ? 0.0
+                         : static_cast<double>(route_age_sensitive) /
+                               static_cast<double>(verdicts);
+  }
+};
+
+[[nodiscard]] ProvenanceSummary summarize_provenance(
+    const FlightJournal& journal);
+
+/// Wall-clock attribution summed over all task spans: where did worker
+/// time actually go? `other_ns` is span time outside the three
+/// instrumented phases (scenario setup, queue overhead).
+struct PhaseAttribution {
+  std::uint64_t total_ns = 0;
+  std::uint64_t propagate_ns = 0;
+  std::uint64_t classify_ns = 0;
+  std::uint64_t record_ns = 0;
+
+  [[nodiscard]] std::uint64_t other_ns() const {
+    const std::uint64_t accounted = propagate_ns + classify_ns + record_ns;
+    return total_ns > accounted ? total_ns - accounted : 0;
+  }
+};
+
+[[nodiscard]] PhaseAttribution attribute_phases(const FlightJournal& journal);
+
+// ---------------------------------------------------------------------------
+// Two-run comparison (from manifests, optionally journals).
+
+struct CounterDelta {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t cand = 0;
+  bool in_base = false;
+  bool in_cand = false;
+
+  [[nodiscard]] std::int64_t delta() const {
+    return static_cast<std::int64_t>(cand) - static_cast<std::int64_t>(base);
+  }
+  /// Relative change in percent; 0 when the base is 0.
+  [[nodiscard]] double pct() const {
+    return base == 0 ? 0.0
+                     : 100.0 * static_cast<double>(delta()) /
+                           static_cast<double>(base);
+  }
+};
+
+/// One histogram quantile (p50/p95/p99) in both runs.
+struct QuantileDelta {
+  std::string name;   ///< Histogram name.
+  double q = 0.0;     ///< Quantile in [0, 1].
+  double base = 0.0;
+  double cand = 0.0;
+
+  [[nodiscard]] double pct() const {
+    return base == 0.0 ? 0.0 : 100.0 * (cand - base) / base;
+  }
+};
+
+/// One thread-count-matched campaign_wallclock run row in both runs.
+struct BenchRunDelta {
+  std::uint64_t threads = 0;
+  double base_seconds = 0.0;
+  double cand_seconds = 0.0;
+  double base_throughput = 0.0;  ///< tasks/s.
+  double cand_throughput = 0.0;
+
+  /// Wall-clock change in percent (positive = candidate slower).
+  [[nodiscard]] double seconds_pct() const {
+    return base_seconds == 0.0
+               ? 0.0
+               : 100.0 * (cand_seconds - base_seconds) / base_seconds;
+  }
+};
+
+struct RunComparison {
+  std::vector<CounterDelta> counters;    ///< Union of names, sorted.
+  std::vector<QuantileDelta> quantiles;  ///< Common histograms × {p50,p95,p99}.
+  std::vector<BenchRunDelta> runs;       ///< Thread-count-matched rows.
+};
+
+[[nodiscard]] RunComparison compare_runs(const ReadManifest& base,
+                                         const ReadManifest& cand);
+
+/// CI gate over a comparison. A regression is a candidate that is slower
+/// than baseline by more than `max_regress_pct` percent on a gated
+/// quantity: per-thread-count wall-clock seconds (equivalently a
+/// throughput drop) and the p95/p99 of time-like histograms (names
+/// ending in `_ns` / `_ms`). Counter drift is reported in `notes` but
+/// never fails the gate — a changed workload makes timing comparisons
+/// meaningless, which is a different problem than a slow one.
+struct DiffGateConfig {
+  double max_regress_pct = 25.0;
+};
+
+struct DiffGateResult {
+  bool pass = true;
+  std::vector<std::string> violations;  ///< Human-readable, one per breach.
+  std::vector<std::string> notes;       ///< Non-gating observations.
+};
+
+[[nodiscard]] DiffGateResult evaluate_gate(const RunComparison& comparison,
+                                           const DiffGateConfig& config);
+
+// ---------------------------------------------------------------------------
+// Bundle validation.
+
+struct BundleCheckResult {
+  bool ok = true;
+  std::vector<std::string> problems;
+  /// Counts for the human summary.
+  std::size_t journal_lines = 0;
+  std::size_t tasks = 0;
+  std::size_t verdicts = 0;
+  std::size_t attacks = 0;
+  std::size_t quorums = 0;
+
+  void fail(std::string problem) {
+    ok = false;
+    problems.push_back(std::move(problem));
+  }
+};
+
+/// Validate the trace bundle in `dir` (journal.ndjson required;
+/// trace.json and metrics.prom checked when present):
+///   - journal parses with schema 1 and no line errors;
+///   - meta header counts match the actual record counts;
+///   - timestamps are monotone within each lane (task start_ns per
+///     worker, attack announce_us, quorum virtual_us);
+///   - trace.json is well-formed JSON with a traceEvents array;
+///   - metrics.prom counters agree with the journal (tasks, and when a
+///     run manifest is supplied via `manifest_path`, its counters too).
+[[nodiscard]] BundleCheckResult check_trace_bundle(
+    const std::string& dir, const std::string& manifest_path = {});
+
+}  // namespace marcopolo::obs

@@ -3,9 +3,10 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <ostream>
 
-#include "obs/manifest.hpp"
+#include "obs/json.hpp"
 
 namespace marcopolo::obs {
 
@@ -217,7 +218,8 @@ void write_journal_ndjson(std::ostream& out, const FlightJournal& journal) {
       out << "}}\n";
     }
     for (const VerdictRecord& v : lane.verdicts) {
-      out << "{\"type\": \"verdict\", \"victim\": " << v.victim
+      out << "{\"type\": \"verdict\", \"worker\": " << lane.worker
+          << ", \"victim\": " << v.victim
           << ", \"adversary\": " << v.adversary
           << ", \"perspective\": " << v.perspective << ", \"outcome\": \""
           << outcome_name(v.outcome) << "\", \"decided_by\": \""
@@ -269,6 +271,28 @@ void write_prometheus_text(std::ostream& out,
   }
 }
 
+namespace {
+
+/// Crash-safe single-file write: stream into `<path>.tmp`, then rename
+/// into place. An interrupted run leaves at worst a stale .tmp behind —
+/// never a truncated file at the final name, so `mpinspect check` and CI
+/// can treat existence as completeness.
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& emit) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    emit(out);
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace
+
 bool write_trace_dir(const std::string& dir, const FlightJournal& journal,
                      const MetricsSnapshot* snapshot) {
   std::error_code ec;
@@ -276,32 +300,18 @@ bool write_trace_dir(const std::string& dir, const FlightJournal& journal,
   if (ec) return false;
   bool ok = true;
 
-  {
-    std::ofstream out(dir + "/trace.json");
-    if (out) {
-      write_chrome_trace(out, journal);
-      ok = ok && static_cast<bool>(out);
-    } else {
-      ok = false;
-    }
-  }
-  {
-    std::ofstream out(dir + "/journal.ndjson");
-    if (out) {
-      write_journal_ndjson(out, journal);
-      ok = ok && static_cast<bool>(out);
-    } else {
-      ok = false;
-    }
-  }
+  ok &= write_file_atomic(dir + "/trace.json", [&journal](std::ostream& out) {
+    write_chrome_trace(out, journal);
+  });
+  ok &= write_file_atomic(dir + "/journal.ndjson",
+                          [&journal](std::ostream& out) {
+                            write_journal_ndjson(out, journal);
+                          });
   if (snapshot != nullptr) {
-    std::ofstream out(dir + "/metrics.prom");
-    if (out) {
-      write_prometheus_text(out, *snapshot);
-      ok = ok && static_cast<bool>(out);
-    } else {
-      ok = false;
-    }
+    ok &= write_file_atomic(dir + "/metrics.prom",
+                            [snapshot](std::ostream& out) {
+                              write_prometheus_text(out, *snapshot);
+                            });
   }
   return ok;
 }

@@ -43,7 +43,9 @@ void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot);
 /// Write the standard trace bundle into directory `dir` (created if
 /// missing): trace.json (Chrome trace), journal.ndjson, and — when
 /// `snapshot` is non-null — metrics.prom. Returns false on any I/O
-/// failure (after attempting all files).
+/// failure (after attempting all files). Each file is written to
+/// `<name>.tmp` and renamed into place, so a crashed or interrupted run
+/// never leaves a truncated file at the final name.
 [[nodiscard]] bool write_trace_dir(const std::string& dir,
                                    const FlightJournal& journal,
                                    const MetricsSnapshot* snapshot);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -291,6 +292,44 @@ TEST(HistogramQuantile, EmptyAndSingleSample) {
   EXPECT_DOUBLE_EQ(snap->quantile(1.0), 42.0);
 }
 
+TEST(HistogramQuantile, DocumentedEdgeBehavior) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("edges");
+  h.observe(10);
+  h.observe(1000);
+  const MetricsSnapshot metrics = registry.snapshot();
+  const HistogramSnapshot* snap = metrics.histogram("edges");
+  ASSERT_NE(snap, nullptr);
+
+  // q outside [0, 1] clamps: q<=0 -> min, q>=1 -> max.
+  EXPECT_DOUBLE_EQ(snap->quantile(-0.5), 10.0);
+  EXPECT_DOUBLE_EQ(snap->quantile(2.0), 1000.0);
+  // NaN never selects a rank.
+  EXPECT_DOUBLE_EQ(snap->quantile(std::nan("")), 0.0);
+  // Empty histogram answers 0 for every q, including the weird ones.
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(std::nan("")), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesWithinItsBounds) {
+  // Every sample in one log2 bucket (le=15 covers (7, 15]): estimates
+  // move monotonically through the bucket and clamp to [min, max].
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("single_bucket");
+  for (std::uint64_t v = 9; v <= 14; ++v) h.observe(v);
+  const MetricsSnapshot metrics = registry.snapshot();
+  const HistogramSnapshot* snap = metrics.histogram("single_bucket");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->buckets.size(), 1u);
+  const double p25 = snap->quantile(0.25);
+  const double p75 = snap->quantile(0.75);
+  EXPECT_GE(p25, 9.0);
+  EXPECT_LE(p75, 14.0);
+  EXPECT_LT(p25, p75);
+}
+
 TEST(ProgressReporter, PrintsFinalLineAndRespectsRateLimit) {
   std::FILE* tmp = std::tmpfile();
   ASSERT_NE(tmp, nullptr);
@@ -312,6 +351,56 @@ TEST(ProgressReporter, PrintsFinalLineAndRespectsRateLimit) {
   EXPECT_EQ(count_occurrences(text, "[campaign]"), 2u);
   EXPECT_NE(text.find("4/4 tasks (100.0%)"), std::string::npos);
   EXPECT_NE(text.find("hijacked 40.0%"), std::string::npos);
+}
+
+TEST(ProgressReporter, LiveLinesOverwriteAndFinalLineIsNewlineTerminated) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    ProgressReporter reporter(nullptr, /*min_interval_s=*/0.0, tmp);
+    reporter.update(1, 4);
+    reporter.update(2, 4);
+    reporter.update(4, 4);
+  }
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string text(1 << 12, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), tmp));
+  std::fclose(tmp);
+
+  ASSERT_FALSE(text.empty());
+  // Every update (live or final) starts with \r so it overwrites the
+  // previous live line in place...
+  EXPECT_EQ(count_occurrences(text, "\r"), 3u);
+  // ...and only the final 100% summary carries a newline, as the very
+  // last byte: the terminal is never left mid-line.
+  EXPECT_EQ(count_occurrences(text, "\n"), 1u);
+  EXPECT_EQ(text.back(), '\n');
+  const std::string final_line =
+      text.substr(text.find_last_of('\r') + 1);
+  EXPECT_NE(final_line.find("4/4 tasks (100.0%)"), std::string::npos);
+  EXPECT_NE(final_line.find("done in"), std::string::npos);
+}
+
+TEST(ProgressReporter, ShorterLinesBlankOutLongerPredecessors) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    ProgressReporter reporter(nullptr, /*min_interval_s=*/0.0, tmp);
+    reporter.update(1000000, 2000000);  // long live line
+    reporter.update(2, 2);              // shorter final line
+  }
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string text(1 << 12, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), tmp));
+  std::fclose(tmp);
+
+  // The final write is padded to at least the previous line's width, so
+  // leftover characters from the longer live line cannot survive it.
+  const std::size_t first_len = text.find('\r', 1) - 1;
+  const std::string final_line = text.substr(text.find_last_of('\r') + 1);
+  EXPECT_GE(final_line.size(), first_len);
 }
 
 }  // namespace

@@ -1,207 +1,31 @@
 // RunManifest JSON round-trip: the emitted document must be valid JSON
 // and decode back to the config, phases, and metrics that were written.
-// The repo has no JSON dependency, so the test carries a minimal
-// recursive-descent parser — strict enough to reject trailing garbage
-// and malformed escapes, which doubles as a syntax check on the writer.
+// Parsing goes through the shared obs::json parser — strict enough to
+// reject trailing garbage and malformed escapes, which doubles as a
+// syntax check on the writer.
 #include "obs/manifest.hpp"
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <map>
-#include <memory>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
-#include <variant>
-#include <vector>
+
+#include "obs/json.hpp"
 
 namespace marcopolo::obs {
 namespace {
 
-// --- Minimal JSON value + parser -----------------------------------------
+json::Value parse(const std::string& text) { return json::parse(text); }
 
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v;
-
-  [[nodiscard]] bool is_object() const {
-    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
-  }
-  [[nodiscard]] const JsonObject& object() const {
-    return *std::get<std::shared_ptr<JsonObject>>(v);
-  }
-  [[nodiscard]] const JsonArray& array() const {
-    return *std::get<std::shared_ptr<JsonArray>>(v);
-  }
-  [[nodiscard]] double number() const { return std::get<double>(v); }
-  [[nodiscard]] const std::string& str() const {
-    return std::get<std::string>(v);
-  }
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    return object().at(key);
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing garbage");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
-                             ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return JsonValue{parse_string()};
-    if (consume_literal("true")) return JsonValue{true};
-    if (consume_literal("false")) return JsonValue{false};
-    if (consume_literal("null")) return JsonValue{nullptr};
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    auto obj = std::make_shared<JsonObject>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{obj};
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      (*obj)[key] = parse_value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue{obj};
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    auto arr = std::make_shared<JsonArray>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{arr};
-    }
-    while (true) {
-      arr->push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue{arr};
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      const char esc = peek();
-      ++pos_;
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_ + static_cast<std::size_t>(i)];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad hex digit");
-          }
-          pos_ += 4;
-          if (code > 0x7F) fail("test parser only handles ASCII escapes");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected value");
-    return JsonValue{std::stod(std::string(text_.substr(start, pos_ - start)))};
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
 
 // --- Tests ----------------------------------------------------------------
 
@@ -235,43 +59,43 @@ TEST(RunManifest, JsonRoundTrip) {
   std::ostringstream out;
   manifest.write_json(out, reg.snapshot());
 
-  const JsonValue doc = JsonParser(out.str()).parse();
+  const json::Value doc = parse(out.str());
   ASSERT_TRUE(doc.is_object());
-  EXPECT_EQ(doc.at("manifest_schema").number(), 1.0);
+  EXPECT_EQ(doc.at("manifest_schema").u64(), 1u);
   EXPECT_EQ(doc.at("tool").str(), "round_trip_test");
 
-  const JsonValue& config = doc.at("config");
+  const json::Value& config = doc.at("config");
   EXPECT_EQ(config.at("tie_break").str(), "hashed");
-  EXPECT_EQ(config.at("tie_break_seed").number(), double{0xCAFE});
-  EXPECT_EQ(config.at("threads").number(), 4.0);
+  EXPECT_EQ(config.at("tie_break_seed").u64(), 0xCAFEu);
+  EXPECT_EQ(config.at("threads").u64(), 4u);
   EXPECT_EQ(config.at("fraction").number(), 0.25);
-  EXPECT_EQ(std::get<bool>(config.at("rpki").v), true);
+  EXPECT_EQ(config.at("rpki").boolean(), true);
   EXPECT_EQ(config.at("note").str(), "quote\" and \\slash");
 
-  const JsonArray& phases = doc.at("phases").array();
+  const json::Array& phases = doc.at("phases").array();
   ASSERT_EQ(phases.size(), 2u);
   EXPECT_EQ(phases[0].at("name").str(), "build");
   EXPECT_EQ(phases[0].at("seconds").number(), 1.5);
   EXPECT_EQ(phases[1].at("name").str(), "campaign");
   EXPECT_EQ(phases[1].at("seconds").number(), 0.125);
 
-  const JsonValue& metrics = doc.at("metrics");
-  const JsonObject& counters = metrics.at("counters").object();
-  EXPECT_EQ(counters.at("campaign.tasks_executed").number(), 1024.0);
-  EXPECT_EQ(counters.at("orchestrator.attack_attempts").number(), 7.0);
+  const json::Value& metrics = doc.at("metrics");
+  const json::Object& counters = metrics.at("counters").object();
+  EXPECT_EQ(counters.at("campaign.tasks_executed").u64(), 1024u);
+  EXPECT_EQ(counters.at("orchestrator.attack_attempts").u64(), 7u);
 
-  const JsonValue& hist = metrics.at("histograms").at("campaign.task_ns");
-  EXPECT_EQ(hist.at("count").number(), 3.0);
-  EXPECT_EQ(hist.at("sum").number(), 5.0 + 500.0 + 50000.0);
-  EXPECT_EQ(hist.at("min").number(), 5.0);
-  EXPECT_EQ(hist.at("max").number(), 50000.0);
-  const JsonArray& buckets = hist.at("buckets").array();
+  const json::Value& hist = metrics.at("histograms").at("campaign.task_ns");
+  EXPECT_EQ(hist.at("count").u64(), 3u);
+  EXPECT_EQ(hist.at("sum").u64(), 5u + 500u + 50000u);
+  EXPECT_EQ(hist.at("min").u64(), 5u);
+  EXPECT_EQ(hist.at("max").u64(), 50000u);
+  const json::Array& buckets = hist.at("buckets").array();
   ASSERT_EQ(buckets.size(), 3u);
-  EXPECT_EQ(buckets[0].at("le").number(), 7.0);     // 5 -> le 7
-  EXPECT_EQ(buckets[1].at("le").number(), 511.0);   // 500 -> le 511
-  EXPECT_EQ(buckets[2].at("le").number(), 65535.0); // 50000 -> le 65535
-  for (const JsonValue& b : buckets) {
-    EXPECT_EQ(b.at("count").number(), 1.0);
+  EXPECT_EQ(buckets[0].at("le").u64(), 7u);      // 5 -> le 7
+  EXPECT_EQ(buckets[1].at("le").u64(), 511u);    // 500 -> le 511
+  EXPECT_EQ(buckets[2].at("le").u64(), 65535u);  // 50000 -> le 65535
+  for (const json::Value& b : buckets) {
+    EXPECT_EQ(b.at("count").u64(), 1u);
   }
 }
 
@@ -280,7 +104,7 @@ TEST(RunManifest, EmptyManifestIsValidJson) {
   MetricsRegistry reg;
   std::ostringstream out;
   manifest.write_json(out, reg.snapshot());
-  const JsonValue doc = JsonParser(out.str()).parse();
+  const json::Value doc = parse(out.str());
   EXPECT_TRUE(doc.at("config").object().empty());
   EXPECT_TRUE(doc.at("phases").array().empty());
   EXPECT_TRUE(doc.at("metrics").at("counters").object().empty());
@@ -294,8 +118,8 @@ TEST(RunManifest, SetOverwritesExistingKey) {
   MetricsRegistry reg;
   std::ostringstream out;
   manifest.write_json(out, reg.snapshot());
-  const JsonValue doc = JsonParser(out.str()).parse();
-  EXPECT_EQ(doc.at("config").at("key").number(), 2.0);
+  const json::Value doc = parse(out.str());
+  EXPECT_EQ(doc.at("config").at("key").u64(), 2u);
   EXPECT_EQ(doc.at("config").object().size(), 1u);
 }
 
@@ -306,15 +130,37 @@ TEST(RunManifest, WriteFileRejectsUnwritablePath) {
       manifest.write_file("/nonexistent-dir/out.json", reg.snapshot()));
 }
 
+TEST(RunManifest, WriteFileIsAtomicAndLeavesNoTmpBehind) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mp_manifest_atomic_test")
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/run.json";
+
+  // Pre-existing content must survive intact until the rename lands.
+  { std::ofstream(path) << "stale, not JSON"; }
+
+  RunManifest manifest("atomic");
+  manifest.set("key", 1);
+  MetricsRegistry reg;
+  ASSERT_TRUE(manifest.write_file(path, reg.snapshot()));
+
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const json::Value doc = parse(slurp(path));
+  EXPECT_EQ(doc.at("tool").str(), "atomic");
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(WriteMetricsJson, StandaloneDocumentParses) {
   MetricsRegistry reg;
   reg.counter("a").add(1);
   reg.histogram("b").observe(3);
   std::ostringstream out;
   write_metrics_json(out, reg.snapshot(), "    ");
-  const JsonValue doc = JsonParser(out.str()).parse();
-  EXPECT_EQ(doc.at("counters").at("a").number(), 1.0);
-  EXPECT_EQ(doc.at("histograms").at("b").at("count").number(), 1.0);
+  const json::Value doc = parse(out.str());
+  EXPECT_EQ(doc.at("counters").at("a").u64(), 1u);
+  EXPECT_EQ(doc.at("histograms").at("b").at("count").u64(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,322 @@
+// Run comparison / CI gate / bundle check: the analysis layer mpinspect
+// is built on. A run diffed against itself must be all-zero and pass;
+// an injected regression must fail with a violation naming the quantity.
+#include "obs/run_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+
+namespace marcopolo::obs {
+namespace {
+
+FlightJournal provenance_journal() {
+  FlightRecorder recorder;
+  FlightBuffer* w = recorder.open_buffer();
+  TaskSpanRecord task;
+  task.start_ns = 1'000;
+  task.duration_ns = 10'000;
+  task.propagate_ns = 6'000;
+  task.classify_ns = 2'000;
+  task.record_ns = 1'000;
+  w->record_task(task);
+  task.start_ns = 20'000;
+  w->record_task(task);
+
+  VerdictRecord v;
+  v.outcome = 2;
+  v.decided_by = VerdictStep::RouteAge;
+  v.contested = true;
+  w->record_verdict(v);  // adversary, contested, route-age-sensitive
+  v.outcome = 1;
+  v.decided_by = VerdictStep::PathLength;
+  w->record_verdict(v);  // victim, contested
+  v.decided_by = VerdictStep::Unopposed;
+  v.contested = false;
+  w->record_verdict(v);  // victim, uncontested
+  v.decided_by = VerdictStep::RouteAge;
+  w->record_verdict(v);  // route-age but uncontested: NOT sensitive
+  return recorder.drain();
+}
+
+TEST(ProvenanceSummary, CountsOutcomesAndDecisionSteps) {
+  const ProvenanceSummary prov =
+      summarize_provenance(provenance_journal());
+  EXPECT_EQ(prov.verdicts, 4u);
+  EXPECT_EQ(prov.adversary, 1u);
+  EXPECT_EQ(prov.contested, 2u);
+  EXPECT_EQ(prov.route_age_sensitive, 1u);
+  EXPECT_EQ(prov.decided_by.at("route_age"), 2u);
+  EXPECT_EQ(prov.decided_by.at("path_length"), 1u);
+  EXPECT_EQ(prov.decided_by.at("unopposed"), 1u);
+  EXPECT_DOUBLE_EQ(prov.contested_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(prov.route_age_sensitive_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(ProvenanceSummary{}.contested_rate(), 0.0);
+}
+
+TEST(PhaseAttribution, SumsSpansAndDerivesOther) {
+  const PhaseAttribution phases =
+      attribute_phases(provenance_journal());
+  EXPECT_EQ(phases.total_ns, 20'000u);
+  EXPECT_EQ(phases.propagate_ns, 12'000u);
+  EXPECT_EQ(phases.classify_ns, 4'000u);
+  EXPECT_EQ(phases.record_ns, 2'000u);
+  EXPECT_EQ(phases.other_ns(), 2'000u);
+}
+
+/// A campaign_wallclock-shaped document with adjustable timing.
+ReadManifest bench_doc(double t1_seconds, double t2_seconds,
+                       std::uint64_t task_ns_scale = 1,
+                       std::uint64_t tasks = 2048) {
+  std::string doc = R"({"benchmark": "campaign_wallclock", "runs": [)";
+  doc += R"({"threads": 1, "seconds": )" + std::to_string(t1_seconds) +
+         R"(, "tasks": )" + std::to_string(tasks) +
+         R"(, "propagations": 1984},)";
+  doc += R"({"threads": 2, "seconds": )" + std::to_string(t2_seconds) +
+         R"(, "tasks": )" + std::to_string(tasks) +
+         R"(, "propagations": 1984}],)";
+  // One log2 bucket per sample keeps the quantile shift proportional to
+  // the bucket bound scale.
+  const std::uint64_t le = (std::uint64_t{1} << 18) - 1;
+  doc += R"("metrics": {"counters": {"campaign.tasks_executed": )" +
+         std::to_string(tasks) + R"(},
+    "histograms": {"campaign.task_ns": {"count": 100, "sum": 0,
+      "min": )" +
+         std::to_string((le >> 1) * task_ns_scale + 1) + R"(, "max": )" +
+         std::to_string(le * task_ns_scale) + R"(,
+      "buckets": [{"le": )" +
+         std::to_string(le * task_ns_scale) + R"(, "count": 100}]}}}})";
+  const ReadManifest read = ManifestReader::read_string(doc);
+  EXPECT_TRUE(read.ok()) << (read.ok() ? "" : read.errors.front());
+  return read;
+}
+
+TEST(CompareRuns, SelfComparisonIsAllZeroAndPasses) {
+  const ReadManifest doc = bench_doc(0.5, 0.3);
+  const RunComparison comparison = compare_runs(doc, doc);
+
+  ASSERT_EQ(comparison.runs.size(), 2u);
+  for (const BenchRunDelta& run : comparison.runs) {
+    EXPECT_DOUBLE_EQ(run.seconds_pct(), 0.0);
+    EXPECT_DOUBLE_EQ(run.base_throughput, run.cand_throughput);
+  }
+  ASSERT_EQ(comparison.quantiles.size(), 3u);  // one histogram x 3 q's
+  for (const QuantileDelta& quantile : comparison.quantiles) {
+    EXPECT_DOUBLE_EQ(quantile.pct(), 0.0);
+  }
+  for (const CounterDelta& counter : comparison.counters) {
+    EXPECT_EQ(counter.delta(), 0);
+    EXPECT_TRUE(counter.in_base && counter.in_cand);
+  }
+
+  const DiffGateResult gate = evaluate_gate(comparison, DiffGateConfig{});
+  EXPECT_TRUE(gate.pass);
+  EXPECT_TRUE(gate.violations.empty());
+  EXPECT_TRUE(gate.notes.empty());
+}
+
+TEST(CompareRuns, WallClockRegressionFailsTheGate) {
+  const ReadManifest base = bench_doc(0.5, 0.3);
+  const ReadManifest cand = bench_doc(0.8, 0.3);  // threads=1: +60%
+  const DiffGateResult gate =
+      evaluate_gate(compare_runs(base, cand), DiffGateConfig{25.0});
+  EXPECT_FALSE(gate.pass);
+  ASSERT_EQ(gate.violations.size(), 1u);
+  EXPECT_NE(gate.violations[0].find("threads=1"), std::string::npos);
+  EXPECT_NE(gate.violations[0].find("+60.0%"), std::string::npos);
+}
+
+TEST(CompareRuns, QuantileRegressionOnTimeHistogramFailsTheGate) {
+  const ReadManifest base = bench_doc(0.5, 0.3, /*task_ns_scale=*/1);
+  const ReadManifest cand = bench_doc(0.5, 0.3, /*task_ns_scale=*/2);
+  const DiffGateResult gate =
+      evaluate_gate(compare_runs(base, cand), DiffGateConfig{25.0});
+  EXPECT_FALSE(gate.pass);
+  ASSERT_FALSE(gate.violations.empty());
+  // p95 and p99 of campaign.task_ns roughly doubled; p50 is not gated.
+  for (const std::string& violation : gate.violations) {
+    EXPECT_NE(violation.find("campaign.task_ns"), std::string::npos);
+    EXPECT_EQ(violation.find("p50"), std::string::npos);
+  }
+}
+
+TEST(CompareRuns, ImprovementAndThresholdRespectTheConfig) {
+  const ReadManifest base = bench_doc(0.5, 0.3);
+  const ReadManifest faster = bench_doc(0.2, 0.1);
+  EXPECT_TRUE(
+      evaluate_gate(compare_runs(base, faster), DiffGateConfig{25.0}).pass);
+  // +60% passes a 100% threshold.
+  const ReadManifest slower = bench_doc(0.8, 0.3);
+  EXPECT_TRUE(
+      evaluate_gate(compare_runs(base, slower), DiffGateConfig{100.0}).pass);
+}
+
+TEST(CompareRuns, WorkloadDriftIsANoteNeverAViolation) {
+  const ReadManifest base = bench_doc(0.5, 0.3, 1, /*tasks=*/2048);
+  const ReadManifest cand = bench_doc(0.5, 0.3, 1, /*tasks=*/4096);
+  const DiffGateResult gate =
+      evaluate_gate(compare_runs(base, cand), DiffGateConfig{25.0});
+  EXPECT_TRUE(gate.pass);
+  ASSERT_FALSE(gate.notes.empty());
+  EXPECT_NE(gate.notes[0].find("workload drift"), std::string::npos);
+  EXPECT_NE(gate.notes[0].find("campaign.tasks_executed"),
+            std::string::npos);
+}
+
+TEST(CompareRuns, OneSidedCountersAreNoted) {
+  const ReadManifest base = ManifestReader::read_string(
+      R"({"tool": "t", "metrics": {"counters": {"only.in.base": 1}}})");
+  const ReadManifest cand = ManifestReader::read_string(
+      R"({"tool": "t", "metrics": {"counters": {"only.in.cand": 2}}})");
+  const RunComparison comparison = compare_runs(base, cand);
+  ASSERT_EQ(comparison.counters.size(), 2u);
+  const DiffGateResult gate = evaluate_gate(comparison, DiffGateConfig{});
+  EXPECT_TRUE(gate.pass);
+  EXPECT_EQ(gate.notes.size(), 2u);
+}
+
+// --- check_trace_bundle ---------------------------------------------------
+
+class BundleCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("mp_bundle_check_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Write a coherent bundle: journal + trace + metrics whose
+  /// campaign.tasks_executed matches the journal's task spans.
+  FlightJournal write_good_bundle() {
+    FlightRecorder recorder;
+    FlightBuffer* w = recorder.open_buffer();
+    for (int i = 0; i < 3; ++i) {
+      TaskSpanRecord task;
+      task.start_ns = 1'000 + static_cast<std::uint64_t>(i) * 100;
+      task.duration_ns = 50;
+      w->record_task(task);
+      VerdictRecord v;
+      v.outcome = i == 0 ? 2 : 1;
+      w->record_verdict(v);
+    }
+    FlightJournal journal = recorder.drain();
+    MetricsRegistry reg;
+    reg.counter("campaign.tasks_executed").add(3);
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_TRUE(write_trace_dir(dir_, journal, &snap));
+    return journal;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BundleCheckTest, PassesOnACoherentBundle) {
+  write_good_bundle();
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_TRUE(result.ok) << (result.problems.empty()
+                                 ? ""
+                                 : result.problems.front());
+  EXPECT_EQ(result.tasks, 3u);
+  EXPECT_EQ(result.verdicts, 3u);
+  EXPECT_EQ(result.journal_lines, 7u);  // meta + 3 tasks + 3 verdicts
+}
+
+TEST_F(BundleCheckTest, TruncatedJournalFailsWithLineNumber) {
+  write_good_bundle();
+  const std::string path = dir_ + "/journal.ndjson";
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  text.resize(text.size() / 2);
+  std::ofstream(path, std::ios::trunc) << text;
+
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("journal.ndjson line"),
+            std::string::npos);
+}
+
+TEST_F(BundleCheckTest, MetaDisagreementFails) {
+  write_good_bundle();
+  const std::string path = dir_ + "/journal.ndjson";
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  // Drop the final line (a verdict), leaving the meta header's counts
+  // claiming one more verdict than the journal carries.
+  text.erase(text.find_last_of('\n', text.size() - 2) + 1);
+  std::ofstream(path, std::ios::trunc) << text;
+
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("meta"), std::string::npos);
+}
+
+TEST_F(BundleCheckTest, NonMonotoneLaneFails) {
+  std::filesystem::create_directories(dir_);
+  std::ofstream(dir_ + "/journal.ndjson")
+      << R"({"type": "meta", "journal_schema": 1, "epoch_ns": 100, )"
+      << R"("workers": 1, "tasks": 2, "verdicts": 0, )"
+      << R"("adversary_verdicts": 0})" << "\n"
+      << R"({"type": "task", "worker": 0, "start_ns": 500, )"
+      << R"("duration_ns": 10})" << "\n"
+      << R"({"type": "task", "worker": 0, "start_ns": 100, )"
+      << R"("duration_ns": 10})" << "\n";
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("not monotone"), std::string::npos);
+}
+
+TEST_F(BundleCheckTest, ManifestCounterDisagreementFails) {
+  write_good_bundle();
+  const std::string manifest = dir_ + "/run.json";
+  std::ofstream(manifest)
+      << R"({"tool": "t", "metrics": )"
+      << R"({"counters": {"campaign.tasks_executed": 999}}})";
+  const BundleCheckResult result = check_trace_bundle(dir_, manifest);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("campaign.tasks_executed"),
+            std::string::npos);
+
+  // And an agreeing manifest passes.
+  std::ofstream(manifest, std::ios::trunc)
+      << R"({"tool": "t", "metrics": )"
+      << R"({"counters": {"campaign.tasks_executed": 3}}})";
+  EXPECT_TRUE(check_trace_bundle(dir_, manifest).ok);
+}
+
+TEST_F(BundleCheckTest, MissingJournalFails) {
+  std::filesystem::create_directories(dir_);
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("missing"), std::string::npos);
+}
+
+TEST_F(BundleCheckTest, MalformedTraceJsonFails) {
+  write_good_bundle();
+  std::ofstream(dir_ + "/trace.json", std::ios::trunc) << "{\"oops\": ";
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("trace.json"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace marcopolo::obs

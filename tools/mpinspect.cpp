@@ -1,0 +1,415 @@
+// mpinspect: interrogate recorded MarcoPolo runs without re-running them.
+//
+//   mpinspect summarize <trace-dir | manifest.json>
+//       Human-readable summary of one recorded run: decision-provenance
+//       distribution, per-phase wall-clock attribution, histogram
+//       quantiles, config echo.
+//
+//   mpinspect diff <baseline.json> <candidate.json>
+//             [--max-regress-pct <P>] [--json]
+//       Compare two run manifests / campaign_wallclock documents:
+//       per-thread-count wall-clock and throughput, histogram p50/p95/p99
+//       shifts, counter drift. Exits 1 when a gated quantity regresses by
+//       more than P percent (default 25). --json emits a machine-readable
+//       report on stdout instead of tables.
+//
+//   mpinspect check <trace-dir> [--manifest <run.json>]
+//       Structural validation of a trace bundle: journal schema tag,
+//       line-numbered parse errors (a truncated journal fails here),
+//       meta-vs-actual record counts, monotone timestamps per lane,
+//       trace.json well-formedness, journal-vs-manifest counter
+//       agreement. Exits 1 on any problem — this is the CI smoke check.
+//
+// Exit codes: 0 ok, 1 check/gate failure, 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "obs/journal_reader.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest_reader.hpp"
+#include "obs/run_compare.hpp"
+
+using namespace marcopolo;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mpinspect <command> ...\n"
+      "  mpinspect summarize <trace-dir | manifest.json>\n"
+      "  mpinspect diff <baseline.json> <candidate.json>"
+      " [--max-regress-pct <P>] [--json]\n"
+      "  mpinspect check <trace-dir> [--manifest <run.json>]\n");
+  return 2;
+}
+
+std::string format_ms(std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f ms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string format_pct01(double value01) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * value01);
+  return buf;
+}
+
+std::string format_signed_pct(double pct) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  return buf;
+}
+
+std::string format_double(double value, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// summarize
+
+void summarize_journal(const obs::ReadJournal& read) {
+  std::printf("journal: schema %d, %zu lines, %zu worker lanes\n",
+              read.schema, read.lines, read.journal.workers.size());
+  std::printf(
+      "records: %zu tasks, %zu verdicts, %zu attacks, %zu quorums"
+      " (%zu unknown-type skipped)\n",
+      read.journal.task_count(), read.journal.verdict_count(),
+      read.journal.attacks.size(), read.quorums.size(),
+      read.skipped_records);
+
+  const obs::ProvenanceSummary prov =
+      obs::summarize_provenance(read.journal);
+  if (prov.verdicts != 0) {
+    analysis::TextTable table({"Decided by", "Verdicts", "Share"});
+    for (const auto& [step, count] : prov.decided_by) {
+      table.add_row({step, std::to_string(count),
+                     format_pct01(static_cast<double>(count) /
+                                  static_cast<double>(prov.verdicts))});
+    }
+    std::printf("\nDecision provenance (%llu verdicts):\n%s",
+                static_cast<unsigned long long>(prov.verdicts),
+                table.to_string().c_str());
+    std::printf(
+        "adversary-routed %s, contested %s, route-age-sensitive %s\n",
+        format_pct01(static_cast<double>(prov.adversary) /
+                     static_cast<double>(prov.verdicts))
+            .c_str(),
+        format_pct01(prov.contested_rate()).c_str(),
+        format_pct01(prov.route_age_sensitive_rate()).c_str());
+  }
+
+  const obs::PhaseAttribution phases = obs::attribute_phases(read.journal);
+  if (phases.total_ns != 0) {
+    analysis::TextTable table({"Task phase", "Wall clock", "Share"});
+    const auto row = [&table, &phases](const char* name, std::uint64_t ns) {
+      table.add_row({name, format_ms(ns),
+                     format_pct01(static_cast<double>(ns) /
+                                  static_cast<double>(phases.total_ns))});
+    };
+    row("propagate", phases.propagate_ns);
+    row("classify", phases.classify_ns);
+    row("record", phases.record_ns);
+    row("other", phases.other_ns());
+    std::printf("\nWorker time attribution (%s total in task spans):\n%s",
+                format_ms(phases.total_ns).c_str(),
+                table.to_string().c_str());
+  }
+}
+
+void summarize_manifest(const obs::ReadManifest& manifest) {
+  std::printf("%s: %s%s%s\n",
+              manifest.schema != 0 ? "manifest" : "benchmark",
+              manifest.tool.c_str(),
+              manifest.version.empty() ? "" : " @ ",
+              manifest.version.c_str());
+  if (!manifest.config.empty()) {
+    analysis::TextTable table({"Config", "Value"});
+    for (const auto& [key, value] : manifest.config) {
+      table.add_row({key, value});
+    }
+    std::printf("\n%s", table.to_string().c_str());
+  }
+  if (!manifest.phases.empty()) {
+    analysis::TextTable table({"Phase", "Seconds"});
+    for (const auto& [name, seconds] : manifest.phases) {
+      table.add_row({name, format_double(seconds)});
+    }
+    std::printf("\n%s", table.to_string().c_str());
+  }
+  if (!manifest.runs.empty()) {
+    analysis::TextTable table(
+        {"Threads", "Seconds", "Tasks/s", "Store identical"});
+    for (const obs::BenchRunRow& run : manifest.runs) {
+      table.add_row({std::to_string(run.threads),
+                     format_double(run.seconds),
+                     format_double(run.throughput(), "%.1f"),
+                     run.store_identical ? "yes" : "NO"});
+    }
+    std::printf("\n%s", table.to_string().c_str());
+    if (manifest.has_recording) {
+      std::printf("recording overhead: %s\n",
+                  format_signed_pct(100.0 * manifest.recording_overhead)
+                      .c_str());
+    }
+  }
+  if (!manifest.metrics.histograms.empty()) {
+    analysis::TextTable table(
+        {"Histogram", "Count", "p50", "p95", "p99", "Max"});
+    for (const obs::HistogramSnapshot& h : manifest.metrics.histograms) {
+      table.add_row({h.name, std::to_string(h.count),
+                     format_double(h.quantile(0.50), "%.0f"),
+                     format_double(h.quantile(0.95), "%.0f"),
+                     format_double(h.quantile(0.99), "%.0f"),
+                     std::to_string(h.max)});
+    }
+    std::printf("\nLatency histograms:\n%s", table.to_string().c_str());
+  }
+  if (!manifest.metrics.counters.empty()) {
+    analysis::TextTable table({"Counter", "Value"});
+    for (const auto& [name, value] : manifest.metrics.counters) {
+      table.add_row({name, std::to_string(value)});
+    }
+    std::printf("\nCounters:\n%s", table.to_string().c_str());
+  }
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const std::string& target = args[0];
+  if (std::filesystem::is_directory(target)) {
+    const obs::ReadJournal read = obs::JournalReader::read_file(
+        (std::filesystem::path(target) / "journal.ndjson").string());
+    for (const obs::JournalIssue& issue : read.errors) {
+      std::fprintf(stderr, "journal.ndjson line %zu: %s\n", issue.line,
+                   issue.message.c_str());
+    }
+    if (!read.ok()) return 1;
+    summarize_journal(read);
+    return 0;
+  }
+  const obs::ReadManifest manifest = obs::ManifestReader::read_file(target);
+  for (const std::string& error : manifest.errors) {
+    std::fprintf(stderr, "%s: %s\n", target.c_str(), error.c_str());
+  }
+  if (!manifest.ok()) return 1;
+  summarize_manifest(manifest);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// diff
+
+void print_diff_tables(const obs::RunComparison& comparison) {
+  if (!comparison.runs.empty()) {
+    analysis::TextTable table(
+        {"Threads", "Base s", "Cand s", "Wall delta", "Base tasks/s",
+         "Cand tasks/s"});
+    for (const obs::BenchRunDelta& run : comparison.runs) {
+      table.add_row({std::to_string(run.threads),
+                     format_double(run.base_seconds),
+                     format_double(run.cand_seconds),
+                     format_signed_pct(run.seconds_pct()),
+                     format_double(run.base_throughput, "%.1f"),
+                     format_double(run.cand_throughput, "%.1f")});
+    }
+    std::printf("Wall clock by thread count:\n%s\n",
+                table.to_string().c_str());
+  }
+  if (!comparison.quantiles.empty()) {
+    analysis::TextTable table({"Histogram", "q", "Base", "Cand", "Delta"});
+    for (const obs::QuantileDelta& quantile : comparison.quantiles) {
+      table.add_row({quantile.name,
+                     "p" + std::to_string(static_cast<int>(
+                               quantile.q * 100.0 + 0.5)),
+                     format_double(quantile.base, "%.0f"),
+                     format_double(quantile.cand, "%.0f"),
+                     format_signed_pct(quantile.pct())});
+    }
+    std::printf("Histogram quantiles:\n%s\n", table.to_string().c_str());
+  }
+  analysis::TextTable table({"Counter", "Base", "Cand", "Delta"});
+  bool any = false;
+  for (const obs::CounterDelta& counter : comparison.counters) {
+    if (counter.delta() == 0 && counter.in_base == counter.in_cand) continue;
+    any = true;
+    table.add_row({counter.name,
+                   counter.in_base ? std::to_string(counter.base) : "-",
+                   counter.in_cand ? std::to_string(counter.cand) : "-",
+                   format_signed_pct(counter.pct())});
+  }
+  if (any) {
+    std::printf("Counter drift (changed only):\n%s\n",
+                table.to_string().c_str());
+  } else {
+    std::printf("Counters: no drift.\n\n");
+  }
+}
+
+void print_diff_json(const obs::RunComparison& comparison,
+                     const obs::DiffGateResult& gate,
+                     const obs::DiffGateConfig& config,
+                     const std::string& base_path,
+                     const std::string& cand_path) {
+  std::printf("{\n");
+  std::printf("  \"baseline\": \"%s\",\n",
+              obs::json_escape(base_path).c_str());
+  std::printf("  \"candidate\": \"%s\",\n",
+              obs::json_escape(cand_path).c_str());
+  std::printf("  \"max_regress_pct\": %g,\n", config.max_regress_pct);
+  std::printf("  \"pass\": %s,\n", gate.pass ? "true" : "false");
+  std::printf("  \"runs\": [");
+  for (std::size_t i = 0; i < comparison.runs.size(); ++i) {
+    const obs::BenchRunDelta& run = comparison.runs[i];
+    std::printf("%s\n    {\"threads\": %llu, \"base_seconds\": %g, "
+                "\"cand_seconds\": %g, \"seconds_pct\": %g}",
+                i == 0 ? "" : ",",
+                static_cast<unsigned long long>(run.threads),
+                run.base_seconds, run.cand_seconds, run.seconds_pct());
+  }
+  std::printf("%s],\n", comparison.runs.empty() ? "" : "\n  ");
+  std::printf("  \"quantiles\": [");
+  for (std::size_t i = 0; i < comparison.quantiles.size(); ++i) {
+    const obs::QuantileDelta& quantile = comparison.quantiles[i];
+    std::printf("%s\n    {\"histogram\": \"%s\", \"q\": %g, \"base\": %g, "
+                "\"cand\": %g, \"pct\": %g}",
+                i == 0 ? "" : ",", obs::json_escape(quantile.name).c_str(),
+                quantile.q, quantile.base, quantile.cand, quantile.pct());
+  }
+  std::printf("%s],\n", comparison.quantiles.empty() ? "" : "\n  ");
+  std::printf("  \"counters\": [");
+  bool first = true;
+  for (const obs::CounterDelta& counter : comparison.counters) {
+    if (counter.delta() == 0 && counter.in_base == counter.in_cand) continue;
+    std::printf("%s\n    {\"name\": \"%s\", \"base\": %llu, \"cand\": %llu}",
+                first ? "" : ",", obs::json_escape(counter.name).c_str(),
+                static_cast<unsigned long long>(counter.base),
+                static_cast<unsigned long long>(counter.cand));
+    first = false;
+  }
+  std::printf("%s],\n", first ? "" : "\n  ");
+  std::printf("  \"violations\": [");
+  for (std::size_t i = 0; i < gate.violations.size(); ++i) {
+    std::printf("%s\n    \"%s\"", i == 0 ? "" : ",",
+                obs::json_escape(gate.violations[i]).c_str());
+  }
+  std::printf("%s],\n", gate.violations.empty() ? "" : "\n  ");
+  std::printf("  \"notes\": [");
+  for (std::size_t i = 0; i < gate.notes.size(); ++i) {
+    std::printf("%s\n    \"%s\"", i == 0 ? "" : ",",
+                obs::json_escape(gate.notes[i]).c_str());
+  }
+  std::printf("%s]\n}\n", gate.notes.empty() ? "" : "\n  ");
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  obs::DiffGateConfig config;
+  bool as_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--max-regress-pct" && i + 1 < args.size()) {
+      try {
+        config.max_regress_pct = std::stod(args[++i]);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --max-regress-pct: %s\n", args[i].c_str());
+        return 2;
+      }
+    } else if (args[i] == "--json") {
+      as_json = true;
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  const obs::ReadManifest base = obs::ManifestReader::read_file(paths[0]);
+  const obs::ReadManifest cand = obs::ManifestReader::read_file(paths[1]);
+  for (const auto* manifest : {&base, &cand}) {
+    for (const std::string& error : manifest->errors) {
+      std::fprintf(stderr, "%s: %s\n",
+                   (manifest == &base ? paths[0] : paths[1]).c_str(),
+                   error.c_str());
+    }
+  }
+  if (!base.ok() || !cand.ok()) return 2;
+
+  const obs::RunComparison comparison = obs::compare_runs(base, cand);
+  const obs::DiffGateResult gate = obs::evaluate_gate(comparison, config);
+  if (as_json) {
+    print_diff_json(comparison, gate, config, paths[0], paths[1]);
+  } else {
+    std::printf("baseline:  %s (%s)\ncandidate: %s (%s)\n\n",
+                paths[0].c_str(),
+                base.version.empty() ? base.tool.c_str()
+                                     : base.version.c_str(),
+                paths[1].c_str(),
+                cand.version.empty() ? cand.tool.c_str()
+                                     : cand.version.c_str());
+    print_diff_tables(comparison);
+    for (const std::string& note : gate.notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    if (gate.pass) {
+      std::printf("PASS: no gated quantity regressed more than %.0f%%.\n",
+                  config.max_regress_pct);
+    } else {
+      for (const std::string& violation : gate.violations) {
+        std::printf("REGRESSION: %s\n", violation.c_str());
+      }
+    }
+  }
+  return gate.pass ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// check
+
+int cmd_check(const std::vector<std::string>& args) {
+  std::string dir;
+  std::string manifest_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--manifest" && i + 1 < args.size()) {
+      manifest_path = args[++i];
+    } else if (dir.empty()) {
+      dir = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
+
+  const obs::BundleCheckResult result =
+      obs::check_trace_bundle(dir, manifest_path);
+  for (const std::string& problem : result.problems) {
+    std::fprintf(stderr, "FAIL %s: %s\n", dir.c_str(), problem.c_str());
+  }
+  if (result.ok) {
+    std::printf(
+        "OK %s: %zu journal lines (%zu tasks, %zu verdicts, %zu attacks, "
+        "%zu quorums)%s\n",
+        dir.c_str(), result.journal_lines, result.tasks, result.verdicts,
+        result.attacks, result.quorums,
+        manifest_path.empty() ? "" : ", manifest counters agree");
+  }
+  return result.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "summarize") return cmd_summarize(args);
+  if (command == "diff") return cmd_diff(args);
+  if (command == "check") return cmd_check(args);
+  return usage();
+}
