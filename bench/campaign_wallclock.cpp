@@ -23,11 +23,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/optimizer.hpp"
+#include "analysis/scalar_reference.hpp"
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace_export.hpp"
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   double serial_seconds = 0.0;
   obs::MetricsSnapshot serial_metrics;
   bool have_serial_metrics = false;
+  std::optional<core::CampaignDataset> analysis_data;
 
   for (const std::size_t threads : thread_counts) {
     // Fresh registry per run so each snapshot describes one run only; the
@@ -112,6 +117,7 @@ int main(int argc, char** argv) {
       serial_metrics = snap;
       have_serial_metrics = true;
     }
+    if (!analysis_data) analysis_data = data;
     rows.push_back(Row{threads, secs, identical,
                        snap.counter("campaign.tasks_executed"),
                        snap.counter("campaign.propagations")});
@@ -179,6 +185,52 @@ int main(int argc, char** argv) {
             << kOverheadReps << ")  "
             << (recorded_identical ? "identical" : "MISMATCH") << std::endl;
 
+  // Exhaustive-optimizer phase: the analysis layer's hot loop at benchmark
+  // scale — a (6, N-2) search over every GCP perspective, C(40, 6) =
+  // 3,838,380 candidate sets, single-threaded so thread count never skews
+  // the phase. The identical search then runs on the retained scalar
+  // reference (the seed's byte-per-pair path), so one output file both
+  // demonstrates the packed-kernel speedup and gives the CI gate a packed
+  // wall-clock phase to hold.
+  std::cerr << "exhaustive optimizer, (6, N-2) over GCP..." << std::endl;
+  const auto gcp = testbed.perspectives_of(topo::CloudProvider::Gcp);
+  const analysis::ResilienceAnalyzer analyzer(analysis_data->no_rpki);
+  const analysis::DeploymentOptimizer optimizer(analyzer);
+  analysis::OptimizerConfig ocfg;
+  ocfg.set_size = 6;
+  ocfg.max_failures = 2;
+  ocfg.candidates = gcp;
+  ocfg.top_k = 1;
+  ocfg.threads = 1;
+  analysis::SearchStats opt_stats;
+  ocfg.stats = &opt_stats;
+  const auto opt_t0 = clock();
+  const auto packed_best = optimizer.best(ocfg);
+  const double optimizer_seconds =
+      std::chrono::duration<double>(clock() - opt_t0).count();
+  std::cerr << "  packed: " << optimizer_seconds << " s  ("
+            << opt_stats.complete_sets_scored << " sets scored, "
+            << opt_stats.subtrees_pruned << " subtrees pruned)" << std::endl;
+
+  const analysis::ScalarReference scalar(analysis_data->no_rpki);
+  const std::size_t opt_required = ocfg.set_size - ocfg.max_failures;
+  const auto scalar_t0 = clock();
+  const auto scalar_best = analysis::scalar_exhaustive_best(
+      scalar, gcp, ocfg.set_size, opt_required);
+  const double optimizer_scalar_seconds =
+      std::chrono::duration<double>(clock() - scalar_t0).count();
+  const bool optimizer_agree =
+      packed_best.score.median == scalar_best.score.median &&
+      packed_best.score.average == scalar_best.score.average &&
+      packed_best.spec.remotes == scalar_best.set;
+  const double optimizer_speedup = optimizer_seconds > 0.0
+                                       ? optimizer_scalar_seconds /
+                                             optimizer_seconds
+                                       : 0.0;
+  std::cerr << "  scalar: " << optimizer_scalar_seconds
+            << " s  (packed speedup " << optimizer_speedup << "x)  "
+            << (optimizer_agree ? "identical" : "MISMATCH") << std::endl;
+
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"benchmark\": \"run_paper_campaigns\",\n"
@@ -215,6 +267,28 @@ int main(int argc, char** argv) {
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"phases\": [\n"
+      << "    {\"name\": \"optimizer_exhaustive_ms\", \"seconds\": "
+      << optimizer_seconds << ", \"ms\": " << optimizer_seconds * 1000.0
+      << "},\n"
+      << "    {\"name\": \"optimizer_exhaustive_scalar_ms\", \"seconds\": "
+      << optimizer_scalar_seconds
+      << ", \"ms\": " << optimizer_scalar_seconds * 1000.0 << "}\n"
+      << "  ],\n"
+      << "  \"optimizer\": {\n"
+      << "    \"candidates\": " << gcp.size() << ",\n"
+      << "    \"set_size\": " << ocfg.set_size << ",\n"
+      << "    \"max_failures\": " << ocfg.max_failures << ",\n"
+      << "    \"threads\": 1,\n"
+      << "    \"complete_sets_scored\": " << opt_stats.complete_sets_scored
+      << ",\n"
+      << "    \"subtrees_pruned\": " << opt_stats.subtrees_pruned << ",\n"
+      << "    \"best_median\": " << packed_best.score.median << ",\n"
+      << "    \"best_average\": " << packed_best.score.average << ",\n"
+      << "    \"packed_speedup_vs_scalar\": " << optimizer_speedup << ",\n"
+      << "    \"scalar_agrees\": " << (optimizer_agree ? "true" : "false")
+      << "\n"
+      << "  },\n"
       << "  \"recording\": {\n"
       << "    \"seconds\": " << recorded_seconds << ",\n"
       << "    \"recording_overhead\": " << recording_overhead << ",\n"
@@ -237,6 +311,11 @@ int main(int argc, char** argv) {
   }
   if (!recorded_identical) {
     std::cerr << "determinism violation with flight recorder on" << std::endl;
+    return 1;
+  }
+  if (!optimizer_agree) {
+    std::cerr << "packed optimizer disagrees with scalar reference"
+              << std::endl;
     return 1;
   }
   return 0;

@@ -4,12 +4,14 @@
 //   - the full fast campaign across worker-thread counts,
 //   - resilience scoring (the optimizer's inner loop),
 //   - exhaustive optimizer on a small provider,
+//   - the packed-vs-scalar exhaustive series (kernel speedup),
 //   - prefix trie longest-prefix match.
 #include <benchmark/benchmark.h>
 
 #include <thread>
 
 #include "analysis/optimizer.hpp"
+#include "analysis/scalar_reference.hpp"
 #include "bgpd/network.hpp"
 #include "marcopolo/fast_campaign.hpp"
 #include "netsim/prefix_trie.hpp"
@@ -114,6 +116,47 @@ void BM_ExhaustiveOptimizer(benchmark::State& state) {
   // C(27, k) candidate sets scored per iteration.
 }
 BENCHMARK(BM_ExhaustiveOptimizer)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+// Packed-vs-scalar series: the same best-deployment exhaustive search over
+// AWS, Arg = set size, once per kernel. "Packed" is the production
+// optimizer (word-reduction kernels at top_k = 1, single thread); "Scalar"
+// is the retained byte-per-pair reference walking the identical DFS with
+// the identical prune. The per-Arg time ratio is the packed speedup.
+void BM_OptimizerExhaustivePacked(benchmark::State& state) {
+  analysis::ResilienceAnalyzer analyzer(shared_store());
+  analysis::DeploymentOptimizer optimizer(analyzer);
+  analysis::OptimizerConfig cfg;
+  cfg.set_size = static_cast<std::size_t>(state.range(0));
+  cfg.max_failures = cfg.set_size >= 6 ? 2 : 1;
+  cfg.candidates = shared_testbed().perspectives_of(topo::CloudProvider::Aws);
+  cfg.top_k = 1;
+  cfg.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.best(cfg));
+  }
+}
+BENCHMARK(BM_OptimizerExhaustivePacked)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizerExhaustiveScalar(benchmark::State& state) {
+  const analysis::ScalarReference scalar(shared_store());
+  const auto candidates =
+      shared_testbed().perspectives_of(topo::CloudProvider::Aws);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t required = k - (k >= 6 ? 2 : 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::scalar_exhaustive_best(scalar, candidates, k, required));
+  }
+}
+BENCHMARK(BM_OptimizerExhaustiveScalar)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EventDrivenConvergence(benchmark::State& state) {
   const auto& tb = shared_testbed();

@@ -2,8 +2,12 @@
 // per-perspective logs as CSV, ranked deployments and full evaluations as
 // JSON — and prove the raw dataset round-trips.
 //
-// Usage: export_dataset [output_dir]   (default: current directory)
+// Usage: export_dataset [output_dir] [--binary]
+//   output_dir  defaults to the current directory
+//   --binary    additionally write marcopolo_results.bin (the versioned
+//               binary store format) and round-trip check it
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -16,7 +20,15 @@
 using namespace marcopolo;
 
 int main(int argc, char** argv) {
-  const std::string dir = argc > 1 ? argv[1] : ".";
+  std::string dir = ".";
+  bool binary = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--binary") == 0) {
+      binary = true;
+    } else {
+      dir = argv[i];
+    }
+  }
 
   core::Testbed testbed{core::TestbedConfig{}};
   std::printf("Running campaign...\n");
@@ -45,6 +57,29 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("Wrote %s (round-trip mismatches: %zu)\n", csv_path.c_str(),
+                mismatches);
+  }
+
+  // 1b. Optional compact binary alongside the CSV.
+  if (binary) {
+    const std::string bin_path = dir + "/marcopolo_results.bin";
+    {
+      std::ofstream out(bin_path, std::ios::binary);
+      store.save_binary(out);
+    }
+    std::ifstream in(bin_path, std::ios::binary);
+    const auto reloaded = core::ResultStore::load_binary(in);
+    std::size_t mismatches = 0;
+    for (core::SiteIndex v = 0; v < store.num_sites(); ++v) {
+      for (core::SiteIndex a = 0; a < store.num_sites(); ++a) {
+        for (core::PerspectiveIndex p = 0; p < store.num_perspectives(); ++p) {
+          if (reloaded.outcome(v, a, p) != store.outcome(v, a, p)) {
+            ++mismatches;
+          }
+        }
+      }
+    }
+    std::printf("Wrote %s (round-trip mismatches: %zu)\n", bin_path.c_str(),
                 mismatches);
   }
 

@@ -55,6 +55,16 @@ ConfidenceInterval bootstrap_median(std::span<const double> per_victim,
       resamples, confidence, seed);
 }
 
+ConfidenceInterval bootstrap_deployment_median(
+    const ResilienceAnalyzer& analyzer,
+    std::span<const core::PerspectiveIndex> remotes, std::size_t required,
+    std::optional<core::PerspectiveIndex> primary, std::size_t resamples,
+    double confidence, std::uint64_t seed) {
+  const std::vector<double> per_victim =
+      analyzer.per_victim_resilience(remotes, required, primary);
+  return bootstrap_median(per_victim, resamples, confidence, seed);
+}
+
 ConfidenceInterval bootstrap_average(std::span<const double> per_victim,
                                      std::size_t resamples, double confidence,
                                      std::uint64_t seed) {

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "analysis/resilience.hpp"
 #include "netsim/random.hpp"
 
 namespace marcopolo::analysis {
@@ -38,5 +40,15 @@ struct ConfidenceInterval {
 [[nodiscard]] ConfidenceInterval bootstrap_average(
     std::span<const double> per_victim, std::size_t resamples = 2000,
     double confidence = 0.95, std::uint64_t seed = 0xB007);
+
+/// CI of a deployment's median resilience, computed straight from the
+/// packed analyzer (per_victim_resilience over the OutcomeMatrix) without
+/// materializing a DeploymentSpec.
+[[nodiscard]] ConfidenceInterval bootstrap_deployment_median(
+    const ResilienceAnalyzer& analyzer,
+    std::span<const core::PerspectiveIndex> remotes, std::size_t required,
+    std::optional<core::PerspectiveIndex> primary,
+    std::size_t resamples = 2000, double confidence = 0.95,
+    std::uint64_t seed = 0xB007);
 
 }  // namespace marcopolo::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <queue>
 #include <set>
 #include <stdexcept>
@@ -96,11 +97,28 @@ mpic::DeploymentSpec make_spec(const OptimizerConfig& cfg,
 
 }  // namespace
 
+ResilienceAnalyzer::Workspace& DeploymentOptimizer::workspace() const {
+  if (ws_.counts.empty()) ws_ = analyzer_.make_workspace();
+  return ws_;
+}
+
+ResilienceAnalyzer::ScoreScratch& DeploymentOptimizer::scratch() const {
+  if (scratch_.mask.empty()) scratch_ = analyzer_.make_scratch();
+  return scratch_;
+}
+
 std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
     const OptimizerConfig& cfg) const {
   const auto& cands = cfg.candidates;
   const std::size_t k = cfg.set_size;
   const std::size_t required = k - cfg.max_failures;
+  // Per-level kernel rule: sets up to the threshold go through the direct
+  // packed kernel (score straight from `chosen`, no counters); deeper
+  // levels need the incremental workspace, which is then maintained on
+  // every tree edge. When the whole search fits the direct kernel the
+  // workspace (and its O(pairs) add/remove per edge) disappears entirely.
+  const std::size_t direct_max = cfg.direct_kernel_max_set;
+  const bool maintain_counts = k > direct_max;
 
   // One worker explores all combinations whose FIRST element index is in
   // its share; the DFS below each first element is independent, so workers
@@ -114,17 +132,28 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
   std::atomic<std::size_t> next_first{0};
 
   auto worker = [&](std::size_t t) {
-    ResilienceAnalyzer::Workspace ws = analyzer_.make_workspace();
+    // Allocated once per worker and reused across every stolen subtree.
+    ResilienceAnalyzer::Workspace ws =
+        maintain_counts ? analyzer_.make_workspace()
+                        : ResilienceAnalyzer::Workspace{};
+    ResilienceAnalyzer::ScoreScratch sc = analyzer_.make_scratch();
     std::vector<PerspectiveIndex> chosen;
     chosen.reserve(k);
     std::array<std::size_t, 5> rir_counts{};
     TopK& top = tops[t];
     SearchStats& st = stats[t];
 
+    const auto node_score = [&]() {
+      if (chosen.size() <= direct_max) {
+        return analyzer_.score_set(chosen, required, std::nullopt, sc);
+      }
+      return analyzer_.score(ws, required, std::nullopt);
+    };
+
     auto dfs = [&](auto&& self, std::size_t next) -> void {
       if (chosen.size() == k) {
         ++st.complete_sets_scored;
-        top.offer(chosen, analyzer_.score(ws, required, std::nullopt));
+        top.offer(chosen, node_score());
         return;
       }
       // Upper-bound prune: per-pair hijack counts only grow as
@@ -134,8 +163,7 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
       // bounds every completion from above; if it cannot enter the top-k,
       // nothing below it can. admits() over-admits on exact score ties,
       // which only costs work, never drops a valid result.
-      if (top.full() &&
-          !top.admits(analyzer_.score(ws, required, std::nullopt))) {
+      if (top.full() && !top.admits(node_score())) {
         ++st.subtrees_pruned;
         return;
       }
@@ -148,9 +176,9 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
           ++rir_counts[rir];
         }
         chosen.push_back(cands[i]);
-        analyzer_.add_perspective(ws, cands[i]);
+        if (maintain_counts) analyzer_.add_perspective(ws, cands[i]);
         self(self, i + 1);
-        analyzer_.remove_perspective(ws, cands[i]);
+        if (maintain_counts) analyzer_.remove_perspective(ws, cands[i]);
         chosen.pop_back();
         if (cfg.max_per_rir > 0) --rir_counts[rir];
       }
@@ -167,11 +195,14 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
         ++rir_counts[rir];
       }
       chosen.push_back(cands[first]);
-      analyzer_.add_perspective(ws, cands[first]);
+      if (maintain_counts) analyzer_.add_perspective(ws, cands[first]);
       dfs(dfs, first + 1);
-      analyzer_.remove_perspective(ws, cands[first]);
+      if (maintain_counts) analyzer_.remove_perspective(ws, cands[first]);
       chosen.pop_back();
       if (cfg.max_per_rir > 0) --rir_counts[rir];
+      // The balanced add/remove walk above must leave no residue; a
+      // corrupted workspace would silently skew every later subtree.
+      assert(!maintain_counts || ResilienceAnalyzer::is_zero(ws));
     }
   };
 
@@ -229,7 +260,7 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_beam(
     ResilienceAnalyzer::Score score;
   };
   std::vector<State> beam{State{{}, {}}};
-  ResilienceAnalyzer::Workspace ws = analyzer_.make_workspace();
+  ResilienceAnalyzer::ScoreScratch& sc = scratch();
   std::uint64_t states_scored = 0;
 
   for (std::size_t depth = 1; depth <= cfg.set_size; ++depth) {
@@ -260,12 +291,10 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_beam(
         std::sort(set.begin(), set.end());
         if (!seen.insert(set).second) continue;
 
-        std::fill(ws.counts.begin(), ws.counts.end(), 0);
-        for (const PerspectiveIndex p : set) analyzer_.add_perspective(ws, p);
         ++states_scored;
-        next.push_back(
-            State{std::move(set),
-                  analyzer_.score(ws, partial_required, std::nullopt)});
+        const auto score =
+            analyzer_.score_set(set, partial_required, std::nullopt, sc);
+        next.push_back(State{std::move(set), score});
       }
     }
     const std::size_t keep = std::min(cfg.beam_width, next.size());
@@ -288,22 +317,29 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_beam(
   std::vector<Final> finals;
   for (const State& state : beam) {
     if (state.set.size() != cfg.set_size) continue;
-    std::fill(ws.counts.begin(), ws.counts.end(), 0);
-    for (const PerspectiveIndex p : state.set) analyzer_.add_perspective(ws, p);
-    finals.push_back(
-        Final{state.set, analyzer_.score(ws, final_required, std::nullopt)});
+    finals.push_back(Final{
+        state.set,
+        analyzer_.score_set(state.set, final_required, std::nullopt, sc)});
   }
   std::sort(finals.begin(), finals.end(),
             [](const Final& a, const Final& b) { return b.score < a.score; });
 
+  // The swap refinement walks the incremental workspace; one hoisted
+  // workspace serves every refined survivor — each climb is entered by
+  // adding the set's perspectives and exited by removing them, so the
+  // counts return to zero between seeds instead of being reallocated.
   const std::size_t refine = std::min(cfg.refine_top, finals.size());
+  ResilienceAnalyzer::Workspace& ws = workspace();
   for (std::size_t f = 0; f < refine; ++f) {
     auto& current = finals[f];
-    std::fill(ws.counts.begin(), ws.counts.end(), 0);
     for (const PerspectiveIndex p : current.set) {
       analyzer_.add_perspective(ws, p);
     }
     climb(current.set, current.score, ws, cfg, final_required);
+    for (const PerspectiveIndex p : current.set) {
+      analyzer_.remove_perspective(ws, p);
+    }
+    assert(ResilienceAnalyzer::is_zero(ws));
     std::sort(current.set.begin(), current.set.end());
   }
   std::sort(finals.begin(), finals.end(),
@@ -374,12 +410,14 @@ RankedDeployment DeploymentOptimizer::hill_climb(
   if (seed.size() != cfg.set_size) {
     throw std::invalid_argument("seed size != config set_size");
   }
-  ResilienceAnalyzer::Workspace ws = analyzer_.make_workspace();
+  ResilienceAnalyzer::Workspace& ws = workspace();
   for (const PerspectiveIndex p : seed) analyzer_.add_perspective(ws, p);
   const std::size_t required = cfg.set_size - cfg.max_failures;
   ResilienceAnalyzer::Score score =
       analyzer_.score(ws, required, std::nullopt);
   climb(seed, score, ws, cfg, required);
+  for (const PerspectiveIndex p : seed) analyzer_.remove_perspective(ws, p);
+  assert(ResilienceAnalyzer::is_zero(ws));
   std::sort(seed.begin(), seed.end());
   return RankedDeployment{make_spec(cfg, std::move(seed), std::nullopt, 0),
                           score};
@@ -407,14 +445,13 @@ std::vector<RankedDeployment> DeploymentOptimizer::attach_primaries(
     remote_sets.resize(cfg.primary_pool);
   }
   TopK top(cfg.top_k);
-  ResilienceAnalyzer::Workspace ws = analyzer_.make_workspace();
+  ResilienceAnalyzer::ScoreScratch& sc = scratch();
   const std::size_t required = cfg.set_size - cfg.max_failures;
 
   for (const RankedDeployment& rd : remote_sets) {
-    std::fill(ws.counts.begin(), ws.counts.end(), 0);
-    for (const PerspectiveIndex p : rd.spec.remotes) {
-      analyzer_.add_perspective(ws, p);
-    }
+    // One success mask per remote set; each primary only ANDs its own row
+    // into the mask, so trying every primary is popcount-cheap.
+    analyzer_.build_success_mask(rd.spec.remotes, required, sc);
     for (const PerspectiveIndex primary : primaries) {
       if (std::find(rd.spec.remotes.begin(), rd.spec.remotes.end(), primary) !=
           rd.spec.remotes.end()) {
@@ -424,7 +461,7 @@ std::vector<RankedDeployment> DeploymentOptimizer::attach_primaries(
       // below when building specs.
       std::vector<PerspectiveIndex> encoded = rd.spec.remotes;
       encoded.push_back(primary);
-      top.offer(encoded, analyzer_.score(ws, required, primary));
+      top.offer(encoded, analyzer_.score_from_mask(sc, primary));
     }
   }
 

@@ -36,35 +36,43 @@ ResilienceSummary summarize(std::vector<double> per_victim) {
 }
 
 ResilienceAnalyzer::ResilienceAnalyzer(const ResultStore& store)
-    : store_(store) {
+    : store_(store), matrix_(store) {
   if (store_.num_sites() < 2) {
     throw std::invalid_argument("need at least two BGP nodes");
+  }
+  const std::size_t n = store_.num_sites();
+  resilience_of_.resize(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    resilience_of_[d] = static_cast<double>(d) / static_cast<double>(n - 1);
   }
 }
 
 std::vector<double> ResilienceAnalyzer::per_victim_resilience(
     const mpic::DeploymentSpec& spec) const {
   spec.check();
-  Workspace ws = make_workspace();
-  for (const PerspectiveIndex p : spec.remotes) add_perspective(ws, p);
+  return per_victim_resilience(spec.remotes, spec.policy.required(),
+                               spec.primary);
+}
 
+std::vector<double> ResilienceAnalyzer::per_victim_resilience(
+    std::span<const PerspectiveIndex> remotes, std::size_t required,
+    std::optional<PerspectiveIndex> primary) const {
+  ScoreScratch scratch = make_scratch();
+  build_success_mask(remotes, required, scratch);
+  std::span<const std::uint64_t> mask = scratch.mask;
+  if (primary) {
+    const auto row = matrix_.row(*primary);
+    for (std::size_t w = 0; w < row.size(); ++w) {
+      scratch.masked[w] = scratch.mask[w] & row[w];
+    }
+    mask = scratch.masked;
+  }
   const std::size_t n = store_.num_sites();
-  const std::size_t required = spec.policy.required();
-  const std::uint8_t* primary_bytes =
-      spec.primary ? store_.hijack_bytes(*spec.primary) : nullptr;
-
   std::vector<double> out(n, 0.0);
   for (std::size_t v = 0; v < n; ++v) {
-    std::size_t defended = 0;
-    for (std::size_t a = 0; a < n; ++a) {
-      if (a == v) continue;
-      const std::size_t idx = v * n + a;
-      const bool attack_ok =
-          ws.counts[idx] >= required &&
-          (primary_bytes == nullptr || primary_bytes[idx] != 0);
-      if (!attack_ok) ++defended;
-    }
-    out[v] = static_cast<double>(defended) / static_cast<double>(n - 1);
+    const std::size_t defended =
+        (n - 1) - matrix_.successes_for_victim(mask, v);
+    out[v] = resilience_of_[defended];
   }
   return out;
 }
@@ -76,28 +84,41 @@ ResilienceSummary ResilienceAnalyzer::evaluate(
 
 void ResilienceAnalyzer::add_perspective(Workspace& ws,
                                          PerspectiveIndex p) const {
-  const std::uint8_t* bytes = store_.hijack_bytes(p);
-  const std::size_t n = ws.counts.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    ws.counts[i] = static_cast<std::uint16_t>(ws.counts[i] + bytes[i]);
+  const auto row = matrix_.row(p);
+  std::uint16_t* counts = ws.counts.data();
+  for (std::size_t w = 0; w < row.size(); ++w) {
+    const std::uint64_t bits = row[w];
+    std::uint16_t* chunk = counts + w * 64;
+    for (unsigned j = 0; j < 64; ++j) {
+      chunk[j] = static_cast<std::uint16_t>(chunk[j] + ((bits >> j) & 1));
+    }
   }
 }
 
 void ResilienceAnalyzer::remove_perspective(Workspace& ws,
                                             PerspectiveIndex p) const {
-  const std::uint8_t* bytes = store_.hijack_bytes(p);
-  const std::size_t n = ws.counts.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    ws.counts[i] = static_cast<std::uint16_t>(ws.counts[i] - bytes[i]);
+  const auto row = matrix_.row(p);
+  std::uint16_t* counts = ws.counts.data();
+  for (std::size_t w = 0; w < row.size(); ++w) {
+    const std::uint64_t bits = row[w];
+    std::uint16_t* chunk = counts + w * 64;
+    for (unsigned j = 0; j < 64; ++j) {
+      chunk[j] = static_cast<std::uint16_t>(chunk[j] - ((bits >> j) & 1));
+    }
   }
+}
+
+bool ResilienceAnalyzer::is_zero(const Workspace& ws) {
+  return std::all_of(ws.counts.begin(), ws.counts.end(),
+                     [](std::uint16_t c) { return c == 0; });
 }
 
 ResilienceAnalyzer::Score ResilienceAnalyzer::score(
     const Workspace& ws, std::size_t required,
     std::optional<PerspectiveIndex> primary) const {
   const std::size_t n = store_.num_sites();
-  const std::uint8_t* primary_bytes =
-      primary ? store_.hijack_bytes(*primary) : nullptr;
+  const std::uint64_t* primary_row =
+      primary ? matrix_.row(*primary).data() : nullptr;
 
   // Per-victim resilience values; kept on the stack-ish small vector.
   std::vector<double> per_victim(n);
@@ -107,18 +128,119 @@ ResilienceAnalyzer::Score ResilienceAnalyzer::score(
     const std::size_t row = v * n;
     for (std::size_t a = 0; a < n; ++a) {
       if (a == v) continue;
+      const std::size_t idx = row + a;
       const bool attack_ok =
-          ws.counts[row + a] >= required &&
-          (primary_bytes == nullptr || primary_bytes[row + a] != 0);
+          ws.counts[idx] >= required &&
+          (primary_row == nullptr ||
+           ((primary_row[idx / 64] >> (idx % 64)) & 1) != 0);
       if (!attack_ok) ++defended;
     }
-    per_victim[v] = static_cast<double>(defended) / static_cast<double>(n - 1);
+    per_victim[v] = resilience_of_[defended];
     sum += per_victim[v];
   }
   Score s;
   s.average = sum / static_cast<double>(n);
   s.median = median_of(std::move(per_victim));
   return s;
+}
+
+ResilienceAnalyzer::ScoreScratch ResilienceAnalyzer::make_scratch() const {
+  ScoreScratch scratch;
+  scratch.mask.resize(matrix_.words_per_row());
+  scratch.masked.resize(matrix_.words_per_row());
+  scratch.defended_hist.resize(store_.num_sites());
+  return scratch;
+}
+
+void ResilienceAnalyzer::build_success_mask(
+    std::span<const PerspectiveIndex> set, std::size_t required,
+    ScoreScratch& scratch) const {
+  matrix_.success_mask(set, required, scratch.mask);
+}
+
+ResilienceAnalyzer::Score ResilienceAnalyzer::score_from_mask(
+    ScoreScratch& scratch, std::optional<PerspectiveIndex> primary) const {
+  std::span<const std::uint64_t> mask = scratch.mask;
+  if (primary) {
+    const auto row = matrix_.row(*primary);
+    for (std::size_t w = 0; w < row.size(); ++w) {
+      scratch.masked[w] = scratch.mask[w] & row[w];
+    }
+    mask = scratch.masked;
+  }
+  const std::size_t n = store_.num_sites();
+  std::uint32_t* hist = scratch.defended_hist.data();
+  std::fill_n(hist, n, 0);
+  const double* values = resilience_of_.data();
+  const std::uint64_t* words = mask.data();
+  // Victim rows are n consecutive bits in pair order; walk them with a
+  // running (word, bit-offset) cursor so each row costs one or two
+  // popcounts and no per-victim index arithmetic.
+  const std::uint64_t row_mask =
+      n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  double sum = 0.0;
+  std::size_t w = 0;
+  std::size_t off = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t successes;
+    if (off + n <= 64) {
+      successes = static_cast<std::size_t>(
+          std::popcount((words[w] >> off) & row_mask));
+      off += n;
+      if (off == 64) {
+        off = 0;
+        ++w;
+      }
+    } else {
+      const std::size_t hi = off + n - 64;
+      successes = static_cast<std::size_t>(std::popcount(words[w] >> off)) +
+                  static_cast<std::size_t>(std::popcount(
+                      words[w + 1] & ((std::uint64_t{1} << hi) - 1)));
+      ++w;
+      off = hi;
+    }
+    const std::size_t defended = (n - 1) - successes;
+    ++hist[defended];
+    // Same value and accumulation order as the scalar loop — the double
+    // sum must stay bit-identical.
+    sum += values[defended];
+  }
+  // Median via a counting scan over the integer defended values instead
+  // of sorting doubles: every per-victim value is d / (n-1), and division
+  // by a positive constant is monotone, so rank order over the doubles
+  // equals rank order over the integers. The element(s) std::sort would
+  // put at ranks n/2 - 1 and n/2 are found by cumulative count and
+  // converted through the same resilience_of_ table — a bit-identical
+  // median under eq. (5)'s even/odd rule, at O(n) instead of O(n log n)
+  // per score.
+  const auto value_at_rank = [&](std::size_t rank) {
+    std::size_t seen = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      seen += hist[d];
+      if (seen > rank) return values[d];
+    }
+    return 1.0;  // unreachable: every rank < n is covered above
+  };
+  Score s;
+  s.average = sum / static_cast<double>(n);
+  s.median = n % 2 == 1
+                 ? value_at_rank(n / 2)
+                 : (value_at_rank(n / 2 - 1) + value_at_rank(n / 2)) / 2.0;
+  return s;
+}
+
+ResilienceAnalyzer::Score ResilienceAnalyzer::score_set(
+    std::span<const PerspectiveIndex> set, std::size_t required,
+    std::optional<PerspectiveIndex> primary, ScoreScratch& scratch) const {
+  if (required > set.size()) {
+    // No quorum can form, so every pair is defended regardless of primary:
+    // each per-victim value is (n-1)/(n-1), exactly 1.0, and the integer
+    // sum n * 1.0 divides back to exactly 1.0 — the kernels can be skipped
+    // without changing a bit.
+    return Score{1.0, 1.0};
+  }
+  build_success_mask(set, required, scratch);
+  return score_from_mask(scratch, primary);
 }
 
 }  // namespace marcopolo::analysis

@@ -8,14 +8,24 @@
 // Primary perspectives (§5.1) are an additional conjunct: an attack only
 // succeeds if the primary is also hijacked.
 //
-// The analyzer also exposes an incremental workspace (running per-pair
-// hijack counts) so the optimizer can walk combination space with O(pairs)
-// updates per step instead of re-summing each candidate set.
+// All kernels run on the packed OutcomeMatrix (see outcome_matrix.hpp),
+// snapshotted from the store at construction. Two paths exist:
+//
+//   * the incremental Workspace (running per-pair hijack counts, updated
+//     by unpacking packed words) for deep DFS walks where sets change by
+//     one perspective per step, and
+//   * the direct path (ScoreScratch + success_mask) that scores a whole
+//     set with word-level AND/OR/bit-sliced reductions and popcounts,
+//     skipping per-pair counters entirely.
+//
+// Both produce bit-identical scores; DESIGN.md §10 has the selection rule.
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "analysis/outcome_matrix.hpp"
 #include "marcopolo/result_store.hpp"
 #include "mpic/deployment.hpp"
 
@@ -47,6 +57,7 @@ class ResilienceAnalyzer {
   explicit ResilienceAnalyzer(const ResultStore& store);
 
   [[nodiscard]] const ResultStore& store() const { return store_; }
+  [[nodiscard]] const OutcomeMatrix& matrix() const { return matrix_; }
   [[nodiscard]] std::size_t num_sites() const { return store_.num_sites(); }
   [[nodiscard]] std::size_t num_perspectives() const {
     return store_.num_perspectives();
@@ -56,25 +67,36 @@ class ResilienceAnalyzer {
   [[nodiscard]] std::vector<double> per_victim_resilience(
       const mpic::DeploymentSpec& spec) const;
 
+  /// R_victim from the raw pieces of a deployment (no spec allocation).
+  [[nodiscard]] std::vector<double> per_victim_resilience(
+      std::span<const PerspectiveIndex> remotes, std::size_t required,
+      std::optional<PerspectiveIndex> primary) const;
+
   /// Full Appendix A evaluation.
   [[nodiscard]] ResilienceSummary evaluate(
       const mpic::DeploymentSpec& spec) const;
 
-  // ---- Incremental kernel (optimizer fast path) ----
+  // ---- Incremental kernel (optimizer deep-walk path) ----
 
   struct Workspace {
     /// hijacked-count per ordered pair for the current candidate set.
     /// 16-bit: a deployment can legitimately contain every perspective
     /// (PerspectiveIndex is 16-bit), and an 8-bit counter silently wraps
     /// past 255 perspectives, corrupting every score downstream.
+    /// Padded to words_per_row * 64 entries so add/remove can unpack
+    /// whole 64-bit words without a tail branch.
     std::vector<std::uint16_t> counts;
   };
 
   [[nodiscard]] Workspace make_workspace() const {
-    return Workspace{std::vector<std::uint16_t>(store_.num_pairs(), 0)};
+    return Workspace{
+        std::vector<std::uint16_t>(matrix_.words_per_row() * 64, 0)};
   }
   void add_perspective(Workspace& ws, PerspectiveIndex p) const;
   void remove_perspective(Workspace& ws, PerspectiveIndex p) const;
+  /// True when every count is zero — the state a balanced add/remove walk
+  /// must return the workspace to (debug-asserted by the optimizer).
+  [[nodiscard]] static bool is_zero(const Workspace& ws);
 
   struct Score {
     double median = 0.0;
@@ -93,8 +115,50 @@ class ResilienceAnalyzer {
   [[nodiscard]] Score score(const Workspace& ws, std::size_t required,
                             std::optional<PerspectiveIndex> primary) const;
 
+  // ---- Direct kernel (whole-set word reductions, no counters) ----
+
+  /// Reusable scratch for the direct path. Allocate once (make_scratch),
+  /// reuse across any number of build/score calls — nothing in it persists
+  /// between calls except capacity.
+  struct ScoreScratch {
+    std::vector<std::uint64_t> mask;    ///< success mask, words_per_row
+    std::vector<std::uint64_t> masked;  ///< mask ∧ primary row
+    /// Histogram of integer defended-counts, num_sites bins (a victim can
+    /// defend against at most num_sites - 1 adversaries). Every
+    /// per-victim value is defended / (n - 1) with integer defended, so
+    /// the median comes from a counting scan instead of a sort — division
+    /// by a positive constant is monotone, making the result bit-identical
+    /// to sorting the doubles.
+    std::vector<std::uint32_t> defended_hist;
+  };
+
+  [[nodiscard]] ScoreScratch make_scratch() const;
+
+  /// Build the attack-success mask for `set` under `required` into
+  /// scratch.mask. Splitting this from scoring lets one mask serve many
+  /// primaries (attach_primaries walks exactly that pattern).
+  void build_success_mask(std::span<const PerspectiveIndex> set,
+                          std::size_t required, ScoreScratch& scratch) const;
+
+  /// Score scratch.mask, optionally ANDing in a primary row first.
+  [[nodiscard]] Score score_from_mask(
+      ScoreScratch& scratch, std::optional<PerspectiveIndex> primary) const;
+
+  /// build_success_mask + score_from_mask in one call.
+  [[nodiscard]] Score score_set(std::span<const PerspectiveIndex> set,
+                                std::size_t required,
+                                std::optional<PerspectiveIndex> primary,
+                                ScoreScratch& scratch) const;
+
  private:
   const ResultStore& store_;
+  OutcomeMatrix matrix_;
+  /// resilience_of_[d] = d / (n - 1) for every possible integer
+  /// defended-count, computed once with the exact expression the scoring
+  /// loops used to evaluate per victim. Indexing the cached result of the
+  /// identical IEEE division is bit-identical to redoing it — and removes
+  /// n divides from every score in the optimizer's hot loop.
+  std::vector<double> resilience_of_;
 };
 
 }  // namespace marcopolo::analysis

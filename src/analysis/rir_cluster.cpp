@@ -4,14 +4,20 @@
 
 namespace marcopolo::analysis {
 
-ClusterSignature cluster_signature(const mpic::DeploymentSpec& spec,
+ClusterSignature cluster_signature(std::span<const PerspectiveIndex> remotes,
                                    std::span<const topo::Rir> rir_of) {
   ClusterSignature counts{};
-  for (const PerspectiveIndex p : spec.remotes) {
+  for (const PerspectiveIndex p : remotes) {
     ++counts[static_cast<std::size_t>(rir_of[p])];
   }
   std::sort(counts.begin(), counts.end(), std::greater<>());
   return counts;
+}
+
+ClusterSignature cluster_signature(const mpic::DeploymentSpec& spec,
+                                   std::span<const topo::Rir> rir_of) {
+  return cluster_signature(std::span<const PerspectiveIndex>(spec.remotes),
+                           rir_of);
 }
 
 std::string format_signature(const ClusterSignature& sig,

@@ -21,6 +21,10 @@ namespace marcopolo::analysis {
 /// Per-RIR remote counts, sorted descending (5 RIRs).
 using ClusterSignature = std::array<std::uint8_t, 5>;
 
+/// Signature of a set of remote perspectives.
+[[nodiscard]] ClusterSignature cluster_signature(
+    std::span<const PerspectiveIndex> remotes, std::span<const topo::Rir> rir_of);
+
 /// Signature of a deployment's *remote* perspectives.
 [[nodiscard]] ClusterSignature cluster_signature(
     const mpic::DeploymentSpec& spec, std::span<const topo::Rir> rir_of);

@@ -15,11 +15,21 @@ RpkiWeightedAnalyzer::RpkiWeightedAnalyzer(const ResilienceAnalyzer& plain,
 
 std::vector<double> RpkiWeightedAnalyzer::per_victim_resilience(
     const mpic::DeploymentSpec& spec, double w) const {
+  spec.check();
+  return per_victim_resilience(spec.remotes, spec.policy.required(),
+                               spec.primary, w);
+}
+
+std::vector<double> RpkiWeightedAnalyzer::per_victim_resilience(
+    std::span<const core::PerspectiveIndex> remotes, std::size_t required,
+    std::optional<core::PerspectiveIndex> primary, double w) const {
   if (w < 0.0 || w > 1.0) {
     throw std::invalid_argument("rpki fraction must be in [0, 1]");
   }
-  const std::vector<double> p = plain_.per_victim_resilience(spec);
-  const std::vector<double> r = rpki_.per_victim_resilience(spec);
+  const std::vector<double> p =
+      plain_.per_victim_resilience(remotes, required, primary);
+  const std::vector<double> r =
+      rpki_.per_victim_resilience(remotes, required, primary);
   std::vector<double> out(p.size());
   for (std::size_t v = 0; v < p.size(); ++v) {
     out[v] = w * r[v] + (1.0 - w) * p[v];

@@ -10,6 +10,9 @@
 // deployment.
 #pragma once
 
+#include <optional>
+#include <span>
+
 #include "analysis/resilience.hpp"
 
 namespace marcopolo::analysis {
@@ -27,6 +30,12 @@ class RpkiWeightedAnalyzer {
   /// Per-victim weighted resilience for a deployment.
   [[nodiscard]] std::vector<double> per_victim_resilience(
       const mpic::DeploymentSpec& spec, double rpki_fraction) const;
+
+  /// Same, from the raw deployment pieces (no spec allocation).
+  [[nodiscard]] std::vector<double> per_victim_resilience(
+      std::span<const core::PerspectiveIndex> remotes, std::size_t required,
+      std::optional<core::PerspectiveIndex> primary,
+      double rpki_fraction) const;
 
   [[nodiscard]] ResilienceSummary evaluate(const mpic::DeploymentSpec& spec,
                                            double rpki_fraction) const;

@@ -1,0 +1,179 @@
+// Byte-per-pair scalar reference implementation of the Appendix A kernels.
+//
+// This is the seed implementation the packed OutcomeMatrix kernels are
+// verified against: one std::uint8_t per (perspective, pair) cell, a
+// uint16 per-pair count workspace, and the straightforward per-victim
+// loops. It is deliberately kept OUT of the production analysis path —
+// its only callers are the differential property tests and the
+// packed-vs-scalar benchmark series. Every result here must stay
+// bit-identical to ResilienceAnalyzer; if the two ever disagree, the
+// packed kernel is wrong.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analysis/resilience.hpp"
+#include "marcopolo/result_store.hpp"
+
+namespace marcopolo::analysis {
+
+class ScalarReference {
+ public:
+  explicit ScalarReference(const core::ResultStore& store)
+      : num_sites_(store.num_sites()),
+        num_perspectives_(store.num_perspectives()),
+        bytes_(store.num_pairs() * store.num_perspectives(), 0) {
+    for (std::size_t p = 0; p < num_perspectives_; ++p) {
+      for (std::size_t v = 0; v < num_sites_; ++v) {
+        for (std::size_t a = 0; a < num_sites_; ++a) {
+          const bool hit = store.hijacked(static_cast<core::SiteIndex>(v),
+                                          static_cast<core::SiteIndex>(a),
+                                          static_cast<core::PerspectiveIndex>(p));
+          bytes_[p * store.num_pairs() + v * num_sites_ + a] = hit ? 1 : 0;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t num_sites() const { return num_sites_; }
+  [[nodiscard]] std::size_t num_pairs() const {
+    return num_sites_ * num_sites_;
+  }
+
+  [[nodiscard]] const std::uint8_t* hijack_bytes(
+      core::PerspectiveIndex p) const {
+    return bytes_.data() + static_cast<std::size_t>(p) * num_pairs();
+  }
+
+  [[nodiscard]] std::vector<std::uint16_t> make_counts() const {
+    return std::vector<std::uint16_t>(num_pairs(), 0);
+  }
+
+  void add(std::vector<std::uint16_t>& counts, core::PerspectiveIndex p) const {
+    const std::uint8_t* bytes = hijack_bytes(p);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = static_cast<std::uint16_t>(counts[i] + bytes[i]);
+    }
+  }
+
+  void remove(std::vector<std::uint16_t>& counts,
+              core::PerspectiveIndex p) const {
+    const std::uint8_t* bytes = hijack_bytes(p);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = static_cast<std::uint16_t>(counts[i] - bytes[i]);
+    }
+  }
+
+  /// The seed's scoring loop, verbatim: per-pair count-vs-threshold with
+  /// the optional primary-hijacked conjunct, accumulated in victim order.
+  [[nodiscard]] ResilienceAnalyzer::Score score(
+      const std::vector<std::uint16_t>& counts, std::size_t required,
+      std::optional<core::PerspectiveIndex> primary) const {
+    const std::size_t n = num_sites_;
+    const std::uint8_t* primary_bytes = primary ? hijack_bytes(*primary)
+                                                : nullptr;
+    std::vector<double> per_victim(n);
+    double sum = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      std::size_t defended = 0;
+      const std::size_t row = v * n;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (a == v) continue;
+        const bool attack_ok =
+            counts[row + a] >= required &&
+            (primary_bytes == nullptr || primary_bytes[row + a] != 0);
+        if (!attack_ok) ++defended;
+      }
+      per_victim[v] =
+          static_cast<double>(defended) / static_cast<double>(n - 1);
+      sum += per_victim[v];
+    }
+    ResilienceAnalyzer::Score s;
+    s.average = sum / static_cast<double>(n);
+    s.median = median_of(std::move(per_victim));
+    return s;
+  }
+
+  /// R_victim vector for a set, built through the same count workspace.
+  [[nodiscard]] std::vector<double> per_victim(
+      std::span<const core::PerspectiveIndex> set, std::size_t required,
+      std::optional<core::PerspectiveIndex> primary) const {
+    std::vector<std::uint16_t> counts = make_counts();
+    for (const core::PerspectiveIndex p : set) add(counts, p);
+    const std::size_t n = num_sites_;
+    const std::uint8_t* primary_bytes = primary ? hijack_bytes(*primary)
+                                                : nullptr;
+    std::vector<double> out(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::size_t defended = 0;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (a == v) continue;
+        const std::size_t idx = v * n + a;
+        const bool attack_ok =
+            counts[idx] >= required &&
+            (primary_bytes == nullptr || primary_bytes[idx] != 0);
+        if (!attack_ok) ++defended;
+      }
+      out[v] = static_cast<double>(defended) / static_cast<double>(n - 1);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t num_sites_ = 0;
+  std::size_t num_perspectives_ = 0;
+  std::vector<std::uint8_t> bytes_;  // [perspective][pair], 0/1
+};
+
+struct ScalarSearchBest {
+  ResilienceAnalyzer::Score score{-1.0, -1.0};
+  std::vector<core::PerspectiveIndex> set;
+};
+
+/// Mirror of DeploymentOptimizer::search_exhaustive at top_k = 1 on the
+/// seed's byte-per-pair data path: incremental counts maintained on every
+/// DFS edge, the same partial-set upper-bound prune against the incumbent,
+/// the same score-then-lexicographic tie break. Same algorithm, same
+/// traversal order — benchmarking it against the packed optimizer isolates
+/// the kernel speedup, and its result must match the packed search
+/// exactly.
+[[nodiscard]] inline ScalarSearchBest scalar_exhaustive_best(
+    const ScalarReference& scalar,
+    std::span<const core::PerspectiveIndex> cands, std::size_t k,
+    std::size_t required) {
+  ScalarSearchBest best;
+  bool have_best = false;
+  auto counts = scalar.make_counts();
+  std::vector<core::PerspectiveIndex> chosen;
+  chosen.reserve(k);
+  auto dfs = [&](auto&& self, std::size_t next) -> void {
+    const auto score = scalar.score(counts, required, std::nullopt);
+    if (chosen.size() == k) {
+      if (!have_best || best.score < score ||
+          (score == best.score && chosen < best.set)) {
+        best.score = score;
+        best.set = chosen;
+        have_best = true;
+      }
+      return;
+    }
+    if (have_best && score < best.score) return;  // upper-bound prune
+    const std::size_t remaining = k - chosen.size();
+    for (std::size_t i = next; i + remaining <= cands.size(); ++i) {
+      chosen.push_back(cands[i]);
+      scalar.add(counts, cands[i]);
+      self(self, i + 1);
+      scalar.remove(counts, cands[i]);
+      chosen.pop_back();
+    }
+  };
+  dfs(dfs, 0);
+  return best;
+}
+
+}  // namespace marcopolo::analysis

@@ -75,7 +75,18 @@ WeightedSummary summarize_weighted(std::span<const double> per_victim,
 WeightedSummary evaluate_weighted(const ResilienceAnalyzer& analyzer,
                                   const mpic::DeploymentSpec& spec,
                                   std::span<const double> weights) {
-  const auto per_victim = analyzer.per_victim_resilience(spec);
+  spec.check();
+  return evaluate_weighted(analyzer, spec.remotes, spec.policy.required(),
+                           spec.primary, weights);
+}
+
+WeightedSummary evaluate_weighted(const ResilienceAnalyzer& analyzer,
+                                  std::span<const PerspectiveIndex> remotes,
+                                  std::size_t required,
+                                  std::optional<PerspectiveIndex> primary,
+                                  std::span<const double> weights) {
+  const auto per_victim =
+      analyzer.per_victim_resilience(remotes, required, primary);
   return summarize_weighted(per_victim, weights);
 }
 

@@ -7,6 +7,7 @@
 // actually target.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "analysis/resilience.hpp"
@@ -41,5 +42,11 @@ struct WeightedSummary {
 [[nodiscard]] WeightedSummary evaluate_weighted(
     const ResilienceAnalyzer& analyzer, const mpic::DeploymentSpec& spec,
     std::span<const double> weights);
+
+/// Same, from the raw deployment pieces (no spec allocation).
+[[nodiscard]] WeightedSummary evaluate_weighted(
+    const ResilienceAnalyzer& analyzer,
+    std::span<const PerspectiveIndex> remotes, std::size_t required,
+    std::optional<PerspectiveIndex> primary, std::span<const double> weights);
 
 }  // namespace marcopolo::analysis

@@ -1,5 +1,6 @@
 #include "marcopolo/result_store.hpp"
 
+#include <array>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -10,8 +11,9 @@ namespace marcopolo::core {
 ResultStore::ResultStore(std::size_t num_sites, std::size_t num_perspectives)
     : num_sites_(num_sites),
       num_perspectives_(num_perspectives),
+      words_per_row_((num_sites * num_sites + 63) / 64),
       outcomes_(num_sites * num_sites * num_perspectives, kUnrecorded),
-      hijack_bytes_(num_sites * num_sites * num_perspectives, 0) {}
+      hijack_words_(words_per_row_ * num_perspectives, 0) {}
 
 void ResultStore::record(SiteIndex victim, SiteIndex adversary,
                          PerspectiveIndex p, bgp::OriginReached outcome) {
@@ -32,10 +34,13 @@ bgp::OriginReached ResultStore::outcome(SiteIndex victim, SiteIndex adversary,
 
 std::size_t ResultStore::hijacked_count(
     SiteIndex victim, SiteIndex adversary,
-    const std::vector<PerspectiveIndex>& set) const {
+    std::span<const PerspectiveIndex> set) const {
+  const std::size_t pair = pair_index(victim, adversary);
+  const std::size_t word = pair / 64;
+  const std::uint64_t mask = std::uint64_t{1} << (pair % 64);
   std::size_t count = 0;
   for (const PerspectiveIndex p : set) {
-    if (hijacked(victim, adversary, p)) ++count;
+    count += (hijack_words_[p * words_per_row_ + word] & mask) != 0;
   }
   return count;
 }
@@ -50,9 +55,11 @@ bool ResultStore::pair_complete(SiteIndex victim, SiteIndex adversary) const {
   return true;
 }
 
-const std::uint8_t* ResultStore::hijack_bytes(PerspectiveIndex p) const {
+std::span<const std::uint64_t> ResultStore::hijack_words(
+    PerspectiveIndex p) const {
   if (p >= num_perspectives_) throw std::out_of_range("perspective index");
-  return hijack_bytes_.data() + static_cast<std::size_t>(p) * num_pairs();
+  return {hijack_words_.data() + static_cast<std::size_t>(p) * words_per_row_,
+          words_per_row_};
 }
 
 void ResultStore::save_csv(std::ostream& out) const {
@@ -121,6 +128,99 @@ ResultStore ResultStore::load_csv(std::istream& in) {
     store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
                  static_cast<PerspectiveIndex>(p),
                  static_cast<bgp::OriginReached>(outcome));
+  }
+  return store;
+}
+
+namespace {
+
+constexpr std::array<char, 4> kBinaryMagic = {'M', 'P', 'R', 'S'};
+constexpr std::uint8_t kBinarySchema = 1;
+// In-file nibble for a cell nobody recorded (in-memory it is 0xff, which
+// does not fit a nibble).
+constexpr std::uint8_t kNibbleUnrecorded = 0xf;
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+  const std::array<char, 4> bytes = {
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out.write(bytes.data(), bytes.size());
+}
+
+std::uint32_t get_u32le(std::istream& in, const char* what) {
+  std::array<char, 4> bytes = {};
+  if (!in.read(bytes.data(), bytes.size())) {
+    throw std::runtime_error(std::string("results binary truncated in ") +
+                             what);
+  }
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void ResultStore::save_binary(std::ostream& out) const {
+  out.write(kBinaryMagic.data(), kBinaryMagic.size());
+  const std::array<char, 4> schema_and_reserved = {
+      static_cast<char>(kBinarySchema), 0, 0, 0};
+  out.write(schema_and_reserved.data(), schema_and_reserved.size());
+  put_u32le(out, static_cast<std::uint32_t>(num_sites_));
+  put_u32le(out, static_cast<std::uint32_t>(num_perspectives_));
+  const std::size_t cells = outcomes_.size();
+  std::string plane;
+  plane.reserve((cells + 1) / 2);
+  for (std::size_t i = 0; i < cells; i += 2) {
+    const auto nibble = [&](std::size_t idx) -> std::uint8_t {
+      if (idx >= cells) return 0;  // pad nibble when cell count is odd
+      const std::uint8_t raw = outcomes_[idx];
+      return raw == kUnrecorded ? kNibbleUnrecorded : raw;
+    };
+    plane.push_back(static_cast<char>(
+        static_cast<std::uint8_t>(nibble(i) | (nibble(i + 1) << 4))));
+  }
+  out.write(plane.data(), static_cast<std::streamsize>(plane.size()));
+}
+
+ResultStore ResultStore::load_binary(std::istream& in) {
+  std::array<char, 4> magic = {};
+  if (!in.read(magic.data(), magic.size()) || magic != kBinaryMagic) {
+    throw std::runtime_error("bad results binary magic");
+  }
+  std::array<char, 4> schema_and_reserved = {};
+  if (!in.read(schema_and_reserved.data(), schema_and_reserved.size())) {
+    throw std::runtime_error("results binary truncated in header");
+  }
+  const auto schema = static_cast<std::uint8_t>(schema_and_reserved[0]);
+  if (schema != kBinarySchema) {
+    throw std::runtime_error("unsupported results binary schema " +
+                             std::to_string(schema));
+  }
+  const std::uint32_t sites = get_u32le(in, "sites");
+  const std::uint32_t perspectives = get_u32le(in, "perspectives");
+  ResultStore store(sites, perspectives);
+  const std::size_t cells = store.outcomes_.size();
+  std::string plane((cells + 1) / 2, '\0');
+  if (!in.read(plane.data(), static_cast<std::streamsize>(plane.size()))) {
+    throw std::runtime_error("results binary truncated in outcome plane");
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    const auto byte = static_cast<std::uint8_t>(plane[i / 2]);
+    const std::uint8_t nibble = (i % 2 == 0) ? (byte & 0xf) : (byte >> 4);
+    if (nibble == kNibbleUnrecorded) continue;  // constructor default
+    if (nibble > static_cast<std::uint8_t>(bgp::OriginReached::Adversary)) {
+      throw std::runtime_error("results binary outcome out of range: " +
+                               std::to_string(nibble));
+    }
+    const std::size_t pair = i % store.num_pairs();
+    store.record_unsynchronized(
+        static_cast<SiteIndex>(pair / store.num_sites_),
+        static_cast<SiteIndex>(pair % store.num_sites_),
+        static_cast<PerspectiveIndex>(i / store.num_pairs()),
+        static_cast<bgp::OriginReached>(nibble));
   }
   return store;
 }

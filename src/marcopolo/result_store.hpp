@@ -3,11 +3,20 @@
 // For every ordered (victim, adversary) pair of BGP nodes and every
 // perspective, the store records which origin the perspective's DCV request
 // reached. All post-hoc analysis (Appendix A) is computed from this store;
-// it can be saved/loaded as CSV, mirroring the paper's published raw logs.
+// it can be saved/loaded as CSV (the interchange format mirroring the
+// paper's published raw logs) or as a compact versioned binary.
+//
+// Alongside the byte-per-cell outcome plane the store maintains the packed
+// hijack plane: one bit per ordered (victim, adversary) pair, perspective-
+// major, 64 pairs per word, tail bits of the last word always zero. The
+// analysis layer's OutcomeMatrix is built from these rows; nothing outside
+// the store consumes a byte-per-pair hijack vector anymore.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,22 +44,31 @@ class ResultStore {
                                        SiteIndex adversary) const {
     return static_cast<std::size_t>(victim) * num_sites_ + adversary;
   }
+  /// 64-bit words per packed hijack row, ceil(num_pairs / 64).
+  [[nodiscard]] std::size_t words_per_row() const { return words_per_row_; }
 
   void record(SiteIndex victim, SiteIndex adversary, PerspectiveIndex p,
               bgp::OriginReached outcome);
 
   /// Lock-free variant for parallel campaign writers: no bounds check
-  /// beyond an assert, no synchronization. Safe if and only if concurrent
-  /// callers write disjoint (victim, adversary) cells — the campaign
-  /// engine partitions work by (announcer, adversary) task, and every
-  /// (victim, adversary) pair belongs to exactly one task.
+  /// beyond an assert, no ordering. Safe if and only if concurrent callers
+  /// write disjoint (victim, adversary) cells — the campaign engine
+  /// partitions work by (announcer, adversary) task, and every
+  /// (victim, adversary) pair belongs to exactly one task. Disjoint cells
+  /// may still share a packed hijack word, so the bit update is a relaxed
+  /// atomic RMW; per-bit last-write-wins holds regardless of interleaving.
   void record_unsynchronized(SiteIndex victim, SiteIndex adversary,
                              PerspectiveIndex p, bgp::OriginReached outcome) {
-    const std::size_t idx = p * num_pairs() + pair_index(victim, adversary);
-    outcomes_[idx] = static_cast<std::uint8_t>(outcome);
-    hijack_bytes_[idx] =
-        outcome == bgp::OriginReached::Adversary ? std::uint8_t{1}
-                                                 : std::uint8_t{0};
+    const std::size_t pair = pair_index(victim, adversary);
+    outcomes_[p * num_pairs() + pair] = static_cast<std::uint8_t>(outcome);
+    std::atomic_ref<std::uint64_t> word(
+        hijack_words_[p * words_per_row_ + pair / 64]);
+    const std::uint64_t mask = std::uint64_t{1} << (pair % 64);
+    if (outcome == bgp::OriginReached::Adversary) {
+      word.fetch_or(mask, std::memory_order_relaxed);
+    } else {
+      word.fetch_and(~mask, std::memory_order_relaxed);
+    }
   }
 
   [[nodiscard]] bgp::OriginReached outcome(SiteIndex victim,
@@ -67,15 +85,23 @@ class ResultStore {
   /// paper's hijacked(P, v, a).
   [[nodiscard]] std::size_t hijacked_count(
       SiteIndex victim, SiteIndex adversary,
-      const std::vector<PerspectiveIndex>& set) const;
+      std::span<const PerspectiveIndex> set) const;
 
   /// Whether every perspective has an outcome for the pair (step 5's
   /// completeness check; Unrecorded != None — None means "no route").
   [[nodiscard]] bool pair_complete(SiteIndex victim, SiteIndex adversary) const;
 
-  /// 0/1 byte per pair for a perspective (1 = hijacked); the analysis
-  /// kernel consumes this layout directly.
-  [[nodiscard]] const std::uint8_t* hijack_bytes(PerspectiveIndex p) const;
+  /// One perspective's packed hijack row: bit pair_index(v, a) is 1 iff
+  /// the perspective was hijacked for that pair. words_per_row() words;
+  /// bits >= num_pairs() in the tail word are always zero.
+  [[nodiscard]] std::span<const std::uint64_t> hijack_words(
+      PerspectiveIndex p) const;
+
+  /// Bytes held by the packed hijack plane (the size-assertion hook: the
+  /// former byte-per-pair plane was num_perspectives * num_pairs bytes).
+  [[nodiscard]] std::size_t hijack_plane_bytes() const {
+    return hijack_words_.size() * sizeof(std::uint64_t);
+  }
 
   /// CSV format, versioned: a `# schema=1` comment line, a
   /// `sites,<n>,perspectives,<m>` header, a column-name row, then one
@@ -85,13 +111,25 @@ class ResultStore {
   /// both schema-tagged and pre-schema files load.
   [[nodiscard]] static ResultStore load_csv(std::istream& in);
 
+  /// Versioned binary format: "MPRS" magic, a schema byte, little-endian
+  /// u32 dims, then the outcome plane packed two cells per byte (low
+  /// nibble first; 0xF = unrecorded). ~8x smaller than the CSV and exact:
+  /// every cell (including explicit None and unrecorded holes) survives.
+  void save_binary(std::ostream& out) const;
+  /// Parses save_binary() output. Throws std::runtime_error on a bad
+  /// magic, an unknown schema byte, a truncated plane, or a nibble that is
+  /// not a valid outcome.
+  [[nodiscard]] static ResultStore load_binary(std::istream& in);
+
  private:
   // Row-major [perspective][pair]; kUnrecorded marks missing entries.
   static constexpr std::uint8_t kUnrecorded = 0xff;
   std::size_t num_sites_ = 0;
   std::size_t num_perspectives_ = 0;
-  std::vector<std::uint8_t> outcomes_;      // OriginReached or kUnrecorded
-  std::vector<std::uint8_t> hijack_bytes_;  // 0/1 view kept in sync
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint8_t> outcomes_;  // OriginReached or kUnrecorded
+  // Packed 0/1 hijack plane kept in sync with outcomes_ by record().
+  std::vector<std::uint64_t> hijack_words_;
 };
 
 }  // namespace marcopolo::core

@@ -116,6 +116,40 @@ RunComparison compare_runs(const ReadManifest& base,
       break;
     }
   }
+
+  // Phases: union of names, baseline document order first, then
+  // candidate-only names. First occurrence of a name wins on each side.
+  const auto find_phase = [](const ReadManifest& m, const std::string& name)
+      -> const std::pair<std::string, double>* {
+    for (const auto& phase : m.phases) {
+      if (phase.first == name) return &phase;
+    }
+    return nullptr;
+  };
+  const auto emitted = [&out](const std::string& name) {
+    return std::any_of(out.phases.begin(), out.phases.end(),
+                       [&](const PhaseDelta& p) { return p.name == name; });
+  };
+  for (const auto& [bname, bseconds] : base.phases) {
+    if (emitted(bname)) continue;
+    PhaseDelta delta;
+    delta.name = bname;
+    delta.base_seconds = bseconds;
+    delta.in_base = true;
+    if (const auto* cand_phase = find_phase(cand, bname)) {
+      delta.cand_seconds = cand_phase->second;
+      delta.in_cand = true;
+    }
+    out.phases.push_back(std::move(delta));
+  }
+  for (const auto& [cname, cseconds] : cand.phases) {
+    if (emitted(cname)) continue;
+    PhaseDelta delta;
+    delta.name = cname;
+    delta.cand_seconds = cseconds;
+    delta.in_cand = true;
+    out.phases.push_back(std::move(delta));
+  }
   return out;
 }
 
@@ -130,6 +164,21 @@ DiffGateResult evaluate_gate(const RunComparison& comparison,
           format_pct(run.seconds_pct()) + " (" +
           format_seconds(run.base_seconds) + " -> " +
           format_seconds(run.cand_seconds) + ") exceeds " +
+          format_pct(config.max_regress_pct).substr(1));
+    }
+  }
+  for (const PhaseDelta& phase : comparison.phases) {
+    if (!phase.in_base || !phase.in_cand) {
+      out.notes.push_back("phase " + phase.name + " only in " +
+                          (phase.in_base ? "baseline" : "candidate"));
+      continue;
+    }
+    if (phase.pct() > config.max_regress_pct) {
+      out.pass = false;
+      out.violations.push_back(
+          "phase " + phase.name + " wall-clock " + format_pct(phase.pct()) +
+          " (" + format_seconds(phase.base_seconds) + " -> " +
+          format_seconds(phase.cand_seconds) + ") exceeds " +
           format_pct(config.max_regress_pct).substr(1));
     }
   }

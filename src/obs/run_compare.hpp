@@ -120,10 +120,32 @@ struct BenchRunDelta {
   }
 };
 
+/// One named wall-clock phase (union of both runs, baseline order first).
+/// Bench documents use phases for single-shot measurements that have no
+/// thread-count axis — e.g. campaign_wallclock's exhaustive optimizer
+/// search — so the gate covers phases present in both runs like run rows;
+/// a one-sided phase (old baseline predating the measurement) is only a
+/// note.
+struct PhaseDelta {
+  std::string name;
+  double base_seconds = 0.0;
+  double cand_seconds = 0.0;
+  bool in_base = false;
+  bool in_cand = false;
+
+  /// Wall-clock change in percent (positive = candidate slower).
+  [[nodiscard]] double pct() const {
+    return base_seconds == 0.0
+               ? 0.0
+               : 100.0 * (cand_seconds - base_seconds) / base_seconds;
+  }
+};
+
 struct RunComparison {
   std::vector<CounterDelta> counters;    ///< Union of names, sorted.
   std::vector<QuantileDelta> quantiles;  ///< Common histograms × {p50,p95,p99}.
   std::vector<BenchRunDelta> runs;       ///< Thread-count-matched rows.
+  std::vector<PhaseDelta> phases;        ///< Name-matched phases in both runs.
 };
 
 [[nodiscard]] RunComparison compare_runs(const ReadManifest& base,
@@ -132,8 +154,10 @@ struct RunComparison {
 /// CI gate over a comparison. A regression is a candidate that is slower
 /// than baseline by more than `max_regress_pct` percent on a gated
 /// quantity: per-thread-count wall-clock seconds (equivalently a
-/// throughput drop) and the p95/p99 of time-like histograms (names
-/// ending in `_ns` / `_ms`). Counter drift is reported in `notes` but
+/// throughput drop), named phases present in both runs, and the p95/p99
+/// of time-like histograms (names ending in `_ns` / `_ms`). A phase
+/// present in only one run is noted, never gated — an old baseline simply
+/// predates the measurement. Counter drift is reported in `notes` but
 /// never fails the gate — a changed workload makes timing comparisons
 /// meaningless, which is a different problem than a slow one.
 struct DiffGateConfig {

@@ -235,14 +235,40 @@ TEST(Optimizer, ThreadCountDoesNotChangeResults) {
 
   cfg.threads = 1;
   const auto single = optimizer.optimize(cfg);
-  cfg.threads = 4;
-  const auto parallel = optimizer.optimize(cfg);
+  for (const std::size_t threads : {4u, 64u}) {
+    cfg.threads = threads;
+    const auto parallel = optimizer.optimize(cfg);
+    ASSERT_EQ(single.size(), parallel.size()) << threads << " threads";
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(single[i].spec.remotes, parallel[i].spec.remotes)
+          << threads << " threads, rank " << i;
+      EXPECT_DOUBLE_EQ(single[i].score.median, parallel[i].score.median);
+      EXPECT_DOUBLE_EQ(single[i].score.average, parallel[i].score.average);
+    }
+  }
+}
 
-  ASSERT_EQ(single.size(), parallel.size());
-  for (std::size_t i = 0; i < single.size(); ++i) {
-    EXPECT_EQ(single[i].spec.remotes, parallel[i].spec.remotes) << i;
-    EXPECT_DOUBLE_EQ(single[i].score.median, parallel[i].score.median);
-    EXPECT_DOUBLE_EQ(single[i].score.average, parallel[i].score.average);
+TEST(Optimizer, DirectAndIncrementalKernelsRankIdentically) {
+  // direct_kernel_max_set = 0 forces the incremental count workspace on
+  // every node; the default scores small sets with the word-reduction
+  // kernel. Both must produce byte-identical rankings — same sets, same
+  // doubles — or the kernel-selection rule would change results.
+  DeploymentOptimizer optimizer(analyzer());
+  OptimizerConfig cfg;
+  cfg.set_size = 4;
+  cfg.max_failures = 1;
+  cfg.candidates = first_n_aws(12);
+  cfg.top_k = 25;
+
+  const auto direct = optimizer.optimize(cfg);
+  cfg.direct_kernel_max_set = 0;
+  const auto incremental = optimizer.optimize(cfg);
+
+  ASSERT_EQ(direct.size(), incremental.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].spec.remotes, incremental[i].spec.remotes) << i;
+    EXPECT_EQ(direct[i].score.median, incremental[i].score.median) << i;
+    EXPECT_EQ(direct[i].score.average, incremental[i].score.average) << i;
   }
 }
 

@@ -9,7 +9,7 @@
 
 #include <gtest/gtest.h>
 
-#include <cstring>
+#include <algorithm>
 #include <mutex>
 #include <vector>
 
@@ -24,10 +24,10 @@ void expect_stores_identical(const ResultStore& a, const ResultStore& b) {
   ASSERT_EQ(a.num_sites(), b.num_sites());
   ASSERT_EQ(a.num_perspectives(), b.num_perspectives());
   for (PerspectiveIndex p = 0; p < a.num_perspectives(); ++p) {
-    ASSERT_EQ(std::memcmp(a.hijack_bytes(p), b.hijack_bytes(p),
-                          a.num_pairs()),
-              0)
-        << "hijack bytes differ at perspective " << p;
+    const auto lhs = a.hijack_words(p);
+    const auto rhs = b.hijack_words(p);
+    ASSERT_TRUE(std::equal(lhs.begin(), lhs.end(), rhs.begin()))
+        << "hijack words differ at perspective " << p;
   }
   for (SiteIndex v = 0; v < a.num_sites(); ++v) {
     for (SiteIndex adv = 0; adv < a.num_sites(); ++adv) {

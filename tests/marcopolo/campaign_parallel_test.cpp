@@ -2,13 +2,13 @@
 // must not change a single byte of the ResultStore. Every scenario is a
 // pure function of (announcer, adversary, config) and workers write
 // disjoint cells, so threads=1 and threads=N are required to agree
-// cell-exactly — hijack bytes AND full outcomes — for every attack type
-// and surface.
+// cell-exactly — packed hijack words AND full outcomes — for every attack
+// type and surface.
 #include "marcopolo/fast_campaign.hpp"
 
 #include <gtest/gtest.h>
 
-#include <cstring>
+#include <algorithm>
 
 #include "testbed_fixture.hpp"
 
@@ -21,10 +21,10 @@ void expect_stores_identical(const ResultStore& a, const ResultStore& b) {
   ASSERT_EQ(a.num_sites(), b.num_sites());
   ASSERT_EQ(a.num_perspectives(), b.num_perspectives());
   for (PerspectiveIndex p = 0; p < a.num_perspectives(); ++p) {
-    EXPECT_EQ(std::memcmp(a.hijack_bytes(p), b.hijack_bytes(p),
-                          a.num_pairs()),
-              0)
-        << "hijack bytes differ at perspective " << p;
+    const auto lhs = a.hijack_words(p);
+    const auto rhs = b.hijack_words(p);
+    EXPECT_TRUE(std::equal(lhs.begin(), lhs.end(), rhs.begin()))
+        << "hijack words differ at perspective " << p;
   }
   for (SiteIndex v = 0; v < a.num_sites(); ++v) {
     for (SiteIndex adv = 0; adv < a.num_sites(); ++adv) {

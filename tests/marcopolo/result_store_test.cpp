@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
+#include <vector>
 
 namespace marcopolo::core {
 namespace {
@@ -32,9 +35,12 @@ TEST(ResultStore, HijackedCountOverSet) {
   store.record(0, 1, 1, OriginReached::Victim);
   store.record(0, 1, 2, OriginReached::Adversary);
   store.record(0, 1, 3, OriginReached::None);
-  EXPECT_EQ(store.hijacked_count(0, 1, {0, 1, 2, 3}), 2u);
-  EXPECT_EQ(store.hijacked_count(0, 1, {1, 3}), 0u);
-  EXPECT_EQ(store.hijacked_count(0, 1, {}), 0u);
+  const std::vector<PerspectiveIndex> all = {0, 1, 2, 3};
+  const std::vector<PerspectiveIndex> clean = {1, 3};
+  EXPECT_EQ(store.hijacked_count(0, 1, all), 2u);
+  EXPECT_EQ(store.hijacked_count(0, 1, clean), 0u);
+  EXPECT_EQ(store.hijacked_count(0, 1, std::span<const PerspectiveIndex>{}),
+            0u);
 }
 
 TEST(ResultStore, PairCompleteness) {
@@ -47,14 +53,51 @@ TEST(ResultStore, PairCompleteness) {
       << "None is a recorded outcome, distinct from unrecorded";
 }
 
-TEST(ResultStore, HijackBytesLayout) {
+TEST(ResultStore, HijackWordsLayout) {
   ResultStore store(2, 2);
   store.record(0, 1, 1, OriginReached::Adversary);
-  const std::uint8_t* bytes = store.hijack_bytes(1);
-  EXPECT_EQ(bytes[store.pair_index(0, 1)], 1);
-  EXPECT_EQ(bytes[store.pair_index(1, 0)], 0);
-  EXPECT_EQ(store.hijack_bytes(0)[store.pair_index(0, 1)], 0);
-  EXPECT_THROW((void)store.hijack_bytes(5), std::out_of_range);
+  const auto row = store.hijack_words(1);
+  ASSERT_EQ(row.size(), store.words_per_row());
+  const auto bit = [&](std::span<const std::uint64_t> words,
+                       std::size_t pair) {
+    return (words[pair / 64] >> (pair % 64)) & 1;
+  };
+  EXPECT_EQ(bit(row, store.pair_index(0, 1)), 1u);
+  EXPECT_EQ(bit(row, store.pair_index(1, 0)), 0u);
+  EXPECT_EQ(bit(store.hijack_words(0), store.pair_index(0, 1)), 0u);
+  EXPECT_THROW((void)store.hijack_words(5), std::out_of_range);
+}
+
+TEST(ResultStore, HijackWordsTailBitsStayZero) {
+  // 3 sites -> 9 pairs in a 64-bit word: bits 9..63 must never be set,
+  // whatever is recorded (the tail-mask invariant analysis kernels rely
+  // on for whole-word reductions).
+  ResultStore store(3, 2);
+  for (SiteIndex v = 0; v < 3; ++v) {
+    for (SiteIndex a = 0; a < 3; ++a) {
+      for (PerspectiveIndex p = 0; p < 2; ++p) {
+        store.record(v, a, p, OriginReached::Adversary);
+      }
+    }
+  }
+  ASSERT_EQ(store.words_per_row(), 1u);
+  for (PerspectiveIndex p = 0; p < 2; ++p) {
+    EXPECT_EQ(store.hijack_words(p)[0] >> store.num_pairs(), 0u);
+  }
+}
+
+TEST(ResultStore, HijackPlaneIsBitPacked) {
+  // The packed plane must be ~8x smaller than the former byte-per-pair
+  // plane: words_per_row * 8 bytes per perspective vs num_pairs bytes.
+  const ResultStore store(32, 106);
+  const std::size_t byte_plane = store.num_pairs() * store.num_perspectives();
+  EXPECT_EQ(store.hijack_plane_bytes(),
+            store.words_per_row() * sizeof(std::uint64_t) *
+                store.num_perspectives());
+  EXPECT_LE(store.hijack_plane_bytes() * 8, byte_plane + 63 * 8 * 106)
+      << "packed plane must be within one padding word per row of 1/8th";
+  // 32*32 = 1024 pairs = exactly 16 words: exactly 8x here.
+  EXPECT_EQ(store.hijack_plane_bytes() * 8, byte_plane);
 }
 
 TEST(ResultStore, RecordValidatesIndices) {
@@ -210,6 +253,110 @@ TEST(ResultStore, CsvRoundTripPreservesEveryCellIncludingUnrecorded) {
   EXPECT_TRUE(loaded.pair_complete(0, 1));
   EXPECT_FALSE(loaded.pair_complete(1, 0));
   EXPECT_FALSE(loaded.pair_complete(2, 3));
+}
+
+TEST(ResultStore, BinaryRoundTripPreservesEveryCellIncludingUnrecorded) {
+  // Odd cell count (3*3*3 = 27) exercises the pad nibble too.
+  ResultStore store(3, 3);
+  store.record(0, 1, 0, OriginReached::Adversary);
+  store.record(0, 1, 1, OriginReached::Victim);
+  store.record(0, 1, 2, OriginReached::None);
+  store.record(1, 0, 0, OriginReached::Victim);
+  store.record(2, 0, 2, OriginReached::Adversary);
+  // (1, 2) left fully unrecorded.
+
+  std::stringstream buffer;
+  store.save_binary(buffer);
+  const ResultStore loaded = ResultStore::load_binary(buffer);
+
+  ASSERT_EQ(loaded.num_sites(), store.num_sites());
+  ASSERT_EQ(loaded.num_perspectives(), store.num_perspectives());
+  for (SiteIndex v = 0; v < 3; ++v) {
+    for (SiteIndex a = 0; a < 3; ++a) {
+      EXPECT_EQ(loaded.pair_complete(v, a), store.pair_complete(v, a));
+      for (PerspectiveIndex p = 0; p < 3; ++p) {
+        EXPECT_EQ(loaded.outcome(v, a, p), store.outcome(v, a, p))
+            << "cell " << v << "," << a << "," << p;
+        EXPECT_EQ(loaded.hijacked(v, a, p), store.hijacked(v, a, p));
+      }
+    }
+  }
+  // The rebuilt packed plane must match word-for-word.
+  for (PerspectiveIndex p = 0; p < 3; ++p) {
+    const auto lhs = store.hijack_words(p);
+    const auto rhs = loaded.hijack_words(p);
+    ASSERT_TRUE(std::equal(lhs.begin(), lhs.end(), rhs.begin()));
+  }
+}
+
+TEST(ResultStore, BinaryIsSmallerThanCsv) {
+  ResultStore store(8, 16);
+  for (SiteIndex v = 0; v < 8; ++v) {
+    for (SiteIndex a = 0; a < 8; ++a) {
+      for (PerspectiveIndex p = 0; p < 16; ++p) {
+        store.record(v, a, p,
+                     (v + a + p) % 2 == 0 ? OriginReached::Adversary
+                                          : OriginReached::Victim);
+      }
+    }
+  }
+  std::stringstream csv;
+  store.save_csv(csv);
+  std::stringstream bin;
+  store.save_binary(bin);
+  EXPECT_LT(bin.str().size(), csv.str().size() / 8);
+}
+
+TEST(ResultStore, BinaryRejectsBadMagic) {
+  ResultStore store(2, 1);
+  std::stringstream buffer;
+  store.save_binary(buffer);
+  std::string bytes = buffer.str();
+  bytes[0] = 'X';
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)ResultStore::load_binary(corrupted), std::runtime_error);
+
+  std::stringstream empty("");
+  EXPECT_THROW((void)ResultStore::load_binary(empty), std::runtime_error);
+}
+
+TEST(ResultStore, BinaryRejectsUnknownSchema) {
+  ResultStore store(2, 1);
+  std::stringstream buffer;
+  store.save_binary(buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 9;  // schema byte
+  std::stringstream future(bytes);
+  EXPECT_THROW((void)ResultStore::load_binary(future), std::runtime_error);
+}
+
+TEST(ResultStore, BinaryRejectsTruncation) {
+  ResultStore store(4, 4);
+  store.record(0, 1, 0, OriginReached::Adversary);
+  std::stringstream buffer;
+  store.save_binary(buffer);
+  const std::string bytes = buffer.str();
+  // Every strictly shorter prefix must be rejected, wherever it cuts.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{6}, std::size_t{10},
+        std::size_t{15}, bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    EXPECT_THROW((void)ResultStore::load_binary(truncated),
+                 std::runtime_error)
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+TEST(ResultStore, BinaryRejectsOutOfRangeNibble) {
+  ResultStore store(2, 1);
+  std::stringstream buffer;
+  store.save_binary(buffer);
+  std::string bytes = buffer.str();
+  // First plane byte: low nibble = cell 0. 0x7 is not an outcome (0xF is
+  // the unrecorded sentinel, 0..2 the enumerators).
+  bytes[16] = 0x07;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)ResultStore::load_binary(corrupted), std::runtime_error);
 }
 
 TEST(ResultStore, RecordUnsynchronizedMatchesRecord) {

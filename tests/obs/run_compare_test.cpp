@@ -180,6 +180,73 @@ TEST(CompareRuns, OneSidedCountersAreNoted) {
   EXPECT_EQ(gate.notes.size(), 2u);
 }
 
+/// A bench-shaped document carrying only named phases.
+ReadManifest phase_doc(const std::vector<std::pair<std::string, double>>&
+                           phases) {
+  std::string doc = R"({"benchmark": "campaign_wallclock", "phases": [)";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    doc += std::string(i ? "," : "") + R"({"name": ")" + phases[i].first +
+           R"(", "seconds": )" + std::to_string(phases[i].second) + "}";
+  }
+  doc += "]}";
+  const ReadManifest read = ManifestReader::read_string(doc);
+  EXPECT_TRUE(read.ok()) << (read.ok() ? "" : read.errors.front());
+  return read;
+}
+
+TEST(CompareRuns, PhaseSelfComparisonIsAllZeroAndPasses) {
+  const ReadManifest doc =
+      phase_doc({{"optimizer_exhaustive_ms", 2.5}, {"setup", 0.1}});
+  const RunComparison comparison = compare_runs(doc, doc);
+  ASSERT_EQ(comparison.phases.size(), 2u);
+  for (const PhaseDelta& phase : comparison.phases) {
+    EXPECT_TRUE(phase.in_base && phase.in_cand);
+    EXPECT_DOUBLE_EQ(phase.pct(), 0.0);
+  }
+  const DiffGateResult gate = evaluate_gate(comparison, DiffGateConfig{});
+  EXPECT_TRUE(gate.pass);
+  EXPECT_TRUE(gate.notes.empty());
+}
+
+TEST(CompareRuns, PhaseRegressionFailsTheGateByName) {
+  const ReadManifest base = phase_doc({{"optimizer_exhaustive_ms", 2.0}});
+  const ReadManifest cand = phase_doc({{"optimizer_exhaustive_ms", 3.0}});
+  const DiffGateResult gate =
+      evaluate_gate(compare_runs(base, cand), DiffGateConfig{25.0});
+  EXPECT_FALSE(gate.pass);
+  ASSERT_EQ(gate.violations.size(), 1u);
+  EXPECT_NE(gate.violations[0].find("phase optimizer_exhaustive_ms"),
+            std::string::npos);
+  EXPECT_NE(gate.violations[0].find("+50.0%"), std::string::npos);
+  // A phase speedup and a within-threshold slowdown both pass.
+  EXPECT_TRUE(
+      evaluate_gate(compare_runs(cand, base), DiffGateConfig{25.0}).pass);
+  EXPECT_TRUE(
+      evaluate_gate(compare_runs(base, cand), DiffGateConfig{75.0}).pass);
+}
+
+TEST(CompareRuns, OneSidedPhaseIsANoteNeverAViolation) {
+  // An old baseline predating a new phase must not fail the gate — the
+  // CI diff of the first run after adding a measurement still gates
+  // everything else.
+  const ReadManifest base = phase_doc({});
+  const ReadManifest cand = phase_doc({{"optimizer_exhaustive_ms", 2.0}});
+  const RunComparison comparison = compare_runs(base, cand);
+  ASSERT_EQ(comparison.phases.size(), 1u);
+  EXPECT_FALSE(comparison.phases[0].in_base);
+  EXPECT_TRUE(comparison.phases[0].in_cand);
+  const DiffGateResult gate = evaluate_gate(comparison, DiffGateConfig{});
+  EXPECT_TRUE(gate.pass);
+  ASSERT_EQ(gate.notes.size(), 1u);
+  EXPECT_NE(gate.notes[0].find("only in candidate"), std::string::npos);
+
+  const DiffGateResult reverse =
+      evaluate_gate(compare_runs(cand, base), DiffGateConfig{});
+  EXPECT_TRUE(reverse.pass);
+  ASSERT_EQ(reverse.notes.size(), 1u);
+  EXPECT_NE(reverse.notes[0].find("only in baseline"), std::string::npos);
+}
+
 // --- check_trace_bundle ---------------------------------------------------
 
 class BundleCheckTest : public ::testing::Test {

@@ -224,6 +224,18 @@ void print_diff_tables(const obs::RunComparison& comparison) {
     std::printf("Wall clock by thread count:\n%s\n",
                 table.to_string().c_str());
   }
+  if (!comparison.phases.empty()) {
+    analysis::TextTable table({"Phase", "Base s", "Cand s", "Delta"});
+    for (const obs::PhaseDelta& phase : comparison.phases) {
+      table.add_row(
+          {phase.name,
+           phase.in_base ? format_double(phase.base_seconds) : "-",
+           phase.in_cand ? format_double(phase.cand_seconds) : "-",
+           phase.in_base && phase.in_cand ? format_signed_pct(phase.pct())
+                                          : "-"});
+    }
+    std::printf("Phases:\n%s\n", table.to_string().c_str());
+  }
   if (!comparison.quantiles.empty()) {
     analysis::TextTable table({"Histogram", "q", "Base", "Cand", "Delta"});
     for (const obs::QuantileDelta& quantile : comparison.quantiles) {
@@ -276,6 +288,18 @@ void print_diff_json(const obs::RunComparison& comparison,
                 run.base_seconds, run.cand_seconds, run.seconds_pct());
   }
   std::printf("%s],\n", comparison.runs.empty() ? "" : "\n  ");
+  std::printf("  \"phases\": [");
+  for (std::size_t i = 0; i < comparison.phases.size(); ++i) {
+    const obs::PhaseDelta& phase = comparison.phases[i];
+    std::printf("%s\n    {\"name\": \"%s\", \"base_seconds\": %g, "
+                "\"cand_seconds\": %g, \"pct\": %g, \"in_base\": %s, "
+                "\"in_cand\": %s}",
+                i == 0 ? "" : ",", obs::json_escape(phase.name).c_str(),
+                phase.base_seconds, phase.cand_seconds, phase.pct(),
+                phase.in_base ? "true" : "false",
+                phase.in_cand ? "true" : "false");
+  }
+  std::printf("%s],\n", comparison.phases.empty() ? "" : "\n  ");
   std::printf("  \"quantiles\": [");
   for (std::size_t i = 0; i < comparison.quantiles.size(); ++i) {
     const obs::QuantileDelta& quantile = comparison.quantiles[i];
