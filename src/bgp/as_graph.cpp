@@ -28,9 +28,9 @@ void AsGraph::add_provider_customer(NodeId provider, NodeId customer,
     throw std::invalid_argument("self loop");
   }
   node(provider).neighbors.push_back(
-      Neighbor{customer, Relationship::Customer, provider_pop});
+      Neighbor{customer, Relationship::Customer, provider_pop, customer_pop});
   node(customer).neighbors.push_back(
-      Neighbor{provider, Relationship::Provider, customer_pop});
+      Neighbor{provider, Relationship::Provider, customer_pop, provider_pop});
   ++edge_count_;
   invalidate_rank_cache();
 }
@@ -39,8 +39,8 @@ void AsGraph::add_peering(NodeId a, NodeId b, PopId a_pop, PopId b_pop) {
   if (a == b) {
     throw std::invalid_argument("self loop");
   }
-  node(a).neighbors.push_back(Neighbor{b, Relationship::Peer, a_pop});
-  node(b).neighbors.push_back(Neighbor{a, Relationship::Peer, b_pop});
+  node(a).neighbors.push_back(Neighbor{b, Relationship::Peer, a_pop, b_pop});
+  node(b).neighbors.push_back(Neighbor{a, Relationship::Peer, b_pop, a_pop});
   ++edge_count_;
   invalidate_rank_cache();
 }
@@ -148,7 +148,8 @@ void AsGraph::validate() const {
                                                   : Relationship::Customer);
       const bool mirrored =
           std::any_of(back.begin(), back.end(), [&](const Neighbor& m) {
-            return m.id.value == i && m.rel == expected;
+            return m.id.value == i && m.rel == expected &&
+                   m.local_pop == nb.remote_pop && m.remote_pop == nb.local_pop;
           });
       if (!mirrored) {
         throw std::logic_error("asymmetric link between " +

@@ -36,6 +36,12 @@ struct Neighbor {
   NodeId id;
   Relationship rel;  ///< What `id` is to the local AS.
   PopId local_pop;   ///< POP of the local AS where the link attaches.
+  /// POP of `id` (the remote AS) where this same link attaches. Stored on
+  /// both sides at link-add time so an advertiser knows the receiver's
+  /// ingress POP without scanning the receiver's neighbor list — a scan
+  /// picks the wrong POP when two ASes share parallel links at different
+  /// POPs (cloud backbones do).
+  PopId remote_pop;
 };
 
 class AsGraph {

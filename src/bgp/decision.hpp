@@ -77,6 +77,23 @@ struct RouteCandidate {
   PopId ingress_pop;    ///< Local POP the route arrived at, if modeled.
 };
 
+/// The attributes the decision process actually compares, detached from the
+/// path storage. The full engine compares RouteCandidates and the delta
+/// engine compares arena-backed compact routes; both reduce to this key, so
+/// there is exactly one implementation of the preference order.
+struct RouteKey {
+  RouteSource source = RouteSource::Self;
+  std::size_t path_length = 0;
+  OriginRole role = OriginRole::Victim;
+  Asn from_asn;
+  PopId ingress_pop;
+
+  [[nodiscard]] static RouteKey of(const RouteCandidate& c) {
+    return RouteKey{c.source, c.ann.path_length(), c.ann.role, c.from_asn,
+                    c.ingress_pop};
+  }
+};
+
 /// Compares candidates under the decision process.
 class RouteComparator {
  public:
@@ -95,17 +112,26 @@ class RouteComparator {
   /// is dead and compiles away).
   [[nodiscard]] bool prefer(const RouteCandidate& a, const RouteCandidate& b,
                             NodeId at, DecisionStep& step) const {
+    return prefer_key(RouteKey::of(a), RouteKey::of(b), at, step);
+  }
+
+  /// The decision process over bare keys. Strict total order on distinct
+  /// keys: candidates that tie on every compared attribute come from the
+  /// same neighbor (ASNs are unique) and carry value-identical routes, so
+  /// which of them wins never changes an observable outcome.
+  [[nodiscard]] bool prefer_key(const RouteKey& a, const RouteKey& b,
+                                NodeId at, DecisionStep& step) const {
     if (a.source != b.source) {
       step = DecisionStep::LocalPref;
       return a.source < b.source;
     }
-    if (a.ann.path_length() != b.ann.path_length()) {
+    if (a.path_length != b.path_length) {
       step = DecisionStep::PathLength;
-      return a.ann.path_length() < b.ann.path_length();
+      return a.path_length < b.path_length;
     }
-    if (a.ann.role != b.ann.role) {
+    if (a.role != b.role) {
       step = DecisionStep::RouteAge;
-      return a.ann.role == preferred_role(at);
+      return a.role == preferred_role(at);
     }
     if (a.from_asn != b.from_asn) {
       step = DecisionStep::NeighborAsn;
@@ -113,6 +139,12 @@ class RouteComparator {
     }
     step = DecisionStep::IngressPop;
     return a.ingress_pop < b.ingress_pop;
+  }
+
+  [[nodiscard]] bool prefer_key(const RouteKey& a, const RouteKey& b,
+                                NodeId at) const {
+    DecisionStep step = DecisionStep::IngressPop;
+    return prefer_key(a, b, at, step);
   }
 
   /// The origin whose announcement this node "heard first".

@@ -1,0 +1,424 @@
+#include "bgp/delta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace marcopolo::bgp {
+
+bool DeltaPropagation::chain_contains(std::uint32_t head, Asn asn) const {
+  for (std::uint32_t i = head; i != kNone; i = arena_[i].parent) {
+    if (arena_[i].asn == asn) return true;
+  }
+  return false;
+}
+
+bool DeltaPropagation::export_equal(const Compact& a, const Compact& b) const {
+  // An export's downstream effect is a pure function of (exists, role,
+  // path): the receiver derives source from the edge and pop from its own
+  // side of the link, and from_asn is the path front.
+  if (a.exists != b.exists) return false;
+  if (!a.exists) return true;
+  if (a.role != b.role || a.len != b.len) return false;
+  std::uint32_t x = a.head;
+  std::uint32_t y = b.head;
+  while (x != y) {  // same arena index = structurally shared tail: equal
+    if (x == kNone || y == kNone) return false;
+    if (arena_[x].asn != arena_[y].asn) return false;
+    x = arena_[x].parent;
+    y = arena_[y].parent;
+  }
+  return true;
+}
+
+DeltaPropagation::Compact DeltaPropagation::make_seed(NodeId at,
+                                                      const Announcement& ann) {
+  (void)at;
+  Compact c;
+  c.exists = true;
+  c.source = RouteSource::Self;
+  c.role = ann.role;
+  c.len = static_cast<std::uint32_t>(ann.as_path.size());
+  c.from = NodeId{};
+  c.from_asn = Asn{0};
+  c.pop = PopId{};
+  std::uint32_t head = kNone;
+  for (auto it = ann.as_path.rbegin(); it != ann.as_path.rend(); ++it) {
+    head = intern(*it, head);
+  }
+  c.head = head;
+  c.origin = ann.as_path.empty() ? Asn{0} : ann.as_path.back();
+  return c;
+}
+
+DeltaPropagation::Compact DeltaPropagation::recompute(
+    NodeId n, bool customer_class, const RouteComparator& cmp) const {
+  // The winner is tracked as (key, producer) and its path is interned only
+  // once at the end, so a recompute allocates at most one arena node.
+  struct Producer {
+    const Compact* exported = nullptr;  ///< Seed compact, or exporter state.
+    NodeId exporter;                    ///< Invalid for a seed.
+    RouteSource source = RouteSource::Self;
+    PopId pop;
+  };
+  bool have = false;
+  RouteKey best_key;
+  Producer best;
+
+  const auto offer = [&](const RouteKey& key, const Producer& p) {
+    if (!have) {
+      have = true;
+      best_key = key;
+      best = p;
+      return;
+    }
+    DecisionStep step = DecisionStep::IngressPop;
+    const bool preferred = cmp.prefer_key(key, best_key, n, step);
+    ++counts_.decided[static_cast<std::size_t>(step)];
+    if (preferred) {
+      best_key = key;
+      best = p;
+    }
+  };
+
+  const Asn local = graph_->asn_of(n);
+  const bool rov = roas_ != nullptr && graph_->rov_enforcing(n);
+
+  if (customer_class) {
+    // Self seeds bypass the loop/ROV filters, exactly as the engine's
+    // seed() pushes them into the rib unfiltered.
+    if (n == victim_) {
+      offer(victim_seed_.key(), Producer{&victim_seed_, NodeId{},
+                                         RouteSource::Self, PopId{}});
+    }
+    if (delta_seed_epoch_ == epoch_ && n == delta_seed_at_) {
+      offer(delta_seed_.key(), Producer{&delta_seed_, NodeId{},
+                                        RouteSource::Self, PopId{}});
+    }
+  }
+  for (const Neighbor& nb : graph_->neighbors(n)) {
+    RouteSource source;
+    const Compact* e;
+    if (customer_class) {
+      if (nb.rel != Relationship::Customer) continue;
+      source = RouteSource::Customer;
+      e = &up_state(nb.id);
+    } else if (nb.rel == Relationship::Peer) {
+      source = RouteSource::Peer;
+      e = &up_state(nb.id);
+    } else if (nb.rel == Relationship::Provider) {
+      source = RouteSource::Provider;
+      e = &down_state(nb.id);
+    } else {
+      continue;
+    }
+    if (!e->exists) continue;
+    // The receiver-side filters the engine's deliver() applies. The
+    // advertised path is asn_of(nb.id) :: e->path, so the loop check also
+    // covers the prepended hop (never == local: no self links).
+    if (chain_contains(e->head, local)) {
+      ++counts_.loop_dropped;
+      continue;
+    }
+    if (rov) {
+      const Asn origin = e->head == kNone ? graph_->asn_of(nb.id) : e->origin;
+      if (roas_->validate(prefix_, origin) == RpkiValidity::Invalid) {
+        ++counts_.rov_dropped;
+        continue;
+      }
+    }
+    ++counts_.delivered;
+    offer(RouteKey{source, e->len + 1u, e->role, graph_->asn_of(nb.id),
+                   nb.local_pop},
+          Producer{e, nb.id, source, nb.local_pop});
+  }
+
+  Compact out;
+  if (!have) return out;
+  if (!best.exporter.valid()) {
+    return *best.exported;  // a seed, stored fully formed
+  }
+  const Compact& e = *best.exported;
+  out.exists = true;
+  out.source = best.source;
+  out.role = e.role;
+  out.len = e.len + 1;
+  out.from = best.exporter;
+  out.from_asn = graph_->asn_of(best.exporter);
+  out.pop = best.pop;
+  out.head = intern(out.from_asn, e.head);
+  out.origin = e.head == kNone ? out.from_asn : e.origin;
+  return out;
+}
+
+void DeltaPropagation::run_baseline(const RouteComparator& cmp) {
+  // Ascending rank: every customer's up export exists before its providers
+  // read it (mirrors the engine's phase_up). Descending for the down pass.
+  const auto& ascending = ranks_->ascending;
+  for (const std::uint32_t idx : ascending) {
+    up_base_[idx] = recompute(NodeId{idx}, true, cmp);
+  }
+  for (auto it = ascending.rbegin(); it != ascending.rend(); ++it) {
+    const Compact& c = up_base_[*it];
+    // LocalPref dominance: any customer-class route beats every peer- or
+    // provider-learned candidate, so D(n) = C(n) whenever C(n) exists.
+    down_base_[*it] = c.exists ? c : recompute(NodeId{*it}, false, cmp);
+  }
+}
+
+void DeltaPropagation::set_victim_baseline(const AsGraph& graph, NodeId victim,
+                                           netsim::Ipv4Prefix prefix,
+                                           const PropagationConfig& config) {
+  if (victim.value >= graph.size()) {
+    throw std::invalid_argument("baseline victim is not in the graph");
+  }
+  graph_ = &graph;
+  victim_ = victim;
+  prefix_ = prefix;
+  roas_ = config.roas;
+  metrics_ = config.metrics;
+  flight_ = config.flight;
+  ranks_ = graph.rank_order();
+
+  const std::size_t n = graph.size();
+  arena_.clear();
+  up_base_.assign(n, Compact{});
+  down_base_.assign(n, Compact{});
+  up_delta_.assign(n, Compact{});
+  down_delta_.assign(n, Compact{});
+  epoch_ = 0;
+  up_mark_.assign(n, kNone);
+  down_mark_.assign(n, kNone);
+  up_queued_.assign(n, kNone);
+  std::uint32_t max_rank = 0;
+  for (const std::uint32_t r : ranks_->rank) max_rank = std::max(max_rank, r);
+  up_buckets_.resize(max_rank + 1);
+  for (auto& b : up_buckets_) b.clear();
+  delta_seed_epoch_ = kNone;
+  stats_ = ReplayStats{};
+  counts_ = Counts{};
+
+  const std::uint64_t start_ns = flight_ != nullptr ? obs::flight_now_ns() : 0;
+  victim_seed_ =
+      make_seed(victim, Announcement{prefix, {}, OriginRole::Victim});
+  // The baseline carries a single origin role, so no comparison ever
+  // reaches the route-age step and any comparator built from the config
+  // yields the identical result (salt-independence; DESIGN.md §11).
+  const RouteComparator cmp(config.tie_break, config.tie_break_seed);
+  replay_cmp_ = cmp;
+  run_baseline(cmp);
+  baseline_watermark_ = static_cast<std::uint32_t>(arena_.size());
+  if (flight_ != nullptr) {
+    obs::PropagationRunRecord rec;
+    rec.start_ns = start_ns;
+    rec.duration_ns = obs::flight_now_ns() - start_ns;
+    rec.delivered = counts_.delivered;
+    rec.loop_dropped = counts_.loop_dropped;
+    rec.rov_dropped = counts_.rov_dropped;
+    rec.decided = counts_.decided;
+    flight_->record_propagation(rec);
+  }
+  flush_replay_metrics();
+}
+
+void DeltaPropagation::replay(NodeId adversary, const Announcement& ann,
+                              const RouteComparator& cmp) {
+  if (!has_baseline()) {
+    throw std::logic_error("replay() without a victim baseline");
+  }
+  if (ann.prefix != prefix_) {
+    throw std::invalid_argument("replay announcement must share the baseline prefix");
+  }
+  if (adversary.value >= graph_->size() || adversary == victim_) {
+    throw std::invalid_argument("replay adversary invalid");
+  }
+
+  ++epoch_;
+  arena_.resize(baseline_watermark_);
+  stats_ = ReplayStats{};
+  for (auto& b : up_buckets_) b.clear();
+  const std::uint64_t start_ns = flight_ != nullptr ? obs::flight_now_ns() : 0;
+
+  delta_seed_at_ = adversary;
+  delta_seed_ = make_seed(adversary, ann);
+  delta_seed_epoch_ = epoch_;
+  replay_cmp_ = cmp;
+
+  const std::vector<std::uint32_t>& rank = ranks_->rank;
+  const auto enqueue_up = [&](NodeId n) {
+    if (up_queued_[n.value] == epoch_) return;
+    up_queued_[n.value] = epoch_;
+    up_buckets_[rank[n.value]].push_back(n.value);
+  };
+
+  // Up sweep: ascending rank from the adversary. A node's up export
+  // depends only on strictly lower-ranked nodes (its customers) and its
+  // own seeds, so bucket order makes every dependency final before use.
+  // This is the only eager phase; down state is evaluated lazily per query
+  // (down_eval), so replay cost scales with the adversary's provider
+  // ancestry, not with how much of the Internet the hijack captures.
+  enqueue_up(adversary);
+  for (std::size_t r = 0; r < up_buckets_.size(); ++r) {
+    for (std::size_t bi = 0; bi < up_buckets_[r].size(); ++bi) {
+      const NodeId n{up_buckets_[r][bi]};
+      ++stats_.up_recomputed;
+      up_delta_[n.value] = recompute(n, true, cmp);
+      up_mark_[n.value] = epoch_;
+      if (export_equal(up_delta_[n.value], up_base_[n.value])) continue;
+      ++stats_.up_changed;
+      for (const Neighbor& nb : graph_->neighbors(n)) {
+        if (nb.rel == Relationship::Provider) enqueue_up(nb.id);
+      }
+    }
+  }
+
+  // The flight record and metrics flush drain whatever accumulated since
+  // the last flush: this replay's up sweep plus the lazy evaluations the
+  // previous replay's queries triggered (totals stay exact; per-run
+  // attribution shifts by one query's worth of work).
+  if (flight_ != nullptr) {
+    obs::PropagationRunRecord rec;
+    rec.start_ns = start_ns;
+    rec.duration_ns = obs::flight_now_ns() - start_ns;
+    rec.delivered = counts_.delivered;
+    rec.loop_dropped = counts_.loop_dropped;
+    rec.rov_dropped = counts_.rov_dropped;
+    rec.decided = counts_.decided;
+    flight_->record_propagation(rec);
+  }
+  flush_replay_metrics();
+}
+
+const DeltaPropagation::Compact& DeltaPropagation::down_eval(NodeId n) const {
+  // D'(n) = C'(n) when a customer-class route exists (LocalPref dominance);
+  // otherwise a peer/provider recompute whose provider inputs recurse
+  // through down_state. Provider edges strictly increase customer rank, so
+  // the recursion is well-founded, its depth bounded by the provider-chain
+  // length, and memoization caps total work at the queried cone.
+  const Compact& cprime = up_state(n);
+  const Compact d =
+      cprime.exists ? cprime : recompute(n, false, replay_cmp_);
+  down_delta_[n.value] = d;
+  down_mark_[n.value] = epoch_;
+  ++stats_.down_recomputed;
+  if (!export_equal(d, down_base_[n.value])) ++stats_.down_changed;
+  return down_delta_[n.value];
+}
+
+void DeltaPropagation::replay_none() {
+  if (!has_baseline()) {
+    throw std::logic_error("replay_none() without a victim baseline");
+  }
+  ++epoch_;
+  arena_.resize(baseline_watermark_);
+  delta_seed_epoch_ = kNone;
+  stats_ = ReplayStats{};
+}
+
+bool DeltaPropagation::reachable(NodeId n) const {
+  return down_state(n).exists;
+}
+
+std::optional<OriginRole> DeltaPropagation::role_reached(NodeId n) const {
+  const Compact& d = down_state(n);
+  if (!d.exists) return std::nullopt;
+  return d.role;
+}
+
+void DeltaPropagation::materialize_best(
+    NodeId n, std::optional<RouteCandidate>& out) const {
+  const Compact& d = down_state(n);
+  if (!d.exists) {
+    out.reset();
+    return;
+  }
+  RouteCandidate c;
+  c.ann.prefix = prefix_;
+  c.ann.role = d.role;
+  for (std::uint32_t i = d.head; i != kNone; i = arena_[i].parent) {
+    c.ann.as_path.push_back(arena_[i].asn);
+  }
+  c.source = d.source;
+  c.from = d.from;
+  c.from_asn = d.from_asn;
+  c.ingress_pop = d.pop;
+  out = std::move(c);
+}
+
+void DeltaPropagation::materialize_rib(NodeId n,
+                                       std::vector<RouteCandidate>& out) const {
+  out.clear();
+  const Asn local = graph_->asn_of(n);
+  const bool rov = roas_ != nullptr && graph_->rov_enforcing(n);
+
+  const auto push_seed = [&](const Compact& s) {
+    RouteCandidate c;
+    c.ann.prefix = prefix_;
+    c.ann.role = s.role;
+    for (std::uint32_t i = s.head; i != kNone; i = arena_[i].parent) {
+      c.ann.as_path.push_back(arena_[i].asn);
+    }
+    c.source = RouteSource::Self;
+    c.from = NodeId{};
+    c.from_asn = Asn{0};
+    c.ingress_pop = PopId{};
+    out.push_back(std::move(c));
+  };
+  if (n == victim_) push_seed(victim_seed_);
+  if (delta_seed_epoch_ == epoch_ && n == delta_seed_at_) push_seed(delta_seed_);
+
+  for (const Neighbor& nb : graph_->neighbors(n)) {
+    RouteSource source;
+    const Compact* e;
+    switch (nb.rel) {
+      case Relationship::Customer:
+        source = RouteSource::Customer;
+        e = &up_state(nb.id);
+        break;
+      case Relationship::Peer:
+        source = RouteSource::Peer;
+        e = &up_state(nb.id);
+        break;
+      case Relationship::Provider:
+        source = RouteSource::Provider;
+        e = &down_state(nb.id);
+        break;
+      default:
+        continue;
+    }
+    if (!e->exists) continue;
+    if (chain_contains(e->head, local)) continue;
+    const Asn sender = graph_->asn_of(nb.id);
+    if (rov) {
+      const Asn origin = e->head == kNone ? sender : e->origin;
+      if (roas_->validate(prefix_, origin) == RpkiValidity::Invalid) continue;
+    }
+    RouteCandidate c;
+    c.ann.prefix = prefix_;
+    c.ann.role = e->role;
+    c.ann.as_path.push_back(sender);
+    for (std::uint32_t i = e->head; i != kNone; i = arena_[i].parent) {
+      c.ann.as_path.push_back(arena_[i].asn);
+    }
+    c.source = source;
+    c.from = nb.id;
+    c.from_asn = sender;
+    c.ingress_pop = nb.local_pop;
+    out.push_back(std::move(c));
+  }
+}
+
+void DeltaPropagation::flush_replay_metrics() const {
+  const PropagationMetrics* m = metrics_;
+  if (m != nullptr) {
+    m->runs.add(1);
+    m->delivered.add(counts_.delivered);
+    m->loop_dropped.add(counts_.loop_dropped);
+    m->rov_dropped.add(counts_.rov_dropped);
+    for (std::size_t s = 0; s < kDecisionStepCount; ++s) {
+      if (counts_.decided[s] != 0) m->decided[s].add(counts_.decided[s]);
+    }
+  }
+  counts_ = Counts{};
+}
+
+}  // namespace marcopolo::bgp

@@ -83,17 +83,11 @@ class Engine {
                  RouteSource as_seen_by_receiver) {
     Announcement ann = route.ann;
     ann.as_path.insert(ann.as_path.begin(), graph_.asn_of(n));
-    // The receiver's ingress POP is the POP on *its* side of the link; find
-    // the mirror entry. Scanning is fine: degree is small except for cloud
-    // backbones, which never advertise (they are stubs).
-    PopId ingress{};
-    for (const Neighbor& back : graph_.neighbors(nb.id)) {
-      if (back.id == n) {
-        ingress = back.local_pop;
-        break;
-      }
-    }
-    deliver(nb.id, n, as_seen_by_receiver, ingress, std::move(ann));
+    // The receiver's ingress POP is the POP on *its* side of the link,
+    // recorded in the sender's own edge entry at link-add time. (Scanning
+    // the receiver's neighbor list for a mirror entry found the wrong POP
+    // when the two ASes share parallel links at different POPs.)
+    deliver(nb.id, n, as_seen_by_receiver, nb.remote_pop, std::move(ann));
   }
 
   void seed(const std::vector<SeededRoute>& seeds) {
@@ -122,7 +116,9 @@ class Engine {
         best = &c;
         continue;
       }
-      DecisionStep step;
+      // Initialized defensively: a comparator path that failed to set the
+      // step must not index the counters with garbage.
+      DecisionStep step = DecisionStep::IngressPop;
       if (cmp_.prefer(c, *best, n, step)) best = &c;
       ++counts_.decided[static_cast<std::size_t>(step)];
     }

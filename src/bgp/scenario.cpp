@@ -24,6 +24,8 @@ void HijackScenario::reset(const AsGraph& graph, NodeId victim,
   prefix_ = victim_prefix;
   node_count_ = graph.size();
   has_sub_ = false;
+  delta_ = nullptr;
+  ++generation_;
 
   const Asn victim_asn = graph.asn_of(victim);
 
@@ -83,11 +85,107 @@ void HijackScenario::reset(const AsGraph& graph, NodeId victim,
   }
 }
 
+void HijackScenario::reset_incremental(DeltaPropagation& delta,
+                                       NodeId adversary,
+                                       const ScenarioConfig& config,
+                                       PropagationWorkspace& ws) {
+  const AsGraph& graph = delta.graph();
+  const NodeId victim = delta.victim();
+  if (victim == adversary) {
+    throw std::invalid_argument("victim and adversary must differ");
+  }
+  victim_ = victim;
+  adversary_ = adversary;
+  type_ = config.type;
+  prefix_ = delta.prefix();
+  node_count_ = graph.size();
+  has_sub_ = false;
+  delta_ = &delta;
+  ++generation_;
+
+  const Asn victim_asn = graph.asn_of(victim);
+  const std::uint64_t salt = netsim::hash_combine(
+      config.tie_break_seed,
+      (std::uint64_t{victim.value} << 32) | adversary.value);
+  cmp_ = RouteComparator(config.tie_break, salt);
+
+  switch (type_) {
+    case AttackType::EquallySpecific: {
+      delta.replay(adversary, Announcement{prefix_, {}, OriginRole::Adversary},
+                   cmp_);
+      target_ = prefix_.address_at(1);
+      break;
+    }
+    case AttackType::ForgedOriginPrepend: {
+      delta.replay(
+          adversary,
+          Announcement{prefix_, {victim_asn}, OriginRole::Adversary}, cmp_);
+      target_ = prefix_.address_at(1);
+      break;
+    }
+    case AttackType::SubPrefix: {
+      // The primary prefix propagates unopposed, which IS the baseline;
+      // only the adversary's more-specific prefix needs a (full, separate)
+      // propagation.
+      delta.replay_none();
+      const auto [lower, upper] = prefix_.split();
+      (void)lower;
+      PropagationConfig pc{config.tie_break, salt, config.roas,
+                           config.metrics, config.flight};
+      auto& seeds = ws.seeds;
+      seeds.clear();
+      seeds.push_back(SeededRoute{
+          adversary, Announcement{upper, {victim_asn}, OriginRole::Adversary}});
+      propagate_into(graph, seeds, pc, ws, sub_);
+      has_sub_ = true;
+      target_ = upper.address_at(1);
+      break;
+    }
+  }
+}
+
+HijackScenario::NodeView& HijackScenario::view_of(NodeId n) const {
+  for (NodeView& v : views_) {
+    if (v.node == n) {
+      if (v.generation != generation_) {
+        delta_->materialize_rib(n, v.rib);
+        v.best_valid = false;
+        v.generation = generation_;
+      }
+      return v;
+    }
+  }
+  views_.emplace_back();
+  NodeView& v = views_.back();
+  v.node = n;
+  v.generation = generation_;
+  delta_->materialize_rib(n, v.rib);
+  return v;
+}
+
+const std::vector<RouteCandidate>& HijackScenario::primary_rib(
+    NodeId n) const {
+  if (delta_ == nullptr) return primary_.rib_in[n.value];
+  return view_of(n).rib;
+}
+
+const std::optional<RouteCandidate>& HijackScenario::primary_best(
+    NodeId n) const {
+  if (delta_ == nullptr) return primary_.best[n.value];
+  NodeView& v = view_of(n);
+  if (!v.best_valid) {
+    delta_->materialize_best(n, v.best);
+    v.best_valid = true;
+  }
+  return v.best;
+}
+
 OriginReached HijackScenario::reached(NodeId from) const {
   // Longest-prefix match: the sub-prefix route (if any) wins over the
   // covering prefix.
   if (has_sub_ && sub_.reachable(from)) return OriginReached::Adversary;
-  const auto role = primary_.role_reached(from);
+  const auto role = delta_ != nullptr ? delta_->role_reached(from)
+                                      : primary_.role_reached(from);
   if (!role) return OriginReached::None;
   return *role == OriginRole::Victim ? OriginReached::Victim
                                      : OriginReached::Adversary;

@@ -9,6 +9,7 @@
 
 #include <optional>
 
+#include "bgp/delta.hpp"
 #include "bgp/propagation.hpp"
 
 namespace marcopolo::bgp {
@@ -72,6 +73,17 @@ class HijackScenario {
              netsim::Ipv4Prefix victim_prefix, const ScenarioConfig& config,
              PropagationWorkspace& ws);
 
+  /// Incremental variant: re-evaluate this scenario against `delta`'s
+  /// cached victim baseline (delta carries the graph, victim, and prefix)
+  /// by replaying only the adversary's announcement. Equivalent to reset()
+  /// with the same parameters — every query answers identically — except
+  /// that primary() is unavailable; use primary_rib()/primary_best(),
+  /// which materialize on demand. `delta` must outlive the scenario's next
+  /// reset and must not be replayed by anyone else in between.
+  void reset_incremental(DeltaPropagation& delta, NodeId adversary,
+                         const ScenarioConfig& config,
+                         PropagationWorkspace& ws);
+
   /// Which origin traffic from `from` reaches when addressed to the
   /// validation target (longest-prefix match across announcements).
   [[nodiscard]] OriginReached reached(NodeId from) const;
@@ -84,8 +96,29 @@ class HijackScenario {
   [[nodiscard]] AttackType type() const { return type_; }
   [[nodiscard]] netsim::Ipv4Prefix prefix() const { return prefix_; }
 
-  /// Propagation state for the victim's (equally-specific) prefix.
-  [[nodiscard]] const PropagationResult& primary() const { return primary_; }
+  /// Propagation state for the victim's (equally-specific) prefix. Only
+  /// available after a full reset(); throws std::logic_error in
+  /// incremental mode, where per-node state is materialized on demand
+  /// through primary_rib()/primary_best() instead.
+  [[nodiscard]] const PropagationResult& primary() const {
+    if (delta_ != nullptr) {
+      throw std::logic_error(
+          "HijackScenario::primary() unavailable after reset_incremental(); "
+          "use primary_rib()/primary_best()");
+    }
+    return primary_;
+  }
+
+  /// Node n's Adj-RIB-In for the primary prefix. In full mode a direct
+  /// view into primary(); in incremental mode materialized from the delta
+  /// state and cached until the next reset (the campaign queries only a
+  /// handful of backbone nodes per attack). The reference is invalidated
+  /// by the next reset_* or primary_rib() call.
+  [[nodiscard]] const std::vector<RouteCandidate>& primary_rib(NodeId n) const;
+
+  /// Node n's best route for the primary prefix (see primary_rib()).
+  [[nodiscard]] const std::optional<RouteCandidate>& primary_best(
+      NodeId n) const;
 
   /// Propagation state for the adversary's sub-prefix (SubPrefix attacks
   /// only).
@@ -115,6 +148,22 @@ class HijackScenario {
   PropagationResult sub_;
   bool has_sub_ = false;
   std::size_t node_count_ = 0;
+
+  // Incremental mode: the delta engine holding this attack's primary-prefix
+  // state (null after a full reset). Materialized per-node views are cached
+  // by generation so repeated backbone queries within one attack hit the
+  // cache while a reset invalidates it in O(1).
+  const DeltaPropagation* delta_ = nullptr;
+  std::uint64_t generation_ = 0;
+  struct NodeView {
+    NodeId node;
+    std::uint64_t generation = 0;
+    std::vector<RouteCandidate> rib;
+    bool best_valid = false;
+    std::optional<RouteCandidate> best;
+  };
+  mutable std::vector<NodeView> views_;
+  [[nodiscard]] NodeView& view_of(NodeId n) const;
 };
 
 }  // namespace marcopolo::bgp

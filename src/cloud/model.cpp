@@ -415,7 +415,7 @@ bgp::OriginReached CloudProviderModel::resolve(
       return bgp::OriginReached::Adversary;
     }
   }
-  const auto& rib = scenario.primary().rib_in[backbone_.value];
+  const auto& rib = scenario.primary_rib(backbone_);
   const bgp::RouteCandidate* chosen = select_egress(perspective, rib, cmp, roas);
   if (chosen == nullptr) return bgp::OriginReached::None;
   return chosen->ann.role == bgp::OriginRole::Victim
@@ -436,7 +436,7 @@ ResolveExplanation CloudProviderModel::resolve_explained(
       return why;
     }
   }
-  const auto& rib = scenario.primary().rib_in[backbone_.value];
+  const auto& rib = scenario.primary_rib(backbone_);
   const bgp::RouteCandidate* chosen =
       select_egress_explained(perspective, rib, cmp, roas, &why);
   if (chosen == nullptr) {

@@ -16,6 +16,8 @@ namespace {
 struct CampaignMetrics {
   obs::Counter tasks_executed;
   obs::Counter propagations;
+  obs::Counter baselines_computed;
+  obs::Counter delta_replays;
   obs::Counter total_captures;
   obs::Counter dns_collapses;
   obs::Counter rows_recorded;
@@ -36,6 +38,10 @@ struct CampaignMetrics {
     m.enabled = reg != nullptr;
     m.tasks_executed = obs::MetricsRegistry::counter(reg, "campaign.tasks_executed");
     m.propagations = obs::MetricsRegistry::counter(reg, "campaign.propagations");
+    m.baselines_computed =
+        obs::MetricsRegistry::counter(reg, "campaign.baselines_computed");
+    m.delta_replays =
+        obs::MetricsRegistry::counter(reg, "campaign.delta_replays");
     m.total_captures =
         obs::MetricsRegistry::counter(reg, "campaign.total_capture_tasks");
     m.dns_collapses =
@@ -55,14 +61,16 @@ struct CampaignMetrics {
   }
 };
 
-/// One unit of parallel work: the hijack of `announcer`'s prefix by
-/// `adversary`, recorded into the store rows of every victim whose
-/// contested prefix that is. Under the HTTP surface each victim is its own
-/// announcer; under the DNS surface victims sharing a nameserver host
-/// collapse into one task — the scenario cache the serial engine lacked.
+/// One unit of parallel work: every hijack of `announcer`'s prefix, one
+/// attack per adversary. Announcer-major grouping lets a worker propagate
+/// the announcer's victim-only baseline once and replay each adversary as
+/// a delta over it (config.incremental); per-(announcer, adversary)
+/// accounting — tasks_executed, task spans, progress — is unchanged.
+/// Under the HTTP surface each victim is its own announcer; under the DNS
+/// surface victims sharing a nameserver host collapse into one announcer —
+/// the scenario cache the serial engine lacked.
 struct CampaignTask {
   std::size_t announcer = 0;
-  std::size_t adversary = 0;
   /// Victims (v != adversary is re-checked at write time) accounted to
   /// this announcer.
   std::vector<SiteIndex> victims;
@@ -88,30 +96,56 @@ class CampaignWorker {
     if (flight_ != nullptr) explains_.resize(outcomes_.size());
   }
 
-  void run(const CampaignTask& task) {
+  /// Run every adversary against this announcer. Returns the number of
+  /// attacks executed — the campaign's progress/accounting unit, one per
+  /// (announcer, adversary) pair, exactly as before the announcer-major
+  /// regrouping.
+  std::size_t run(const CampaignTask& task) {
+    const auto& sites = testbed_.sites();
+    if (config_.incremental) {
+      // One victim-only propagation per announcer; every pair below
+      // replays just the adversary's announcement over it. Valid across
+      // the per-pair salted comparators because a single-role propagation
+      // never reaches the route-age step (DESIGN.md §11).
+      const bgp::PropagationConfig pc{
+          config_.tie_break, config_.tie_break_seed, config_.roas,
+          metrics_.enabled ? &metrics_.propagation : nullptr, flight_};
+      delta_.set_victim_baseline(testbed_.internet().graph(),
+                                 sites[task.announcer].node,
+                                 config_.victim_prefix(task.announcer), pc);
+      metrics_.baselines_computed.add(1);
+    }
+    for (std::size_t a = 0; a < sites.size(); ++a) {
+      run_pair(task, a);
+    }
+    return sites.size();
+  }
+
+ private:
+  void run_pair(const CampaignTask& task, const std::size_t adversary) {
     obs::ScopedTimer timer(metrics_.task_ns);
     metrics_.tasks_executed.add(1);
     const bool recording = flight_ != nullptr;
     const std::uint64_t t_start = recording ? obs::flight_now_ns() : 0;
     const auto& sites = testbed_.sites();
     const auto& perspectives = testbed_.perspectives();
-    if (task.announcer == task.adversary) {
+    if (task.announcer == adversary) {
       // The adversary hosts the victim's DNS: every perspective resolves
       // through the adversary already; record total capture.
       metrics_.total_captures.add(1);
       std::uint64_t rows = 0;
       for (const SiteIndex v : task.victims) {
-        if (v == task.adversary) continue;
+        if (v == adversary) continue;
         ++rows;
         for (const PerspectiveRecord& rec : perspectives) {
           store_.record_unsynchronized(
-              v, static_cast<SiteIndex>(task.adversary), rec.index,
+              v, static_cast<SiteIndex>(adversary), rec.index,
               bgp::OriginReached::Adversary);
           if (recording) {
             // No BGP decision involved: the verdict is unopposed by
             // construction (the adversary serves the victim's DNS).
             flight_->record_verdict(make_verdict(
-                v, task.adversary, rec.index, bgp::OriginReached::Adversary,
+                v, adversary, rec.index, bgp::OriginReached::Adversary,
                 obs::VerdictStep::Unopposed, /*contested=*/false));
           }
         }
@@ -119,8 +153,9 @@ class CampaignWorker {
       const std::uint64_t total = rows * perspectives.size();
       metrics_.rows_recorded.add(total);
       if (recording) {
-        flight_->record_task(make_task_span(task, rows, /*total_capture=*/true,
-                                            t_start, 0, 0, t_start));
+        flight_->record_task(make_task_span(task.announcer, adversary, rows,
+                                            /*total_capture=*/true, t_start, 0,
+                                            0, t_start));
         recorder_->note_verdicts(total, total);
       }
       return;
@@ -131,12 +166,17 @@ class CampaignWorker {
         flight_};
     {
       obs::ScopedTimer propagate_timer(metrics_.propagate_ns);
-      scenario_.reset(testbed_.internet().graph(),
-                      sites[task.announcer].node, sites[task.adversary].node,
-                      config_.victim_prefix(task.announcer), sc, ws_);
+      if (config_.incremental) {
+        scenario_.reset_incremental(delta_, sites[adversary].node, sc, ws_);
+      } else {
+        scenario_.reset(testbed_.internet().graph(),
+                        sites[task.announcer].node, sites[adversary].node,
+                        config_.victim_prefix(task.announcer), sc, ws_);
+      }
     }
     const std::uint64_t t_propagated = recording ? obs::flight_now_ns() : 0;
     metrics_.propagations.add(1);
+    if (config_.incremental) metrics_.delta_replays.add(1);
     // Resolve every perspective once per task; the outcome depends only on
     // (announcer, adversary), never on which victim the row belongs to.
     // The explained resolution shares the selection code path with the
@@ -161,15 +201,14 @@ class CampaignWorker {
     std::uint64_t rows = 0;
     std::uint64_t adversary_verdicts = 0;
     for (const SiteIndex v : task.victims) {
-      if (v == task.adversary) continue;
+      if (v == adversary) continue;
       ++rows;
       for (const PerspectiveRecord& rec : perspectives) {
-        store_.record_unsynchronized(v,
-                                     static_cast<SiteIndex>(task.adversary),
+        store_.record_unsynchronized(v, static_cast<SiteIndex>(adversary),
                                      rec.index, outcomes_[rec.index]);
         if (recording) {
           const cloud::ResolveExplanation& why = explains_[rec.index];
-          flight_->record_verdict(make_verdict(v, task.adversary, rec.index,
+          flight_->record_verdict(make_verdict(v, adversary, rec.index,
                                                why.outcome, why.decided_by,
                                                why.contested));
           if (why.outcome == bgp::OriginReached::Adversary) {
@@ -180,14 +219,13 @@ class CampaignWorker {
     }
     metrics_.rows_recorded.add(rows * perspectives.size());
     if (recording) {
-      flight_->record_task(make_task_span(task, rows, /*total_capture=*/false,
-                                          t_start, t_propagated,
-                                          t_classified, t_start));
+      flight_->record_task(make_task_span(task.announcer, adversary, rows,
+                                          /*total_capture=*/false, t_start,
+                                          t_propagated, t_classified, t_start));
       recorder_->note_verdicts(rows * perspectives.size(), adversary_verdicts);
     }
   }
 
- private:
   [[nodiscard]] static obs::VerdictRecord make_verdict(
       std::size_t victim, std::size_t adversary, std::uint16_t perspective,
       bgp::OriginReached outcome, obs::VerdictStep decided_by,
@@ -203,13 +241,13 @@ class CampaignWorker {
   }
 
   [[nodiscard]] static obs::TaskSpanRecord make_task_span(
-      const CampaignTask& task, std::uint64_t rows, bool total_capture,
-      std::uint64_t t_start, std::uint64_t t_propagated,
+      std::size_t announcer, std::size_t adversary, std::uint64_t rows,
+      bool total_capture, std::uint64_t t_start, std::uint64_t t_propagated,
       std::uint64_t t_classified, std::uint64_t phase_base) {
     const std::uint64_t t_end = obs::flight_now_ns();
     obs::TaskSpanRecord rec;
-    rec.announcer = static_cast<std::uint32_t>(task.announcer);
-    rec.adversary = static_cast<std::uint32_t>(task.adversary);
+    rec.announcer = static_cast<std::uint32_t>(announcer);
+    rec.adversary = static_cast<std::uint32_t>(adversary);
     rec.victim_rows = static_cast<std::uint32_t>(rows);
     rec.total_capture = total_capture;
     rec.start_ns = t_start;
@@ -231,6 +269,7 @@ class CampaignWorker {
   obs::FlightBuffer* flight_;
   bgp::PropagationWorkspace ws_;
   bgp::HijackScenario scenario_;
+  bgp::DeltaPropagation delta_;
   std::vector<bgp::OriginReached> outcomes_;
   std::vector<cloud::ResolveExplanation> explains_;
 };
@@ -268,8 +307,12 @@ ResultStore run_fast_campaign(const Testbed& testbed,
 
   const CampaignMetrics metrics = CampaignMetrics::create(config.metrics);
 
+  // One task per announcer; the worker iterates every adversary inside it
+  // (baseline reuse). Accounting stays per (announcer, adversary) attack:
+  // tasks_executed, task spans, and progress all count attacks, exactly as
+  // when each attack was its own task.
   std::vector<CampaignTask> tasks;
-  tasks.reserve(sites.size() * sites.size());
+  tasks.reserve(sites.size());
   for (std::size_t announcer = 0; announcer < sites.size(); ++announcer) {
     if (victims_of[announcer].empty()) continue;
     // Every victim beyond the first sharing this announcer rides an
@@ -277,13 +320,11 @@ ResultStore run_fast_campaign(const Testbed& testbed,
     // re-ran per victim.
     metrics.dns_collapses.add(
         (victims_of[announcer].size() - 1) * sites.size());
-    for (std::size_t a = 0; a < sites.size(); ++a) {
-      // announcer == a is still a task (total-capture rows) unless its
-      // only victim is the adversary itself.
-      tasks.push_back(
-          CampaignTask{announcer, a, victims_of[announcer]});
-    }
+    // announcer == adversary is still an attack (total-capture rows)
+    // unless its only victim is the adversary itself.
+    tasks.push_back(CampaignTask{announcer, victims_of[announcer]});
   }
+  const std::size_t total_attacks = tasks.size() * sites.size();
 
   const std::size_t hw =
       std::max<unsigned>(1, std::thread::hardware_concurrency());
@@ -293,6 +334,8 @@ ResultStore run_fast_campaign(const Testbed& testbed,
   MARCOPOLO_LOG(Info) << "fast campaign"
                       << obs::field("attack", to_cstring(config.type))
                       << obs::field("tasks", tasks.size())
+                      << obs::field("attacks", total_attacks)
+                      << obs::field("incremental", config.incremental)
                       << obs::field("threads", n_threads)
                       << obs::field("recording",
                                     config.recorder != nullptr);
@@ -304,7 +347,6 @@ ResultStore run_fast_campaign(const Testbed& testbed,
   // the thread count nor the registry being attached can perturb bytes.
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
-  const std::size_t total = tasks.size();
   const std::size_t progress_every =
       config.progress ? std::max<std::size_t>(1, config.progress_every) : 0;
   auto drain = [&] {
@@ -318,14 +360,16 @@ ResultStore run_fast_campaign(const Testbed& testbed,
     std::size_t done_local = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) break;
-      worker.run(tasks[i]);
-      ++done_local;
-      if (progress_every != 0 && done_local % progress_every == 0) {
+      if (i >= tasks.size()) break;
+      // Progress is reported in attacks (pairs), the same unit as before
+      // the announcer-major regrouping; one task retires sites.size() of
+      // them at once.
+      done_local += worker.run(tasks[i]);
+      if (progress_every != 0 && done_local >= progress_every) {
         config.progress(
             completed.fetch_add(done_local, std::memory_order_relaxed) +
                 done_local,
-            total);
+            total_attacks);
         done_local = 0;
       }
     }
@@ -333,7 +377,7 @@ ResultStore run_fast_campaign(const Testbed& testbed,
       const std::size_t done =
           completed.fetch_add(done_local, std::memory_order_relaxed) +
           done_local;
-      if (done == total) config.progress(done, total);
+      if (done == total_attacks) config.progress(done, total_attacks);
     }
   };
 

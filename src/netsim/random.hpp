@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 
 namespace marcopolo::netsim {
 
@@ -45,8 +46,10 @@ class Rng {
     return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
   }
 
-  /// Uniform index in [0, n). Requires n > 0.
+  /// Uniform index in [0, n). Throws std::invalid_argument for n == 0
+  /// (n - 1 would underflow to a uniform draw over all of uint64).
   std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index over empty range");
     return static_cast<std::size_t>(uniform(0, n - 1));
   }
 

@@ -59,6 +59,13 @@ bool is_time_histogram(const std::string& name) {
          name.ends_with("_us");
 }
 
+/// Sample value in nanoseconds, inferred from the histogram's unit suffix.
+double to_nanoseconds(const std::string& name, double value) {
+  if (name.ends_with("_us")) return value * 1e3;
+  if (name.ends_with("_ms")) return value * 1e6;
+  return value;
+}
+
 }  // namespace
 
 RunComparison compare_runs(const ReadManifest& base,
@@ -184,6 +191,12 @@ DiffGateResult evaluate_gate(const RunComparison& comparison,
   }
   for (const QuantileDelta& quantile : comparison.quantiles) {
     if (quantile.q < 0.95 || !is_time_histogram(quantile.name)) continue;
+    if (to_nanoseconds(quantile.name, quantile.base) <
+            config.quantile_floor_ns &&
+        to_nanoseconds(quantile.name, quantile.cand) <
+            config.quantile_floor_ns) {
+      continue;  // Below the jitter floor on both sides — noise, not signal.
+    }
     if (quantile.pct() > config.max_regress_pct) {
       out.pass = false;
       char row[160];

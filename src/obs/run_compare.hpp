@@ -162,6 +162,10 @@ struct RunComparison {
 /// meaningless, which is a different problem than a slow one.
 struct DiffGateConfig {
   double max_regress_pct = 25.0;
+  /// Histogram quantiles where both sides sit below this many nanoseconds
+  /// are ignored: at single-digit-microsecond latencies, scheduler and
+  /// timer jitter routinely exceeds any useful percentage threshold.
+  double quantile_floor_ns = 10'000.0;
 };
 
 struct DiffGateResult {

@@ -49,11 +49,16 @@ netsim::GeoPoint jitter(netsim::Rng& rng, const ContinentSpec& spec) {
           lon < -180.0 ? lon + 360.0 : (lon > 180.0 ? lon - 360.0 : lon)};
 }
 
-// ASN blocks per tier keep generated numbers readable in debug output.
+// ASN blocks per tier keep generated numbers readable in debug output, and
+// stay ordered tier-1 < tier-2 < tier-3 < stub so the NeighborAsn
+// tie-break's cross-tier behavior is size-independent. The tier-3 and stub
+// blocks sit above every externally assigned ASN (cloud backbones 8075 /
+// 15169 / 16509, Vultr sites 64512+) so a 50k+ AS topology cannot collide
+// with them.
 constexpr std::uint32_t kTier1Base = 100;
 constexpr std::uint32_t kTier2Base = 1000;
-constexpr std::uint32_t kTier3Base = 10000;
-constexpr std::uint32_t kStubBase = 30000;
+constexpr std::uint32_t kTier3Base = 100000;
+constexpr std::uint32_t kStubBase = 1000000;
 
 }  // namespace
 
@@ -139,6 +144,15 @@ Internet::Internet(const InternetConfig& config) {
     }
   }
 
+  // The tier-2 layer is complete; build the k-NN index every nearest_tier2
+  // query below (and after construction) runs against.
+  {
+    std::vector<netsim::GeoPoint> tier2_points;
+    tier2_points.reserve(tier2_.size());
+    for (const bgp::NodeId n : tier2_) tier2_points.push_back(location(n));
+    tier2_index_.emplace(tier2_points);
+  }
+
   // --- Tier 3: access networks buying transit from nearby tier-2s.
   netsim::Rng t3_rng = rng.fork(4);
   for (int i = 0; i < config.num_tier3; ++i) {
@@ -152,8 +166,14 @@ Internet::Internet(const InternetConfig& config) {
         std::min<int>(2, static_cast<int>(candidates.size()));
     std::set<std::uint32_t> used;
     for (int u = 0; u < uplinks; ++u) {
-      const bgp::NodeId provider = candidates[t3_rng.index(candidates.size())];
-      if (used.contains(provider.value)) continue;
+      // Redraw on a duplicate: giving up on a collision silently left an
+      // AS configured for 2 uplinks single-homed.
+      bgp::NodeId provider{};
+      for (int attempt = 0; attempt < 16 && !provider.valid(); ++attempt) {
+        const bgp::NodeId cand = candidates[t3_rng.index(candidates.size())];
+        if (!used.contains(cand.value)) provider = cand;
+      }
+      if (!provider.valid()) continue;
       used.insert(provider.value);
       graph_.add_provider_customer(provider, id);
     }
@@ -174,13 +194,19 @@ Internet::Internet(const InternetConfig& config) {
     const int uplinks = 1 + static_cast<int>(stub_rng.uniform(0, 1));
     std::set<std::uint32_t> used;
     for (int u = 0; u < uplinks; ++u) {
+      // Redraw the whole provider choice (pool coin included) on a
+      // duplicate instead of dropping the uplink.
       bgp::NodeId provider{};
-      if (!tier3_.empty() && stub_rng.chance(0.5)) {
-        provider = tier3_[stub_rng.index(tier3_.size())];
-      } else if (!near2.empty()) {
-        provider = near2[stub_rng.index(near2.size())];
+      for (int attempt = 0; attempt < 16 && !provider.valid(); ++attempt) {
+        bgp::NodeId cand{};
+        if (!tier3_.empty() && stub_rng.chance(0.5)) {
+          cand = tier3_[stub_rng.index(tier3_.size())];
+        } else if (!near2.empty()) {
+          cand = near2[stub_rng.index(near2.size())];
+        }
+        if (cand.valid() && !used.contains(cand.value)) provider = cand;
       }
-      if (!provider.valid() || used.contains(provider.value)) continue;
+      if (!provider.valid()) continue;
       used.insert(provider.value);
       graph_.add_provider_customer(provider, id);
     }
@@ -205,14 +231,30 @@ bgp::NodeId Internet::add_leaf_as(bgp::Asn asn, netsim::GeoPoint where,
 
 std::vector<bgp::NodeId> Internet::nearest_tier2(netsim::GeoPoint where,
                                                  std::size_t count) const {
-  std::vector<bgp::NodeId> sorted = tier2_;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [&](bgp::NodeId a, bgp::NodeId b) {
-                     return netsim::great_circle_km(where, location(a)) <
-                            netsim::great_circle_km(where, location(b));
-                   });
-  if (sorted.size() > count) sorted.resize(count);
-  return sorted;
+  // The index returns positions into tier2_ ascending by distance with
+  // ties broken by position — the same set and order the old full
+  // stable_sort selected, without the O(T2 log T2) per query.
+  const auto picked = tier2_index_->nearest(where, count);
+  std::vector<bgp::NodeId> out;
+  out.reserve(picked.size());
+  for (const std::uint32_t i : picked) out.push_back(tier2_[i]);
+  return out;
+}
+
+InternetConfig scaled_internet_config(int total_ases, std::uint64_t seed) {
+  if (total_ases < 64) {
+    throw std::invalid_argument("scaled_internet_config needs >= 64 ASes");
+  }
+  InternetConfig cfg;
+  cfg.seed = seed;
+  // 12-16 backbone networks regardless of size; the transit and access
+  // layers grow with the population.
+  cfg.num_tier1 = std::clamp(12 + total_ases / 16000, 12, 16);
+  cfg.num_tier2 = std::max(8, total_ases * 3 / 100);
+  cfg.num_tier3 = std::max(8, total_ases * 12 / 100);
+  cfg.num_stub =
+      std::max(8, total_ases - cfg.num_tier1 - cfg.num_tier2 - cfg.num_tier3);
+  return cfg;
 }
 
 bgp::NodeId Internet::tier1_for(std::uint64_t salt) const {

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "bgp/as_graph.hpp"
 #include "netsim/geo.hpp"
 #include "netsim/random.hpp"
 #include "topo/rir.hpp"
+#include "topo/spatial_index.hpp"
 
 namespace marcopolo::topo {
 
@@ -36,6 +38,14 @@ struct InternetConfig {
   /// Probability that a tier-3 additionally buys transit from a tier-1.
   double tier3_tier1_uplink = 0.15;
 };
+
+/// Config preset for an Internet-scale topology of roughly `total_ases`
+/// ASes, keeping the default config's tier proportions near the real
+/// Internet's (~3% regional transit, ~12% access, ~85% stubs) so the
+/// single-perspective resilience calibration (~50%) carries over.
+/// Requires total_ases >= 64.
+[[nodiscard]] InternetConfig scaled_internet_config(int total_ases,
+                                                    std::uint64_t seed = 42);
 
 /// One AS tier, stored as metadata for attachment helpers.
 enum class AsTier : std::uint8_t { Tier1 = 1, Tier2 = 2, Tier3 = 3, Stub = 4 };
@@ -89,6 +99,11 @@ class Internet {
   std::vector<Continent> continent_;
   std::vector<AsTier> tier_;
   std::vector<bgp::NodeId> tier1_, tier2_, tier3_, stubs_;
+  /// k-NN index over tier-2 locations, built once after the tier-2 layer is
+  /// placed (the tier-2 set never changes afterwards) and used for every
+  /// nearest_tier2 query, including the tier-3/stub attachment loops of the
+  /// constructor itself.
+  std::optional<SpatialIndex> tier2_index_;
 };
 
 }  // namespace marcopolo::topo

@@ -1,0 +1,266 @@
+// Differential oracle for the incremental (baseline + delta) engine: for
+// randomized victim/adversary pairs — with and without ROV deployment —
+// DeltaPropagation must answer every query exactly as a full two-origin
+// propagation does: same reachability and role at every node, the same
+// best route (full value equality), and the same Adj-RIB-In as a multiset.
+#include "bgp/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "bgp/propagation.hpp"
+#include "netsim/random.hpp"
+#include "topo/internet.hpp"
+
+namespace marcopolo::bgp {
+namespace {
+
+const netsim::Ipv4Prefix kPrefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+
+bool candidate_eq(const RouteCandidate& a, const RouteCandidate& b) {
+  return a.ann.prefix == b.ann.prefix && a.ann.as_path == b.ann.as_path &&
+         a.ann.role == b.ann.role && a.source == b.source && a.from == b.from &&
+         a.from_asn == b.from_asn && a.ingress_pop == b.ingress_pop;
+}
+
+/// Sorts a rib into a canonical order so two deliveries of the same
+/// multiset compare equal element-wise regardless of delivery order.
+void canonicalize(std::vector<RouteCandidate>& rib) {
+  std::sort(rib.begin(), rib.end(),
+            [](const RouteCandidate& a, const RouteCandidate& b) {
+              return std::tie(a.source, a.ann.role, a.ann.as_path, a.from_asn,
+                              a.ingress_pop, a.from) <
+                     std::tie(b.source, b.ann.role, b.ann.as_path, b.from_asn,
+                              b.ingress_pop, b.from);
+            });
+}
+
+/// Replays `adv_ann` over `delta`'s baseline and checks every node's state
+/// against a from-scratch two-origin propagation under the same config.
+void expect_matches_full(const AsGraph& g, DeltaPropagation& delta,
+                         NodeId victim, NodeId adversary,
+                         const Announcement& adv_ann,
+                         const PropagationConfig& pc) {
+  const auto full = propagate(
+      g,
+      {SeededRoute{victim, Announcement{kPrefix, {}, OriginRole::Victim}},
+       SeededRoute{adversary, adv_ann}},
+      pc);
+  const RouteComparator cmp(pc.tie_break, pc.tie_break_seed);
+  delta.replay(adversary, adv_ann, cmp);
+
+  std::optional<RouteCandidate> best;
+  std::vector<RouteCandidate> rib;
+  for (std::uint32_t i = 0; i < g.size(); ++i) {
+    const NodeId n{i};
+    ASSERT_EQ(delta.reachable(n), full.reachable(n)) << "node " << i;
+    ASSERT_EQ(delta.role_reached(n), full.role_reached(n)) << "node " << i;
+
+    delta.materialize_best(n, best);
+    ASSERT_EQ(best.has_value(), full.best[i].has_value()) << "node " << i;
+    if (best.has_value()) {
+      ASSERT_TRUE(candidate_eq(*best, *full.best[i]))
+          << "best route diverges at node " << i << ": delta path ["
+          << best->ann.path_string() << "] vs full ["
+          << full.best[i]->ann.path_string() << "]";
+    }
+
+    delta.materialize_rib(n, rib);
+    std::vector<RouteCandidate> expected = full.rib_in[i];
+    canonicalize(rib);
+    canonicalize(expected);
+    ASSERT_EQ(rib.size(), expected.size()) << "rib size at node " << i;
+    for (std::size_t k = 0; k < rib.size(); ++k) {
+      ASSERT_TRUE(candidate_eq(rib[k], expected[k]))
+          << "rib entry " << k << " diverges at node " << i;
+    }
+  }
+}
+
+/// Small-but-real topology: every tier, peering mesh, geographic bias.
+topo::Internet small_internet(std::uint64_t seed) {
+  topo::InternetConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tier1 = 6;
+  cfg.num_tier2 = 24;
+  cfg.num_tier3 = 60;
+  cfg.num_stub = 110;
+  return topo::Internet(cfg);
+}
+
+TEST(DeltaPropagation, RandomPairsMatchFullPropagation) {
+  const topo::Internet net = small_internet(7);
+  const AsGraph& g = net.graph();
+  netsim::Rng rng(0xD1FF);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeId victim{static_cast<std::uint32_t>(rng.index(g.size()))};
+    NodeId adversary{static_cast<std::uint32_t>(rng.index(g.size()))};
+    while (adversary == victim) {
+      adversary = NodeId{static_cast<std::uint32_t>(rng.index(g.size()))};
+    }
+    // Per-pair salted comparator, as a campaign would use.
+    PropagationConfig pc;
+    pc.tie_break = TieBreakMode::Hashed;
+    pc.tie_break_seed =
+        netsim::hash_combine(0xCAFE, static_cast<std::uint64_t>(trial));
+
+    DeltaPropagation delta;
+    delta.set_victim_baseline(g, victim, kPrefix, pc);
+    // Equally-specific origination, then a forged-origin prepend replayed
+    // over the same baseline.
+    expect_matches_full(g, delta, victim, adversary,
+                        Announcement{kPrefix, {}, OriginRole::Adversary}, pc);
+    expect_matches_full(
+        g, delta, victim, adversary,
+        Announcement{kPrefix, {g.asn_of(victim)}, OriginRole::Adversary}, pc);
+  }
+}
+
+TEST(DeltaPropagation, RovTopologyMatchesFullPropagation) {
+  topo::Internet net = small_internet(11);
+  net.deploy_rov(0.5, 0xA2);
+  const AsGraph& g = net.graph();
+  RoaRegistry roas;
+  netsim::Rng rng(0x5EED);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const NodeId victim{static_cast<std::uint32_t>(rng.index(g.size()))};
+    NodeId adversary{static_cast<std::uint32_t>(rng.index(g.size()))};
+    while (adversary == victim) {
+      adversary = NodeId{static_cast<std::uint32_t>(rng.index(g.size()))};
+    }
+    // The victim holds the only ROA for the prefix: the adversary's plain
+    // origination is Invalid at every enforcing AS, while its forged-origin
+    // prepend stays Valid.
+    roas.add(Roa{kPrefix, g.asn_of(victim), std::nullopt});
+
+    PropagationConfig pc;
+    pc.tie_break = TieBreakMode::Hashed;
+    pc.tie_break_seed =
+        netsim::hash_combine(0xBEEF, static_cast<std::uint64_t>(trial));
+    pc.roas = &roas;
+
+    DeltaPropagation delta;
+    delta.set_victim_baseline(g, victim, kPrefix, pc);
+    expect_matches_full(g, delta, victim, adversary,
+                        Announcement{kPrefix, {}, OriginRole::Adversary}, pc);
+    expect_matches_full(
+        g, delta, victim, adversary,
+        Announcement{kPrefix, {g.asn_of(victim)}, OriginRole::Adversary}, pc);
+
+    roas.remove(kPrefix, g.asn_of(victim));
+  }
+}
+
+TEST(DeltaPropagation, ManyReplaysOverOneBaseline) {
+  // The campaign pattern: one victim baseline, every adversary replayed
+  // over it in sequence (with a replay_none interleaved, as SubPrefix
+  // attacks do). Each replay must be independent of its predecessors.
+  const topo::Internet net = small_internet(23);
+  const AsGraph& g = net.graph();
+
+  const NodeId victim = net.stubs().front();
+  PropagationConfig pc;
+  pc.tie_break = TieBreakMode::Hashed;
+  pc.tie_break_seed = 0xABCD;
+
+  DeltaPropagation delta;
+  delta.set_victim_baseline(g, victim, kPrefix, pc);
+
+  netsim::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId adversary{static_cast<std::uint32_t>(rng.index(g.size()))};
+    while (adversary == victim) {
+      adversary = NodeId{static_cast<std::uint32_t>(rng.index(g.size()))};
+    }
+    if (trial == 5) delta.replay_none();
+    expect_matches_full(g, delta, victim, adversary,
+                        Announcement{kPrefix, {}, OriginRole::Adversary}, pc);
+    EXPECT_GT(delta.stats().up_recomputed, 0u);
+  }
+}
+
+TEST(DeltaPropagation, ReplayNoneRestoresVictimOnlyBaseline) {
+  const topo::Internet net = small_internet(31);
+  const AsGraph& g = net.graph();
+  const NodeId victim = net.tier3().front();
+  const NodeId adversary = net.stubs().back();
+
+  PropagationConfig pc;
+  const auto victim_only = propagate(
+      g, {SeededRoute{victim, Announcement{kPrefix, {}, OriginRole::Victim}}},
+      pc);
+
+  DeltaPropagation delta;
+  delta.set_victim_baseline(g, victim, kPrefix, pc);
+  const RouteComparator cmp(pc.tie_break, pc.tie_break_seed);
+  delta.replay(adversary, Announcement{kPrefix, {}, OriginRole::Adversary},
+               cmp);
+  delta.replay_none();
+
+  std::optional<RouteCandidate> best;
+  for (std::uint32_t i = 0; i < g.size(); ++i) {
+    const NodeId n{i};
+    ASSERT_EQ(delta.reachable(n), victim_only.reachable(n)) << "node " << i;
+    ASSERT_EQ(delta.role_reached(n), victim_only.role_reached(n))
+        << "node " << i;
+    delta.materialize_best(n, best);
+    ASSERT_EQ(best.has_value(), victim_only.best[i].has_value());
+    if (best.has_value()) {
+      ASSERT_TRUE(candidate_eq(*best, *victim_only.best[i])) << "node " << i;
+    }
+  }
+  EXPECT_EQ(delta.stats().up_recomputed, 0u)
+      << "replay_none re-runs no decision process";
+}
+
+TEST(DeltaPropagation, RebindingRecyclesStorage) {
+  // One engine object across victims, as a campaign worker uses it.
+  const topo::Internet net = small_internet(47);
+  const AsGraph& g = net.graph();
+  PropagationConfig pc;
+  pc.tie_break = TieBreakMode::Hashed;
+  pc.tie_break_seed = 7;
+
+  DeltaPropagation delta;
+  for (const NodeId victim : {net.stubs()[0], net.stubs()[5], net.tier2()[1]}) {
+    delta.set_victim_baseline(g, victim, kPrefix, pc);
+    const NodeId adversary =
+        victim == net.stubs()[0] ? net.stubs()[5] : net.stubs()[0];
+    expect_matches_full(g, delta, victim, adversary,
+                        Announcement{kPrefix, {}, OriginRole::Adversary}, pc);
+  }
+}
+
+TEST(DeltaPropagation, GuardsAgainstMisuse) {
+  const topo::Internet net = small_internet(3);
+  const AsGraph& g = net.graph();
+  const RouteComparator cmp(TieBreakMode::VictimFirst, 0);
+
+  DeltaPropagation delta;
+  EXPECT_THROW(delta.replay(net.stubs()[0],
+                            Announcement{kPrefix, {}, OriginRole::Adversary},
+                            cmp),
+               std::logic_error);
+  EXPECT_THROW(delta.replay_none(), std::logic_error);
+
+  delta.set_victim_baseline(g, net.stubs()[0], kPrefix, PropagationConfig{});
+  EXPECT_THROW(
+      delta.replay(net.stubs()[0],
+                   Announcement{kPrefix, {}, OriginRole::Adversary}, cmp),
+      std::invalid_argument)
+      << "adversary == victim";
+  const netsim::Ipv4Prefix other = *netsim::Ipv4Prefix::parse("198.51.100.0/24");
+  EXPECT_THROW(
+      delta.replay(net.stubs()[1], Announcement{other, {}, OriginRole::Adversary},
+                   cmp),
+      std::invalid_argument)
+      << "prefix mismatch";
+}
+
+}  // namespace
+}  // namespace marcopolo::bgp

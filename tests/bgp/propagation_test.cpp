@@ -287,5 +287,40 @@ TEST_P(PropagationProperties, PathsAreLoopFreeAndValleyFree) {
 INSTANTIATE_TEST_SUITE_P(Origins, PropagationProperties,
                          ::testing::Range(0, 8));
 
+TEST(Propagation, ParallelLinksDeliverDistinctIngressPops) {
+  // Cloud backbones attach the same neighbor at several POPs. Each link's
+  // candidate must carry the receiver-side POP of ITS OWN link — a scan of
+  // the receiver's neighbor list for the sender finds only the first link
+  // and mislabels the rest.
+  AsGraph g;
+  const NodeId cloud = g.add_as(Asn{1});
+  const NodeId edge = g.add_as(Asn{2});
+  const PopId fra{10};
+  const PopId sin{11};
+  g.add_provider_customer(cloud, edge, /*provider_pop=*/fra,
+                          /*customer_pop=*/PopId{20});
+  g.add_provider_customer(cloud, edge, /*provider_pop=*/sin,
+                          /*customer_pop=*/PopId{21});
+
+  const auto result = propagate(g, {origin_at(edge)}, PropagationConfig{});
+  ASSERT_TRUE(result.reachable(cloud));
+  const auto& rib = result.rib_in[cloud.value];
+  ASSERT_EQ(rib.size(), 2u);
+  std::set<std::uint16_t> pops;
+  for (const auto& cand : rib) pops.insert(cand.ingress_pop.value);
+  EXPECT_EQ(pops, (std::set<std::uint16_t>{fra.value, sin.value}))
+      << "both cloud-side POPs must appear, not the first one twice";
+
+  // Down direction too: the edge hears the cloud's (non-)routes at its own
+  // side of each link. Seed at the cloud instead.
+  const auto down = propagate(g, {origin_at(cloud)}, PropagationConfig{});
+  ASSERT_TRUE(down.reachable(edge));
+  std::set<std::uint16_t> edge_pops;
+  for (const auto& cand : down.rib_in[edge.value]) {
+    edge_pops.insert(cand.ingress_pop.value);
+  }
+  EXPECT_EQ(edge_pops, (std::set<std::uint16_t>{20, 21}));
+}
+
 }  // namespace
 }  // namespace marcopolo::bgp

@@ -1,0 +1,89 @@
+// Integration: the single-perspective calibration (~50% of the Internet
+// routes to the victim under an equally-specific hijack, DESIGN.md §2)
+// must hold across topology scales, not just the ~900-AS default. This is
+// the property that lets scaled campaigns reuse the paper's resilience
+// bands. Runs the incremental engine, so the 50k-AS delta path is
+// exercised end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bgp/delta.hpp"
+#include "netsim/random.hpp"
+#include "topo/internet.hpp"
+
+namespace marcopolo {
+namespace {
+
+const netsim::Ipv4Prefix kPrefix = *netsim::Ipv4Prefix::parse("203.0.113.0/24");
+
+/// Fraction of all ASes whose best route leads to the victim after an
+/// equally-specific hijack replayed over the victim's baseline.
+double victim_fraction(const bgp::DeltaPropagation& delta) {
+  const auto& g = delta.graph();
+  std::size_t victim_side = 0;
+  for (std::uint32_t i = 0; i < g.size(); ++i) {
+    const auto role = delta.role_reached(bgp::NodeId{i});
+    if (role == bgp::OriginRole::Victim) ++victim_side;
+  }
+  return static_cast<double>(victim_side) / static_cast<double>(g.size());
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+class ScaledCalibration : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaledCalibration, EquallySpecificHijackSplitsNearHalf) {
+  const int total = GetParam();
+  const topo::Internet net(topo::scaled_internet_config(total));
+  const bgp::AsGraph& g = net.graph();
+  ASSERT_EQ(g.size(), static_cast<std::size_t>(total));
+  ASSERT_NO_THROW(g.validate());
+
+  // Sample (victim, adversary) pairs from the stub layer — the paper's
+  // victims and adversaries are edge networks — one baseline per victim,
+  // several adversaries replayed over it.
+  netsim::Rng rng(0x5CA1ED);
+  bgp::PropagationConfig pc;
+  pc.tie_break = bgp::TieBreakMode::Hashed;
+  pc.tie_break_seed = 0xCAFE;
+  const bgp::RouteComparator cmp(pc.tie_break, pc.tie_break_seed);
+
+  std::vector<double> fractions;
+  bgp::DeltaPropagation delta;
+  for (int v = 0; v < 4; ++v) {
+    const bgp::NodeId victim = net.stubs()[rng.index(net.stubs().size())];
+    delta.set_victim_baseline(g, victim, kPrefix, pc);
+    for (int a = 0; a < 3; ++a) {
+      bgp::NodeId adversary = net.stubs()[rng.index(net.stubs().size())];
+      while (adversary == victim) {
+        adversary = net.stubs()[rng.index(net.stubs().size())];
+      }
+      delta.replay(adversary,
+                   bgp::Announcement{kPrefix, {}, bgp::OriginRole::Adversary},
+                   cmp);
+      fractions.push_back(victim_fraction(delta));
+    }
+  }
+
+  // Same acceptance band as the paper-properties single-perspective check:
+  // the median split stays near one half at every scale.
+  const double m = median(fractions);
+  EXPECT_GE(m, 0.35) << "victim keeps too little of a " << total
+                     << "-AS Internet";
+  EXPECT_LE(m, 0.65) << "victim keeps too much of a " << total
+                     << "-AS Internet";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScaledCalibration,
+                         ::testing::Values(600, 5000, 50000),
+                         [](const auto& size_info) {
+                           return "ases" + std::to_string(size_info.param);
+                         });
+
+}  // namespace
+}  // namespace marcopolo

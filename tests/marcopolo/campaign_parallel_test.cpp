@@ -90,6 +90,53 @@ TEST(CampaignParallel, PaperCampaignsAreThreadCountInvariant) {
   expect_stores_identical(serial.rpki, parallel.rpki);
 }
 
+TEST(CampaignParallel, IncrementalModeIsPureOptimization) {
+  // `incremental` swaps a per-pair full propagation for one baseline per
+  // announcer plus delta replays; the store must be byte-identical with
+  // the flag on or off, for every attack type and any thread count.
+  for (const auto type :
+       {bgp::AttackType::EquallySpecific, bgp::AttackType::ForgedOriginPrepend,
+        bgp::AttackType::SubPrefix}) {
+    FastCampaignConfig full;
+    full.type = type;
+    full.incremental = false;
+    FastCampaignConfig inc;
+    inc.type = type;
+    inc.incremental = true;
+    const auto reference = run_with_threads(full, 1);
+    expect_stores_identical(reference, run_with_threads(inc, 1));
+    expect_stores_identical(reference, run_with_threads(inc, 4));
+    expect_stores_identical(reference, run_with_threads(inc, 64));
+  }
+}
+
+TEST(CampaignParallel, IncrementalModeIsPureOptimizationUnderRov) {
+  // Same identity with the ROV filter active in both engines: per-victim
+  // prefixes, a ROA per victim, and enforcing transit ASes would surface
+  // any divergence in the delta engine's validation path.
+  const auto& tb = shared_testbed();
+  bgp::RoaRegistry roas;
+  FastCampaignConfig proto;
+  proto.per_victim_prefix = true;
+  for (std::size_t v = 0; v < tb.sites().size(); ++v) {
+    roas.add(bgp::Roa{proto.victim_prefix(v),
+                      tb.internet().graph().asn_of(tb.sites()[v].node),
+                      std::nullopt});
+  }
+  for (const auto type : {bgp::AttackType::EquallySpecific,
+                          bgp::AttackType::ForgedOriginPrepend}) {
+    FastCampaignConfig cfg;
+    cfg.type = type;
+    cfg.per_victim_prefix = true;
+    cfg.roas = &roas;
+    cfg.incremental = false;
+    const auto reference = run_with_threads(cfg, 1);
+    cfg.incremental = true;
+    expect_stores_identical(reference, run_with_threads(cfg, 1));
+    expect_stores_identical(reference, run_with_threads(cfg, 4));
+  }
+}
+
 TEST(CampaignParallel, OverSubscribedThreadCountStillWorks) {
   // More threads than tasks must clamp, not crash or leave holes.
   FastCampaignConfig cfg;

@@ -56,6 +56,13 @@ TEST(Rng, IndexCoversDomain) {
   EXPECT_EQ(*seen.rbegin(), 6u);
 }
 
+TEST(Rng, IndexOfEmptyDomainThrows) {
+  // index(0) used to wrap to SIZE_MAX (bound - 1 underflow) and return
+  // garbage indices; an empty domain is a caller bug and must be loud.
+  Rng rng(4);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
 TEST(Rng, RealInUnitInterval) {
   Rng rng(5);
   for (int i = 0; i < 1000; ++i) {

@@ -156,6 +156,34 @@ TEST(CompareRuns, ImprovementAndThresholdRespectTheConfig) {
       evaluate_gate(compare_runs(base, slower), DiffGateConfig{100.0}).pass);
 }
 
+/// A minimal doc whose single time histogram has all mass at `ns`.
+ReadManifest tiny_hist_doc(std::uint64_t ns) {
+  const std::string doc =
+      R"({"tool": "t", "metrics": {"histograms": {"campaign.phase.classify_ns":
+         {"count": 100, "sum": 0, "min": )" +
+      std::to_string(ns) + R"(, "max": )" + std::to_string(ns) +
+      R"(, "buckets": [{"le": )" + std::to_string(ns) +
+      R"(, "count": 100}]}}}})";
+  const ReadManifest read = ManifestReader::read_string(doc);
+  EXPECT_TRUE(read.ok()) << (read.ok() ? "" : read.errors.front());
+  return read;
+}
+
+TEST(CompareRuns, QuantilesBelowTheJitterFloorAreNotGated) {
+  // Single-digit-microsecond quantiles double — scheduler noise at that
+  // scale, so the gate must not fire while both sides sit under the floor.
+  const DiffGateResult below = evaluate_gate(
+      compare_runs(tiny_hist_doc(2'000), tiny_hist_doc(4'000)),
+      DiffGateConfig{25.0});
+  EXPECT_TRUE(below.pass) << below.violations.front();
+
+  // The same relative regression crossing the floor is real and gated.
+  const DiffGateResult across = evaluate_gate(
+      compare_runs(tiny_hist_doc(2'000), tiny_hist_doc(50'000)),
+      DiffGateConfig{25.0});
+  EXPECT_FALSE(across.pass);
+}
+
 TEST(CompareRuns, WorkloadDriftIsANoteNeverAViolation) {
   const ReadManifest base = bench_doc(0.5, 0.3, 1, /*tasks=*/2048);
   const ReadManifest cand = bench_doc(0.5, 0.3, 1, /*tasks=*/4096);

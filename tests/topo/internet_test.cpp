@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 namespace marcopolo::topo {
 namespace {
@@ -137,6 +139,86 @@ TEST(Internet, DeployRovMarksRequestedFraction) {
   }
   EXPECT_NEAR(static_cast<double>(enforcing) / static_cast<double>(transit),
               0.5, 0.15);
+}
+
+TEST(Internet, NearestTier2MatchesBruteForce) {
+  // The spatial bucket index must select exactly what the old full sort
+  // did: the k closest tier-2s, ties broken by insertion order.
+  Internet net(small_config());
+  const std::vector<netsim::GeoPoint> queries = {
+      {48.86, 2.35},    // Paris
+      {1.35, 103.82},   // Singapore
+      {-23.55, -46.63}, // São Paulo
+      {40.71, -74.0},   // New York
+      {-36.85, 174.76}, // Auckland (sparse bucket neighborhood)
+      {78.22, 15.64},   // Svalbard (far from every tier-2)
+  };
+  for (const auto& q : queries) {
+    for (const std::size_t k :
+         {std::size_t{1}, std::size_t{4}, std::size_t{10},
+          net.tier2().size(), net.tier2().size() + 5}) {
+      const auto got = net.nearest_tier2(q, k);
+      auto expected = net.tier2();
+      std::stable_sort(expected.begin(), expected.end(),
+                       [&](bgp::NodeId a, bgp::NodeId b) {
+                         return netsim::great_circle_km(q, net.location(a)) <
+                                netsim::great_circle_km(q, net.location(b));
+                       });
+      expected.resize(std::min(k, expected.size()));
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].value, expected[i].value)
+            << "rank " << i << " for k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Internet, RedrawPreservesConfiguredMultihoming) {
+  // Small provider pools maximize draw collisions; the generator must
+  // redraw on a duplicate, not silently drop the uplink (which left
+  // ~1/pool of the layer single-homed).
+  InternetConfig cfg;
+  cfg.seed = 7;
+  cfg.num_tier1 = 5;
+  cfg.num_tier2 = 8;
+  cfg.num_tier3 = 2;
+  cfg.num_stub = 400;
+  Internet net(cfg);
+
+  // Every tier-3 is configured for 2 tier-2 uplinks and has 8 candidates.
+  for (const auto n : net.tier3()) {
+    std::size_t tier2_providers = 0;
+    for (const auto& nb : net.graph().providers_of(n)) {
+      if (net.tier(nb.id) == AsTier::Tier2) ++tier2_providers;
+    }
+    EXPECT_GE(tier2_providers, 2u)
+        << "tier-3 AS" << net.graph().asn_of(n).value << " lost an uplink";
+  }
+
+  // Stubs draw 1 or 2 uplinks (mean 1.5). Dropped collisions drag the
+  // mean toward ~1.4 with pools this small.
+  std::size_t links = 0;
+  for (const auto n : net.stubs()) {
+    links += net.graph().providers_of(n).size();
+  }
+  const double mean =
+      static_cast<double>(links) / static_cast<double>(net.stubs().size());
+  EXPECT_GE(mean, 1.45);
+  EXPECT_LE(mean, 1.58);
+}
+
+TEST(Internet, ScaledConfigKeepsTierProportions) {
+  for (const int total : {600, 5000, 50000}) {
+    const InternetConfig cfg = scaled_internet_config(total);
+    const int sum =
+        cfg.num_tier1 + cfg.num_tier2 + cfg.num_tier3 + cfg.num_stub;
+    EXPECT_EQ(sum, total);
+    EXPECT_GE(cfg.num_tier1, 12);
+    EXPECT_LE(cfg.num_tier1, 16);
+    EXPECT_GE(cfg.num_stub, total * 3 / 5) << "stubs must dominate";
+  }
+  EXPECT_THROW((void)scaled_internet_config(32), std::invalid_argument);
 }
 
 TEST(Internet, RejectsDegenerateConfig) {
