@@ -6,19 +6,38 @@
 // the way: every thread count must produce a byte-identical ResultStore
 // pair, with metrics enabled. The JSON carries everything needed to
 // interpret a result file on its own: the source version (git describe),
-// hardware thread count, the exact campaign config, and the full metrics
-// snapshot of the serial run. Usage:
+// hostname, hardware thread count, perf-counter availability, the exact
+// campaign config, and the full metrics snapshot of the serial run.
+// Usage:
 //
-//   campaign_wallclock [--trace-out <dir>] [output.json] [thread counts...]
+//   campaign_wallclock [--trace-out <dir>] [--phases <csv>]
+//                      [output.json] [thread counts...]
 //
 // Defaults: JSON to stdout-adjacent "campaign_wallclock.json", thread
-// counts {1, 2, 4, 8}.
+// counts {1, 2, 4, 8}, all phases.
 //
-// The bench always finishes with an extra serial run under the flight
-// recorder and reports the relative cost as "recording_overhead" in the
-// JSON (plus the on/off byte-identity of the recorded run). With
-// --trace-out the flight journal from that run is also exported as a
-// trace bundle into <dir>.
+// --phases selects which measurement groups run, so CI and local loops
+// can re-run one gated phase without paying for the rest (in particular,
+// re-measuring the optimizer or resilience kernels without the 50k-AS
+// build). Tokens: runs, recording, optimizer, resilience, scaled — or a
+// gated phase name (optimizer_exhaustive_ms, resilience_kernel_ms, ...),
+// which selects its group. Sections for skipped groups are omitted from
+// the JSON and their exit-code checks don't apply.
+//
+// Every gated single-threaded phase runs under an obs::PhaseCounters
+// scope: its JSON row carries instructions/ipc/cache_miss_rate and
+// peak-RSS next to the wall-clock, giving `mpinspect diff` a
+// deterministic quantity to gate at 3% where wall-clock needs 25%. On
+// hosts that deny perf_event_open the top-level "perf_counters" field
+// says "unavailable" (with the errno in "perf_counters_reason") and the
+// phase rows simply omit counter fields.
+//
+// The recording block always finishes with an extra serial run under the
+// flight recorder and reports the relative cost as "recording_overhead"
+// (plus the on/off byte-identity of the recorded run). With --trace-out
+// the flight journal from a counter-enabled recorded run is exported as
+// a trace bundle into <dir> — its task spans carry instructions/cycles
+// args when the host has counters.
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -30,10 +49,15 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "analysis/optimizer.hpp"
 #include "analysis/scalar_reference.hpp"
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace_export.hpp"
 
 using namespace marcopolo;
@@ -54,15 +78,81 @@ std::string dataset_bytes(const core::CampaignDataset& data) {
   return store_bytes(data.no_rpki) + store_bytes(data.rpki);
 }
 
+std::string hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+/// Which measurement groups this invocation runs (--phases).
+struct PhaseSelection {
+  bool runs = true;
+  bool recording = true;
+  bool optimizer = true;
+  bool resilience = true;
+  bool scaled = true;
+
+  /// Parse a --phases csv; returns false on an unknown token.
+  static bool parse(const std::string& csv, PhaseSelection& out,
+                    std::string& bad_token) {
+    out = PhaseSelection{false, false, false, false, false};
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+      std::size_t comma = csv.find(',', pos);
+      if (comma == std::string::npos) comma = csv.size();
+      const std::string token = csv.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (token.empty()) continue;
+      // Gated phase names select the group that produces them, so a CI
+      // log's failing phase name can be pasted straight back in.
+      if (token == "runs") {
+        out.runs = true;
+      } else if (token == "recording") {
+        out.recording = true;
+      } else if (token == "optimizer" || token == "optimizer_exhaustive_ms" ||
+                 token == "optimizer_exhaustive_scalar_ms") {
+        out.optimizer = true;
+      } else if (token == "resilience" || token == "resilience_kernel_ms") {
+        out.resilience = true;
+      } else if (token == "scaled" || token == "scaled_campaign_50k_ms") {
+        out.scaled = true;
+      } else {
+        bad_token = token;
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// One gated phase row for the JSON "phases" array.
+struct PhaseRow {
+  std::string name;
+  double seconds = 0.0;
+  obs::PhaseStats stats;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string out_path;
   std::vector<std::size_t> thread_counts;
+  PhaseSelection select;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
+      std::string bad;
+      if (!PhaseSelection::parse(argv[++i], select, bad)) {
+        std::cerr << "unknown phase \"" << bad
+                  << "\" (valid: runs, recording, optimizer, resilience, "
+                     "scaled, or a gated phase name)"
+                  << std::endl;
+        return 2;
+      }
     } else if (out_path.empty()) {
       out_path = argv[i];
     } else {
@@ -70,7 +160,8 @@ int main(int argc, char** argv) {
         thread_counts.push_back(static_cast<std::size_t>(std::stoul(argv[i])));
       } catch (const std::exception&) {
         std::cerr << "usage: campaign_wallclock [--trace-out <dir>] "
-                     "[output.json] [thread counts...]\n  bad thread count: "
+                     "[--phases <csv>] [output.json] [thread counts...]\n"
+                     "  bad thread count: "
                   << argv[i] << std::endl;
         return 2;
       }
@@ -79,10 +170,30 @@ int main(int argc, char** argv) {
   if (out_path.empty()) out_path = "campaign_wallclock.json";
   if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
 
-  std::cerr << "building default testbed..." << std::endl;
-  const core::Testbed testbed{core::TestbedConfig{}};
   const auto clock = [] { return std::chrono::steady_clock::now(); };
   constexpr std::uint64_t kSeed = 0xCAFE;
+
+  // One perf group for every single-threaded gated phase below (phases
+  // run on this thread; the parallel sweep is gated on wall-clock only,
+  // where a per-thread group could not see the workers anyway).
+  const bool counters_available = obs::PerfCounterGroup::probe();
+  obs::PerfCounterGroup perf;
+  const obs::PerfCounterGroup* perf_group =
+      perf.available() ? &perf : nullptr;
+  std::cerr << "perf counters: "
+            << (counters_available ? "available"
+                                   : "unavailable (" +
+                                         obs::PerfCounterGroup::probe_reason() +
+                                         ")")
+            << std::endl;
+
+  const bool need_default_testbed = select.runs || select.recording ||
+                                    select.optimizer || select.resilience;
+  std::optional<core::Testbed> testbed;
+  if (need_default_testbed) {
+    std::cerr << "building default testbed..." << std::endl;
+    testbed.emplace(core::TestbedConfig{});
+  }
 
   struct Row {
     std::size_t threads;
@@ -98,92 +209,123 @@ int main(int argc, char** argv) {
   bool have_serial_metrics = false;
   std::optional<core::CampaignDataset> analysis_data;
 
-  for (const std::size_t threads : thread_counts) {
-    // Fresh registry per run so each snapshot describes one run only; the
-    // invariant check below therefore also covers "metrics enabled".
-    obs::MetricsRegistry registry;
-    const auto t0 = clock();
-    const auto data = core::run_paper_campaigns(
-        testbed, bgp::TieBreakMode::Hashed, kSeed, threads, &registry);
-    const auto t1 = clock();
-    const double secs =
-        std::chrono::duration<double>(t1 - t0).count();
-    const std::string bytes = dataset_bytes(data);
-    if (reference.empty()) reference = bytes;
-    const bool identical = bytes == reference;
-    const obs::MetricsSnapshot snap = registry.snapshot();
-    if (threads == 1) {
-      serial_seconds = secs;
-      serial_metrics = snap;
+  if (select.runs) {
+    for (const std::size_t threads : thread_counts) {
+      // Fresh registry per run so each snapshot describes one run only;
+      // the invariant check below therefore also covers "metrics
+      // enabled". hw_counters stays OFF for the timed sweep: the
+      // per-task group reads would cost ~10% on the serial row and the
+      // wall-clock gate would eat the difference.
+      obs::MetricsRegistry registry;
+      const auto t0 = clock();
+      const auto data = core::run_paper_campaigns(
+          *testbed, bgp::TieBreakMode::Hashed, kSeed, threads, &registry);
+      const auto t1 = clock();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      const std::string bytes = dataset_bytes(data);
+      if (reference.empty()) reference = bytes;
+      const bool identical = bytes == reference;
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      if (threads == 1) {
+        serial_seconds = secs;
+        serial_metrics = snap;
+        have_serial_metrics = true;
+      }
+      if (!analysis_data) analysis_data = data;
+      rows.push_back(Row{threads, secs, identical,
+                         snap.counter("campaign.tasks_executed"),
+                         snap.counter("campaign.propagations")});
+      std::cerr << "threads=" << threads << "  " << secs << " s  "
+                << (identical ? "identical" : "MISMATCH") << std::endl;
+    }
+    if (!have_serial_metrics && !rows.empty()) {
+      // No serial run requested: describe the first run instead.
+      obs::MetricsRegistry registry;
+      const auto t0 = clock();
+      (void)core::run_paper_campaigns(*testbed, bgp::TieBreakMode::Hashed,
+                                      kSeed, rows.front().threads, &registry);
+      serial_seconds = std::chrono::duration<double>(clock() - t0).count();
+      serial_metrics = registry.snapshot();
       have_serial_metrics = true;
     }
-    if (!analysis_data) analysis_data = data;
-    rows.push_back(Row{threads, secs, identical,
-                       snap.counter("campaign.tasks_executed"),
-                       snap.counter("campaign.propagations")});
-    std::cerr << "threads=" << threads << "  " << secs << " s  "
-              << (identical ? "identical" : "MISMATCH") << std::endl;
   }
-  if (!have_serial_metrics && !rows.empty()) {
-    // No serial run requested: describe the first run instead.
+  if ((select.optimizer || select.resilience) && !analysis_data) {
+    // Optimizer/resilience phases score a campaign's outcome plane; with
+    // the sweep skipped, produce it once, untimed.
+    std::cerr << "campaign for analysis phases (untimed)..." << std::endl;
     obs::MetricsRegistry registry;
-    const auto t0 = clock();
-    (void)core::run_paper_campaigns(testbed, bgp::TieBreakMode::Hashed, kSeed,
-                                    rows.front().threads, &registry);
-    serial_seconds = std::chrono::duration<double>(clock() - t0).count();
-    serial_metrics = registry.snapshot();
+    analysis_data = core::run_paper_campaigns(
+        *testbed, bgp::TieBreakMode::Hashed, kSeed, 1, &registry);
+    if (!have_serial_metrics) {
+      serial_metrics = registry.snapshot();
+      have_serial_metrics = true;
+    }
   }
 
   // Recording-overhead measurement: alternate plain and recorded serial
   // runs and compare the minima, so scheduler noise (easily ±5% on a
   // loaded box) cancels out of the ratio. Target: <3% overhead; the
   // recorded stores must stay byte-identical (pure-observer invariant).
-  std::cerr << "serial runs with flight recorder..." << std::endl;
   constexpr int kOverheadReps = 3;
   double plain_best = 0.0;
   double recorded_seconds = 0.0;
   bool recorded_identical = true;
   std::size_t journal_tasks = 0;
   std::size_t journal_verdicts = 0;
-  for (int rep = 0; rep < kOverheadReps; ++rep) {
-    {
+  if (select.recording) {
+    std::cerr << "serial runs with flight recorder..." << std::endl;
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+      {
+        const auto t0 = clock();
+        const auto data = core::run_paper_campaigns(
+            *testbed, bgp::TieBreakMode::Hashed, kSeed, 1);
+        const double secs =
+            std::chrono::duration<double>(clock() - t0).count();
+        if (rep == 0 || secs < plain_best) plain_best = secs;
+        if (reference.empty()) reference = dataset_bytes(data);
+      }
+      // The last rep is the one exported with --trace-out; it runs with
+      // hw_counters so recorded task spans carry instruction/cycle args.
+      // That rep is excluded from the best-of overhead timing: counter
+      // reads are part of counter attribution, not recording cost.
+      const bool counters_rep =
+          rep == kOverheadReps - 1 && !trace_out.empty();
+      obs::FlightRecorder flight_recorder;
+      obs::MetricsRegistry registry;
       const auto t0 = clock();
       const auto data = core::run_paper_campaigns(
-          testbed, bgp::TieBreakMode::Hashed, kSeed, 1);
+          *testbed, bgp::TieBreakMode::Hashed, kSeed, 1, &registry,
+          &flight_recorder, {}, /*hw_counters=*/counters_rep);
       const double secs = std::chrono::duration<double>(clock() - t0).count();
-      if (rep == 0 || secs < plain_best) plain_best = secs;
-      if (reference.empty()) reference = dataset_bytes(data);
-    }
-    obs::FlightRecorder flight_recorder;
-    obs::MetricsRegistry registry;
-    const auto t0 = clock();
-    const auto data = core::run_paper_campaigns(testbed,
-                                                bgp::TieBreakMode::Hashed,
-                                                kSeed, 1, &registry,
-                                                &flight_recorder);
-    const double secs = std::chrono::duration<double>(clock() - t0).count();
-    if (rep == 0 || secs < recorded_seconds) recorded_seconds = secs;
-    recorded_identical =
-        recorded_identical && dataset_bytes(data) == reference;
-    const obs::FlightJournal journal = flight_recorder.drain();
-    journal_tasks = journal.task_count();
-    journal_verdicts = journal.verdict_count();
-    if (rep == kOverheadReps - 1 && !trace_out.empty()) {
-      const obs::MetricsSnapshot snap = registry.snapshot();
-      if (!obs::write_trace_dir(trace_out, journal, &snap)) {
-        std::cerr << "failed to write trace bundle to " << trace_out
-                  << std::endl;
-        return 1;
+      if (!counters_rep && (rep == 0 || secs < recorded_seconds)) {
+        recorded_seconds = secs;
       }
-      std::cerr << "wrote trace bundle to " << trace_out << std::endl;
+      recorded_identical =
+          recorded_identical && dataset_bytes(data) == reference;
+      const obs::FlightJournal journal = flight_recorder.drain();
+      journal_tasks = journal.task_count();
+      journal_verdicts = journal.verdict_count();
+      if (rep == kOverheadReps - 1 && !trace_out.empty()) {
+        const obs::MetricsSnapshot snap = registry.snapshot();
+        if (!obs::write_trace_dir(trace_out, journal, &snap)) {
+          std::cerr << "failed to write trace bundle to " << trace_out
+                    << std::endl;
+          return 1;
+        }
+        std::cerr << "wrote trace bundle to " << trace_out << std::endl;
+      }
     }
+    const double overhead =
+        plain_best > 0.0 ? recorded_seconds / plain_best - 1.0 : 0.0;
+    std::cerr << "recording overhead: " << overhead * 100.0 << "% ("
+              << recorded_seconds << " s vs " << plain_best << " s, best of "
+              << kOverheadReps << ")  "
+              << (recorded_identical ? "identical" : "MISMATCH") << std::endl;
   }
   const double recording_overhead =
       plain_best > 0.0 ? recorded_seconds / plain_best - 1.0 : 0.0;
-  std::cerr << "recording overhead: " << recording_overhead * 100.0 << "% ("
-            << recorded_seconds << " s vs " << plain_best << " s, best of "
-            << kOverheadReps << ")  "
-            << (recorded_identical ? "identical" : "MISMATCH") << std::endl;
+
+  std::vector<PhaseRow> phase_rows;
 
   // Exhaustive-optimizer phase: the analysis layer's hot loop at benchmark
   // scale — a (6, N-2) search over every GCP perspective, C(40, 6) =
@@ -192,111 +334,218 @@ int main(int argc, char** argv) {
   // reference (the seed's byte-per-pair path), so one output file both
   // demonstrates the packed-kernel speedup and gives the CI gate a packed
   // wall-clock phase to hold.
-  std::cerr << "exhaustive optimizer, (6, N-2) over GCP..." << std::endl;
-  const auto gcp = testbed.perspectives_of(topo::CloudProvider::Gcp);
-  const analysis::ResilienceAnalyzer analyzer(analysis_data->no_rpki);
-  const analysis::DeploymentOptimizer optimizer(analyzer);
-  analysis::OptimizerConfig ocfg;
-  ocfg.set_size = 6;
-  ocfg.max_failures = 2;
-  ocfg.candidates = gcp;
-  ocfg.top_k = 1;
-  ocfg.threads = 1;
+  std::vector<analysis::PerspectiveIndex> gcp;
+  std::optional<analysis::ResilienceAnalyzer> analyzer;
+  double optimizer_seconds = 0.0;
+  double optimizer_scalar_seconds = 0.0;
+  double optimizer_speedup = 0.0;
+  bool optimizer_agree = true;
   analysis::SearchStats opt_stats;
-  ocfg.stats = &opt_stats;
-  const auto opt_t0 = clock();
-  const auto packed_best = optimizer.best(ocfg);
-  const double optimizer_seconds =
-      std::chrono::duration<double>(clock() - opt_t0).count();
-  std::cerr << "  packed: " << optimizer_seconds << " s  ("
-            << opt_stats.complete_sets_scored << " sets scored, "
-            << opt_stats.subtrees_pruned << " subtrees pruned)" << std::endl;
+  analysis::RankedDeployment packed_best;
+  if (select.optimizer || select.resilience) {
+    gcp = testbed->perspectives_of(topo::CloudProvider::Gcp);
+    analyzer.emplace(analysis_data->no_rpki);
+  }
+  if (select.optimizer) {
+    std::cerr << "exhaustive optimizer, (6, N-2) over GCP..." << std::endl;
+    const analysis::DeploymentOptimizer optimizer(*analyzer);
+    analysis::OptimizerConfig ocfg;
+    ocfg.set_size = 6;
+    ocfg.max_failures = 2;
+    ocfg.candidates = gcp;
+    ocfg.top_k = 1;
+    ocfg.threads = 1;
+    ocfg.hw_counters = true;  // per-worker SearchStats attribution
+    ocfg.stats = &opt_stats;
+    obs::PhaseStats packed_stats;
+    const auto opt_t0 = clock();
+    {
+      obs::PhaseCounters scope(perf_group, &packed_stats);
+      packed_best = optimizer.best(ocfg);
+    }
+    optimizer_seconds =
+        std::chrono::duration<double>(clock() - opt_t0).count();
+    phase_rows.push_back(
+        PhaseRow{"optimizer_exhaustive_ms", optimizer_seconds, packed_stats});
+    std::cerr << "  packed: " << optimizer_seconds << " s  ("
+              << opt_stats.complete_sets_scored << " sets scored, "
+              << opt_stats.subtrees_pruned << " subtrees pruned)"
+              << std::endl;
 
-  const analysis::ScalarReference scalar(analysis_data->no_rpki);
-  const std::size_t opt_required = ocfg.set_size - ocfg.max_failures;
-  const auto scalar_t0 = clock();
-  const auto scalar_best = analysis::scalar_exhaustive_best(
-      scalar, gcp, ocfg.set_size, opt_required);
-  const double optimizer_scalar_seconds =
-      std::chrono::duration<double>(clock() - scalar_t0).count();
-  const bool optimizer_agree =
-      packed_best.score.median == scalar_best.score.median &&
-      packed_best.score.average == scalar_best.score.average &&
-      packed_best.spec.remotes == scalar_best.set;
-  const double optimizer_speedup = optimizer_seconds > 0.0
-                                       ? optimizer_scalar_seconds /
-                                             optimizer_seconds
-                                       : 0.0;
-  std::cerr << "  scalar: " << optimizer_scalar_seconds
-            << " s  (packed speedup " << optimizer_speedup << "x)  "
-            << (optimizer_agree ? "identical" : "MISMATCH") << std::endl;
+    const analysis::ScalarReference scalar(analysis_data->no_rpki);
+    const std::size_t opt_required = ocfg.set_size - ocfg.max_failures;
+    obs::PhaseStats scalar_stats;
+    const auto scalar_t0 = clock();
+    analysis::ScalarSearchBest scalar_best;
+    {
+      obs::PhaseCounters scope(perf_group, &scalar_stats);
+      scalar_best = analysis::scalar_exhaustive_best(scalar, gcp,
+                                                     ocfg.set_size,
+                                                     opt_required);
+    }
+    optimizer_scalar_seconds =
+        std::chrono::duration<double>(clock() - scalar_t0).count();
+    phase_rows.push_back(PhaseRow{"optimizer_exhaustive_scalar_ms",
+                                  optimizer_scalar_seconds, scalar_stats});
+    optimizer_agree =
+        packed_best.score.median == scalar_best.score.median &&
+        packed_best.score.average == scalar_best.score.average &&
+        packed_best.spec.remotes == scalar_best.set;
+    optimizer_speedup =
+        optimizer_seconds > 0.0 ? optimizer_scalar_seconds / optimizer_seconds
+                                : 0.0;
+    std::cerr << "  scalar: " << optimizer_scalar_seconds
+              << " s  (packed speedup " << optimizer_speedup << "x)  "
+              << (optimizer_agree ? "identical" : "MISMATCH") << std::endl;
+  }
+
+  // Resilience-kernel phase: the direct packed-word kernel in isolation —
+  // build_success_mask + score over sliding 6-windows of the GCP pool at
+  // every quorum from 6-0 to 6-5, repeated to a stable ~100ms. This is
+  // the innermost loop every ROADMAP SIMD item targets; with counters it
+  // becomes the lowest-noise number in the file (a fixed instruction
+  // stream, no allocation, no propagation). The checksum both defeats
+  // dead-code elimination and doubles as a determinism check.
+  double resilience_seconds = 0.0;
+  double resilience_checksum = 0.0;
+  std::uint64_t resilience_sets_scored = 0;
+  if (select.resilience) {
+    std::cerr << "resilience direct kernel sweep..." << std::endl;
+    analysis::ResilienceAnalyzer::ScoreScratch scratch =
+        analyzer->make_scratch();
+    constexpr std::size_t kWindow = 6;
+    constexpr int kKernelReps = 40;
+    obs::PhaseStats best_stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      double checksum = 0.0;
+      std::uint64_t scored = 0;
+      obs::PhaseStats stats;
+      const auto t0 = clock();
+      {
+        obs::PhaseCounters scope(perf_group, &stats);
+        for (int r = 0; r < kKernelReps; ++r) {
+          for (std::size_t start = 0; start + kWindow <= gcp.size();
+               ++start) {
+            const std::span<const analysis::PerspectiveIndex> set(
+                gcp.data() + start, kWindow);
+            for (std::size_t required = 1; required <= kWindow; ++required) {
+              const auto score =
+                  analyzer->score_set(set, required, std::nullopt, scratch);
+              checksum += score.median + score.average;
+              ++scored;
+            }
+          }
+        }
+      }
+      const double secs = std::chrono::duration<double>(clock() - t0).count();
+      if (rep == 0 || secs < resilience_seconds) {
+        resilience_seconds = secs;
+        best_stats = stats;
+      }
+      resilience_checksum = checksum;
+      resilience_sets_scored = scored;
+    }
+    phase_rows.push_back(
+        PhaseRow{"resilience_kernel_ms", resilience_seconds, best_stats});
+    std::cerr << "  " << resilience_sets_scored << " scores in "
+              << resilience_seconds << " s (best of 3), checksum "
+              << resilience_checksum << std::endl;
+  }
 
   // Scaled-topology phase: a full 32x31 campaign on a 50k-AS Internet.
   // The incremental engine (one baseline per announcer, delta replays per
   // adversary) is what keeps this within a small multiple of the default
   // ~900-AS testbed's per-matrix wall clock; the phase entry below puts
   // that claim under the CI regression gate.
-  std::cerr << "building 50k-AS testbed..." << std::endl;
-  core::TestbedConfig scaled_cfg;
-  scaled_cfg.internet = topo::scaled_internet_config(50000);
-  const auto build_t0 = clock();
-  const core::Testbed scaled_testbed{scaled_cfg};
-  const double scaled_build_seconds =
-      std::chrono::duration<double>(clock() - build_t0).count();
-  std::cerr << "  " << scaled_testbed.internet().graph().size()
-            << " ASes in " << scaled_build_seconds << " s" << std::endl;
-  core::FastCampaignConfig scaled_run;
-  scaled_run.threads = 1;
-  // Best of 3: a fresh 50k-AS heap makes single runs jitter by tens of
-  // percent (page faults, allocator warm-up), which would flap the gate.
+  double scaled_build_seconds = 0.0;
   double scaled_seconds = 0.0;
+  double scaled_ratio = 0.0;
   bool scaled_complete = true;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto scaled_t0 = clock();
-    const auto scaled_store = core::run_fast_campaign(scaled_testbed,
-                                                      scaled_run);
-    const double rep_seconds =
-        std::chrono::duration<double>(clock() - scaled_t0).count();
-    if (rep == 0 || rep_seconds < scaled_seconds) scaled_seconds = rep_seconds;
-    for (core::SiteIndex v = 0; v < scaled_store.num_sites(); ++v) {
-      for (core::SiteIndex a = 0; a < scaled_store.num_sites(); ++a) {
-        if (v != a && !scaled_store.pair_complete(v, a)) {
-          scaled_complete = false;
+  std::size_t scaled_ases = 0;
+  std::size_t scaled_sites = 0;
+  if (select.scaled) {
+    std::cerr << "building 50k-AS testbed..." << std::endl;
+    core::TestbedConfig scaled_cfg;
+    scaled_cfg.internet = topo::scaled_internet_config(50000);
+    const auto build_t0 = clock();
+    const core::Testbed scaled_testbed{scaled_cfg};
+    scaled_build_seconds =
+        std::chrono::duration<double>(clock() - build_t0).count();
+    scaled_ases = scaled_testbed.internet().graph().size();
+    scaled_sites = scaled_testbed.sites().size();
+    std::cerr << "  " << scaled_ases << " ASes in " << scaled_build_seconds
+              << " s" << std::endl;
+    core::FastCampaignConfig scaled_run;
+    scaled_run.threads = 1;
+    // Best of 3: a fresh 50k-AS heap makes single runs jitter by tens of
+    // percent (page faults, allocator warm-up), which would flap the gate.
+    obs::PhaseStats best_stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      obs::PhaseStats stats;
+      const auto scaled_t0 = clock();
+      std::optional<core::ResultStore> scaled_store;
+      {
+        obs::PhaseCounters scope(perf_group, &stats);
+        scaled_store = core::run_fast_campaign(scaled_testbed, scaled_run);
+      }
+      const double rep_seconds =
+          std::chrono::duration<double>(clock() - scaled_t0).count();
+      if (rep == 0 || rep_seconds < scaled_seconds) {
+        scaled_seconds = rep_seconds;
+        best_stats = stats;
+      }
+      for (core::SiteIndex v = 0; v < scaled_store->num_sites(); ++v) {
+        for (core::SiteIndex a = 0; a < scaled_store->num_sites(); ++a) {
+          if (v != a && !scaled_store->pair_complete(v, a)) {
+            scaled_complete = false;
+          }
         }
       }
     }
+    phase_rows.push_back(
+        PhaseRow{"scaled_campaign_50k_ms", scaled_seconds, best_stats});
+    // The serial default run covers two hijack matrices; compare per
+    // matrix (0 when the sweep was skipped).
+    scaled_ratio = serial_seconds > 0.0
+                       ? scaled_seconds / (serial_seconds * 0.5)
+                       : 0.0;
+    std::cerr << "scaled campaign: " << scaled_seconds << " s  ("
+              << scaled_ratio << "x the default per-matrix serial run)  "
+              << (scaled_complete ? "complete" : "INCOMPLETE") << std::endl;
   }
-  // The serial default run covers two hijack matrices; compare per matrix.
-  const double scaled_ratio = serial_seconds > 0.0
-                                  ? scaled_seconds / (serial_seconds * 0.5)
-                                  : 0.0;
-  std::cerr << "scaled campaign: " << scaled_seconds << " s  ("
-            << scaled_ratio << "x the default per-matrix serial run)  "
-            << (scaled_complete ? "complete" : "INCOMPLETE") << std::endl;
 
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"benchmark\": \"run_paper_campaigns\",\n"
       << "  \"version\": \"" << obs::json_escape(MARCOPOLO_GIT_DESCRIBE)
       << "\",\n"
-      << "  \"hardware_concurrency\": "
+      << "  \"hostname\": \"" << obs::json_escape(hostname()) << "\",\n"
+      << "  \"perf_counters\": \""
+      << (counters_available ? "available" : "unavailable") << "\",\n";
+  if (!counters_available) {
+    out << "  \"perf_counters_reason\": \""
+        << obs::json_escape(obs::PerfCounterGroup::probe_reason()) << "\",\n";
+  }
+  out << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
       << "  \"thread_counts\": [";
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     out << (i ? ", " : "") << thread_counts[i];
   }
-  out << "],\n"
-      << "  \"config\": {\n"
-      << "    \"testbed\": \"default\",\n"
-      << "    \"sites\": " << testbed.sites().size() << ",\n"
-      << "    \"perspectives\": " << testbed.perspectives().size() << ",\n"
-      << "    \"attack_types\": [\"equally_specific\", "
-         "\"forged_origin_prepend\"],\n"
-      << "    \"tie_break\": \"hashed\",\n"
-      << "    \"tie_break_seed\": " << kSeed << ",\n"
-      << "    \"metrics_enabled\": true\n"
-      << "  },\n"
-      << "  \"runs\": [\n";
+  out << "],\n";
+  if (testbed) {
+    out << "  \"config\": {\n"
+        << "    \"testbed\": \"default\",\n"
+        << "    \"sites\": " << testbed->sites().size() << ",\n"
+        << "    \"perspectives\": " << testbed->perspectives().size() << ",\n"
+        << "    \"attack_types\": [\"equally_specific\", "
+           "\"forged_origin_prepend\"],\n"
+        << "    \"tie_break\": \"hashed\",\n"
+        << "    \"tie_break_seed\": " << kSeed << ",\n"
+        << "    \"metrics_enabled\": true\n"
+        << "  },\n";
+  }
+  out << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
@@ -310,49 +559,64 @@ int main(int argc, char** argv) {
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
-      << "  \"phases\": [\n"
-      << "    {\"name\": \"optimizer_exhaustive_ms\", \"seconds\": "
-      << optimizer_seconds << ", \"ms\": " << optimizer_seconds * 1000.0
-      << "},\n"
-      << "    {\"name\": \"optimizer_exhaustive_scalar_ms\", \"seconds\": "
-      << optimizer_scalar_seconds
-      << ", \"ms\": " << optimizer_scalar_seconds * 1000.0 << "},\n"
-      // The 50k testbed build is allocation-bound and jitters ~30% run to
-      // run, so it is reported under "scaled" but not gated as a phase.
-      << "    {\"name\": \"scaled_campaign_50k_ms\", \"seconds\": "
-      << scaled_seconds << ", \"ms\": " << scaled_seconds * 1000.0 << "}\n"
-      << "  ],\n"
-      << "  \"scaled\": {\n"
-      << "    \"ases\": " << scaled_testbed.internet().graph().size() << ",\n"
-      << "    \"sites\": " << scaled_testbed.sites().size() << ",\n"
-      << "    \"build_seconds\": " << scaled_build_seconds << ",\n"
-      << "    \"campaign_seconds\": " << scaled_seconds << ",\n"
-      << "    \"per_matrix_ratio_vs_default\": " << scaled_ratio << ",\n"
-      << "    \"complete\": " << (scaled_complete ? "true" : "false") << "\n"
-      << "  },\n"
-      << "  \"optimizer\": {\n"
-      << "    \"candidates\": " << gcp.size() << ",\n"
-      << "    \"set_size\": " << ocfg.set_size << ",\n"
-      << "    \"max_failures\": " << ocfg.max_failures << ",\n"
-      << "    \"threads\": 1,\n"
-      << "    \"complete_sets_scored\": " << opt_stats.complete_sets_scored
-      << ",\n"
-      << "    \"subtrees_pruned\": " << opt_stats.subtrees_pruned << ",\n"
-      << "    \"best_median\": " << packed_best.score.median << ",\n"
-      << "    \"best_average\": " << packed_best.score.average << ",\n"
-      << "    \"packed_speedup_vs_scalar\": " << optimizer_speedup << ",\n"
-      << "    \"scalar_agrees\": " << (optimizer_agree ? "true" : "false")
-      << "\n"
-      << "  },\n"
-      << "  \"recording\": {\n"
-      << "    \"seconds\": " << recorded_seconds << ",\n"
-      << "    \"recording_overhead\": " << recording_overhead << ",\n"
-      << "    \"store_identical\": "
-      << (recorded_identical ? "true" : "false") << ",\n"
-      << "    \"task_spans\": " << journal_tasks << ",\n"
-      << "    \"verdicts\": " << journal_verdicts << "\n"
-      << "  },\n"
-      << "  \"metrics\": ";
+      << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phase_rows.size(); ++i) {
+    const PhaseRow& p = phase_rows[i];
+    out << "    {\"name\": \"" << p.name << "\", \"seconds\": " << p.seconds
+        << ", \"ms\": " << p.seconds * 1000.0;
+    obs::write_phase_stats_json(out, p.stats);
+    out << "}" << (i + 1 < phase_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  if (select.scaled) {
+    out << "  \"scaled\": {\n"
+        << "    \"ases\": " << scaled_ases << ",\n"
+        << "    \"sites\": " << scaled_sites << ",\n"
+        // The 50k testbed build is allocation-bound and jitters ~30% run
+        // to run, so it is reported here but not gated as a phase.
+        << "    \"build_seconds\": " << scaled_build_seconds << ",\n"
+        << "    \"campaign_seconds\": " << scaled_seconds << ",\n"
+        << "    \"per_matrix_ratio_vs_default\": " << scaled_ratio << ",\n"
+        << "    \"complete\": " << (scaled_complete ? "true" : "false")
+        << "\n  },\n";
+  }
+  if (select.optimizer) {
+    out << "  \"optimizer\": {\n"
+        << "    \"candidates\": " << gcp.size() << ",\n"
+        << "    \"set_size\": 6,\n"
+        << "    \"max_failures\": 2,\n"
+        << "    \"threads\": 1,\n"
+        << "    \"complete_sets_scored\": " << opt_stats.complete_sets_scored
+        << ",\n"
+        << "    \"subtrees_pruned\": " << opt_stats.subtrees_pruned << ",\n";
+    if (opt_stats.counters.valid) {
+      out << "    \"instructions\": " << opt_stats.counters.instructions
+          << ",\n"
+          << "    \"cycles\": " << opt_stats.counters.cycles << ",\n";
+    }
+    out << "    \"best_median\": " << packed_best.score.median << ",\n"
+        << "    \"best_average\": " << packed_best.score.average << ",\n"
+        << "    \"packed_speedup_vs_scalar\": " << optimizer_speedup << ",\n"
+        << "    \"scalar_agrees\": " << (optimizer_agree ? "true" : "false")
+        << "\n  },\n";
+  }
+  if (select.resilience) {
+    out << "  \"resilience_kernel\": {\n"
+        << "    \"candidates\": " << gcp.size() << ",\n"
+        << "    \"window\": 6,\n"
+        << "    \"sets_scored\": " << resilience_sets_scored << ",\n"
+        << "    \"checksum\": " << resilience_checksum << "\n  },\n";
+  }
+  if (select.recording) {
+    out << "  \"recording\": {\n"
+        << "    \"seconds\": " << recorded_seconds << ",\n"
+        << "    \"recording_overhead\": " << recording_overhead << ",\n"
+        << "    \"store_identical\": "
+        << (recorded_identical ? "true" : "false") << ",\n"
+        << "    \"task_spans\": " << journal_tasks << ",\n"
+        << "    \"verdicts\": " << journal_verdicts << "\n  },\n";
+  }
+  out << "  \"metrics\": ";
   obs::write_metrics_json(out, serial_metrics, "  ");
   out << "\n}\n";
   std::cerr << "wrote " << out_path << std::endl;
@@ -364,16 +628,16 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!recorded_identical) {
+  if (select.recording && !recorded_identical) {
     std::cerr << "determinism violation with flight recorder on" << std::endl;
     return 1;
   }
-  if (!optimizer_agree) {
+  if (select.optimizer && !optimizer_agree) {
     std::cerr << "packed optimizer disagrees with scalar reference"
               << std::endl;
     return 1;
   }
-  if (!scaled_complete) {
+  if (select.scaled && !scaled_complete) {
     std::cerr << "scaled campaign left incomplete pairs" << std::endl;
     return 1;
   }

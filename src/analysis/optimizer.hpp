@@ -26,6 +26,7 @@
 
 #include "analysis/resilience.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "topo/rir.hpp"
 
 namespace marcopolo::analysis {
@@ -48,6 +49,11 @@ enum class SearchStrategy : std::uint8_t { Exhaustive, Beam };
 struct SearchStats {
   std::size_t complete_sets_scored = 0;
   std::size_t subtrees_pruned = 0;
+  /// Hardware counters over the exhaustive workers' DFS loops, summed
+  /// across threads (each worker reads its own per-thread perf group).
+  /// Invalid unless OptimizerConfig::hw_counters was on and the host
+  /// allowed perf_event_open.
+  obs::CounterSample counters;
 };
 
 struct OptimizerConfig {
@@ -91,6 +97,13 @@ struct OptimizerConfig {
   /// Search workers accumulate locally and flush after the join, so the
   /// DFS hot path is untouched. Null = uninstrumented.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Attribute hardware counters to the exhaustive search: each worker
+  /// opens a per-thread obs::PerfCounterGroup and brackets its whole DFS
+  /// loop (two reads per worker — the hot path itself is untouched).
+  /// Totals land in SearchStats::counters and, when `metrics` is
+  /// attached, under "optimizer.instructions" etc. Degrades to off on
+  /// hosts without perf_event_open, leaving output byte-identical.
+  bool hw_counters = false;
 };
 
 /// Not thread-safe: the optimizer owns reusable scoring scratch (a count

@@ -87,6 +87,18 @@ struct FastCampaignConfig {
   /// worker), so it must be thread-safe; it must not touch the store.
   std::function<void(std::size_t, std::size_t)> progress;
   std::size_t progress_every = 64;
+  /// Open a per-worker perf_event group (obs::PerfCounterGroup) and
+  /// attribute instructions/cycles to the campaign and its phases:
+  /// campaign.{instructions,cycles,cache_references,cache_misses,
+  /// branch_misses} counters, campaign.phase.*_instructions, and
+  /// instructions/cycles args on recorded task spans. Opt-in (default
+  /// off: zero syscalls on the hot path, so the timed bench sweep is
+  /// unaffected) and a pure observer like `metrics`/`recorder` — the
+  /// store is byte-identical with counters on, off, or unavailable
+  /// (asserted by tests). On hosts where perf_event_open is denied the
+  /// flag degrades to off: no counter metrics are interned, so output
+  /// matches a counters-off run byte for byte.
+  bool hw_counters = false;
 
   /// The prefix victim `v` announces under this config.
   [[nodiscard]] netsim::Ipv4Prefix victim_prefix(std::size_t v) const {
@@ -121,6 +133,7 @@ struct CampaignDataset {
     std::uint64_t tie_break_seed, std::size_t threads = 0,
     obs::MetricsRegistry* metrics = nullptr,
     obs::FlightRecorder* recorder = nullptr,
-    const std::function<void(std::size_t, std::size_t)>& progress = {});
+    const std::function<void(std::size_t, std::size_t)>& progress = {},
+    bool hw_counters = false);
 
 }  // namespace marcopolo::core

@@ -91,6 +91,13 @@ struct TaskSpanRecord {
   std::uint64_t propagate_ns = 0;
   std::uint64_t classify_ns = 0;
   std::uint64_t record_ns = 0;
+  /// Hardware counters across the whole task, from the worker's own
+  /// perf group (fast_campaign `hw_counters`); 0 when counters were off
+  /// or unavailable — the journal omits zero fields, keeping output
+  /// byte-identical to pre-counter runs (schema-1 forward-compatible,
+  /// same policy as the worker id).
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
 };
 
 /// One propagation-engine run (a task runs 1–2: SubPrefix attacks two).

@@ -20,6 +20,7 @@
 
 #include "obs/json.hpp"  // json_escape (the writers' shared escaper)
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace marcopolo::obs {
 
@@ -31,6 +32,15 @@ namespace marcopolo::obs {
 /// `indent` is prepended to every line after the first.
 void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
                         std::string_view indent = {});
+
+/// Append the counter/memory fields of one PhaseStats to a JSON object
+/// under construction (emits ", \"instructions\": N, ..." — caller owns
+/// the braces). Counter fields appear only when the sample is valid and
+/// memory fields only when /proc was readable, so counter-less hosts
+/// produce phase rows byte-identical to the pre-counter format. Shared
+/// between RunManifest and the campaign_wallclock bench so both emit the
+/// exact field names manifest_reader parses.
+void write_phase_stats_json(std::ostream& out, const PhaseStats& stats);
 
 class RunManifest {
  public:
@@ -54,6 +64,12 @@ class RunManifest {
   /// Record a completed wall-clock phase.
   void add_phase(std::string_view name, double seconds);
 
+  /// Record a phase with hardware-counter / memory attribution. Invalid
+  /// stats (counters unavailable, /proc unreadable) degrade to the plain
+  /// wall-clock row — call sites never branch on availability.
+  void add_phase(std::string_view name, double seconds,
+                 const PhaseStats& stats);
+
   /// Serialize config + phases + `snapshot` as one JSON document.
   void write_json(std::ostream& out, const MetricsSnapshot& snapshot) const;
 
@@ -65,9 +81,15 @@ class RunManifest {
  private:
   using Value = std::variant<std::string, std::int64_t, double, bool>;
 
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    PhaseStats stats;  // counters.valid / mem_valid gate serialization
+  };
+
   std::string tool_;
   std::vector<std::pair<std::string, Value>> config_;
-  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<Phase> phases_;
 };
 
 }  // namespace marcopolo::obs

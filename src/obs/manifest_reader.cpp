@@ -92,12 +92,32 @@ ReadManifest ManifestReader::read_string(const std::string& text) {
       out.config.emplace_back(key, display_string(value));
     }
   }
+  out.perf_counters = doc.string_or("perf_counters", "");
   if (const json::Value* phases = doc.find("phases");
       phases != nullptr && phases->is_array()) {
     for (const json::Value& phase : phases->array()) {
       if (!phase.is_object()) continue;
-      out.phases.emplace_back(phase.string_or("name", "?"),
-                              phase.number_or("seconds", 0.0));
+      ReadPhase row;
+      row.name = phase.string_or("name", "?");
+      row.seconds = phase.number_or("seconds", 0.0);
+      // "instructions" is the group leader: its presence marks a
+      // counter-bearing row (a phase that retired zero instructions
+      // does not occur — the scope itself retires some).
+      if (phase.find("instructions") != nullptr) {
+        row.has_counters = true;
+        row.instructions = phase.u64_or("instructions", 0);
+        row.cycles = phase.u64_or("cycles", 0);
+        row.cache_references = phase.u64_or("cache_references", 0);
+        row.cache_misses = phase.u64_or("cache_misses", 0);
+        row.branch_misses = phase.u64_or("branch_misses", 0);
+      }
+      if (phase.find("peak_rss_kb") != nullptr) {
+        row.has_mem = true;
+        row.peak_rss_kb = phase.u64_or("peak_rss_kb", 0);
+        row.rss_delta_kb =
+            static_cast<std::int64_t>(phase.number_or("rss_delta_kb", 0.0));
+      }
+      out.phases.push_back(std::move(row));
     }
   }
   if (const json::Value* metrics = doc.find("metrics");

@@ -22,6 +22,38 @@
 
 namespace marcopolo::obs {
 
+/// One wall-clock phase row, with hardware-counter / memory attribution
+/// when the writing host had them (has_counters / has_mem distinguish
+/// "zero" from "absent" — pre-counter documents parse with both false).
+struct ReadPhase {
+  std::string name;
+  double seconds = 0.0;
+
+  bool has_counters = false;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  bool has_mem = false;
+  std::uint64_t peak_rss_kb = 0;
+  std::int64_t rss_delta_kb = 0;
+
+  /// Recomputed from the raw counts (like the pNN quantiles, the derived
+  /// ipc/cache_miss_rate fields in the file are never trusted).
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  [[nodiscard]] double cache_miss_rate() const {
+    return cache_references == 0 ? 0.0
+                                 : static_cast<double>(cache_misses) /
+                                       static_cast<double>(cache_references);
+  }
+};
+
 /// One campaign_wallclock thread-count run row.
 struct BenchRunRow {
   std::uint64_t threads = 0;
@@ -45,7 +77,12 @@ struct ReadManifest {
   /// Config echo, values re-serialized as display strings.
   std::vector<std::pair<std::string, std::string>> config;
   /// Wall-clock phases in document order.
-  std::vector<std::pair<std::string, double>> phases;
+  std::vector<ReadPhase> phases;
+
+  /// Counter availability echoed by the writer ("available" /
+  /// "unavailable"); empty for documents that predate counters. Lets
+  /// diff explain *why* counter columns are missing.
+  std::string perf_counters;
 
   MetricsSnapshot metrics;
 

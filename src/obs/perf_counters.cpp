@@ -1,0 +1,158 @@
+#include "obs/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace marcopolo::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr int kEvents = PerfCounterGroup::kEvents;
+constexpr std::uint32_t kEventConfigs[kEvents] = {
+    PERF_COUNT_HW_INSTRUCTIONS, PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES};
+
+int open_event(std::uint32_t config, int group_fd, std::uint64_t* id_out) {
+  perf_event_attr attr{};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  if (group_fd < 0) attr.disabled = 1;  // Leader starts disabled.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  // pid=0, cpu=-1: this thread, any CPU — counts migrate with the thread.
+  int fd = static_cast<int>(::syscall(SYS_perf_event_open, &attr, 0, -1,
+                                      group_fd, 0UL));
+  if (fd >= 0 && id_out != nullptr) {
+    if (::ioctl(fd, PERF_EVENT_IOC_ID, id_out) != 0) *id_out = 0;
+  }
+  return fd;
+}
+
+std::string describe_errno(int err) {
+  std::string reason = "perf_event_open: ";
+  reason += std::strerror(err);
+  if (err == EACCES || err == EPERM) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " (perf_event_paranoid=%d)",
+                  PerfCounterGroup::paranoid_level());
+    reason += buf;
+  }
+  return reason;
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  fds_.fill(-1);
+  int leader = open_event(kEventConfigs[0], -1, &ids_[0]);
+  if (leader < 0) {
+    reason_ = describe_errno(errno);
+    return;
+  }
+  fds_[0] = leader;
+  for (std::size_t i = 1; i < kEvents; ++i) {
+    // Optional members: a PMU missing one event degrades, not disables.
+    fds_[i] = open_event(kEventConfigs[i], leader, &ids_[i]);
+  }
+  ::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+CounterSample PerfCounterGroup::read() const {
+  CounterSample sample;
+  if (!available()) return sample;
+  // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
+  //   u64 nr; { u64 value; u64 id; } values[nr];
+  std::uint64_t buf[1 + 2 * kEvents] = {};
+  ssize_t n = ::read(fds_[0], buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(sizeof(std::uint64_t))) return sample;
+  std::uint64_t nr = buf[0];
+  if (nr > kEvents) nr = kEvents;
+  std::uint64_t counts[kEvents] = {};
+  for (std::uint64_t v = 0; v < nr; ++v) {
+    std::uint64_t value = buf[1 + 2 * v];
+    std::uint64_t id = buf[2 + 2 * v];
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      if (fds_[i] >= 0 && ids_[i] == id) {
+        counts[i] = value;
+        break;
+      }
+    }
+  }
+  sample.instructions = counts[0];
+  sample.cycles = counts[1];
+  sample.cache_references = counts[2];
+  sample.cache_misses = counts[3];
+  sample.branch_misses = counts[4];
+  sample.valid = true;
+  return sample;
+}
+
+int PerfCounterGroup::paranoid_level() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+  if (f == nullptr) return -1;
+  int level = -1;
+  if (std::fscanf(f, "%d", &level) != 1) level = -1;
+  std::fclose(f);
+  return level;
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup() {
+  fds_.fill(-1);
+  reason_ = "perf_event_open: unsupported platform";
+}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+CounterSample PerfCounterGroup::read() const { return CounterSample{}; }
+
+int PerfCounterGroup::paranoid_level() { return -1; }
+
+#endif  // __linux__
+
+namespace {
+struct ProbeResult {
+  bool available = false;
+  std::string reason;
+};
+
+const ProbeResult& cached_probe() {
+  static const ProbeResult result = [] {
+    ProbeResult r;
+    PerfCounterGroup group;
+    r.available = group.available();
+    r.reason = group.unavailable_reason();
+    return r;
+  }();
+  return result;
+}
+}  // namespace
+
+bool PerfCounterGroup::probe() { return cached_probe().available; }
+
+const std::string& PerfCounterGroup::probe_reason() {
+  return cached_probe().reason;
+}
+
+}  // namespace marcopolo::obs

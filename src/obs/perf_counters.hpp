@@ -1,0 +1,180 @@
+// Hardware performance-counter attribution for gated bench phases.
+//
+// Wall-clock regression gates bottom out at scheduler jitter — PR 6 had
+// to add a 10µs quantile floor to `evaluate_gate` just to keep CI quiet.
+// Instructions retired have no such floor: for a deterministic user-mode
+// workload the count is stable to ~0.01% run-to-run, which lets the perf
+// gate fail 3% regressions on the resilience kernels and delta-replay
+// paths that a 25% wall-clock gate cannot see.
+//
+// `PerfCounterGroup` opens one perf_event_open(2) group on the calling
+// thread — leader: instructions; members: cycles, cache-references,
+// cache-misses, branch-misses — and reads all five in a single group
+// read (PERF_FORMAT_GROUP), so every sample is a consistent snapshot.
+// Counters are user-mode only (exclude_kernel/exclude_hv) to keep them
+// deterministic, and per-thread scoped: a group opened on the main
+// thread does not see worker threads. All gated counter phases are
+// single-threaded; the parallel campaign instead gives each worker its
+// own group (fast_campaign.cpp, `hw_counters`).
+//
+// Availability is a property of the host, not the build: containers and
+// VMs commonly deny perf_event_open (EACCES under perf_event_paranoid,
+// ENOENT with no PMU). The contract mirrors the flight recorder's
+// off/unavailable rule — when the group cannot open, `available()` is
+// false, reads return invalid samples, every consumer renders
+// "unavailable", and no observable output changes shape beyond that
+// annotation. Nothing throws, nothing retries.
+//
+// `PhaseCounters` is the RAII scope benches wrap around each gated
+// phase: it samples counters and RSS (mem_stats.hpp) at entry and on
+// destruction fills a `PhaseStats` with the deltas plus the process
+// peak-RSS high-water. A null group is valid and yields counter-invalid
+// stats, so call sites need no availability branches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/mem_stats.hpp"
+
+namespace marcopolo::obs {
+
+/// One consistent reading (or delta) of the five-event group.
+struct CounterSample {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  bool valid = false;
+
+  /// Instructions per cycle; 0 when cycles did not count.
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+
+  /// cache-misses / cache-references; 0 when references did not count.
+  [[nodiscard]] double cache_miss_rate() const {
+    return cache_references == 0 ? 0.0
+                                 : static_cast<double>(cache_misses) /
+                                       static_cast<double>(cache_references);
+  }
+
+  /// Delta between two samples; valid only when both inputs are.
+  [[nodiscard]] CounterSample operator-(const CounterSample& start) const {
+    CounterSample d;
+    d.instructions = instructions - start.instructions;
+    d.cycles = cycles - start.cycles;
+    d.cache_references = cache_references - start.cache_references;
+    d.cache_misses = cache_misses - start.cache_misses;
+    d.branch_misses = branch_misses - start.branch_misses;
+    d.valid = valid && start.valid;
+    return d;
+  }
+
+  CounterSample& operator+=(const CounterSample& other) {
+    instructions += other.instructions;
+    cycles += other.cycles;
+    cache_references += other.cache_references;
+    cache_misses += other.cache_misses;
+    branch_misses += other.branch_misses;
+    valid = valid || other.valid;
+    return *this;
+  }
+};
+
+/// A perf_event_open group scoped to the constructing thread.
+///
+/// The leader (instructions) is required: if it cannot open, the whole
+/// group is unavailable. Member events are individually optional — a
+/// PMU without a cache-miss event still yields instructions/cycles, and
+/// the missing members read as zero.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when the leader opened and reads will produce valid samples.
+  [[nodiscard]] bool available() const { return fds_[0] >= 0; }
+
+  /// Human-readable reason when unavailable ("" when available), e.g.
+  /// "perf_event_open: Permission denied (perf_event_paranoid=2)".
+  [[nodiscard]] const std::string& unavailable_reason() const {
+    return reason_;
+  }
+
+  /// Current cumulative counts via one group read; invalid sample when
+  /// unavailable or the read fails.
+  [[nodiscard]] CounterSample read() const;
+
+  /// Whole-process probe: opens (and closes) a throwaway group once and
+  /// caches the verdict. Lets call sites skip per-worker setup cost and
+  /// lets CLIs report availability without constructing a group.
+  static bool probe();
+
+  /// Reason string matching probe(); "" when counters are available.
+  static const std::string& probe_reason();
+
+  /// Value of /proc/sys/kernel/perf_event_paranoid, or -1 when the file
+  /// is unreadable (non-Linux).
+  static int paranoid_level();
+
+  static constexpr int kEvents = 5;
+
+ private:
+  std::array<int, kEvents> fds_;  // [0] leader; -1 where open failed.
+  std::array<std::uint64_t, kEvents> ids_{};
+  std::string reason_;
+};
+
+/// Everything a gated phase reports besides wall-clock.
+struct PhaseStats {
+  CounterSample counters;        ///< Deltas across the phase.
+  std::int64_t rss_delta_kb = 0; ///< VmRSS change across the phase.
+  std::uint64_t peak_rss_kb = 0; ///< Process VmHWM at phase end.
+  bool mem_valid = false;        ///< /proc/self/status was readable.
+};
+
+/// RAII scope: samples counters + RSS at construction, fills `*out` with
+/// the deltas at destruction. `group` may be null (counters invalid) and
+/// `out` may be null (scope is a no-op) — call sites stay branch-free.
+class PhaseCounters {
+ public:
+  PhaseCounters(const PerfCounterGroup* group, PhaseStats* out)
+      : group_(group), out_(out) {
+    if (out_ == nullptr) return;
+    if (group_ != nullptr) start_counters_ = group_->read();
+    start_mem_ = read_memory_sample();
+  }
+
+  ~PhaseCounters() {
+    if (out_ == nullptr) return;
+    PhaseStats stats;
+    if (group_ != nullptr) stats.counters = group_->read() - start_counters_;
+    MemorySample end_mem = read_memory_sample();
+    if (start_mem_.valid && end_mem.valid) {
+      stats.rss_delta_kb = static_cast<std::int64_t>(end_mem.rss_kb) -
+                           static_cast<std::int64_t>(start_mem_.rss_kb);
+      stats.peak_rss_kb = end_mem.peak_rss_kb;
+      stats.mem_valid = true;
+    }
+    *out_ = stats;
+  }
+
+  PhaseCounters(const PhaseCounters&) = delete;
+  PhaseCounters& operator=(const PhaseCounters&) = delete;
+
+ private:
+  const PerfCounterGroup* group_;
+  PhaseStats* out_;
+  CounterSample start_counters_;
+  MemorySample start_mem_;
+};
+
+}  // namespace marcopolo::obs

@@ -126,10 +126,10 @@ RunComparison compare_runs(const ReadManifest& base,
 
   // Phases: union of names, baseline document order first, then
   // candidate-only names. First occurrence of a name wins on each side.
-  const auto find_phase = [](const ReadManifest& m, const std::string& name)
-      -> const std::pair<std::string, double>* {
-    for (const auto& phase : m.phases) {
-      if (phase.first == name) return &phase;
+  const auto find_phase = [](const ReadManifest& m,
+                             const std::string& name) -> const ReadPhase* {
+    for (const ReadPhase& phase : m.phases) {
+      if (phase.name == name) return &phase;
     }
     return nullptr;
   };
@@ -137,26 +137,45 @@ RunComparison compare_runs(const ReadManifest& base,
     return std::any_of(out.phases.begin(), out.phases.end(),
                        [&](const PhaseDelta& p) { return p.name == name; });
   };
-  for (const auto& [bname, bseconds] : base.phases) {
-    if (emitted(bname)) continue;
-    PhaseDelta delta;
-    delta.name = bname;
-    delta.base_seconds = bseconds;
+  const auto fill_base = [](PhaseDelta& delta, const ReadPhase& phase) {
+    delta.base_seconds = phase.seconds;
     delta.in_base = true;
-    if (const auto* cand_phase = find_phase(cand, bname)) {
-      delta.cand_seconds = cand_phase->second;
-      delta.in_cand = true;
+    delta.base_has_counters = phase.has_counters;
+    delta.base_instructions = phase.instructions;
+    delta.base_ipc = phase.ipc();
+    delta.base_cache_miss_rate = phase.cache_miss_rate();
+    delta.base_has_mem = phase.has_mem;
+    delta.base_peak_rss_kb = phase.peak_rss_kb;
+  };
+  const auto fill_cand = [](PhaseDelta& delta, const ReadPhase& phase) {
+    delta.cand_seconds = phase.seconds;
+    delta.in_cand = true;
+    delta.cand_has_counters = phase.has_counters;
+    delta.cand_instructions = phase.instructions;
+    delta.cand_ipc = phase.ipc();
+    delta.cand_cache_miss_rate = phase.cache_miss_rate();
+    delta.cand_has_mem = phase.has_mem;
+    delta.cand_peak_rss_kb = phase.peak_rss_kb;
+  };
+  for (const ReadPhase& bphase : base.phases) {
+    if (emitted(bphase.name)) continue;
+    PhaseDelta delta;
+    delta.name = bphase.name;
+    fill_base(delta, bphase);
+    if (const ReadPhase* cand_phase = find_phase(cand, bphase.name)) {
+      fill_cand(delta, *cand_phase);
     }
     out.phases.push_back(std::move(delta));
   }
-  for (const auto& [cname, cseconds] : cand.phases) {
-    if (emitted(cname)) continue;
+  for (const ReadPhase& cphase : cand.phases) {
+    if (emitted(cphase.name)) continue;
     PhaseDelta delta;
-    delta.name = cname;
-    delta.cand_seconds = cseconds;
-    delta.in_cand = true;
+    delta.name = cphase.name;
+    fill_cand(delta, cphase);
     out.phases.push_back(std::move(delta));
   }
+  out.base_perf_counters = base.perf_counters;
+  out.cand_perf_counters = cand.perf_counters;
   return out;
 }
 
@@ -187,6 +206,62 @@ DiffGateResult evaluate_gate(const RunComparison& comparison,
           " (" + format_seconds(phase.base_seconds) + " -> " +
           format_seconds(phase.cand_seconds) + ") exceeds " +
           format_pct(config.max_regress_pct).substr(1));
+    }
+    if (phase.base_has_counters && phase.cand_has_counters) {
+      // Instructions retired: deterministic, so gated far below the
+      // wall-clock threshold. Improvements and sub-threshold drift pass
+      // silently; the mpinspect tables still show the numbers.
+      if (phase.instructions_pct() > config.counter_max_regress_pct) {
+        out.pass = false;
+        out.violations.push_back(
+            "phase " + phase.name + " instructions " +
+            format_pct(phase.instructions_pct()) + " (" +
+            std::to_string(phase.base_instructions) + " -> " +
+            std::to_string(phase.cand_instructions) + ") exceeds " +
+            format_pct(config.counter_max_regress_pct).substr(1));
+      }
+      // IPC / cache-miss-rate attribute *why*, but depend on the CPU the
+      // runs happened to land on — diagnostic notes, never violations.
+      if (phase.base_ipc > 0.0) {
+        const double ipc_pct =
+            100.0 * (phase.cand_ipc - phase.base_ipc) / phase.base_ipc;
+        if (ipc_pct < -10.0 || ipc_pct > 10.0) {
+          char row[160];
+          std::snprintf(row, sizeof row, "phase %s ipc %.2f -> %.2f (%s)",
+                        phase.name.c_str(), phase.base_ipc, phase.cand_ipc,
+                        format_pct(ipc_pct).c_str());
+          out.notes.emplace_back(row);
+        }
+      }
+      const double miss_shift =
+          phase.cand_cache_miss_rate - phase.base_cache_miss_rate;
+      if (miss_shift > 0.05 || miss_shift < -0.05) {
+        char row[160];
+        std::snprintf(row, sizeof row,
+                      "phase %s cache-miss rate %.1f%% -> %.1f%%",
+                      phase.name.c_str(), 100.0 * phase.base_cache_miss_rate,
+                      100.0 * phase.cand_cache_miss_rate);
+        out.notes.emplace_back(row);
+      }
+    } else if (phase.base_has_counters != phase.cand_has_counters) {
+      // One side has no counters — explain why when the document says.
+      const bool missing_in_cand = phase.base_has_counters;
+      const std::string& availability = missing_in_cand
+                                            ? comparison.cand_perf_counters
+                                            : comparison.base_perf_counters;
+      std::string note = "phase " + phase.name + " counters only in " +
+                         (missing_in_cand ? "baseline" : "candidate");
+      if (availability == "unavailable") {
+        note += missing_in_cand ? " (candidate host: perf counters "
+                                  "unavailable)"
+                                : " (baseline host: perf counters "
+                                  "unavailable)";
+      } else if (availability.empty()) {
+        note += missing_in_cand
+                    ? " (candidate predates counter support)"
+                    : " (baseline predates counter support)";
+      }
+      out.notes.push_back(std::move(note));
     }
   }
   for (const QuantileDelta& quantile : comparison.quantiles) {

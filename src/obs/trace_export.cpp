@@ -117,7 +117,21 @@ void write_chrome_trace(std::ostream& out, const FlightJournal& journal) {
           << ", \"victim_rows\": " << t.victim_rows
           << ", \"propagate_ns\": " << t.propagate_ns
           << ", \"classify_ns\": " << t.classify_ns
-          << ", \"record_ns\": " << t.record_ns << "}";
+          << ", \"record_ns\": " << t.record_ns;
+      if (t.instructions != 0) {
+        // Counter args only when the worker had a perf group: traces
+        // from counter-less runs stay byte-identical.
+        out << ", \"instructions\": " << t.instructions
+            << ", \"cycles\": " << t.cycles;
+        if (t.cycles != 0) {
+          char ipc[32];
+          std::snprintf(ipc, sizeof ipc, "%.3f",
+                        static_cast<double>(t.instructions) /
+                            static_cast<double>(t.cycles));
+          out << ", \"ipc\": " << ipc;
+        }
+      }
+      out << "}";
       events.close();
     }
     for (const PropagationRunRecord& p : lane.propagations) {
@@ -199,7 +213,15 @@ void write_journal_ndjson(std::ostream& out, const FlightJournal& journal) {
           << ", \"duration_ns\": " << t.duration_ns
           << ", \"propagate_ns\": " << t.propagate_ns
           << ", \"classify_ns\": " << t.classify_ns
-          << ", \"record_ns\": " << t.record_ns << "}\n";
+          << ", \"record_ns\": " << t.record_ns;
+      if (t.instructions != 0) {
+        // Forward-compatible addition (schema 1, unknown fields are
+        // ignored by old readers); omitted when counters were off so
+        // recorded output stays byte-identical.
+        out << ", \"instructions\": " << t.instructions
+            << ", \"cycles\": " << t.cycles;
+      }
+      out << "}\n";
     }
     for (const PropagationRunRecord& p : lane.propagations) {
       out << "{\"type\": \"propagation\", \"worker\": " << lane.worker

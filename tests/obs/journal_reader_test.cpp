@@ -32,11 +32,15 @@ FlightJournal rich_journal() {
   t0.propagate_ns = 4'000;
   t0.classify_ns = 2'000;
   t0.record_ns = 500;
+  t0.instructions = 123'456'789;  // hw-counter args (omitted when zero)
+  t0.cycles = 98'765'432;
   w0->record_task(t0);
   TaskSpanRecord t1 = t0;
   t1.announcer = 12;
   t1.total_capture = false;
   t1.start_ns += 10'000;
+  t1.instructions = 0;  // counters-off task: fields absent from NDJSON
+  t1.cycles = 0;
   w0->record_task(t1);
   PropagationRunRecord p0;
   p0.start_ns = t0.start_ns + 100;
@@ -118,6 +122,8 @@ void expect_task_eq(const TaskSpanRecord& got, const TaskSpanRecord& want) {
   EXPECT_EQ(got.propagate_ns, want.propagate_ns);
   EXPECT_EQ(got.classify_ns, want.classify_ns);
   EXPECT_EQ(got.record_ns, want.record_ns);
+  EXPECT_EQ(got.instructions, want.instructions);
+  EXPECT_EQ(got.cycles, want.cycles);
 }
 
 TEST(JournalReader, RoundTripPreservesEveryRecord) {

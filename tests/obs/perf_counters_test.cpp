@@ -1,0 +1,179 @@
+// PerfCounterGroup / PhaseCounters / mem_stats: the hardware-counter and
+// memory attribution layer. These tests must pass identically on hosts
+// with and without a PMU — every availability-dependent assertion
+// branches on probe(), and the unavailable path's invariants (invalid
+// samples, empty stats, no crashes) are asserted unconditionally.
+#include "obs/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/mem_stats.hpp"
+
+namespace marcopolo::obs {
+namespace {
+
+TEST(CounterSample, DeltaAndAccumulateTrackValidity) {
+  CounterSample a;
+  a.instructions = 1'000;
+  a.cycles = 500;
+  a.cache_references = 100;
+  a.cache_misses = 10;
+  a.branch_misses = 5;
+  a.valid = true;
+  CounterSample b = a;
+  b.instructions = 3'000;
+  b.cycles = 2'000;
+
+  const CounterSample d = b - a;
+  EXPECT_TRUE(d.valid);
+  EXPECT_EQ(d.instructions, 2'000u);
+  EXPECT_EQ(d.cycles, 1'500u);
+  EXPECT_EQ(d.cache_references, 0u);
+
+  // A delta against an invalid sample is invalid, whatever the numbers.
+  CounterSample invalid;
+  EXPECT_FALSE((b - invalid).valid);
+  EXPECT_FALSE((invalid - a).valid);
+
+  // Accumulation ORs validity: one valid worker makes the total valid.
+  CounterSample total;
+  total += d;
+  EXPECT_TRUE(total.valid);
+  EXPECT_EQ(total.instructions, 2'000u);
+  total += invalid;
+  EXPECT_TRUE(total.valid);
+}
+
+TEST(CounterSample, DerivedRatesGuardAgainstZeroDenominators) {
+  CounterSample s;
+  EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cache_miss_rate(), 0.0);
+  s.instructions = 3'000;
+  s.cycles = 1'500;
+  s.cache_references = 200;
+  s.cache_misses = 50;
+  EXPECT_DOUBLE_EQ(s.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(s.cache_miss_rate(), 0.25);
+}
+
+TEST(PerfCounterGroup, ProbeIsStableAndMatchesConstruction) {
+  const bool first = PerfCounterGroup::probe();
+  EXPECT_EQ(PerfCounterGroup::probe(), first);  // cached, not re-opened
+  // Reason and verdict must agree: empty iff available.
+  EXPECT_EQ(PerfCounterGroup::probe_reason().empty(), first);
+
+  PerfCounterGroup group;
+  EXPECT_EQ(group.available(), first);
+  EXPECT_EQ(group.unavailable_reason().empty(), first);
+}
+
+TEST(PerfCounterGroup, ReadContractMatchesAvailability) {
+  PerfCounterGroup group;
+  const CounterSample sample = group.read();
+  EXPECT_EQ(sample.valid, group.available());
+  if (group.available()) {
+    // The group counts this thread: a second read after doing some work
+    // must show instructions moving forward, never backward.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 100'000; ++i) sink = sink + i;
+    const CounterSample later = group.read();
+    ASSERT_TRUE(later.valid);
+    EXPECT_GT(later.instructions, sample.instructions);
+    const CounterSample delta = later - sample;
+    EXPECT_TRUE(delta.valid);
+    EXPECT_GT(delta.instructions, 0u);
+  }
+}
+
+TEST(PhaseCounters, FillsStatsOnDestruction) {
+  PerfCounterGroup group;
+  PhaseStats stats;
+  {
+    PhaseCounters scope(group.available() ? &group : nullptr, &stats);
+    std::vector<std::uint64_t> touch(1 << 16, 1);
+    volatile std::uint64_t sink = 0;
+    for (const std::uint64_t v : touch) sink = sink + v;
+  }
+  EXPECT_EQ(stats.counters.valid, group.available());
+  if (group.available()) EXPECT_GT(stats.counters.instructions, 0u);
+#if defined(__linux__)
+  // /proc/self/status is always readable on Linux regardless of PMU.
+  EXPECT_TRUE(stats.mem_valid);
+  EXPECT_GT(stats.peak_rss_kb, 0u);
+#endif
+}
+
+TEST(PhaseCounters, NullGroupAndNullOutputAreSafe) {
+  PhaseStats stats;
+  stats.counters.instructions = 42;  // must be overwritten
+  stats.counters.valid = true;
+  {
+    PhaseCounters scope(nullptr, &stats);
+  }
+  EXPECT_FALSE(stats.counters.valid);
+  EXPECT_EQ(stats.counters.instructions, 0u);
+
+  {
+    PhaseCounters scope(nullptr, nullptr);  // pure no-op, must not crash
+  }
+  PerfCounterGroup group;
+  {
+    PhaseCounters scope(&group, nullptr);
+  }
+}
+
+TEST(MemStats, ParsesProcStatusFields) {
+  const std::string status =
+      "Name:\tcampaign_wallcl\n"
+      "VmPeak:\t  123456 kB\n"
+      "VmRSS:\t   65536 kB\n"
+      "VmHWM:\t  100000 kB\n"
+      "NotVmRSS:\t 999 kB\n";
+  EXPECT_EQ(parse_proc_status_kb(status, "VmRSS"),
+            std::optional<std::uint64_t>{65'536});
+  EXPECT_EQ(parse_proc_status_kb(status, "VmHWM"),
+            std::optional<std::uint64_t>{100'000});
+  EXPECT_EQ(parse_proc_status_kb(status, "VmPeak"),
+            std::optional<std::uint64_t>{123'456});
+  // A missing key is nullopt, not zero — and "NotVmRSS" must not match a
+  // "VmRSS" lookup (keys anchor at line starts).
+  EXPECT_EQ(parse_proc_status_kb(status, "VmSwap"), std::nullopt);
+  EXPECT_EQ(parse_proc_status_kb("", "VmRSS"), std::nullopt);
+}
+
+TEST(MemStats, ReadsLiveProcessMemory) {
+  const MemorySample sample = read_memory_sample();
+#if defined(__linux__)
+  ASSERT_TRUE(sample.valid);
+  EXPECT_GT(sample.rss_kb, 0u);
+  // The high-water mark can never sit below current RSS.
+  EXPECT_GE(sample.peak_rss_kb, sample.rss_kb);
+#else
+  (void)sample;
+#endif
+}
+
+TEST(MemStats, AllocCountingMatchesBuildFlag) {
+  const AllocStats stats = alloc_stats();
+#if defined(MARCOPOLO_COUNT_ALLOCS)
+  EXPECT_TRUE(stats.enabled);
+  std::vector<int>* v = new std::vector<int>(1'000);
+  delete v;
+  const AllocStats after = alloc_stats();
+  EXPECT_GT(after.allocs, stats.allocs);
+  EXPECT_GT(after.frees, stats.frees);
+  EXPECT_GT(after.bytes, stats.bytes);
+#else
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_EQ(stats.allocs, 0u);
+  EXPECT_EQ(stats.frees, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace marcopolo::obs

@@ -275,6 +275,123 @@ TEST(CompareRuns, OneSidedPhaseIsANoteNeverAViolation) {
   EXPECT_NE(reverse.notes[0].find("only in baseline"), std::string::npos);
 }
 
+/// A bench-shaped document with one counter-bearing phase. `availability`
+/// becomes the top-level "perf_counters" echo ("" omits the field, like a
+/// pre-counter writer).
+ReadManifest counter_phase_doc(std::uint64_t instructions,
+                               std::uint64_t cycles,
+                               std::uint64_t cache_references = 0,
+                               std::uint64_t cache_misses = 0,
+                               const std::string& availability =
+                                   "available") {
+  std::string doc = R"({"benchmark": "campaign_wallclock", )";
+  if (!availability.empty()) {
+    doc += R"("perf_counters": ")" + availability + R"(", )";
+  }
+  doc += R"("phases": [{"name": "resilience_kernel_ms", "seconds": 0.25)";
+  if (instructions != 0) {
+    doc += R"(, "instructions": )" + std::to_string(instructions) +
+           R"(, "cycles": )" + std::to_string(cycles) +
+           R"(, "cache_references": )" + std::to_string(cache_references) +
+           R"(, "cache_misses": )" + std::to_string(cache_misses);
+  }
+  doc += "}]}";
+  const ReadManifest read = ManifestReader::read_string(doc);
+  EXPECT_TRUE(read.ok()) << (read.ok() ? "" : read.errors.front());
+  return read;
+}
+
+TEST(CompareRuns, CounterSelfComparisonIsAllZeroAndPasses) {
+  const ReadManifest doc = counter_phase_doc(1'000'000'000, 500'000'000,
+                                             10'000'000, 1'000'000);
+  const RunComparison comparison = compare_runs(doc, doc);
+  ASSERT_EQ(comparison.phases.size(), 1u);
+  EXPECT_TRUE(comparison.phases[0].base_has_counters);
+  EXPECT_TRUE(comparison.phases[0].cand_has_counters);
+  EXPECT_DOUBLE_EQ(comparison.phases[0].instructions_pct(), 0.0);
+  const DiffGateResult gate = evaluate_gate(comparison, DiffGateConfig{});
+  EXPECT_TRUE(gate.pass);
+  EXPECT_TRUE(gate.violations.empty());
+  EXPECT_TRUE(gate.notes.empty());
+}
+
+TEST(CompareRuns, InstructionsRegressionFailsTheGateAtThreePercent) {
+  const ReadManifest base = counter_phase_doc(1'000'000'000, 500'000'000);
+  // +4% instructions, wall clock unchanged: invisible to the 25%
+  // wall-clock gate, caught by the 3% counter gate.
+  const ReadManifest cand = counter_phase_doc(1'040'000'000, 500'000'000);
+  const DiffGateResult gate =
+      evaluate_gate(compare_runs(base, cand), DiffGateConfig{});
+  EXPECT_FALSE(gate.pass);
+  ASSERT_EQ(gate.violations.size(), 1u);
+  EXPECT_NE(gate.violations[0].find("resilience_kernel_ms"),
+            std::string::npos);
+  EXPECT_NE(gate.violations[0].find("instructions"), std::string::npos);
+
+  // +2% stays under the default 3% threshold; an instruction-count
+  // improvement always passes.
+  const ReadManifest small = counter_phase_doc(1'020'000'000, 500'000'000);
+  EXPECT_TRUE(evaluate_gate(compare_runs(base, small), DiffGateConfig{})
+                  .pass);
+  EXPECT_TRUE(evaluate_gate(compare_runs(cand, base), DiffGateConfig{})
+                  .pass);
+  // And the threshold is configurable.
+  DiffGateConfig loose;
+  loose.counter_max_regress_pct = 10.0;
+  EXPECT_TRUE(evaluate_gate(compare_runs(base, cand), loose).pass);
+}
+
+TEST(CompareRuns, IpcAndCacheShiftsAreNotesNeverViolations) {
+  // Same instruction count, half the IPC and a 10x cache-miss-rate jump:
+  // microarchitectural context, not a code-size regression — the gate
+  // notes it and passes.
+  const ReadManifest base = counter_phase_doc(1'000'000'000, 500'000'000,
+                                              100'000'000, 1'000'000);
+  const ReadManifest cand = counter_phase_doc(1'000'000'000, 1'000'000'000,
+                                              100'000'000, 10'000'000);
+  const DiffGateResult gate =
+      evaluate_gate(compare_runs(base, cand), DiffGateConfig{});
+  EXPECT_TRUE(gate.pass) << gate.violations.front();
+  EXPECT_GE(gate.notes.size(), 2u);
+  bool ipc_note = false;
+  bool cache_note = false;
+  for (const std::string& note : gate.notes) {
+    ipc_note = ipc_note || note.find("ipc") != std::string::npos;
+    cache_note =
+        cache_note || note.find("cache") != std::string::npos;
+  }
+  EXPECT_TRUE(ipc_note);
+  EXPECT_TRUE(cache_note);
+}
+
+TEST(CompareRuns, OneSidedPhaseCountersAreNotedNotGated) {
+  // Baseline recorded on a PMU-less host (counters unavailable): the
+  // candidate's counters have nothing to gate against. Must pass with a
+  // note explaining why, in both directions.
+  const ReadManifest without =
+      counter_phase_doc(0, 0, 0, 0, "unavailable");
+  const ReadManifest with = counter_phase_doc(1'000'000'000, 500'000'000);
+  const DiffGateResult gate =
+      evaluate_gate(compare_runs(without, with), DiffGateConfig{});
+  EXPECT_TRUE(gate.pass);
+  ASSERT_FALSE(gate.notes.empty());
+  EXPECT_NE(gate.notes[0].find("unavailable"), std::string::npos);
+
+  const DiffGateResult reverse =
+      evaluate_gate(compare_runs(with, without), DiffGateConfig{});
+  EXPECT_TRUE(reverse.pass);
+  EXPECT_FALSE(reverse.notes.empty());
+
+  // A baseline predating counter support entirely (no availability echo)
+  // is also one-sided, with the "predates" explanation.
+  const ReadManifest old = counter_phase_doc(0, 0, 0, 0, "");
+  const DiffGateResult vs_old =
+      evaluate_gate(compare_runs(old, with), DiffGateConfig{});
+  EXPECT_TRUE(vs_old.pass);
+  ASSERT_FALSE(vs_old.notes.empty());
+  EXPECT_NE(vs_old.notes[0].find("predates"), std::string::npos);
+}
+
 // --- check_trace_bundle ---------------------------------------------------
 
 class BundleCheckTest : public ::testing::Test {

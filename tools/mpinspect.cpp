@@ -6,12 +6,19 @@
 //       quantiles, config echo.
 //
 //   mpinspect diff <baseline.json> <candidate.json>
-//             [--max-regress-pct <P>] [--json]
+//             [--max-regress-pct <P>] [--counter-max-regress-pct <C>]
+//             [--json]
 //       Compare two run manifests / campaign_wallclock documents:
 //       per-thread-count wall-clock and throughput, histogram p50/p95/p99
-//       shifts, counter drift. Exits 1 when a gated quantity regresses by
-//       more than P percent (default 25). --json emits a machine-readable
-//       report on stdout instead of tables.
+//       shifts, per-phase hardware counters, counter drift. Exits 1 when
+//       a gated quantity regresses: wall clock by more than P percent
+//       (default 25), or — when both documents carry counters —
+//       instructions retired by more than C percent (default 3; the
+//       deterministic count gates far below wall-clock noise). IPC and
+//       cache-miss-rate shifts are reported as notes, never gated.
+//       One-sided counters (one host lacked a PMU) are noted, not gated.
+//       --json emits a machine-readable report on stdout instead of
+//       tables.
 //
 //   mpinspect check <trace-dir> [--manifest <run.json>]
 //       Structural validation of a trace bundle: journal schema tag,
@@ -43,7 +50,8 @@ int usage() {
       "usage: mpinspect <command> ...\n"
       "  mpinspect summarize <trace-dir | manifest.json>\n"
       "  mpinspect diff <baseline.json> <candidate.json>"
-      " [--max-regress-pct <P>] [--json]\n"
+      " [--max-regress-pct <P>]\n"
+      "            [--counter-max-regress-pct <P>] [--json]\n"
       "  mpinspect check <trace-dir> [--manifest <run.json>]\n");
   return 2;
 }
@@ -70,6 +78,24 @@ std::string format_signed_pct(double pct) {
 std::string format_double(double value, const char* fmt = "%.3f") {
   char buf[64];
   std::snprintf(buf, sizeof buf, fmt, value);
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  // Instruction counts are billions-scale; render with engineering
+  // suffixes so the phase table stays readable.
+  char buf[48];
+  const double v = static_cast<double>(value);
+  if (value >= 10'000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+  } else if (value >= 10'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (value >= 10'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+  }
   return buf;
 }
 
@@ -139,11 +165,44 @@ void summarize_manifest(const obs::ReadManifest& manifest) {
     std::printf("\n%s", table.to_string().c_str());
   }
   if (!manifest.phases.empty()) {
-    analysis::TextTable table({"Phase", "Seconds"});
-    for (const auto& [name, seconds] : manifest.phases) {
-      table.add_row({name, format_double(seconds)});
+    bool any_counters = false;
+    bool any_mem = false;
+    for (const obs::ReadPhase& phase : manifest.phases) {
+      any_counters = any_counters || phase.has_counters;
+      any_mem = any_mem || phase.has_mem;
+    }
+    std::vector<std::string> header = {"Phase", "Seconds"};
+    if (any_counters) {
+      header.insert(header.end(), {"Instr", "IPC", "Cache miss"});
+    }
+    if (any_mem) header.push_back("Peak RSS");
+    analysis::TextTable table(header);
+    for (const obs::ReadPhase& phase : manifest.phases) {
+      std::vector<std::string> row = {phase.name,
+                                      format_double(phase.seconds)};
+      if (any_counters) {
+        if (phase.has_counters) {
+          row.push_back(format_count(phase.instructions));
+          row.push_back(format_double(phase.ipc(), "%.2f"));
+          row.push_back(format_pct01(phase.cache_miss_rate()));
+        } else {
+          row.insert(row.end(), {"-", "-", "-"});
+        }
+      }
+      if (any_mem) {
+        row.push_back(phase.has_mem
+                          ? format_double(static_cast<double>(
+                                              phase.peak_rss_kb) /
+                                              1024.0,
+                                          "%.1f MiB")
+                          : "-");
+      }
+      table.add_row(row);
     }
     std::printf("\n%s", table.to_string().c_str());
+    if (!manifest.perf_counters.empty()) {
+      std::printf("perf counters: %s\n", manifest.perf_counters.c_str());
+    }
   }
   if (!manifest.runs.empty()) {
     analysis::TextTable table(
@@ -225,14 +284,36 @@ void print_diff_tables(const obs::RunComparison& comparison) {
                 table.to_string().c_str());
   }
   if (!comparison.phases.empty()) {
-    analysis::TextTable table({"Phase", "Base s", "Cand s", "Delta"});
+    bool any_counters = false;
     for (const obs::PhaseDelta& phase : comparison.phases) {
-      table.add_row(
-          {phase.name,
-           phase.in_base ? format_double(phase.base_seconds) : "-",
-           phase.in_cand ? format_double(phase.cand_seconds) : "-",
-           phase.in_base && phase.in_cand ? format_signed_pct(phase.pct())
-                                          : "-"});
+      any_counters = any_counters || phase.base_has_counters ||
+                     phase.cand_has_counters;
+    }
+    std::vector<std::string> header = {"Phase", "Base s", "Cand s", "Delta"};
+    if (any_counters) {
+      header.insert(header.end(), {"Instr delta", "IPC", "Cache miss"});
+    }
+    analysis::TextTable table(header);
+    for (const obs::PhaseDelta& phase : comparison.phases) {
+      std::vector<std::string> row = {
+          phase.name,
+          phase.in_base ? format_double(phase.base_seconds) : "-",
+          phase.in_cand ? format_double(phase.cand_seconds) : "-",
+          phase.in_base && phase.in_cand ? format_signed_pct(phase.pct())
+                                         : "-"};
+      if (any_counters) {
+        const bool both = phase.base_has_counters && phase.cand_has_counters;
+        row.push_back(both ? format_signed_pct(phase.instructions_pct())
+                           : "-");
+        row.push_back(both ? format_double(phase.base_ipc, "%.2f") + " -> " +
+                                 format_double(phase.cand_ipc, "%.2f")
+                           : "-");
+        row.push_back(
+            both ? format_pct01(phase.base_cache_miss_rate) + " -> " +
+                       format_pct01(phase.cand_cache_miss_rate)
+                 : "-");
+      }
+      table.add_row(row);
     }
     std::printf("Phases:\n%s\n", table.to_string().c_str());
   }
@@ -277,6 +358,8 @@ void print_diff_json(const obs::RunComparison& comparison,
   std::printf("  \"candidate\": \"%s\",\n",
               obs::json_escape(cand_path).c_str());
   std::printf("  \"max_regress_pct\": %g,\n", config.max_regress_pct);
+  std::printf("  \"counter_max_regress_pct\": %g,\n",
+              config.counter_max_regress_pct);
   std::printf("  \"pass\": %s,\n", gate.pass ? "true" : "false");
   std::printf("  \"runs\": [");
   for (std::size_t i = 0; i < comparison.runs.size(); ++i) {
@@ -293,11 +376,25 @@ void print_diff_json(const obs::RunComparison& comparison,
     const obs::PhaseDelta& phase = comparison.phases[i];
     std::printf("%s\n    {\"name\": \"%s\", \"base_seconds\": %g, "
                 "\"cand_seconds\": %g, \"pct\": %g, \"in_base\": %s, "
-                "\"in_cand\": %s}",
+                "\"in_cand\": %s",
                 i == 0 ? "" : ",", obs::json_escape(phase.name).c_str(),
                 phase.base_seconds, phase.cand_seconds, phase.pct(),
                 phase.in_base ? "true" : "false",
                 phase.in_cand ? "true" : "false");
+    if (phase.base_has_counters && phase.cand_has_counters) {
+      std::printf(", \"base_instructions\": %llu, "
+                  "\"cand_instructions\": %llu, \"instructions_pct\": %g, "
+                  "\"base_ipc\": %g, \"cand_ipc\": %g",
+                  static_cast<unsigned long long>(phase.base_instructions),
+                  static_cast<unsigned long long>(phase.cand_instructions),
+                  phase.instructions_pct(), phase.base_ipc, phase.cand_ipc);
+    }
+    if (phase.base_has_mem && phase.cand_has_mem) {
+      std::printf(", \"base_peak_rss_kb\": %llu, \"cand_peak_rss_kb\": %llu",
+                  static_cast<unsigned long long>(phase.base_peak_rss_kb),
+                  static_cast<unsigned long long>(phase.cand_peak_rss_kb));
+    }
+    std::printf("}");
   }
   std::printf("%s],\n", comparison.phases.empty() ? "" : "\n  ");
   std::printf("  \"quantiles\": [");
@@ -344,6 +441,14 @@ int cmd_diff(const std::vector<std::string>& args) {
         config.max_regress_pct = std::stod(args[++i]);
       } catch (const std::exception&) {
         std::fprintf(stderr, "bad --max-regress-pct: %s\n", args[i].c_str());
+        return 2;
+      }
+    } else if (args[i] == "--counter-max-regress-pct" && i + 1 < args.size()) {
+      try {
+        config.counter_max_regress_pct = std::stod(args[++i]);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --counter-max-regress-pct: %s\n",
+                     args[i].c_str());
         return 2;
       }
     } else if (args[i] == "--json") {
