@@ -11,10 +11,19 @@
 // Usage:
 //
 //   campaign_wallclock [--trace-out <dir>] [--phases <csv>]
-//                      [output.json] [thread counts...]
+//                      [--profile[=hz]] [output.json] [thread counts...]
 //
 // Defaults: JSON to stdout-adjacent "campaign_wallclock.json", thread
 // counts {1, 2, 4, 8}, all phases.
+//
+// --profile attaches the in-process sampling profiler (default 997 Hz)
+// to every recorded serial rep in the recording block. The
+// "recording_overhead" ratio then measures recorder + profiler cost
+// against the plain runs — the ≤3% budget the profiler must live
+// inside — and the output gains a top-level "profile" section (hot
+// symbols, same schema as a run manifest) that `mpinspect diff` uses
+// for hot-symbol regression attribution. With --trace-out the bundle
+// additionally gets profile.folded and trace.json sample events.
 //
 // --phases selects which measurement groups run, so CI and local loops
 // can re-run one gated phase without paying for the rest (in particular,
@@ -39,6 +48,7 @@
 // a trace bundle into <dir> — its task spans carry instructions/cycles
 // args when the host has counters.
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -58,6 +68,8 @@
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
+#include "obs/symbolize.hpp"
 #include "obs/trace_export.hpp"
 
 using namespace marcopolo;
@@ -141,9 +153,21 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::vector<std::size_t> thread_counts;
   PhaseSelection select;
+  bool profile_on = false;
+  std::uint32_t profile_hz = obs::kDefaultProfileHz;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile_on = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile_on = true;
+      const long hz = std::strtol(argv[i] + 10, nullptr, 10);
+      if (hz <= 0) {
+        std::cerr << "bad --profile rate: " << (argv[i] + 10) << std::endl;
+        return 2;
+      }
+      profile_hz = static_cast<std::uint32_t>(hz);
     } else if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
       std::string bad;
       if (!PhaseSelection::parse(argv[++i], select, bad)) {
@@ -272,8 +296,27 @@ int main(int argc, char** argv) {
   bool recorded_identical = true;
   std::size_t journal_tasks = 0;
   std::size_t journal_verdicts = 0;
+  // With --profile every recorded rep runs under the sampling profiler,
+  // so "recording_overhead" below measures recorder + profiler cost and
+  // the 3% budget covers both. One profiler accumulates across reps and
+  // is drained once, after the last recorded run.
+  std::optional<obs::SamplingProfiler> profiler_storage;
+  obs::SamplingProfiler* profiler = nullptr;
+  obs::CpuProfile cpu_profile;
+  if (profile_on && select.recording) {
+    profiler_storage.emplace(profile_hz);
+    profiler = &*profiler_storage;
+    if (!profiler->available()) {
+      std::cerr << "profiler unavailable: " << profiler->unavailable_reason()
+                << std::endl;
+    }
+  }
   if (select.recording) {
-    std::cerr << "serial runs with flight recorder..." << std::endl;
+    std::cerr << "serial runs with flight recorder"
+              << (profiler != nullptr && profiler->available()
+                      ? " and profiler..."
+                      : "...")
+              << std::endl;
     for (int rep = 0; rep < kOverheadReps; ++rep) {
       {
         const auto t0 = clock();
@@ -295,7 +338,7 @@ int main(int argc, char** argv) {
       const auto t0 = clock();
       const auto data = core::run_paper_campaigns(
           *testbed, bgp::TieBreakMode::Hashed, kSeed, 1, &registry,
-          &flight_recorder, {}, /*hw_counters=*/counters_rep);
+          &flight_recorder, {}, /*hw_counters=*/counters_rep, profiler);
       const double secs = std::chrono::duration<double>(clock() - t0).count();
       if (!counters_rep && (rep == 0 || secs < recorded_seconds)) {
         recorded_seconds = secs;
@@ -305,9 +348,23 @@ int main(int argc, char** argv) {
       const obs::FlightJournal journal = flight_recorder.drain();
       journal_tasks = journal.task_count();
       journal_verdicts = journal.verdict_count();
+      if (rep == kOverheadReps - 1 && profiler != nullptr) {
+        cpu_profile = obs::symbolize_profile(profiler->drain());
+        if (cpu_profile.available && cpu_profile.samples > 0) {
+          std::cerr << "cpu profile: " << cpu_profile.samples
+                    << " samples @ " << profile_hz << " Hz, hottest "
+                    << (cpu_profile.symbols.empty()
+                            ? "(none)"
+                            : cpu_profile.symbols.front().name)
+                    << std::endl;
+        }
+      }
       if (rep == kOverheadReps - 1 && !trace_out.empty()) {
         const obs::MetricsSnapshot snap = registry.snapshot();
-        if (!obs::write_trace_dir(trace_out, journal, &snap)) {
+        const bool with_profile =
+            cpu_profile.available && cpu_profile.samples > 0;
+        if (!obs::write_trace_dir(trace_out, journal, &snap,
+                                  with_profile ? &cpu_profile : nullptr)) {
           std::cerr << "failed to write trace bundle to " << trace_out
                     << std::endl;
           return 1;
@@ -614,7 +671,17 @@ int main(int argc, char** argv) {
         << "    \"store_identical\": "
         << (recorded_identical ? "true" : "false") << ",\n"
         << "    \"task_spans\": " << journal_tasks << ",\n"
-        << "    \"verdicts\": " << journal_verdicts << "\n  },\n";
+        << "    \"verdicts\": " << journal_verdicts << ",\n"
+        << "    \"profiled\": "
+        << (profiler != nullptr && profiler->available() ? "true" : "false")
+        << "\n  },\n";
+  }
+  if (cpu_profile.available && cpu_profile.samples > 0) {
+    // Same schema as the run-manifest "profile" section, so mpinspect
+    // diff attributes instruction-gate breaches between bench documents.
+    out << "  \"profile\": ";
+    obs::write_profile_json(out, cpu_profile, "  ");
+    out << ",\n";
   }
   out << "  \"metrics\": ";
   obs::write_metrics_json(out, serial_metrics, "  ");

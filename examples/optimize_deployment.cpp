@@ -7,6 +7,7 @@
 //
 // Usage: optimize_deployment [provider] [count] [--metrics-out <file.json>]
 //                            [--trace-out <dir>] [--progress]
+//                            [--profile[=hz]]
 //   provider: aws | gcp | azure   (default azure)
 //   count:    5..8                (default 6)
 //
@@ -15,9 +16,13 @@
 // written at exit. With --trace-out the campaign runs under a flight
 // recorder and a trace bundle (Chrome trace, NDJSON provenance journal,
 // Prometheus metrics) is written into <dir>; --progress prints a live
-// stderr line as campaign tasks retire.
+// stderr line as campaign tasks retire. --profile samples campaign and
+// exhaustive-search worker CPU (default 997 Hz), adding hot symbols to
+// the manifest and profile.folded to the trace bundle.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "analysis/optimizer.hpp"
@@ -25,6 +30,8 @@
 #include "analysis/rir_cluster.hpp"
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profiler.hpp"
+#include "obs/symbolize.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace_export.hpp"
 
@@ -46,6 +53,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   bool progress = false;
+  bool profile = false;
+  std::uint32_t profile_hz = obs::kDefaultProfileHz;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -54,6 +63,16 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       progress = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile = true;
+      const long hz = std::strtol(argv[i] + 10, nullptr, 10);
+      if (hz <= 0) {
+        std::fprintf(stderr, "bad --profile rate: %s\n", argv[i] + 10);
+        return 2;
+      }
+      profile_hz = static_cast<std::uint32_t>(hz);
     } else {
       positional.push_back(argv[i]);
     }
@@ -76,6 +95,16 @@ int main(int argc, char** argv) {
   obs::FlightRecorder* recorder =
       trace_out.empty() ? nullptr : &flight_recorder;
   obs::ProgressReporter reporter(recorder);
+  std::optional<obs::SamplingProfiler> profiler_storage;
+  obs::SamplingProfiler* profiler = nullptr;
+  if (profile) {
+    profiler_storage.emplace(profile_hz);
+    profiler = &*profiler_storage;
+    if (!profiler->available()) {
+      std::fprintf(stderr, "profiler unavailable: %s\n",
+                   profiler->unavailable_reason().c_str());
+    }
+  }
   obs::RunManifest manifest("optimize_deployment");
 
   obs::PhaseClock phase;
@@ -87,6 +116,7 @@ int main(int argc, char** argv) {
   core::FastCampaignConfig campaign_cfg;
   campaign_cfg.metrics = metrics;
   campaign_cfg.recorder = recorder;
+  campaign_cfg.profiler = profiler;
   if (progress) {
     campaign_cfg.progress = [&reporter](std::size_t done, std::size_t total) {
       reporter.update(done, total);
@@ -115,6 +145,7 @@ int main(int argc, char** argv) {
                             : analysis::SearchStrategy::Beam;
   cfg.name_prefix = std::string(topo::to_string_view(provider));
   cfg.metrics = metrics;
+  cfg.profiler = profiler;
 
   phase.restart();
   const auto ranked = optimizer.optimize(cfg);
@@ -151,6 +182,20 @@ int main(int argc, char** argv) {
               analysis::format_share(stats.top_share).c_str(),
               policy.max_failures + 1);
 
+  obs::CpuProfile cpu_profile;
+  if (profiler != nullptr) {
+    cpu_profile = obs::symbolize_profile(profiler->drain());
+    if (cpu_profile.available && cpu_profile.samples > 0) {
+      manifest.set_profile(cpu_profile);
+      std::printf("\nCPU profile: %llu samples @ %u Hz, hottest: %s\n",
+                  static_cast<unsigned long long>(cpu_profile.samples),
+                  profiler->hz(),
+                  cpu_profile.symbols.empty()
+                      ? "(none)"
+                      : cpu_profile.symbols.front().name.c_str());
+    }
+  }
+
   if (!metrics_out.empty()) {
     manifest.set("provider", std::string(topo::to_string_view(provider)));
     manifest.set("set_size", count);
@@ -168,7 +213,10 @@ int main(int argc, char** argv) {
   if (recorder != nullptr) {
     const obs::FlightJournal journal = recorder->drain();
     const obs::MetricsSnapshot snap = registry.snapshot();
-    if (!obs::write_trace_dir(trace_out, journal, &snap)) {
+    const bool with_profile =
+        cpu_profile.available && cpu_profile.samples > 0;
+    if (!obs::write_trace_dir(trace_out, journal, &snap,
+                              with_profile ? &cpu_profile : nullptr)) {
       std::fprintf(stderr, "failed to write trace bundle to %s\n",
                    trace_out.c_str());
       return 1;

@@ -21,10 +21,15 @@
 // journal.ndjson (per-verdict decision provenance), and metrics.prom
 // (Prometheus text format). `--progress` prints a live stderr line as
 // campaign tasks retire; `--verbose` turns on the timestamped leveled
-// log.
+// log. `--profile[=hz]` samples campaign and optimizer worker CPU with
+// the in-process profiler (default 997 Hz): hot symbols land in the
+// manifest, profile.folded joins the trace bundle, and sample events
+// merge into trace.json.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "analysis/optimizer.hpp"
@@ -34,7 +39,9 @@
 #include "marcopolo/production_systems.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_compare.hpp"
+#include "obs/symbolize.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace_export.hpp"
 
@@ -45,6 +52,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool progress = false;
   bool verbose = false;
+  bool profile = false;
+  std::uint32_t profile_hz = obs::kDefaultProfileHz;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
@@ -54,10 +63,21 @@ int main(int argc, char** argv) {
       progress = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile = true;
+      const long hz = std::strtol(argv[i] + 10, nullptr, 10);
+      if (hz <= 0) {
+        std::fprintf(stderr, "bad --profile rate: %s\n", argv[i] + 10);
+        return 2;
+      }
+      profile_hz = static_cast<std::uint32_t>(hz);
     } else {
       std::fprintf(stderr,
                    "usage: quickstart [--metrics-out <file.json>] "
-                   "[--trace-out <dir>] [--progress] [--verbose]\n");
+                   "[--trace-out <dir>] [--progress] [--verbose] "
+                   "[--profile[=hz]]\n");
       return 2;
     }
   }
@@ -79,6 +99,18 @@ int main(int argc, char** argv) {
       reporter.update(done, total);
     };
   }
+  std::optional<obs::SamplingProfiler> profiler_storage;
+  obs::SamplingProfiler* profiler = nullptr;
+  if (profile) {
+    profiler_storage.emplace(profile_hz);
+    profiler = &*profiler_storage;
+    if (!profiler->available()) {
+      // Degraded, not fatal: the run proceeds unprofiled and produces
+      // byte-identical results (the pure-observer contract).
+      std::fprintf(stderr, "profiler unavailable: %s\n",
+                   profiler->unavailable_reason().c_str());
+    }
+  }
   obs::RunManifest manifest("quickstart");
 
   // 1. Testbed.
@@ -95,7 +127,7 @@ int main(int argc, char** argv) {
   phase.restart();
   const auto dataset = core::run_paper_campaigns(
       testbed, bgp::TieBreakMode::Hashed, 0xCAFE, /*threads=*/0, metrics,
-      recorder, progress_hook);
+      recorder, progress_hook, /*hw_counters=*/false, profiler);
   manifest.add_phase("fast_campaign", phase.seconds());
   std::printf("Campaign: %zu attacks recorded (plus RPKI variant)\n",
               testbed.sites().size() * (testbed.sites().size() - 1));
@@ -142,6 +174,7 @@ int main(int argc, char** argv) {
     single.candidates = testbed.perspectives_of(provider);
     single.name_prefix = std::string(topo::to_string_view(provider));
     single.metrics = metrics;
+    single.profiler = profiler;
     const auto best1 = optimizer.best(single);
     const auto s1 = plain.evaluate(best1.spec);
     table.add_row({std::string(topo::to_string_view(provider)), "(1, N)",
@@ -163,6 +196,7 @@ int main(int argc, char** argv) {
     cfg.beam_width = 48;
     cfg.name_prefix = std::string(topo::to_string_view(provider));
     cfg.metrics = metrics;
+    cfg.profiler = profiler;
     const auto best = optimizer.best(cfg);
     const auto s = plain.evaluate(best.spec);
     table.add_row({std::string(topo::to_string_view(provider)), "(6, N-2)",
@@ -185,6 +219,23 @@ int main(int argc, char** argv) {
   std::printf("\nResilience without RPKI (fraction of adversaries defeated):\n%s",
               table.to_string().c_str());
 
+  obs::CpuProfile cpu_profile;
+  if (profiler != nullptr) {
+    cpu_profile = obs::symbolize_profile(profiler->drain());
+    if (cpu_profile.available && cpu_profile.samples > 0) {
+      manifest.set_profile(cpu_profile);
+      std::printf("\nCPU profile: %llu samples @ %u Hz (%llu dropped, "
+                  "%llu truncated), hottest: %s\n",
+                  static_cast<unsigned long long>(cpu_profile.samples),
+                  profiler->hz(),
+                  static_cast<unsigned long long>(cpu_profile.dropped),
+                  static_cast<unsigned long long>(cpu_profile.truncated),
+                  cpu_profile.symbols.empty()
+                      ? "(none)"
+                      : cpu_profile.symbols.front().name.c_str());
+    }
+  }
+
   if (!metrics_out.empty()) {
     manifest.set("tie_break", "hashed");
     manifest.set("tie_break_seed", std::uint64_t{0xCAFE});
@@ -201,15 +252,20 @@ int main(int argc, char** argv) {
   if (recorder != nullptr) {
     const obs::FlightJournal journal = recorder->drain();
     const obs::MetricsSnapshot snap = registry.snapshot();
-    if (!obs::write_trace_dir(trace_out, journal, &snap)) {
+    const bool with_profile =
+        cpu_profile.available && cpu_profile.samples > 0;
+    if (!obs::write_trace_dir(trace_out, journal, &snap,
+                              with_profile ? &cpu_profile : nullptr)) {
       std::fprintf(stderr, "failed to write trace bundle to %s\n",
                    trace_out.c_str());
       return 1;
     }
     std::printf(
         "\nTrace bundle written to %s (trace.json, journal.ndjson, "
-        "metrics.prom): %zu task spans, %zu verdicts (%zu adversary-routed)\n",
-        trace_out.c_str(), journal.task_count(), journal.verdict_count(),
+        "metrics.prom%s): %zu task spans, %zu verdicts (%zu "
+        "adversary-routed)\n",
+        trace_out.c_str(), with_profile ? ", profile.folded" : "",
+        journal.task_count(), journal.verdict_count(),
         journal.adversary_verdict_count());
     // Self-check: a bundle this process cannot read back (or whose
     // journal disagrees with the manifest counters) is a bug, not a

@@ -136,6 +136,9 @@ std::vector<RankedDeployment> DeploymentOptimizer::search_exhaustive(
       cfg.hw_counters && obs::PerfCounterGroup::probe();
 
   auto worker = [&](std::size_t t) {
+    // Attach this worker thread to the sampling profiler (no-op when
+    // null/unavailable) so search CPU attributes to the scoring kernels.
+    obs::ProfiledThread profiled(cfg.profiler);
     // Per-thread perf group bracketing the whole work loop: two reads
     // per worker, zero cost inside the DFS itself.
     std::unique_ptr<obs::PerfCounterGroup> perf;

@@ -27,6 +27,7 @@
 #include "analysis/resilience.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
 #include "topo/rir.hpp"
 
 namespace marcopolo::analysis {
@@ -104,6 +105,11 @@ struct OptimizerConfig {
   /// attached, under "optimizer.instructions" etc. Degrades to off on
   /// hosts without perf_event_open, leaving output byte-identical.
   bool hw_counters = false;
+  /// Optional sampling CPU profiler: exhaustive-search workers attach
+  /// their threads for the DFS loop, attributing search CPU to the
+  /// scoring kernels by function. Pure observer like `hw_counters`; null
+  /// or unavailable changes nothing.
+  obs::SamplingProfiler* profiler = nullptr;
 };
 
 /// Not thread-safe: the optimizer owns reusable scoring scratch (a count

@@ -222,6 +222,7 @@ class CampaignWorker {
                                             /*total_capture=*/true, t_start, 0,
                                             0, t_start, c_task));
         recorder_->note_verdicts(total, total);
+        recorder_->note_instructions(c_task.instructions);
       }
       return;
     }
@@ -304,6 +305,7 @@ class CampaignWorker {
                                           t_propagated, t_classified, t_start,
                                           c_task));
       recorder_->note_verdicts(rows * perspectives.size(), adversary_verdicts);
+      recorder_->note_instructions(c_task.instructions);
     }
   }
 
@@ -447,7 +449,10 @@ ResultStore run_fast_campaign(const Testbed& testbed,
   auto drain = [&] {
     // Lane opened on the worker thread itself so wall-clock records group
     // one-trace-lane-per-thread; the recorder keeps the buffer alive past
-    // the join.
+    // the join. The profiler guard likewise attaches *this* thread's
+    // CPU-time timer for the task loop's duration (no-op when null or
+    // unavailable).
+    obs::ProfiledThread profiled(config.profiler);
     obs::FlightBuffer* flight =
         config.recorder != nullptr ? config.recorder->open_buffer() : nullptr;
     CampaignWorker worker(testbed, config, edge_roas, store, metrics,
@@ -493,7 +498,7 @@ CampaignDataset run_paper_campaigns(
     std::uint64_t tie_break_seed, std::size_t threads,
     obs::MetricsRegistry* metrics, obs::FlightRecorder* recorder,
     const std::function<void(std::size_t, std::size_t)>& progress,
-    bool hw_counters) {
+    bool hw_counters, obs::SamplingProfiler* profiler) {
   FastCampaignConfig plain;
   plain.type = bgp::AttackType::EquallySpecific;
   plain.tie_break = tie_break;
@@ -503,6 +508,7 @@ CampaignDataset run_paper_campaigns(
   plain.recorder = recorder;
   plain.progress = progress;
   plain.hw_counters = hw_counters;
+  plain.profiler = profiler;
 
   FastCampaignConfig forged = plain;
   forged.type = bgp::AttackType::ForgedOriginPrepend;

@@ -15,6 +15,7 @@
 #include "marcopolo/testbed.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace marcopolo::core {
 
@@ -99,6 +100,14 @@ struct FastCampaignConfig {
   /// flag degrades to off: no counter metrics are interned, so output
   /// matches a counters-off run byte for byte.
   bool hw_counters = false;
+  /// Optional sampling CPU profiler (obs::SamplingProfiler): every worker
+  /// thread attaches for the duration of its task loop, so the drained
+  /// profile attributes campaign CPU to functions. Same pure-observer
+  /// contract as `metrics`/`recorder`/`hw_counters`: the store, metrics,
+  /// and journal are byte-identical with the profiler on, off, or
+  /// unavailable (asserted by tests); null means no signal handlers, no
+  /// timers, nothing.
+  obs::SamplingProfiler* profiler = nullptr;
 
   /// The prefix victim `v` announces under this config.
   [[nodiscard]] netsim::Ipv4Prefix victim_prefix(std::size_t v) const {
@@ -134,6 +143,6 @@ struct CampaignDataset {
     obs::MetricsRegistry* metrics = nullptr,
     obs::FlightRecorder* recorder = nullptr,
     const std::function<void(std::size_t, std::size_t)>& progress = {},
-    bool hw_counters = false);
+    bool hw_counters = false, obs::SamplingProfiler* profiler = nullptr);
 
 }  // namespace marcopolo::core

@@ -237,6 +237,17 @@ class FlightRecorder {
     return adversary_verdicts_.load(std::memory_order_relaxed);
   }
 
+  /// Live instructions-retired tally (hw_counters runs only). Workers
+  /// flush one per-task delta, so the progress line can show live
+  /// instructions/s next to tasks/s; stays 0 — and the line unchanged —
+  /// when counters are off or unavailable.
+  void note_instructions(std::uint64_t delta) {
+    if (delta != 0) instructions_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t instructions() const {
+    return instructions_.load(std::memory_order_relaxed);
+  }
+
   /// Merge every buffer into one journal and reset the recorder. Call
   /// after all writers have finished their final task.
   [[nodiscard]] FlightJournal drain();
@@ -246,12 +257,14 @@ class FlightRecorder {
   std::vector<std::unique_ptr<FlightBuffer>> buffers_;
   std::atomic<std::uint64_t> verdicts_{0};
   std::atomic<std::uint64_t> adversary_verdicts_{0};
+  std::atomic<std::uint64_t> instructions_{0};
 };
 
 /// Periodic stderr progress line driven from the campaign progress hook
-/// and, when a recorder is attached, its live verdict counters:
+/// and, when a recorder is attached, its live verdict counters (plus
+/// live instructions/s on hw_counters runs):
 ///
-///   [campaign] 512/992 tasks (51.6%)  324.1 tasks/s  ETA 1.5s  hijacked 34.2%
+///   [campaign] 512/992 tasks (51.6%)  324.1 tasks/s  2.1G instr/s  ETA 1.5s  hijacked 34.2%
 ///
 /// Thread-safe and rate-limited (at most one update per interval). Live
 /// updates overwrite a single line via \r; completion always emits a

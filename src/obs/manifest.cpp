@@ -1,5 +1,6 @@
 #include "obs/manifest.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -118,6 +119,29 @@ void RunManifest::add_phase(std::string_view name, double seconds,
   phases_.push_back(Phase{std::string(name), seconds, stats});
 }
 
+void write_profile_json(std::ostream& out, const CpuProfile& profile,
+                        std::string_view indent, std::size_t top_n) {
+  out << "{\n"
+      << indent << "  \"hz\": " << profile.hz << ",\n"
+      << indent << "  \"samples\": " << profile.samples << ",\n"
+      << indent << "  \"dropped\": " << profile.dropped << ",\n"
+      << indent << "  \"truncated\": " << profile.truncated << ",\n"
+      << indent << "  \"symbols\": [";
+  const std::size_t n = std::min(top_n, profile.symbols.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const HotSymbol& s = profile.symbols[i];
+    out << (i == 0 ? "\n" : ",\n") << indent << "    {\"name\": \""
+        << json_escape(s.name) << "\", \"self\": " << s.self
+        << ", \"total\": " << s.total << "}";
+  }
+  if (n > 0) out << "\n" << indent << "  ";
+  out << "]\n" << indent << "}";
+}
+
+void RunManifest::set_profile(const CpuProfile& profile) {
+  profile_ = profile;
+}
+
 void RunManifest::write_json(std::ostream& out,
                              const MetricsSnapshot& snapshot) const {
   out << "{\n"
@@ -153,8 +177,13 @@ void RunManifest::write_json(std::ostream& out,
     out << "}";
   }
   if (!phases_.empty()) out << "\n  ";
-  out << "],\n"
-      << "  \"metrics\": ";
+  out << "],\n";
+  if (profile_.available && profile_.samples > 0) {
+    out << "  \"profile\": ";
+    write_profile_json(out, profile_, "  ");
+    out << ",\n";
+  }
+  out << "  \"metrics\": ";
   write_metrics_json(out, snapshot, "  ");
   out << "\n}\n";
 }

@@ -21,6 +21,7 @@
 #include "obs/json.hpp"  // json_escape (the writers' shared escaper)
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/symbolize.hpp"
 
 namespace marcopolo::obs {
 
@@ -41,6 +42,16 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
 /// between RunManifest and the campaign_wallclock bench so both emit the
 /// exact field names manifest_reader parses.
 void write_phase_stats_json(std::ostream& out, const PhaseStats& stats);
+
+/// Write a CpuProfile's summary as a JSON object: sampling rate, sample
+/// accounting, and the top-`top_n` hot symbols by self samples
+/// ({"name", "self", "total"} each). Shared between RunManifest and the
+/// campaign_wallclock bench so both emit the exact field names
+/// manifest_reader parses. `indent` is prepended to every line after the
+/// first.
+void write_profile_json(std::ostream& out, const CpuProfile& profile,
+                        std::string_view indent = {},
+                        std::size_t top_n = 20);
 
 class RunManifest {
  public:
@@ -70,6 +81,12 @@ class RunManifest {
   void add_phase(std::string_view name, double seconds,
                  const PhaseStats& stats);
 
+  /// Attach a CPU profile summary. Serialized as a "profile" section
+  /// only when the profile is available and non-empty, so profiler
+  /// off/unavailable manifests stay byte-identical to pre-profiler ones
+  /// — call sites never branch on availability.
+  void set_profile(const CpuProfile& profile);
+
   /// Serialize config + phases + `snapshot` as one JSON document.
   void write_json(std::ostream& out, const MetricsSnapshot& snapshot) const;
 
@@ -90,6 +107,7 @@ class RunManifest {
   std::string tool_;
   std::vector<std::pair<std::string, Value>> config_;
   std::vector<Phase> phases_;
+  CpuProfile profile_;  // available && samples > 0 gates serialization
 };
 
 }  // namespace marcopolo::obs

@@ -143,6 +143,25 @@ ReadManifest ManifestReader::read_string(const std::string& text) {
     out.recording_overhead =
         recording->number_or("recording_overhead", 0.0);
   }
+  if (const json::Value* profile = doc.find("profile");
+      profile != nullptr && profile->is_object()) {
+    out.has_profile = true;
+    out.profile.hz = static_cast<std::uint32_t>(profile->u64_or("hz", 0));
+    out.profile.samples = profile->u64_or("samples", 0);
+    out.profile.dropped = profile->u64_or("dropped", 0);
+    out.profile.truncated = profile->u64_or("truncated", 0);
+    if (const json::Value* symbols = profile->find("symbols");
+        symbols != nullptr && symbols->is_array()) {
+      for (const json::Value& symbol : symbols->array()) {
+        if (!symbol.is_object()) continue;
+        ReadHotSymbol row;
+        row.name = symbol.string_or("name", "?");
+        row.self = symbol.u64_or("self", 0);
+        row.total = symbol.u64_or("total", 0);
+        out.profile.symbols.push_back(std::move(row));
+      }
+    }
+  }
   return out;
 }
 

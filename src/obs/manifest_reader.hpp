@@ -68,6 +68,31 @@ struct BenchRunRow {
   }
 };
 
+/// One row of a manifest's hot-symbol table ("profile"."symbols").
+struct ReadHotSymbol {
+  std::string name;
+  std::uint64_t self = 0;   ///< Samples with this symbol as leaf.
+  std::uint64_t total = 0;  ///< Samples with this symbol anywhere.
+};
+
+/// The "profile" section written by write_profile_json (manifests and
+/// campaign_wallclock documents share the shape).
+struct ReadProfile {
+  std::uint32_t hz = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  /// Top-N by self samples, in document (descending-self) order.
+  std::vector<ReadHotSymbol> symbols;
+
+  /// Self share of the run, in [0,1]; 0 when the sample total is 0.
+  [[nodiscard]] double self_share(std::uint64_t self) const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(self) /
+                              static_cast<double>(samples);
+  }
+};
+
 /// Everything read back from one manifest/benchmark JSON document.
 struct ReadManifest {
   int schema = 0;       ///< manifest_schema; 0 for bench documents.
@@ -89,6 +114,11 @@ struct ReadManifest {
   std::vector<BenchRunRow> runs;  ///< campaign_wallclock only.
   bool has_recording = false;
   double recording_overhead = 0.0;
+
+  /// CPU-profile summary; has_profile distinguishes "absent" (profiler
+  /// off/unavailable, or a pre-profiler document) from an empty table.
+  bool has_profile = false;
+  ReadProfile profile;
 
   std::vector<std::string> errors;
   [[nodiscard]] bool ok() const { return errors.empty(); }

@@ -176,12 +176,49 @@ RunComparison compare_runs(const ReadManifest& base,
   }
   out.base_perf_counters = base.perf_counters;
   out.cand_perf_counters = cand.perf_counters;
+
+  // Hot symbols: union of both top-N tables, ranked by share growth.
+  // Shares normalize by each run's own sample total, so a longer
+  // candidate run does not read as "everything regressed".
+  out.base_has_profile = base.has_profile;
+  out.cand_has_profile = cand.has_profile;
+  out.base_profile_samples = base.profile.samples;
+  out.cand_profile_samples = cand.profile.samples;
+  if (base.has_profile && cand.has_profile) {
+    std::map<std::string, HotSymbolDelta> merged;
+    for (const ReadHotSymbol& s : base.profile.symbols) {
+      HotSymbolDelta& d = merged[s.name];
+      d.name = s.name;
+      d.in_base = true;
+      d.base_self = s.self;
+      d.base_share = base.profile.self_share(s.self);
+    }
+    for (const ReadHotSymbol& s : cand.profile.symbols) {
+      HotSymbolDelta& d = merged[s.name];
+      d.name = s.name;
+      d.in_cand = true;
+      d.cand_self = s.self;
+      d.cand_share = cand.profile.self_share(s.self);
+    }
+    out.hot_symbols.reserve(merged.size());
+    for (auto& [name, delta] : merged) {
+      out.hot_symbols.push_back(std::move(delta));
+    }
+    std::sort(out.hot_symbols.begin(), out.hot_symbols.end(),
+              [](const HotSymbolDelta& a, const HotSymbolDelta& b) {
+                if (a.share_delta_pp() != b.share_delta_pp()) {
+                  return a.share_delta_pp() > b.share_delta_pp();
+                }
+                return a.name < b.name;
+              });
+  }
   return out;
 }
 
 DiffGateResult evaluate_gate(const RunComparison& comparison,
                              const DiffGateConfig& config) {
   DiffGateResult out;
+  bool instructions_breached = false;
   for (const BenchRunDelta& run : comparison.runs) {
     if (run.seconds_pct() > config.max_regress_pct) {
       out.pass = false;
@@ -213,6 +250,7 @@ DiffGateResult evaluate_gate(const RunComparison& comparison,
       // silently; the mpinspect tables still show the numbers.
       if (phase.instructions_pct() > config.counter_max_regress_pct) {
         out.pass = false;
+        instructions_breached = true;
         out.violations.push_back(
             "phase " + phase.name + " instructions " +
             format_pct(phase.instructions_pct()) + " (" +
@@ -296,7 +334,114 @@ DiffGateResult evaluate_gate(const RunComparison& comparison,
                           std::to_string(counter.cand));
     }
   }
+  // When the instruction gate fired and both runs carry profiles, name
+  // the likeliest culprits right in the gate output: the symbols whose
+  // CPU share grew the most (the diff table has the full ranking).
+  if (instructions_breached && !comparison.hot_symbols.empty()) {
+    std::string note = "hot symbols explaining the instruction growth:";
+    std::size_t named = 0;
+    for (const HotSymbolDelta& s : comparison.hot_symbols) {
+      if (s.share_delta_pp() <= 0.0 || named == 3) break;
+      char item[192];
+      std::snprintf(item, sizeof item, "%s %s (%+.1fpp)",
+                    named == 0 ? "" : ",", s.name.c_str(),
+                    s.share_delta_pp());
+      note += item;
+      ++named;
+    }
+    if (named > 0) out.notes.push_back(std::move(note));
+  }
   return out;
+}
+
+FoldedProfile read_folded_profile(std::istream& in) {
+  FoldedProfile out;
+  std::map<std::string, ReadHotSymbol> symbols;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      out.problems.push_back("line " + std::to_string(lineno) + ": empty");
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      out.problems.push_back("line " + std::to_string(lineno) +
+                             ": expected \"stack count\"");
+      continue;
+    }
+    const std::string stack = line.substr(0, space);
+    std::uint64_t count = 0;
+    bool numeric = true;
+    for (std::size_t i = space + 1; i < line.size(); ++i) {
+      if (line[i] < '0' || line[i] > '9') {
+        numeric = false;
+        break;
+      }
+      count = count * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    }
+    if (!numeric || count == 0) {
+      out.problems.push_back("line " + std::to_string(lineno) +
+                             ": count must be a positive integer");
+      continue;
+    }
+
+    // Frames: ';'-separated, none may be empty.
+    std::vector<std::string> frames;
+    std::size_t begin = 0;
+    bool frames_ok = true;
+    while (begin <= stack.size()) {
+      std::size_t end = stack.find(';', begin);
+      if (end == std::string::npos) end = stack.size();
+      if (end == begin) {
+        out.problems.push_back("line " + std::to_string(lineno) +
+                               ": empty frame in stack");
+        frames_ok = false;
+        break;
+      }
+      frames.push_back(stack.substr(begin, end - begin));
+      if (end == stack.size()) break;
+      begin = end + 1;
+    }
+    if (!frames_ok) continue;
+
+    out.total += count;
+    out.stacks.emplace_back(stack, count);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      auto [it, fresh] = symbols.try_emplace(frames[i]);
+      if (fresh) it->second.name = frames[i];
+      if (i + 1 == frames.size()) it->second.self += count;  // leaf
+      // `total` once per stack even if the frame recurses.
+      if (std::find(frames.begin(), frames.begin() + static_cast<std::ptrdiff_t>(i),
+                    frames[i]) == frames.begin() + static_cast<std::ptrdiff_t>(i)) {
+        it->second.total += count;
+      }
+    }
+  }
+  if (out.stacks.empty() && out.problems.empty()) {
+    out.problems.emplace_back("no stacks");
+  }
+  out.symbols.reserve(symbols.size());
+  for (auto& [name, sym] : symbols) out.symbols.push_back(std::move(sym));
+  std::sort(out.symbols.begin(), out.symbols.end(),
+            [](const ReadHotSymbol& a, const ReadHotSymbol& b) {
+              if (a.self != b.self) return a.self > b.self;
+              if (a.total != b.total) return a.total > b.total;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+FoldedProfile read_folded_profile_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    FoldedProfile out;
+    out.problems.push_back("cannot open " + path);
+    return out;
+  }
+  return read_folded_profile(in);
 }
 
 namespace {
@@ -413,6 +558,17 @@ BundleCheckResult check_trace_bundle(const std::string& dir,
     }
   }
 
+  const std::filesystem::path folded_path = base / "profile.folded";
+  if (std::filesystem::exists(folded_path)) {
+    const FoldedProfile folded =
+        read_folded_profile_file(folded_path.string());
+    out.has_profile = true;
+    out.profile_samples = folded.total;
+    for (const std::string& problem : folded.problems) {
+      out.fail("profile.folded " + problem);
+    }
+  }
+
   const std::filesystem::path prom_path = base / "metrics.prom";
   if (std::filesystem::exists(prom_path)) {
     const auto samples = read_prometheus_counters(prom_path.string());
@@ -442,6 +598,13 @@ BundleCheckResult check_trace_bundle(const std::string& dir,
         out.fail("manifest orchestrator.attack_attempts " +
                  std::to_string(attempts) + " != journal attack spans " +
                  std::to_string(out.attacks));
+      }
+      if (out.has_profile && manifest.has_profile &&
+          manifest.profile.samples != out.profile_samples) {
+        out.fail("manifest profile samples " +
+                 std::to_string(manifest.profile.samples) +
+                 " != profile.folded total " +
+                 std::to_string(out.profile_samples));
       }
     }
   }

@@ -170,6 +170,27 @@ struct PhaseDelta {
   }
 };
 
+/// One symbol from the union of both runs' hot-symbol tables. Shares are
+/// self samples over the run's total samples — sampling rates or run
+/// lengths need not match for the comparison to be meaningful.
+struct HotSymbolDelta {
+  std::string name;
+  bool in_base = false;
+  bool in_cand = false;
+  std::uint64_t base_self = 0;
+  std::uint64_t cand_self = 0;
+  double base_share = 0.0;  ///< base_self / base total samples, in [0,1].
+  double cand_share = 0.0;
+
+  /// Share change in percentage points; positive = the symbol costs a
+  /// larger fraction of the candidate run. This is the ranking key of
+  /// the hot-symbol regression section: the symbols that grew the most
+  /// are the ones explaining an instructions-gate breach.
+  [[nodiscard]] double share_delta_pp() const {
+    return 100.0 * (cand_share - base_share);
+  }
+};
+
 struct RunComparison {
   std::vector<CounterDelta> counters;    ///< Union of names, sorted.
   std::vector<QuantileDelta> quantiles;  ///< Common histograms × {p50,p95,p99}.
@@ -180,6 +201,15 @@ struct RunComparison {
   /// *why* a side has no counter columns instead of silently noting.
   std::string base_perf_counters;
   std::string cand_perf_counters;
+
+  /// Hot-symbol regression attribution, present when both documents
+  /// carry a profile section; sorted by share_delta_pp descending (the
+  /// biggest riser — the likeliest culprit — first).
+  bool base_has_profile = false;
+  bool cand_has_profile = false;
+  std::uint64_t base_profile_samples = 0;
+  std::uint64_t cand_profile_samples = 0;
+  std::vector<HotSymbolDelta> hot_symbols;
 };
 
 [[nodiscard]] RunComparison compare_runs(const ReadManifest& base,
@@ -224,7 +254,26 @@ struct DiffGateResult {
                                            const DiffGateConfig& config);
 
 // ---------------------------------------------------------------------------
-// Bundle validation.
+// Folded-profile parsing and bundle validation.
+
+/// A parsed profile.folded (flamegraph.pl collapsed format). Parsing is
+/// also validation: `problems` collects format breaches (empty stacks,
+/// empty frames, missing or non-positive counts) with 1-based line
+/// numbers, so `mpinspect check` reports them directly.
+struct FoldedProfile {
+  std::uint64_t total = 0;  ///< Sum of all stack counts.
+  std::vector<std::pair<std::string, std::uint64_t>> stacks;
+  /// Aggregated per-symbol self/total, same semantics as the manifest
+  /// table (self = leaf occurrences, total = once per stack weighted by
+  /// count), sorted by self descending — lets `mpinspect hotspots` rank
+  /// symbols from the folded file alone.
+  std::vector<ReadHotSymbol> symbols;
+  std::vector<std::string> problems;
+  [[nodiscard]] bool ok() const { return problems.empty(); }
+};
+
+[[nodiscard]] FoldedProfile read_folded_profile(std::istream& in);
+[[nodiscard]] FoldedProfile read_folded_profile_file(const std::string& path);
 
 struct BundleCheckResult {
   bool ok = true;
@@ -235,6 +284,9 @@ struct BundleCheckResult {
   std::size_t verdicts = 0;
   std::size_t attacks = 0;
   std::size_t quorums = 0;
+  /// profile.folded accounting (0 / false when the bundle has none).
+  bool has_profile = false;
+  std::uint64_t profile_samples = 0;
 
   void fail(std::string problem) {
     ok = false;
@@ -250,7 +302,11 @@ struct BundleCheckResult {
 ///     worker, attack announce_us, quorum virtual_us);
 ///   - trace.json is well-formed JSON with a traceEvents array;
 ///   - metrics.prom counters agree with the journal (tasks, and when a
-///     run manifest is supplied via `manifest_path`, its counters too).
+///     run manifest is supplied via `manifest_path`, its counters too);
+///   - profile.folded, when present, parses cleanly (non-empty
+///     `;`-separated stacks, positive counts) and its sample total
+///     agrees with the manifest's "profile" section when one is
+///     supplied.
 [[nodiscard]] BundleCheckResult check_trace_bundle(
     const std::string& dir, const std::string& manifest_path = {});
 

@@ -1,0 +1,135 @@
+#include "obs/symbolize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#define MARCOPOLO_HAVE_DLADDR 1
+#else
+#define MARCOPOLO_HAVE_DLADDR 0
+#endif
+
+namespace marcopolo::obs {
+
+namespace {
+
+std::string hex_fallback(std::uintptr_t pc) {
+  char buf[2 + 2 * sizeof(std::uintptr_t) + 4];
+  std::snprintf(buf, sizeof(buf), "[0x%llx]",
+                static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+}  // namespace
+
+std::string symbolize_pc(std::uintptr_t pc, bool adjust_return_address) {
+  // A return address points to the instruction *after* the call; step
+  // back one byte so a call that ends a function attributes to the
+  // caller, not its lexical successor.
+  const std::uintptr_t lookup = adjust_return_address && pc != 0 ? pc - 1 : pc;
+#if MARCOPOLO_HAVE_DLADDR
+  Dl_info info;
+  if (lookup != 0 && dladdr(reinterpret_cast<void*>(lookup), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // ';' is the folded-stack frame separator and must never appear
+    // inside a frame name.
+    std::replace(name.begin(), name.end(), ';', ':');
+    return name;
+  }
+#endif
+  // Unresolvable frames still fold/diff stably: emit the *adjusted*
+  // address so a call site names the call, not the return point.
+  return hex_fallback(lookup);
+}
+
+CpuProfile symbolize_profile(const RawProfile& raw) {
+  CpuProfile out;
+  out.hz = raw.hz;
+  out.available = raw.available;
+  out.dropped = raw.dropped_count();
+
+  // Cache per (pc, adjusted) — profiles revisit the same few hundred PCs
+  // thousands of times.
+  std::unordered_map<std::uint64_t, std::string> cache;
+  const auto name_of = [&cache](std::uintptr_t pc,
+                                bool adjust) -> const std::string& {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(pc) << 1) | (adjust ? 1u : 0u);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, symbolize_pc(pc, adjust)).first;
+    }
+    return it->second;
+  };
+
+  // folded maps each stack line to {count, discovery id}; events record
+  // discovery ids and are remapped once the final (sorted) order exists.
+  std::map<std::string, std::pair<std::uint64_t, std::uint32_t>> folded;
+  std::map<std::string, HotSymbol> symbols;
+  for (const ThreadSamples& thread : raw.threads) {
+    for (const RawSample& sample : thread.samples) {
+      if (sample.depth == 0) continue;
+      ++out.samples;
+      if (sample.truncated) ++out.truncated;
+
+      // pc[0] is the leaf, pc[depth-1] the outermost frame; folded
+      // stacks read root-first.
+      std::string line;
+      std::set<const std::string*> seen;  // count `total` once per sample
+      for (std::size_t i = sample.depth; i-- > 0;) {
+        const bool leaf = i == 0;
+        const std::string& frame = name_of(sample.pc[i], /*adjust=*/!leaf);
+        if (!line.empty()) line += ';';
+        line += frame;
+        auto [it, inserted] = symbols.try_emplace(frame);
+        if (inserted) it->second.name = frame;
+        if (leaf) ++it->second.self;
+        if (seen.insert(&it->first).second) ++it->second.total;
+      }
+      auto [fit, fresh] = folded.try_emplace(
+          line, std::pair<std::uint64_t, std::uint32_t>{
+                    0, static_cast<std::uint32_t>(folded.size())});
+      (void)fresh;
+      fit->second.first += 1;
+      out.events.push_back(
+          SampleEvent{thread.thread_id, sample.ns, fit->second.second});
+    }
+  }
+
+  out.stacks.reserve(folded.size());
+  std::vector<std::uint32_t> remap(folded.size(), 0);
+  for (auto& [stack, entry] : folded) {
+    remap[entry.second] = static_cast<std::uint32_t>(out.stacks.size());
+    out.stacks.push_back(FoldedStack{stack, entry.first});
+  }
+  for (SampleEvent& e : out.events) e.stack = remap[e.stack];
+  std::sort(out.events.begin(), out.events.end(),
+            [](const SampleEvent& a, const SampleEvent& b) {
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              if (a.ns != b.ns) return a.ns < b.ns;
+              return a.stack < b.stack;
+            });
+  out.symbols.reserve(symbols.size());
+  for (auto& [name, sym] : symbols) out.symbols.push_back(std::move(sym));
+  std::sort(out.symbols.begin(), out.symbols.end(),
+            [](const HotSymbol& a, const HotSymbol& b) {
+              if (a.self != b.self) return a.self > b.self;
+              if (a.total != b.total) return a.total > b.total;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace marcopolo::obs

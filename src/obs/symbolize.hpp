@@ -1,0 +1,77 @@
+// Offline symbolization for the sampling profiler (profiler.hpp).
+//
+// Runs strictly after the profiled workload — never in a signal handler —
+// so it is free to allocate, demangle, and cache. dladdr resolves each
+// unique PC against the loaded objects (executables set ENABLE_EXPORTS /
+// -rdynamic so their own symbols are visible), __cxa_demangle prettifies
+// C++ names, and anything no object claims becomes "[0xADDR]" so a
+// stripped or JIT frame still folds into a stable stack line instead of
+// vanishing.
+//
+// The symbolized form, CpuProfile, is the single model all three exports
+// consume: folded stacks for profile.folded / flamegraph.pl, the stack
+// table for trace.json sample events, and the self/total symbol table for
+// the run manifest and `mpinspect hotspots` / `diff`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace marcopolo::obs {
+
+/// Aggregate cost of one symbol across the profile.
+struct HotSymbol {
+  std::string name;
+  /// Samples with this symbol on top of the stack (leaf): CPU spent *in*
+  /// the function.
+  std::uint64_t self = 0;
+  /// Samples with this symbol anywhere on the stack, counted once per
+  /// sample even under recursion: CPU spent in or below the function.
+  std::uint64_t total = 0;
+};
+
+/// One aggregated call stack, root-first, plus how often it was seen.
+struct FoldedStack {
+  /// "root;caller;...;leaf" — frames joined with ';' in flamegraph.pl's
+  /// collapsed format. Frame names never contain ';' (symbolize_pc
+  /// replaces any with ':').
+  std::string stack;
+  std::uint64_t count = 0;
+};
+
+/// One sample occurrence, kept so trace.json can place samples on the
+/// timeline; `stack` indexes CpuProfile::stacks.
+struct SampleEvent {
+  std::uint32_t thread_id = 0;
+  std::uint64_t ns = 0;  ///< CLOCK_MONOTONIC, same clock as flight spans.
+  std::uint32_t stack = 0;
+};
+
+/// A fully symbolized profile: what the exporters and readers consume.
+struct CpuProfile {
+  std::uint32_t hz = 0;
+  bool available = false;  ///< Mirrors RawProfile::available.
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;  ///< Samples cut at RawSample::kMaxDepth.
+  /// Sorted by stack string for deterministic output.
+  std::vector<FoldedStack> stacks;
+  /// Sorted by self descending, then name; sum(self) == samples.
+  std::vector<HotSymbol> symbols;
+  /// Per-sample timeline, ordered (thread_id, ns).
+  std::vector<SampleEvent> events;
+};
+
+/// Resolve one PC to a display name: demangled symbol via dladdr, else
+/// "[0xADDR]". `adjust_return_address` subtracts 1 first (return
+/// addresses point after the call; the call site is the frame we want).
+std::string symbolize_pc(std::uintptr_t pc, bool adjust_return_address);
+
+/// Symbolize and aggregate a drained RawProfile. Deterministic given the
+/// same raw samples: stacks sort lexically, symbols by self share.
+CpuProfile symbolize_profile(const RawProfile& raw);
+
+}  // namespace marcopolo::obs

@@ -14,6 +14,17 @@ namespace {
 
 constexpr int kWallPid = 1;     ///< Wall-clock worker lanes.
 constexpr int kVirtualPid = 2;  ///< Orchestrator virtual-time lanes.
+constexpr int kProfilePid = 3;  ///< CPU-profiler sample lanes.
+/// Profiled threads are not the same ids as worker lanes; offset their
+/// tids so the flat tid namespace of the legacy "samples" array cannot
+/// collide with pid-1 workers.
+constexpr int kProfileTidBase = 1000;
+
+/// Sample sections are emitted only for a real profile; null, probe-failed,
+/// or empty profiles leave trace.json byte-identical (pure observer).
+bool has_profile_data(const CpuProfile* profile) {
+  return profile != nullptr && profile->available && profile->samples > 0;
+}
 
 /// Microsecond timestamp (3 decimals keeps nanosecond precision) for the
 /// Chrome trace, relative to the journal epoch.
@@ -84,10 +95,87 @@ std::string prometheus_name(std::string_view name) {
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& out, const FlightJournal& journal) {
+namespace {
+
+/// Build the legacy "stackFrames" trie from the folded stacks and emit
+/// it plus the "samples" array. Frame ids are allocated in first-visit
+/// order walking the (sorted) stacks root-first, so output is
+/// deterministic. Returns nothing; writes both top-level sections
+/// (caller supplies the separating commas).
+void write_sample_sections(std::ostream& out, const CpuProfile& profile,
+                           std::uint64_t epoch_ns) {
+  struct Frame {
+    std::string name;
+    std::uint32_t parent;  // 0 = root (no parent); ids are 1-based
+  };
+  std::vector<Frame> frames;
+  // (parent id, frame name) -> frame id
+  std::map<std::pair<std::uint32_t, std::string>, std::uint32_t> interned;
+  std::vector<std::uint32_t> leaf_of(profile.stacks.size(), 0);
+
+  for (std::size_t s = 0; s < profile.stacks.size(); ++s) {
+    const std::string& line = profile.stacks[s].stack;
+    std::uint32_t parent = 0;
+    std::size_t begin = 0;
+    while (begin <= line.size()) {
+      std::size_t end = line.find(';', begin);
+      if (end == std::string::npos) end = line.size();
+      std::string name = line.substr(begin, end - begin);
+      auto [it, fresh] = interned.try_emplace(
+          {parent, name}, static_cast<std::uint32_t>(frames.size() + 1));
+      if (fresh) frames.push_back(Frame{std::move(name), parent});
+      parent = it->second;
+      if (end == line.size()) break;
+      begin = end + 1;
+    }
+    leaf_of[s] = parent;
+  }
+
+  out << "\"stackFrames\": {";
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out << (i == 0 ? "\n  " : ",\n  ") << "\"" << (i + 1)
+        << "\": {\"name\": \"" << json_escape(frames[i].name)
+        << "\", \"category\": \"cpu\"";
+    if (frames[i].parent != 0) {
+      out << ", \"parent\": \"" << frames[i].parent << "\"";
+    }
+    out << "}";
+  }
+  out << "\n},\n\"samples\": [";
+  bool first = true;
+  for (const SampleEvent& e : profile.events) {
+    out << (first ? "\n  {" : ",\n  {");
+    first = false;
+    out << "\"cpu\": 0, \"tid\": " << (kProfileTidBase + e.thread_id)
+        << ", \"ts\": ";
+    write_wall_ts(out, e.ns, epoch_ns);
+    out << ", \"name\": \"cpu_sample\", \"sf\": " << leaf_of[e.stack]
+        << ", \"weight\": 1}";
+  }
+  out << "\n]";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const FlightJournal& journal,
+                        const CpuProfile* profile) {
+  const bool with_samples = has_profile_data(profile);
   out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
   EventList events(out);
 
+  if (with_samples) {
+    metadata_event(events, kProfilePid, 0, "process_name",
+                   "cpu profiler (" + std::to_string(profile->hz) + " Hz)");
+    std::uint32_t last_tid = ~0u;
+    for (const SampleEvent& e : profile->events) {
+      if (e.thread_id == last_tid) continue;
+      last_tid = e.thread_id;
+      metadata_event(events, kProfilePid,
+                     kProfileTidBase + static_cast<int>(e.thread_id),
+                     "thread_name",
+                     "profiled thread " + std::to_string(e.thread_id));
+    }
+  }
   if (!journal.workers.empty()) {
     metadata_event(events, kWallPid, 0, "process_name",
                    "fast_campaign workers (wall clock)");
@@ -192,7 +280,27 @@ void write_chrome_trace(std::ostream& out, const FlightJournal& journal) {
     events.close();
   }
 
-  out << "\n]\n}\n";
+  if (with_samples) {
+    // Samples need an epoch even when the journal is empty (profile-only
+    // runs): fall back to the earliest sample.
+    std::uint64_t epoch = journal.epoch_ns;
+    if (epoch == 0) {
+      for (const SampleEvent& e : profile->events) {
+        if (epoch == 0 || e.ns < epoch) epoch = e.ns;
+      }
+    }
+    out << "\n],\n";
+    write_sample_sections(out, *profile, epoch);
+    out << "\n}\n";
+  } else {
+    out << "\n]\n}\n";
+  }
+}
+
+void write_folded_profile(std::ostream& out, const CpuProfile& profile) {
+  for (const FoldedStack& s : profile.stacks) {
+    out << s.stack << ' ' << s.count << '\n';
+  }
 }
 
 void write_journal_ndjson(std::ostream& out, const FlightJournal& journal) {
@@ -316,15 +424,23 @@ bool write_file_atomic(const std::string& path,
 }  // namespace
 
 bool write_trace_dir(const std::string& dir, const FlightJournal& journal,
-                     const MetricsSnapshot* snapshot) {
+                     const MetricsSnapshot* snapshot,
+                     const CpuProfile* profile) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return false;
   bool ok = true;
 
-  ok &= write_file_atomic(dir + "/trace.json", [&journal](std::ostream& out) {
-    write_chrome_trace(out, journal);
-  });
+  ok &= write_file_atomic(dir + "/trace.json",
+                          [&journal, profile](std::ostream& out) {
+                            write_chrome_trace(out, journal, profile);
+                          });
+  if (has_profile_data(profile)) {
+    ok &= write_file_atomic(dir + "/profile.folded",
+                            [profile](std::ostream& out) {
+                              write_folded_profile(out, *profile);
+                            });
+  }
   ok &= write_file_atomic(dir + "/journal.ndjson",
                           [&journal](std::ostream& out) {
                             write_journal_ndjson(out, journal);

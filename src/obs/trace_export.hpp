@@ -23,11 +23,23 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/symbolize.hpp"
 
 namespace marcopolo::obs {
 
-/// Chrome trace_event JSON ("traceEvents" array form).
-void write_chrome_trace(std::ostream& out, const FlightJournal& journal);
+/// Chrome trace_event JSON ("traceEvents" array form). When `profile` is
+/// non-null, available, and non-empty, the output also carries the
+/// legacy sampling sections Perfetto imports — a "stackFrames" dict plus
+/// a "samples" array under process 3 ("cpu profiler") — so flame data
+/// lands on the same timeline as the worker spans. A null, unavailable,
+/// or empty profile leaves the output byte-identical to the two-argument
+/// form.
+void write_chrome_trace(std::ostream& out, const FlightJournal& journal,
+                        const CpuProfile* profile = nullptr);
+
+/// flamegraph.pl collapsed format: one "frame;frame;frame count" line
+/// per unique stack, root-first, sorted by stack string.
+void write_folded_profile(std::ostream& out, const CpuProfile& profile);
 
 /// Newline-delimited JSON, one record per line, ordered: a `meta` line,
 /// then tasks/propagations/verdicts per worker lane, then virtual-time
@@ -42,12 +54,16 @@ void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot);
 
 /// Write the standard trace bundle into directory `dir` (created if
 /// missing): trace.json (Chrome trace), journal.ndjson, and — when
-/// `snapshot` is non-null — metrics.prom. Returns false on any I/O
-/// failure (after attempting all files). Each file is written to
+/// `snapshot` is non-null — metrics.prom. A non-null, available,
+/// non-empty `profile` additionally writes profile.folded and merges
+/// sample events into trace.json; otherwise the bundle is byte-identical
+/// to a profile-less call (the pure-observer contract). Returns false on
+/// any I/O failure (after attempting all files). Each file is written to
 /// `<name>.tmp` and renamed into place, so a crashed or interrupted run
 /// never leaves a truncated file at the final name.
 [[nodiscard]] bool write_trace_dir(const std::string& dir,
                                    const FlightJournal& journal,
-                                   const MetricsSnapshot* snapshot);
+                                   const MetricsSnapshot* snapshot,
+                                   const CpuProfile* profile = nullptr);
 
 }  // namespace marcopolo::obs

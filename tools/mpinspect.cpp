@@ -1,9 +1,18 @@
 // mpinspect: interrogate recorded MarcoPolo runs without re-running them.
 //
-//   mpinspect summarize <trace-dir | manifest.json>
+//   mpinspect summarize <trace-dir | manifest.json> [--json]
 //       Human-readable summary of one recorded run: decision-provenance
 //       distribution, per-phase wall-clock attribution, histogram
-//       quantiles, config echo.
+//       quantiles, config echo. --json emits the same facts as a
+//       machine-readable document on stdout.
+//
+//   mpinspect hotspots <trace-dir | manifest.json> [--top <N>] [--json]
+//       Hot-symbol view of a profiled run: symbols ranked by self share
+//       (CPU samples with the symbol on top of the stack) with total
+//       (anywhere-on-stack) shares alongside. Reads the "profile"
+//       section of a run manifest, or profile.folded from a trace
+//       bundle. Exits 1 when the run carries no profile — run it with
+//       --profile to record one.
 //
 //   mpinspect diff <baseline.json> <candidate.json>
 //             [--max-regress-pct <P>] [--counter-max-regress-pct <C>]
@@ -48,7 +57,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: mpinspect <command> ...\n"
-      "  mpinspect summarize <trace-dir | manifest.json>\n"
+      "  mpinspect summarize <trace-dir | manifest.json> [--json]\n"
+      "  mpinspect hotspots <trace-dir | manifest.json>"
+      " [--top <N>] [--json]\n"
       "  mpinspect diff <baseline.json> <candidate.json>"
       " [--max-regress-pct <P>]\n"
       "            [--counter-max-regress-pct <P>] [--json]\n"
@@ -101,6 +112,133 @@ std::string format_count(std::uint64_t value) {
 
 // ---------------------------------------------------------------------------
 // summarize
+
+void summarize_journal_json(const obs::ReadJournal& read) {
+  const obs::ProvenanceSummary prov =
+      obs::summarize_provenance(read.journal);
+  const obs::PhaseAttribution phases = obs::attribute_phases(read.journal);
+  std::printf("{\n");
+  std::printf(
+      "  \"journal\": {\"schema\": %d, \"lines\": %zu, \"workers\": %zu, "
+      "\"tasks\": %zu, \"verdicts\": %zu, \"attacks\": %zu, "
+      "\"quorums\": %zu, \"skipped_records\": %zu},\n",
+      read.schema, read.lines, read.journal.workers.size(),
+      read.journal.task_count(), read.journal.verdict_count(),
+      read.journal.attacks.size(), read.quorums.size(),
+      read.skipped_records);
+  std::printf("  \"provenance\": {\"verdicts\": %llu, \"adversary\": %llu, "
+              "\"contested_rate\": %g, \"route_age_sensitive_rate\": %g, "
+              "\"decided_by\": {",
+              static_cast<unsigned long long>(prov.verdicts),
+              static_cast<unsigned long long>(prov.adversary),
+              prov.contested_rate(), prov.route_age_sensitive_rate());
+  bool first = true;
+  for (const auto& [step, count] : prov.decided_by) {
+    std::printf("%s\"%s\": %llu", first ? "" : ", ",
+                obs::json_escape(step).c_str(),
+                static_cast<unsigned long long>(count));
+    first = false;
+  }
+  std::printf("}},\n");
+  std::printf(
+      "  \"phases_ns\": {\"total\": %llu, \"propagate\": %llu, "
+      "\"classify\": %llu, \"record\": %llu, \"other\": %llu}\n}\n",
+      static_cast<unsigned long long>(phases.total_ns),
+      static_cast<unsigned long long>(phases.propagate_ns),
+      static_cast<unsigned long long>(phases.classify_ns),
+      static_cast<unsigned long long>(phases.record_ns),
+      static_cast<unsigned long long>(phases.other_ns()));
+}
+
+void summarize_manifest_json(const obs::ReadManifest& manifest) {
+  std::printf("{\n");
+  std::printf("  \"tool\": \"%s\",\n  \"version\": \"%s\",\n"
+              "  \"schema\": %d,\n",
+              obs::json_escape(manifest.tool).c_str(),
+              obs::json_escape(manifest.version).c_str(), manifest.schema);
+  std::printf("  \"config\": {");
+  bool first = true;
+  for (const auto& [key, value] : manifest.config) {
+    std::printf("%s\"%s\": \"%s\"", first ? "" : ", ",
+                obs::json_escape(key).c_str(),
+                obs::json_escape(value).c_str());
+    first = false;
+  }
+  std::printf("},\n");
+  std::printf("  \"phases\": [");
+  for (std::size_t i = 0; i < manifest.phases.size(); ++i) {
+    const obs::ReadPhase& phase = manifest.phases[i];
+    std::printf("%s\n    {\"name\": \"%s\", \"seconds\": %g",
+                i == 0 ? "" : ",", obs::json_escape(phase.name).c_str(),
+                phase.seconds);
+    if (phase.has_counters) {
+      std::printf(", \"instructions\": %llu, \"ipc\": %g, "
+                  "\"cache_miss_rate\": %g",
+                  static_cast<unsigned long long>(phase.instructions),
+                  phase.ipc(), phase.cache_miss_rate());
+    }
+    if (phase.has_mem) {
+      std::printf(", \"peak_rss_kb\": %llu",
+                  static_cast<unsigned long long>(phase.peak_rss_kb));
+    }
+    std::printf("}");
+  }
+  std::printf("%s],\n", manifest.phases.empty() ? "" : "\n  ");
+  std::printf("  \"runs\": [");
+  for (std::size_t i = 0; i < manifest.runs.size(); ++i) {
+    const obs::BenchRunRow& run = manifest.runs[i];
+    std::printf("%s\n    {\"threads\": %llu, \"seconds\": %g, "
+                "\"tasks_per_s\": %g, \"store_identical\": %s}",
+                i == 0 ? "" : ",",
+                static_cast<unsigned long long>(run.threads), run.seconds,
+                run.throughput(), run.store_identical ? "true" : "false");
+  }
+  std::printf("%s],\n", manifest.runs.empty() ? "" : "\n  ");
+  if (manifest.has_recording) {
+    std::printf("  \"recording_overhead\": %g,\n",
+                manifest.recording_overhead);
+  }
+  std::printf("  \"histograms\": [");
+  for (std::size_t i = 0; i < manifest.metrics.histograms.size(); ++i) {
+    const obs::HistogramSnapshot& h = manifest.metrics.histograms[i];
+    std::printf("%s\n    {\"name\": \"%s\", \"count\": %llu, \"p50\": %g, "
+                "\"p95\": %g, \"p99\": %g, \"max\": %llu}",
+                i == 0 ? "" : ",", obs::json_escape(h.name).c_str(),
+                static_cast<unsigned long long>(h.count), h.quantile(0.50),
+                h.quantile(0.95), h.quantile(0.99),
+                static_cast<unsigned long long>(h.max));
+  }
+  std::printf("%s],\n", manifest.metrics.histograms.empty() ? "" : "\n  ");
+  std::printf("  \"counters\": {");
+  first = true;
+  for (const auto& [name, value] : manifest.metrics.counters) {
+    std::printf("%s\"%s\": %llu", first ? "" : ", ",
+                obs::json_escape(name).c_str(),
+                static_cast<unsigned long long>(value));
+    first = false;
+  }
+  std::printf("}");
+  if (manifest.has_profile) {
+    const obs::ReadProfile& profile = manifest.profile;
+    std::printf(",\n  \"profile\": {\"hz\": %llu, \"samples\": %llu, "
+                "\"dropped\": %llu, \"truncated\": %llu, \"symbols\": [",
+                static_cast<unsigned long long>(profile.hz),
+                static_cast<unsigned long long>(profile.samples),
+                static_cast<unsigned long long>(profile.dropped),
+                static_cast<unsigned long long>(profile.truncated));
+    for (std::size_t i = 0; i < profile.symbols.size(); ++i) {
+      const obs::ReadHotSymbol& symbol = profile.symbols[i];
+      std::printf("%s\n    {\"name\": \"%s\", \"self\": %llu, "
+                  "\"total\": %llu, \"self_share\": %g}",
+                  i == 0 ? "" : ",", obs::json_escape(symbol.name).c_str(),
+                  static_cast<unsigned long long>(symbol.self),
+                  static_cast<unsigned long long>(symbol.total),
+                  profile.self_share(symbol.self));
+    }
+    std::printf("%s]}", profile.symbols.empty() ? "" : "\n  ");
+  }
+  std::printf("\n}\n");
+}
 
 void summarize_journal(const obs::ReadJournal& read) {
   std::printf("journal: schema %d, %zu lines, %zu worker lanes\n",
@@ -239,11 +377,37 @@ void summarize_manifest(const obs::ReadManifest& manifest) {
     }
     std::printf("\nCounters:\n%s", table.to_string().c_str());
   }
+  if (manifest.has_profile) {
+    const obs::ReadProfile& profile = manifest.profile;
+    analysis::TextTable table({"Hot symbol", "Self", "Total", "Self share"});
+    for (const obs::ReadHotSymbol& symbol : profile.symbols) {
+      table.add_row({symbol.name, std::to_string(symbol.self),
+                     std::to_string(symbol.total),
+                     format_pct01(profile.self_share(symbol.self))});
+    }
+    std::printf("\nCPU profile (%llu Hz, %llu samples, %llu dropped, "
+                "%llu truncated):\n%s",
+                static_cast<unsigned long long>(profile.hz),
+                static_cast<unsigned long long>(profile.samples),
+                static_cast<unsigned long long>(profile.dropped),
+                static_cast<unsigned long long>(profile.truncated),
+                table.to_string().c_str());
+  }
 }
 
 int cmd_summarize(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
-  const std::string& target = args[0];
+  std::string target;
+  bool as_json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      as_json = true;
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (target.empty()) return usage();
   if (std::filesystem::is_directory(target)) {
     const obs::ReadJournal read = obs::JournalReader::read_file(
         (std::filesystem::path(target) / "journal.ndjson").string());
@@ -252,7 +416,11 @@ int cmd_summarize(const std::vector<std::string>& args) {
                    issue.message.c_str());
     }
     if (!read.ok()) return 1;
-    summarize_journal(read);
+    if (as_json) {
+      summarize_journal_json(read);
+    } else {
+      summarize_journal(read);
+    }
     return 0;
   }
   const obs::ReadManifest manifest = obs::ManifestReader::read_file(target);
@@ -260,7 +428,136 @@ int cmd_summarize(const std::vector<std::string>& args) {
     std::fprintf(stderr, "%s: %s\n", target.c_str(), error.c_str());
   }
   if (!manifest.ok()) return 1;
-  summarize_manifest(manifest);
+  if (as_json) {
+    summarize_manifest_json(manifest);
+  } else {
+    summarize_manifest(manifest);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// hotspots
+
+struct HotspotRow {
+  std::string name;
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+void print_hotspots_json(const std::string& source, std::uint64_t hz,
+                         std::uint64_t samples,
+                         const std::vector<HotspotRow>& rows) {
+  std::printf("{\n  \"source\": \"%s\",\n", obs::json_escape(source).c_str());
+  if (hz != 0) std::printf("  \"hz\": %llu,\n",
+                           static_cast<unsigned long long>(hz));
+  std::printf("  \"samples\": %llu,\n  \"symbols\": [",
+              static_cast<unsigned long long>(samples));
+  const double denom = samples == 0 ? 1.0 : static_cast<double>(samples);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const HotspotRow& row = rows[i];
+    std::printf("%s\n    {\"name\": \"%s\", \"self\": %llu, "
+                "\"total\": %llu, \"self_share\": %g, \"total_share\": %g}",
+                i == 0 ? "" : ",", obs::json_escape(row.name).c_str(),
+                static_cast<unsigned long long>(row.self),
+                static_cast<unsigned long long>(row.total),
+                static_cast<double>(row.self) / denom,
+                static_cast<double>(row.total) / denom);
+  }
+  std::printf("%s]\n}\n", rows.empty() ? "" : "\n  ");
+}
+
+int cmd_hotspots(const std::vector<std::string>& args) {
+  std::string target;
+  std::size_t top_n = 20;
+  bool as_json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      as_json = true;
+    } else if (args[i] == "--top" && i + 1 < args.size()) {
+      try {
+        top_n = static_cast<std::size_t>(std::stoul(args[++i]));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --top: %s\n", args[i].c_str());
+        return 2;
+      }
+    } else if (target.empty()) {
+      target = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (target.empty()) return usage();
+
+  std::vector<HotspotRow> rows;
+  std::uint64_t hz = 0;
+  std::uint64_t samples = 0;
+  std::string source;
+  if (std::filesystem::is_directory(target)) {
+    const std::filesystem::path folded =
+        std::filesystem::path(target) / "profile.folded";
+    if (!std::filesystem::exists(folded)) {
+      std::fprintf(stderr,
+                   "%s: no profile.folded — record the run with --profile\n",
+                   target.c_str());
+      return 1;
+    }
+    source = folded.string();
+    const obs::FoldedProfile profile =
+        obs::read_folded_profile_file(source);
+    for (const std::string& problem : profile.problems) {
+      std::fprintf(stderr, "%s: %s\n", source.c_str(), problem.c_str());
+    }
+    if (!profile.ok()) return 1;
+    samples = profile.total;
+    for (const obs::ReadHotSymbol& symbol : profile.symbols) {
+      rows.push_back({symbol.name, symbol.self, symbol.total});
+    }
+  } else {
+    const obs::ReadManifest manifest = obs::ManifestReader::read_file(target);
+    for (const std::string& error : manifest.errors) {
+      std::fprintf(stderr, "%s: %s\n", target.c_str(), error.c_str());
+    }
+    if (!manifest.ok()) return 2;
+    if (!manifest.has_profile) {
+      std::fprintf(stderr,
+                   "%s: no \"profile\" section — record the run with"
+                   " --profile\n",
+                   target.c_str());
+      return 1;
+    }
+    source = target;
+    hz = manifest.profile.hz;
+    samples = manifest.profile.samples;
+    for (const obs::ReadHotSymbol& symbol : manifest.profile.symbols) {
+      rows.push_back({symbol.name, symbol.self, symbol.total});
+    }
+  }
+  if (rows.size() > top_n) rows.resize(top_n);
+
+  if (as_json) {
+    print_hotspots_json(source, hz, samples, rows);
+    return 0;
+  }
+  analysis::TextTable table(
+      {"Hot symbol", "Self", "Total", "Self share", "Total share"});
+  const double denom = samples == 0 ? 1.0 : static_cast<double>(samples);
+  for (const HotspotRow& row : rows) {
+    table.add_row({row.name, std::to_string(row.self),
+                   std::to_string(row.total),
+                   format_pct01(static_cast<double>(row.self) / denom),
+                   format_pct01(static_cast<double>(row.total) / denom)});
+  }
+  if (hz != 0) {
+    std::printf("CPU profile: %llu samples @ %llu Hz (%s)\n%s",
+                static_cast<unsigned long long>(samples),
+                static_cast<unsigned long long>(hz), source.c_str(),
+                table.to_string().c_str());
+  } else {
+    std::printf("CPU profile: %llu samples (%s)\n%s",
+                static_cast<unsigned long long>(samples), source.c_str(),
+                table.to_string().c_str());
+  }
   return 0;
 }
 
@@ -345,6 +642,41 @@ void print_diff_tables(const obs::RunComparison& comparison) {
   } else {
     std::printf("Counters: no drift.\n\n");
   }
+  if (comparison.base_has_profile && comparison.cand_has_profile &&
+      !comparison.hot_symbols.empty()) {
+    analysis::TextTable hot(
+        {"Hot symbol", "Base self", "Cand self", "Base share", "Cand share",
+         "Delta"});
+    std::size_t shown = 0;
+    for (const obs::HotSymbolDelta& symbol : comparison.hot_symbols) {
+      if (shown >= 15) break;
+      // Skip the flat tail: symbols whose share barely moved explain
+      // nothing about a regression.
+      if (symbol.share_delta_pp() < 0.05 && symbol.share_delta_pp() > -0.05) {
+        continue;
+      }
+      char delta[32];
+      std::snprintf(delta, sizeof delta, "%+.1fpp", symbol.share_delta_pp());
+      hot.add_row({symbol.name,
+                   symbol.in_base ? std::to_string(symbol.base_self) : "-",
+                   symbol.in_cand ? std::to_string(symbol.cand_self) : "-",
+                   format_pct01(symbol.base_share),
+                   format_pct01(symbol.cand_share), delta});
+      ++shown;
+    }
+    if (shown != 0) {
+      std::printf("Hot symbols by self-share delta (%llu -> %llu samples):"
+                  "\n%s\n",
+                  static_cast<unsigned long long>(
+                      comparison.base_profile_samples),
+                  static_cast<unsigned long long>(
+                      comparison.cand_profile_samples),
+                  hot.to_string().c_str());
+    }
+  } else if (comparison.base_has_profile != comparison.cand_has_profile) {
+    std::printf("CPU profile: %s only — no hot-symbol attribution.\n\n",
+                comparison.base_has_profile ? "baseline" : "candidate");
+  }
 }
 
 void print_diff_json(const obs::RunComparison& comparison,
@@ -417,6 +749,29 @@ void print_diff_json(const obs::RunComparison& comparison,
     first = false;
   }
   std::printf("%s],\n", first ? "" : "\n  ");
+  if (comparison.base_has_profile || comparison.cand_has_profile) {
+    std::printf("  \"profile\": {\"base_samples\": %llu, "
+                "\"cand_samples\": %llu, \"hot_symbols\": [",
+                static_cast<unsigned long long>(
+                    comparison.base_profile_samples),
+                static_cast<unsigned long long>(
+                    comparison.cand_profile_samples));
+    const std::size_t limit =
+        comparison.hot_symbols.size() < 20 ? comparison.hot_symbols.size()
+                                           : 20;
+    for (std::size_t i = 0; i < limit; ++i) {
+      const obs::HotSymbolDelta& symbol = comparison.hot_symbols[i];
+      std::printf("%s\n    {\"name\": \"%s\", \"base_self\": %llu, "
+                  "\"cand_self\": %llu, \"base_share\": %g, "
+                  "\"cand_share\": %g, \"share_delta_pp\": %g}",
+                  i == 0 ? "" : ",", obs::json_escape(symbol.name).c_str(),
+                  static_cast<unsigned long long>(symbol.base_self),
+                  static_cast<unsigned long long>(symbol.cand_self),
+                  symbol.base_share, symbol.cand_share,
+                  symbol.share_delta_pp());
+    }
+    std::printf("%s]},\n", limit == 0 ? "" : "\n  ");
+  }
   std::printf("  \"violations\": [");
   for (std::size_t i = 0; i < gate.violations.size(); ++i) {
     std::printf("%s\n    \"%s\"", i == 0 ? "" : ",",
@@ -521,12 +876,17 @@ int cmd_check(const std::vector<std::string>& args) {
     std::fprintf(stderr, "FAIL %s: %s\n", dir.c_str(), problem.c_str());
   }
   if (result.ok) {
+    char profile[64] = "";
+    if (result.has_profile) {
+      std::snprintf(profile, sizeof profile, ", profile %llu samples",
+                    static_cast<unsigned long long>(result.profile_samples));
+    }
     std::printf(
         "OK %s: %zu journal lines (%zu tasks, %zu verdicts, %zu attacks, "
-        "%zu quorums)%s\n",
+        "%zu quorums)%s%s\n",
         dir.c_str(), result.journal_lines, result.tasks, result.verdicts,
         result.attacks, result.quorums,
-        manifest_path.empty() ? "" : ", manifest counters agree");
+        manifest_path.empty() ? "" : ", manifest counters agree", profile);
   }
   return result.ok ? 0 : 1;
 }
@@ -538,6 +898,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "summarize") return cmd_summarize(args);
+  if (command == "hotspots") return cmd_hotspots(args);
   if (command == "diff") return cmd_diff(args);
   if (command == "check") return cmd_check(args);
   return usage();
