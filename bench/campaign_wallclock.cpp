@@ -11,7 +11,9 @@
 // Usage:
 //
 //   campaign_wallclock [--trace-out <dir>] [--phases <csv>]
-//                      [--profile[=hz]] [output.json] [thread counts...]
+//                      [--profile[=hz]] [--telemetry-out <dir|file>]
+//                      [--serve-metrics <port>] [--tick-ms <n>]
+//                      [output.json] [thread counts...]
 //
 // Defaults: JSON to stdout-adjacent "campaign_wallclock.json", thread
 // counts {1, 2, 4, 8}, all phases.
@@ -47,6 +49,16 @@
 // the flight journal from a counter-enabled recorded run is exported as
 // a trace bundle into <dir> — its task spans carry instructions/cycles
 // args when the host has counters.
+//
+// --telemetry-out / --serve-metrics attach a live obs::TelemetryHub to
+// every *recorded* rep of the recording block, so "recording_overhead"
+// holds recorder + profiler + hub to the same 3% budget. The hub appends
+// its tick time-series to <dir>/timeseries.ndjson (pass the --trace-out
+// dir to get one self-checking bundle) and serves /metrics, /healthz,
+// and /snapshot.json on 127.0.0.1:<port> while the phase runs (port 0 =
+// kernel-assigned, echoed to stderr; a taken port degrades to
+// "unavailable (reason)" without failing the run). --tick-ms sets the
+// sampling period (default 1000).
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -68,6 +80,7 @@
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/telemetry_hub.hpp"
 #include "obs/profiler.hpp"
 #include "obs/symbolize.hpp"
 #include "obs/trace_export.hpp"
@@ -155,9 +168,22 @@ int main(int argc, char** argv) {
   PhaseSelection select;
   bool profile_on = false;
   std::uint32_t profile_hz = obs::kDefaultProfileHz;
+  std::string telemetry_out;
+  int serve_port = -1;
+  int tick_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve-metrics") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tick-ms") == 0 && i + 1 < argc) {
+      tick_ms = std::atoi(argv[++i]);
+      if (tick_ms <= 0) {
+        std::cerr << "bad --tick-ms: " << argv[i] << std::endl;
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile_on = true;
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
@@ -317,6 +343,35 @@ int main(int argc, char** argv) {
                       ? " and profiler..."
                       : "...")
               << std::endl;
+    // The telemetry hub rides every *recorded* rep — one hub for the
+    // whole phase, so tick ids stay monotone across reps and the
+    // overhead ratio prices recorder + profiler + hub together. The
+    // recorder and registry are hoisted to keep the hub's pointers
+    // valid: drain() resets the recorder between reps, and the per-rep
+    // registry swap rebinds the hub around the emplace (set_metrics
+    // synchronizes with the tick, so the old registry can die safely).
+    const bool telemetry_on = !telemetry_out.empty() || serve_port >= 0;
+    obs::FlightRecorder flight_recorder;
+    std::optional<obs::MetricsRegistry> registry;
+    std::optional<obs::TelemetryHub> hub;
+    if (telemetry_on) {
+      obs::TelemetryConfig tcfg;
+      tcfg.tick_ms = tick_ms;
+      tcfg.timeseries_path = telemetry_out;
+      tcfg.serve_port = serve_port;
+      tcfg.recorder = &flight_recorder;
+      hub.emplace(tcfg);
+      hub->start();
+      if (serve_port >= 0) {
+        if (hub->serving()) {
+          std::cerr << "telemetry: serving http://127.0.0.1:" << hub->port()
+                    << "/metrics" << std::endl;
+        } else {
+          std::cerr << "telemetry server unavailable ("
+                    << hub->serve_reason() << ")" << std::endl;
+        }
+      }
+    }
     for (int rep = 0; rep < kOverheadReps; ++rep) {
       {
         const auto t0 = clock();
@@ -333,12 +388,14 @@ int main(int argc, char** argv) {
       // reads are part of counter attribution, not recording cost.
       const bool counters_rep =
           rep == kOverheadReps - 1 && !trace_out.empty();
-      obs::FlightRecorder flight_recorder;
-      obs::MetricsRegistry registry;
+      if (hub) hub->set_metrics(nullptr);
+      registry.emplace();
+      if (hub) hub->set_metrics(&*registry);
       const auto t0 = clock();
       const auto data = core::run_paper_campaigns(
-          *testbed, bgp::TieBreakMode::Hashed, kSeed, 1, &registry,
-          &flight_recorder, {}, /*hw_counters=*/counters_rep, profiler);
+          *testbed, bgp::TieBreakMode::Hashed, kSeed, 1, &*registry,
+          &flight_recorder, {}, /*hw_counters=*/counters_rep, profiler,
+          hub ? &*hub : nullptr);
       const double secs = std::chrono::duration<double>(clock() - t0).count();
       if (!counters_rep && (rep == 0 || secs < recorded_seconds)) {
         recorded_seconds = secs;
@@ -360,7 +417,7 @@ int main(int argc, char** argv) {
         }
       }
       if (rep == kOverheadReps - 1 && !trace_out.empty()) {
-        const obs::MetricsSnapshot snap = registry.snapshot();
+        const obs::MetricsSnapshot snap = registry->snapshot();
         const bool with_profile =
             cpu_profile.available && cpu_profile.samples > 0;
         if (!obs::write_trace_dir(trace_out, journal, &snap,
@@ -372,6 +429,9 @@ int main(int argc, char** argv) {
         std::cerr << "wrote trace bundle to " << trace_out << std::endl;
       }
     }
+    // Final tick (marked "final":true) scrapes the last rep's registry,
+    // which is what check_trace_bundle holds against metrics.prom.
+    if (hub) hub->stop();
     const double overhead =
         plain_best > 0.0 ? recorded_seconds / plain_best - 1.0 : 0.0;
     std::cerr << "recording overhead: " << overhead * 100.0 << "% ("

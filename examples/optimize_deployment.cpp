@@ -7,7 +7,8 @@
 //
 // Usage: optimize_deployment [provider] [count] [--metrics-out <file.json>]
 //                            [--trace-out <dir>] [--progress]
-//                            [--profile[=hz]]
+//                            [--profile[=hz]] [--telemetry-out <dir|file>]
+//                            [--serve-metrics <port>] [--tick-ms <n>]
 //   provider: aws | gcp | azure   (default azure)
 //   count:    5..8                (default 6)
 //
@@ -18,7 +19,10 @@
 // Prometheus metrics) is written into <dir>; --progress prints a live
 // stderr line as campaign tasks retire. --profile samples campaign and
 // exhaustive-search worker CPU (default 997 Hz), adding hot symbols to
-// the manifest and profile.folded to the trace bundle.
+// the manifest and profile.folded to the trace bundle. --telemetry-out /
+// --serve-metrics attach a live obs::TelemetryHub (NDJSON time-series
+// every --tick-ms, /metrics + /healthz + /snapshot.json on
+// 127.0.0.1:<port>); watch with `mpinspect watch`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +36,7 @@
 #include "obs/manifest.hpp"
 #include "obs/profiler.hpp"
 #include "obs/symbolize.hpp"
+#include "obs/telemetry_hub.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace_export.hpp"
 
@@ -55,6 +60,9 @@ int main(int argc, char** argv) {
   bool progress = false;
   bool profile = false;
   std::uint32_t profile_hz = obs::kDefaultProfileHz;
+  std::string telemetry_out;
+  int serve_port = -1;
+  int tick_ms = 1000;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -73,6 +81,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       profile_hz = static_cast<std::uint32_t>(hz);
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve-metrics") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tick-ms") == 0 && i + 1 < argc) {
+      tick_ms = std::atoi(argv[++i]);
+      if (tick_ms <= 0) {
+        std::fprintf(stderr, "bad --tick-ms: %s\n", argv[i]);
+        return 2;
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -105,6 +123,28 @@ int main(int argc, char** argv) {
                    profiler->unavailable_reason().c_str());
     }
   }
+  std::optional<obs::TelemetryHub> hub_storage;
+  obs::TelemetryHub* hub = nullptr;
+  if (!telemetry_out.empty() || serve_port >= 0) {
+    obs::TelemetryConfig tcfg;
+    tcfg.tick_ms = tick_ms;
+    tcfg.timeseries_path = telemetry_out;
+    tcfg.serve_port = serve_port;
+    tcfg.metrics = metrics;
+    tcfg.recorder = recorder;
+    hub_storage.emplace(tcfg);
+    hub = &*hub_storage;
+    hub->start();
+    if (serve_port >= 0) {
+      if (hub->serving()) {
+        std::fprintf(stderr, "telemetry: serving http://127.0.0.1:%d\n",
+                     hub->port());
+      } else {
+        std::fprintf(stderr, "telemetry: endpoint unavailable (%s)\n",
+                     hub->serve_reason().c_str());
+      }
+    }
+  }
   obs::RunManifest manifest("optimize_deployment");
 
   obs::PhaseClock phase;
@@ -117,6 +157,7 @@ int main(int argc, char** argv) {
   campaign_cfg.metrics = metrics;
   campaign_cfg.recorder = recorder;
   campaign_cfg.profiler = profiler;
+  campaign_cfg.telemetry = hub;
   if (progress) {
     campaign_cfg.progress = [&reporter](std::size_t done, std::size_t total) {
       reporter.update(done, total);
@@ -195,6 +236,10 @@ int main(int argc, char** argv) {
                       : cpu_profile.symbols.front().name.c_str());
     }
   }
+
+  // Stop telemetry before artifacts are written so the final tick is on
+  // disk and agrees with the manifest counters.
+  if (hub != nullptr) hub->stop();
 
   if (!metrics_out.empty()) {
     manifest.set("provider", std::string(topo::to_string_view(provider)));

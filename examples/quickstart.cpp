@@ -25,6 +25,14 @@
 // the in-process profiler (default 997 Hz): hot symbols land in the
 // manifest, profile.folded joins the trace bundle, and sample events
 // merge into trace.json.
+//
+// `--telemetry-out <dir|file>` / `--serve-metrics <port>` attach a live
+// obs::TelemetryHub for the whole run: a sampler tick (default 1s, set
+// with `--tick-ms`) appends timeseries.ndjson (pass the --trace-out dir
+// to get one self-checking bundle) and serves /metrics, /healthz, and
+// /snapshot.json on 127.0.0.1:<port> — watch with `mpinspect watch
+// http://127.0.0.1:<port>`. A taken port degrades to "unavailable
+// (reason)"; results are byte-identical either way.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +50,7 @@
 #include "obs/profiler.hpp"
 #include "obs/run_compare.hpp"
 #include "obs/symbolize.hpp"
+#include "obs/telemetry_hub.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace_export.hpp"
 
@@ -54,6 +63,9 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool profile = false;
   std::uint32_t profile_hz = obs::kDefaultProfileHz;
+  std::string telemetry_out;
+  int serve_port = -1;
+  int tick_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
@@ -73,11 +85,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       profile_hz = static_cast<std::uint32_t>(hz);
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve-metrics") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tick-ms") == 0 && i + 1 < argc) {
+      tick_ms = std::atoi(argv[++i]);
+      if (tick_ms <= 0) {
+        std::fprintf(stderr, "bad --tick-ms: %s\n", argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: quickstart [--metrics-out <file.json>] "
                    "[--trace-out <dir>] [--progress] [--verbose] "
-                   "[--profile[=hz]]\n");
+                   "[--profile[=hz]] [--telemetry-out <dir|file>] "
+                   "[--serve-metrics <port>] [--tick-ms <n>]\n");
       return 2;
     }
   }
@@ -111,6 +134,30 @@ int main(int argc, char** argv) {
                    profiler->unavailable_reason().c_str());
     }
   }
+  std::optional<obs::TelemetryHub> hub_storage;
+  obs::TelemetryHub* hub = nullptr;
+  if (!telemetry_out.empty() || serve_port >= 0) {
+    obs::TelemetryConfig tcfg;
+    tcfg.tick_ms = tick_ms;
+    tcfg.timeseries_path = telemetry_out;
+    tcfg.serve_port = serve_port;
+    tcfg.metrics = metrics;
+    tcfg.recorder = recorder;
+    hub_storage.emplace(tcfg);
+    hub = &*hub_storage;
+    hub->start();
+    if (serve_port >= 0) {
+      if (hub->serving()) {
+        std::fprintf(stderr, "telemetry: serving http://127.0.0.1:%d\n",
+                     hub->port());
+      } else {
+        // Degraded, not fatal: the run proceeds unserved and produces
+        // byte-identical results (the pure-observer contract).
+        std::fprintf(stderr, "telemetry: endpoint unavailable (%s)\n",
+                     hub->serve_reason().c_str());
+      }
+    }
+  }
   obs::RunManifest manifest("quickstart");
 
   // 1. Testbed.
@@ -127,7 +174,7 @@ int main(int argc, char** argv) {
   phase.restart();
   const auto dataset = core::run_paper_campaigns(
       testbed, bgp::TieBreakMode::Hashed, 0xCAFE, /*threads=*/0, metrics,
-      recorder, progress_hook, /*hw_counters=*/false, profiler);
+      recorder, progress_hook, /*hw_counters=*/false, profiler, hub);
   manifest.add_phase("fast_campaign", phase.seconds());
   std::printf("Campaign: %zu attacks recorded (plus RPKI variant)\n",
               testbed.sites().size() * (testbed.sites().size() - 1));
@@ -144,6 +191,7 @@ int main(int argc, char** argv) {
   orch_cfg.loss = netsim::LossModel{0.01, 0.01};
   orch_cfg.metrics = metrics;
   orch_cfg.recorder = recorder;
+  orch_cfg.telemetry = hub;
   core::Orchestrator orchestrator(testbed, orch_cfg);
   const auto orch_out = orchestrator.run();
   manifest.add_phase("orchestrated_slice", phase.seconds());
@@ -235,6 +283,11 @@ int main(int argc, char** argv) {
                       : cpu_profile.symbols.front().name.c_str());
     }
   }
+
+  // Stop telemetry before any artifact is written: the final tick must be
+  // on disk (and agree with the manifest counters) before the trace-bundle
+  // self-check reads timeseries.ndjson back.
+  if (hub != nullptr) hub->stop();
 
   if (!metrics_out.empty()) {
     manifest.set("tie_break", "hashed");

@@ -446,6 +446,10 @@ ResultStore run_fast_campaign(const Testbed& testbed,
   std::atomic<std::size_t> completed{0};
   const std::size_t progress_every =
       config.progress ? std::max<std::size_t>(1, config.progress_every) : 0;
+  // The telemetry hub counts the same unit as progress: attacks.
+  if (config.telemetry != nullptr) {
+    config.telemetry->add_planned_tasks(total_attacks);
+  }
   auto drain = [&] {
     // Lane opened on the worker thread itself so wall-clock records group
     // one-trace-lane-per-thread; the recorder keeps the buffer alive past
@@ -457,6 +461,9 @@ ResultStore run_fast_campaign(const Testbed& testbed,
         config.recorder != nullptr ? config.recorder->open_buffer() : nullptr;
     CampaignWorker worker(testbed, config, edge_roas, store, metrics,
                           config.recorder, flight);
+    obs::TelemetryWorkerSlot* slot = config.telemetry != nullptr
+                                         ? config.telemetry->open_worker_slot()
+                                         : nullptr;
     std::size_t done_local = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -464,7 +471,9 @@ ResultStore run_fast_campaign(const Testbed& testbed,
       // Progress is reported in attacks (pairs), the same unit as before
       // the announcer-major regrouping; one task retires sites.size() of
       // them at once.
-      done_local += worker.run(tasks[i]);
+      const std::size_t retired = worker.run(tasks[i]);
+      done_local += retired;
+      if (slot != nullptr) config.telemetry->note_task_done(slot, retired);
       if (progress_every != 0 && done_local >= progress_every) {
         config.progress(
             completed.fetch_add(done_local, std::memory_order_relaxed) +
@@ -480,6 +489,7 @@ ResultStore run_fast_campaign(const Testbed& testbed,
       if (done == total_attacks) config.progress(done, total_attacks);
     }
     worker.flush_counters();
+    if (slot != nullptr) config.telemetry->close_worker_slot(slot);
   };
 
   if (n_threads == 1) {
@@ -498,7 +508,8 @@ CampaignDataset run_paper_campaigns(
     std::uint64_t tie_break_seed, std::size_t threads,
     obs::MetricsRegistry* metrics, obs::FlightRecorder* recorder,
     const std::function<void(std::size_t, std::size_t)>& progress,
-    bool hw_counters, obs::SamplingProfiler* profiler) {
+    bool hw_counters, obs::SamplingProfiler* profiler,
+    obs::TelemetryHub* telemetry) {
   FastCampaignConfig plain;
   plain.type = bgp::AttackType::EquallySpecific;
   plain.tie_break = tie_break;
@@ -509,6 +520,7 @@ CampaignDataset run_paper_campaigns(
   plain.progress = progress;
   plain.hw_counters = hw_counters;
   plain.profiler = profiler;
+  plain.telemetry = telemetry;
 
   FastCampaignConfig forged = plain;
   forged.type = bgp::AttackType::ForgedOriginPrepend;

@@ -16,6 +16,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/telemetry_hub.hpp"
 
 namespace marcopolo::core {
 
@@ -108,6 +109,14 @@ struct FastCampaignConfig {
   /// unavailable (asserted by tests); null means no signal handlers, no
   /// timers, nothing.
   obs::SamplingProfiler* profiler = nullptr;
+  /// Optional live telemetry hub (obs::TelemetryHub): the campaign adds
+  /// its attack count to the hub's planned total and every worker opens
+  /// a completion slot it stamps per task — the hub's sampler thread
+  /// derives tasks/s, ETA, and stall warnings from those stamps. Worker
+  /// cost is two relaxed atomic stores per task; same pure-observer
+  /// contract as everything above (store/manifest/journal byte-identical
+  /// with the hub on, off, or degraded, asserted by tests). Null = off.
+  obs::TelemetryHub* telemetry = nullptr;
 
   /// The prefix victim `v` announces under this config.
   [[nodiscard]] netsim::Ipv4Prefix victim_prefix(std::size_t v) const {
@@ -143,6 +152,7 @@ struct CampaignDataset {
     obs::MetricsRegistry* metrics = nullptr,
     obs::FlightRecorder* recorder = nullptr,
     const std::function<void(std::size_t, std::size_t)>& progress = {},
-    bool hw_counters = false, obs::SamplingProfiler* profiler = nullptr);
+    bool hw_counters = false, obs::SamplingProfiler* profiler = nullptr,
+    obs::TelemetryHub* telemetry = nullptr);
 
 }  // namespace marcopolo::core

@@ -179,9 +179,19 @@ Orchestrator::Output Orchestrator::run() {
                       << obs::field("lanes", lanes_.size())
                       << obs::field("recording", flight_ != nullptr);
 
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->add_planned_tasks(work_.size());
+    if (telemetry_slot_ == nullptr) {
+      telemetry_slot_ = config_.telemetry->open_worker_slot();
+    }
+  }
+
   for (const auto& lane : lanes_) start_lane(*lane);
   sim_.run();
 
+  if (telemetry_slot_ != nullptr) {
+    config_.telemetry->close_worker_slot(telemetry_slot_);
+  }
   stats_.duration = sim_.now() - netsim::kEpoch;
   return Output{std::move(results_), stats_};
 }
@@ -422,6 +432,9 @@ void Orchestrator::conclude_attack(Lane& lane) {
   } else {
     ++stats_.attacks_completed;
     rstats_.attacks_completed.add(1);
+    if (telemetry_slot_ != nullptr) {
+      config_.telemetry->note_task_done(telemetry_slot_);
+    }
   }
   lane.current.reset();
 

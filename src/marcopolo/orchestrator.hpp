@@ -30,6 +30,7 @@
 #include "mpic/rest_service.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry_hub.hpp"
 
 namespace marcopolo::core {
 
@@ -66,6 +67,12 @@ struct OrchestratorConfig {
   /// stamped in virtual simulation time. Pure observer: results and
   /// stats are unchanged by recording. Null = no recording.
   obs::FlightRecorder* recorder = nullptr;
+
+  /// Optional live telemetry hub. The orchestrator registers one worker
+  /// slot (it is single-threaded inside the virtual-time simulator),
+  /// adds its pair count to the hub's planned total, and stamps the slot
+  /// per concluded attack. Pure observer like `metrics`/`recorder`.
+  obs::TelemetryHub* telemetry = nullptr;
 
   /// Pairs to attack; empty = every ordered (victim, adversary) pair.
   std::vector<std::pair<SiteIndex, SiteIndex>> pairs;
@@ -157,6 +164,9 @@ class Orchestrator {
   /// Flight-recorder lane (null when config_.recorder is). The simulator
   /// is single-threaded, so one buffer serves every lane and callback.
   obs::FlightBuffer* flight_ = nullptr;
+
+  /// Telemetry completion slot (null when config_.telemetry is).
+  obs::TelemetryWorkerSlot* telemetry_slot_ = nullptr;
 };
 
 }  // namespace marcopolo::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+
 namespace marcopolo::obs {
 
 std::size_t FlightJournal::task_count() const {
@@ -79,6 +81,21 @@ FlightJournal FlightRecorder::drain() {
   return journal;
 }
 
+ProgressReporter::ProgressReporter(const FlightRecorder* recorder,
+                                   double min_interval_s, std::FILE* out)
+    : recorder_(recorder),
+      min_interval_(min_interval_s),
+      start_(std::chrono::steady_clock::now()) {
+  if (out == stderr) {
+    guard_ = &LineGuard::stderr_guard();
+  } else {
+    owned_guard_ = std::make_unique<LineGuard>(out);
+    guard_ = owned_guard_.get();
+  }
+}
+
+ProgressReporter::~ProgressReporter() = default;
+
 void ProgressReporter::update(std::size_t done, std::size_t total) {
   const auto now = std::chrono::steady_clock::now();
   std::scoped_lock lock(mutex_);
@@ -133,18 +150,16 @@ void ProgressReporter::update(std::size_t done, std::size_t total) {
   }
   // Live updates overwrite one stderr line (leading \r, no newline); the
   // final 100% summary is newline-terminated so a completed campaign
-  // never leaves a stale partial line behind. Shorter lines are padded
-  // to blank out the previous one.
+  // never leaves a stale partial line behind. The LineGuard pads shorter
+  // lines to blank out the previous one and interleaves Logger writes.
   char line[224];
   int len = std::snprintf(line, sizeof line,
                           "[campaign] %zu/%zu tasks (%.1f%%)  %.1f tasks/s"
                           "%s  %s%s",
                           done, total, pct, rate, instr, eta, hijacked);
   if (len < 0) len = 0;
-  const int width = std::max(len, last_line_len_);
-  last_line_len_ = final ? 0 : len;
-  std::fprintf(out_, "\r%-*s%s", width, line, final ? "\n" : "");
-  std::fflush(out_);
+  guard_->live_line(std::string_view(line, static_cast<std::size_t>(len)),
+                    final);
 }
 
 }  // namespace marcopolo::obs

@@ -37,6 +37,8 @@
 
 namespace marcopolo::obs {
 
+class LineGuard;  // obs/log.hpp
+
 /// Which decision point produced a perspective verdict. Values 0..4
 /// mirror bgp::DecisionStep (static_asserted at the emit sites); the
 /// journal-only sentinels cover outcomes no comparator decided.
@@ -274,11 +276,8 @@ class ProgressReporter {
  public:
   explicit ProgressReporter(const FlightRecorder* recorder = nullptr,
                             double min_interval_s = 0.5,
-                            std::FILE* out = stderr)
-      : recorder_(recorder),
-        min_interval_(min_interval_s),
-        out_(out),
-        start_(std::chrono::steady_clock::now()) {}
+                            std::FILE* out = stderr);
+  ~ProgressReporter();
 
   /// Report `done` of `total` tasks. Safe to call from any worker.
   void update(std::size_t done, std::size_t total);
@@ -286,12 +285,16 @@ class ProgressReporter {
  private:
   const FlightRecorder* recorder_;
   double min_interval_;
-  std::FILE* out_;
   std::chrono::steady_clock::time_point start_;
   std::mutex mutex_;
   std::chrono::steady_clock::time_point last_{};
   bool printed_final_ = false;
-  int last_line_len_ = 0;  ///< For blanking a longer previous live line.
+  // Output goes through a LineGuard so verbose Logger lines blank and
+  // redraw the live line instead of splicing into it. stderr shares the
+  // process-wide guard with the Logger sink; other streams (tests write
+  // to a tmpfile) get a private guard with identical byte behavior.
+  LineGuard* guard_;
+  std::unique_ptr<LineGuard> owned_guard_;
 };
 
 }  // namespace marcopolo::obs

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -18,6 +19,49 @@
 #include <string_view>
 
 namespace marcopolo::obs {
+
+/// Coordinates a `\r`-overwritten live status line (ProgressReporter,
+/// `mpinspect watch`) with whole-line writers (the Logger stderr sink)
+/// sharing one FILE*. Without coordination a log line emitted while the
+/// progress line is active splices into it mid-line and the next redraw
+/// leaves the tail of the longer line on screen.
+///
+/// All writers route through one guard per stream:
+///   - live_line() renders the current status line: leading \r, padded to
+///     blank any longer predecessor, newline only when `final`.
+///   - println() emits a full newline-terminated line, blanking the live
+///     line first and redrawing it after, so logs scroll above an intact
+///     status line.
+///
+/// Thread-safe (one mutex per guard). stderr_guard() is the process-wide
+/// instance every stderr writer shares.
+class LineGuard {
+ public:
+  explicit LineGuard(std::FILE* out) : out_(out) {}
+  LineGuard(const LineGuard&) = delete;
+  LineGuard& operator=(const LineGuard&) = delete;
+
+  /// Overwrite the live status line with `line`. With `final` the line is
+  /// newline-terminated and the live state cleared (the next println()
+  /// does not redraw it).
+  void live_line(std::string_view line, bool final);
+
+  /// Blank the live line, write `text` + '\n', redraw the live line.
+  void println(std::string_view text);
+
+  /// Newline-terminate and forget the live line, if any (e.g. before the
+  /// process prints a non-guarded report).
+  void finish_live_line();
+
+  /// The shared guard for stderr.
+  [[nodiscard]] static LineGuard& stderr_guard();
+
+ private:
+  std::FILE* out_;
+  std::mutex mutex_;
+  std::string live_;       ///< Current live line ("" = none).
+  int last_len_ = 0;       ///< For blanking a longer predecessor.
+};
 
 enum class LogLevel : std::uint8_t { Debug = 0, Info, Warn, Error, Off };
 

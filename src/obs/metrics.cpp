@@ -190,8 +190,13 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     std::scoped_lock shards_lock(shards_mutex_);
     for (const auto& shard : shards_) {
       // Excludes concurrent owner-side growth; concurrent relaxed updates
-      // to existing slots are fine (the snapshot is a consistent-enough
-      // sum once writers have quiesced, which every caller ensures).
+      // to existing slots are fine. Live scrapes (the telemetry hub ticks
+      // while workers run) therefore race-free: every value read is one
+      // some writer actually stored, and since all series are monotone
+      // sums, a mid-update read only shifts work between adjacent ticks —
+      // never loses or invents it. Cross-metric consistency (counter A
+      // seen with counter B's matching value) is only guaranteed once
+      // writers have quiesced, which end-of-run callers ensure.
       std::scoped_lock grow_lock(shard->grow_mutex);
       const std::size_t nc =
           std::min(counter_totals.size(), shard->counters.size());

@@ -131,6 +131,12 @@ class MetricsRegistry {
   }
 
   /// Merge every shard (including those of joined threads) into one view.
+  /// Safe to call while writer threads register metrics, spawn shards,
+  /// and update concurrently (the telemetry hub scrapes mid-run on every
+  /// tick): totals are sums of monotone per-shard values, so a live
+  /// scrape is tick-consistent — it may lag in-flight updates but never
+  /// loses or invents counts. Exact cross-metric consistency holds once
+  /// writers have quiesced.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Process-wide default registry.

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/timeseries_reader.hpp"
 
 namespace marcopolo::obs {
 
@@ -580,6 +581,36 @@ BundleCheckResult check_trace_bundle(const std::string& dir,
     }
   }
 
+  const std::filesystem::path timeseries_path = base / "timeseries.ndjson";
+  const TimeseriesTick* last_tick = nullptr;
+  ReadTimeseries timeseries;
+  if (std::filesystem::exists(timeseries_path)) {
+    timeseries = TimeseriesReader::read_file(timeseries_path.string());
+    out.has_timeseries = true;
+    out.timeseries_ticks = timeseries.ticks.size();
+    for (const TimeseriesIssue& issue : timeseries.errors) {
+      out.fail("timeseries.ndjson line " + std::to_string(issue.line) +
+               ": " + issue.message);
+    }
+    if (timeseries.ok() && !timeseries.has_meta) {
+      out.fail("timeseries.ndjson has no meta record");
+    }
+    // Final-tick counter agreement: the hub's last registry scrape must
+    // tell the same story as the post-run artifacts. (A crashed run has
+    // no "final":true tick — that's legitimate; the last completed tick
+    // still has to agree when it carries counters.)
+    last_tick = timeseries.last_tick();
+    if (last_tick != nullptr) {
+      const std::uint64_t ts_tasks =
+          last_tick->counter("campaign.tasks_executed");
+      if (ts_tasks != 0 && out.tasks != 0 && ts_tasks != out.tasks) {
+        out.fail("timeseries final tick campaign.tasks_executed " +
+                 std::to_string(ts_tasks) + " != journal task spans " +
+                 std::to_string(out.tasks));
+      }
+    }
+  }
+
   if (!manifest_path.empty()) {
     const ReadManifest manifest = ManifestReader::read_file(manifest_path);
     for (const std::string& error : manifest.errors) {
@@ -605,6 +636,18 @@ BundleCheckResult check_trace_bundle(const std::string& dir,
                  std::to_string(manifest.profile.samples) +
                  " != profile.folded total " +
                  std::to_string(out.profile_samples));
+      }
+      if (last_tick != nullptr) {
+        const std::uint64_t ts_tasks =
+            last_tick->counter("campaign.tasks_executed");
+        const std::uint64_t manifest_tasks =
+            manifest.metrics.counter("campaign.tasks_executed");
+        if (ts_tasks != 0 && manifest_tasks != 0 &&
+            ts_tasks != manifest_tasks) {
+          out.fail("timeseries final tick campaign.tasks_executed " +
+                   std::to_string(ts_tasks) + " != manifest counter " +
+                   std::to_string(manifest_tasks));
+        }
       }
     }
   }

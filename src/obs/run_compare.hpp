@@ -287,6 +287,9 @@ struct BundleCheckResult {
   /// profile.folded accounting (0 / false when the bundle has none).
   bool has_profile = false;
   std::uint64_t profile_samples = 0;
+  /// timeseries.ndjson accounting (0 / false when the bundle has none).
+  bool has_timeseries = false;
+  std::size_t timeseries_ticks = 0;
 
   void fail(std::string problem) {
     ok = false;
@@ -306,7 +309,14 @@ struct BundleCheckResult {
 ///   - profile.folded, when present, parses cleanly (non-empty
 ///     `;`-separated stacks, positive counts) and its sample total
 ///     agrees with the manifest's "profile" section when one is
-///     supplied.
+///     supplied;
+///   - timeseries.ndjson, when present, parses with timeseries_schema 1,
+///     has strictly increasing tick ids (a tampered or interleaved file
+///     fails with its line number), and its last tick's embedded
+///     campaign.tasks_executed agrees with the journal task spans and —
+///     when a manifest is supplied — the manifest counter. A file with
+///     no "final" tick is fine (a killed run keeps every completed
+///     tick); counter agreement is still checked against its last one.
 [[nodiscard]] BundleCheckResult check_trace_bundle(
     const std::string& dir, const std::string& manifest_path = {});
 

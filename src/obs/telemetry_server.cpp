@@ -1,0 +1,259 @@
+#include "obs/telemetry_server.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MARCOPOLO_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define MARCOPOLO_HAVE_SOCKETS 0
+#endif
+
+namespace marcopolo::obs {
+
+namespace {
+
+#if MARCOPOLO_HAVE_SOCKETS
+
+// Write all of `data`; short writes (signals, socket buffers) resume.
+// Best-effort: a client that hangs up mid-response is its own problem.
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, int status, const char* status_text,
+                   const char* content_type, const std::string& body) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     status_text +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+#endif  // MARCOPOLO_HAVE_SOCKETS
+
+}  // namespace
+
+bool TelemetryServer::start(int port) {
+#if !MARCOPOLO_HAVE_SOCKETS
+  std::scoped_lock lock(mutex_);
+  reason_ = "no socket API on this platform";
+  (void)port;
+  return false;
+#else
+  stop();  // restartable; also clears a previous failed attempt
+  stop_.store(false, std::memory_order_release);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::scoped_lock lock(mutex_);
+    reason_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    std::scoped_lock lock(mutex_);
+    reason_ = "bind 127.0.0.1:" + std::to_string(port) + ": " +
+              std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) < 0) {
+    std::scoped_lock lock(mutex_);
+    reason_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  // Resolve the actual port (port 0 requests a kernel-assigned one).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  available_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+#endif
+}
+
+void TelemetryServer::stop() {
+#if MARCOPOLO_HAVE_SOCKETS
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  available_.store(false, std::memory_order_release);
+#endif
+}
+
+void TelemetryServer::publish(std::shared_ptr<const TelemetryPayload> payload) {
+  std::scoped_lock lock(mutex_);
+  payload_ = std::move(payload);
+}
+
+std::string TelemetryServer::unavailable_reason() const {
+  std::scoped_lock lock(mutex_);
+  return reason_;
+}
+
+void TelemetryServer::serve_loop() {
+#if MARCOPOLO_HAVE_SOCKETS
+  while (!stop_.load(std::memory_order_acquire)) {
+    // poll() gates the accept so stop() only ever waits <= 250ms.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 250);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+#endif
+}
+
+void TelemetryServer::handle_client(int fd) {
+#if MARCOPOLO_HAVE_SOCKETS
+  // Read until the header terminator or a small cap; only the request
+  // line matters. A 1s receive timeout bounds a stalled client.
+  timeval tv{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (line.compare(0, 4, "GET ") != 0) {
+    send_response(fd, 405, "Method Not Allowed", "text/plain",
+                  "only GET is supported\n");
+    return;
+  }
+  std::string path = line.substr(4);
+  const std::size_t sp = path.find(' ');
+  if (sp != std::string::npos) path.resize(sp);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::shared_ptr<const TelemetryPayload> payload;
+  {
+    std::scoped_lock lock(mutex_);
+    payload = payload_;
+  }
+  if (path == "/healthz") {
+    send_response(fd, 200, "OK", "text/plain", "ok\n");
+  } else if (path == "/metrics") {
+    send_response(fd, 200, "OK", "text/plain; version=0.0.4",
+                  payload != nullptr ? payload->prometheus : std::string());
+  } else if (path == "/snapshot.json") {
+    send_response(fd, 200, "OK", "application/json",
+                  payload != nullptr ? payload->snapshot_json : "{}");
+  } else {
+    send_response(fd, 404, "Not Found", "text/plain", "not found\n");
+  }
+#else
+  (void)fd;
+#endif
+}
+
+bool http_get_localhost(int port, const std::string& path, int* status,
+                        std::string* body, std::string* error) {
+#if !MARCOPOLO_HAVE_SOCKETS
+  (void)port;
+  (void)path;
+  (void)status;
+  (void)body;
+  if (error != nullptr) *error = "no socket API on this platform";
+  return false;
+#else
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    if (error != nullptr) {
+      *error = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  send_all(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      response.compare(0, 5, "HTTP/") != 0) {
+    if (error != nullptr) *error = "malformed HTTP response";
+    return false;
+  }
+  const std::size_t status_at = response.find(' ');
+  int code = 0;
+  if (status_at != std::string::npos) {
+    code = std::atoi(response.c_str() + status_at + 1);
+  }
+  if (code == 0) {
+    if (error != nullptr) *error = "missing HTTP status code";
+    return false;
+  }
+  if (status != nullptr) *status = code;
+  if (body != nullptr) *body = response.substr(header_end + 4);
+  return true;
+#endif
+}
+
+}  // namespace marcopolo::obs

@@ -1,0 +1,85 @@
+// Minimal in-process HTTP server for the telemetry hub — and the
+// substrate the future MPIC corroboration service will grow on.
+//
+// Scope is deliberately tiny: localhost-only (binds 127.0.0.1, never a
+// routable interface), GET-only, three routes, one serving thread with a
+// poll()-gated accept so stop() never races a blocking accept. The hub
+// publishes an immutable payload snapshot per tick; requests serve
+// whatever snapshot is current, so a slow client never blocks the
+// sampler and the server touches no campaign state at all (pure
+// observer, like everything else in obs/).
+//
+// Routes:
+//   /metrics       Prometheus text exposition (write_prometheus_text).
+//   /healthz       "ok" — liveness for curl loops and CI smoke.
+//   /snapshot.json the latest tick as one JSON object (what a tick line
+//                  in timeseries.ndjson carries, minus the "type" tag).
+//
+// Degradation follows the PR 7 hw-counter pattern: a port that cannot be
+// bound (in use, no socket API, sandbox) leaves the server unavailable
+// with a reason string the CLIs echo once — never an error, never a
+// changed exit code.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace marcopolo::obs {
+
+/// One immutable published snapshot; requests share it via shared_ptr so
+/// a publish never invalidates an in-flight response.
+struct TelemetryPayload {
+  std::string prometheus;     ///< /metrics body.
+  std::string snapshot_json;  ///< /snapshot.json body.
+};
+
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer() { stop(); }
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned, see port()) and start
+  /// the serving thread. Returns false — with unavailable_reason() set —
+  /// when the socket cannot be created, bound, or listened on.
+  bool start(int port);
+
+  /// Join the serving thread and close the socket. Idempotent.
+  void stop();
+
+  /// Swap the payload served to subsequent requests.
+  void publish(std::shared_ptr<const TelemetryPayload> payload);
+
+  [[nodiscard]] bool available() const {
+    return available_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] std::string unavailable_reason() const;
+
+ private:
+  void serve_loop();
+  void handle_client(int fd);
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+  std::atomic<bool> available_{false};
+  std::atomic<bool> stop_{false};
+  mutable std::mutex mutex_;  ///< Guards reason_ and payload_.
+  std::string reason_;
+  std::shared_ptr<const TelemetryPayload> payload_;
+};
+
+/// Blocking one-shot HTTP GET against 127.0.0.1:`port` (the client side
+/// of the server above; used by `mpinspect watch` and the tests).
+/// Returns false with `*error` set on connect/IO failure; on success
+/// `*status` is the response code and `*body` the entity body.
+[[nodiscard]] bool http_get_localhost(int port, const std::string& path,
+                                      int* status, std::string* body,
+                                      std::string* error = nullptr);
+
+}  // namespace marcopolo::obs

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -190,6 +192,58 @@ TEST(Metrics, DistinctRegistriesAreIsolated) {
   b.counter("shared.name").add(10);
   EXPECT_EQ(a.snapshot().counter("shared.name"), 1u);
   EXPECT_EQ(b.snapshot().counter("shared.name"), 10u);
+}
+
+TEST(Metrics, SnapshotUnderInterningChurnIsMonotone) {
+  // The telemetry hub scrapes mid-run: snapshot() must stay race-free
+  // (TSan runs this in CI) and every counter must read as a monotone sum
+  // while worker threads intern new series and bump existing ones. A
+  // scrape racing an add() may land on either tick — but a value must
+  // never decrease between successive scrapes.
+  MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, &stop, t] {
+      Counter mine = reg.counter("churn.fixed." + std::to_string(t));
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        mine.add(1);
+        // Interning churn: new names force shard growth under the
+        // scraper's feet.
+        reg.counter("churn.fresh." + std::to_string(t) + "." +
+                     std::to_string(i % 257))
+            .add(1);
+        reg.histogram("churn.hist." + std::to_string(t)).observe(
+            static_cast<std::uint64_t>(i % 1024));
+      }
+    });
+  }
+
+  std::uint64_t prev_total = 0;
+  std::size_t prev_series = 0;
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    const MetricsSnapshot snap = reg.snapshot();
+    std::uint64_t total = 0;
+    for (const auto& [name, value] : snap.counters) total += value;
+    EXPECT_GE(total, prev_total) << "counter sum went backwards";
+    EXPECT_GE(snap.counters.size(), prev_series) << "series vanished";
+    prev_total = total;
+    prev_series = snap.counters.size();
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+
+  // Quiesced: the fixed counters hold exactly what their writers added.
+  const MetricsSnapshot final_snap = reg.snapshot();
+  std::uint64_t fixed = 0;
+  for (int t = 0; t < 4; ++t) {
+    fixed += final_snap.counter("churn.fixed." + std::to_string(t));
+  }
+  std::uint64_t fresh = 0;
+  for (const auto& [name, value] : final_snap.counters) {
+    if (name.rfind("churn.fresh.", 0) == 0) fresh += value;
+  }
+  EXPECT_EQ(fixed, fresh) << "one fixed and one fresh bump per iteration";
 }
 
 }  // namespace

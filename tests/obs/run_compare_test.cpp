@@ -494,6 +494,52 @@ TEST_F(BundleCheckTest, NonMonotoneLaneFails) {
   EXPECT_NE(result.problems[0].find("not monotone"), std::string::npos);
 }
 
+TEST_F(BundleCheckTest, TimeseriesIsValidatedWhenPresent) {
+  write_good_bundle();
+  std::ofstream(dir_ + "/timeseries.ndjson")
+      << R"({"type":"meta","timeseries_schema":1,"tick_ms":100})" << "\n"
+      << R"({"type":"tick","tick":0,"tasks_done":1})" << "\n"
+      << R"({"type":"tick","tick":1,"tasks_done":3,"final":true,)"
+      << R"("counters":{"campaign.tasks_executed":3}})" << "\n";
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_TRUE(result.ok) << (result.problems.empty()
+                                 ? ""
+                                 : result.problems.front());
+  EXPECT_TRUE(result.has_timeseries);
+  EXPECT_EQ(result.timeseries_ticks, 2u);
+}
+
+TEST_F(BundleCheckTest, TamperedTimeseriesFailsWithLineNumber) {
+  write_good_bundle();
+  // Tick ids that fail to strictly increase are the tamper/corruption
+  // signature the checker must reject, naming the line.
+  std::ofstream(dir_ + "/timeseries.ndjson")
+      << R"({"type":"meta","timeseries_schema":1,"tick_ms":100})" << "\n"
+      << R"({"type":"tick","tick":5,"tasks_done":1})" << "\n"
+      << R"({"type":"tick","tick":2,"tasks_done":3})" << "\n";
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("timeseries.ndjson line 3"),
+            std::string::npos)
+      << result.problems[0];
+  EXPECT_NE(result.problems[0].find("non-monotone"), std::string::npos);
+}
+
+TEST_F(BundleCheckTest, TimeseriesFinalCounterDisagreementFails) {
+  write_good_bundle();
+  std::ofstream(dir_ + "/timeseries.ndjson")
+      << R"({"type":"meta","timeseries_schema":1,"tick_ms":100})" << "\n"
+      << R"({"type":"tick","tick":0,"final":true,)"
+      << R"("counters":{"campaign.tasks_executed":999}})" << "\n";
+  const BundleCheckResult result = check_trace_bundle(dir_);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems[0].find("timeseries"), std::string::npos);
+  EXPECT_NE(result.problems[0].find("campaign.tasks_executed"),
+            std::string::npos);
+}
+
 TEST_F(BundleCheckTest, ManifestCounterDisagreementFails) {
   write_good_bundle();
   const std::string manifest = dir_ + "/run.json";

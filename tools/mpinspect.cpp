@@ -34,20 +34,43 @@
 //       line-numbered parse errors (a truncated journal fails here),
 //       meta-vs-actual record counts, monotone timestamps per lane,
 //       trace.json well-formedness, journal-vs-manifest counter
+//       agreement, and — when the bundle carries a timeseries.ndjson —
+//       tick-id monotonicity plus final-tick-vs-manifest counter
 //       agreement. Exits 1 on any problem — this is the CI smoke check.
 //
+//   mpinspect watch <url | dir | file.ndjson> [--interval-ms <n>] [--once]
+//       Live view of a running campaign: polls /snapshot.json on a
+//       telemetry endpoint (`http://127.0.0.1:<port>`, started with
+//       --serve-metrics) or re-reads a growing timeseries.ndjson, and
+//       redraws one status line per tick: tasks done/total, tasks/s,
+//       ETA, instructions/s, RSS, live workers, stalls, hot phase.
+//       Exits 0 when the run ends (endpoint goes away / final tick
+//       lands), 1 if the target never becomes reachable. --once renders
+//       the current snapshot and exits immediately.
+//
+//   mpinspect tail <dir | file.ndjson> [--last <N>]
+//       Table of the last N ticks (default 10) of a recorded
+//       time-series, plus the meta header. Line-numbered errors (a
+//       tampered or non-monotone file fails here) exit 1.
+//
 // Exit codes: 0 ok, 1 check/gate failure, 2 usage or I/O error.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/report.hpp"
 #include "obs/journal_reader.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest_reader.hpp"
 #include "obs/run_compare.hpp"
+#include "obs/telemetry_server.hpp"
+#include "obs/timeseries_reader.hpp"
 
 using namespace marcopolo;
 
@@ -63,7 +86,10 @@ int usage() {
       "  mpinspect diff <baseline.json> <candidate.json>"
       " [--max-regress-pct <P>]\n"
       "            [--counter-max-regress-pct <P>] [--json]\n"
-      "  mpinspect check <trace-dir> [--manifest <run.json>]\n");
+      "  mpinspect check <trace-dir> [--manifest <run.json>]\n"
+      "  mpinspect watch <url | dir | file.ndjson>"
+      " [--interval-ms <n>] [--once]\n"
+      "  mpinspect tail <dir | file.ndjson> [--last <N>]\n");
   return 2;
 }
 
@@ -881,14 +907,272 @@ int cmd_check(const std::vector<std::string>& args) {
       std::snprintf(profile, sizeof profile, ", profile %llu samples",
                     static_cast<unsigned long long>(result.profile_samples));
     }
+    char timeseries[64] = "";
+    if (result.has_timeseries) {
+      std::snprintf(timeseries, sizeof timeseries, ", timeseries %zu ticks",
+                    result.timeseries_ticks);
+    }
     std::printf(
         "OK %s: %zu journal lines (%zu tasks, %zu verdicts, %zu attacks, "
-        "%zu quorums)%s%s\n",
+        "%zu quorums)%s%s%s\n",
         dir.c_str(), result.journal_lines, result.tasks, result.verdicts,
         result.attacks, result.quorums,
-        manifest_path.empty() ? "" : ", manifest counters agree", profile);
+        manifest_path.empty() ? "" : ", manifest counters agree", profile,
+        timeseries);
   }
   return result.ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// watch / tail
+
+std::string format_mib(std::uint64_t kb) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f MiB",
+                static_cast<double>(kb) / 1024.0);
+  return buf;
+}
+
+std::string format_eta(double seconds) {
+  char buf[48];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof buf, "%dh%02dm", static_cast<int>(seconds) / 3600,
+                  (static_cast<int>(seconds) % 3600) / 60);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof buf, "%dm%02ds", static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  }
+  return buf;
+}
+
+/// One status line for a tick; every ISSUE-mandated field that the
+/// writer recorded, nothing invented for the ones it omitted.
+std::string render_tick(const obs::TimeseriesTick& tick) {
+  std::string line = "[watch] tick " + std::to_string(tick.tick);
+  line += "  " + std::to_string(tick.tasks_done);
+  if (tick.tasks_total != 0) {
+    char pct[48];
+    std::snprintf(pct, sizeof pct, "/%llu tasks (%.1f%%)",
+                  static_cast<unsigned long long>(tick.tasks_total),
+                  100.0 * static_cast<double>(tick.tasks_done) /
+                      static_cast<double>(tick.tasks_total));
+    line += pct;
+  } else {
+    line += " tasks";
+  }
+  line += "  " + format_double(tick.tasks_per_s, "%.1f") + " tasks/s";
+  if (tick.has_eta) line += "  ETA " + format_eta(tick.eta_s);
+  if (tick.instructions != 0) {
+    line += "  " +
+            format_count(static_cast<std::uint64_t>(tick.instructions_per_s)) +
+            " instr/s";
+  }
+  if (tick.has_mem) {
+    line += "  RSS " + format_mib(tick.rss_kb) + " (peak " +
+            format_mib(tick.peak_rss_kb) + ")";
+  }
+  line += "  workers " + std::to_string(tick.workers_live);
+  line += "  stalls " + std::to_string(tick.stalls);
+  if (!tick.hot_phase.empty()) line += "  hot " + tick.hot_phase;
+  if (tick.final_tick) line += "  [final]";
+  return line;
+}
+
+/// Accepts `http://127.0.0.1:<port>[/...]`, `localhost:<port>`, or a
+/// bare port; rejects non-local hosts (the endpoint only binds
+/// loopback).
+bool parse_watch_url(const std::string& url, int* port) {
+  std::string rest = url;
+  if (rest.rfind("http://", 0) == 0) rest = rest.substr(7);
+  if (const auto slash = rest.find('/'); slash != std::string::npos) {
+    rest = rest.substr(0, slash);
+  }
+  std::string port_text = rest;
+  if (const auto colon = rest.find(':'); colon != std::string::npos) {
+    const std::string host = rest.substr(0, colon);
+    if (host != "127.0.0.1" && host != "localhost") return false;
+    port_text = rest.substr(colon + 1);
+  }
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  const long value = std::strtol(port_text.c_str(), nullptr, 10);
+  if (value <= 0 || value > 65535) return false;
+  *port = static_cast<int>(value);
+  return true;
+}
+
+int cmd_watch(const std::vector<std::string>& args) {
+  std::string target;
+  int interval_ms = 1000;
+  bool once = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--interval-ms" && i + 1 < args.size()) {
+      interval_ms = std::atoi(args[++i].c_str());
+      if (interval_ms <= 0) {
+        std::fprintf(stderr, "bad --interval-ms: %s\n", args[i].c_str());
+        return 2;
+      }
+    } else if (args[i] == "--once") {
+      once = true;
+    } else if (target.empty()) {
+      target = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (target.empty()) return usage();
+
+  // Resolve the target: an endpoint URL, or a timeseries file / bundle
+  // dir (dir form appends the canonical file name).
+  int port = -1;
+  std::string path;
+  if (std::filesystem::is_directory(target)) {
+    path = (std::filesystem::path(target) / "timeseries.ndjson").string();
+  } else if (target.size() > 7 &&
+             target.compare(target.size() - 7, 7, ".ndjson") == 0) {
+    path = target;
+  } else if (!parse_watch_url(target, &port)) {
+    std::fprintf(stderr,
+                 "watch target is neither a local endpoint URL nor a "
+                 "timeseries dir/file: %s\n",
+                 target.c_str());
+    return 2;
+  }
+
+  obs::LineGuard guard(stdout);
+  bool connected = false;
+  std::uint64_t last_rendered_tick = 0;
+  // Before the first contact, keep trying for a grace window (the
+  // watched process may still be binding its port / writing its meta
+  // line); after contact, a vanished target means the run ended.
+  int attempts_left = 20;
+  for (;;) {
+    obs::TimeseriesTick tick;
+    bool have_tick = false;
+    std::string error;
+    if (port >= 0) {
+      int status = 0;
+      std::string body;
+      if (!obs::http_get_localhost(port, "/snapshot.json", &status, &body,
+                                   &error)) {
+        if (connected) {
+          guard.finish_live_line();
+          std::printf("[watch] endpoint gone (%s) — run finished\n",
+                      error.c_str());
+          return 0;
+        }
+      } else if (status != 200) {
+        error = "HTTP " + std::to_string(status);
+      } else if (!obs::TimeseriesReader::parse_snapshot(body, &tick, &error)) {
+        std::fprintf(stderr, "bad /snapshot.json: %s\n", error.c_str());
+        return 1;
+      } else {
+        have_tick = tick.t_ns != 0 || tick.tick != 0;
+        error.clear();
+        connected = true;
+      }
+    } else {
+      const obs::ReadTimeseries read =
+          obs::TimeseriesReader::read_file(path);
+      if (!read.ok()) {
+        if (connected || std::filesystem::exists(path)) {
+          guard.finish_live_line();
+          for (const obs::TimeseriesIssue& issue : read.errors) {
+            std::fprintf(stderr, "%s line %zu: %s\n", path.c_str(),
+                         issue.line, issue.message.c_str());
+          }
+          return 1;
+        }
+        error = "no " + path + " yet";
+      } else {
+        connected = true;
+        if (read.last_tick() != nullptr) {
+          tick = *read.last_tick();
+          have_tick = true;
+        }
+      }
+    }
+
+    if (have_tick && (tick.tick != last_rendered_tick || once)) {
+      last_rendered_tick = tick.tick;
+      guard.live_line(render_tick(tick), /*final=*/once || tick.final_tick);
+      if (tick.final_tick && !once) return 0;
+    }
+    if (once) {
+      if (!have_tick) {
+        std::fprintf(stderr, "no tick available%s%s\n",
+                     error.empty() ? "" : ": ", error.c_str());
+        return 1;
+      }
+      return 0;
+    }
+    if (!connected && --attempts_left <= 0) {
+      std::fprintf(stderr, "watch target never became reachable: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+int cmd_tail(const std::vector<std::string>& args) {
+  std::string target;
+  std::size_t last_n = 10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--last" && i + 1 < args.size()) {
+      try {
+        last_n = static_cast<std::size_t>(std::stoul(args[++i]));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --last: %s\n", args[i].c_str());
+        return 2;
+      }
+    } else if (target.empty()) {
+      target = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (target.empty()) return usage();
+  std::string path = target;
+  if (std::filesystem::is_directory(target)) {
+    path = (std::filesystem::path(target) / "timeseries.ndjson").string();
+  }
+
+  const obs::ReadTimeseries read = obs::TimeseriesReader::read_file(path);
+  for (const obs::TimeseriesIssue& issue : read.errors) {
+    std::fprintf(stderr, "%s line %zu: %s\n", path.c_str(), issue.line,
+                 issue.message.c_str());
+  }
+  if (!read.ok()) return 1;
+  if (read.has_meta) {
+    std::printf("timeseries: schema %d, tick every %llu ms, %zu ticks"
+                " (%zu unknown-type skipped)\n",
+                read.schema, static_cast<unsigned long long>(read.tick_ms),
+                read.ticks.size(), read.skipped_records);
+  }
+  analysis::TextTable table({"Tick", "t", "Tasks", "Tasks/s", "Workers",
+                             "Stalls", "RSS", "Hot phase"});
+  const std::size_t begin =
+      read.ticks.size() > last_n ? read.ticks.size() - last_n : 0;
+  for (std::size_t i = begin; i < read.ticks.size(); ++i) {
+    const obs::TimeseriesTick& tick = read.ticks[i];
+    std::string tasks = std::to_string(tick.tasks_done);
+    if (tick.tasks_total != 0) tasks += "/" + std::to_string(tick.tasks_total);
+    if (tick.final_tick) tasks += " (final)";
+    table.add_row(
+        {std::to_string(tick.tick),
+         format_double(static_cast<double>(tick.t_ns) / 1e9, "%.1fs"),
+         tasks, format_double(tick.tasks_per_s, "%.1f"),
+         std::to_string(tick.workers_live), std::to_string(tick.stalls),
+         tick.has_mem ? format_mib(tick.rss_kb) : "-",
+         tick.hot_phase.empty() ? "-" : tick.hot_phase});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -901,5 +1185,7 @@ int main(int argc, char** argv) {
   if (command == "hotspots") return cmd_hotspots(args);
   if (command == "diff") return cmd_diff(args);
   if (command == "check") return cmd_check(args);
+  if (command == "watch") return cmd_watch(args);
+  if (command == "tail") return cmd_tail(args);
   return usage();
 }
