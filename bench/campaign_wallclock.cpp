@@ -11,7 +11,8 @@
 // Usage:
 //
 //   campaign_wallclock [--trace-out <dir>] [--phases <csv>]
-//                      [--profile[=hz]] [--telemetry-out <dir|file>]
+//                      [--attacks <csv|all>] [--profile[=hz]]
+//                      [--telemetry-out <dir|file>]
 //                      [--serve-metrics <port>] [--tick-ms <n>]
 //                      [output.json] [thread counts...]
 //
@@ -30,10 +31,18 @@
 // --phases selects which measurement groups run, so CI and local loops
 // can re-run one gated phase without paying for the rest (in particular,
 // re-measuring the optimizer or resilience kernels without the 50k-AS
-// build). Tokens: runs, recording, optimizer, resilience, scaled — or a
-// gated phase name (optimizer_exhaustive_ms, resilience_kernel_ms, ...),
-// which selects its group. Sections for skipped groups are omitted from
-// the JSON and their exit-code checks don't apply.
+// build). Tokens: runs, recording, optimizer, resilience, scaled, multi —
+// or a gated phase name (optimizer_exhaustive_ms, resilience_kernel_ms,
+// ...), which selects its group. Sections for skipped groups are omitted
+// from the JSON and their exit-code checks don't apply.
+//
+// The multi group sweeps every registered attack type (narrow with
+// --attacks <csv|all>) over the same 50k-AS testbed the scaled group
+// uses — one campaign, one result-store plane per attack — and gates the
+// total as multi_attack_campaign_ms. Because every plane reuses the
+// announcer's propagation baseline, the per-attack cost should stay well
+// below a standalone campaign; the "per_attack_ratio_vs_scaled" field
+// states the measured ratio whenever the scaled group also ran.
 //
 // Every gated single-threaded phase runs under an obs::PhaseCounters
 // scope: its JSON row carries instructions/ipc/cache_miss_rate and
@@ -67,6 +76,7 @@
 #include <optional>
 #include <span>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +87,7 @@
 
 #include "analysis/optimizer.hpp"
 #include "analysis/scalar_reference.hpp"
+#include "bgp/attack_model.hpp"
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
 #include "obs/perf_counters.hpp"
@@ -118,11 +129,12 @@ struct PhaseSelection {
   bool optimizer = true;
   bool resilience = true;
   bool scaled = true;
+  bool multi = true;
 
   /// Parse a --phases csv; returns false on an unknown token.
   static bool parse(const std::string& csv, PhaseSelection& out,
                     std::string& bad_token) {
-    out = PhaseSelection{false, false, false, false, false};
+    out = PhaseSelection{false, false, false, false, false, false};
     std::size_t pos = 0;
     while (pos <= csv.size()) {
       std::size_t comma = csv.find(',', pos);
@@ -143,6 +155,8 @@ struct PhaseSelection {
         out.resilience = true;
       } else if (token == "scaled" || token == "scaled_campaign_50k_ms") {
         out.scaled = true;
+      } else if (token == "multi" || token == "multi_attack_campaign_ms") {
+        out.multi = true;
       } else {
         bad_token = token;
         return false;
@@ -171,6 +185,7 @@ int main(int argc, char** argv) {
   std::string telemetry_out;
   int serve_port = -1;
   int tick_ms = 1000;
+  std::vector<bgp::AttackType> attack_list;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -199,8 +214,15 @@ int main(int argc, char** argv) {
       if (!PhaseSelection::parse(argv[++i], select, bad)) {
         std::cerr << "unknown phase \"" << bad
                   << "\" (valid: runs, recording, optimizer, resilience, "
-                     "scaled, or a gated phase name)"
+                     "scaled, multi, or a gated phase name)"
                   << std::endl;
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--attacks") == 0 && i + 1 < argc) {
+      try {
+        attack_list = bgp::parse_attack_list(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << std::endl;
         return 2;
       }
     } else if (out_path.empty()) {
@@ -580,18 +602,23 @@ int main(int argc, char** argv) {
   bool scaled_complete = true;
   std::size_t scaled_ases = 0;
   std::size_t scaled_sites = 0;
-  if (select.scaled) {
+  // One 50k-AS build serves both the scaled and the multi-attack phase.
+  const bool need_scaled_testbed = select.scaled || select.multi;
+  std::optional<core::Testbed> scaled_testbed;
+  if (need_scaled_testbed) {
     std::cerr << "building 50k-AS testbed..." << std::endl;
     core::TestbedConfig scaled_cfg;
     scaled_cfg.internet = topo::scaled_internet_config(50000);
     const auto build_t0 = clock();
-    const core::Testbed scaled_testbed{scaled_cfg};
+    scaled_testbed.emplace(scaled_cfg);
     scaled_build_seconds =
         std::chrono::duration<double>(clock() - build_t0).count();
-    scaled_ases = scaled_testbed.internet().graph().size();
-    scaled_sites = scaled_testbed.sites().size();
+    scaled_ases = scaled_testbed->internet().graph().size();
+    scaled_sites = scaled_testbed->sites().size();
     std::cerr << "  " << scaled_ases << " ASes in " << scaled_build_seconds
               << " s" << std::endl;
+  }
+  if (select.scaled) {
     core::FastCampaignConfig scaled_run;
     scaled_run.threads = 1;
     // Best of 3: a fresh 50k-AS heap makes single runs jitter by tens of
@@ -603,7 +630,7 @@ int main(int argc, char** argv) {
       std::optional<core::ResultStore> scaled_store;
       {
         obs::PhaseCounters scope(perf_group, &stats);
-        scaled_store = core::run_fast_campaign(scaled_testbed, scaled_run);
+        scaled_store = core::run_fast_campaign(*scaled_testbed, scaled_run);
       }
       const double rep_seconds =
           std::chrono::duration<double>(clock() - scaled_t0).count();
@@ -629,6 +656,62 @@ int main(int argc, char** argv) {
     std::cerr << "scaled campaign: " << scaled_seconds << " s  ("
               << scaled_ratio << "x the default per-matrix serial run)  "
               << (scaled_complete ? "complete" : "INCOMPLETE") << std::endl;
+  }
+
+  // Multi-attack phase: every attack type in one campaign over the same
+  // 50k-AS testbed — one store plane per type, each reusing the
+  // announcer's baseline. Gated as a whole; the per-attack ratio against
+  // the single-attack scaled phase quantifies the baseline-sharing win.
+  double multi_seconds = 0.0;
+  double multi_per_attack_ratio = 0.0;
+  bool multi_complete = true;
+  std::vector<bgp::AttackType> multi_attacks = attack_list;
+  if (multi_attacks.empty()) {
+    const auto all = bgp::all_attack_types();
+    multi_attacks.assign(all.begin(), all.end());
+  }
+  if (select.multi) {
+    std::cerr << "multi-attack campaign (" << multi_attacks.size()
+              << " types) on the 50k-AS testbed..." << std::endl;
+    core::FastCampaignConfig multi_run;
+    multi_run.threads = 1;
+    multi_run.attacks = multi_attacks;
+    obs::PhaseStats best_stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      obs::PhaseStats stats;
+      const auto multi_t0 = clock();
+      std::optional<core::ResultStore> multi_store;
+      {
+        obs::PhaseCounters scope(perf_group, &stats);
+        multi_store = core::run_fast_campaign(*scaled_testbed, multi_run);
+      }
+      const double rep_seconds =
+          std::chrono::duration<double>(clock() - multi_t0).count();
+      if (rep == 0 || rep_seconds < multi_seconds) {
+        multi_seconds = rep_seconds;
+        best_stats = stats;
+      }
+      for (std::size_t ai = 0; ai < multi_store->num_attacks(); ++ai) {
+        for (core::SiteIndex v = 0; v < multi_store->num_sites(); ++v) {
+          for (core::SiteIndex a = 0; a < multi_store->num_sites(); ++a) {
+            if (v != a && !multi_store->pair_complete(ai, v, a)) {
+              multi_complete = false;
+            }
+          }
+        }
+      }
+    }
+    phase_rows.push_back(
+        PhaseRow{"multi_attack_campaign_ms", multi_seconds, best_stats});
+    multi_per_attack_ratio =
+        scaled_seconds > 0.0
+            ? multi_seconds /
+                  (static_cast<double>(multi_attacks.size()) * scaled_seconds)
+            : 0.0;
+    std::cerr << "multi-attack campaign: " << multi_seconds << " s  ("
+              << multi_per_attack_ratio
+              << "x the single-attack scaled run per attack)  "
+              << (multi_complete ? "complete" : "INCOMPLETE") << std::endl;
   }
 
   std::ofstream out(out_path);
@@ -695,6 +778,22 @@ int main(int argc, char** argv) {
         << "    \"campaign_seconds\": " << scaled_seconds << ",\n"
         << "    \"per_matrix_ratio_vs_default\": " << scaled_ratio << ",\n"
         << "    \"complete\": " << (scaled_complete ? "true" : "false")
+        << "\n  },\n";
+  }
+  if (select.multi) {
+    out << "  \"multi_attack\": {\n"
+        << "    \"ases\": " << scaled_ases << ",\n"
+        << "    \"sites\": " << scaled_sites << ",\n"
+        << "    \"attack_types\": [";
+    for (std::size_t i = 0; i < multi_attacks.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << bgp::to_cstring(multi_attacks[i])
+          << "\"";
+    }
+    out << "],\n"
+        << "    \"campaign_seconds\": " << multi_seconds << ",\n"
+        << "    \"per_attack_ratio_vs_scaled\": " << multi_per_attack_ratio
+        << ",\n"
+        << "    \"complete\": " << (multi_complete ? "true" : "false")
         << "\n  },\n";
   }
   if (select.optimizer) {
@@ -766,6 +865,10 @@ int main(int argc, char** argv) {
   }
   if (select.scaled && !scaled_complete) {
     std::cerr << "scaled campaign left incomplete pairs" << std::endl;
+    return 1;
+  }
+  if (select.multi && !multi_complete) {
+    std::cerr << "multi-attack campaign left incomplete pairs" << std::endl;
     return 1;
   }
   return 0;

@@ -5,12 +5,19 @@
 // perspective count, produce the CA/Browser-Forum-compliant deployments
 // ranked by resilience, including the recommended primary perspective.
 //
-// Usage: optimize_deployment [provider] [count] [--metrics-out <file.json>]
+// Usage: optimize_deployment [provider] [count] [--attacks <csv|all>]
+//                            [--metrics-out <file.json>]
 //                            [--trace-out <dir>] [--progress]
 //                            [--profile[=hz]] [--telemetry-out <dir|file>]
 //                            [--serve-metrics <port>] [--tick-ms <n>]
 //   provider: aws | gcp | azure   (default azure)
 //   count:    5..8                (default 6)
+//
+// With --attacks the campaign sweeps every listed attack type (one store
+// plane each) and the optimizer scores deployments against the worst
+// case: a perspective counts as hijacked for a pair when ANY listed
+// attack captures it, so the ranked sets are robust to the adversary's
+// choice of attack, not just to equally-specific hijacks.
 //
 // With --metrics-out the campaign and optimizer are instrumented and a
 // RunManifest (config echo, phases, counters, latency histograms) is
@@ -27,11 +34,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/optimizer.hpp"
 #include "analysis/report.hpp"
 #include "analysis/rir_cluster.hpp"
+#include "bgp/attack_model.hpp"
 #include "marcopolo/fast_campaign.hpp"
 #include "obs/manifest.hpp"
 #include "obs/profiler.hpp"
@@ -63,9 +72,17 @@ int main(int argc, char** argv) {
   std::string telemetry_out;
   int serve_port = -1;
   int tick_ms = 1000;
+  std::vector<bgp::AttackType> attacks;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--attacks") == 0 && i + 1 < argc) {
+      try {
+        attacks = bgp::parse_attack_list(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -163,8 +180,32 @@ int main(int argc, char** argv) {
       reporter.update(done, total);
     };
   }
-  const auto store = core::run_fast_campaign(testbed, campaign_cfg);
+  campaign_cfg.attacks = attacks;
+  auto store = core::run_fast_campaign(testbed, campaign_cfg);
   manifest.add_phase("fast_campaign", phase.seconds());
+  if (store.num_attacks() > 1) {
+    // Fold the planes to the adversary's best case: any attack that
+    // captures a perspective marks it hijacked in the store the
+    // optimizer scores against.
+    core::ResultStore folded = store.extract_attack(0);
+    const auto n = static_cast<core::SiteIndex>(store.num_sites());
+    for (core::SiteIndex v = 0; v < n; ++v) {
+      for (core::SiteIndex a = 0; a < n; ++a) {
+        if (v == a) continue;
+        for (const auto& rec : testbed.perspectives()) {
+          for (std::size_t ai = 1; ai < store.num_attacks(); ++ai) {
+            if (store.hijacked(ai, v, a, rec.index)) {
+              folded.record(v, a, rec.index, bgp::OriginReached::Adversary);
+              break;
+            }
+          }
+        }
+      }
+    }
+    std::printf("Scoring against worst case over %zu attack types\n",
+                store.num_attacks());
+    store = std::move(folded);
+  }
   analysis::ResilienceAnalyzer analyzer(store);
   analysis::DeploymentOptimizer optimizer(analyzer);
 

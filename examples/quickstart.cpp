@@ -10,6 +10,11 @@
 //   3. Ask post-hoc questions: how resilient is a single perspective? an
 //      optimized (6, N-2) deployment per provider? the production systems?
 //
+// With `--attacks <csv|all>` (names from the attack registry, e.g.
+// "equally-specific,route-leak") an extra multi-attack sweep runs after
+// the paper campaigns: one campaign, one result plane per attack type,
+// every plane sharing each victim's propagation baseline.
+//
 // With `--metrics-out run.json` every subsystem is instrumented through
 // obs::MetricsRegistry and the run ends by writing a RunManifest: config
 // echo, wall-clock phases, campaign/propagation/orchestrator/optimizer
@@ -38,10 +43,13 @@
 #include <cstring>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "analysis/optimizer.hpp"
 #include "analysis/report.hpp"
+#include "bgp/attack_model.hpp"
 #include "marcopolo/fast_campaign.hpp"
 #include "marcopolo/orchestrator.hpp"
 #include "marcopolo/production_systems.hpp"
@@ -66,8 +74,16 @@ int main(int argc, char** argv) {
   std::string telemetry_out;
   int serve_port = -1;
   int tick_ms = 1000;
+  std::vector<bgp::AttackType> extra_attacks;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--attacks") == 0 && i + 1 < argc) {
+      try {
+        extra_attacks = bgp::parse_attack_list(argv[++i]);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -97,7 +113,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: quickstart [--metrics-out <file.json>] "
+                   "usage: quickstart [--attacks <csv|all>] "
+                   "[--metrics-out <file.json>] "
                    "[--trace-out <dir>] [--progress] [--verbose] "
                    "[--profile[=hz]] [--telemetry-out <dir|file>] "
                    "[--serve-metrics <port>] [--tick-ms <n>]\n");
@@ -178,6 +195,41 @@ int main(int argc, char** argv) {
   manifest.add_phase("fast_campaign", phase.seconds());
   std::printf("Campaign: %zu attacks recorded (plus RPKI variant)\n",
               testbed.sites().size() * (testbed.sites().size() - 1));
+
+  // 2b'. Optional multi-attack sweep: one campaign, one store plane per
+  //      requested attack type, all sharing each victim's baseline.
+  if (!extra_attacks.empty()) {
+    phase.restart();
+    core::FastCampaignConfig sweep;
+    sweep.attacks = extra_attacks;
+    sweep.tie_break = bgp::TieBreakMode::Hashed;
+    sweep.tie_break_seed = 0xCAFE;
+    sweep.metrics = metrics;
+    sweep.recorder = recorder;
+    sweep.profiler = profiler;
+    sweep.telemetry = hub;
+    sweep.progress = progress_hook;
+    const auto sweep_store = core::run_fast_campaign(testbed, sweep);
+    manifest.add_phase("multi_attack_sweep", phase.seconds());
+    analysis::TextTable sweep_table({"Attack", "Hijacked verdicts"});
+    const auto n = static_cast<core::SiteIndex>(sweep_store.num_sites());
+    for (std::size_t ai = 0; ai < sweep_store.num_attacks(); ++ai) {
+      std::size_t hijacked = 0;
+      for (core::SiteIndex v = 0; v < n; ++v) {
+        for (core::SiteIndex a = 0; a < n; ++a) {
+          if (v == a) continue;
+          for (const auto& rec : testbed.perspectives()) {
+            if (sweep_store.hijacked(ai, v, a, rec.index)) ++hijacked;
+          }
+        }
+      }
+      sweep_table.add_row(
+          {bgp::to_cstring(sweep_store.attack_types()[ai]),
+           std::to_string(hijacked)});
+    }
+    std::printf("\nMulti-attack sweep (%zu planes):\n%s",
+                sweep_store.num_attacks(), sweep_table.to_string().c_str());
+  }
 
   // 2b. A small orchestrated slice of the five-step protocol — enough to
   //     populate the orchestrator's attempt/retry accounting without the

@@ -34,7 +34,13 @@ namespace marcopolo::analysis {
 
 class OutcomeMatrix {
  public:
-  explicit OutcomeMatrix(const core::ResultStore& store);
+  /// Snapshot of the store's first attack plane (the whole store for a
+  /// single-attack campaign).
+  explicit OutcomeMatrix(const core::ResultStore& store)
+      : OutcomeMatrix(store, 0) {}
+  /// Snapshot of one attack plane of a multi-attack store; throws
+  /// std::out_of_range past num_attacks().
+  OutcomeMatrix(const core::ResultStore& store, std::size_t attack);
 
   [[nodiscard]] std::size_t num_sites() const { return num_sites_; }
   [[nodiscard]] std::size_t num_perspectives() const {

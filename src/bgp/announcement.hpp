@@ -25,6 +25,14 @@ struct Announcement {
   netsim::Ipv4Prefix prefix;
   std::vector<Asn> as_path;
   OriginRole role = OriginRole::Victim;
+  /// RFC 9234 Only-To-Customer attribute: the ASN that stamped the route
+  /// as "must only travel customer-ward from here", or 0 when unset. Set
+  /// and checked only by OTC-enforcing ASes (AsGraph::otc_enforcing), so a
+  /// deployment with no enforcing ASes leaves every route's otc at 0 and
+  /// the propagation outcome byte-identical to a pre-OTC run. The value is
+  /// carried verbatim across non-enforcing hops (BGP optional transitive
+  /// semantics); see bgp/rfc9234.hpp for the set/drop rules.
+  Asn otc{0};
 
   /// The origin AS per BGP semantics (rightmost path element). For a
   /// forged-origin hijack this is the *victim's* ASN even though the

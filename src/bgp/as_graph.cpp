@@ -51,6 +51,12 @@ void AsGraph::set_rov_enforcing(NodeId n, bool enforcing) {
 
 bool AsGraph::rov_enforcing(NodeId n) const { return node(n).rov; }
 
+void AsGraph::set_otc_enforcing(NodeId n, bool enforcing) {
+  node(n).otc = enforcing;
+}
+
+bool AsGraph::otc_enforcing(NodeId n) const { return node(n).otc; }
+
 Asn AsGraph::asn_of(NodeId n) const { return node(n).asn; }
 
 std::optional<NodeId> AsGraph::find(Asn asn) const {

@@ -61,6 +61,12 @@ class AsGraph {
   void set_rov_enforcing(NodeId n, bool enforcing);
   [[nodiscard]] bool rov_enforcing(NodeId n) const;
 
+  /// Mark an AS as enforcing RFC 9234 OTC marking and leak rejection
+  /// (bgp/rfc9234.hpp). Independent of ROV: the two defenses counter
+  /// different attacks and real deployments of each overlap only partly.
+  void set_otc_enforcing(NodeId n, bool enforcing);
+  [[nodiscard]] bool otc_enforcing(NodeId n) const;
+
   [[nodiscard]] Asn asn_of(NodeId n) const;
   [[nodiscard]] std::optional<NodeId> find(Asn asn) const;
 
@@ -101,6 +107,7 @@ class AsGraph {
     Asn asn;
     std::vector<Neighbor> neighbors;
     bool rov = false;
+    bool otc = false;
   };
 
   Node& node(NodeId n) {

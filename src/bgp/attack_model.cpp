@@ -1,0 +1,175 @@
+#include "bgp/attack_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace marcopolo::bgp {
+
+namespace {
+
+class EquallySpecificModel final : public AttackModel {
+ public:
+  [[nodiscard]] AttackType type() const override {
+    return AttackType::EquallySpecific;
+  }
+  [[nodiscard]] AttackPlan plan(const AttackContext& ctx) const override {
+    AttackPlan p;
+    // Empty path: the adversary's own ASN is prepended on export, exactly
+    // like the victim's legitimate origination.
+    p.primary = Announcement{ctx.prefix, {}, OriginRole::Adversary};
+    p.target = ctx.prefix.address_at(1);
+    return p;
+  }
+};
+
+class ForgedOriginPrependModel final : public AttackModel {
+ public:
+  [[nodiscard]] AttackType type() const override {
+    return AttackType::ForgedOriginPrepend;
+  }
+  [[nodiscard]] AttackPlan plan(const AttackContext& ctx) const override {
+    AttackPlan p;
+    // The Self candidate already carries the forged origin; the adversary's
+    // ASN is prepended on export, yielding {adv, victim}: valid origin, one
+    // extra hop of path length.
+    p.primary = Announcement{
+        ctx.prefix, {ctx.graph->asn_of(ctx.victim)}, OriginRole::Adversary};
+    p.target = ctx.prefix.address_at(1);
+    return p;
+  }
+};
+
+class SubPrefixModel final : public AttackModel {
+ public:
+  [[nodiscard]] AttackType type() const override {
+    return AttackType::SubPrefix;
+  }
+  [[nodiscard]] AttackPlan plan(const AttackContext& ctx) const override {
+    AttackPlan p;
+    // The victim's prefix propagates unopposed; the adversary claims the
+    // upper half as a more-specific prefix (forged origin keeps it past
+    // ROAs whose MAX_LEN admits the length). The target address is inside
+    // that half, so longest-prefix match sends everyone holding the
+    // sub-prefix route to the adversary.
+    const auto [lower, upper] = ctx.prefix.split();
+    (void)lower;
+    p.sub_prefix = Announcement{
+        upper, {ctx.graph->asn_of(ctx.victim)}, OriginRole::Adversary};
+    p.target = upper.address_at(1);
+    return p;
+  }
+};
+
+class RouteLeakModel final : public AttackModel {
+ public:
+  [[nodiscard]] AttackType type() const override {
+    return AttackType::RouteLeak;
+  }
+  [[nodiscard]] bool needs_baseline() const override { return true; }
+  [[nodiscard]] AttackPlan plan(const AttackContext& ctx) const override {
+    AttackPlan p;
+    p.target = ctx.prefix.address_at(1);
+    // The leak is the route the adversary actually learned in the
+    // victim-only world, re-originated as a Self candidate: the stored
+    // Adj-RIB-In path (front = the neighbor that advertised it, back = the
+    // victim) goes out verbatim with the adversary's ASN prepended on
+    // export — provider- and peer-ward too, which is the valley violation.
+    // The real origin stays in the path, so ROV sees a Valid route; the
+    // OTC attribute (carried from the learned route) is what an enforcing
+    // AS can catch. An adversary with no route to the victim has nothing
+    // to leak: the victim's prefix propagates unopposed.
+    const std::optional<RouteCandidate> learned =
+        ctx.baseline_best(ctx.adversary);
+    if (learned.has_value()) {
+      Announcement leak;
+      leak.prefix = ctx.prefix;
+      leak.as_path = learned->ann.as_path;
+      leak.role = OriginRole::Adversary;
+      leak.otc = learned->ann.otc;
+      p.primary = std::move(leak);
+    }
+    return p;
+  }
+};
+
+// One statically-allocated model per enumerator, in enumerator order. The
+// array is sized kAttackTypeCount: a new AttackType without a slot here is
+// a compile error, and the static_assert below pins slot order to type().
+const EquallySpecificModel kEquallySpecific;
+const ForgedOriginPrependModel kForgedOriginPrepend;
+const SubPrefixModel kSubPrefix;
+const RouteLeakModel kRouteLeak;
+
+const std::array<const AttackModel*, kAttackTypeCount> kModels = {
+    &kEquallySpecific,
+    &kForgedOriginPrepend,
+    &kSubPrefix,
+    &kRouteLeak,
+};
+
+constexpr std::array<AttackType, kAttackTypeCount> kAllTypes = [] {
+  std::array<AttackType, kAttackTypeCount> all{};
+  for (std::size_t i = 0; i < kAttackTypeCount; ++i) {
+    all[i] = static_cast<AttackType>(i);
+  }
+  return all;
+}();
+
+}  // namespace
+
+const AttackModel& attack_model(AttackType type) {
+  const auto idx = static_cast<std::size_t>(type);
+  if (idx >= kModels.size()) {
+    throw std::invalid_argument("attack_model(): invalid AttackType " +
+                                std::to_string(idx));
+  }
+  const AttackModel& model = *kModels[idx];
+  // Registry-order integrity: slot i must hold the model for enumerator i.
+  // Checked here (cheap) rather than trusted, because a misordered table
+  // would silently run the wrong attack everywhere.
+  if (model.type() != type) {
+    throw std::logic_error("attack model registry out of order");
+  }
+  return model;
+}
+
+std::span<const AttackType> all_attack_types() { return kAllTypes; }
+
+std::optional<AttackType> attack_type_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kAttackTypeCount; ++i) {
+    if (name == detail::kAttackTypeNames[i]) {
+      return static_cast<AttackType>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<AttackType> parse_attack_list(std::string_view csv) {
+  std::vector<AttackType> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string_view token = csv.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    if (token == "all") {
+      for (const AttackType t : kAllTypes) out.push_back(t);
+    } else if (const auto t = attack_type_from_string(token)) {
+      out.push_back(*t);
+    } else {
+      std::string valid = "all";
+      for (const char* name : detail::kAttackTypeNames) {
+        valid += std::string(", ") + name;
+      }
+      throw std::invalid_argument("unknown attack type '" +
+                                  std::string(token) + "' (choose from: " +
+                                  valid + ")");
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty attack list");
+  return out;
+}
+
+}  // namespace marcopolo::bgp

@@ -1,0 +1,85 @@
+// The pluggable attack-scenario registry.
+//
+// Every attack the framework can evaluate is an AttackModel: a pure
+// synthesis rule mapping (graph, victim, adversary, prefix, baseline) to
+// the announcements the adversary originates. HijackScenario drives both
+// execution paths — the full three-phase engine and the DeltaPropagation
+// replay — off the same plan, so adding a scenario (AS-path poisoning, IXP
+// route-server leaks, ...) means adding one model here and an enumerator in
+// AttackType; the campaign, store, analysis, and tooling layers pick it up
+// through the registry without further surgery.
+//
+// Models are stateless singletons: attack_model() returns a process-wide
+// constant per type, and the table is sized by kAttackTypeCount so a new
+// enumerator without a model fails to compile.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bgp/scenario.hpp"
+
+namespace marcopolo::bgp {
+
+/// Everything a model may consult when synthesizing the adversary's
+/// announcements. `baseline_best` exposes the victim-only world (what each
+/// AS routes before the adversary acts) and is non-null exactly when the
+/// model declares needs_baseline() — route leaks re-export the route the
+/// adversary actually learned, which only exists in that baseline.
+struct AttackContext {
+  const AsGraph* graph = nullptr;
+  NodeId victim;
+  NodeId adversary;
+  /// The victim's (primary) prefix under attack.
+  netsim::Ipv4Prefix prefix;
+  /// Best route at a node in the victim-only baseline (engine-style
+  /// candidate, nullopt = unreachable). Null unless needs_baseline().
+  std::function<std::optional<RouteCandidate>(NodeId)> baseline_best;
+};
+
+/// What the adversary announces for one attack. At most one announcement
+/// contests the victim's own prefix (propagated together with the victim's
+/// origination) and at most one claims a distinct more-specific prefix
+/// (propagated separately; longest-prefix match decides at resolution
+/// time). An absent primary means the victim's prefix propagates
+/// unopposed — either by design (SubPrefix) or because the attack cannot
+/// be mounted from this adversary (a RouteLeak with no learned route).
+struct AttackPlan {
+  std::optional<Announcement> primary;
+  std::optional<Announcement> sub_prefix;
+  /// Address the CA perspectives validate against.
+  netsim::Ipv4Addr target;
+};
+
+class AttackModel {
+ public:
+  virtual ~AttackModel() = default;
+  [[nodiscard]] virtual AttackType type() const = 0;
+  /// True if plan() consults ctx.baseline_best; HijackScenario then
+  /// guarantees a victim-only baseline exists before planning.
+  [[nodiscard]] virtual bool needs_baseline() const { return false; }
+  [[nodiscard]] virtual AttackPlan plan(const AttackContext& ctx) const = 0;
+
+  [[nodiscard]] const char* name() const { return to_cstring(type()); }
+};
+
+/// The model for one attack type (process-wide constant, never null).
+[[nodiscard]] const AttackModel& attack_model(AttackType type);
+
+/// All attack types, in enumerator (and registry) order.
+[[nodiscard]] std::span<const AttackType> all_attack_types();
+
+/// Inverse of to_cstring(AttackType); nullopt for an unknown name.
+[[nodiscard]] std::optional<AttackType> attack_type_from_string(
+    std::string_view name);
+
+/// Parse a CLI-style comma-separated attack list ("equally-specific,
+/// route-leak"); the token "all" expands to every registered type. Throws
+/// std::invalid_argument naming the offending token (with the valid
+/// choices) on anything unrecognized, and on an empty list.
+[[nodiscard]] std::vector<AttackType> parse_attack_list(std::string_view csv);
+
+}  // namespace marcopolo::bgp

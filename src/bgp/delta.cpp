@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bgp/rfc9234.hpp"
+
 namespace marcopolo::bgp {
 
 bool DeltaPropagation::chain_contains(std::uint32_t head, Asn asn) const {
@@ -14,11 +16,11 @@ bool DeltaPropagation::chain_contains(std::uint32_t head, Asn asn) const {
 
 bool DeltaPropagation::export_equal(const Compact& a, const Compact& b) const {
   // An export's downstream effect is a pure function of (exists, role,
-  // path): the receiver derives source from the edge and pop from its own
-  // side of the link, and from_asn is the path front.
+  // otc, path): the receiver derives source from the edge and pop from its
+  // own side of the link, and from_asn is the path front.
   if (a.exists != b.exists) return false;
   if (!a.exists) return true;
-  if (a.role != b.role || a.len != b.len) return false;
+  if (a.role != b.role || a.len != b.len || a.otc != b.otc) return false;
   std::uint32_t x = a.head;
   std::uint32_t y = b.head;
   while (x != y) {  // same arena index = structurally shared tail: equal
@@ -47,6 +49,7 @@ DeltaPropagation::Compact DeltaPropagation::make_seed(NodeId at,
   }
   c.head = head;
   c.origin = ann.as_path.empty() ? Asn{0} : ann.as_path.back();
+  c.otc = ann.otc;
   return c;
 }
 
@@ -59,6 +62,7 @@ DeltaPropagation::Compact DeltaPropagation::recompute(
     NodeId exporter;                    ///< Invalid for a seed.
     RouteSource source = RouteSource::Self;
     PopId pop;
+    Asn otc;  ///< Delivered OTC (post-egress/ingress); seeds keep their own.
   };
   bool have = false;
   RouteKey best_key;
@@ -82,17 +86,20 @@ DeltaPropagation::Compact DeltaPropagation::recompute(
 
   const Asn local = graph_->asn_of(n);
   const bool rov = roas_ != nullptr && graph_->rov_enforcing(n);
+  const bool otc_rx = graph_->otc_enforcing(n);
 
   if (customer_class) {
-    // Self seeds bypass the loop/ROV filters, exactly as the engine's
+    // Self seeds bypass the loop/ROV/OTC filters, exactly as the engine's
     // seed() pushes them into the rib unfiltered.
     if (n == victim_) {
       offer(victim_seed_.key(), Producer{&victim_seed_, NodeId{},
-                                         RouteSource::Self, PopId{}});
+                                         RouteSource::Self, PopId{},
+                                         victim_seed_.otc});
     }
     if (delta_seed_epoch_ == epoch_ && n == delta_seed_at_) {
       offer(delta_seed_.key(), Producer{&delta_seed_, NodeId{},
-                                        RouteSource::Self, PopId{}});
+                                        RouteSource::Self, PopId{},
+                                        delta_seed_.otc});
     }
   }
   for (const Neighbor& nb : graph_->neighbors(n)) {
@@ -112,24 +119,38 @@ DeltaPropagation::Compact DeltaPropagation::recompute(
       continue;
     }
     if (!e->exists) continue;
-    // The receiver-side filters the engine's deliver() applies. The
-    // advertised path is asn_of(nb.id) :: e->path, so the loop check also
-    // covers the prepended hop (never == local: no self links).
+    const Asn sender = graph_->asn_of(nb.id);
+    // The same edge transit the engine runs, in the same order: the
+    // sender's egress refusal (advertise), then the receiver-side loop,
+    // ROV, and OTC-ingress filters (deliver). The advertised path is
+    // asn_of(nb.id) :: e->path, so the loop check also covers the
+    // prepended hop (never == local: no self links).
+    const std::optional<Asn> sent = otc_egress(
+        e->otc, sender, graph_->otc_enforcing(nb.id), source);
+    if (!sent.has_value()) {
+      ++counts_.otc_dropped;
+      continue;
+    }
     if (chain_contains(e->head, local)) {
       ++counts_.loop_dropped;
       continue;
     }
     if (rov) {
-      const Asn origin = e->head == kNone ? graph_->asn_of(nb.id) : e->origin;
+      const Asn origin = e->head == kNone ? sender : e->origin;
       if (roas_->validate(prefix_, origin) == RpkiValidity::Invalid) {
         ++counts_.rov_dropped;
         continue;
       }
     }
+    const std::optional<Asn> stored = otc_ingress(*sent, sender, otc_rx,
+                                                  source);
+    if (!stored.has_value()) {
+      ++counts_.otc_dropped;
+      continue;
+    }
     ++counts_.delivered;
-    offer(RouteKey{source, e->len + 1u, e->role, graph_->asn_of(nb.id),
-                   nb.local_pop},
-          Producer{e, nb.id, source, nb.local_pop});
+    offer(RouteKey{source, e->len + 1u, e->role, sender, nb.local_pop},
+          Producer{e, nb.id, source, nb.local_pop, *stored});
   }
 
   Compact out;
@@ -147,6 +168,7 @@ DeltaPropagation::Compact DeltaPropagation::recompute(
   out.pop = best.pop;
   out.head = intern(out.from_asn, e.head);
   out.origin = e.head == kNone ? out.from_asn : e.origin;
+  out.otc = best.otc;
   return out;
 }
 
@@ -326,7 +348,20 @@ std::optional<OriginRole> DeltaPropagation::role_reached(NodeId n) const {
 
 void DeltaPropagation::materialize_best(
     NodeId n, std::optional<RouteCandidate>& out) const {
-  const Compact& d = down_state(n);
+  materialize_compact(down_state(n), out);
+}
+
+void DeltaPropagation::materialize_baseline_best(
+    NodeId n, std::optional<RouteCandidate>& out) const {
+  if (!has_baseline()) {
+    throw std::logic_error(
+        "materialize_baseline_best() without a victim baseline");
+  }
+  materialize_compact(down_base_[n.value], out);
+}
+
+void DeltaPropagation::materialize_compact(
+    const Compact& d, std::optional<RouteCandidate>& out) const {
   if (!d.exists) {
     out.reset();
     return;
@@ -334,6 +369,7 @@ void DeltaPropagation::materialize_best(
   RouteCandidate c;
   c.ann.prefix = prefix_;
   c.ann.role = d.role;
+  c.ann.otc = d.otc;
   for (std::uint32_t i = d.head; i != kNone; i = arena_[i].parent) {
     c.ann.as_path.push_back(arena_[i].asn);
   }
@@ -354,6 +390,7 @@ void DeltaPropagation::materialize_rib(NodeId n,
     RouteCandidate c;
     c.ann.prefix = prefix_;
     c.ann.role = s.role;
+    c.ann.otc = s.otc;
     for (std::uint32_t i = s.head; i != kNone; i = arena_[i].parent) {
       c.ann.as_path.push_back(arena_[i].asn);
     }
@@ -386,15 +423,23 @@ void DeltaPropagation::materialize_rib(NodeId n,
         continue;
     }
     if (!e->exists) continue;
-    if (chain_contains(e->head, local)) continue;
     const Asn sender = graph_->asn_of(nb.id);
+    // Same edge-transit filters (and order) as recompute()/the engine.
+    const std::optional<Asn> sent = otc_egress(
+        e->otc, sender, graph_->otc_enforcing(nb.id), source);
+    if (!sent.has_value()) continue;
+    if (chain_contains(e->head, local)) continue;
     if (rov) {
       const Asn origin = e->head == kNone ? sender : e->origin;
       if (roas_->validate(prefix_, origin) == RpkiValidity::Invalid) continue;
     }
+    const std::optional<Asn> stored =
+        otc_ingress(*sent, sender, graph_->otc_enforcing(n), source);
+    if (!stored.has_value()) continue;
     RouteCandidate c;
     c.ann.prefix = prefix_;
     c.ann.role = e->role;
+    c.ann.otc = *stored;
     c.ann.as_path.push_back(sender);
     for (std::uint32_t i = e->head; i != kNone; i = arena_[i].parent) {
       c.ann.as_path.push_back(arena_[i].asn);
@@ -414,6 +459,7 @@ void DeltaPropagation::flush_replay_metrics() const {
     m->delivered.add(counts_.delivered);
     m->loop_dropped.add(counts_.loop_dropped);
     m->rov_dropped.add(counts_.rov_dropped);
+    m->otc_dropped.add(counts_.otc_dropped);
     for (std::size_t s = 0; s < kDecisionStepCount; ++s) {
       if (counts_.decided[s] != 0) m->decided[s].add(counts_.decided[s]);
     }

@@ -96,6 +96,13 @@ class DeltaPropagation {
   void materialize_best(NodeId n, std::optional<RouteCandidate>& out) const;
   void materialize_rib(NodeId n, std::vector<RouteCandidate>& out) const;
 
+  /// Node n's best route in the victim-only baseline, regardless of any
+  /// active replay (reads the baseline tables directly, touches no epoch
+  /// state). This is what a route-leak adversary re-exports: the route it
+  /// learned before its own announcement existed.
+  void materialize_baseline_best(NodeId n,
+                                 std::optional<RouteCandidate>& out) const;
+
  private:
   static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
 
@@ -118,6 +125,7 @@ class DeltaPropagation {
     PopId pop;                   ///< Ingress POP on the receiver's side.
     std::uint32_t head = kNone;  ///< Arena index of path front (kNone = empty).
     Asn origin;                  ///< path.back(); 0 for an empty path.
+    Asn otc;                     ///< RFC 9234 OTC as stored (post-ingress).
 
     [[nodiscard]] RouteKey key() const {
       return RouteKey{source, len, role, from_asn, pop};
@@ -131,6 +139,8 @@ class DeltaPropagation {
   [[nodiscard]] bool chain_contains(std::uint32_t head, Asn asn) const;
   [[nodiscard]] bool export_equal(const Compact& a, const Compact& b) const;
   [[nodiscard]] Compact make_seed(NodeId at, const Announcement& ann);
+  void materialize_compact(const Compact& d,
+                           std::optional<RouteCandidate>& out) const;
 
   /// Current (post-replay) up state, falling back to the baseline for
   /// nodes the replay never touched. Final once replay() returns.
@@ -202,6 +212,7 @@ class DeltaPropagation {
     std::uint64_t delivered = 0;
     std::uint64_t loop_dropped = 0;
     std::uint64_t rov_dropped = 0;
+    std::uint64_t otc_dropped = 0;
     std::array<std::uint64_t, kDecisionStepCount> decided{};
   };
   mutable Counts counts_;

@@ -4,6 +4,8 @@
 #include <array>
 #include <string>
 
+#include "bgp/rfc9234.hpp"
+
 namespace marcopolo::bgp {
 
 namespace {
@@ -73,6 +75,15 @@ class Engine {
       ++counts_.rov_dropped;
       return;
     }
+    // RFC 9234 ingress: an OTC-enforcing receiver rejects leaks (OTC set
+    // on a customer/peer route) and marks unset provider/peer routes.
+    const std::optional<Asn> stored = otc_ingress(
+        ann.otc, graph_.asn_of(from), graph_.otc_enforcing(to), source);
+    if (!stored.has_value()) {
+      ++counts_.otc_dropped;
+      return;
+    }
+    ann.otc = *stored;
     ++counts_.delivered;
     out_.rib_in[to.value].push_back(RouteCandidate{
         std::move(ann), source, from, graph_.asn_of(from), ingress});
@@ -81,7 +92,18 @@ class Engine {
   /// Advertise `route` from node `n` to neighbor `nb` (prepending n's ASN).
   void advertise(NodeId n, const Neighbor& nb, const RouteCandidate& route,
                  RouteSource as_seen_by_receiver) {
+    // RFC 9234 egress: an OTC-enforcing sender stamps customer/peer-ward
+    // exports and refuses to re-export OTC-carrying routes upward at all
+    // (so a refused export is never delivered, never loop/ROV-checked).
+    const std::optional<Asn> sent =
+        otc_egress(route.ann.otc, graph_.asn_of(n), graph_.otc_enforcing(n),
+                   as_seen_by_receiver);
+    if (!sent.has_value()) {
+      ++counts_.otc_dropped;
+      return;
+    }
     Announcement ann = route.ann;
+    ann.otc = *sent;
     ann.as_path.insert(ann.as_path.begin(), graph_.asn_of(n));
     // The receiver's ingress POP is the POP on *its* side of the link,
     // recorded in the sender's own edge entry at link-add time. (Scanning
@@ -204,6 +226,7 @@ class Engine {
     m->delivered.add(counts_.delivered);
     m->loop_dropped.add(counts_.loop_dropped);
     m->rov_dropped.add(counts_.rov_dropped);
+    m->otc_dropped.add(counts_.otc_dropped);
     m->rank_reuse.add(counts_.rank_reuse);
     m->rib_reuse.add(counts_.rib_reuse);
     for (std::size_t s = 0; s < kDecisionStepCount; ++s) {
@@ -215,6 +238,7 @@ class Engine {
     std::uint64_t delivered = 0;
     std::uint64_t loop_dropped = 0;
     std::uint64_t rov_dropped = 0;
+    std::uint64_t otc_dropped = 0;
     std::uint64_t rank_reuse = 0;
     std::uint64_t rib_reuse = 0;
     std::array<std::uint64_t, kDecisionStepCount> decided{};
@@ -239,6 +263,8 @@ PropagationMetrics PropagationMetrics::create(obs::MetricsRegistry* reg) {
       reg, "propagation.announcements_loop_dropped");
   m.rov_dropped = obs::MetricsRegistry::counter(
       reg, "propagation.announcements_rov_dropped");
+  m.otc_dropped = obs::MetricsRegistry::counter(
+      reg, "propagation.announcements_otc_dropped");
   m.rank_reuse =
       obs::MetricsRegistry::counter(reg, "propagation.workspace.rank_reuse");
   m.rib_reuse =

@@ -40,6 +40,7 @@ struct PropagationMetrics {
   obs::Counter delivered;
   obs::Counter loop_dropped;
   obs::Counter rov_dropped;
+  obs::Counter otc_dropped;
   obs::Counter rank_reuse;
   obs::Counter rib_reuse;
   std::array<obs::Counter, kDecisionStepCount> decided;

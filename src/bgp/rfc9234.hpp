@@ -1,0 +1,91 @@
+// RFC 9234 route-leak prevention: the Only-To-Customer attribute rules.
+//
+// RFC 9234 detects valley violations (a route learned from a provider or
+// peer re-exported provider- or peer-ward) by stamping routes with an OTC
+// attribute the moment they start traveling customer-ward. Both engines —
+// the full three-phase propagation and the incremental delta replay —
+// funnel every inter-AS delivery through the two functions below so the
+// semantics cannot drift apart:
+//
+//   egress (sender side, §5 rules 1-2):
+//     - advertising to a customer: if OTC is unset, set it to the sender's
+//       ASN (the route is now below the "ridge line");
+//     - advertising to a peer: same marking, but a route that already
+//       carries OTC must not be sent at all;
+//     - advertising to a provider: a route carrying OTC must not be sent.
+//
+//   ingress (receiver side, §5 rules 3-5):
+//     - received from a customer with OTC set: route leak, drop;
+//     - received from a peer with OTC set to anything but that peer's own
+//       ASN: route leak, drop;
+//     - received from a provider or peer with OTC unset: set it to the
+//       sender's ASN (so a later leak of this route is detectable even if
+//       no AS on the rest of the down-path enforces).
+//
+// Every rule is gated on the acting AS's own enforcement flag
+// (AsGraph::otc_enforcing): a non-enforcing AS neither marks nor drops,
+// it just carries the attribute verbatim. The adversary of a RouteLeak
+// attack is modeled as attribute-preserving (a misconfigured router leaks
+// the route, OTC and all); an attacker that strips the optional transitive
+// attribute defeats OTC the same way a forged-origin prepend defeats ROV.
+//
+// The relationship is expressed as the RouteSource the *receiver* assigns
+// the route — Customer means the receiver learned it from its customer,
+// i.e. the sender advertised provider-ward — so both engines can pass the
+// value they already have in hand.
+#pragma once
+
+#include <optional>
+
+#include "bgp/decision.hpp"
+
+namespace marcopolo::bgp {
+
+/// Sender-side OTC transform for one advertisement. Returns the attribute
+/// value as sent, or nullopt when an enforcing sender must not advertise
+/// the route across this edge at all (RFC 9234 §5 rule 2).
+[[nodiscard]] constexpr std::optional<Asn> otc_egress(
+    Asn otc, Asn sender_asn, bool sender_enforcing,
+    RouteSource source_at_receiver) {
+  if (!sender_enforcing) return otc;
+  switch (source_at_receiver) {
+    case RouteSource::Customer:  // sender -> its provider
+      if (otc.value != 0) return std::nullopt;
+      return otc;
+    case RouteSource::Peer:  // sender -> its peer
+      if (otc.value != 0) return std::nullopt;
+      return sender_asn;
+    case RouteSource::Provider:  // sender -> its customer
+      return otc.value != 0 ? otc : sender_asn;
+    case RouteSource::Self:
+      break;  // seeds are not advertisements
+  }
+  return otc;
+}
+
+/// Receiver-side OTC check and marking for one delivery. Returns the
+/// attribute value to store in the Adj-RIB-In, or nullopt when an
+/// enforcing receiver must treat the route as a leak and drop it
+/// (RFC 9234 §5 rules 3-4).
+[[nodiscard]] constexpr std::optional<Asn> otc_ingress(
+    Asn otc_as_sent, Asn sender_asn, bool receiver_enforcing,
+    RouteSource source_at_receiver) {
+  if (!receiver_enforcing) return otc_as_sent;
+  switch (source_at_receiver) {
+    case RouteSource::Customer:
+      if (otc_as_sent.value != 0) return std::nullopt;
+      return otc_as_sent;
+    case RouteSource::Peer:
+      if (otc_as_sent.value != 0 && otc_as_sent != sender_asn) {
+        return std::nullopt;
+      }
+      return otc_as_sent.value != 0 ? otc_as_sent : sender_asn;
+    case RouteSource::Provider:
+      return otc_as_sent.value != 0 ? otc_as_sent : sender_asn;
+    case RouteSource::Self:
+      break;  // seeds bypass delivery filters
+  }
+  return otc_as_sent;
+}
+
+}  // namespace marcopolo::bgp

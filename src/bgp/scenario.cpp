@@ -1,5 +1,7 @@
 #include "bgp/scenario.hpp"
 
+#include "bgp/attack_model.hpp"
+
 namespace marcopolo::bgp {
 
 HijackScenario::HijackScenario(const AsGraph& graph, NodeId victim,
@@ -27,8 +29,6 @@ void HijackScenario::reset(const AsGraph& graph, NodeId victim,
   delta_ = nullptr;
   ++generation_;
 
-  const Asn victim_asn = graph.asn_of(victim);
-
   // Per-attack tie-break salt: a fresh pair of simultaneous announcements
   // re-rolls every router's "heard first" coin.
   const std::uint64_t salt = netsim::hash_combine(
@@ -39,6 +39,18 @@ void HijackScenario::reset(const AsGraph& graph, NodeId victim,
   PropagationConfig pc{config.tie_break, salt, config.roas, config.metrics,
                        config.flight};
 
+  // The attack model turns (graph, victim, adversary, prefix, baseline)
+  // into the adversary's announcements; this function only executes the
+  // plan. Models that consult the victim-only baseline (route leaks) get
+  // one extra propagation here; the incremental path reads the delta
+  // engine's cached baseline instead and skips that cost.
+  const AttackModel& model = attack_model(type_);
+  AttackContext ctx;
+  ctx.graph = &graph;
+  ctx.victim = victim;
+  ctx.adversary = adversary;
+  ctx.prefix = victim_prefix;
+
   // Victim originates its own prefix normally: the Self candidate's path is
   // empty and the victim's ASN is prepended on export. Seeds are staged in
   // the workspace so the list isn't reallocated per scenario.
@@ -47,41 +59,22 @@ void HijackScenario::reset(const AsGraph& graph, NodeId victim,
   seeds.push_back(SeededRoute{
       victim, Announcement{victim_prefix, {}, OriginRole::Victim}});
 
-  switch (type_) {
-    case AttackType::EquallySpecific: {
-      seeds.push_back(SeededRoute{
-          adversary, Announcement{victim_prefix, {}, OriginRole::Adversary}});
-      propagate_into(graph, seeds, pc, ws, primary_);
-      target_ = victim_prefix.address_at(1);
-      break;
-    }
-    case AttackType::ForgedOriginPrepend: {
-      // The adversary's Self candidate already carries the forged origin;
-      // its own ASN is prepended on export, yielding {adv, victim}: valid
-      // origin, one extra hop of path length.
-      seeds.push_back(SeededRoute{
-          adversary,
-          Announcement{victim_prefix, {victim_asn}, OriginRole::Adversary}});
-      propagate_into(graph, seeds, pc, ws, primary_);
-      target_ = victim_prefix.address_at(1);
-      break;
-    }
-    case AttackType::SubPrefix: {
-      // Victim's prefix propagates unopposed; the adversary announces the
-      // upper half as a more-specific prefix. The target address is inside
-      // that half, so longest-prefix match sends everyone with the
-      // sub-prefix route to the adversary.
-      propagate_into(graph, seeds, pc, ws, primary_);
-      const auto [lower, upper] = victim_prefix.split();
-      (void)lower;
-      seeds.clear();
-      seeds.push_back(SeededRoute{
-          adversary, Announcement{upper, {victim_asn}, OriginRole::Adversary}});
-      propagate_into(graph, seeds, pc, ws, sub_);
-      has_sub_ = true;
-      target_ = upper.address_at(1);
-      break;
-    }
+  if (model.needs_baseline()) {
+    propagate_into(graph, seeds, pc, ws, baseline_);
+    ctx.baseline_best = [this](NodeId n) { return baseline_.best[n.value]; };
+  }
+  const AttackPlan plan = model.plan(ctx);
+  target_ = plan.target;
+
+  if (plan.primary.has_value()) {
+    seeds.push_back(SeededRoute{adversary, *plan.primary});
+  }
+  propagate_into(graph, seeds, pc, ws, primary_);
+  if (plan.sub_prefix.has_value()) {
+    seeds.clear();
+    seeds.push_back(SeededRoute{adversary, *plan.sub_prefix});
+    propagate_into(graph, seeds, pc, ws, sub_);
+    has_sub_ = true;
   }
 }
 
@@ -103,44 +96,46 @@ void HijackScenario::reset_incremental(DeltaPropagation& delta,
   delta_ = &delta;
   ++generation_;
 
-  const Asn victim_asn = graph.asn_of(victim);
   const std::uint64_t salt = netsim::hash_combine(
       config.tie_break_seed,
       (std::uint64_t{victim.value} << 32) | adversary.value);
   cmp_ = RouteComparator(config.tie_break, salt);
 
-  switch (type_) {
-    case AttackType::EquallySpecific: {
-      delta.replay(adversary, Announcement{prefix_, {}, OriginRole::Adversary},
-                   cmp_);
-      target_ = prefix_.address_at(1);
-      break;
-    }
-    case AttackType::ForgedOriginPrepend: {
-      delta.replay(
-          adversary,
-          Announcement{prefix_, {victim_asn}, OriginRole::Adversary}, cmp_);
-      target_ = prefix_.address_at(1);
-      break;
-    }
-    case AttackType::SubPrefix: {
-      // The primary prefix propagates unopposed, which IS the baseline;
-      // only the adversary's more-specific prefix needs a (full, separate)
-      // propagation.
-      delta.replay_none();
-      const auto [lower, upper] = prefix_.split();
-      (void)lower;
-      PropagationConfig pc{config.tie_break, salt, config.roas,
-                           config.metrics, config.flight};
-      auto& seeds = ws.seeds;
-      seeds.clear();
-      seeds.push_back(SeededRoute{
-          adversary, Announcement{upper, {victim_asn}, OriginRole::Adversary}});
-      propagate_into(graph, seeds, pc, ws, sub_);
-      has_sub_ = true;
-      target_ = upper.address_at(1);
-      break;
-    }
+  const AttackModel& model = attack_model(type_);
+  AttackContext ctx;
+  ctx.graph = &graph;
+  ctx.victim = victim;
+  ctx.adversary = adversary;
+  ctx.prefix = prefix_;
+  if (model.needs_baseline()) {
+    // The delta engine already holds the victim-only world: what the
+    // adversary learned is its baseline best route, no extra propagation.
+    ctx.baseline_best = [&delta](NodeId n) {
+      std::optional<RouteCandidate> best;
+      delta.materialize_baseline_best(n, best);
+      return best;
+    };
+  }
+  const AttackPlan plan = model.plan(ctx);
+  target_ = plan.target;
+
+  if (plan.primary.has_value()) {
+    delta.replay(adversary, *plan.primary, cmp_);
+  } else {
+    // No contesting announcement: the primary prefix propagates unopposed,
+    // which IS the baseline.
+    delta.replay_none();
+  }
+  if (plan.sub_prefix.has_value()) {
+    // A distinct prefix cannot ride the baseline; it needs its own (full,
+    // separate) propagation.
+    PropagationConfig pc{config.tie_break, salt, config.roas,
+                         config.metrics, config.flight};
+    auto& seeds = ws.seeds;
+    seeds.clear();
+    seeds.push_back(SeededRoute{adversary, *plan.sub_prefix});
+    propagate_into(graph, seeds, pc, ws, sub_);
+    has_sub_ = true;
   }
 }
 

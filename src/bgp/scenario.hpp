@@ -7,6 +7,7 @@
 // X route toward for the validation target address?".
 #pragma once
 
+#include <array>
 #include <optional>
 
 #include "bgp/delta.hpp"
@@ -24,15 +25,41 @@ enum class AttackType : std::uint8_t {
   /// More-specific (sub-prefix) hijack: globally effective; MPIC does not
   /// defend against it (paper §2). Included to demonstrate the limitation.
   SubPrefix,
+  /// Route leak (RFC 9234): the adversary re-exports the victim route it
+  /// legitimately learned — provider- and peer-ward, valley-violating.
+  /// ROV-valid by construction (the real origin is in the path); countered
+  /// by OTC-enforcing ASes, not by RPKI. New values append here so stored
+  /// artifacts (CSV/MPRS attack tags) keep their meaning.
+  RouteLeak,
 };
 
+/// Number of AttackType enumerators. The registry tables below are sized by
+/// this constant, so a new enumerator fails to compile until every table —
+/// names here, models in bgp/attack_model.cpp — has an entry for it.
+inline constexpr std::size_t kAttackTypeCount = 4;
+static_assert(static_cast<std::size_t>(AttackType::RouteLeak) + 1 ==
+                  kAttackTypeCount,
+              "kAttackTypeCount must cover the last AttackType enumerator");
+
+namespace detail {
+inline constexpr std::array<const char*, kAttackTypeCount> kAttackTypeNames = {
+    "equally-specific",
+    "forged-origin-prepend",
+    "sub-prefix",
+    "route-leak",
+};
+static_assert(
+    [] {
+      for (const char* name : kAttackTypeNames) {
+        if (name == nullptr) return false;
+      }
+      return true;
+    }(),
+    "every AttackType needs a name");
+}  // namespace detail
+
 [[nodiscard]] constexpr const char* to_cstring(AttackType t) {
-  switch (t) {
-    case AttackType::EquallySpecific: return "equally-specific";
-    case AttackType::ForgedOriginPrepend: return "forged-origin-prepend";
-    case AttackType::SubPrefix: return "sub-prefix";
-  }
-  return "?";
+  return detail::kAttackTypeNames[static_cast<std::size_t>(t)];
 }
 
 enum class OriginReached : std::uint8_t { None, Victim, Adversary };
@@ -148,6 +175,11 @@ class HijackScenario {
   PropagationResult sub_;
   bool has_sub_ = false;
   std::size_t node_count_ = 0;
+  // Victim-only baseline, populated in full mode only for attack models
+  // that consult it (AttackModel::needs_baseline, e.g. RouteLeak re-exports
+  // the route the adversary learned). Incremental mode reads the delta
+  // engine's baseline instead. Storage recycled across resets.
+  PropagationResult baseline_;
 
   // Incremental mode: the delta engine holding this attack's primary-prefix
   // state (null after a full reset). Materialized per-node views are cached

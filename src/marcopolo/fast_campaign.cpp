@@ -112,11 +112,13 @@ struct CampaignTask {
 class CampaignWorker {
  public:
   CampaignWorker(const Testbed& testbed, const FastCampaignConfig& config,
+                 std::span<const bgp::AttackType> attacks,
                  const bgp::RoaRegistry* edge_roas, ResultStore& store,
                  const CampaignMetrics& metrics, obs::FlightRecorder* recorder,
                  obs::FlightBuffer* flight)
       : testbed_(testbed),
         config_(config),
+        attacks_(attacks),
         edge_roas_(edge_roas),
         store_(store),
         metrics_(metrics),
@@ -150,10 +152,11 @@ class CampaignWorker {
     metrics_.record_instructions.add(record_instructions_);
   }
 
-  /// Run every adversary against this announcer. Returns the number of
-  /// attacks executed — the campaign's progress/accounting unit, one per
-  /// (announcer, adversary) pair, exactly as before the announcer-major
-  /// regrouping.
+  /// Run every adversary against this announcer, sweeping every attack
+  /// type per pair. Returns the number of attacks executed — the
+  /// campaign's progress/accounting unit, one per (announcer, adversary,
+  /// attack) triple. The announcer's victim-only baseline is computed
+  /// once and shared by every (adversary, attack) replay below.
   std::size_t run(const CampaignTask& task) {
     const auto& sites = testbed_.sites();
     if (config_.incremental) {
@@ -170,13 +173,16 @@ class CampaignWorker {
       metrics_.baselines_computed.add(1);
     }
     for (std::size_t a = 0; a < sites.size(); ++a) {
-      run_pair(task, a);
+      for (std::size_t ai = 0; ai < attacks_.size(); ++ai) {
+        run_attack(task, a, ai);
+      }
     }
-    return sites.size();
+    return sites.size() * attacks_.size();
   }
 
  private:
-  void run_pair(const CampaignTask& task, const std::size_t adversary) {
+  void run_attack(const CampaignTask& task, const std::size_t adversary,
+                  const std::size_t attack) {
     obs::ScopedTimer timer(metrics_.task_ns);
     metrics_.tasks_executed.add(1);
     const bool recording = flight_ != nullptr;
@@ -188,9 +194,13 @@ class CampaignWorker {
     if (counting) c_start = perf_->read();
     const auto& sites = testbed_.sites();
     const auto& perspectives = testbed_.perspectives();
+    const bgp::AttackType type = attacks_[attack];
+    const auto attack_tag = static_cast<std::uint8_t>(type);
     if (task.announcer == adversary) {
       // The adversary hosts the victim's DNS: every perspective resolves
-      // through the adversary already; record total capture.
+      // through the adversary already; record total capture. That holds
+      // for every attack type — no announcement is even needed — so each
+      // plane gets the same rows.
       metrics_.total_captures.add(1);
       std::uint64_t rows = 0;
       for (const SiteIndex v : task.victims) {
@@ -198,14 +208,15 @@ class CampaignWorker {
         ++rows;
         for (const PerspectiveRecord& rec : perspectives) {
           store_.record_unsynchronized(
-              v, static_cast<SiteIndex>(adversary), rec.index,
+              attack, v, static_cast<SiteIndex>(adversary), rec.index,
               bgp::OriginReached::Adversary);
           if (recording) {
             // No BGP decision involved: the verdict is unopposed by
             // construction (the adversary serves the victim's DNS).
             flight_->record_verdict(make_verdict(
-                v, adversary, rec.index, bgp::OriginReached::Adversary,
-                obs::VerdictStep::Unopposed, /*contested=*/false));
+                v, adversary, rec.index, attack_tag,
+                bgp::OriginReached::Adversary, obs::VerdictStep::Unopposed,
+                /*contested=*/false));
           }
         }
       }
@@ -218,7 +229,8 @@ class CampaignWorker {
         record_instructions_ += c_task.instructions;
       }
       if (recording) {
-        flight_->record_task(make_task_span(task.announcer, adversary, rows,
+        flight_->record_task(make_task_span(task.announcer, adversary,
+                                            attack_tag, rows,
                                             /*total_capture=*/true, t_start, 0,
                                             0, t_start, c_task));
         recorder_->note_verdicts(total, total);
@@ -227,7 +239,7 @@ class CampaignWorker {
       return;
     }
     const bgp::ScenarioConfig sc{
-        config_.type,  config_.tie_break, config_.tie_break_seed,
+        type,          config_.tie_break, config_.tie_break_seed,
         config_.roas,  metrics_.enabled ? &metrics_.propagation : nullptr,
         flight_};
     {
@@ -274,12 +286,14 @@ class CampaignWorker {
       if (v == adversary) continue;
       ++rows;
       for (const PerspectiveRecord& rec : perspectives) {
-        store_.record_unsynchronized(v, static_cast<SiteIndex>(adversary),
+        store_.record_unsynchronized(attack, v,
+                                     static_cast<SiteIndex>(adversary),
                                      rec.index, outcomes_[rec.index]);
         if (recording) {
           const cloud::ResolveExplanation& why = explains_[rec.index];
           flight_->record_verdict(make_verdict(v, adversary, rec.index,
-                                               why.outcome, why.decided_by,
+                                               attack_tag, why.outcome,
+                                               why.decided_by,
                                                why.contested));
           if (why.outcome == bgp::OriginReached::Adversary) {
             ++adversary_verdicts;
@@ -300,7 +314,8 @@ class CampaignWorker {
       record_instructions_ += c_end.instructions - c_classified.instructions;
     }
     if (recording) {
-      flight_->record_task(make_task_span(task.announcer, adversary, rows,
+      flight_->record_task(make_task_span(task.announcer, adversary,
+                                          attack_tag, rows,
                                           /*total_capture=*/false, t_start,
                                           t_propagated, t_classified, t_start,
                                           c_task));
@@ -311,12 +326,13 @@ class CampaignWorker {
 
   [[nodiscard]] static obs::VerdictRecord make_verdict(
       std::size_t victim, std::size_t adversary, std::uint16_t perspective,
-      bgp::OriginReached outcome, obs::VerdictStep decided_by,
-      bool contested) {
+      std::uint8_t attack, bgp::OriginReached outcome,
+      obs::VerdictStep decided_by, bool contested) {
     obs::VerdictRecord v;
     v.victim = static_cast<std::uint16_t>(victim);
     v.adversary = static_cast<std::uint16_t>(adversary);
     v.perspective = perspective;
+    v.attack = attack;
     v.outcome = static_cast<std::uint8_t>(outcome);
     v.decided_by = decided_by;
     v.contested = contested;
@@ -324,14 +340,15 @@ class CampaignWorker {
   }
 
   [[nodiscard]] static obs::TaskSpanRecord make_task_span(
-      std::size_t announcer, std::size_t adversary, std::uint64_t rows,
-      bool total_capture, std::uint64_t t_start, std::uint64_t t_propagated,
-      std::uint64_t t_classified, std::uint64_t phase_base,
-      const obs::CounterSample& counters = {}) {
+      std::size_t announcer, std::size_t adversary, std::uint8_t attack,
+      std::uint64_t rows, bool total_capture, std::uint64_t t_start,
+      std::uint64_t t_propagated, std::uint64_t t_classified,
+      std::uint64_t phase_base, const obs::CounterSample& counters = {}) {
     const std::uint64_t t_end = obs::flight_now_ns();
     obs::TaskSpanRecord rec;
     rec.announcer = static_cast<std::uint32_t>(announcer);
     rec.adversary = static_cast<std::uint32_t>(adversary);
+    rec.attack = attack;
     rec.victim_rows = static_cast<std::uint32_t>(rows);
     rec.total_capture = total_capture;
     rec.start_ns = t_start;
@@ -350,6 +367,7 @@ class CampaignWorker {
 
   const Testbed& testbed_;
   const FastCampaignConfig& config_;
+  std::span<const bgp::AttackType> attacks_;
   const bgp::RoaRegistry* edge_roas_;
   ResultStore& store_;
   const CampaignMetrics& metrics_;
@@ -375,7 +393,10 @@ class CampaignWorker {
 ResultStore run_fast_campaign(const Testbed& testbed,
                               const FastCampaignConfig& config) {
   const auto& sites = testbed.sites();
-  ResultStore store(sites.size(), testbed.perspectives().size());
+  // One store plane per swept attack type (the ResultStore constructor
+  // rejects duplicates).
+  const std::vector<bgp::AttackType> attacks = config.attack_list();
+  ResultStore store(sites.size(), testbed.perspectives().size(), attacks);
 
   const bgp::RoaRegistry* edge_roas =
       config.cloud_edge_rov ? config.roas : nullptr;
@@ -414,14 +435,15 @@ ResultStore run_fast_campaign(const Testbed& testbed,
     if (victims_of[announcer].empty()) continue;
     // Every victim beyond the first sharing this announcer rides an
     // existing propagation — the DNS-dedup collapse the serial engine
-    // re-ran per victim.
+    // re-ran per victim (once per attack type in a multi-attack sweep).
     metrics.dns_collapses.add(
-        (victims_of[announcer].size() - 1) * sites.size());
+        (victims_of[announcer].size() - 1) * sites.size() * attacks.size());
     // announcer == adversary is still an attack (total-capture rows)
     // unless its only victim is the adversary itself.
     tasks.push_back(CampaignTask{announcer, victims_of[announcer]});
   }
-  const std::size_t total_attacks = tasks.size() * sites.size();
+  const std::size_t total_attacks =
+      tasks.size() * sites.size() * attacks.size();
 
   const std::size_t hw =
       std::max<unsigned>(1, std::thread::hardware_concurrency());
@@ -429,7 +451,8 @@ ResultStore run_fast_campaign(const Testbed& testbed,
       1, std::min(config.threads == 0 ? hw : config.threads, tasks.size()));
   metrics.worker_threads.add(n_threads);
   MARCOPOLO_LOG(Info) << "fast campaign"
-                      << obs::field("attack", to_cstring(config.type))
+                      << obs::field("attack", to_cstring(attacks.front()))
+                      << obs::field("attack_types", attacks.size())
                       << obs::field("tasks", tasks.size())
                       << obs::field("attacks", total_attacks)
                       << obs::field("incremental", config.incremental)
@@ -459,7 +482,7 @@ ResultStore run_fast_campaign(const Testbed& testbed,
     obs::ProfiledThread profiled(config.profiler);
     obs::FlightBuffer* flight =
         config.recorder != nullptr ? config.recorder->open_buffer() : nullptr;
-    CampaignWorker worker(testbed, config, edge_roas, store, metrics,
+    CampaignWorker worker(testbed, config, attacks, edge_roas, store, metrics,
                           config.recorder, flight);
     obs::TelemetryWorkerSlot* slot = config.telemetry != nullptr
                                          ? config.telemetry->open_worker_slot()

@@ -35,6 +35,15 @@ enum class AttackSurface : std::uint8_t {
 
 struct FastCampaignConfig {
   bgp::AttackType type = bgp::AttackType::EquallySpecific;
+  /// Attack types to sweep, one ResultStore plane each, in this order.
+  /// Empty means {type} — the single-attack campaign everything predating
+  /// the multi-attack sweep ran. A multi-entry list evaluates every
+  /// attack per (victim, adversary) pair while reusing the pair's
+  /// victim-only baseline across all of them (config.incremental), and
+  /// each plane is byte-identical to the corresponding single-attack
+  /// campaign (asserted by tests): the per-pair tie-break salt never
+  /// depends on the attack type.
+  std::vector<bgp::AttackType> attacks;
   AttackSurface surface = AttackSurface::Http;
   /// Dns surface only: site index hosting victim v's authoritative
   /// nameserver (empty = self-hosted at the victim, which makes the DNS
@@ -118,6 +127,13 @@ struct FastCampaignConfig {
   /// with the hub on, off, or degraded, asserted by tests). Null = off.
   obs::TelemetryHub* telemetry = nullptr;
 
+  /// The attack types this campaign actually sweeps: `attacks`, or the
+  /// single legacy `type` when the list is empty.
+  [[nodiscard]] std::vector<bgp::AttackType> attack_list() const {
+    if (!attacks.empty()) return attacks;
+    return {type};
+  }
+
   /// The prefix victim `v` announces under this config.
   [[nodiscard]] netsim::Ipv4Prefix victim_prefix(std::size_t v) const {
     if (!per_victim_prefix) return prefix;
@@ -135,8 +151,11 @@ struct FastCampaignConfig {
 /// victims sharing a nameserver host collapse into one propagation whose
 /// outcome is recorded for each of them (and a victim whose nameserver
 /// host is the adversary itself is a total capture, no propagation).
-/// The saved CSV carries a `# schema=1` version comment (see
-/// ResultStore::save_csv).
+/// With a multi-entry attack list every (announcer, adversary) pair is
+/// swept once per attack type into that type's store plane; the progress/
+/// metrics/telemetry accounting unit is the (announcer, adversary,
+/// attack) triple. The saved CSV carries a `# schema=2` version comment
+/// (see ResultStore::save_csv).
 [[nodiscard]] ResultStore run_fast_campaign(const Testbed& testbed,
                                             const FastCampaignConfig& config);
 

@@ -1,54 +1,85 @@
 #include "marcopolo/result_store.hpp"
 
+#include <algorithm>
 #include <array>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "bgp/attack_model.hpp"
+
 namespace marcopolo::core {
 
 ResultStore::ResultStore(std::size_t num_sites, std::size_t num_perspectives)
+    : ResultStore(num_sites, num_perspectives,
+                  {bgp::AttackType::EquallySpecific}) {}
+
+ResultStore::ResultStore(std::size_t num_sites, std::size_t num_perspectives,
+                         std::vector<bgp::AttackType> attacks)
     : num_sites_(num_sites),
       num_perspectives_(num_perspectives),
       words_per_row_((num_sites * num_sites + 63) / 64),
-      outcomes_(num_sites * num_sites * num_perspectives, kUnrecorded),
-      hijack_words_(words_per_row_ * num_perspectives, 0) {}
-
-void ResultStore::record(SiteIndex victim, SiteIndex adversary,
-                         PerspectiveIndex p, bgp::OriginReached outcome) {
-  if (victim >= num_sites_ || adversary >= num_sites_ ||
-      p >= num_perspectives_) {
-    throw std::out_of_range("record() index");
+      attacks_(std::move(attacks)),
+      outcomes_(num_sites * num_sites * num_perspectives * attacks_.size(),
+                kUnrecorded),
+      hijack_words_(words_per_row_ * num_perspectives * attacks_.size(), 0) {
+  if (attacks_.empty()) {
+    throw std::invalid_argument("ResultStore needs at least one attack type");
   }
-  record_unsynchronized(victim, adversary, p, outcome);
+  for (std::size_t i = 0; i < attacks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < attacks_.size(); ++j) {
+      if (attacks_[i] == attacks_[j]) {
+        throw std::invalid_argument(
+            std::string("duplicate attack type in ResultStore: ") +
+            bgp::to_cstring(attacks_[i]));
+      }
+    }
+  }
 }
 
-bgp::OriginReached ResultStore::outcome(SiteIndex victim, SiteIndex adversary,
+void ResultStore::record(std::size_t attack, SiteIndex victim,
+                         SiteIndex adversary, PerspectiveIndex p,
+                         bgp::OriginReached outcome) {
+  if (attack >= attacks_.size() || victim >= num_sites_ ||
+      adversary >= num_sites_ || p >= num_perspectives_) {
+    throw std::out_of_range("record() index");
+  }
+  record_unsynchronized(attack, victim, adversary, p, outcome);
+}
+
+bgp::OriginReached ResultStore::outcome(std::size_t attack, SiteIndex victim,
+                                        SiteIndex adversary,
                                         PerspectiveIndex p) const {
-  const std::size_t idx = p * num_pairs() + pair_index(victim, adversary);
+  if (attack >= attacks_.size()) throw std::out_of_range("attack index");
+  const std::size_t idx = (attack * num_perspectives_ + p) * num_pairs() +
+                          pair_index(victim, adversary);
   const std::uint8_t raw = outcomes_.at(idx);
   if (raw == kUnrecorded) return bgp::OriginReached::None;
   return static_cast<bgp::OriginReached>(raw);
 }
 
 std::size_t ResultStore::hijacked_count(
-    SiteIndex victim, SiteIndex adversary,
+    std::size_t attack, SiteIndex victim, SiteIndex adversary,
     std::span<const PerspectiveIndex> set) const {
+  if (attack >= attacks_.size()) throw std::out_of_range("attack index");
   const std::size_t pair = pair_index(victim, adversary);
   const std::size_t word = pair / 64;
   const std::uint64_t mask = std::uint64_t{1} << (pair % 64);
+  const std::size_t base = attack * num_perspectives_ * words_per_row_;
   std::size_t count = 0;
   for (const PerspectiveIndex p : set) {
-    count += (hijack_words_[p * words_per_row_ + word] & mask) != 0;
+    count += (hijack_words_[base + p * words_per_row_ + word] & mask) != 0;
   }
   return count;
 }
 
-bool ResultStore::pair_complete(SiteIndex victim, SiteIndex adversary) const {
+bool ResultStore::pair_complete(std::size_t attack, SiteIndex victim,
+                                SiteIndex adversary) const {
+  if (attack >= attacks_.size()) throw std::out_of_range("attack index");
   for (std::size_t p = 0; p < num_perspectives_; ++p) {
-    if (outcomes_[p * num_pairs() + pair_index(victim, adversary)] ==
-        kUnrecorded) {
+    if (outcomes_[(attack * num_perspectives_ + p) * num_pairs() +
+                  pair_index(victim, adversary)] == kUnrecorded) {
       return false;
     }
   }
@@ -56,43 +87,100 @@ bool ResultStore::pair_complete(SiteIndex victim, SiteIndex adversary) const {
 }
 
 std::span<const std::uint64_t> ResultStore::hijack_words(
-    PerspectiveIndex p) const {
+    std::size_t attack, PerspectiveIndex p) const {
+  if (attack >= attacks_.size()) throw std::out_of_range("attack index");
   if (p >= num_perspectives_) throw std::out_of_range("perspective index");
-  return {hijack_words_.data() + static_cast<std::size_t>(p) * words_per_row_,
+  return {hijack_words_.data() +
+              (attack * num_perspectives_ + static_cast<std::size_t>(p)) *
+                  words_per_row_,
           words_per_row_};
+}
+
+ResultStore ResultStore::extract_attack(std::size_t attack) const {
+  if (attack >= attacks_.size()) throw std::out_of_range("attack index");
+  ResultStore plane(num_sites_, num_perspectives_, {attacks_[attack]});
+  const std::size_t cells = num_perspectives_ * num_pairs();
+  std::copy_n(outcomes_.begin() +
+                  static_cast<std::ptrdiff_t>(attack * cells),
+              cells, plane.outcomes_.begin());
+  const std::size_t words = num_perspectives_ * words_per_row_;
+  std::copy_n(hijack_words_.begin() +
+                  static_cast<std::ptrdiff_t>(attack * words),
+              words, plane.hijack_words_.begin());
+  return plane;
 }
 
 void ResultStore::save_csv(std::ostream& out) const {
   // Version comment first: readers (including load_csv) skip '#' lines,
   // so future format changes can bump the number without breaking old
-  // parsers silently.
-  out << "# schema=1\n";
+  // parsers silently. The attack_types comment names each plane so the
+  // numeric attack column stays self-describing.
+  out << "# schema=2\n";
+  out << "# attack_types=";
+  for (std::size_t i = 0; i < attacks_.size(); ++i) {
+    out << (i ? "," : "") << bgp::to_cstring(attacks_[i]);
+  }
+  out << "\n";
   out << "sites," << num_sites_ << ",perspectives," << num_perspectives_
-      << "\n";
-  out << "victim,adversary,perspective,outcome\n";
+      << ",attacks," << attacks_.size() << "\n";
+  out << "victim,adversary,perspective,attack,outcome\n";
   for (std::size_t v = 0; v < num_sites_; ++v) {
     for (std::size_t a = 0; a < num_sites_; ++a) {
       for (std::size_t p = 0; p < num_perspectives_; ++p) {
-        const std::size_t idx =
-            p * num_pairs() + pair_index(static_cast<SiteIndex>(v),
-                                         static_cast<SiteIndex>(a));
-        if (outcomes_[idx] == kUnrecorded) continue;
-        out << v << ',' << a << ',' << p << ','
-            << static_cast<int>(outcomes_[idx]) << "\n";
+        for (std::size_t t = 0; t < attacks_.size(); ++t) {
+          const std::size_t idx =
+              (t * num_perspectives_ + p) * num_pairs() +
+              pair_index(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a));
+          if (outcomes_[idx] == kUnrecorded) continue;
+          out << v << ',' << a << ',' << p << ',' << t << ','
+              << static_cast<int>(outcomes_[idx]) << "\n";
+        }
       }
     }
   }
 }
 
+namespace {
+
+// Parse the "# attack_types=a,b,c" comment payload into plane tags.
+std::vector<bgp::AttackType> parse_attack_type_comment(
+    std::string_view names) {
+  std::vector<bgp::AttackType> out;
+  while (!names.empty()) {
+    const std::size_t comma = names.find(',');
+    const std::string_view token = names.substr(0, comma);
+    const std::optional<bgp::AttackType> type =
+        bgp::attack_type_from_string(token);
+    if (!type.has_value()) {
+      throw std::runtime_error("results csv unknown attack type: " +
+                               std::string(token));
+    }
+    out.push_back(*type);
+    if (comma == std::string_view::npos) break;
+    names.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
 ResultStore ResultStore::load_csv(std::istream& in) {
   std::string line;
-  // Accept-and-skip leading comment lines (e.g. "# schema=1"); files
-  // written before the schema comment existed start at the header row.
+  // Accept-and-remember leading comment lines ("# schema=N",
+  // "# attack_types=..."); files written before the schema comment existed
+  // start at the header row.
+  std::vector<bgp::AttackType> attacks;
   do {
     if (!std::getline(in, line)) throw std::runtime_error("empty results csv");
+    constexpr std::string_view kTypesTag = "# attack_types=";
+    if (line.starts_with(kTypesTag)) {
+      attacks = parse_attack_type_comment(
+          std::string_view(line).substr(kTypesTag.size()));
+    }
   } while (!line.empty() && line.front() == '#');
   std::size_t sites = 0;
   std::size_t perspectives = 0;
+  std::size_t num_attacks = 0;  // 0 = schema-1 header, rows have no column
   {
     std::istringstream header(line);
     std::string tag;
@@ -108,8 +196,33 @@ ResultStore ResultStore::load_csv(std::istream& in) {
     if (!header || !(header >> perspectives)) {
       throw std::runtime_error("bad results csv header counts");
     }
+    // Schema 2 extends the header with ",attacks,<k>"; its absence marks a
+    // pre-multi-attack file.
+    if (header >> comma && std::getline(header, tag, ',')) {
+      if (tag != "attacks") {
+        throw std::runtime_error("bad results csv header: expected "
+                                 "'attacks' tag, got '" + tag + "'");
+      }
+      if (!(header >> num_attacks) || num_attacks == 0) {
+        throw std::runtime_error("bad results csv attack count");
+      }
+    }
   }
-  ResultStore store(sites, perspectives);
+  const bool has_attack_column = num_attacks != 0;
+  if (!has_attack_column) {
+    // Legacy single-attack file: one plane, tagged with the recorded type
+    // when the comment carried one (a schema-2 writer never omits it) or
+    // the historical default otherwise.
+    if (attacks.size() > 1) {
+      throw std::runtime_error(
+          "results csv: multiple attack types but schema-1 header");
+    }
+    if (attacks.empty()) attacks = {bgp::AttackType::EquallySpecific};
+  } else if (attacks.size() != num_attacks) {
+    throw std::runtime_error(
+        "results csv attack_types comment does not match header count");
+  }
+  ResultStore store(sites, perspectives, std::move(attacks));
   std::getline(in, line);  // column header
   while (std::getline(in, line)) {
     if (line.empty() || line.front() == '#') continue;
@@ -117,15 +230,22 @@ ResultStore ResultStore::load_csv(std::istream& in) {
     std::size_t v = 0;
     std::size_t a = 0;
     std::size_t p = 0;
+    std::size_t t = 0;
     int outcome = 0;
     char c = 0;
-    row >> v >> c >> a >> c >> p >> c >> outcome;
+    row >> v >> c >> a >> c >> p >> c;
+    if (has_attack_column) row >> t >> c;
+    row >> outcome;
     if (!row) throw std::runtime_error("bad results csv row: " + line);
     if (outcome < static_cast<int>(bgp::OriginReached::None) ||
         outcome > static_cast<int>(bgp::OriginReached::Adversary)) {
       throw std::runtime_error("results csv outcome out of range: " + line);
     }
-    store.record(static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
+    if (t >= store.num_attacks()) {
+      throw std::runtime_error("results csv attack index out of range: " +
+                               line);
+    }
+    store.record(t, static_cast<SiteIndex>(v), static_cast<SiteIndex>(a),
                  static_cast<PerspectiveIndex>(p),
                  static_cast<bgp::OriginReached>(outcome));
   }
@@ -135,7 +255,11 @@ ResultStore ResultStore::load_csv(std::istream& in) {
 namespace {
 
 constexpr std::array<char, 4> kBinaryMagic = {'M', 'P', 'R', 'S'};
-constexpr std::uint8_t kBinarySchema = 1;
+// Schema 1: single implicit EquallySpecific plane, no attack dimension.
+// Schema 2: u32 attack count + one attack-type byte per plane after the
+// perspective count, planes concatenated in tag order.
+constexpr std::uint8_t kBinarySchemaLegacy = 1;
+constexpr std::uint8_t kBinarySchema = 2;
 // In-file nibble for a cell nobody recorded (in-memory it is 0xff, which
 // does not fit a nibble).
 constexpr std::uint8_t kNibbleUnrecorded = 0xf;
@@ -170,6 +294,10 @@ void ResultStore::save_binary(std::ostream& out) const {
   out.write(schema_and_reserved.data(), schema_and_reserved.size());
   put_u32le(out, static_cast<std::uint32_t>(num_sites_));
   put_u32le(out, static_cast<std::uint32_t>(num_perspectives_));
+  put_u32le(out, static_cast<std::uint32_t>(attacks_.size()));
+  for (const bgp::AttackType t : attacks_) {
+    out.put(static_cast<char>(static_cast<std::uint8_t>(t)));
+  }
   const std::size_t cells = outcomes_.size();
   std::string plane;
   plane.reserve((cells + 1) / 2);
@@ -195,14 +323,36 @@ ResultStore ResultStore::load_binary(std::istream& in) {
     throw std::runtime_error("results binary truncated in header");
   }
   const auto schema = static_cast<std::uint8_t>(schema_and_reserved[0]);
-  if (schema != kBinarySchema) {
+  if (schema != kBinarySchemaLegacy && schema != kBinarySchema) {
     throw std::runtime_error("unsupported results binary schema " +
                              std::to_string(schema));
   }
   const std::uint32_t sites = get_u32le(in, "sites");
   const std::uint32_t perspectives = get_u32le(in, "perspectives");
-  ResultStore store(sites, perspectives);
+  std::vector<bgp::AttackType> attacks;
+  if (schema == kBinarySchemaLegacy) {
+    attacks = {bgp::AttackType::EquallySpecific};
+  } else {
+    const std::uint32_t count = get_u32le(in, "attack count");
+    if (count == 0) {
+      throw std::runtime_error("results binary has zero attack planes");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const int byte = in.get();
+      if (byte == std::char_traits<char>::eof()) {
+        throw std::runtime_error("results binary truncated in attack types");
+      }
+      if (static_cast<std::size_t>(byte) >= bgp::kAttackTypeCount) {
+        throw std::runtime_error("results binary unknown attack type " +
+                                 std::to_string(byte));
+      }
+      attacks.push_back(static_cast<bgp::AttackType>(byte));
+    }
+  }
+  ResultStore store(sites, perspectives, std::move(attacks));
   const std::size_t cells = store.outcomes_.size();
+  const std::size_t cells_per_plane =
+      store.num_perspectives_ * store.num_pairs();
   std::string plane((cells + 1) / 2, '\0');
   if (!in.read(plane.data(), static_cast<std::streamsize>(plane.size()))) {
     throw std::runtime_error("results binary truncated in outcome plane");
@@ -217,9 +367,10 @@ ResultStore ResultStore::load_binary(std::istream& in) {
     }
     const std::size_t pair = i % store.num_pairs();
     store.record_unsynchronized(
-        static_cast<SiteIndex>(pair / store.num_sites_),
+        i / cells_per_plane, static_cast<SiteIndex>(pair / store.num_sites_),
         static_cast<SiteIndex>(pair % store.num_sites_),
-        static_cast<PerspectiveIndex>(i / store.num_pairs()),
+        static_cast<PerspectiveIndex>((i / store.num_pairs()) %
+                                      store.num_perspectives_),
         static_cast<bgp::OriginReached>(nibble));
   }
   return store;

@@ -30,6 +30,11 @@ struct TestbedConfig {
   /// Fraction of transit ASes enforcing ROV (0 = none).
   double rov_fraction = 0.0;
   std::uint64_t rov_seed = 0x50A;
+  /// Fraction of transit ASes enforcing RFC 9234 OTC (0 = none). A
+  /// distinct seed keeps the OTC deployment only partially overlapping the
+  /// ROV one, mirroring reality.
+  double otc_fraction = 0.0;
+  std::uint64_t otc_seed = 0x07C;
 };
 
 struct PerspectiveRecord {

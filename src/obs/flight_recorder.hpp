@@ -100,6 +100,12 @@ struct TaskSpanRecord {
   /// same policy as the worker id).
   std::uint64_t instructions = 0;
   std::uint64_t cycles = 0;
+  /// bgp::AttackType value of the attack this task evaluated (0 =
+  /// equally-specific, the only type pre-multi-attack journals could
+  /// carry). Omitted from the journal when 0, so single-attack runs stay
+  /// byte-identical to pre-attack-tag output (same policy as the
+  /// hardware counters above).
+  std::uint8_t attack = 0;
 };
 
 /// One propagation-engine run (a task runs 1–2: SubPrefix attacks two).
@@ -122,6 +128,9 @@ struct VerdictRecord {
   std::uint16_t adversary = 0;
   std::uint16_t perspective = 0;
   std::uint8_t outcome = 0;  ///< bgp::OriginReached value (0 none/1 victim/2 adversary).
+  /// bgp::AttackType value; 0 (equally-specific) is omitted from the
+  /// journal so single-attack runs keep their pre-attack-tag bytes.
+  std::uint8_t attack = 0;
   VerdictStep decided_by = VerdictStep::Unopposed;
   bool contested = false;
 

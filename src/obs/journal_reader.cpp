@@ -68,6 +68,8 @@ void decode_task(const json::Value& rec, LaneIndex& lanes) {
   t.record_ns = rec.u64_or("record_ns", 0);
   t.instructions = rec.u64_or("instructions", 0);
   t.cycles = rec.u64_or("cycles", 0);
+  // Absent in pre-multi-attack journals: 0 = equally-specific.
+  t.attack = static_cast<std::uint8_t>(rec.u64_or("attack", 0));
   lanes.lane(static_cast<std::uint32_t>(rec.u64_or("worker", 0)))
       .tasks.push_back(t);
 }
@@ -98,6 +100,8 @@ bool decode_verdict(const json::Value& rec, LaneIndex& lanes,
   v.victim = static_cast<std::uint16_t>(rec.u64_or("victim", 0));
   v.adversary = static_cast<std::uint16_t>(rec.u64_or("adversary", 0));
   v.perspective = static_cast<std::uint16_t>(rec.u64_or("perspective", 0));
+  // Absent in pre-multi-attack journals: 0 = equally-specific.
+  v.attack = static_cast<std::uint8_t>(rec.u64_or("attack", 0));
   const std::string outcome = rec.string_or("outcome", "none");
   if (!decode_outcome(outcome, v.outcome)) {
     why = "unknown outcome \"" + outcome + "\"";

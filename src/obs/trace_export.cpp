@@ -206,6 +206,9 @@ void write_chrome_trace(std::ostream& out, const FlightJournal& journal,
           << ", \"propagate_ns\": " << t.propagate_ns
           << ", \"classify_ns\": " << t.classify_ns
           << ", \"record_ns\": " << t.record_ns;
+      if (t.attack != 0) {
+        out << ", \"attack\": " << static_cast<int>(t.attack);
+      }
       if (t.instructions != 0) {
         // Counter args only when the worker had a perf group: traces
         // from counter-less runs stay byte-identical.
@@ -322,6 +325,12 @@ void write_journal_ndjson(std::ostream& out, const FlightJournal& journal) {
           << ", \"propagate_ns\": " << t.propagate_ns
           << ", \"classify_ns\": " << t.classify_ns
           << ", \"record_ns\": " << t.record_ns;
+      if (t.attack != 0) {
+        // Attack-type tag (bgp::AttackType value), omitted for the
+        // pre-multi-attack default so single-attack journals keep their
+        // old bytes; readers default an absent tag to 0.
+        out << ", \"attack\": " << static_cast<int>(t.attack);
+      }
       if (t.instructions != 0) {
         // Forward-compatible addition (schema 1, unknown fields are
         // ignored by old readers); omitted when counters were off so
@@ -351,7 +360,11 @@ void write_journal_ndjson(std::ostream& out, const FlightJournal& journal) {
       out << "{\"type\": \"verdict\", \"worker\": " << lane.worker
           << ", \"victim\": " << v.victim
           << ", \"adversary\": " << v.adversary
-          << ", \"perspective\": " << v.perspective << ", \"outcome\": \""
+          << ", \"perspective\": " << v.perspective;
+      if (v.attack != 0) {
+        out << ", \"attack\": " << static_cast<int>(v.attack);
+      }
+      out << ", \"outcome\": \""
           << outcome_name(v.outcome) << "\", \"decided_by\": \""
           << to_cstring(v.decided_by) << "\", \"contested\": "
           << (v.contested ? "true" : "false")

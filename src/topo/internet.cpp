@@ -272,4 +272,15 @@ void Internet::deploy_rov(double fraction, std::uint64_t seed) {
   }
 }
 
+void Internet::deploy_otc(double fraction, std::uint64_t seed) {
+  netsim::Rng rng(seed);
+  for (std::uint32_t i = 0; i < graph_.size(); ++i) {
+    const bgp::NodeId n{i};
+    if (n.value < tier_.size() && tier_[n.value] != AsTier::Stub &&
+        rng.chance(fraction)) {
+      graph_.set_otc_enforcing(n, true);
+    }
+  }
+}
+
 }  // namespace marcopolo::topo

@@ -90,6 +90,12 @@ class Internet {
   /// deterministically from `seed`.
   void deploy_rov(double fraction, std::uint64_t seed);
 
+  /// Mark a fraction of transit ASes as enforcing RFC 9234 OTC (route-leak
+  /// marking and rejection), chosen deterministically from `seed`.
+  /// Independent of deploy_rov: distinct seeds give partially overlapping
+  /// ROV/OTC deployments, as in the real Internet.
+  void deploy_otc(double fraction, std::uint64_t seed);
+
  private:
   bgp::NodeId add_node(bgp::Asn asn, netsim::GeoPoint where, Continent c,
                        AsTier tier);

@@ -1,0 +1,174 @@
+// The attack x defense matrix artifact: JSON writer/reader round-trip,
+// reader error policy, renderer shape, and one tiny end-to-end build.
+#include "analysis/attack_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace marcopolo::analysis {
+namespace {
+
+AttackMatrixReport sample_report() {
+  AttackMatrixReport report;
+  report.sites = 4;
+  report.perspectives = 9;
+  report.quorum_required = 2;
+  report.attacks = {bgp::AttackType::EquallySpecific,
+                    bgp::AttackType::RouteLeak};
+  report.rov_levels = {0.0, 1.0};
+  report.otc_levels = {0.5};
+  for (std::size_t ai = 0; ai < report.attacks.size(); ++ai) {
+    for (std::size_t ri = 0; ri < report.rov_levels.size(); ++ri) {
+      AttackMatrixCell cell;
+      cell.attack = report.attacks[ai];
+      cell.rov_fraction = report.rov_levels[ri];
+      cell.otc_fraction = report.otc_levels[0];
+      cell.hijack_rate = 0.125 * static_cast<double>(ai + ri);
+      cell.single_median = 50.0 + static_cast<double>(ai);
+      cell.single_average = 51.5;
+      cell.quorum_median = 75.0 + static_cast<double>(ri);
+      cell.quorum_average = 76.25;
+      report.cells.push_back(cell);
+    }
+  }
+  return report;
+}
+
+TEST(AttackMatrixJson, RoundTripPreservesEveryField) {
+  const AttackMatrixReport report = sample_report();
+  std::stringstream buffer;
+  write_attack_matrix_json(buffer, report);
+  const ReadAttackMatrix read = read_attack_matrix_json(buffer);
+  ASSERT_TRUE(read.ok) << read.error;
+
+  const AttackMatrixReport& r = read.report;
+  EXPECT_EQ(r.sites, report.sites);
+  EXPECT_EQ(r.perspectives, report.perspectives);
+  EXPECT_EQ(r.quorum_required, report.quorum_required);
+  EXPECT_EQ(r.attacks, report.attacks);
+  EXPECT_EQ(r.rov_levels, report.rov_levels);
+  EXPECT_EQ(r.otc_levels, report.otc_levels);
+  ASSERT_EQ(r.cells.size(), report.cells.size());
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    EXPECT_EQ(r.cells[i].attack, report.cells[i].attack) << "cell " << i;
+    EXPECT_DOUBLE_EQ(r.cells[i].rov_fraction, report.cells[i].rov_fraction);
+    EXPECT_DOUBLE_EQ(r.cells[i].otc_fraction, report.cells[i].otc_fraction);
+    EXPECT_DOUBLE_EQ(r.cells[i].hijack_rate, report.cells[i].hijack_rate);
+    EXPECT_DOUBLE_EQ(r.cells[i].single_median, report.cells[i].single_median);
+    EXPECT_DOUBLE_EQ(r.cells[i].single_average,
+                     report.cells[i].single_average);
+    EXPECT_DOUBLE_EQ(r.cells[i].quorum_median, report.cells[i].quorum_median);
+    EXPECT_DOUBLE_EQ(r.cells[i].quorum_average,
+                     report.cells[i].quorum_average);
+  }
+}
+
+TEST(AttackMatrixJson, EchoOfEchoIsByteStable) {
+  // mpinspect matrix --json re-emits what it parsed; the second echo must
+  // equal the first so artifacts can be piped through tooling repeatedly.
+  std::stringstream first;
+  write_attack_matrix_json(first, sample_report());
+  const ReadAttackMatrix read = read_attack_matrix_json(first);
+  ASSERT_TRUE(read.ok);
+  std::stringstream second;
+  write_attack_matrix_json(second, read.report);
+  std::stringstream once;
+  write_attack_matrix_json(once, sample_report());
+  EXPECT_EQ(second.str(), once.str());
+}
+
+TEST(AttackMatrixJson, ReaderRejectsMalformedDocuments) {
+  const auto read_str = [](const std::string& text) {
+    std::stringstream in(text);
+    return read_attack_matrix_json(in);
+  };
+
+  EXPECT_FALSE(read_str("not json").ok);
+  EXPECT_FALSE(read_str("[1, 2]").ok);
+
+  const ReadAttackMatrix future = read_str("{\"matrix_schema\": 99}");
+  ASSERT_FALSE(future.ok);
+  EXPECT_NE(future.error.find("matrix_schema"), std::string::npos);
+
+  // Unknown attack name in the attacks list.
+  const ReadAttackMatrix bad_name = read_str(
+      "{\"matrix_schema\": 1, \"attacks\": [\"warp-drive\"],"
+      " \"rov_levels\": [0], \"otc_levels\": [0], \"cells\": []}");
+  ASSERT_FALSE(bad_name.ok);
+  EXPECT_NE(bad_name.error.find("warp-drive"), std::string::npos);
+
+  // Cell count disagreeing with the attacks x rov x otc grid.
+  const ReadAttackMatrix short_grid = read_str(
+      "{\"matrix_schema\": 1, \"attacks\": [\"route-leak\"],"
+      " \"rov_levels\": [0, 1], \"otc_levels\": [0], \"cells\": []}");
+  ASSERT_FALSE(short_grid.ok);
+  EXPECT_NE(short_grid.error.find("cell count"), std::string::npos);
+
+  // A cell naming an attack the registry does not know.
+  const ReadAttackMatrix bad_cell = read_str(
+      "{\"matrix_schema\": 1, \"attacks\": [\"route-leak\"],"
+      " \"rov_levels\": [0], \"otc_levels\": [0],"
+      " \"cells\": [{\"attack\": \"nope\", \"rov\": 0, \"otc\": 0}]}");
+  EXPECT_FALSE(bad_cell.ok);
+}
+
+TEST(AttackMatrixRender, TablesCarryAttackNamesAndDefenseAxes) {
+  const std::string text = render_attack_matrix(sample_report());
+  EXPECT_NE(text.find("[equally-specific]"), std::string::npos);
+  EXPECT_NE(text.find("[route-leak]"), std::string::npos);
+  EXPECT_NE(text.find("ROV \\ OTC"), std::string::npos);
+  EXPECT_NE(text.find("rov off"), std::string::npos);
+  EXPECT_NE(text.find("rov full"), std::string::npos);
+  EXPECT_NE(text.find("otc 50%"), std::string::npos);
+  EXPECT_NE(text.find("quorum 2"), std::string::npos);
+}
+
+TEST(AttackMatrixBuild, RejectsEmptyDefenseAxes) {
+  AttackMatrixConfig config;
+  config.rov_levels.clear();
+  EXPECT_THROW((void)build_attack_matrix(config), std::invalid_argument);
+  AttackMatrixConfig config2;
+  config2.otc_levels.clear();
+  EXPECT_THROW((void)build_attack_matrix(config2), std::invalid_argument);
+}
+
+TEST(AttackMatrixBuild, TinyGridProducesSaneCells) {
+  // One grid point, two attacks, reduced topology: enough to exercise the
+  // testbed construction, the multi-attack campaign, and the per-plane
+  // scoring without the full 3x3 sweep.
+  AttackMatrixConfig config;
+  config.internet.num_tier1 = 8;
+  config.internet.num_tier2 = 40;
+  config.internet.num_tier3 = 60;
+  config.internet.num_stub = 80;
+  config.attacks = {bgp::AttackType::EquallySpecific,
+                    bgp::AttackType::SubPrefix};
+  config.rov_levels = {1.0};
+  config.otc_levels = {0.0};
+  const AttackMatrixReport report = build_attack_matrix(config);
+
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_GT(report.sites, 0u);
+  EXPECT_GT(report.perspectives, 0u);
+  for (const AttackMatrixCell& cell : report.cells) {
+    EXPECT_GE(cell.hijack_rate, 0.0);
+    EXPECT_LE(cell.hijack_rate, 1.0);
+    EXPECT_GE(cell.single_median, 0.0);
+    EXPECT_LE(cell.single_median, 100.0);
+    EXPECT_GE(cell.quorum_median, cell.single_median)
+        << "requiring corroboration can only raise resilience";
+  }
+  // Full transit ROV with minimal-length ROAs: the equally-specific forgery
+  // is blunted, the sub-prefix... also Invalid (per-victim /24 ROAs admit
+  // no /25), so here both should be low-capture. The discriminating cell:
+  // equally-specific resilience must beat the sub-prefix's hijack-anywhere
+  // profile or match it — just assert both planes are present and tagged.
+  EXPECT_EQ(report.cells[0].attack, bgp::AttackType::EquallySpecific);
+  EXPECT_EQ(report.cells[1].attack, bgp::AttackType::SubPrefix);
+}
+
+}  // namespace
+}  // namespace marcopolo::analysis

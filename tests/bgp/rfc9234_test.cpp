@@ -1,0 +1,159 @@
+// RFC 9234 OTC rules, tested directly against the two pure functions both
+// propagation engines funnel every inter-AS delivery through, plus the
+// topology-level deployment knob. The RouteSource convention throughout is
+// the *receiver's* view: Customer = the receiver learned the route from
+// its customer, i.e. the sender advertised provider-ward.
+#include "bgp/rfc9234.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "topo/internet.hpp"
+
+namespace marcopolo::bgp {
+namespace {
+
+constexpr Asn kUnset{0};
+constexpr Asn kSender{64500};
+constexpr Asn kOther{64999};
+
+// ---------------------------------------------------------------- egress
+
+TEST(Rfc9234Egress, NonEnforcingSenderPassesAttributeVerbatim) {
+  for (const RouteSource src :
+       {RouteSource::Customer, RouteSource::Peer, RouteSource::Provider}) {
+    EXPECT_EQ(otc_egress(kUnset, kSender, false, src), kUnset);
+    EXPECT_EQ(otc_egress(kOther, kSender, false, src), kOther);
+  }
+}
+
+TEST(Rfc9234Egress, ToProviderDropsMarkedRoutes) {
+  // Sender -> its provider (receiver sees Customer). A route already below
+  // the ridge line must not climb back up (§5 rule 2).
+  EXPECT_EQ(otc_egress(kOther, kSender, true, RouteSource::Customer),
+            std::nullopt);
+  // An unmarked route is the sender's own customer cone: fine, unmarked.
+  EXPECT_EQ(otc_egress(kUnset, kSender, true, RouteSource::Customer), kUnset);
+}
+
+TEST(Rfc9234Egress, ToPeerDropsMarkedAndMarksUnmarked) {
+  EXPECT_EQ(otc_egress(kOther, kSender, true, RouteSource::Peer),
+            std::nullopt);
+  // Lateral moves start the customer-ward descent: stamp sender's ASN.
+  EXPECT_EQ(otc_egress(kUnset, kSender, true, RouteSource::Peer), kSender);
+}
+
+TEST(Rfc9234Egress, ToCustomerMarksUnmarkedAndPreservesExisting) {
+  EXPECT_EQ(otc_egress(kUnset, kSender, true, RouteSource::Provider),
+            kSender);
+  // An existing mark names the AS where the descent began; keep it.
+  EXPECT_EQ(otc_egress(kOther, kSender, true, RouteSource::Provider), kOther);
+}
+
+// --------------------------------------------------------------- ingress
+
+TEST(Rfc9234Ingress, NonEnforcingReceiverStoresAttributeVerbatim) {
+  for (const RouteSource src :
+       {RouteSource::Customer, RouteSource::Peer, RouteSource::Provider}) {
+    EXPECT_EQ(otc_ingress(kUnset, kSender, false, src), kUnset);
+    EXPECT_EQ(otc_ingress(kOther, kSender, false, src), kOther);
+  }
+}
+
+TEST(Rfc9234Ingress, FromCustomerWithMarkIsALeak) {
+  // A customer advertising a marked route is re-exporting something it
+  // learned from a provider or peer: the definition of a leak (§5 rule 3).
+  EXPECT_EQ(otc_ingress(kOther, kSender, true, RouteSource::Customer),
+            std::nullopt);
+  EXPECT_EQ(otc_ingress(kSender, kSender, true, RouteSource::Customer),
+            std::nullopt)
+      << "even a mark naming the customer itself is a leak from below";
+  EXPECT_EQ(otc_ingress(kUnset, kSender, true, RouteSource::Customer),
+            kUnset);
+}
+
+TEST(Rfc9234Ingress, FromPeerForeignMarkIsALeakOwnMarkIsNot) {
+  // Marked by someone other than the advertising peer: the peer is passing
+  // along a route that already went customer-ward elsewhere (§5 rule 4).
+  EXPECT_EQ(otc_ingress(kOther, kSender, true, RouteSource::Peer),
+            std::nullopt);
+  // The peer's own mark is the legitimate §5 rule 1 stamp it just applied.
+  EXPECT_EQ(otc_ingress(kSender, kSender, true, RouteSource::Peer), kSender);
+  // Unmarked from a peer: mark on ingress so a later leak of this route is
+  // detectable even if nobody below enforces (§5 rule 5).
+  EXPECT_EQ(otc_ingress(kUnset, kSender, true, RouteSource::Peer), kSender);
+}
+
+TEST(Rfc9234Ingress, FromProviderMarksUnmarkedAndPreservesExisting) {
+  EXPECT_EQ(otc_ingress(kUnset, kSender, true, RouteSource::Provider),
+            kSender);
+  EXPECT_EQ(otc_ingress(kOther, kSender, true, RouteSource::Provider),
+            kOther);
+}
+
+TEST(Rfc9234, RulesAreUsableAtCompileTime) {
+  // Both functions are constexpr so the engines' hot paths can fold the
+  // non-enforcing case away entirely.
+  static_assert(otc_egress(Asn{7}, Asn{1}, true, RouteSource::Customer) ==
+                std::nullopt);
+  static_assert(otc_ingress(Asn{0}, Asn{1}, true, RouteSource::Provider) ==
+                Asn{1});
+}
+
+// ------------------------------------------------------------ deployment
+
+TEST(Rfc9234Deploy, FractionZeroMarksNobody) {
+  topo::Internet net{topo::InternetConfig{}};
+  net.deploy_otc(0.0, 42);
+  for (std::uint32_t i = 0; i < net.graph().size(); ++i) {
+    EXPECT_FALSE(net.graph().otc_enforcing(NodeId{i}));
+  }
+}
+
+TEST(Rfc9234Deploy, FullDeploymentMarksEveryTransitButNoStub) {
+  topo::Internet net{topo::InternetConfig{}};
+  net.deploy_otc(1.0, 42);
+  for (const NodeId n : net.tier1()) {
+    EXPECT_TRUE(net.graph().otc_enforcing(n));
+  }
+  for (const NodeId n : net.tier2()) {
+    EXPECT_TRUE(net.graph().otc_enforcing(n));
+  }
+  for (const NodeId n : net.tier3()) {
+    EXPECT_TRUE(net.graph().otc_enforcing(n));
+  }
+  // Stub networks do not enforce (same modeling choice as deploy_rov: the
+  // defense lives in the transit core).
+  for (const NodeId n : net.stubs()) {
+    EXPECT_FALSE(net.graph().otc_enforcing(n));
+  }
+}
+
+TEST(Rfc9234Deploy, PartialDeploymentIsDeterministicPerSeed) {
+  const auto enforcing_set = [](std::uint64_t seed) {
+    topo::Internet net{topo::InternetConfig{}};
+    net.deploy_otc(0.5, seed);
+    std::vector<bool> out(net.graph().size());
+    for (std::uint32_t i = 0; i < net.graph().size(); ++i) {
+      out[i] = net.graph().otc_enforcing(NodeId{i});
+    }
+    return out;
+  };
+  const auto a = enforcing_set(7);
+  EXPECT_EQ(a, enforcing_set(7)) << "same seed, same deployment";
+  EXPECT_NE(a, enforcing_set(8)) << "different seed, different deployment";
+  const std::size_t marked =
+      static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(marked, 0u);
+  // Strictly fewer than the full transit core (the half not picked).
+  topo::Internet net{topo::InternetConfig{}};
+  const std::size_t transit =
+      net.tier1().size() + net.tier2().size() + net.tier3().size();
+  EXPECT_LT(marked, transit);
+}
+
+}  // namespace
+}  // namespace marcopolo::bgp

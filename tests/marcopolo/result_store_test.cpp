@@ -144,9 +144,15 @@ TEST(ResultStore, SaveEmitsSchemaCommentFirst) {
   ResultStore store(2, 1);
   std::stringstream buffer;
   store.save_csv(buffer);
-  std::string first_line;
-  ASSERT_TRUE(std::getline(buffer, first_line));
-  EXPECT_EQ(first_line, "# schema=1");
+  std::string line;
+  ASSERT_TRUE(std::getline(buffer, line));
+  EXPECT_EQ(line, "# schema=2");
+  // The attack_types comment names every plane so the numeric attack
+  // column in the rows below stays self-describing.
+  ASSERT_TRUE(std::getline(buffer, line));
+  EXPECT_EQ(line, "# attack_types=equally-specific");
+  ASSERT_TRUE(std::getline(buffer, line));
+  EXPECT_EQ(line, "sites,2,perspectives,1,attacks,1");
 }
 
 TEST(ResultStore, LoadSkipsCommentLines) {
@@ -352,11 +358,234 @@ TEST(ResultStore, BinaryRejectsOutOfRangeNibble) {
   std::stringstream buffer;
   store.save_binary(buffer);
   std::string bytes = buffer.str();
-  // First plane byte: low nibble = cell 0. 0x7 is not an outcome (0xF is
-  // the unrecorded sentinel, 0..2 the enumerators).
-  bytes[16] = 0x07;
+  // First plane byte (after the 20-byte schema-2 header and 1 attack-type
+  // byte): low nibble = cell 0. 0x7 is not an outcome (0xF is the
+  // unrecorded sentinel, 0..2 the enumerators).
+  bytes[21] = 0x07;
   std::stringstream corrupted(bytes);
   EXPECT_THROW((void)ResultStore::load_binary(corrupted), std::runtime_error);
+}
+
+// ----------------------------- attack planes and schema evolution
+
+TEST(ResultStore, ConstructorValidatesAttackList) {
+  EXPECT_THROW(ResultStore(2, 1, std::vector<bgp::AttackType>{}),
+               std::invalid_argument);
+  EXPECT_THROW(ResultStore(2, 1,
+                           {bgp::AttackType::RouteLeak,
+                            bgp::AttackType::RouteLeak}),
+               std::invalid_argument);
+}
+
+TEST(ResultStore, PlanesAreIndependent) {
+  ResultStore store(2, 2,
+                    {bgp::AttackType::EquallySpecific,
+                     bgp::AttackType::RouteLeak});
+  store.record(0, 0, 1, 0, OriginReached::Adversary);
+  store.record(1, 0, 1, 0, OriginReached::Victim);
+  EXPECT_TRUE(store.hijacked(0, 0, 1, 0));
+  EXPECT_FALSE(store.hijacked(1, 0, 1, 0));
+  EXPECT_EQ(store.outcome(1, 0, 1, 0), OriginReached::Victim);
+  // The attack-less accessors are plane 0.
+  EXPECT_TRUE(store.hijacked(0, 1, 0));
+  // Plane lookup by type.
+  EXPECT_EQ(store.attack_index(bgp::AttackType::RouteLeak), 1u);
+  EXPECT_FALSE(store.attack_index(bgp::AttackType::SubPrefix).has_value());
+  EXPECT_THROW((void)store.outcome(2, 0, 1, 0), std::out_of_range);
+  EXPECT_THROW(store.record(2, 0, 1, 0, OriginReached::None),
+               std::out_of_range);
+}
+
+TEST(ResultStore, ExtractAttackCopiesOnePlaneWithItsTag) {
+  ResultStore store(2, 2,
+                    {bgp::AttackType::EquallySpecific,
+                     bgp::AttackType::RouteLeak});
+  store.record(0, 0, 1, 0, OriginReached::Adversary);
+  store.record(1, 0, 1, 0, OriginReached::Victim);
+  store.record(1, 1, 0, 1, OriginReached::Adversary);
+
+  const ResultStore leak = store.extract_attack(1);
+  EXPECT_EQ(leak.num_attacks(), 1u);
+  EXPECT_EQ(leak.attack_types()[0], bgp::AttackType::RouteLeak);
+  EXPECT_EQ(leak.num_sites(), store.num_sites());
+  EXPECT_EQ(leak.num_perspectives(), store.num_perspectives());
+  for (SiteIndex v = 0; v < 2; ++v) {
+    for (SiteIndex a = 0; a < 2; ++a) {
+      for (PerspectiveIndex p = 0; p < 2; ++p) {
+        EXPECT_EQ(leak.outcome(v, a, p), store.outcome(1, v, a, p));
+        EXPECT_EQ(leak.hijacked(v, a, p), store.hijacked(1, v, a, p));
+        EXPECT_EQ(leak.pair_complete(v, a), store.pair_complete(1, v, a));
+      }
+    }
+  }
+  EXPECT_THROW((void)store.extract_attack(2), std::out_of_range);
+}
+
+TEST(ResultStore, MultiPlaneCsvRoundTripPreservesPlanesAndTags) {
+  ResultStore store(3, 2,
+                    {bgp::AttackType::ForgedOriginPrepend,
+                     bgp::AttackType::RouteLeak});
+  store.record(0, 0, 1, 0, OriginReached::Adversary);
+  store.record(0, 2, 0, 1, OriginReached::None);
+  store.record(1, 0, 1, 0, OriginReached::Victim);
+  store.record(1, 1, 2, 1, OriginReached::Adversary);
+
+  std::stringstream buffer;
+  store.save_csv(buffer);
+  const ResultStore loaded = ResultStore::load_csv(buffer);
+
+  ASSERT_EQ(loaded.num_attacks(), 2u);
+  EXPECT_EQ(loaded.attack_types()[0], bgp::AttackType::ForgedOriginPrepend);
+  EXPECT_EQ(loaded.attack_types()[1], bgp::AttackType::RouteLeak);
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (SiteIndex v = 0; v < 3; ++v) {
+      for (SiteIndex a = 0; a < 3; ++a) {
+        for (PerspectiveIndex p = 0; p < 2; ++p) {
+          EXPECT_EQ(loaded.outcome(t, v, a, p), store.outcome(t, v, a, p))
+              << "plane " << t << " cell " << v << "," << a << "," << p;
+        }
+        EXPECT_EQ(loaded.pair_complete(t, v, a), store.pair_complete(t, v, a));
+      }
+    }
+  }
+}
+
+TEST(ResultStore, Schema1CsvLoadsAsSingleEquallySpecificPlane) {
+  // The exact bytes a pre-multi-attack save_csv produced.
+  std::stringstream legacy(
+      "# schema=1\n"
+      "sites,2,perspectives,1\n"
+      "victim,adversary,perspective,outcome\n"
+      "0,1,0,2\n"
+      "1,0,0,1\n");
+  const ResultStore store = ResultStore::load_csv(legacy);
+  ASSERT_EQ(store.num_attacks(), 1u);
+  EXPECT_EQ(store.attack_types()[0], bgp::AttackType::EquallySpecific);
+  EXPECT_TRUE(store.hijacked(0, 1, 0));
+  EXPECT_EQ(store.outcome(1, 0, 0), OriginReached::Victim);
+}
+
+TEST(ResultStore, Schema1CsvHonorsAnAttackTypeComment) {
+  // A transitional file: schema-1 shape, but the comment records which
+  // attack the campaign ran. The single plane takes that tag.
+  std::stringstream tagged(
+      "# schema=1\n"
+      "# attack_types=route-leak\n"
+      "sites,2,perspectives,1\n"
+      "victim,adversary,perspective,outcome\n"
+      "0,1,0,2\n");
+  const ResultStore store = ResultStore::load_csv(tagged);
+  ASSERT_EQ(store.num_attacks(), 1u);
+  EXPECT_EQ(store.attack_types()[0], bgp::AttackType::RouteLeak);
+}
+
+TEST(ResultStore, CsvRejectsInconsistentAttackMetadata) {
+  // Multiple comment tags but a schema-1 header: there is nowhere to put
+  // the second plane.
+  std::stringstream two_tags(
+      "# attack_types=equally-specific,route-leak\n"
+      "sites,2,perspectives,1\n"
+      "victim,adversary,perspective,outcome\n");
+  EXPECT_THROW((void)ResultStore::load_csv(two_tags), std::runtime_error);
+
+  // Header plane count disagreeing with the comment list.
+  std::stringstream mismatch(
+      "# schema=2\n"
+      "# attack_types=equally-specific\n"
+      "sites,2,perspectives,1,attacks,2\n"
+      "victim,adversary,perspective,attack,outcome\n");
+  EXPECT_THROW((void)ResultStore::load_csv(mismatch), std::runtime_error);
+
+  // An unknown name in the comment.
+  std::stringstream unknown(
+      "# schema=2\n"
+      "# attack_types=warp-drive\n"
+      "sites,2,perspectives,1,attacks,1\n"
+      "victim,adversary,perspective,attack,outcome\n");
+  EXPECT_THROW((void)ResultStore::load_csv(unknown), std::runtime_error);
+
+  // A row addressing a plane the header never declared.
+  std::stringstream bad_row(
+      "# schema=2\n"
+      "# attack_types=equally-specific\n"
+      "sites,2,perspectives,1,attacks,1\n"
+      "victim,adversary,perspective,attack,outcome\n"
+      "0,1,0,1,2\n");
+  EXPECT_THROW((void)ResultStore::load_csv(bad_row), std::runtime_error);
+}
+
+TEST(ResultStore, MultiPlaneBinaryRoundTripPreservesPlanesAndTags) {
+  // Odd total cell count (3 planes * 9 pairs * 3 perspectives = 81): the
+  // single pad nibble sits at the very end of the last plane, not per
+  // plane, and must round-trip away.
+  ResultStore store(3, 3,
+                    {bgp::AttackType::EquallySpecific,
+                     bgp::AttackType::SubPrefix,
+                     bgp::AttackType::RouteLeak});
+  store.record(0, 0, 1, 0, OriginReached::Adversary);
+  store.record(1, 1, 2, 1, OriginReached::Victim);
+  store.record(2, 2, 0, 2, OriginReached::None);
+
+  std::stringstream buffer;
+  store.save_binary(buffer);
+  const ResultStore loaded = ResultStore::load_binary(buffer);
+
+  ASSERT_EQ(loaded.num_attacks(), 3u);
+  EXPECT_EQ(loaded.attack_types()[2], bgp::AttackType::RouteLeak);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (SiteIndex v = 0; v < 3; ++v) {
+      for (SiteIndex a = 0; a < 3; ++a) {
+        for (PerspectiveIndex p = 0; p < 3; ++p) {
+          EXPECT_EQ(loaded.outcome(t, v, a, p), store.outcome(t, v, a, p))
+              << "plane " << t << " cell " << v << "," << a << "," << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(ResultStore, Schema1BinaryLoadsAsSingleEquallySpecificPlane) {
+  // Handcrafted legacy bytes: "MPRS", schema byte 1 + 3 reserved zeros,
+  // u32le sites=2, u32le perspectives=1, then 4 cells packed in 2 bytes —
+  // no attack count, no type bytes. Cell order: pair-major, diag cells
+  // unrecorded (0xF).
+  const unsigned char raw[] = {
+      'M', 'P', 'R', 'S', 1,   0,   0,   0,  // magic + schema
+      2,   0,   0,   0,                      // sites
+      1,   0,   0,   0,                      // perspectives
+      0x2F,  // cell 0 (diag, 0xF) | cell 1 (pair 0,1 = Adversary) << 4
+      0xF1,  // cell 2 (pair 1,0 = Victim) | cell 3 (diag, 0xF) << 4
+  };
+  std::stringstream in(std::string(reinterpret_cast<const char*>(raw),
+                                   sizeof raw));
+  const ResultStore store = ResultStore::load_binary(in);
+  ASSERT_EQ(store.num_attacks(), 1u);
+  EXPECT_EQ(store.attack_types()[0], bgp::AttackType::EquallySpecific);
+  EXPECT_EQ(store.num_sites(), 2u);
+  EXPECT_EQ(store.num_perspectives(), 1u);
+  EXPECT_EQ(store.outcome(0, 1, 0), OriginReached::Adversary);
+  EXPECT_EQ(store.outcome(1, 0, 0), OriginReached::Victim);
+  EXPECT_FALSE(store.pair_complete(0, 0)) << "diagonal stays unrecorded";
+}
+
+TEST(ResultStore, BinaryRejectsBadAttackMetadata) {
+  ResultStore store(2, 1);
+  std::stringstream buffer;
+  store.save_binary(buffer);
+  const std::string bytes = buffer.str();
+
+  // Zero planes (attack count u32 at offset 16).
+  std::string zero = bytes;
+  zero[16] = 0;
+  std::stringstream zero_in(zero);
+  EXPECT_THROW((void)ResultStore::load_binary(zero_in), std::runtime_error);
+
+  // An attack-type byte no registry entry exists for (offset 20).
+  std::string unknown = bytes;
+  unknown[20] = static_cast<char>(200);
+  std::stringstream unknown_in(unknown);
+  EXPECT_THROW((void)ResultStore::load_binary(unknown_in),
+               std::runtime_error);
 }
 
 TEST(ResultStore, RecordUnsynchronizedMatchesRecord) {

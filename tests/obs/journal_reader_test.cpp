@@ -298,6 +298,67 @@ TEST(JournalReader, UnopenableFileReportsLineZero) {
   EXPECT_EQ(read.errors[0].line, 0u);
 }
 
+TEST(JournalReader, AttackTagRoundTripsAndDefaultsToZero) {
+  FlightRecorder recorder;
+  FlightBuffer* lane = recorder.open_buffer();
+  TaskSpanRecord tagged;
+  tagged.announcer = 1;
+  tagged.adversary = 2;
+  tagged.start_ns = 10;
+  tagged.duration_ns = 5;
+  tagged.attack = 3;  // route-leak plane
+  lane->record_task(tagged);
+  TaskSpanRecord untagged = tagged;
+  untagged.attack = 0;
+  lane->record_task(untagged);
+  VerdictRecord verdict;
+  verdict.victim = 1;
+  verdict.adversary = 2;
+  verdict.perspective = 9;
+  verdict.outcome = 2;
+  verdict.attack = 2;
+  lane->record_verdict(verdict);
+  const std::string text = to_ndjson(recorder.drain());
+
+  // The tag is written only when nonzero, so single-attack journals keep
+  // their pre-multi-attack bytes: exactly the two tagged records carry it.
+  std::size_t occurrences = 0;
+  for (std::size_t at = text.find("\"attack\":"); at != std::string::npos;
+       at = text.find("\"attack\":", at + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 2u);
+
+  std::istringstream in(text);
+  const ReadJournal read = JournalReader::read(in);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.journal.workers[0].tasks.size(), 2u);
+  EXPECT_EQ(read.journal.workers[0].tasks[0].attack, 3);
+  EXPECT_EQ(read.journal.workers[0].tasks[1].attack, 0)
+      << "an absent tag must read back as the pre-multi-attack default";
+  ASSERT_EQ(read.journal.workers[0].verdicts.size(), 1u);
+  EXPECT_EQ(read.journal.workers[0].verdicts[0].attack, 2);
+}
+
+TEST(JournalReader, TaskAndVerdictWithoutAttackFieldDefaultToZero) {
+  // A journal written before the attack tag existed.
+  std::istringstream in(
+      "{\"type\": \"meta\", \"journal_schema\": 1, \"epoch_ns\": 0}\n"
+      "{\"type\": \"task\", \"worker\": 0, \"announcer\": 1,"
+      " \"adversary\": 2, \"start_ns\": 5, \"duration_ns\": 10}\n"
+      "{\"type\": \"verdict\", \"worker\": 0, \"victim\": 1,"
+      " \"adversary\": 2, \"perspective\": 3, \"outcome\": \"adversary\","
+      " \"decided_by\": \"local_pref\", \"contested\": true}\n");
+  const ReadJournal read = JournalReader::read(in);
+  ASSERT_TRUE(read.ok()) << (read.errors.empty()
+                                 ? ""
+                                 : read.errors.front().message);
+  ASSERT_EQ(read.journal.task_count(), 1u);
+  EXPECT_EQ(read.journal.workers[0].tasks[0].attack, 0);
+  ASSERT_EQ(read.journal.workers[0].verdicts.size(), 1u);
+  EXPECT_EQ(read.journal.workers[0].verdicts[0].attack, 0);
+}
+
 TEST(VerdictStep, FromStringInvertsToCstring) {
   for (const VerdictStep step :
        {VerdictStep::LocalPref, VerdictStep::PathLength,

@@ -53,16 +53,27 @@
 //       time-series, plus the meta header. Line-numbered errors (a
 //       tampered or non-monotone file fails here) exit 1.
 //
+//   mpinspect matrix <matrix.json> [--json]
+//       Render an attack x defense resilience matrix produced by
+//       examples/attack_matrix: one table per attack type, ROV rows x
+//       OTC columns, each cell median single/quorum resilience plus the
+//       raw capture rate. --json echoes the validated document back out
+//       (a cheap schema check for pipelines). Exits 2 on unreadable or
+//       malformed input.
+//
 // Exit codes: 0 ok, 1 check/gate failure, 2 usage or I/O error.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/attack_matrix.hpp"
 #include "analysis/report.hpp"
 #include "obs/journal_reader.hpp"
 #include "obs/json.hpp"
@@ -89,7 +100,8 @@ int usage() {
       "  mpinspect check <trace-dir> [--manifest <run.json>]\n"
       "  mpinspect watch <url | dir | file.ndjson>"
       " [--interval-ms <n>] [--once]\n"
-      "  mpinspect tail <dir | file.ndjson> [--last <N>]\n");
+      "  mpinspect tail <dir | file.ndjson> [--last <N>]\n"
+      "  mpinspect matrix <matrix.json> [--json]\n");
   return 2;
 }
 
@@ -1175,6 +1187,41 @@ int cmd_tail(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_matrix(const std::vector<std::string>& args) {
+  std::string path;
+  bool as_json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      as_json = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  const analysis::ReadAttackMatrix read =
+      analysis::read_attack_matrix_json(in);
+  if (!read.ok) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), read.error.c_str());
+    return 2;
+  }
+  if (as_json) {
+    std::ostringstream out;
+    analysis::write_attack_matrix_json(out, read.report);
+    std::fputs(out.str().c_str(), stdout);
+    return 0;
+  }
+  std::fputs(analysis::render_attack_matrix(read.report).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1187,5 +1234,6 @@ int main(int argc, char** argv) {
   if (command == "check") return cmd_check(args);
   if (command == "watch") return cmd_watch(args);
   if (command == "tail") return cmd_tail(args);
+  if (command == "matrix") return cmd_matrix(args);
   return usage();
 }
